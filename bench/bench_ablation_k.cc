@@ -1,0 +1,135 @@
+// Ablation of the parameter k across the partial indexes (§3.1/§3.3
+// design space): more interval traversals (GRAIL), bigger interval budgets
+// (Ferrari), more permutation minima (IP), more Bloom bits (BFL), more
+// supports (O'Reach), more landmarks (LCR landmark index) — index size vs
+// filter precision (false-positive rate of the pure filter on unreachable
+// pairs) vs end-to-end query latency.
+//
+// Row naming: ablation_k/<index>/<k>.
+
+#include <memory>
+
+#include "bench_common.h"
+#include "core/scc_condensing_index.h"
+#include "lcr/landmark_index.h"
+#include "plain/bfl.h"
+#include "plain/ferrari.h"
+#include "plain/grail.h"
+#include "plain/ip_label.h"
+#include "plain/oreach.h"
+
+namespace reach::bench {
+namespace {
+
+// Registers size + filter-fp-rate + query-latency rows for a DAG-only
+// partial index. `filter` returns true when the pure filter CANNOT reject
+// (i.e., a false positive on an unreachable pair).
+template <typename Index>
+void RegisterPartial(const std::string& base, const Digraph& graph,
+                     const PlainWorkload& wl,
+                     std::shared_ptr<Index> index) {
+  ::benchmark::RegisterBenchmark(
+      (base + "/filter").c_str(),
+      [index, &wl, &graph](::benchmark::State& state) {
+        size_t not_rejected = 0;
+        for (auto _ : state) {
+          not_rejected = 0;
+          for (const QueryPair& q : wl.negative) {
+            if constexpr (requires { index->MaybeReachable(0u, 0u); }) {
+              not_rejected += index->MaybeReachable(q.source, q.target);
+            } else {
+              not_rejected += index->FilterVerdict(q.source, q.target) >= 0;
+            }
+          }
+        }
+        state.SetItemsProcessed(state.iterations() *
+                                static_cast<int64_t>(wl.negative.size()));
+        state.counters["filter_fp_rate"] = ::benchmark::Counter(
+            static_cast<double>(not_rejected) / wl.negative.size());
+        state.counters["index_KB"] = ::benchmark::Counter(
+            static_cast<double>(index->IndexSizeBytes()) / 1024.0);
+      })
+      ->Iterations(2)
+      ->Unit(::benchmark::kMicrosecond);
+
+  ::benchmark::RegisterBenchmark(
+      (base + "/query_rand").c_str(),
+      [index, &wl](::benchmark::State& state) {
+        RunQueryLoop(state, wl.random, [&](const QueryPair& q) {
+          return index->Query(q.source, q.target);
+        });
+      })
+      ->Iterations(2)
+      ->Unit(::benchmark::kMicrosecond);
+}
+
+void RegisterAll() {
+  const VertexId n = 2048;
+  auto* dag = new Digraph(
+      RandomDag(n, 4 * static_cast<size_t>(n), kSeed + 110));
+  auto* wl = new PlainWorkload(MakePlainWorkload(*dag, 800));
+
+  for (size_t k : {1, 2, 3, 5, 8}) {
+    auto index = std::make_shared<Grail>(k);
+    index->Build(*dag);
+    RegisterPartial("ablation_k/grail/k=" + std::to_string(k), *dag, *wl,
+                    index);
+  }
+  for (size_t k : {1, 2, 4, 8, 16}) {
+    auto index = std::make_shared<Ferrari>(k);
+    index->Build(*dag);
+    RegisterPartial("ablation_k/ferrari/k=" + std::to_string(k), *dag, *wl,
+                    index);
+  }
+  for (size_t k : {1, 2, 4, 8}) {
+    auto index = std::make_shared<IpLabel>(k);
+    index->Build(*dag);
+    RegisterPartial("ablation_k/ip/k=" + std::to_string(k), *dag, *wl,
+                    index);
+  }
+  for (size_t bits : {64, 128, 256, 512}) {
+    auto index = std::make_shared<Bfl>(bits);
+    index->Build(*dag);
+    RegisterPartial("ablation_k/bfl/bits=" + std::to_string(bits), *dag, *wl,
+                    index);
+  }
+  for (size_t k : {8, 16, 32, 64}) {
+    auto index = std::make_shared<OReach>(k);
+    index->Build(*dag);
+    RegisterPartial("ablation_k/oreach/k=" + std::to_string(k), *dag, *wl,
+                    index);
+  }
+
+  // Landmark count for the LCR landmark index (Table 2 ablation).
+  auto* lgraph = new LabeledDigraph(RandomLabeledDigraph(
+      1024, 4 * 1024, 4, kSeed + 111));
+  auto* lcr_queries = new std::vector<LcrQuery>(
+      RandomLcrQueries(*lgraph, 500, 2, kSeed + 112));
+  for (size_t k : {4, 8, 16, 32}) {
+    auto index = std::make_shared<LandmarkIndex>(k);
+    index->Build(*lgraph);
+    ::benchmark::RegisterBenchmark(
+        ("ablation_k/landmark/k=" + std::to_string(k) + "/query_rand")
+            .c_str(),
+        [index, lcr_queries](::benchmark::State& state) {
+          RunQueryLoop(state, *lcr_queries, [&](const LcrQuery& q) {
+            return index->Query(q.source, q.target, q.allowed);
+          });
+          state.counters["index_KB"] = ::benchmark::Counter(
+              static_cast<double>(index->IndexSizeBytes()) / 1024.0);
+        })
+        ->Iterations(2)
+        ->Unit(::benchmark::kMicrosecond);
+  }
+}
+
+}  // namespace
+}  // namespace reach::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  reach::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

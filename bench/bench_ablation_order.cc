@@ -1,0 +1,78 @@
+// Ablation of the §3.2 design choice TOL makes explicit: the total order
+// drives 2-hop label size and query speed. Degree order (DL/PLL) versus
+// topological (TFL), random, and reverse-degree, on a hub-heavy scale-free
+// DAG and a uniform random digraph.
+//
+// Row naming: order/<graph>/<order>/<phase>.
+
+#include <memory>
+
+#include "bench_common.h"
+#include "plain/pruned_two_hop.h"
+
+namespace reach::bench {
+namespace {
+
+void RegisterAll() {
+  const VertexId n = 2048;
+  auto* graphs = new std::vector<GraphCase>();
+  graphs->push_back({"scalefree-d3", ScaleFreeDag(n, 3, kSeed + 100)});
+  graphs->push_back(
+      {"er-cyclic-avg4",
+       RandomDigraph(n, 4 * static_cast<size_t>(n), kSeed + 101)});
+
+  const struct {
+    const char* name;
+    VertexOrder order;
+  } orders[] = {{"degree(pll)", VertexOrder::kDegree},
+                {"topological(tfl)", VertexOrder::kTopological},
+                {"random", VertexOrder::kRandom},
+                {"reverse-degree", VertexOrder::kReverseDegree}};
+
+  for (const GraphCase& gc : *graphs) {
+    auto* queries =
+        new std::vector<QueryPair>(RandomPairs(gc.graph, 1000, kSeed + 102));
+    for (const auto& order : orders) {
+      const std::string base =
+          std::string("order/") + gc.name + "/" + order.name;
+      ::benchmark::RegisterBenchmark(
+          (base + "/build").c_str(),
+          [&gc, o = order.order](::benchmark::State& state) {
+            size_t entries = 0;
+            for (auto _ : state) {
+              PrunedTwoHop index(o);
+              index.Build(gc.graph);
+              entries = index.TotalLabelEntries();
+            }
+            state.counters["label_entries"] = static_cast<double>(entries);
+            state.counters["entries_per_vertex"] = ::benchmark::Counter(
+                static_cast<double>(entries) / gc.graph.NumVertices());
+          })
+          ->Iterations(1)
+          ->Unit(::benchmark::kMillisecond);
+
+      auto built = std::make_shared<PrunedTwoHop>(order.order);
+      built->Build(gc.graph);
+      ::benchmark::RegisterBenchmark(
+          (base + "/query_rand").c_str(),
+          [built, queries](::benchmark::State& state) {
+            RunQueryLoop(state, *queries, [&](const QueryPair& q) {
+              return built->Query(q.source, q.target);
+            });
+          })
+          ->Iterations(3)
+          ->Unit(::benchmark::kMicrosecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reach::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  reach::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation of the §3.4 graph reductions (SCARAB/ER/RCN row): how much do
+// equivalence reduction and transitive reduction shrink the graph handed
+// to an index, and what does that do to build time, index size, and query
+// latency — for a complete (PLL) and a partial (GRAIL) inner index.
+//
+// Row naming: reduction/<graph>/<pipeline>+<index>/<phase>.
+
+#include <memory>
+
+#include "bench_common.h"
+#include "graph/rng.h"
+#include "plain/registry.h"
+#include "reduction/reducing_index.h"
+
+namespace reach::bench {
+namespace {
+
+void RegisterAll() {
+  const VertexId n = 2048;
+  auto* graphs = new std::vector<GraphCase>();
+  graphs->push_back({"scalefree-d3", ScaleFreeDag(n, 3, kSeed + 130)});
+  // A redundancy-rich DAG: layered with extra shortcut edges.
+  {
+    std::vector<Edge> edges = LayeredDag(16, 128, 3, kSeed + 131).Edges();
+    Xoshiro256ss rng(kSeed + 132);
+    for (int i = 0; i < 2000; ++i) {
+      const VertexId layer = static_cast<VertexId>(rng.NextBounded(14));
+      const VertexId u =
+          layer * 128 + static_cast<VertexId>(rng.NextBounded(128));
+      const VertexId v = (layer + 2) * 128 +
+                         static_cast<VertexId>(rng.NextBounded(128));
+      edges.push_back({u, v});
+    }
+    graphs->push_back(
+        {"layered+shortcuts", Digraph::FromEdges(16 * 128, edges)});
+  }
+
+  const struct {
+    const char* name;
+    bool er;
+    bool tr;
+  } pipelines[] = {{"none", false, false},
+                   {"er", true, false},
+                   {"tr", false, true},
+                   {"er+tr", true, true}};
+
+  for (const GraphCase& gc : *graphs) {
+    auto* queries =
+        new std::vector<QueryPair>(RandomPairs(gc.graph, 1000, kSeed + 133));
+    for (const char* inner : {"pll", "grail"}) {
+      for (const auto& pipeline : pipelines) {
+        const std::string base = "reduction/" + gc.name + "/" +
+                                 pipeline.name + "+" + inner;
+        ::benchmark::RegisterBenchmark(
+            (base + "/build").c_str(),
+            [&gc, inner, pipeline](::benchmark::State& state) {
+              size_t bytes = 0, rv = 0, re = 0;
+              for (auto _ : state) {
+                ReducingIndex index(MakePlainIndex(inner), pipeline.er,
+                                    pipeline.tr);
+                index.Build(gc.graph);
+                bytes = index.IndexSizeBytes();
+                rv = index.ReducedNumVertices();
+                re = index.ReducedNumEdges();
+              }
+              state.counters["index_KB"] =
+                  static_cast<double>(bytes) / 1024.0;
+              state.counters["reduced_vertices"] = static_cast<double>(rv);
+              state.counters["reduced_edges"] = static_cast<double>(re);
+            })
+            ->Iterations(1)
+            ->Unit(::benchmark::kMillisecond);
+
+        auto built = std::make_shared<ReducingIndex>(MakePlainIndex(inner),
+                                                     pipeline.er,
+                                                     pipeline.tr);
+        built->Build(gc.graph);
+        ::benchmark::RegisterBenchmark(
+            (base + "/query_rand").c_str(),
+            [built, queries](::benchmark::State& state) {
+              RunQueryLoop(state, *queries, [&](const QueryPair& q) {
+                return built->Query(q.source, q.target);
+              });
+            })
+            ->Iterations(2)
+            ->Unit(::benchmark::kMicrosecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reach::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  reach::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

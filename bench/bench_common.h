@@ -1,0 +1,94 @@
+#ifndef REACH_BENCH_BENCH_COMMON_H_
+#define REACH_BENCH_BENCH_COMMON_H_
+
+// Shared infrastructure for the benchmark harness. Each bench binary
+// regenerates one table/figure of EXPERIMENTS.md (see DESIGN.md §3 for the
+// experiment index). Benchmarks use fixed iteration counts so a full
+// harness run stays bounded; throughput/latency land in custom counters.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/query_workload.h"
+#include "graph/digraph.h"
+#include "graph/generators.h"
+#include "graph/labeled_digraph.h"
+
+namespace reach::bench {
+
+inline constexpr uint64_t kSeed = 0xbe9c;
+
+/// A named benchmark graph.
+struct GraphCase {
+  std::string name;
+  Digraph graph;
+};
+
+/// The plain-graph roster: the structural regimes of the surveyed papers'
+/// evaluations (sparse/dense random digraphs with SCCs, random DAGs,
+/// scale-free citation-style DAGs, deep layered DAGs).
+inline std::vector<GraphCase> PlainBenchGraphs(VertexId n) {
+  return {
+      {"er-cyclic-avg4", RandomDigraph(n, 4 * static_cast<size_t>(n), kSeed)},
+      {"dag-avg4", RandomDag(n, 4 * static_cast<size_t>(n), kSeed + 1)},
+      {"scalefree-d3", ScaleFreeDag(n, 3, kSeed + 2)},
+      {"layered-deep", LayeredDag(n / 64 ? n / 64 : 1, 64, 3, kSeed + 3)},
+  };
+}
+
+/// A plain query workload split by answer class.
+struct PlainWorkload {
+  std::vector<QueryPair> random;
+  std::vector<QueryPair> positive;
+  std::vector<QueryPair> negative;
+};
+
+inline PlainWorkload MakePlainWorkload(const Digraph& g, size_t count) {
+  return {RandomPairs(g, count, kSeed + 10),
+          ReachablePairs(g, count, kSeed + 11),
+          UnreachablePairs(g, count, kSeed + 12)};
+}
+
+/// Labeled roster for the Table 2 benches.
+struct LabeledGraphCase {
+  std::string name;
+  LabeledDigraph graph;
+};
+
+inline std::vector<LabeledGraphCase> LcrBenchGraphs(VertexId n) {
+  return {
+      {"er-L4-uniform", RandomLabeledDigraph(n, 4 * static_cast<size_t>(n),
+                                             4, kSeed + 20)},
+      {"er-L8-zipf",
+       WithZipfLabels(RandomDigraph(n, 4 * static_cast<size_t>(n), kSeed + 21),
+                      8, 1.2, kSeed + 22)},
+  };
+}
+
+/// Runs `queries` through `fn` once per benchmark iteration and reports
+/// per-query latency via the benchmark's counters.
+template <typename Queries, typename Fn>
+void RunQueryLoop(::benchmark::State& state, const Queries& queries,
+                  Fn&& fn) {
+  if (queries.empty()) {
+    state.SkipWithError("empty workload");
+    return;
+  }
+  size_t positives = 0;
+  for (auto _ : state) {
+    for (const auto& q : queries) positives += fn(q) ? 1 : 0;
+  }
+  ::benchmark::DoNotOptimize(positives);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+  state.counters["true_frac"] = ::benchmark::Counter(
+      static_cast<double>(positives) /
+      (static_cast<double>(state.iterations()) * queries.size()));
+}
+
+}  // namespace reach::bench
+
+#endif  // REACH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,58 @@
+// Regenerates the §3.1/§5 scalability claims as a figure-style series:
+// build time and index size versus graph size (fixed average degree) for
+// the linear-cost partial indexes (GRAIL, Ferrari, BFL, IP) against the
+// complete indexes whose cost curves bend (PLL, tree cover, and the naive
+// TC whose quadratic size is the §2.3 infeasibility argument).
+//
+// Row naming: scalability/<index>/n=<n>.
+
+#include <memory>
+
+#include "bench_common.h"
+#include "plain/registry.h"
+
+namespace reach::bench {
+namespace {
+
+void RegisterAll() {
+  auto* graphs = new std::vector<GraphCase>();
+  for (VertexId n : {1024u, 2048u, 4096u, 8192u, 16384u}) {
+    graphs->push_back({"n=" + std::to_string(n),
+                       RandomDag(n, 4 * static_cast<size_t>(n), kSeed + 90)});
+  }
+
+  const std::vector<std::string> specs = {"grail",    "ferrari", "bfl",
+                                          "ip",       "pll",     "treecover",
+                                          "tc"};
+  for (const GraphCase& gc : *graphs) {
+    for (const std::string& spec : specs) {
+      ::benchmark::RegisterBenchmark(
+          ("scalability/" + spec + "/" + gc.name).c_str(),
+          [&gc, spec](::benchmark::State& state) {
+            size_t bytes = 0;
+            for (auto _ : state) {
+              auto index = MakePlainIndex(spec);
+              index->Build(gc.graph);
+              bytes = index->IndexSizeBytes();
+            }
+            state.counters["index_KB"] =
+                static_cast<double>(bytes) / 1024.0;
+            state.counters["bytes_per_vertex"] = ::benchmark::Counter(
+                static_cast<double>(bytes) / gc.graph.NumVertices());
+          })
+          ->Iterations(1)
+          ->Unit(::benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reach::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  reach::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Regenerates the §5 "parallel computation of indexes" direction as a
+// speedup series: GRAIL's k independent traversals built with 1, 2, 4,
+// and 8 threads on a larger DAG.
+//
+// Row naming: parallel/grail-k8/threads=<t>.
+
+#include "bench_common.h"
+#include "plain/grail.h"
+
+namespace reach::bench {
+namespace {
+
+void RegisterAll() {
+  const VertexId n = 65536;
+  auto* graph = new Digraph(
+      RandomDag(n, 4 * static_cast<size_t>(n), kSeed + 140));
+
+  for (size_t threads : {1, 2, 4, 8}) {
+    ::benchmark::RegisterBenchmark(
+        ("parallel/grail-k8/threads=" + std::to_string(threads)).c_str(),
+        [graph, threads](::benchmark::State& state) {
+          for (auto _ : state) {
+            Grail index(/*k=*/8, /*seed=*/7, threads);
+            index.Build(*graph);
+            ::benchmark::DoNotOptimize(index.IndexSizeBytes());
+          }
+          state.counters["threads"] = static_cast<double>(threads);
+        })
+        ->Iterations(2)
+        ->Unit(::benchmark::kMillisecond)
+        ->MeasureProcessCPUTime()
+        ->UseRealTime();
+  }
+}
+
+}  // namespace
+}  // namespace reach::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  reach::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

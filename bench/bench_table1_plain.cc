@@ -1,0 +1,113 @@
+// Regenerates Table 1 of the survey as an *empirical* comparison matrix:
+// for every implemented plain reachability index (plus the §2.3 online
+// baselines), on every benchmark graph family: build time, index size, and
+// per-query latency on positive / negative / random workloads. Cyclic
+// inputs additionally exercise the Input column (the §3.1 SCC reduction).
+//
+// Row naming: table1/<graph>/<index>/<phase>.
+
+#include <cstdlib>
+#include <memory>
+
+#include "bench_common.h"
+#include "plain/registry.h"
+
+namespace reach::bench {
+namespace {
+
+struct BuiltIndex {
+  std::unique_ptr<ReachabilityIndex> index;
+  const Digraph* graph;
+};
+
+VertexId BenchN() {
+  if (const char* env = std::getenv("REACH_BENCH_N")) {
+    return static_cast<VertexId>(std::strtoul(env, nullptr, 10));
+  }
+  return 2048;
+}
+
+void RegisterAll() {
+  const VertexId n = BenchN();
+  auto* graphs = new std::vector<GraphCase>(PlainBenchGraphs(n));
+  auto* workloads = new std::vector<PlainWorkload>();
+  for (const GraphCase& gc : *graphs) {
+    workloads->push_back(MakePlainWorkload(gc.graph, 1000));
+  }
+
+  for (size_t gi = 0; gi < graphs->size(); ++gi) {
+    const GraphCase& gc = (*graphs)[gi];
+    const PlainWorkload& wl = (*workloads)[gi];
+    for (const std::string& spec : DefaultPlainIndexSpecs()) {
+      // Dual labeling is designed for graphs with very few non-tree edges
+      // (§3.1); on dense random inputs its O(t^2) link closure is the
+      // documented anti-pattern, so benchmark it only where it is meant
+      // to run.
+      if (spec == "dual" && gc.name != "layered-deep") continue;
+
+      const std::string base = "table1/" + gc.name + "/" + spec;
+      // Build phase: fresh index per iteration.
+      ::benchmark::RegisterBenchmark(
+          (base + "/build").c_str(),
+          [&gc, spec](::benchmark::State& state) {
+            size_t bytes = 0;
+            bool complete = false;
+            for (auto _ : state) {
+              auto index = MakePlainIndex(spec);
+              index->Build(gc.graph);
+              bytes = index->IndexSizeBytes();
+              complete = index->IsComplete();
+            }
+            state.counters["index_KB"] =
+                static_cast<double>(bytes) / 1024.0;
+            state.counters["complete"] = complete ? 1 : 0;
+            state.counters["vertices"] = static_cast<double>(
+                gc.graph.NumVertices());
+            state.counters["edges"] =
+                static_cast<double>(gc.graph.NumEdges());
+          })
+          ->Iterations(1)
+          ->Unit(::benchmark::kMillisecond);
+
+      // Query phases share one pre-built index.
+      auto built = std::make_shared<BuiltIndex>();
+      auto ensure_built = [built, &gc, spec]() {
+        if (built->index == nullptr) {
+          built->index = MakePlainIndex(spec);
+          built->index->Build(gc.graph);
+          built->graph = &gc.graph;
+        }
+      };
+      const struct {
+        const char* name;
+        const std::vector<QueryPair>* queries;
+      } phases[] = {{"query_pos", &wl.positive},
+                    {"query_neg", &wl.negative},
+                    {"query_rand", &wl.random}};
+      for (const auto& phase : phases) {
+        ::benchmark::RegisterBenchmark(
+            (base + "/" + phase.name).c_str(),
+            [ensure_built, built, queries = phase.queries](
+                ::benchmark::State& state) {
+              ensure_built();
+              RunQueryLoop(state, *queries, [&](const QueryPair& q) {
+                return built->index->Query(q.source, q.target);
+              });
+            })
+            ->Iterations(2)
+            ->Unit(::benchmark::kMicrosecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reach::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  reach::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Regenerates the alternation rows of Table 2 as an empirical matrix:
+// GTC (Zou et al.), landmark (Valstar et al.), labeled 2-hop (P2H+), and
+// the constrained-BFS baseline — build time, index size, and query latency
+// on positive / random LCR workloads with narrow and wide label masks.
+//
+// Row naming: table2/<graph>/<index>/<phase>.
+
+#include <memory>
+
+#include "bench_common.h"
+#include "lcr/lcr_registry.h"
+
+namespace reach::bench {
+namespace {
+
+struct BuiltLcr {
+  std::unique_ptr<LcrIndex> index;
+};
+
+void RegisterAll() {
+  const VertexId n = 1024;
+  auto* graphs = new std::vector<LabeledGraphCase>(LcrBenchGraphs(n));
+
+  for (const LabeledGraphCase& gc : *graphs) {
+    const Label narrow = 2;
+    const Label wide = gc.graph.NumLabels() - 1;
+    auto* pos = new std::vector<LcrQuery>(
+        ReachableLcrQueries(gc.graph, 500, narrow, kSeed + 50));
+    auto* rand_narrow = new std::vector<LcrQuery>(
+        RandomLcrQueries(gc.graph, 500, narrow, kSeed + 51));
+    auto* rand_wide = new std::vector<LcrQuery>(
+        RandomLcrQueries(gc.graph, 500, wide, kSeed + 52));
+
+    for (const std::string& spec : DefaultLcrIndexSpecs()) {
+      // The full GTC materialization is quadratic in pairs and blows up
+      // with the label count; keep it to the 4-label graph (its cost story
+      // is exactly the survey's point about complete GTC indexes).
+      if ((spec == "gtc" || spec == "jin-tree") &&
+          gc.graph.NumLabels() > 4) {
+        continue;
+      }
+      const std::string base = "table2/" + gc.name + "/" + spec;
+      ::benchmark::RegisterBenchmark(
+          (base + "/build").c_str(),
+          [&gc, spec](::benchmark::State& state) {
+            size_t bytes = 0;
+            for (auto _ : state) {
+              auto index = MakeLcrIndex(spec);
+              index->Build(gc.graph);
+              bytes = index->IndexSizeBytes();
+            }
+            state.counters["index_KB"] =
+                static_cast<double>(bytes) / 1024.0;
+          })
+          ->Iterations(1)
+          ->Unit(::benchmark::kMillisecond);
+
+      auto built = std::make_shared<BuiltLcr>();
+      auto ensure_built = [built, &gc, spec]() {
+        if (built->index == nullptr) {
+          built->index = MakeLcrIndex(spec);
+          built->index->Build(gc.graph);
+        }
+      };
+      const struct {
+        const char* name;
+        const std::vector<LcrQuery>* queries;
+      } phases[] = {{"query_pos", pos},
+                    {"query_rand_narrow", rand_narrow},
+                    {"query_rand_wide", rand_wide}};
+      for (const auto& phase : phases) {
+        ::benchmark::RegisterBenchmark(
+            (base + "/" + phase.name).c_str(),
+            [ensure_built, built, queries = phase.queries](
+                ::benchmark::State& state) {
+              ensure_built();
+              RunQueryLoop(state, *queries, [&](const LcrQuery& q) {
+                return built->index->Query(q.source, q.target, q.allowed);
+              });
+            })
+            ->Iterations(2)
+            ->Unit(::benchmark::kMicrosecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reach::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  reach::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

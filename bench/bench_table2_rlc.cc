@@ -1,0 +1,92 @@
+// Regenerates the concatenation row of Table 2 (the RLC index [52]):
+// indexed Kleene-sequence lookups versus the online product-automaton BFS,
+// for sequence lengths 1..3, plus build cost per template.
+//
+// Row naming: table2rlc/<graph>/<engine>/<sequence>.
+
+#include <memory>
+
+#include "bench_common.h"
+#include "graph/rng.h"
+#include "rlc/rlc_index.h"
+#include "rlc/rlc_product_bfs.h"
+
+namespace reach::bench {
+namespace {
+
+std::vector<QueryPair> Pairs(VertexId n, size_t count, uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  std::vector<QueryPair> pairs;
+  for (size_t i = 0; i < count; ++i) {
+    pairs.push_back({static_cast<VertexId>(rng.NextBounded(n)),
+                     static_cast<VertexId>(rng.NextBounded(n))});
+  }
+  return pairs;
+}
+
+std::string SeqName(const KleeneSequence& seq) {
+  std::string out = "seq";
+  for (Label l : seq) out += std::to_string(l);
+  return out;
+}
+
+void RegisterAll() {
+  const VertexId n = 1024;
+  auto* graph = new LabeledDigraph(
+      RandomLabeledDigraph(n, 4 * static_cast<size_t>(n), 4, kSeed + 60));
+  auto* templates = new std::vector<KleeneSequence>{
+      {0}, {0, 1}, {2, 3}, {0, 1, 2}};
+  auto* queries = new std::vector<QueryPair>(Pairs(n, 500, kSeed + 61));
+
+  ::benchmark::RegisterBenchmark(
+      "table2rlc/er-L4/rlc-index/build_all_templates",
+      [=](::benchmark::State& state) {
+        size_t bytes = 0;
+        for (auto _ : state) {
+          RlcIndex index;
+          index.Build(*graph, *templates);
+          bytes = index.IndexSizeBytes();
+        }
+        state.counters["index_KB"] = static_cast<double>(bytes) / 1024.0;
+        state.counters["templates"] =
+            static_cast<double>(templates->size());
+      })
+      ->Iterations(1)
+      ->Unit(::benchmark::kMillisecond);
+
+  auto* built = new RlcIndex();
+  built->Build(*graph, *templates);
+  for (const KleeneSequence& seq : *templates) {
+    ::benchmark::RegisterBenchmark(
+        ("table2rlc/er-L4/rlc-index/" + SeqName(seq)).c_str(),
+        [=](::benchmark::State& state) {
+          RunQueryLoop(state, *queries, [&](const QueryPair& q) {
+            return built->Query(q.source, q.target, seq);
+          });
+        })
+        ->Iterations(2)
+        ->Unit(::benchmark::kMicrosecond);
+    ::benchmark::RegisterBenchmark(
+        ("table2rlc/er-L4/product-bfs/" + SeqName(seq)).c_str(),
+        [=](::benchmark::State& state) {
+          SearchWorkspace ws;
+          RunQueryLoop(state, *queries, [&](const QueryPair& q) {
+            return RlcProductBfsReachability(*graph, q.source, q.target, seq,
+                                             ws);
+          });
+        })
+        ->Iterations(2)
+        ->Unit(::benchmark::kMicrosecond);
+  }
+}
+
+}  // namespace
+}  // namespace reach::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  reach::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

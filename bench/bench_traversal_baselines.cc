@@ -1,0 +1,116 @@
+// Regenerates the §2.3 claims: online traversal "visits a large portion of
+// the graph" (vertex-visit counters per query class, BiBFS's advantage on
+// negatives), and indexes answer "an order of magnitude faster than using
+// only graph traversal" (§3.1) — BFS/DFS/BiBFS latency side by side with a
+// complete (PLL) and a partial (BFL) index on the same workloads.
+//
+// Row naming: traversal/<graph>/<engine>/<class>.
+
+#include <memory>
+
+#include "bench_common.h"
+#include "plain/registry.h"
+#include "traversal/online_search.h"
+
+namespace reach::bench {
+namespace {
+
+void RegisterVisitCounter(const std::string& name, const Digraph& graph,
+                          TraversalKind kind,
+                          const std::vector<QueryPair>& queries) {
+  ::benchmark::RegisterBenchmark(
+      name.c_str(), [&graph, kind, &queries](::benchmark::State& state) {
+        SearchWorkspace ws;
+        size_t total_visited = 0;
+        size_t positives = 0;
+        for (auto _ : state) {
+          for (const QueryPair& q : queries) {
+            size_t visited = 0;
+            bool result = false;
+            switch (kind) {
+              case TraversalKind::kBfs:
+                result =
+                    BfsReachability(graph, q.source, q.target, ws, &visited);
+                break;
+              case TraversalKind::kDfs:
+                result =
+                    DfsReachability(graph, q.source, q.target, ws, &visited);
+                break;
+              case TraversalKind::kBiBfs:
+                result = BiBfsReachability(graph, q.source, q.target, ws,
+                                           &visited);
+                break;
+            }
+            total_visited += visited;
+            positives += result;
+          }
+        }
+        ::benchmark::DoNotOptimize(positives);
+        state.SetItemsProcessed(state.iterations() *
+                                static_cast<int64_t>(queries.size()));
+        state.counters["visited_per_query"] = ::benchmark::Counter(
+            static_cast<double>(total_visited) /
+            (static_cast<double>(state.iterations()) * queries.size()));
+        state.counters["graph_fraction"] = ::benchmark::Counter(
+            static_cast<double>(total_visited) /
+            (static_cast<double>(state.iterations()) * queries.size() *
+             graph.NumVertices()));
+      })
+      ->Iterations(2)
+      ->Unit(::benchmark::kMicrosecond);
+}
+
+void RegisterAll() {
+  const VertexId n = 4096;
+  auto* graph = new Digraph(
+      RandomDigraph(n, 4 * static_cast<size_t>(n), kSeed + 80));
+  auto* wl = new PlainWorkload(MakePlainWorkload(*graph, 500));
+
+  const struct {
+    const char* name;
+    TraversalKind kind;
+  } engines[] = {{"bfs", TraversalKind::kBfs},
+                 {"dfs", TraversalKind::kDfs},
+                 {"bibfs", TraversalKind::kBiBfs}};
+  const struct {
+    const char* name;
+    const std::vector<QueryPair>* queries;
+  } classes[] = {{"pos", &wl->positive},
+                 {"neg", &wl->negative},
+                 {"rand", &wl->random}};
+  for (const auto& engine : engines) {
+    for (const auto& qc : classes) {
+      RegisterVisitCounter(std::string("traversal/er-avg4/") + engine.name +
+                               "/" + qc.name,
+                           *graph, engine.kind, *qc.queries);
+    }
+  }
+
+  // The index side of the §3.1 ">= 10x" comparison.
+  for (const char* spec : {"pll", "bfl", "grail"}) {
+    auto index = std::shared_ptr<ReachabilityIndex>(MakePlainIndex(spec));
+    index->Build(*graph);
+    for (const auto& qc : classes) {
+      ::benchmark::RegisterBenchmark(
+          (std::string("traversal/er-avg4/") + spec + "/" + qc.name).c_str(),
+          [index, queries = qc.queries](::benchmark::State& state) {
+            RunQueryLoop(state, *queries, [&](const QueryPair& q) {
+              return index->Query(q.source, q.target);
+            });
+          })
+          ->Iterations(2)
+          ->Unit(::benchmark::kMicrosecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reach::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  reach::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

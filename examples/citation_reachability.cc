@@ -1,0 +1,64 @@
+// Plain reachability on a citation-network-shaped DAG (the scale-free,
+// younger-cites-older regime): which index to pick, and why — a
+// miniature, runnable version of the survey's Table 1 decision.
+//
+//   $ ./citation_reachability
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "core/index_stats.h"
+#include "core/query_workload.h"
+#include "graph/generators.h"
+#include "plain/registry.h"
+
+int main() {
+  using namespace reach;
+
+  // A 100k-paper citation graph: each paper cites ~4 earlier papers,
+  // preferentially well-cited ones.
+  const VertexId n = 100000;
+  const Digraph citations = ScaleFreeDag(n, 4, /*seed=*/11);
+  std::printf("citation DAG: %zu papers, %zu citations\n\n",
+              citations.NumVertices(), citations.NumEdges());
+
+  const auto random_queries = RandomPairs(citations, 20000, 5);
+  const auto positive_queries = ReachablePairs(citations, 20000, 6);
+
+  std::printf("%-14s %10s %12s %14s %14s\n", "index", "build_ms", "size_KiB",
+              "rand_q_ns", "pos_q_ns");
+  for (const char* spec : {"bibfs", "grail", "ferrari", "bfl", "ip",
+                           "feline", "preach", "oreach", "pll"}) {
+    auto index = MakePlainIndex(spec);
+    Stopwatch build_timer;
+    index->Build(citations);
+    const double build_ms = build_timer.Elapsed().count() / 1e6;
+
+    Stopwatch rand_timer;
+    size_t hits = 0;
+    for (const QueryPair& q : random_queries) {
+      hits += index->Query(q.source, q.target);
+    }
+    const double rand_ns =
+        static_cast<double>(rand_timer.Elapsed().count()) /
+        random_queries.size();
+
+    Stopwatch pos_timer;
+    for (const QueryPair& q : positive_queries) {
+      hits += index->Query(q.source, q.target);
+    }
+    const double pos_ns = static_cast<double>(pos_timer.Elapsed().count()) /
+                          positive_queries.size();
+    std::printf("%-14s %10.1f %12zu %14.0f %14.0f\n", index->Name().c_str(),
+                build_ms, index->IndexSizeBytes() / 1024, rand_ns, pos_ns);
+    if (hits == 0) std::printf("(no reachable pairs?)\n");
+  }
+
+  std::printf(
+      "\nreading the table: partial indexes (grail/ferrari/bfl/ip/...) "
+      "build in\nmilliseconds and stay small; the complete 2-hop (pll) "
+      "pays a bigger build\nfor pure-lookup queries — the survey's Table 1 "
+      "trade-off in one screen.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Dynamic graphs (the Table 1/2 "Dynamic" column and the §5 open
+// challenge): maintain reachability indexes under a live edge stream —
+// financial-transaction style (money-laundering detection needs fresh
+// reachability over arriving transfer edges).
+//
+//   $ ./dynamic_stream
+
+#include <cstdio>
+
+#include "core/index_stats.h"
+#include "graph/generators.h"
+#include "graph/rng.h"
+#include "plain/dbl.h"
+#include "plain/pruned_two_hop.h"
+#include "traversal/online_search.h"
+
+int main() {
+  using namespace reach;
+
+  const VertexId n = 2000;
+  const Digraph base = RandomDigraph(n, 2 * static_cast<size_t>(n), 99);
+  std::printf("account graph: %zu accounts, %zu transfers (before stream)\n",
+              base.NumVertices(), base.NumEdges());
+
+  PrunedTwoHop tol(VertexOrder::kDegree);  // complete, TOL-style inserts
+  Dbl dbl;                                 // partial, insert-only by design
+  OnlineSearch oracle(TraversalKind::kBiBfs);
+  tol.Build(base);
+  dbl.Build(base);
+  oracle.Build(base);
+
+  // Interleaved stream: 400 new transfer edges + a reachability probe
+  // after each (can account s move funds, possibly indirectly, to t?).
+  Xoshiro256ss rng(1234);
+  Stopwatch total;
+  size_t alerts = 0, disagreements = 0;
+  std::vector<Edge> all_edges = base.Edges();
+  for (int step = 0; step < 400; ++step) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    tol.InsertEdge(u, v);
+    dbl.InsertEdge(u, v);
+    all_edges.push_back({u, v});
+
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId t = static_cast<VertexId>(rng.NextBounded(n));
+    const bool a = tol.Query(s, t);
+    const bool b = dbl.Query(s, t);
+    if (a) ++alerts;
+    if (a != b) ++disagreements;
+  }
+  const double ms = total.Elapsed().count() / 1e6;
+  std::printf("stream of 400 inserts + 400 probes: %.1f ms total "
+              "(%.1f us per insert+probe)\n",
+              ms, 1000.0 * ms / 400.0);
+  std::printf("probes answered true: %zu; tol vs dbl disagreements: %zu\n",
+              alerts, disagreements);
+
+  // Verify the final state against a from-scratch oracle.
+  const Digraph final_graph = Digraph::FromEdges(n, all_edges);
+  OnlineSearch fresh(TraversalKind::kBiBfs);
+  fresh.Build(final_graph);
+  Xoshiro256ss check_rng(777);
+  size_t wrong = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const VertexId s = static_cast<VertexId>(check_rng.NextBounded(n));
+    const VertexId t = static_cast<VertexId>(check_rng.NextBounded(n));
+    if (tol.Query(s, t) != fresh.Query(s, t)) ++wrong;
+    if (dbl.Query(s, t) != fresh.Query(s, t)) ++wrong;
+  }
+  std::printf("post-stream validation against rebuilt oracle: %zu wrong "
+              "answers out of 4000 checks\n",
+              wrong);
+  return wrong == 0 ? 0 : 1;
+}

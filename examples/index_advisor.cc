@@ -1,0 +1,69 @@
+// The survey's Table 1 as an optimizer: profile a graph, let AutoIndex
+// choose a technique, and sanity-check the choice against two
+// alternatives — the §5 "integration into GDBMSs" workflow in miniature.
+//
+//   $ ./index_advisor                 # built-in demo graphs
+//   $ ./index_advisor <edge-list>     # your own SNAP-style file
+
+#include <cstdio>
+#include <memory>
+
+#include "core/index_stats.h"
+#include "core/query_workload.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "plain/auto_index.h"
+#include "plain/registry.h"
+
+namespace {
+
+void Advise(const std::string& name, const reach::Digraph& graph) {
+  using namespace reach;
+  std::printf("=== %s ===\n", name.c_str());
+  const GraphStats stats = ComputeGraphStats(graph);
+  std::printf("%s\n", GraphStatsToString(stats).c_str());
+
+  AutoIndex auto_index;
+  Stopwatch build_timer;
+  auto_index.Build(graph);
+  std::printf("chosen: %s — %s\n", auto_index.choice().spec.c_str(),
+              auto_index.choice().rationale.c_str());
+
+  // Compare the choice against a complete and a traversal alternative.
+  const auto queries = RandomPairs(graph, 5000, 1);
+  auto measure = [&](ReachabilityIndex& index, const char* label) {
+    Stopwatch t;
+    size_t hits = 0;
+    for (const QueryPair& q : queries) hits += index.Query(q.source, q.target);
+    std::printf("  %-16s %8.0f ns/query  (size %zu KiB, %zu hits)\n", label,
+                static_cast<double>(t.Elapsed().count()) / queries.size(),
+                index.IndexSizeBytes() / 1024, hits);
+  };
+  measure(auto_index, auto_index.Name().c_str());
+  auto bibfs = MakePlainIndex("bibfs");
+  bibfs->Build(graph);
+  measure(*bibfs, "bibfs");
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace reach;
+  if (argc > 1) {
+    std::string error;
+    auto graph = ReadEdgeListFile(argv[1], &error);
+    if (!graph) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    Advise(argv[1], *graph);
+    return 0;
+  }
+  Advise("random tree (50k)", RandomTree(50000, 1));
+  Advise("small dense digraph (2k, avg 8)", RandomDigraph(2000, 16000, 2));
+  Advise("large citation DAG (60k, scale-free)", ScaleFreeDag(60000, 4, 3));
+  Advise("deep layered DAG (32k)", LayeredDag(512, 64, 3, 4));
+  return 0;
+}

@@ -1,0 +1,163 @@
+// A small command-line reachability service — the library as a downstream
+// user would deploy it: load a SNAP-style edge list, build an index chosen
+// by name, then answer queries from stdin. Demonstrates file I/O, the
+// index registry, LCR constraints, and 2-hop persistence.
+//
+// Usage:
+//   reach_cli <edge-list-file> [index-spec]          # plain graphs
+//   reach_cli --labeled <edge-list-file>             # labeled graphs (p2h)
+//   reach_cli --demo                                 # built-in demo graph
+//
+// Query language on stdin, one per line:
+//   <s> <t>              plain reachability Qr(s, t)
+//   <s> <t> <l0,l1,...>  LCR query (labeled mode): labels allowed
+//   save <file> / load <file>   persist / restore (pll indexes only)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/index_stats.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "lcr/label_set.h"
+#include "lcr/pruned_labeled_two_hop.h"
+#include "plain/pruned_two_hop.h"
+#include "plain/registry.h"
+
+namespace {
+
+int RunPlain(const reach::Digraph& graph, const std::string& spec) {
+  using namespace reach;
+  auto index = MakePlainIndex(spec);
+  if (index == nullptr) {
+    std::fprintf(stderr, "unknown index spec '%s'\n", spec.c_str());
+    return 1;
+  }
+  Stopwatch timer;
+  index->Build(graph);
+  std::fprintf(stderr,
+               "built %s in %.1f ms (%zu KiB) over %zu vertices / %zu "
+               "edges; enter queries: <s> <t>\n",
+               index->Name().c_str(), timer.Elapsed().count() / 1e6,
+               index->IndexSizeBytes() / 1024, graph.NumVertices(),
+               graph.NumEdges());
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream fields(line);
+    std::string first;
+    if (!(fields >> first)) continue;
+    if (first == "save" || first == "load") {
+      auto* pll = dynamic_cast<PrunedTwoHop*>(index.get());
+      std::string path;
+      if (pll == nullptr || !(fields >> path)) {
+        std::printf("error: save/load needs a pll index and a path\n");
+        continue;
+      }
+      if (first == "save") {
+        std::ofstream out(path, std::ios::binary);
+        std::printf(pll->Save(out) ? "saved %s\n" : "error saving %s\n",
+                    path.c_str());
+      } else {
+        std::ifstream in(path, std::ios::binary);
+        std::printf(pll->Load(in) ? "loaded %s\n" : "error loading %s\n",
+                    path.c_str());
+      }
+      continue;
+    }
+    VertexId s = 0, t = 0;
+    try {
+      s = static_cast<VertexId>(std::stoul(first));
+    } catch (...) {
+      std::printf("error: bad query '%s'\n", line.c_str());
+      continue;
+    }
+    if (!(fields >> t) || s >= graph.NumVertices() ||
+        t >= graph.NumVertices()) {
+      std::printf("error: bad query '%s'\n", line.c_str());
+      continue;
+    }
+    std::printf("%s\n", index->Query(s, t) ? "true" : "false");
+  }
+  return 0;
+}
+
+int RunLabeled(const reach::LabeledDigraph& graph) {
+  using namespace reach;
+  PrunedLabeledTwoHop index;
+  Stopwatch timer;
+  index.Build(graph);
+  std::fprintf(stderr,
+               "built p2h in %.1f ms (%zu entries) over %zu vertices / %zu "
+               "labeled edges / %u labels; queries: <s> <t> <l0,l1,...>\n",
+               timer.Elapsed().count() / 1e6, index.TotalEntries(),
+               graph.NumVertices(), graph.NumEdges(), graph.NumLabels());
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream fields(line);
+    VertexId s = 0, t = 0;
+    std::string labels;
+    if (!(fields >> s >> t >> labels) || s >= graph.NumVertices() ||
+        t >= graph.NumVertices()) {
+      std::printf("error: bad query '%s'\n", line.c_str());
+      continue;
+    }
+    LabelSet mask = 0;
+    std::istringstream label_fields(labels);
+    std::string token;
+    bool ok = true;
+    while (std::getline(label_fields, token, ',')) {
+      try {
+        const unsigned long l = std::stoul(token);
+        if (l >= graph.NumLabels()) ok = false;
+        if (ok) mask |= LabelBit(static_cast<Label>(l));
+      } catch (...) {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      std::printf("error: bad labels '%s'\n", labels.c_str());
+      continue;
+    }
+    std::printf("%s\n", index.Query(s, t, mask) ? "true" : "false");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace reach;
+  if (argc >= 2 && std::strcmp(argv[1], "--demo") == 0) {
+    return RunPlain(ScaleFreeDag(10000, 3, 1), argc > 2 ? argv[2] : "pll");
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "--labeled") == 0) {
+    std::string error;
+    auto graph = ReadLabeledEdgeListFile(argv[2], &error);
+    if (!graph) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    return RunLabeled(*graph);
+  }
+  if (argc >= 2) {
+    std::string error;
+    auto graph = ReadEdgeListFile(argv[1], &error);
+    if (!graph) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    return RunPlain(*graph, argc > 2 ? argv[2] : "pll");
+  }
+  std::fprintf(stderr,
+               "usage: reach_cli <edge-list> [index-spec]\n"
+               "       reach_cli --labeled <edge-list>\n"
+               "       reach_cli --demo [index-spec]\n");
+  return 1;
+}

@@ -1,0 +1,60 @@
+// Regular path queries end to end (the §2.2 query class and the §5
+// "general path constraints" challenge): parse a constraint expression,
+// compile it to a DFA, and evaluate it on a protein-interaction-style
+// labeled graph (the §4.1 motivation: "analyzing interaction pathways of
+// proteins in biological networks").
+//
+//   $ ./rpq_playground '(binds|activates)*.inhibits'    # optional argv[1]
+
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "rpq/rpq_evaluator.h"
+
+int main(int argc, char** argv) {
+  using namespace reach;
+
+  const std::vector<std::string> names = {"binds", "activates", "inhibits"};
+  const VertexId n = 3000;
+  LabeledDigraph pathways = WithZipfLabels(
+      RandomDigraph(n, 5 * static_cast<size_t>(n), 4242), 3, 1.0, 17);
+  pathways.set_label_names(names);
+  std::printf("pathway graph: %zu proteins, %zu typed interactions\n\n",
+              pathways.NumVertices(), pathways.NumEdges());
+
+  const std::vector<std::string> patterns =
+      argc > 1 ? std::vector<std::string>{argv[1]}
+               : std::vector<std::string>{
+                     "(binds)*",
+                     "(binds|activates)*",
+                     "(binds.activates)*",
+                     "activates+.inhibits",
+                     "(binds|activates)*.inhibits.(binds)*",
+                 };
+
+  for (const std::string& pattern : patterns) {
+    std::string error;
+    auto query = RpqQuery::Compile(pattern, names, 3, &error);
+    if (query == nullptr) {
+      std::printf("%-42s parse error: %s\n", pattern.c_str(), error.c_str());
+      continue;
+    }
+    // How selective is this constraint over a fixed probe set?
+    size_t matched = 0;
+    const size_t probes = 500;
+    for (size_t i = 0; i < probes; ++i) {
+      const VertexId s = static_cast<VertexId>((i * 97) % n);
+      const VertexId t = static_cast<VertexId>((i * 131 + 7) % n);
+      matched += query->Evaluate(pathways, s, t);
+    }
+    std::printf("%-42s dfa_states=%-3zu matched %zu / %zu probe pairs\n",
+                pattern.c_str(), query->dfa().NumStates(), matched, probes);
+  }
+
+  std::printf(
+      "\nalternation-star and concatenation-star rows of this table are\n"
+      "exactly the classes Table 2's indexes accelerate; the mixed\n"
+      "expressions are the §5 open challenge — only the FA-guided\n"
+      "traversal evaluates them today.\n");
+  return 0;
+}

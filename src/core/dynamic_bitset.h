@@ -1,0 +1,76 @@
+#ifndef REACH_CORE_DYNAMIC_BITSET_H_
+#define REACH_CORE_DYNAMIC_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reach {
+
+/// A fixed-size bitset sized at runtime. Used for transitive-closure rows,
+/// dual-labeling link closures, and visited sets where epochs don't fit.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Creates a bitset of `num_bits` bits, all clear.
+  explicit DynamicBitset(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  /// Number of bits.
+  size_t size() const { return num_bits_; }
+
+  /// Sets bit `i`.
+  void Set(size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+
+  /// Clears bit `i`.
+  void Reset(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  /// Tests bit `i`.
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Clears all bits.
+  void Clear() { words_.assign(words_.size(), 0); }
+
+  /// Bitwise-ors `other` into this bitset; sizes must match. Returns true
+  /// iff any bit changed (used for fixpoint TC computation).
+  bool UnionWith(const DynamicBitset& other) {
+    bool changed = false;
+    for (size_t w = 0; w < words_.size(); ++w) {
+      const uint64_t merged = words_[w] | other.words_[w];
+      changed |= merged != words_[w];
+      words_[w] = merged;
+    }
+    return changed;
+  }
+
+  /// True iff every set bit of this bitset is also set in `other`.
+  bool IsSubsetOf(const DynamicBitset& other) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      if ((words_[w] & ~other.words_[w]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t count = 0;
+    for (uint64_t w : words_) count += static_cast<size_t>(__builtin_popcountll(w));
+    return count;
+  }
+
+  /// Heap bytes held by this bitset.
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  friend bool operator==(const DynamicBitset&, const DynamicBitset&) = default;
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_CORE_DYNAMIC_BITSET_H_

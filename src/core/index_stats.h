@@ -1,0 +1,41 @@
+#ifndef REACH_CORE_INDEX_STATS_H_
+#define REACH_CORE_INDEX_STATS_H_
+
+#include <chrono>
+#include <cstddef>
+
+namespace reach {
+
+/// Build-time/size statistics reported alongside every index, matching the
+/// columns of the survey's comparisons (indexing time, index size).
+struct IndexStats {
+  /// Wall-clock build time.
+  std::chrono::nanoseconds build_time{0};
+  /// Index footprint in bytes (labels only).
+  size_t size_bytes = 0;
+  /// Number of label entries / intervals / hops, technique-specific.
+  size_t num_entries = 0;
+};
+
+/// Small stopwatch for measuring build and query phases.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Nanoseconds since construction or the last Reset().
+  std::chrono::nanoseconds Elapsed() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+        Clock::now() - start_);
+  }
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_CORE_INDEX_STATS_H_

@@ -1,0 +1,154 @@
+#include "core/query_workload.h"
+
+#include <algorithm>
+
+#include "core/search_workspace.h"
+#include "graph/rng.h"
+
+namespace reach {
+
+namespace {
+
+// Local unlabeled BFS reachability check (kept here so core/ does not
+// depend on traversal/).
+bool BfsReaches(const Digraph& graph, VertexId s, VertexId t,
+                SearchWorkspace& ws) {
+  if (s == t) return true;
+  ws.Prepare(graph.NumVertices());
+  ws.MarkForward(s);
+  auto& queue = ws.queue();
+  queue.push_back(s);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    for (VertexId w : graph.OutNeighbors(queue[head])) {
+      if (w == t) return true;
+      if (ws.MarkForward(w)) queue.push_back(w);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<QueryPair> RandomPairs(const Digraph& graph, size_t count,
+                                   uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  const size_t n = graph.NumVertices();
+  std::vector<QueryPair> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count && n > 0; ++i) {
+    queries.push_back({static_cast<VertexId>(rng.NextBounded(n)),
+                       static_cast<VertexId>(rng.NextBounded(n))});
+  }
+  return queries;
+}
+
+std::vector<QueryPair> ReachablePairs(const Digraph& graph, size_t count,
+                                      uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  const size_t n = graph.NumVertices();
+  std::vector<QueryPair> queries;
+  queries.reserve(count);
+  while (queries.size() < count && n > 0) {
+    // Random walk of random length from a random start.
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId start = v;
+    const size_t steps = 1 + rng.NextBounded(16);
+    bool moved = false;
+    for (size_t i = 0; i < steps; ++i) {
+      auto nbrs = graph.OutNeighbors(v);
+      if (nbrs.empty()) break;
+      v = nbrs[rng.NextBounded(nbrs.size())];
+      moved = true;
+    }
+    if (moved) {
+      queries.push_back({start, v});
+    } else if (graph.NumEdges() == 0) {
+      queries.push_back({start, start});  // degenerate graph: only (v, v)
+    }
+  }
+  return queries;
+}
+
+std::vector<QueryPair> UnreachablePairs(const Digraph& graph, size_t count,
+                                        uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  const size_t n = graph.NumVertices();
+  std::vector<QueryPair> queries;
+  queries.reserve(count);
+  SearchWorkspace ws;
+  size_t attempts = 0;
+  const size_t max_attempts = 64 * count + 1024;
+  while (queries.size() < count && attempts < max_attempts && n > 1) {
+    ++attempts;
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId t = static_cast<VertexId>(rng.NextBounded(n));
+    if (s == t || BfsReaches(graph, s, t, ws)) continue;
+    queries.push_back({s, t});
+  }
+  return queries;
+}
+
+std::vector<LcrQuery> RandomLcrQueries(const LabeledDigraph& graph,
+                                       size_t count, Label labels_per_query,
+                                       uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  const size_t n = graph.NumVertices();
+  const Label num_labels = graph.NumLabels();
+  labels_per_query = std::min(labels_per_query, num_labels);
+  std::vector<LcrQuery> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count && n > 0 && num_labels > 0; ++i) {
+    LabelSet mask = 0;
+    while (static_cast<Label>(__builtin_popcount(mask)) < labels_per_query) {
+      mask |= LabelSet{1} << rng.NextBounded(num_labels);
+    }
+    queries.push_back({static_cast<VertexId>(rng.NextBounded(n)),
+                       static_cast<VertexId>(rng.NextBounded(n)), mask});
+  }
+  return queries;
+}
+
+std::vector<LcrQuery> ReachableLcrQueries(const LabeledDigraph& graph,
+                                          size_t count,
+                                          Label labels_per_query,
+                                          uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  const size_t n = graph.NumVertices();
+  const Label num_labels = graph.NumLabels();
+  labels_per_query = std::min(labels_per_query, num_labels);
+  std::vector<LcrQuery> queries;
+  queries.reserve(count);
+  size_t attempts = 0;
+  const size_t max_attempts = 64 * count + 1024;
+  while (queries.size() < count && attempts < max_attempts && n > 0 &&
+         num_labels > 0) {
+    ++attempts;
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId start = v;
+    LabelSet used = 0;
+    const size_t steps = 1 + rng.NextBounded(16);
+    for (size_t i = 0; i < steps; ++i) {
+      auto arcs = graph.OutArcs(v);
+      if (arcs.empty()) break;
+      const auto& arc = arcs[rng.NextBounded(arcs.size())];
+      // Keep the constraint narrow: prefer staying within labels already
+      // used once the budget is reached.
+      const LabelSet bit = LabelSet{1} << arc.label;
+      if ((used | bit) != used &&
+          static_cast<Label>(__builtin_popcount(used)) >= labels_per_query) {
+        break;
+      }
+      used |= bit;
+      v = arc.vertex;
+    }
+    if (used == 0) continue;
+    // Widen the mask to exactly labels_per_query labels when possible.
+    while (static_cast<Label>(__builtin_popcount(used)) < labels_per_query) {
+      used |= LabelSet{1} << rng.NextBounded(num_labels);
+    }
+    queries.push_back({start, v, used});
+  }
+  return queries;
+}
+
+}  // namespace reach

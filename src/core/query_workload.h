@@ -1,0 +1,63 @@
+#ifndef REACH_CORE_QUERY_WORKLOAD_H_
+#define REACH_CORE_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/labeled_digraph.h"
+#include "graph/types.h"
+
+namespace reach {
+
+/// A single plain reachability query Qr(s, t).
+struct QueryPair {
+  VertexId source = 0;
+  VertexId target = 0;
+};
+
+/// A label-constrained reachability query Qr(s, t, alpha) with an
+/// alternation constraint alpha = (l1 ∪ l2 ∪ ...)* given as a LabelSet.
+struct LcrQuery {
+  VertexId source = 0;
+  VertexId target = 0;
+  LabelSet allowed = 0;
+};
+
+/// Deterministic query-workload generators mirroring the methodology of
+/// the surveyed papers: uniformly random pairs (dominated by unreachable
+/// pairs on sparse graphs — the case §5 argues partial indexes without
+/// false negatives exploit), plus explicitly reachable-biased ("positive")
+/// and unreachable ("negative") workloads.
+
+/// `count` uniformly random (s, t) pairs.
+std::vector<QueryPair> RandomPairs(const Digraph& graph, size_t count,
+                                   uint64_t seed);
+
+/// `count` pairs with t reachable from s (found by random walks / BFS
+/// sampling; falls back to (v, v) if the graph has no edges).
+std::vector<QueryPair> ReachablePairs(const Digraph& graph, size_t count,
+                                      uint64_t seed);
+
+/// `count` pairs with t NOT reachable from s. May return fewer if the
+/// graph is (nearly) complete and negatives are hard to sample.
+std::vector<QueryPair> UnreachablePairs(const Digraph& graph, size_t count,
+                                        uint64_t seed);
+
+/// `count` LCR queries with uniformly random endpoints and a random
+/// constraint of exactly `labels_per_query` distinct labels.
+std::vector<LcrQuery> RandomLcrQueries(const LabeledDigraph& graph,
+                                       size_t count, Label labels_per_query,
+                                       uint64_t seed);
+
+/// `count` LCR queries that are true (sampled by constrained random walks;
+/// the constraint is the walk's label set, possibly widened to
+/// `labels_per_query` labels).
+std::vector<LcrQuery> ReachableLcrQueries(const LabeledDigraph& graph,
+                                          size_t count,
+                                          Label labels_per_query,
+                                          uint64_t seed);
+
+}  // namespace reach
+
+#endif  // REACH_CORE_QUERY_WORKLOAD_H_

@@ -1,0 +1,61 @@
+#ifndef REACH_CORE_REACHABILITY_INDEX_H_
+#define REACH_CORE_REACHABILITY_INDEX_H_
+
+#include <cstddef>
+#include <string>
+
+#include "graph/digraph.h"
+#include "graph/types.h"
+
+namespace reach {
+
+/// Abstract interface of a plain reachability index (paper §3).
+///
+/// Semantics (fixed library-wide, enforced by tests):
+///  * `Query(s, t)` answers the plain reachability query Qr(s, t) of §2.1:
+///    does a directed s-t path (of length >= 0) exist? Reachability is
+///    reflexive: `Query(v, v) == true`.
+///  * Answers are always exact. *Partial* indexes (Table 1, Index Type
+///    column) fall back to index-guided online traversal internally; the
+///    partial/complete distinction is visible through `IsComplete()` and
+///    through performance, never through wrong answers.
+///
+/// Implementations keep a reference to the graph passed to `Build()` only
+/// for the duration of the call unless documented otherwise (partial
+/// indexes retain a pointer for guided traversal; the caller must keep the
+/// graph alive as long as the index).
+class ReachabilityIndex {
+ public:
+  virtual ~ReachabilityIndex() = default;
+
+  /// Builds the index for `graph`, replacing any previous state.
+  virtual void Build(const Digraph& graph) = 0;
+
+  /// Answers Qr(s, t). Must be called after `Build()`.
+  virtual bool Query(VertexId s, VertexId t) const = 0;
+
+  /// Index footprint in bytes (labels only, excluding the graph itself).
+  /// This is the "index size" column of the survey's comparisons.
+  virtual size_t IndexSizeBytes() const = 0;
+
+  /// True if queries are answered from index lookups alone; false if the
+  /// index may fall back to (guided) graph traversal (§3, Index Type).
+  virtual bool IsComplete() const = 0;
+
+  /// Short identifier used in benchmark tables, e.g. "grail(k=3)".
+  virtual std::string Name() const = 0;
+};
+
+/// Interface of a plain reachability index that supports edge insertions
+/// (the Dynamic column of Table 1).
+class DynamicReachabilityIndex : public ReachabilityIndex {
+ public:
+  /// Inserts edge s -> t and updates the index incrementally. The edge may
+  /// already exist (no-op). Queries reflect the union of the built graph
+  /// and all inserted edges.
+  virtual void InsertEdge(VertexId s, VertexId t) = 0;
+};
+
+}  // namespace reach
+
+#endif  // REACH_CORE_REACHABILITY_INDEX_H_

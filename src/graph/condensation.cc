@@ -1,0 +1,25 @@
+#include "graph/condensation.h"
+
+#include <utility>
+#include <vector>
+
+namespace reach {
+
+Condensation Condense(const Digraph& graph) {
+  Condensation result;
+  result.scc = ComputeScc(graph);
+
+  std::vector<Edge> dag_edges;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const VertexId cv = result.scc.component_of[v];
+    for (VertexId w : graph.OutNeighbors(v)) {
+      const VertexId cw = result.scc.component_of[w];
+      if (cv != cw) dag_edges.push_back({cv, cw});
+    }
+  }
+  result.dag =
+      Digraph::FromEdges(result.scc.num_components, std::move(dag_edges));
+  return result;
+}
+
+}  // namespace reach

@@ -1,0 +1,39 @@
+#ifndef REACH_GRAPH_CONDENSATION_H_
+#define REACH_GRAPH_CONDENSATION_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/scc.h"
+#include "graph/types.h"
+
+namespace reach {
+
+/// The DAG obtained by coarsening every SCC of a general digraph into a
+/// representative vertex (paper §3.1, "From cyclic graphs to DAGs").
+///
+/// Most plain reachability indexes assume a DAG as input; this structure
+/// plus `SccCondensingIndex` is the generalization glue: `Qr(s, t)` on the
+/// original graph is `SameComponent(s, t) || Qr_dag(comp(s), comp(t))`.
+struct Condensation {
+  /// The condensed DAG. Vertex ids of `dag` are SCC ids from `scc`.
+  /// Because Tarjan assigns SCC ids in reverse topological order, iterating
+  /// dag vertices in *decreasing* id order is a topological order.
+  Digraph dag;
+  /// The SCC decomposition of the original graph.
+  SccDecomposition scc;
+
+  /// Maps an original vertex to its DAG vertex.
+  VertexId DagVertex(VertexId original) const {
+    return scc.component_of[original];
+  }
+};
+
+/// Condenses `graph` into its SCC DAG in O(V + E). Self-loops of the DAG
+/// (edges inside one SCC) are dropped; multi-edges between SCCs are
+/// deduplicated.
+Condensation Condense(const Digraph& graph);
+
+}  // namespace reach
+
+#endif  // REACH_GRAPH_CONDENSATION_H_

@@ -1,0 +1,67 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace reach {
+
+Digraph Digraph::FromEdges(VertexId num_vertices, std::vector<Edge> edges) {
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Digraph g;
+  g.num_vertices_ = num_vertices;
+  g.out_offsets_.assign(num_vertices + 1, 0);
+  g.in_offsets_.assign(num_vertices + 1, 0);
+  g.out_targets_.resize(edges.size());
+  g.in_sources_.resize(edges.size());
+
+  for (const Edge& e : edges) {
+    assert(e.source < num_vertices && e.target < num_vertices);
+    ++g.out_offsets_[e.source + 1];
+    ++g.in_offsets_[e.target + 1];
+  }
+  for (size_t v = 0; v < num_vertices; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+
+  // Edges are sorted by (source, target), so filling out-CSR in order keeps
+  // each out-neighbor list sorted.
+  std::vector<size_t> out_cursor(g.out_offsets_.begin(),
+                                 g.out_offsets_.end() - 1);
+  std::vector<size_t> in_cursor(g.in_offsets_.begin(),
+                                g.in_offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    g.out_targets_[out_cursor[e.source]++] = e.target;
+    g.in_sources_[in_cursor[e.target]++] = e.source;
+  }
+  // In-neighbor lists were filled in source-major order; each list is
+  // already sorted by source because edges were globally sorted.
+  return g;
+}
+
+bool Digraph::HasEdge(VertexId s, VertexId t) const {
+  auto nbrs = OutNeighbors(s);
+  return std::binary_search(nbrs.begin(), nbrs.end(), t);
+}
+
+Digraph Digraph::Reverse() const {
+  std::vector<Edge> rev;
+  rev.reserve(NumEdges());
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (VertexId w : OutNeighbors(v)) rev.push_back({w, v});
+  }
+  return FromEdges(static_cast<VertexId>(num_vertices_), std::move(rev));
+}
+
+std::vector<Edge> Digraph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(NumEdges());
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (VertexId w : OutNeighbors(v)) edges.push_back({v, w});
+  }
+  return edges;
+}
+
+}  // namespace reach

@@ -1,0 +1,33 @@
+#include "graph/figure1.h"
+
+#include <vector>
+
+namespace reach {
+namespace figure1 {
+
+LabeledDigraph LabeledGraph() {
+  const std::vector<LabeledEdge> edges = {
+      {kA, kL, kFollows},   // A -follows-> L      (SPLS(A,L) = {follows})
+      {kA, kD, kFollows},   // A -follows-> D      (start of (A, D, H, G))
+      {kL, kC, kWorksFor},  // L -worksFor-> C     (p1, p3)
+      {kL, kD, kWorksFor},  // L -worksFor-> D     (p4, §4.2 path)
+      {kL, kK, kFollows},   // L -follows-> K      (p2)
+      {kC, kM, kWorksFor},  // C -worksFor-> M     (p1)
+      {kC, kH, kWorksFor},  // C -worksFor-> H     (p3)
+      {kK, kM, kWorksFor},  // K -worksFor-> M     (p2)
+      {kD, kH, kFriendOf},  // D -friendOf-> H     (p4, §4.2 path)
+      {kH, kG, kWorksFor},  // H -worksFor-> G     (only edge into G)
+      {kG, kB, kFriendOf},  // G -friendOf-> B     (§4.2 path)
+      {kB, kM, kWorksFor},  // B -worksFor-> M
+      {kM, kB, kFriendOf},  // M -friendOf-> B     (B and M form an SCC)
+  };
+  LabeledDigraph g = LabeledDigraph::FromEdges(kNumVertices, kNumLabels,
+                                               edges);
+  g.set_label_names({"friendOf", "follows", "worksFor"});
+  return g;
+}
+
+Digraph PlainGraph() { return LabeledGraph().ProjectPlain(); }
+
+}  // namespace figure1
+}  // namespace reach

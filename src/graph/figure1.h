@@ -1,0 +1,56 @@
+#ifndef REACH_GRAPH_FIGURE1_H_
+#define REACH_GRAPH_FIGURE1_H_
+
+#include "graph/digraph.h"
+#include "graph/labeled_digraph.h"
+
+namespace reach {
+
+/// The running example of the paper (Figure 1): a 9-vertex graph in plain
+/// form (a) and edge-labeled form (b), used by tests and examples.
+///
+/// The figure itself is a drawing; the edge list below is reconstructed so
+/// that *every* worked query in the paper's text holds verbatim:
+///  * Qr(A, G) = true via the s-t path (A, D, H, G)                  (§2.1)
+///  * Qr(A, G, (friendOf ∪ follows)*) = false — every A-G path
+///    includes worksFor                                              (§2.2)
+///  * L reaches M via p1 = (L, worksFor, C, worksFor, M) and
+///    p2 = (L, follows, K, worksFor, M); labels(p1) ⊂ labels(p2),
+///    so the SPLS from L to M is {worksFor}                        (§4.1)
+///  * SPLS(A, L) = {follows}; SPLS(A, M) = {follows, worksFor}     (§4.1)
+///  * L reaches H via p3 = (L, worksFor, C, worksFor, H) with one
+///    distinct label and p4 = (L, worksFor, D, friendOf, H) with two
+///    — p3 is "shorter" in the Dijkstra-like GTC computation      (§4.1.2)
+///  * Qr(L, B, (worksFor · friendOf)*) = true via
+///    (L, worksFor, D, friendOf, H, worksFor, G, friendOf, B)       (§4.2)
+///
+/// Vertex ids (use the named constants): A=0 B=1 C=2 D=3 G=4 H=5 K=6 L=7
+/// M=8. Label ids: friendOf=0 follows=1 worksFor=2.
+namespace figure1 {
+
+inline constexpr VertexId kA = 0;
+inline constexpr VertexId kB = 1;
+inline constexpr VertexId kC = 2;
+inline constexpr VertexId kD = 3;
+inline constexpr VertexId kG = 4;
+inline constexpr VertexId kH = 5;
+inline constexpr VertexId kK = 6;
+inline constexpr VertexId kL = 7;
+inline constexpr VertexId kM = 8;
+inline constexpr VertexId kNumVertices = 9;
+
+inline constexpr Label kFriendOf = 0;
+inline constexpr Label kFollows = 1;
+inline constexpr Label kWorksFor = 2;
+inline constexpr Label kNumLabels = 3;
+
+/// Figure 1(b): the edge-labeled social network.
+LabeledDigraph LabeledGraph();
+
+/// Figure 1(a): the plain projection of the same topology.
+Digraph PlainGraph();
+
+}  // namespace figure1
+}  // namespace reach
+
+#endif  // REACH_GRAPH_FIGURE1_H_

@@ -1,0 +1,185 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "graph/rng.h"
+
+namespace reach {
+
+namespace {
+
+// Samples `num_edges` distinct (source, target) pairs accepted by `accept`,
+// uniformly with rejection. Callers must ensure enough acceptable pairs
+// exist; we cap attempts to avoid pathological loops.
+template <typename Accept>
+std::vector<Edge> SampleEdges(VertexId n, size_t num_edges, Xoshiro256ss& rng,
+                              Accept accept) {
+  std::set<std::pair<VertexId, VertexId>> seen;
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  size_t attempts = 0;
+  const size_t max_attempts = 64 * num_edges + 1024;
+  while (edges.size() < num_edges && attempts < max_attempts) {
+    ++attempts;
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v || !accept(u, v)) continue;
+    if (!seen.insert({u, v}).second) continue;
+    edges.push_back({u, v});
+  }
+  return edges;
+}
+
+}  // namespace
+
+Digraph RandomDigraph(VertexId num_vertices, size_t num_edges,
+                      uint64_t seed) {
+  assert(num_vertices >= 2 || num_edges == 0);
+  Xoshiro256ss rng(seed);
+  auto edges = SampleEdges(num_vertices, num_edges, rng,
+                           [](VertexId, VertexId) { return true; });
+  return Digraph::FromEdges(num_vertices, std::move(edges));
+}
+
+Digraph RandomDag(VertexId num_vertices, size_t num_edges, uint64_t seed) {
+  assert(num_vertices >= 2 || num_edges == 0);
+  Xoshiro256ss rng(seed);
+  // Random permutation: rank[v] = topological position of v.
+  std::vector<VertexId> rank(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) rank[v] = v;
+  for (VertexId i = num_vertices; i > 1; --i) {
+    std::swap(rank[i - 1], rank[rng.NextBounded(i)]);
+  }
+  auto edges =
+      SampleEdges(num_vertices, num_edges, rng,
+                  [&](VertexId u, VertexId v) { return rank[u] < rank[v]; });
+  return Digraph::FromEdges(num_vertices, std::move(edges));
+}
+
+Digraph ScaleFreeDag(VertexId num_vertices, size_t out_degree,
+                     uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  std::vector<Edge> edges;
+  // target_pool holds one entry per (degree + 1) unit, so sampling from it
+  // is preferential attachment.
+  std::vector<VertexId> target_pool;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    std::set<VertexId> parents;
+    const size_t want = std::min<size_t>(out_degree, v);
+    size_t attempts = 0;
+    while (parents.size() < want && attempts < 32 * out_degree + 64) {
+      ++attempts;
+      VertexId p;
+      if (!target_pool.empty() && rng.NextBounded(2) == 0) {
+        p = target_pool[rng.NextBounded(target_pool.size())];
+      } else {
+        p = static_cast<VertexId>(rng.NextBounded(v));
+      }
+      parents.insert(p);
+    }
+    for (VertexId p : parents) {
+      edges.push_back({v, p});  // younger cites older
+      target_pool.push_back(p);
+    }
+    target_pool.push_back(v);
+  }
+  return Digraph::FromEdges(num_vertices, std::move(edges));
+}
+
+Digraph RandomTree(VertexId num_vertices, uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(num_vertices > 0 ? num_vertices - 1 : 0);
+  for (VertexId v = 1; v < num_vertices; ++v) {
+    const VertexId parent = static_cast<VertexId>(rng.NextBounded(v));
+    edges.push_back({parent, v});
+  }
+  return Digraph::FromEdges(num_vertices, std::move(edges));
+}
+
+Digraph LayeredDag(VertexId layers, VertexId width, size_t out_degree,
+                   uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  const VertexId n = layers * width;
+  std::vector<Edge> edges;
+  for (VertexId layer = 0; layer + 1 < layers; ++layer) {
+    for (VertexId i = 0; i < width; ++i) {
+      const VertexId v = layer * width + i;
+      std::set<VertexId> targets;
+      const size_t want = std::min<size_t>(out_degree, width);
+      while (targets.size() < want) {
+        targets.insert((layer + 1) * width +
+                       static_cast<VertexId>(rng.NextBounded(width)));
+      }
+      for (VertexId t : targets) edges.push_back({v, t});
+    }
+  }
+  return Digraph::FromEdges(n, std::move(edges));
+}
+
+Digraph Chain(VertexId num_vertices) {
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < num_vertices; ++v) edges.push_back({v, v + 1});
+  return Digraph::FromEdges(num_vertices, std::move(edges));
+}
+
+Digraph Cycle(VertexId num_vertices) {
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < num_vertices; ++v) edges.push_back({v, v + 1});
+  if (num_vertices > 1) edges.push_back({num_vertices - 1, 0});
+  return Digraph::FromEdges(num_vertices, std::move(edges));
+}
+
+LabeledDigraph WithUniformLabels(const Digraph& graph, Label num_labels,
+                                 uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  std::vector<LabeledEdge> edges;
+  edges.reserve(graph.NumEdges());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (VertexId w : graph.OutNeighbors(v)) {
+      edges.push_back({v, w, static_cast<Label>(rng.NextBounded(num_labels))});
+    }
+  }
+  return LabeledDigraph::FromEdges(
+      static_cast<VertexId>(graph.NumVertices()), num_labels,
+      std::move(edges));
+}
+
+LabeledDigraph WithZipfLabels(const Digraph& graph, Label num_labels,
+                              double skew, uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  // Cumulative Zipf weights: weight(l) = 1 / (l+1)^skew.
+  std::vector<double> cdf(num_labels);
+  double total = 0;
+  for (Label l = 0; l < num_labels; ++l) {
+    total += 1.0 / std::pow(static_cast<double>(l + 1), skew);
+    cdf[l] = total;
+  }
+  auto draw = [&]() -> Label {
+    const double x = rng.NextDouble() * total;
+    return static_cast<Label>(
+        std::lower_bound(cdf.begin(), cdf.end(), x) - cdf.begin());
+  };
+  std::vector<LabeledEdge> edges;
+  edges.reserve(graph.NumEdges());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (VertexId w : graph.OutNeighbors(v)) {
+      edges.push_back({v, w, std::min<Label>(draw(), num_labels - 1)});
+    }
+  }
+  return LabeledDigraph::FromEdges(
+      static_cast<VertexId>(graph.NumVertices()), num_labels,
+      std::move(edges));
+}
+
+LabeledDigraph RandomLabeledDigraph(VertexId num_vertices, size_t num_edges,
+                                    Label num_labels, uint64_t seed) {
+  return WithUniformLabels(RandomDigraph(num_vertices, num_edges, seed),
+                           num_labels, Mix64(seed + 1));
+}
+
+}  // namespace reach

@@ -1,0 +1,69 @@
+#ifndef REACH_GRAPH_GENERATORS_H_
+#define REACH_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/labeled_digraph.h"
+#include "graph/types.h"
+
+namespace reach {
+
+/// Deterministic synthetic graph generators used by tests, examples, and
+/// the benchmark harness. All take an explicit `seed`.
+///
+/// These stand in for the public real-world graphs (SNAP, XML corpora,
+/// RDF) used by the surveyed papers' evaluations: the families below
+/// reproduce the structural regimes that drive the papers' findings —
+/// sparse random digraphs with large SCCs, random DAGs, shallow scale-free
+/// DAGs, deep chains/trees, and dense layered DAGs.
+
+/// Erdős–Rényi style G(n, m) digraph: `num_edges` edges sampled uniformly
+/// (without replacement; self-loops excluded). Generally cyclic.
+Digraph RandomDigraph(VertexId num_vertices, size_t num_edges, uint64_t seed);
+
+/// Uniform random DAG: `num_edges` edges sampled uniformly among pairs
+/// (u, v) with pi(u) < pi(v) for a random permutation pi.
+Digraph RandomDag(VertexId num_vertices, size_t num_edges, uint64_t seed);
+
+/// Scale-free-ish DAG (preferential attachment): vertices arrive one at a
+/// time; each new vertex draws `out_degree` parents among earlier vertices
+/// with probability proportional to (degree + 1), and points *at* them,
+/// i.e., edges go from younger to older vertices (citation-network shape).
+Digraph ScaleFreeDag(VertexId num_vertices, size_t out_degree, uint64_t seed);
+
+/// Uniformly random directed tree (edges parent -> child) over
+/// `num_vertices` vertices; vertex 0 is the root.
+Digraph RandomTree(VertexId num_vertices, uint64_t seed);
+
+/// Layered DAG: `layers` layers of `width` vertices; each vertex draws
+/// `out_degree` random successors in the next layer. Models the deep,
+/// narrow regime where interval indexes shine.
+Digraph LayeredDag(VertexId layers, VertexId width, size_t out_degree,
+                   uint64_t seed);
+
+/// Simple directed path 0 -> 1 -> ... -> n-1.
+Digraph Chain(VertexId num_vertices);
+
+/// Simple directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+Digraph Cycle(VertexId num_vertices);
+
+/// Draws a label for each edge of `graph` uniformly from `num_labels`
+/// labels and returns the labeled graph.
+LabeledDigraph WithUniformLabels(const Digraph& graph, Label num_labels,
+                                 uint64_t seed);
+
+/// Draws labels from a Zipf(s = `skew`) distribution over `num_labels`
+/// labels (label 0 most frequent) — the skewed-label regime of the LCR
+/// papers' evaluations.
+LabeledDigraph WithZipfLabels(const Digraph& graph, Label num_labels,
+                              double skew, uint64_t seed);
+
+/// Labeled Erdős–Rényi digraph: RandomDigraph + uniform labels.
+LabeledDigraph RandomLabeledDigraph(VertexId num_vertices, size_t num_edges,
+                                    Label num_labels, uint64_t seed);
+
+}  // namespace reach
+
+#endif  // REACH_GRAPH_GENERATORS_H_

@@ -1,0 +1,117 @@
+#include "graph/graph_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace reach {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+bool IsCommentOrBlank(const std::string& line) {
+  for (char c : line) {
+    if (c == ' ' || c == '\t' || c == '\r') continue;
+    return c == '#' || c == '%';
+  }
+  return true;  // blank
+}
+
+}  // namespace
+
+std::optional<Digraph> ReadEdgeList(std::istream& in, std::string* error) {
+  std::vector<Edge> edges;
+  VertexId max_id = 0;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream fields(line);
+    long long s = -1, t = -1;
+    if (!(fields >> s >> t) || s < 0 || t < 0) {
+      SetError(error, "malformed edge at line " + std::to_string(line_no));
+      return std::nullopt;
+    }
+    edges.push_back(
+        {static_cast<VertexId>(s), static_cast<VertexId>(t)});
+    max_id = std::max({max_id, edges.back().source, edges.back().target});
+  }
+  const VertexId n = edges.empty() ? 0 : max_id + 1;
+  return Digraph::FromEdges(n, std::move(edges));
+}
+
+std::optional<Digraph> ReadEdgeListFile(const std::string& path,
+                                        std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  return ReadEdgeList(in, error);
+}
+
+void WriteEdgeList(const Digraph& graph, std::ostream& out) {
+  out << "# reach plain edge list: " << graph.NumVertices() << " vertices, "
+      << graph.NumEdges() << " edges\n";
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (VertexId w : graph.OutNeighbors(v)) out << v << ' ' << w << '\n';
+  }
+}
+
+std::optional<LabeledDigraph> ReadLabeledEdgeList(std::istream& in,
+                                                  std::string* error) {
+  std::vector<LabeledEdge> edges;
+  VertexId max_id = 0;
+  Label max_label = 0;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream fields(line);
+    long long s = -1, t = -1, l = -1;
+    if (!(fields >> s >> t >> l) || s < 0 || t < 0 || l < 0) {
+      SetError(error, "malformed edge at line " + std::to_string(line_no));
+      return std::nullopt;
+    }
+    if (l >= static_cast<long long>(kMaxLabels)) {
+      SetError(error, "label out of range at line " + std::to_string(line_no));
+      return std::nullopt;
+    }
+    edges.push_back({static_cast<VertexId>(s), static_cast<VertexId>(t),
+                     static_cast<Label>(l)});
+    max_id = std::max({max_id, edges.back().source, edges.back().target});
+    max_label = std::max(max_label, edges.back().label);
+  }
+  const VertexId n = edges.empty() ? 0 : max_id + 1;
+  const Label num_labels = edges.empty() ? 0 : max_label + 1;
+  return LabeledDigraph::FromEdges(n, num_labels, std::move(edges));
+}
+
+std::optional<LabeledDigraph> ReadLabeledEdgeListFile(const std::string& path,
+                                                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  return ReadLabeledEdgeList(in, error);
+}
+
+void WriteLabeledEdgeList(const LabeledDigraph& graph, std::ostream& out) {
+  out << "# reach labeled edge list: " << graph.NumVertices()
+      << " vertices, " << graph.NumEdges() << " edges, "
+      << graph.NumLabels() << " labels\n";
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (const LabeledDigraph::Arc& a : graph.OutArcs(v)) {
+      out << v << ' ' << a.vertex << ' ' << a.label << '\n';
+    }
+  }
+}
+
+}  // namespace reach

@@ -1,0 +1,47 @@
+#ifndef REACH_GRAPH_GRAPH_IO_H_
+#define REACH_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/digraph.h"
+#include "graph/labeled_digraph.h"
+
+namespace reach {
+
+/// SNAP-style edge-list I/O.
+///
+/// Plain format: one `source target` pair per line, whitespace separated.
+/// Labeled format: one `source target label` triple per line.
+/// Lines starting with '#' or '%' are comments. Vertex ids may be sparse in
+/// the file; they are kept verbatim (the graph gets max_id + 1 vertices).
+
+/// Parses a plain edge list from a stream. Returns nullopt on malformed
+/// input and writes a diagnostic to `error` if non-null.
+std::optional<Digraph> ReadEdgeList(std::istream& in,
+                                    std::string* error = nullptr);
+
+/// Parses a plain edge list file. Returns nullopt if the file cannot be
+/// opened or is malformed.
+std::optional<Digraph> ReadEdgeListFile(const std::string& path,
+                                        std::string* error = nullptr);
+
+/// Writes `graph` as a plain edge list (with a comment header).
+void WriteEdgeList(const Digraph& graph, std::ostream& out);
+
+/// Parses a labeled edge list from a stream.
+std::optional<LabeledDigraph> ReadLabeledEdgeList(std::istream& in,
+                                                  std::string* error =
+                                                      nullptr);
+
+/// Parses a labeled edge list file.
+std::optional<LabeledDigraph> ReadLabeledEdgeListFile(
+    const std::string& path, std::string* error = nullptr);
+
+/// Writes `graph` as a labeled edge list (with a comment header).
+void WriteLabeledEdgeList(const LabeledDigraph& graph, std::ostream& out);
+
+}  // namespace reach
+
+#endif  // REACH_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,85 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "graph/condensation.h"
+#include "graph/rng.h"
+#include "graph/topological.h"
+
+namespace reach {
+
+GraphStats ComputeGraphStats(const Digraph& graph, size_t samples,
+                             uint64_t seed) {
+  GraphStats stats;
+  const size_t n = graph.NumVertices();
+  stats.num_vertices = n;
+  stats.num_edges = graph.NumEdges();
+  stats.avg_degree = n == 0 ? 0 : static_cast<double>(stats.num_edges) / n;
+  for (VertexId v = 0; v < n; ++v) {
+    stats.max_out_degree = std::max(stats.max_out_degree, graph.OutDegree(v));
+    stats.max_in_degree = std::max(stats.max_in_degree, graph.InDegree(v));
+    stats.num_sources += graph.InDegree(v) == 0;
+    stats.num_sinks += graph.OutDegree(v) == 0;
+  }
+
+  const Condensation cond = Condense(graph);
+  stats.num_sccs = cond.scc.num_components;
+  std::vector<size_t> scc_size(stats.num_sccs, 0);
+  for (VertexId v = 0; v < n; ++v) ++scc_size[cond.DagVertex(v)];
+  for (size_t size : scc_size) {
+    stats.largest_scc = std::max(stats.largest_scc, size);
+  }
+  stats.is_dag = stats.largest_scc <= 1;
+  if (cond.dag.NumVertices() > 0) {
+    const auto levels = ForwardLevels(cond.dag);
+    stats.condensation_depth =
+        1 + *std::max_element(levels.begin(), levels.end());
+  }
+
+  // Sampled forward-reachability density.
+  if (n > 0 && samples > 0) {
+    Xoshiro256ss rng(seed);
+    std::vector<bool> seen(n);
+    std::vector<VertexId> queue;
+    size_t total_reached = 0;
+    for (size_t i = 0; i < samples; ++i) {
+      std::fill(seen.begin(), seen.end(), false);
+      queue.clear();
+      const VertexId start = static_cast<VertexId>(rng.NextBounded(n));
+      seen[start] = true;
+      queue.push_back(start);
+      for (size_t head = 0; head < queue.size(); ++head) {
+        for (VertexId w : graph.OutNeighbors(queue[head])) {
+          if (!seen[w]) {
+            seen[w] = true;
+            queue.push_back(w);
+          }
+        }
+      }
+      total_reached += queue.size();
+    }
+    stats.reachability_density =
+        static_cast<double>(total_reached) / (samples * n);
+  }
+  return stats;
+}
+
+std::string GraphStatsToString(const GraphStats& stats) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "vertices: %zu, edges: %zu (avg out-degree %.2f)\n"
+      "max degree: out %zu / in %zu; sources %zu, sinks %zu\n"
+      "SCCs: %zu (largest %zu, %s), condensation depth %zu\n"
+      "sampled reachability density: %.3f",
+      stats.num_vertices, stats.num_edges, stats.avg_degree,
+      stats.max_out_degree, stats.max_in_degree, stats.num_sources,
+      stats.num_sinks, stats.num_sccs, stats.largest_scc,
+      stats.is_dag ? "DAG" : "cyclic", stats.condensation_depth,
+      stats.reachability_density);
+  return buffer;
+}
+
+}  // namespace reach

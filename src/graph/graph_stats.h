@@ -1,0 +1,41 @@
+#ifndef REACH_GRAPH_GRAPH_STATS_H_
+#define REACH_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace reach {
+
+/// Structural statistics of a digraph — the quantities that drive index
+/// selection in the survey's comparisons (size, density, cyclicity, depth,
+/// and how much of the graph a random traversal touches).
+struct GraphStats {
+  size_t num_vertices = 0;
+  size_t num_edges = 0;
+  double avg_degree = 0;          // out-edges per vertex
+  size_t max_out_degree = 0;
+  size_t max_in_degree = 0;
+  size_t num_sources = 0;         // in-degree 0
+  size_t num_sinks = 0;           // out-degree 0
+  size_t num_sccs = 0;
+  size_t largest_scc = 0;
+  bool is_dag = false;            // no SCC with > 1 vertex
+  size_t condensation_depth = 0;  // longest path, in condensation vertices
+  /// Fraction of vertices reachable from a random vertex, estimated from
+  /// `sample` BFS runs — the "visits a large portion of the graph" number
+  /// of §2.3.
+  double reachability_density = 0;
+};
+
+/// Computes all statistics; `samples` BFS probes estimate the density.
+GraphStats ComputeGraphStats(const Digraph& graph, size_t samples = 16,
+                             uint64_t seed = 0x57a75);
+
+/// Multi-line human-readable rendering.
+std::string GraphStatsToString(const GraphStats& stats);
+
+}  // namespace reach
+
+#endif  // REACH_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,73 @@
+#include "graph/labeled_digraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+namespace reach {
+
+LabeledDigraph LabeledDigraph::FromEdges(VertexId num_vertices,
+                                         Label num_labels,
+                                         std::vector<LabeledEdge> edges) {
+  assert(num_labels <= kMaxLabels);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  LabeledDigraph g;
+  g.num_vertices_ = num_vertices;
+  g.num_labels_ = num_labels;
+  g.out_offsets_.assign(num_vertices + 1, 0);
+  g.in_offsets_.assign(num_vertices + 1, 0);
+  g.out_arcs_.resize(edges.size());
+  g.in_arcs_.resize(edges.size());
+
+  for (const LabeledEdge& e : edges) {
+    assert(e.source < num_vertices && e.target < num_vertices);
+    assert(e.label < num_labels);
+    ++g.out_offsets_[e.source + 1];
+    ++g.in_offsets_[e.target + 1];
+  }
+  for (size_t v = 0; v < num_vertices; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+
+  std::vector<size_t> out_cursor(g.out_offsets_.begin(),
+                                 g.out_offsets_.end() - 1);
+  std::vector<size_t> in_cursor(g.in_offsets_.begin(),
+                                g.in_offsets_.end() - 1);
+  for (const LabeledEdge& e : edges) {
+    g.out_arcs_[out_cursor[e.source]++] = {e.target, e.label};
+    g.in_arcs_[in_cursor[e.target]++] = {e.source, e.label};
+  }
+  // In-arc lists are sorted by (source, label) because the global sort is
+  // (source, target, label) and each list is filled in that order.
+  return g;
+}
+
+std::vector<LabeledEdge> LabeledDigraph::Edges() const {
+  std::vector<LabeledEdge> edges;
+  edges.reserve(NumEdges());
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (const Arc& a : OutArcs(v)) edges.push_back({v, a.vertex, a.label});
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+Digraph LabeledDigraph::ProjectPlain() const {
+  std::vector<Edge> edges;
+  edges.reserve(NumEdges());
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (const Arc& a : OutArcs(v)) edges.push_back({v, a.vertex});
+  }
+  return Digraph::FromEdges(static_cast<VertexId>(num_vertices_),
+                            std::move(edges));
+}
+
+void LabeledDigraph::set_label_names(std::vector<std::string> names) {
+  assert(names.size() == num_labels_);
+  label_names_ = std::move(names);
+}
+
+}  // namespace reach

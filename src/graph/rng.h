@@ -1,0 +1,80 @@
+#ifndef REACH_GRAPH_RNG_H_
+#define REACH_GRAPH_RNG_H_
+
+#include <cstdint>
+
+namespace reach {
+
+/// SplitMix64: tiny, fast, deterministic PRNG used to seed `Xoshiro256ss`
+/// and for cheap hashing. Every randomized component in the library takes
+/// an explicit seed so builds and tests are reproducible.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit pseudo-random value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// One-shot SplitMix64 mix step, usable as a 64-bit hash function.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna: the library's general-purpose PRNG.
+/// Deterministic for a given seed across platforms.
+class Xoshiro256ss {
+ public:
+  explicit Xoshiro256ss(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  /// Returns the next 64-bit pseudo-random value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Returns a uniform value in `[0, bound)`. `bound` must be nonzero.
+  /// Uses Lemire's multiply-shift rejection-free reduction (a negligible
+  /// modulo bias is acceptable for graph generation).
+  uint64_t NextBounded(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace reach
+
+#endif  // REACH_GRAPH_RNG_H_

@@ -1,0 +1,76 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+namespace reach {
+
+namespace {
+
+// Explicit DFS frame for the iterative Tarjan implementation.
+struct Frame {
+  VertexId vertex;
+  size_t next_child;  // index into OutNeighbors(vertex)
+};
+
+constexpr VertexId kUnvisited = kInvalidVertex;
+
+}  // namespace
+
+SccDecomposition ComputeScc(const Digraph& graph) {
+  const size_t n = graph.NumVertices();
+  SccDecomposition result;
+  result.component_of.assign(n, kUnvisited);
+
+  std::vector<VertexId> index(n, kUnvisited);  // discovery order
+  std::vector<VertexId> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<VertexId> stack;  // Tarjan's SCC stack
+  std::vector<Frame> frames;    // explicit DFS stack
+  VertexId next_index = 0;
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const VertexId v = frame.vertex;
+      auto nbrs = graph.OutNeighbors(v);
+      if (frame.next_child < nbrs.size()) {
+        const VertexId w = nbrs[frame.next_child++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        frames.pop_back();
+        if (!frames.empty()) {
+          const VertexId parent = frames.back().vertex;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          // v is the root of an SCC; pop it. Tarjan emits SCCs in reverse
+          // topological order of the condensation.
+          while (true) {
+            const VertexId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component_of[w] = result.num_components;
+            if (w == v) break;
+          }
+          ++result.num_components;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace reach

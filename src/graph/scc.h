@@ -1,0 +1,34 @@
+#ifndef REACH_GRAPH_SCC_H_
+#define REACH_GRAPH_SCC_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/types.h"
+
+namespace reach {
+
+/// The strongly-connected-component decomposition of a digraph.
+struct SccDecomposition {
+  /// component_of[v] = dense id of the SCC containing v,
+  /// in 0 .. num_components-1.
+  std::vector<VertexId> component_of;
+  /// Number of SCCs.
+  VertexId num_components = 0;
+
+  /// True iff `u` and `v` are mutually reachable (same SCC) — the first
+  /// check of the cyclic-graph query procedure of paper §3.1.
+  bool SameComponent(VertexId u, VertexId v) const {
+    return component_of[u] == component_of[v];
+  }
+};
+
+/// Computes SCCs with Tarjan's algorithm [42] (iterative; safe on deep
+/// graphs). Component ids are assigned in *reverse topological order of the
+/// condensation*: if SCC A has an edge into SCC B, then id(A) > id(B).
+/// Runs in O(V + E).
+SccDecomposition ComputeScc(const Digraph& graph);
+
+}  // namespace reach
+
+#endif  // REACH_GRAPH_SCC_H_

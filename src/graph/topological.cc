@@ -1,0 +1,79 @@
+#include "graph/topological.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+namespace reach {
+
+namespace {
+
+// Kahn's algorithm with an ordered frontier. `Compare` orders the ready
+// set; std::greater yields smallest-id-first, std::less largest-id-first.
+template <typename Compare>
+std::optional<std::vector<VertexId>> KahnOrder(const Digraph& dag) {
+  const size_t n = dag.NumVertices();
+  std::vector<size_t> in_degree(n);
+  std::priority_queue<VertexId, std::vector<VertexId>, Compare> ready;
+  for (VertexId v = 0; v < n; ++v) {
+    in_degree[v] = dag.InDegree(v);
+    if (in_degree[v] == 0) ready.push(v);
+  }
+  std::vector<VertexId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const VertexId v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (VertexId w : dag.OutNeighbors(v)) {
+      if (--in_degree[w] == 0) ready.push(w);
+    }
+  }
+  if (order.size() != n) return std::nullopt;  // cycle
+  return order;
+}
+
+}  // namespace
+
+std::optional<std::vector<VertexId>> TopologicalOrder(const Digraph& dag) {
+  return KahnOrder<std::greater<VertexId>>(dag);
+}
+
+std::optional<std::vector<VertexId>> TopologicalOrderReverseTies(
+    const Digraph& dag) {
+  return KahnOrder<std::less<VertexId>>(dag);
+}
+
+std::vector<VertexId> RankOf(const std::vector<VertexId>& order) {
+  std::vector<VertexId> rank(order.size());
+  for (VertexId i = 0; i < order.size(); ++i) rank[order[i]] = i;
+  return rank;
+}
+
+bool IsDag(const Digraph& graph) {
+  return TopologicalOrder(graph).has_value();
+}
+
+std::vector<VertexId> ForwardLevels(const Digraph& dag) {
+  auto order = TopologicalOrder(dag);
+  std::vector<VertexId> level(dag.NumVertices(), 0);
+  for (VertexId v : *order) {
+    for (VertexId w : dag.OutNeighbors(v)) {
+      level[w] = std::max(level[w], level[v] + 1);
+    }
+  }
+  return level;
+}
+
+std::vector<VertexId> BackwardLevels(const Digraph& dag) {
+  auto order = TopologicalOrder(dag);
+  std::vector<VertexId> level(dag.NumVertices(), 0);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    for (VertexId w : dag.OutNeighbors(*it)) {
+      level[*it] = std::max(level[*it], level[w] + 1);
+    }
+  }
+  return level;
+}
+
+}  // namespace reach

@@ -1,0 +1,40 @@
+#ifndef REACH_GRAPH_TOPOLOGICAL_H_
+#define REACH_GRAPH_TOPOLOGICAL_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/types.h"
+
+namespace reach {
+
+/// Returns a topological order of `dag` (vertices listed sources-first), or
+/// nullopt if the graph has a directed cycle. Kahn's algorithm, O(V + E).
+/// Deterministic: among ready vertices, smaller ids come first.
+std::optional<std::vector<VertexId>> TopologicalOrder(const Digraph& dag);
+
+/// Like `TopologicalOrder` but breaks ties by *largest* id first. Used by
+/// `Feline` to obtain a second, maximally different dominance coordinate.
+std::optional<std::vector<VertexId>> TopologicalOrderReverseTies(
+    const Digraph& dag);
+
+/// Returns rank[v] = position of v in `order` (the inverse permutation).
+std::vector<VertexId> RankOf(const std::vector<VertexId>& order);
+
+/// True iff `graph` is a DAG.
+bool IsDag(const Digraph& graph);
+
+/// Forward topological levels: level[v] = length of the longest path from
+/// any source to v (sources have level 0). Requires a DAG. Satisfies: if v
+/// reaches w and v != w then level[v] < level[w] — the level-based pruning
+/// used by PReaCH-style indexes.
+std::vector<VertexId> ForwardLevels(const Digraph& dag);
+
+/// Backward topological levels: level[v] = longest path from v to any sink
+/// (sinks have level 0). If v reaches w, v != w, then blevel[v] > blevel[w].
+std::vector<VertexId> BackwardLevels(const Digraph& dag);
+
+}  // namespace reach
+
+#endif  // REACH_GRAPH_TOPOLOGICAL_H_

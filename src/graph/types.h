@@ -1,0 +1,51 @@
+#ifndef REACH_GRAPH_TYPES_H_
+#define REACH_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace reach {
+
+/// Dense vertex identifier. Vertices of a graph with `n` vertices are
+/// exactly the ids `0 .. n-1`.
+using VertexId = uint32_t;
+
+/// Sentinel for "no vertex" (e.g., the parent of a spanning-forest root).
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Dense edge-label identifier (edge-labeled graphs, paper §2.2). Labels of
+/// a graph with `L` labels are exactly `0 .. L-1`.
+using Label = uint32_t;
+
+/// A set of edge labels encoded as a bitmask: bit `l` set means label `l`
+/// is in the set. The library supports up to `kMaxLabels` distinct labels,
+/// which matches the evaluation setups of the LCR papers surveyed in §4
+/// (they use at most a few dozen labels).
+using LabelSet = uint32_t;
+
+/// Maximum number of distinct labels a `LabeledDigraph` may carry.
+inline constexpr Label kMaxLabels = 32;
+
+/// A directed edge `source -> target`.
+struct Edge {
+  VertexId source = 0;
+  VertexId target = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// A directed edge `source -> target` carrying an edge label (§2.2).
+struct LabeledEdge {
+  VertexId source = 0;
+  VertexId target = 0;
+  Label label = 0;
+
+  friend bool operator==(const LabeledEdge&, const LabeledEdge&) = default;
+  friend auto operator<=>(const LabeledEdge&, const LabeledEdge&) = default;
+};
+
+}  // namespace reach
+
+#endif  // REACH_GRAPH_TYPES_H_

@@ -1,0 +1,54 @@
+#include "lcr/gtc_index.h"
+
+#include <algorithm>
+
+#include "lcr/single_source_gtc.h"
+
+namespace reach {
+
+void GtcIndex::Build(const LabeledDigraph& graph) {
+  num_vertices_ = graph.NumVertices();
+  row_offsets_.assign(num_vertices_ + 1, 0);
+  entries_.clear();
+  for (VertexId s = 0; s < num_vertices_; ++s) {
+    const std::vector<MinimalLabelSets> minimal = SingleSourceGtc(graph, s);
+    for (VertexId t = 0; t < num_vertices_; ++t) {
+      for (LabelSet mask : minimal[t].sets()) {
+        entries_.push_back({t, mask});
+      }
+    }
+    row_offsets_[s + 1] = entries_.size();
+  }
+}
+
+bool GtcIndex::Query(VertexId s, VertexId t, LabelSet allowed) const {
+  if (s == t) return true;
+  const Entry* begin = entries_.data() + row_offsets_[s];
+  const Entry* end = entries_.data() + row_offsets_[s + 1];
+  const Entry* it = std::lower_bound(
+      begin, end, t,
+      [](const Entry& e, VertexId target) { return e.target < target; });
+  for (; it != end && it->target == t; ++it) {
+    if (IsSubsetOf(it->mask, allowed)) return true;
+  }
+  return false;
+}
+
+std::vector<LabelSet> GtcIndex::Spls(VertexId s, VertexId t) const {
+  std::vector<LabelSet> result;
+  const Entry* begin = entries_.data() + row_offsets_[s];
+  const Entry* end = entries_.data() + row_offsets_[s + 1];
+  const Entry* it = std::lower_bound(
+      begin, end, t,
+      [](const Entry& e, VertexId target) { return e.target < target; });
+  for (; it != end && it->target == t; ++it) result.push_back(it->mask);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+size_t GtcIndex::IndexSizeBytes() const {
+  return entries_.size() * sizeof(Entry) +
+         row_offsets_.size() * sizeof(size_t);
+}
+
+}  // namespace reach

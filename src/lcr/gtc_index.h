@@ -1,0 +1,55 @@
+#ifndef REACH_LCR_GTC_INDEX_H_
+#define REACH_LCR_GTC_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lcr/label_set.h"
+#include "lcr/lcr_index.h"
+
+namespace reach {
+
+/// The complete generalized-transitive-closure index of Zou et al. [48, 56]
+/// (paper §4.1.2): materializes, for every ordered vertex pair (s, t), the
+/// antichain of minimal SPLSs of s-t paths, by running the Dijkstra-like
+/// single-source GTC computation from every vertex.
+///
+/// Queries are pure lookups: Qr(s, t, alpha) is true iff some stored
+/// SPLS(s, t) ⊆ alpha's label set. Like the plain TC, the quadratic
+/// materialization is the scalability ceiling the survey attributes to GTC
+/// approaches — visible through `IndexSizeBytes()`.
+///
+/// (The original work's SCC-portal decomposition and bottom-up sharing are
+/// build-time optimizations of the same index contents; see DESIGN.md.)
+class GtcIndex : public LcrIndex {
+ public:
+  GtcIndex() = default;
+
+  void Build(const LabeledDigraph& graph) override;
+  bool Query(VertexId s, VertexId t, LabelSet allowed) const override;
+  size_t IndexSizeBytes() const override;
+  bool IsComplete() const override { return true; }
+  std::string Name() const override { return "gtc"; }
+
+  /// The minimal SPLSs from s to t (empty if unreachable; {∅} if s == t).
+  std::vector<LabelSet> Spls(VertexId s, VertexId t) const;
+
+  /// Total number of (pair, SPLS) entries.
+  size_t TotalEntries() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    VertexId target;
+    LabelSet mask;
+  };
+
+  size_t num_vertices_ = 0;
+  // Row s: entries_[row_offsets_[s] .. row_offsets_[s+1]) sorted by target.
+  std::vector<size_t> row_offsets_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_LCR_GTC_INDEX_H_

@@ -1,0 +1,50 @@
+#include "lcr/label_set.h"
+
+namespace reach {
+
+LabelSet MakeLabelSet(std::initializer_list<Label> labels) {
+  LabelSet mask = 0;
+  for (Label l : labels) mask |= LabelBit(l);
+  return mask;
+}
+
+std::string LabelSetToString(LabelSet s,
+                             const std::vector<std::string>& names) {
+  std::string out = "{";
+  bool first = true;
+  for (Label l = 0; l < kMaxLabels; ++l) {
+    if ((s & LabelBit(l)) == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    if (l < names.size()) {
+      out += names[l];
+    } else {
+      out += std::to_string(l);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+bool MinimalLabelSets::AddIfMinimal(LabelSet mask) {
+  for (LabelSet existing : sets_) {
+    if (IsSubsetOf(existing, mask)) return false;  // dominated
+  }
+  // Remove supersets that the new mask makes redundant.
+  size_t out = 0;
+  for (size_t i = 0; i < sets_.size(); ++i) {
+    if (!IsSubsetOf(mask, sets_[i])) sets_[out++] = sets_[i];
+  }
+  sets_.resize(out);
+  sets_.push_back(mask);
+  return true;
+}
+
+bool MinimalLabelSets::ContainsSubsetOf(LabelSet allowed) const {
+  for (LabelSet s : sets_) {
+    if (IsSubsetOf(s, allowed)) return true;
+  }
+  return false;
+}
+
+}  // namespace reach

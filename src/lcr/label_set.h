@@ -1,0 +1,64 @@
+#ifndef REACH_LCR_LABEL_SET_H_
+#define REACH_LCR_LABEL_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace reach {
+
+/// The bit for label `l` in a LabelSet mask.
+inline constexpr LabelSet LabelBit(Label l) { return LabelSet{1} << l; }
+
+/// True iff every label of `a` is in `b`.
+inline constexpr bool IsSubsetOf(LabelSet a, LabelSet b) {
+  return (a & ~b) == 0;
+}
+
+/// Number of distinct labels in the set — the "distance" of the
+/// Dijkstra-like GTC computation of Zou et al. (paper §4.1.2).
+inline int LabelCount(LabelSet s) { return __builtin_popcount(s); }
+
+/// Builds the mask for an alternation constraint (l1 ∪ l2 ∪ ...)*.
+LabelSet MakeLabelSet(std::initializer_list<Label> labels);
+
+/// Renders a mask like "{friendOf, worksFor}" using `names` (or bit
+/// indexes when names are missing).
+std::string LabelSetToString(LabelSet s, const std::vector<std::string>& names);
+
+/// An antichain of minimal label sets under ⊆ — the *sufficient path-label
+/// sets* (SPLS) of Jin et al. (paper §4.1): "if there are two s-t paths
+/// with edge-label sets S1 and S2 and S1 ⊆ S2, then S2 is redundant".
+///
+/// The container maintains exactly the ⊆-minimal masks among everything
+/// added. An alternation query Qr(s, t, alpha) with allowed mask A succeeds
+/// iff some stored SPLS is ⊆ A.
+class MinimalLabelSets {
+ public:
+  MinimalLabelSets() = default;
+
+  /// Adds `mask` unless a stored subset already covers it; removes stored
+  /// supersets it makes redundant. Returns true iff `mask` was inserted.
+  bool AddIfMinimal(LabelSet mask);
+
+  /// True iff some stored set is a subset of `allowed` (the query test).
+  bool ContainsSubsetOf(LabelSet allowed) const;
+
+  /// True iff `mask` is dominated: some stored set is ⊆ mask.
+  bool Dominates(LabelSet mask) const { return ContainsSubsetOf(mask); }
+
+  /// The stored antichain (unordered).
+  const std::vector<LabelSet>& sets() const { return sets_; }
+
+  bool empty() const { return sets_.empty(); }
+  size_t size() const { return sets_.size(); }
+
+ private:
+  std::vector<LabelSet> sets_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_LCR_LABEL_SET_H_

@@ -1,0 +1,116 @@
+#include "lcr/landmark_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "lcr/single_source_gtc.h"
+
+namespace reach {
+
+void LandmarkIndex::Build(const LabeledDigraph& graph) {
+  graph_ = &graph;
+  const size_t n = graph.NumVertices();
+  landmark_id_.assign(n, kNoLandmark);
+
+  std::vector<VertexId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](VertexId a, VertexId b) {
+                     return graph.Degree(a) > graph.Degree(b);
+                   });
+  const size_t k = std::min(num_landmarks_, n);
+
+  row_offsets_.assign(k + 1, 0);
+  row_entries_.clear();
+  shortcuts_.assign(n, {});
+  for (uint32_t lm = 0; lm < k; ++lm) {
+    const VertexId landmark = by_degree[lm];
+    landmark_id_[landmark] = lm;
+    const std::vector<MinimalLabelSets> fwd = SingleSourceGtc(graph, landmark);
+    for (VertexId t = 0; t < n; ++t) {
+      for (LabelSet mask : fwd[t].sets()) row_entries_.push_back({t, mask});
+    }
+    row_offsets_[lm + 1] = row_entries_.size();
+
+    // Shortcuts: minimal SPLSs from every vertex TO this landmark; each
+    // vertex keeps its `budget_` smallest across all landmarks.
+    if (budget_ > 0) {
+      const std::vector<MinimalLabelSets> bwd =
+          SingleTargetGtc(graph, landmark);
+      for (VertexId v = 0; v < n; ++v) {
+        if (v == landmark) continue;
+        for (LabelSet mask : bwd[v].sets()) {
+          shortcuts_[v].push_back({lm, mask});
+        }
+      }
+    }
+  }
+  if (budget_ > 0) {
+    for (VertexId v = 0; v < n; ++v) {
+      auto& sc = shortcuts_[v];
+      std::stable_sort(sc.begin(), sc.end(),
+                       [](const Shortcut& a, const Shortcut& b) {
+                         return LabelCount(a.mask) < LabelCount(b.mask);
+                       });
+      if (sc.size() > budget_) sc.resize(budget_);
+      sc.shrink_to_fit();
+    }
+  }
+}
+
+bool LandmarkIndex::RowQuery(uint32_t lm, VertexId t, LabelSet allowed) const {
+  const RowEntry* begin = row_entries_.data() + row_offsets_[lm];
+  const RowEntry* end = row_entries_.data() + row_offsets_[lm + 1];
+  const RowEntry* it = std::lower_bound(
+      begin, end, t,
+      [](const RowEntry& e, VertexId target) { return e.target < target; });
+  for (; it != end && it->target == t; ++it) {
+    if (IsSubsetOf(it->mask, allowed)) return true;
+  }
+  return false;
+}
+
+bool LandmarkIndex::Query(VertexId s, VertexId t, LabelSet allowed) const {
+  if (s == t) return true;
+  // A landmark source is answered entirely from its complete GTC row.
+  if (landmark_id_[s] != kNoLandmark) {
+    return RowQuery(landmark_id_[s], t, allowed);
+  }
+  // Shortcut acceleration: s -> landmark -> t without any traversal.
+  for (const Shortcut& sc : shortcuts_[s]) {
+    if (IsSubsetOf(sc.mask, allowed) && RowQuery(sc.landmark, t, allowed)) {
+      return true;
+    }
+  }
+  // Constrained BFS with landmark acceleration and pruning.
+  ws_.Prepare(graph_->NumVertices());
+  auto& queue = ws_.queue();
+  ws_.MarkForward(s);
+  queue.push_back(s);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    for (const LabeledDigraph::Arc& arc : graph_->OutArcs(queue[head])) {
+      if ((LabelBit(arc.label) & allowed) == 0) continue;
+      if (arc.vertex == t) return true;
+      if (!ws_.MarkForward(arc.vertex)) continue;
+      const uint32_t lm = landmark_id_[arc.vertex];
+      if (lm != kNoLandmark) {
+        // Landmark hit: its complete row either answers true or proves no
+        // path through it can satisfy the constraint — prune either way.
+        if (RowQuery(lm, t, allowed)) return true;
+        continue;
+      }
+      queue.push_back(arc.vertex);
+    }
+  }
+  return false;
+}
+
+size_t LandmarkIndex::IndexSizeBytes() const {
+  size_t bytes = row_entries_.size() * sizeof(RowEntry) +
+                 row_offsets_.size() * sizeof(size_t) +
+                 landmark_id_.size() * sizeof(uint32_t);
+  for (const auto& sc : shortcuts_) bytes += sc.size() * sizeof(Shortcut);
+  return bytes;
+}
+
+}  // namespace reach

@@ -1,0 +1,74 @@
+#ifndef REACH_LCR_LANDMARK_INDEX_H_
+#define REACH_LCR_LANDMARK_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/search_workspace.h"
+#include "lcr/label_set.h"
+#include "lcr/lcr_index.h"
+
+namespace reach {
+
+/// The landmark index of Valstar, Fletcher & Yoshida [44] (paper §4.1.2):
+/// a *partial* GTC-based index for alternation queries.
+///
+/// The k highest-degree vertices become landmarks; for each landmark the
+/// full single-source GTC (minimal SPLSs to every reachable vertex) is
+/// materialized. Qr(s, t, alpha) runs a constrained BFS from s that is
+/// accelerated in both directions whenever a landmark ℓ is hit:
+///  * if ℓ's GTC contains t with an SPLS ⊆ alpha, answer true immediately;
+///  * otherwise no path through ℓ can satisfy alpha, so ℓ is pruned from
+///    the search (the paper's pruning rule).
+/// In addition, every non-landmark vertex stores up to `budget` minimal
+/// (landmark, SPLS) shortcuts — the paper's second improvement — which can
+/// settle queries positively before the BFS starts.
+class LandmarkIndex : public LcrIndex {
+ public:
+  explicit LandmarkIndex(size_t num_landmarks = 16, size_t budget = 2)
+      : num_landmarks_(num_landmarks), budget_(budget) {}
+
+  void Build(const LabeledDigraph& graph) override;
+  bool Query(VertexId s, VertexId t, LabelSet allowed) const override;
+  size_t IndexSizeBytes() const override;
+  bool IsComplete() const override { return false; }
+  std::string Name() const override {
+    return "landmark(k=" + std::to_string(num_landmarks_) + ")";
+  }
+
+  /// True iff v was selected as a landmark.
+  bool IsLandmark(VertexId v) const {
+    return landmark_id_[v] != kNoLandmark;
+  }
+
+ private:
+  struct RowEntry {
+    VertexId target;
+    LabelSet mask;
+  };
+  struct Shortcut {
+    uint32_t landmark;  // index into rows
+    LabelSet mask;      // SPLS from the vertex to that landmark
+  };
+
+  static constexpr uint32_t kNoLandmark = UINT32_MAX;
+
+  // True iff landmark row `lm` contains t with an SPLS ⊆ allowed.
+  bool RowQuery(uint32_t lm, VertexId t, LabelSet allowed) const;
+
+  size_t num_landmarks_;
+  size_t budget_;
+  const LabeledDigraph* graph_ = nullptr;
+  std::vector<uint32_t> landmark_id_;  // vertex -> landmark index or none
+  // Landmark rows in CSR form, sorted by target within a row.
+  std::vector<size_t> row_offsets_;
+  std::vector<RowEntry> row_entries_;
+  // Per-vertex shortcuts (<= budget_ each).
+  std::vector<std::vector<Shortcut>> shortcuts_;
+  mutable SearchWorkspace ws_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_LCR_LANDMARK_INDEX_H_

@@ -1,0 +1,39 @@
+#include "lcr/lcr_bfs.h"
+
+#include "lcr/label_set.h"
+
+namespace reach {
+
+bool LcrBfsReachability(const LabeledDigraph& graph, VertexId s, VertexId t,
+                        LabelSet allowed, SearchWorkspace& ws,
+                        size_t* visited) {
+  size_t count = 1;
+  bool found = (s == t);
+  if (!found) {
+    ws.Prepare(graph.NumVertices());
+    ws.MarkForward(s);
+    auto& queue = ws.queue();
+    queue.push_back(s);
+    for (size_t head = 0; head < queue.size() && !found; ++head) {
+      for (const LabeledDigraph::Arc& arc : graph.OutArcs(queue[head])) {
+        if ((LabelBit(arc.label) & allowed) == 0) continue;
+        if (arc.vertex == t) {
+          found = true;
+          break;
+        }
+        if (ws.MarkForward(arc.vertex)) {
+          queue.push_back(arc.vertex);
+          ++count;
+        }
+      }
+    }
+  }
+  if (visited != nullptr) *visited = count;
+  return found;
+}
+
+bool LcrOnlineBfs::Query(VertexId s, VertexId t, LabelSet allowed) const {
+  return LcrBfsReachability(*graph_, s, t, allowed, ws_);
+}
+
+}  // namespace reach

@@ -1,0 +1,36 @@
+#ifndef REACH_LCR_LCR_BFS_H_
+#define REACH_LCR_LCR_BFS_H_
+
+#include <string>
+
+#include "core/search_workspace.h"
+#include "lcr/lcr_index.h"
+
+namespace reach {
+
+/// Label-constrained BFS from `s`: true iff `t` is reachable using only
+/// edges whose labels are in `allowed` — the §2.3 online baseline for
+/// alternation constraints and the oracle for every LCR index test.
+bool LcrBfsReachability(const LabeledDigraph& graph, VertexId s, VertexId t,
+                        LabelSet allowed, SearchWorkspace& ws,
+                        size_t* visited = nullptr);
+
+/// Index-interface adapter for the constrained-BFS baseline.
+class LcrOnlineBfs : public LcrIndex {
+ public:
+  LcrOnlineBfs() = default;
+
+  void Build(const LabeledDigraph& graph) override { graph_ = &graph; }
+  bool Query(VertexId s, VertexId t, LabelSet allowed) const override;
+  size_t IndexSizeBytes() const override { return 0; }
+  bool IsComplete() const override { return false; }
+  std::string Name() const override { return "lcr-bfs"; }
+
+ private:
+  const LabeledDigraph* graph_ = nullptr;
+  mutable SearchWorkspace ws_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_LCR_LCR_BFS_H_

@@ -1,0 +1,45 @@
+#ifndef REACH_LCR_LCR_INDEX_H_
+#define REACH_LCR_LCR_INDEX_H_
+
+#include <cstddef>
+#include <string>
+
+#include "graph/labeled_digraph.h"
+#include "graph/types.h"
+
+namespace reach {
+
+/// Abstract interface of an index for alternation-based path-constrained
+/// reachability queries (label-constrained reachability, LCR — paper §4.1).
+///
+/// `Query(s, t, allowed)` answers Qr(s, t, alpha) for the alternation
+/// constraint alpha = (l1 ∪ l2 ∪ ...)* whose label set is the bitmask
+/// `allowed`: does an s-t path exist using only edges whose label is in
+/// `allowed`? Kleene-star semantics make reachability reflexive:
+/// `Query(v, v, anything) == true` (empty path).
+///
+/// As with plain indexes, answers are always exact; partial indexes fall
+/// back to constrained traversal internally.
+class LcrIndex {
+ public:
+  virtual ~LcrIndex() = default;
+
+  /// Builds the index; same lifetime contract as `ReachabilityIndex`.
+  virtual void Build(const LabeledDigraph& graph) = 0;
+
+  /// Answers Qr(s, t, (∪ allowed)*).
+  virtual bool Query(VertexId s, VertexId t, LabelSet allowed) const = 0;
+
+  /// Index footprint in bytes (labels only).
+  virtual size_t IndexSizeBytes() const = 0;
+
+  /// True if queries never fall back to graph traversal.
+  virtual bool IsComplete() const = 0;
+
+  /// Identifier for benchmark tables.
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace reach
+
+#endif  // REACH_LCR_LCR_INDEX_H_

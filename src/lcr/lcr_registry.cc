@@ -1,0 +1,43 @@
+#include "lcr/lcr_registry.h"
+
+#include <cstdlib>
+
+#include "lcr/gtc_index.h"
+#include "lcr/landmark_index.h"
+#include "lcr/lcr_bfs.h"
+#include "lcr/pruned_labeled_two_hop.h"
+#include "lcr/tree_lcr_index.h"
+
+namespace reach {
+
+namespace {
+
+size_t ParseParam(const std::string& spec, const std::string& key,
+                  size_t fallback) {
+  const std::string needle = key + "=";
+  const size_t pos = spec.find(needle);
+  if (pos == std::string::npos) return fallback;
+  return static_cast<size_t>(
+      std::strtoull(spec.c_str() + pos + needle.size(), nullptr, 10));
+}
+
+}  // namespace
+
+std::unique_ptr<LcrIndex> MakeLcrIndex(const std::string& spec) {
+  const std::string name = spec.substr(0, spec.find(':'));
+  if (name == "lcr-bfs") return std::make_unique<LcrOnlineBfs>();
+  if (name == "gtc") return std::make_unique<GtcIndex>();
+  if (name == "landmark") {
+    return std::make_unique<LandmarkIndex>(ParseParam(spec, "k", 16),
+                                           ParseParam(spec, "b", 2));
+  }
+  if (name == "p2h") return std::make_unique<PrunedLabeledTwoHop>();
+  if (name == "jin-tree") return std::make_unique<TreeLcrIndex>();
+  return nullptr;
+}
+
+std::vector<std::string> DefaultLcrIndexSpecs() {
+  return {"lcr-bfs", "gtc", "jin-tree", "landmark", "p2h"};
+}
+
+}  // namespace reach

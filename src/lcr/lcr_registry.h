@@ -1,0 +1,23 @@
+#ifndef REACH_LCR_LCR_REGISTRY_H_
+#define REACH_LCR_LCR_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lcr/lcr_index.h"
+
+namespace reach {
+
+/// Creates an LCR index by specification string. Known specs: "lcr-bfs",
+/// "gtc", "jin-tree",
+/// "landmark" / "landmark:k=<n>" / "landmark:k=<n>:b=<n>", "p2h".
+/// Returns nullptr for unknown specs.
+std::unique_ptr<LcrIndex> MakeLcrIndex(const std::string& spec);
+
+/// One spec per implemented Table 2 alternation row plus the baseline.
+std::vector<std::string> DefaultLcrIndexSpecs();
+
+}  // namespace reach
+
+#endif  // REACH_LCR_LCR_REGISTRY_H_

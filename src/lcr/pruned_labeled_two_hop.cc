@@ -1,0 +1,288 @@
+#include "lcr/pruned_labeled_two_hop.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace reach {
+
+namespace {
+
+// A label-BFS state: `vertex` reached with accumulated label set `mask`.
+struct State {
+  LabelSet mask;
+  VertexId vertex;
+};
+
+// Bucket queue keyed by |mask| so states expand in nondecreasing number of
+// distinct labels (minimal SPLSs first).
+class BucketQueue {
+ public:
+  void Clear() {
+    for (auto& b : buckets_) b.clear();
+    level_ = 0;
+    index_ = 0;
+  }
+
+  void Push(State s) { buckets_[LabelCount(s.mask)].push_back(s); }
+
+  // Returns false when empty. States pushed at the current level while
+  // draining it are still popped (same-level growth).
+  bool Pop(State* out) {
+    while (level_ <= kMaxLabels) {
+      if (index_ < buckets_[level_].size()) {
+        *out = buckets_[level_][index_++];
+        return true;
+      }
+      buckets_[level_].clear();
+      index_ = 0;
+      ++level_;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<State> buckets_[kMaxLabels + 1];
+  size_t level_ = 0;
+  size_t index_ = 0;
+};
+
+// Per-sweep dominance antichains with O(1) sparse reset.
+class SeenSets {
+ public:
+  void Reset(size_t n) {
+    if (seen_.size() < n) seen_.resize(n);
+    for (VertexId v : touched_) seen_[v] = MinimalLabelSets();
+    touched_.clear();
+  }
+
+  // Adds mask for v unless dominated; returns true if added.
+  bool Add(VertexId v, LabelSet mask) {
+    if (seen_[v].empty()) touched_.push_back(v);
+    return seen_[v].AddIfMinimal(mask);
+  }
+
+  bool Dominates(VertexId v, LabelSet mask) const {
+    return seen_[v].Dominates(mask);
+  }
+
+ private:
+  std::vector<MinimalLabelSets> seen_;
+  std::vector<VertexId> touched_;
+};
+
+}  // namespace
+
+template <typename ArcFn>
+void PrunedLabeledTwoHop::ArcsOut(VertexId v, ArcFn&& fn) const {
+  for (const auto& arc : graph_->OutArcs(v)) fn(arc);
+  if (!extra_out_.empty()) {
+    for (const auto& arc : extra_out_[v]) fn(arc);
+  }
+}
+
+template <typename ArcFn>
+void PrunedLabeledTwoHop::ArcsIn(VertexId v, ArcFn&& fn) const {
+  for (const auto& arc : graph_->InArcs(v)) fn(arc);
+  if (!extra_in_.empty()) {
+    for (const auto& arc : extra_in_[v]) fn(arc);
+  }
+}
+
+bool PrunedLabeledTwoHop::HasCoveredEntry(const std::vector<Entry>& entries,
+                                          uint32_t rank, LabelSet allowed) {
+  // Entries are grouped by ascending rank; binary-search the group start.
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), rank,
+      [](const Entry& e, uint32_t r) { return e.rank < r; });
+  for (; it != entries.end() && it->rank == rank; ++it) {
+    if (IsSubsetOf(it->mask, allowed)) return true;
+  }
+  return false;
+}
+
+bool PrunedLabeledTwoHop::LabelQuery(VertexId s, VertexId t,
+                                     LabelSet allowed) const {
+  if (s == t) return true;
+  // Virtual self-hops: s itself or t itself as the common hop.
+  if (HasCoveredEntry(lin_[t], rank_[s], allowed)) return true;
+  if (HasCoveredEntry(lout_[s], rank_[t], allowed)) return true;
+  // Two-pointer sweep over rank groups.
+  const auto& out = lout_[s];
+  const auto& in = lin_[t];
+  size_t i = 0, j = 0;
+  while (i < out.size() && j < in.size()) {
+    if (out[i].rank < in[j].rank) {
+      ++i;
+    } else if (out[i].rank > in[j].rank) {
+      ++j;
+    } else {
+      const uint32_t rank = out[i].rank;
+      size_t i_end = i, j_end = j;
+      while (i_end < out.size() && out[i_end].rank == rank) ++i_end;
+      while (j_end < in.size() && in[j_end].rank == rank) ++j_end;
+      for (size_t a = i; a < i_end; ++a) {
+        if (!IsSubsetOf(out[a].mask, allowed)) continue;
+        for (size_t b = j; b < j_end; ++b) {
+          if (IsSubsetOf(in[b].mask, allowed)) return true;
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return false;
+}
+
+bool PrunedLabeledTwoHop::Query(VertexId s, VertexId t,
+                                LabelSet allowed) const {
+  return LabelQuery(s, t, allowed);
+}
+
+void PrunedLabeledTwoHop::Build(const LabeledDigraph& graph) {
+  graph_ = &graph;
+  extra_out_.clear();
+  extra_in_.clear();
+  const size_t n = graph.NumVertices();
+
+  by_rank_.resize(n);
+  std::iota(by_rank_.begin(), by_rank_.end(), 0);
+  std::stable_sort(by_rank_.begin(), by_rank_.end(),
+                   [&](VertexId a, VertexId b) {
+                     return graph.Degree(a) > graph.Degree(b);
+                   });
+  rank_.resize(n);
+  for (uint32_t r = 0; r < n; ++r) rank_[by_rank_[r]] = r;
+
+  lin_.assign(n, {});
+  lout_.assign(n, {});
+  BucketQueue queue;
+  SeenSets seen;
+  State state;
+
+  for (uint32_t r = 0; r < n; ++r) {
+    const VertexId hop = by_rank_[r];
+    // Forward sweep: hop -> x states populate Lin(x).
+    queue.Clear();
+    seen.Reset(n);
+    seen.Add(hop, 0);
+    queue.Push({0, hop});
+    while (queue.Pop(&state)) {
+      ArcsOut(state.vertex, [&](const LabeledDigraph::Arc& arc) {
+        const VertexId x = arc.vertex;
+        if (x == hop || rank_[x] < r) return;
+        const LabelSet next = state.mask | LabelBit(arc.label);
+        if (seen.Dominates(x, next)) return;
+        if (LabelQuery(hop, x, next)) {
+          seen.Add(x, next);  // block supersets; already answerable
+          return;
+        }
+        seen.Add(x, next);
+        lin_[x].push_back({r, next});
+        queue.Push({next, x});
+      });
+    }
+    // Backward sweep: x -> hop states populate Lout(x).
+    queue.Clear();
+    seen.Reset(n);
+    seen.Add(hop, 0);
+    queue.Push({0, hop});
+    while (queue.Pop(&state)) {
+      ArcsIn(state.vertex, [&](const LabeledDigraph::Arc& arc) {
+        const VertexId x = arc.vertex;
+        if (x == hop || rank_[x] < r) return;
+        const LabelSet next = state.mask | LabelBit(arc.label);
+        if (seen.Dominates(x, next)) return;
+        if (LabelQuery(x, hop, next)) {
+          seen.Add(x, next);
+          return;
+        }
+        seen.Add(x, next);
+        lout_[x].push_back({r, next});
+        queue.Push({next, x});
+      });
+    }
+  }
+}
+
+void PrunedLabeledTwoHop::InsertEdge(VertexId s, VertexId t, Label label) {
+  const LabeledDigraph::Arc arc{t, label};
+  bool exists = false;
+  ArcsOut(s, [&](const LabeledDigraph::Arc& a) { exists |= a == arc; });
+  if (exists) return;
+  if (extra_out_.empty()) {
+    extra_out_.resize(graph_->NumVertices());
+    extra_in_.resize(graph_->NumVertices());
+  }
+  extra_out_[s].push_back({t, label});
+  extra_in_[t].push_back({s, label});
+
+  // Every newly answerable pair (x, y, A) decomposes as x -> s (old paths,
+  // mask M1 ⊆ A), the new edge (label ∈ A), then t -> y (old paths,
+  // M2 ⊆ A). The old index answers (x, s, M1) through some hop entry of
+  // Lin(s) (or a virtual endpoint hop), so propagating each such hop
+  // through the new edge to everything reachable from t restores
+  // completeness. Traversal prunes only by per-sweep dominance, never by
+  // index queries — minimality is traded for correctness (see header).
+  std::vector<Entry> hops = lin_[s];
+  hops.push_back({rank_[s], 0});
+
+  BucketQueue queue;
+  SeenSets seen;
+  State state;
+  for (const Entry& hop_entry : hops) {
+    const VertexId hop = by_rank_[hop_entry.rank];
+    queue.Clear();
+    seen.Reset(graph_->NumVertices());
+    const LabelSet start = hop_entry.mask | LabelBit(label);
+    seen.Add(t, start);
+    queue.Push({start, t});
+    while (queue.Pop(&state)) {
+      if (state.vertex != hop &&
+          !HasCoveredEntry(lin_[state.vertex], hop_entry.rank, state.mask)) {
+        // Insert keeping rank-group ordering.
+        auto& entries = lin_[state.vertex];
+        auto it = std::upper_bound(
+            entries.begin(), entries.end(), hop_entry.rank,
+            [](uint32_t r, const Entry& e) { return r < e.rank; });
+        entries.insert(it, {hop_entry.rank, state.mask});
+      }
+      ArcsOut(state.vertex, [&](const LabeledDigraph::Arc& a) {
+        const LabelSet next = state.mask | LabelBit(a.label);
+        if (seen.Dominates(a.vertex, next)) return;
+        seen.Add(a.vertex, next);
+        queue.Push({next, a.vertex});
+      });
+    }
+  }
+}
+
+void PrunedLabeledTwoHop::RemoveEdgeAndRebuild(VertexId s, VertexId t,
+                                               Label label) {
+  std::vector<LabeledEdge> edges = graph_->Edges();
+  if (!extra_out_.empty()) {
+    for (VertexId v = 0; v < extra_out_.size(); ++v) {
+      for (const auto& arc : extra_out_[v]) {
+        edges.push_back({v, arc.vertex, arc.label});
+      }
+    }
+  }
+  std::erase(edges, LabeledEdge{s, t, label});
+  owned_graph_ = LabeledDigraph::FromEdges(
+      static_cast<VertexId>(graph_->NumVertices()), graph_->NumLabels(),
+      std::move(edges));
+  Build(owned_graph_);
+}
+
+size_t PrunedLabeledTwoHop::TotalEntries() const {
+  size_t total = 0;
+  for (const auto& e : lin_) total += e.size();
+  for (const auto& e : lout_) total += e.size();
+  return total;
+}
+
+size_t PrunedLabeledTwoHop::IndexSizeBytes() const {
+  return TotalEntries() * sizeof(Entry) +
+         (rank_.size() + by_rank_.size()) * sizeof(uint32_t);
+}
+
+}  // namespace reach

@@ -1,0 +1,79 @@
+#ifndef REACH_LCR_PRUNED_LABELED_TWO_HOP_H_
+#define REACH_LCR_PRUNED_LABELED_TWO_HOP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lcr/label_set.h"
+#include "lcr/lcr_index.h"
+
+namespace reach {
+
+/// P2H+-style pruned labeled 2-hop index (Peng et al. [33], paper §4.1.3),
+/// with DLCR-style [10] incremental edge insertion — the 2-hop rows of
+/// Table 2.
+///
+/// Every vertex carries Lin/Lout entries (hop, SPLS): (h, S) ∈ Lin(v)
+/// means h reaches v via a path whose minimal label set is S.
+/// Qr(s, t, alpha) is true iff there is a common hop h with
+/// S_out(s, h) ∪ S_in(h, t) ⊆ alpha's mask (the endpoints act as their own
+/// virtual hops with empty SPLS).
+///
+/// Build runs forward/backward *label-BFSs* from vertices in decreasing-
+/// degree order; states (vertex, label set) expand in nondecreasing
+/// |label set| (so recorded SPLSs are minimal) and a state is pruned when
+/// the index built so far already answers the corresponding query — the
+/// non-redundancy guarantee of P2H+. Works on general graphs.
+///
+/// Dynamics (the DLCR row): `InsertEdge` resumes label-BFSs through the
+/// new edge for every hop that reaches its source, keeping the index
+/// correct (possibly with redundant entries — DLCR's redundancy
+/// elimination bookkeeping is out of scope; see DESIGN.md). Deletions are
+/// handled by `RemoveEdgeAndRebuild`.
+class PrunedLabeledTwoHop : public LcrIndex {
+ public:
+  PrunedLabeledTwoHop() = default;
+
+  void Build(const LabeledDigraph& graph) override;
+  bool Query(VertexId s, VertexId t, LabelSet allowed) const override;
+  size_t IndexSizeBytes() const override;
+  bool IsComplete() const override { return true; }
+  std::string Name() const override { return "p2h"; }
+
+  /// Incremental insertion of the labeled edge s -l-> t.
+  void InsertEdge(VertexId s, VertexId t, Label label);
+
+  /// Deletion via rebuild over the current edge set minus (s, t, label).
+  void RemoveEdgeAndRebuild(VertexId s, VertexId t, Label label);
+
+  /// Total number of (hop, SPLS) entries across all vertices.
+  size_t TotalEntries() const;
+
+ private:
+  struct Entry {
+    uint32_t rank;
+    LabelSet mask;
+  };
+
+  bool LabelQuery(VertexId s, VertexId t, LabelSet allowed) const;
+  // True iff `entries` holds (rank, mask ⊆ allowed).
+  static bool HasCoveredEntry(const std::vector<Entry>& entries,
+                              uint32_t rank, LabelSet allowed);
+  template <typename ArcFn>
+  void ArcsOut(VertexId v, ArcFn&& fn) const;
+  template <typename ArcFn>
+  void ArcsIn(VertexId v, ArcFn&& fn) const;
+
+  const LabeledDigraph* graph_ = nullptr;
+  LabeledDigraph owned_graph_;  // used after RemoveEdgeAndRebuild
+  std::vector<uint32_t> rank_;
+  std::vector<VertexId> by_rank_;
+  std::vector<std::vector<Entry>> lin_;   // sorted by (rank, insertion)
+  std::vector<std::vector<Entry>> lout_;
+  std::vector<std::vector<LabeledDigraph::Arc>> extra_out_, extra_in_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_LCR_PRUNED_LABELED_TWO_HOP_H_

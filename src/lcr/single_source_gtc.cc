@@ -1,0 +1,65 @@
+#include "lcr/single_source_gtc.h"
+
+#include <vector>
+
+namespace reach {
+
+namespace {
+
+// Bucket queue keyed by popcount (0..kMaxLabels): pops states in
+// nondecreasing number of distinct labels, the paper's path "length".
+struct State {
+  LabelSet mask;
+  VertexId vertex;
+};
+
+template <typename ArcRange>
+std::vector<MinimalLabelSets> GtcSweep(const LabeledDigraph& graph,
+                                       VertexId origin, ArcRange arcs) {
+  const size_t n = graph.NumVertices();
+  std::vector<MinimalLabelSets> minimal(n);
+  std::vector<std::vector<State>> buckets(kMaxLabels + 1);
+  minimal[origin].AddIfMinimal(0);
+  buckets[0].push_back({0, origin});
+
+  for (size_t level = 0; level <= kMaxLabels; ++level) {
+    // Buckets at the current level may grow while being drained (same-level
+    // expansions when the edge label is already in the mask).
+    for (size_t i = 0; i < buckets[level].size(); ++i) {
+      const State state = buckets[level][i];
+      // Stale check: dominated states are skipped (a smaller SPLS to this
+      // vertex was settled first).
+      if (!minimal[state.vertex].Dominates(state.mask)) continue;
+      bool is_current = false;
+      for (LabelSet s : minimal[state.vertex].sets()) {
+        if (s == state.mask) {
+          is_current = true;
+          break;
+        }
+      }
+      if (!is_current) continue;  // strictly dominated: stale
+      for (const LabeledDigraph::Arc& arc : arcs(state.vertex)) {
+        const LabelSet next = state.mask | LabelBit(arc.label);
+        if (minimal[arc.vertex].AddIfMinimal(next)) {
+          buckets[LabelCount(next)].push_back({next, arc.vertex});
+        }
+      }
+    }
+  }
+  return minimal;
+}
+
+}  // namespace
+
+std::vector<MinimalLabelSets> SingleSourceGtc(const LabeledDigraph& graph,
+                                              VertexId source) {
+  return GtcSweep(graph, source,
+                  [&](VertexId v) { return graph.OutArcs(v); });
+}
+
+std::vector<MinimalLabelSets> SingleTargetGtc(const LabeledDigraph& graph,
+                                              VertexId target) {
+  return GtcSweep(graph, target, [&](VertexId v) { return graph.InArcs(v); });
+}
+
+}  // namespace reach

@@ -1,0 +1,33 @@
+#ifndef REACH_LCR_SINGLE_SOURCE_GTC_H_
+#define REACH_LCR_SINGLE_SOURCE_GTC_H_
+
+#include <vector>
+
+#include "graph/labeled_digraph.h"
+#include "lcr/label_set.h"
+
+namespace reach {
+
+/// The fundamental step of the GTC indexes of Zou et al. (paper §4.1.2):
+/// computes, for one source vertex, every reachable vertex together with
+/// the antichain of *minimal* sufficient path-label sets (SPLS) from the
+/// source to it.
+///
+/// Implementation is the paper's Dijkstra-like algorithm: states
+/// (label set, vertex) are expanded in nondecreasing number of distinct
+/// labels, so "shorter" label sets (e.g., the path p3 = (L, worksFor, C,
+/// worksFor, H) with one distinct label) are settled before "longer" ones
+/// (p4 with two), and dominated states are pruned against the per-vertex
+/// antichain. Works directly on general graphs; the source's own entry is
+/// the empty set (empty path).
+std::vector<MinimalLabelSets> SingleSourceGtc(const LabeledDigraph& graph,
+                                              VertexId source);
+
+/// Dual: minimal SPLSs from every vertex TO `target` (runs the same
+/// algorithm over in-arcs). Used by landmark-style indexes.
+std::vector<MinimalLabelSets> SingleTargetGtc(const LabeledDigraph& graph,
+                                              VertexId target);
+
+}  // namespace reach
+
+#endif  // REACH_LCR_SINGLE_SOURCE_GTC_H_

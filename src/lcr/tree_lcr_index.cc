@@ -1,0 +1,217 @@
+#include "lcr/tree_lcr_index.h"
+
+#include <algorithm>
+
+namespace reach {
+
+namespace {
+
+// Bucket queue state for the partial-GTC sweeps.
+struct State {
+  LabelSet mask;
+  VertexId vertex;
+};
+
+constexpr uint32_t kNotHub = UINT32_MAX;
+
+}  // namespace
+
+void TreeLcrIndex::Build(const LabeledDigraph& graph) {
+  graph_ = &graph;
+  num_labels_ = graph.NumLabels();
+  const size_t n = graph.NumVertices();
+  parent_.assign(n, kInvalidVertex);
+  parent_label_.assign(n, 0);
+  pre_.assign(n, 0);
+  post_.assign(n, 0);
+  label_counts_.assign(n * num_labels_, 0);
+
+  // DFS spanning forest over arcs; root-path label counts fill top-down.
+  std::vector<bool> visited(n, false);
+  struct Frame {
+    VertexId vertex;
+    size_t next_arc;
+  };
+  std::vector<Frame> stack;
+  uint32_t counter = 0;
+  for (VertexId root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    pre_[root] = ++counter;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const VertexId v = frame.vertex;
+      auto arcs = graph.OutArcs(v);
+      if (frame.next_arc < arcs.size()) {
+        const auto& arc = arcs[frame.next_arc++];
+        if (!visited[arc.vertex]) {
+          const VertexId c = arc.vertex;
+          visited[c] = true;
+          parent_[c] = v;
+          parent_label_[c] = arc.label;
+          pre_[c] = ++counter;
+          if (num_labels_ > 0) {
+            for (Label l = 0; l < num_labels_; ++l) {
+              label_counts_[c * num_labels_ + l] =
+                  label_counts_[v * num_labels_ + l];
+            }
+            ++label_counts_[c * num_labels_ + arc.label];
+          }
+          stack.push_back({c, 0});
+        }
+      } else {
+        post_[v] = ++counter;
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Hubs: vertices with at least one outgoing non-tree arc.
+  auto is_tree_arc = [&](VertexId u, const LabeledDigraph::Arc& arc) {
+    return parent_[arc.vertex] == u && parent_label_[arc.vertex] == arc.label;
+  };
+  hubs_.clear();
+  hub_index_of_.assign(n, kNotHub);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const auto& arc : graph.OutArcs(u)) {
+      if (!is_tree_arc(u, arc)) {
+        hub_index_of_[u] = 0;  // provisional mark
+        hubs_.push_back(u);
+        break;
+      }
+    }
+  }
+  std::sort(hubs_.begin(), hubs_.end(),
+            [&](VertexId a, VertexId b) { return pre_[a] < pre_[b]; });
+  for (uint32_t i = 0; i < hubs_.size(); ++i) hub_index_of_[hubs_[i]] = i;
+
+  // Partial GTC: per hub, minimal SPLSs of paths whose first and last
+  // arcs are non-tree (the paper's case (2)).
+  gtc_offsets_.assign(hubs_.size() + 1, 0);
+  gtc_entries_.clear();
+  std::vector<MinimalLabelSets> seen(n);  // traversal antichains
+  std::vector<MinimalLabelSets> rows(n);  // non-tree-ending antichains
+  std::vector<VertexId> touched;
+  std::vector<std::vector<State>> buckets(kMaxLabels + 1);
+  for (uint32_t h = 0; h < hubs_.size(); ++h) {
+    const VertexId hub = hubs_[h];
+    for (VertexId v : touched) {
+      seen[v] = MinimalLabelSets();
+      rows[v] = MinimalLabelSets();
+    }
+    touched.clear();
+    for (auto& b : buckets) b.clear();
+
+    // Seed with the hub's non-tree arcs.
+    for (const auto& arc : graph.OutArcs(hub)) {
+      if (is_tree_arc(hub, arc)) continue;
+      const LabelSet mask = LabelBit(arc.label);
+      if (seen[arc.vertex].empty() && rows[arc.vertex].empty()) {
+        touched.push_back(arc.vertex);
+      }
+      rows[arc.vertex].AddIfMinimal(mask);
+      if (seen[arc.vertex].AddIfMinimal(mask)) {
+        buckets[LabelCount(mask)].push_back({mask, arc.vertex});
+      }
+    }
+    // Expand in nondecreasing |mask|; record on every non-tree arrival.
+    for (size_t level = 0; level <= kMaxLabels; ++level) {
+      for (size_t i = 0; i < buckets[level].size(); ++i) {
+        const State state = buckets[level][i];
+        if (!seen[state.vertex].Dominates(state.mask)) continue;
+        for (const auto& arc : graph_->OutArcs(state.vertex)) {
+          const LabelSet next = state.mask | LabelBit(arc.label);
+          const VertexId y = arc.vertex;
+          if (seen[y].empty() && rows[y].empty()) touched.push_back(y);
+          if (!is_tree_arc(state.vertex, arc)) {
+            rows[y].AddIfMinimal(next);
+          }
+          if (seen[y].AddIfMinimal(next)) {
+            buckets[LabelCount(next)].push_back({next, y});
+          }
+        }
+      }
+    }
+    for (VertexId w = 0; w < n; ++w) {
+      for (LabelSet mask : rows[w].sets()) {
+        gtc_entries_.push_back({w, mask});
+      }
+    }
+    gtc_offsets_[h + 1] = gtc_entries_.size();
+  }
+}
+
+LabelSet TreeLcrIndex::TreePathLabels(VertexId s, VertexId t) const {
+  LabelSet mask = 0;
+  for (Label l = 0; l < num_labels_; ++l) {
+    if (label_counts_[t * num_labels_ + l] >
+        label_counts_[s * num_labels_ + l]) {
+      mask |= LabelBit(l);
+    }
+  }
+  return mask;
+}
+
+bool TreeLcrIndex::GtcQuery(size_t hub_index, VertexId w,
+                            LabelSet allowed) const {
+  const GtcEntry* begin = gtc_entries_.data() + gtc_offsets_[hub_index];
+  const GtcEntry* end = gtc_entries_.data() + gtc_offsets_[hub_index + 1];
+  const GtcEntry* it = std::lower_bound(
+      begin, end, w,
+      [](const GtcEntry& e, VertexId target) { return e.target < target; });
+  for (; it != end && it->target == w; ++it) {
+    if (IsSubsetOf(it->mask, allowed)) return true;
+  }
+  return false;
+}
+
+bool TreeLcrIndex::Query(VertexId s, VertexId t, LabelSet allowed) const {
+  if (s == t) return true;
+  // Case (1a): the pure tree path.
+  if (SubtreeContains(s, t) &&
+      IsSubsetOf(TreePathLabels(s, t), allowed)) {
+    return true;
+  }
+  // Tree-suffix candidates: ancestors-or-self of t whose downward path to
+  // t stays within the allowed labels (the label set only grows walking
+  // up, so the walk can stop early).
+  std::vector<VertexId> suffix_starts;
+  {
+    VertexId w = t;
+    LabelSet mask = 0;
+    while (true) {
+      suffix_starts.push_back(w);
+      if (parent_[w] == kInvalidVertex) break;
+      mask |= LabelBit(parent_label_[w]);
+      if (!IsSubsetOf(mask, allowed)) break;
+      w = parent_[w];
+    }
+  }
+  // Tree-prefix candidates: hubs in s's subtree with an allowed tree path
+  // from s (subtree range scan over the pre-sorted hub list).
+  auto first = std::lower_bound(
+      hubs_.begin(), hubs_.end(), pre_[s],
+      [&](VertexId hub, uint32_t pre) { return pre_[hub] < pre; });
+  for (; first != hubs_.end() && pre_[*first] <= post_[s]; ++first) {
+    const VertexId u = *first;
+    if (!IsSubsetOf(TreePathLabels(s, u), allowed)) continue;
+    const uint32_t hub_index = hub_index_of_[u];
+    for (VertexId w : suffix_starts) {
+      if (GtcQuery(hub_index, w, allowed)) return true;
+    }
+  }
+  return false;
+}
+
+size_t TreeLcrIndex::IndexSizeBytes() const {
+  return parent_.size() * (sizeof(VertexId) + sizeof(Label)) +
+         (pre_.size() + post_.size()) * sizeof(uint32_t) +
+         label_counts_.size() * sizeof(uint32_t) +
+         hubs_.size() * sizeof(VertexId) +
+         hub_index_of_.size() * sizeof(uint32_t) +
+         gtc_offsets_.size() * sizeof(size_t) +
+         gtc_entries_.size() * sizeof(GtcEntry);
+}
+
+}  // namespace reach

@@ -1,0 +1,83 @@
+#ifndef REACH_LCR_TREE_LCR_INDEX_H_
+#define REACH_LCR_TREE_LCR_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lcr/label_set.h"
+#include "lcr/lcr_index.h"
+
+namespace reach {
+
+/// The tree-based LCR index of Jin et al. [21] (paper §4.1.1): a spanning
+/// tree enriched with SPLSs plus a partial GTC for paths with non-tree
+/// edges.
+///
+/// Following the paper's construction:
+///  * a DFS spanning forest T with interval labels (the first
+///    optimization: subtree containment finds tree successors /
+///    predecessors in O(1));
+///  * per-vertex occurrence counts of each label on the root->v tree path
+///    (the second optimization: the SPLS of the unique s->t tree path is
+///    the count difference, "subtracting the SPLS of the r-s path from the
+///    SPLS of the r-t path");
+///  * a partial GTC holding, for every *hub* (vertex with an outgoing
+///    non-tree arc), the minimal SPLSs of all paths whose first AND last
+///    edges are non-tree (the paper's case (2)).
+///
+/// Every s-t path decomposes as tree-prefix (s -> u), case-2 middle
+/// (u -> w), tree-suffix (w -> t), so Qr(s, t, A) checks the pure tree
+/// path, then every (hub u in s's subtree with tree-SPLS(s,u) ⊆ A) x
+/// (ancestor-or-self w of t with tree-SPLS(w,t) ⊆ A) pair against the
+/// partial GTC. Complete (queries are lookups and tree walks; no graph
+/// traversal) — and exhibiting the quadratic pair enumeration that the
+/// survey notes keeps these early designs from modern graph scale.
+class TreeLcrIndex : public LcrIndex {
+ public:
+  TreeLcrIndex() = default;
+
+  void Build(const LabeledDigraph& graph) override;
+  bool Query(VertexId s, VertexId t, LabelSet allowed) const override;
+  size_t IndexSizeBytes() const override;
+  bool IsComplete() const override { return true; }
+  std::string Name() const override { return "jin-tree"; }
+
+  /// Number of hubs (vertices with outgoing non-tree arcs).
+  size_t NumHubs() const { return hubs_.size(); }
+
+  /// Total (hub, target, SPLS) entries in the partial GTC.
+  size_t PartialGtcEntries() const { return gtc_entries_.size(); }
+
+ private:
+  struct GtcEntry {
+    VertexId target;
+    LabelSet mask;
+  };
+
+  bool SubtreeContains(VertexId s, VertexId t) const {
+    return pre_[s] <= pre_[t] && post_[t] <= post_[s];
+  }
+  // The SPLS of the unique tree path s -> t; only valid when
+  // SubtreeContains(s, t). Computed from root-path label counts.
+  LabelSet TreePathLabels(VertexId s, VertexId t) const;
+  bool GtcQuery(size_t hub_index, VertexId w, LabelSet allowed) const;
+
+  const LabeledDigraph* graph_ = nullptr;
+  Label num_labels_ = 0;
+  // Spanning forest.
+  std::vector<VertexId> parent_;
+  std::vector<Label> parent_label_;      // label of the tree arc into v
+  std::vector<uint32_t> pre_, post_;     // DFS intervals
+  std::vector<uint32_t> label_counts_;   // [v * L + l] on root->v path
+  // Hubs sorted by pre order (for subtree range scans).
+  std::vector<VertexId> hubs_;
+  std::vector<uint32_t> hub_index_of_;   // vertex -> index in hubs_, or ~0
+  // Partial GTC rows per hub, CSR, sorted by target.
+  std::vector<size_t> gtc_offsets_;
+  std::vector<GtcEntry> gtc_entries_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_LCR_TREE_LCR_INDEX_H_

@@ -1,0 +1,43 @@
+#include "plain/auto_index.h"
+
+#include "plain/registry.h"
+
+namespace reach {
+
+IndexChoice ChoosePlainIndexSpec(const GraphStats& stats) {
+  const size_t n = stats.num_vertices;
+  // After condensation the DAG has num_sccs vertices; edges <= num_edges.
+  const double dag_density =
+      stats.num_sccs == 0
+          ? 0
+          : static_cast<double>(stats.num_edges) / stats.num_sccs;
+  if (dag_density <= 1.25) {
+    return {"treecover",
+            "tree-like after condensation: interval inheritance stays "
+            "near-linear and queries are two comparisons"};
+  }
+  if (n <= 8192) {
+    return {"pll",
+            "small graph: the complete 2-hop builds in milliseconds and "
+            "answers from label intersections alone"};
+  }
+  const bool deep =
+      stats.condensation_depth * 20 >= stats.num_sccs && stats.num_sccs > 0;
+  if (deep) {
+    return {"grail",
+            "large and deep: interval containment rejects most negative "
+            "queries and the guided DFS stays short"};
+  }
+  return {"bfl",
+          "large and shallow: Bloom-filter labels build linearly and "
+          "reject unreachable pairs without traversal"};
+}
+
+void AutoIndex::Build(const Digraph& graph) {
+  stats_ = ComputeGraphStats(graph);
+  choice_ = ChoosePlainIndexSpec(stats_);
+  chosen_ = MakePlainIndex(choice_.spec);
+  chosen_->Build(graph);
+}
+
+}  // namespace reach

@@ -1,0 +1,102 @@
+#include "plain/bfl.h"
+
+#include "graph/rng.h"
+#include "graph/topological.h"
+#include "plain/interval_labeling.h"
+
+namespace reach {
+
+void Bfl::Build(const Digraph& graph) {
+  graph_ = &graph;
+  const size_t n = graph.NumVertices();
+  bloom_out_.assign(n * words_, 0);
+  bloom_in_.assign(n * words_, 0);
+
+  const IntervalForest forest = BuildIntervalForest(graph, std::nullopt);
+  post_ = forest.post;
+  subtree_low_ = forest.subtree_low;
+
+  // Seed each vertex's own bit, then one sweep per direction.
+  const size_t bits = words_ * 64;
+  auto set_own = [&](std::vector<uint64_t>& bloom, VertexId v) {
+    const uint64_t h = Mix64(v ^ seed_) % bits;
+    bloom[v * words_ + (h >> 6)] |= uint64_t{1} << (h & 63);
+  };
+  for (VertexId v = 0; v < n; ++v) {
+    set_own(bloom_out_, v);
+    set_own(bloom_in_, v);
+  }
+  auto order = TopologicalOrder(graph);
+  // Out: reverse topological (successors first).
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const VertexId v = *it;
+    for (VertexId w : graph.OutNeighbors(v)) {
+      for (size_t word = 0; word < words_; ++word) {
+        bloom_out_[v * words_ + word] |= bloom_out_[w * words_ + word];
+      }
+    }
+  }
+  // In: topological (predecessors first).
+  for (VertexId v : *order) {
+    for (VertexId w : graph.InNeighbors(v)) {
+      for (size_t word = 0; word < words_; ++word) {
+        bloom_in_[v * words_ + word] |= bloom_in_[w * words_ + word];
+      }
+    }
+  }
+}
+
+bool Bfl::BloomConsistent(VertexId s, VertexId t) const {
+  // s -> t requires BloomOut(t) ⊆ BloomOut(s) and BloomIn(s) ⊆ BloomIn(t).
+  for (size_t word = 0; word < words_; ++word) {
+    if ((bloom_out_[t * words_ + word] & ~bloom_out_[s * words_ + word]) !=
+        0) {
+      return false;
+    }
+  }
+  for (size_t word = 0; word < words_; ++word) {
+    if ((bloom_in_[s * words_ + word] & ~bloom_in_[t * words_ + word]) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Bfl::FilterVerdict(VertexId s, VertexId t) const {
+  if (s == t) return 1;
+  if (subtree_low_[s] <= post_[t] && post_[t] <= post_[s]) return 1;
+  if (!BloomConsistent(s, t)) return -1;
+  return 0;
+}
+
+bool Bfl::Query(VertexId s, VertexId t) const {
+  const int verdict = FilterVerdict(s, t);
+  if (verdict != 0) return verdict > 0;
+  // Guided DFS with per-vertex filter checks.
+  ws_.Prepare(graph_->NumVertices());
+  auto& stack = ws_.queue();
+  ws_.MarkForward(s);
+  stack.push_back(s);
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (VertexId w : graph_->OutNeighbors(v)) {
+      if (w == t) return true;
+      if (ws_.IsForwardMarked(w)) continue;
+      const int wv = FilterVerdict(w, t);
+      if (wv > 0) return true;
+      if (wv == 0) {
+        ws_.MarkForward(w);
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+size_t Bfl::IndexSizeBytes() const {
+  return (bloom_out_.size() + bloom_in_.size()) * sizeof(uint64_t) +
+         (post_.size() + subtree_low_.size()) * sizeof(uint32_t);
+}
+
+}  // namespace reach

@@ -1,0 +1,64 @@
+#include "plain/chain_cover.h"
+
+#include <algorithm>
+
+#include "graph/topological.h"
+
+namespace reach {
+
+void ChainCover::Build(const Digraph& graph) {
+  const size_t n = graph.NumVertices();
+  chain_of_.assign(n, 0);
+  pos_in_chain_.assign(n, 0);
+
+  const auto order = TopologicalOrder(graph);
+  // Greedy chain cover: extend the chain of an in-neighbor that is still
+  // a chain tail, otherwise start a new chain.
+  std::vector<bool> is_tail(n, false);
+  num_chains_ = 0;
+  for (VertexId v : *order) {
+    bool extended = false;
+    for (VertexId u : graph.InNeighbors(v)) {
+      if (is_tail[u]) {
+        chain_of_[v] = chain_of_[u];
+        pos_in_chain_[v] = pos_in_chain_[u] + 1;
+        is_tail[u] = false;
+        extended = true;
+        break;
+      }
+    }
+    if (!extended) {
+      chain_of_[v] = static_cast<uint32_t>(num_chains_++);
+      pos_in_chain_[v] = 0;
+    }
+    is_tail[v] = true;
+  }
+
+  // minpos rows in reverse topological order: own position plus the min
+  // over successors' rows.
+  minpos_.assign(n * num_chains_, kUnreachable);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const VertexId v = *it;
+    uint32_t* row = minpos_.data() + static_cast<size_t>(v) * num_chains_;
+    row[chain_of_[v]] = pos_in_chain_[v];
+    for (VertexId w : graph.OutNeighbors(v)) {
+      const uint32_t* succ =
+          minpos_.data() + static_cast<size_t>(w) * num_chains_;
+      for (size_t c = 0; c < num_chains_; ++c) {
+        row[c] = std::min(row[c], succ[c]);
+      }
+    }
+  }
+}
+
+bool ChainCover::Query(VertexId s, VertexId t) const {
+  return minpos_[static_cast<size_t>(s) * num_chains_ + chain_of_[t]] <=
+         pos_in_chain_[t];
+}
+
+size_t ChainCover::IndexSizeBytes() const {
+  return (chain_of_.size() + pos_in_chain_.size() + minpos_.size()) *
+         sizeof(uint32_t);
+}
+
+}  // namespace reach

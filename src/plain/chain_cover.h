@@ -1,0 +1,54 @@
+#ifndef REACH_PLAIN_CHAIN_COVER_H_
+#define REACH_PLAIN_CHAIN_COVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/reachability_index.h"
+#include "graph/digraph.h"
+
+namespace reach {
+
+/// Chain-cover compression of the transitive closure (Jagadish [20],
+/// paper reference list; the decomposition that 3-Hop [26] later built
+/// chains into 2-hop labels).
+///
+/// The DAG is decomposed into disjoint chains (here: a greedy cover that
+/// extends the chain of any in-neighbor that is currently a chain tail,
+/// processed in topological order). For every vertex v and every chain c,
+/// the index stores the *minimum position* in c reachable from v; since
+/// reachability within a chain is monotone, Qr(s, t) collapses to one
+/// comparison: minpos(s, chain(t)) <= pos(t).
+///
+/// Size is O(V * C) for C chains — between the O(V^2) full TC and the
+/// O(V) partial labels, compressing exactly when few chains cover the
+/// DAG (deep, narrow graphs). Complete; input must be a DAG (wrap in
+/// `SccCondensingIndex`).
+class ChainCover : public ReachabilityIndex {
+ public:
+  ChainCover() = default;
+
+  void Build(const Digraph& graph) override;
+  bool Query(VertexId s, VertexId t) const override;
+  size_t IndexSizeBytes() const override;
+  bool IsComplete() const override { return true; }
+  std::string Name() const override { return "chaincover"; }
+
+  /// Number of chains in the greedy cover.
+  size_t NumChains() const { return num_chains_; }
+
+ private:
+  static constexpr uint32_t kUnreachable = UINT32_MAX;
+
+  size_t num_chains_ = 0;
+  std::vector<uint32_t> chain_of_;
+  std::vector<uint32_t> pos_in_chain_;
+  // minpos_[v * num_chains_ + c]: minimum position in chain c reachable
+  // from v, or kUnreachable.
+  std::vector<uint32_t> minpos_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_PLAIN_CHAIN_COVER_H_

@@ -1,0 +1,133 @@
+#include "plain/dagger.h"
+
+#include <algorithm>
+
+#include "graph/condensation.h"
+#include "graph/rng.h"
+#include "plain/interval_labeling.h"
+
+namespace reach {
+
+template <typename Fn>
+void Dagger::ForEachOut(VertexId v, Fn&& fn) const {
+  for (VertexId w : graph_->OutNeighbors(v)) fn(w);
+  if (!extra_out_.empty()) {
+    for (VertexId w : extra_out_[v]) fn(w);
+  }
+}
+
+template <typename Fn>
+void Dagger::ForEachIn(VertexId v, Fn&& fn) const {
+  for (VertexId w : graph_->InNeighbors(v)) fn(w);
+  if (!extra_in_.empty()) {
+    for (VertexId w : extra_in_[v]) fn(w);
+  }
+}
+
+void Dagger::Build(const Digraph& graph) {
+  graph_ = &graph;
+  extra_out_.clear();
+  extra_in_.clear();
+  const size_t n = graph.NumVertices();
+  low_.assign(n * k_, 0);
+  high_.assign(n * k_, 0);
+
+  // GRAIL-style labels on the condensation, shared by SCC members. On a
+  // DAG, a vertex's own post rank IS the max over its reachable set.
+  const Condensation cond = Condense(graph);
+  SplitMix64 seeds(seed_);
+  for (size_t i = 0; i < k_; ++i) {
+    const IntervalForest forest = BuildIntervalForest(cond.dag, seeds.Next());
+    const std::vector<uint32_t> low = ComputeReachableLow(cond.dag, forest);
+    for (VertexId v = 0; v < n; ++v) {
+      const VertexId c = cond.DagVertex(v);
+      low_[v * k_ + i] = low[c];
+      high_[v * k_ + i] = forest.post[c];
+    }
+  }
+}
+
+bool Dagger::MaybeReachable(VertexId s, VertexId t) const {
+  if (s == t) return true;
+  for (size_t i = 0; i < k_; ++i) {
+    if (low_[s * k_ + i] > low_[t * k_ + i] ||
+        high_[t * k_ + i] > high_[s * k_ + i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Dagger::Query(VertexId s, VertexId t) const {
+  if (s == t) return true;
+  if (!MaybeReachable(s, t)) return false;
+  ws_.Prepare(graph_->NumVertices());
+  auto& stack = ws_.queue();
+  ws_.MarkForward(s);
+  stack.push_back(s);
+  bool found = false;
+  while (!stack.empty() && !found) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    ForEachOut(v, [&](VertexId w) {
+      if (found) return;
+      if (w == t) {
+        found = true;
+        return;
+      }
+      if (!ws_.IsForwardMarked(w) && MaybeReachable(w, t)) {
+        ws_.MarkForward(w);
+        stack.push_back(w);
+      }
+    });
+  }
+  return found;
+}
+
+void Dagger::InsertEdge(VertexId s, VertexId t) {
+  if (s == t) return;
+  if (graph_->HasEdge(s, t)) return;
+  if (extra_out_.empty()) {
+    extra_out_.resize(graph_->NumVertices());
+    extra_in_.resize(graph_->NumVertices());
+  }
+  if (std::find(extra_out_[s].begin(), extra_out_[s].end(), t) !=
+      extra_out_[s].end()) {
+    return;
+  }
+  extra_out_[s].push_back(t);
+  extra_in_[t].push_back(s);
+
+  // Monotone worklist: everything reaching s widens its bounds by t's.
+  // Re-enqueue on every change so cascades through new cycles converge;
+  // each vertex re-enters only while its k (low, high) pairs strictly
+  // widen, so termination is bounded.
+  auto widen = [&](VertexId x, VertexId source) {
+    bool changed = false;
+    for (size_t i = 0; i < k_; ++i) {
+      if (low_[source * k_ + i] < low_[x * k_ + i]) {
+        low_[x * k_ + i] = low_[source * k_ + i];
+        changed = true;
+      }
+      if (high_[source * k_ + i] > high_[x * k_ + i]) {
+        high_[x * k_ + i] = high_[source * k_ + i];
+        changed = true;
+      }
+    }
+    return changed;
+  };
+  std::vector<VertexId> queue;
+  if (widen(s, t)) queue.push_back(s);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId v = queue[head];
+    ForEachIn(v, [&](VertexId w) {
+      if (widen(w, v)) queue.push_back(w);
+    });
+  }
+}
+
+size_t Dagger::IndexSizeBytes() const {
+  return (low_.size() + high_.size()) * sizeof(uint32_t);
+}
+
+}  // namespace reach

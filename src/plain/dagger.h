@@ -1,0 +1,69 @@
+#ifndef REACH_PLAIN_DAGGER_H_
+#define REACH_PLAIN_DAGGER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/reachability_index.h"
+#include "core/search_workspace.h"
+#include "graph/digraph.h"
+
+namespace reach {
+
+/// DAGGER-style dynamic GRAIL (Yildirim, Chaoji & Zaki [51], paper §3.1 /
+/// Table 1's dynamic tree-cover row): interval labels that survive edge
+/// insertions.
+///
+/// Reading of the labels that makes dynamics tractable: for traversal i,
+/// low_i(v) / high_i(v) are the minimum / maximum DFS post-order rank over
+/// v's *entire reachable set*. On the initial (condensed) graph these are
+/// exactly GRAIL's containment intervals (high_i(v) is v's own rank).
+/// Because they are bounds over reachable sets, an edge insertion (u, v)
+/// is repaired by *monotone propagation*: everything that reaches u takes
+/// the min/max of v's bounds — a backward worklist, exactly like DBL's
+/// label maintenance, and sound even when the insertion creates cycles.
+/// s -> t always implies low_i(s) <= low_i(t) and high_i(t) <= high_i(s),
+/// so the filter keeps its no-false-negative guarantee; precision decays
+/// gradually (DAGGER's full relabeling machinery is what restores it —
+/// `Build` re-tightens from scratch, documented simplification).
+///
+/// Queries: filter + guided DFS over base and inserted edges. Input may be
+/// any digraph (condensation is internal); insertions may create cycles.
+class Dagger : public DynamicReachabilityIndex {
+ public:
+  explicit Dagger(size_t k = 3, uint64_t seed = 0x64'61'67ULL)
+      : k_(k < 1 ? 1 : k), seed_(seed) {}
+
+  void Build(const Digraph& graph) override;
+  bool Query(VertexId s, VertexId t) const override;
+  size_t IndexSizeBytes() const override;
+  bool IsComplete() const override { return false; }
+  std::string Name() const override {
+    return "dagger(k=" + std::to_string(k_) + ")";
+  }
+
+  void InsertEdge(VertexId s, VertexId t) override;
+
+  /// Pure filter: true = maybe reachable, false = certainly not.
+  bool MaybeReachable(VertexId s, VertexId t) const;
+
+ private:
+  template <typename Fn>
+  void ForEachOut(VertexId v, Fn&& fn) const;
+  template <typename Fn>
+  void ForEachIn(VertexId v, Fn&& fn) const;
+
+  size_t k_;
+  uint64_t seed_;
+  const Digraph* graph_ = nullptr;
+  // Bounds for traversal i of vertex v at [v * k_ + i].
+  std::vector<uint32_t> low_;
+  std::vector<uint32_t> high_;
+  std::vector<std::vector<VertexId>> extra_out_, extra_in_;
+  mutable SearchWorkspace ws_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_PLAIN_DAGGER_H_

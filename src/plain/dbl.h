@@ -1,0 +1,65 @@
+#ifndef REACH_PLAIN_DBL_H_
+#define REACH_PLAIN_DBL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/reachability_index.h"
+#include "core/search_workspace.h"
+#include "graph/digraph.h"
+
+namespace reach {
+
+/// DBL [29] (paper §3.2): a *partial*, insertion-dynamic 2-hop-style index
+/// combining two complementary 64-bit labels per direction:
+///
+///  * DL — a *landmark* label: bit d of DlOut(v) is set iff v reaches the
+///    d-th landmark (the 64 highest-degree vertices); DlIn dually. A common
+///    landmark (DlOut(s) & DlIn(t) != 0) certifies reachability: a
+///    *no-false-positive* positive filter.
+///  * BL — a *bloom* label: every vertex hashes to one of 64 buckets, and
+///    BlOut(v) is the bloom of v's full reachable set (BlIn dually). By the
+///    contra-positive containment argument of §3.3, BlOut(t) ⊄ BlOut(s) or
+///    BlIn(s) ⊄ BlIn(t) certifies *un*reachability: a *no-false-negative*
+///    negative filter.
+///
+/// Queries undecided by both filters fall back to a bidirectional BFS that
+/// re-applies the filters per visited vertex. `InsertEdge` maintains both
+/// labels by monotone propagation (labels only gain bits), exactly the
+/// insert-only design the survey credits DBL with; deletions are
+/// unsupported (Table 1: insertion-only).
+class Dbl : public DynamicReachabilityIndex {
+ public:
+  explicit Dbl(uint64_t seed = 0x64'62'6cULL) : seed_(seed) {}
+
+  void Build(const Digraph& graph) override;
+  bool Query(VertexId s, VertexId t) const override;
+  size_t IndexSizeBytes() const override;
+  bool IsComplete() const override { return false; }
+  std::string Name() const override { return "dbl"; }
+
+  void InsertEdge(VertexId s, VertexId t) override;
+
+  /// Pure-filter outcomes for tests/benches: +1 certain reachable (DL),
+  /// -1 certain unreachable (BL), 0 undecided.
+  int FilterVerdict(VertexId s, VertexId t) const;
+
+ private:
+  template <typename Fn>
+  void ForEachOut(VertexId v, Fn&& fn) const;
+  template <typename Fn>
+  void ForEachIn(VertexId v, Fn&& fn) const;
+
+  uint64_t seed_;
+  const Digraph* graph_ = nullptr;
+  std::vector<uint64_t> dl_out_, dl_in_;  // landmark bitmasks
+  std::vector<uint64_t> bl_out_, bl_in_;  // bloom bitmasks
+  std::vector<uint64_t> hash_bit_;        // each vertex's bloom bit
+  std::vector<std::vector<VertexId>> extra_out_, extra_in_;
+  mutable SearchWorkspace ws_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_PLAIN_DBL_H_

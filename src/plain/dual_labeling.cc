@@ -1,0 +1,79 @@
+#include "plain/dual_labeling.h"
+
+#include <vector>
+
+#include "graph/topological.h"
+#include "plain/interval_labeling.h"
+
+namespace reach {
+
+void DualLabeling::Build(const Digraph& graph) {
+  const IntervalForest forest = BuildIntervalForest(graph, std::nullopt);
+  post_ = forest.post;
+  subtree_low_ = forest.subtree_low;
+
+  // Collect non-tree links, dropping edges already implied by the forest
+  // (tree edges and forward edges).
+  link_source_.clear();
+  link_target_.clear();
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (VertexId v : graph.OutNeighbors(u)) {
+      if (!SubtreeContains(u, v)) {
+        link_source_.push_back(u);
+        link_target_.push_back(v);
+      }
+    }
+  }
+  const size_t num_links = link_source_.size();
+
+  // Link graph: i -> j iff link i's target tree-reaches link j's source.
+  std::vector<Edge> link_edges;
+  for (VertexId i = 0; i < num_links; ++i) {
+    for (VertexId j = 0; j < num_links; ++j) {
+      if (i != j && SubtreeContains(link_target_[i], link_source_[j])) {
+        link_edges.push_back({i, j});
+      }
+    }
+  }
+  const Digraph link_graph = Digraph::FromEdges(
+      static_cast<VertexId>(num_links), std::move(link_edges));
+
+  // Transitive closure of the (acyclic) link graph, reverse-topologically.
+  closure_.assign(num_links, DynamicBitset(num_links));
+  auto order = TopologicalOrder(link_graph);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const VertexId i = *it;
+    closure_[i].Set(i);
+    for (VertexId j : link_graph.OutNeighbors(i)) {
+      closure_[i].UnionWith(closure_[j]);
+    }
+  }
+  scratch_ = DynamicBitset(num_links);
+}
+
+bool DualLabeling::Query(VertexId s, VertexId t) const {
+  if (SubtreeContains(s, t)) return true;
+  if (link_source_.empty()) return false;
+  // Union the closures of every link leaving s's subtree, then test
+  // whether any reached link lands in a subtree containing t.
+  scratch_.Clear();
+  for (VertexId i = 0; i < link_source_.size(); ++i) {
+    if (SubtreeContains(s, link_source_[i])) {
+      scratch_.UnionWith(closure_[i]);
+    }
+  }
+  for (VertexId j = 0; j < link_target_.size(); ++j) {
+    if (scratch_.Test(j) && SubtreeContains(link_target_[j], t)) return true;
+  }
+  return false;
+}
+
+size_t DualLabeling::IndexSizeBytes() const {
+  size_t bytes = (post_.size() + subtree_low_.size()) * sizeof(uint32_t) +
+                 (link_source_.size() + link_target_.size()) *
+                     sizeof(VertexId);
+  for (const DynamicBitset& row : closure_) bytes += row.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace reach

@@ -1,0 +1,62 @@
+#ifndef REACH_PLAIN_DUAL_LABELING_H_
+#define REACH_PLAIN_DUAL_LABELING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dynamic_bitset.h"
+#include "core/reachability_index.h"
+#include "graph/digraph.h"
+
+namespace reach {
+
+/// Dual labeling (Wang et al. [17], paper §3.1): constant-time reachability
+/// for graphs that are "almost trees" (XML-style data), by combining
+///
+///  * interval labels over a spanning forest (the tree part), and
+///  * a transitive closure over the small *link graph* whose nodes are the
+///    non-tree edges: link (u1, v1) precedes link (u2, v2) iff v1 reaches
+///    u2 through the spanning forest.
+///
+/// Qr(s, t) is true iff t is in s's forest subtree, or there are non-tree
+/// edges i = (ui, vi) and j = (uj, vj) with ui in s's subtree scope
+/// (s tree-reaches ui), i reaches j in the link closure, and t in vj's
+/// subtree. Complete index; query cost and the O(t^2) closure grow with
+/// the number t of non-tree edges — exactly the survey's caveat that the
+/// design only suits graphs where that number is very low. Non-tree edges
+/// already implied by the forest (forward edges) are dropped.
+///
+/// Input must be a DAG (wrap in `SccCondensingIndex`).
+class DualLabeling : public ReachabilityIndex {
+ public:
+  DualLabeling() = default;
+
+  void Build(const Digraph& graph) override;
+  bool Query(VertexId s, VertexId t) const override;
+  size_t IndexSizeBytes() const override;
+  bool IsComplete() const override { return true; }
+  std::string Name() const override { return "dual"; }
+
+  /// Number of retained non-tree links (the t in the O(t^2) bound).
+  size_t NumLinks() const { return link_source_.size(); }
+
+ private:
+  bool SubtreeContains(VertexId s, VertexId t) const {
+    return subtree_low_[s] <= post_[t] && post_[t] <= post_[s];
+  }
+
+  std::vector<uint32_t> post_, subtree_low_;
+  // Non-tree links: link i is edge link_source_[i] -> link_target_[i].
+  std::vector<VertexId> link_source_, link_target_;
+  // closure_[i] = links reachable from link i (including itself).
+  std::vector<DynamicBitset> closure_;
+  // links_from_[v]: ids of links whose source lies in v's subtree, sorted
+  // by subtree interval for fast scanning (flat: all links; filtered at
+  // query time via SubtreeContains).
+  mutable DynamicBitset scratch_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_PLAIN_DUAL_LABELING_H_

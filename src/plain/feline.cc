@@ -1,0 +1,39 @@
+#include "plain/feline.h"
+
+#include "graph/topological.h"
+
+namespace reach {
+
+void Feline::Build(const Digraph& graph) {
+  graph_ = &graph;
+  x_ = RankOf(*TopologicalOrder(graph));
+  y_ = RankOf(*TopologicalOrderReverseTies(graph));
+  level_ = ForwardLevels(graph);
+}
+
+bool Feline::Query(VertexId s, VertexId t) const {
+  if (s == t) return true;
+  if (!MaybeReachable(s, t)) return false;
+  ws_.Prepare(graph_->NumVertices());
+  auto& stack = ws_.queue();
+  ws_.MarkForward(s);
+  stack.push_back(s);
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (VertexId w : graph_->OutNeighbors(v)) {
+      if (w == t) return true;
+      if (!ws_.IsForwardMarked(w) && MaybeReachable(w, t)) {
+        ws_.MarkForward(w);
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+size_t Feline::IndexSizeBytes() const {
+  return (x_.size() + y_.size() + level_.size()) * sizeof(uint32_t);
+}
+
+}  // namespace reach

@@ -1,0 +1,129 @@
+#include "plain/ferrari.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "plain/interval_labeling.h"
+
+namespace reach {
+
+void Ferrari::Build(const Digraph& graph) {
+  graph_ = &graph;
+  const size_t n = graph.NumVertices();
+  const IntervalForest forest = BuildIntervalForest(graph, std::nullopt);
+  post_ = forest.post;
+
+  std::vector<VertexId> by_post(n);
+  for (VertexId v = 0; v < n; ++v) by_post[forest.post[v]] = v;
+
+  std::vector<std::vector<Interval>> sets(n);
+  std::vector<Interval> scratch;
+  for (uint32_t p = 0; p < n; ++p) {
+    const VertexId v = by_post[p];
+    scratch.clear();
+    scratch.push_back({forest.subtree_low[v], forest.post[v], true});
+    for (VertexId w : graph.OutNeighbors(v)) {
+      assert(forest.post[w] < forest.post[v] && "input must be a DAG");
+      scratch.insert(scratch.end(), sets[w].begin(), sets[w].end());
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.begin < b.begin;
+              });
+    // Coalesce overlapping/adjacent intervals. A fully contained interval
+    // changes nothing; a genuine extension is exact only if both parts are.
+    std::vector<Interval>& mine = sets[v];
+    mine.clear();
+    for (const Interval& interval : scratch) {
+      if (!mine.empty() && interval.begin <= mine.back().end + 1) {
+        if (interval.end > mine.back().end) {
+          mine.back().exact = mine.back().exact && interval.exact;
+          mine.back().end = interval.end;
+        }
+      } else {
+        mine.push_back(interval);
+      }
+    }
+    // Enforce the budget: repeatedly merge the adjacent pair with the
+    // smallest gap; the merge covers the gap, so it is approximate.
+    while (mine.size() > k_) {
+      size_t best = 0;
+      uint32_t best_gap = std::numeric_limits<uint32_t>::max();
+      for (size_t i = 0; i + 1 < mine.size(); ++i) {
+        const uint32_t gap = mine[i + 1].begin - mine[i].end;
+        if (gap < best_gap) {
+          best_gap = gap;
+          best = i;
+        }
+      }
+      mine[best].end = mine[best + 1].end;
+      mine[best].exact = false;
+      mine.erase(mine.begin() + best + 1);
+    }
+  }
+
+  offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets_[v + 1] = offsets_[v] + sets[v].size();
+  }
+  intervals_.clear();
+  intervals_.reserve(offsets_[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    intervals_.insert(intervals_.end(), sets[v].begin(), sets[v].end());
+  }
+}
+
+int Ferrari::Coverage(VertexId v, uint32_t target_post) const {
+  const Interval* begin = intervals_.data() + offsets_[v];
+  const Interval* end = intervals_.data() + offsets_[v + 1];
+  const Interval* it = std::upper_bound(
+      begin, end, target_post,
+      [](uint32_t value, const Interval& i) { return value < i.begin; });
+  if (it == begin) return 0;
+  --it;
+  if (target_post > it->end) return 0;
+  return it->exact ? 2 : 1;
+}
+
+bool Ferrari::Query(VertexId s, VertexId t) const {
+  if (s == t) return true;
+  const uint32_t target = post_[t];
+  const int coverage = Coverage(s, target);
+  if (coverage == 0) return false;
+  if (coverage == 2) return true;
+  // Approximate hit: guided DFS with early exact acceptance.
+  ws_.Prepare(graph_->NumVertices());
+  auto& stack = ws_.queue();
+  ws_.MarkForward(s);
+  stack.push_back(s);
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (VertexId w : graph_->OutNeighbors(v)) {
+      if (w == t) return true;
+      if (ws_.IsForwardMarked(w)) continue;
+      const int c = Coverage(w, target);
+      if (c == 2) return true;
+      if (c == 1) {
+        ws_.MarkForward(w);
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+size_t Ferrari::IndexSizeBytes() const {
+  return intervals_.size() * sizeof(Interval) +
+         offsets_.size() * sizeof(size_t) + post_.size() * sizeof(uint32_t);
+}
+
+double Ferrari::ExactFraction() const {
+  if (intervals_.empty()) return 1.0;
+  size_t exact = 0;
+  for (const Interval& i : intervals_) exact += i.exact ? 1 : 0;
+  return static_cast<double>(exact) / static_cast<double>(intervals_.size());
+}
+
+}  // namespace reach

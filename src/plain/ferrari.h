@@ -1,0 +1,78 @@
+#ifndef REACH_PLAIN_FERRARI_H_
+#define REACH_PLAIN_FERRARI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/reachability_index.h"
+#include "core/search_workspace.h"
+#include "graph/digraph.h"
+
+namespace reach {
+
+/// FERRARI [40] (paper §3.1): a *partial* tree-cover index recording *at
+/// most* k intervals per vertex.
+///
+/// The construction starts from the exact interval-inheritance of the
+/// tree-cover index. Whenever a vertex would exceed its budget of k
+/// intervals, the two neighbors with the smallest gap are merged even
+/// though they are not adjacent, producing an *approximate* interval that
+/// also covers the (unreachable) gap. Hence three query outcomes against
+/// s's interval list:
+///  * post[t] in no interval        -> certainly unreachable (no false
+///                                     negatives — coverage only grows),
+///  * post[t] in an exact interval  -> certainly reachable,
+///  * post[t] in an approximate one -> maybe; fall back to guided DFS,
+///    pruning vertices whose intervals exclude t and accepting early on
+///    any exact hit.
+///
+/// Input must be a DAG (wrap in `SccCondensingIndex`).
+class Ferrari : public ReachabilityIndex {
+ public:
+  /// At most `k` intervals per vertex (k >= 1).
+  explicit Ferrari(size_t k = 4) : k_(k < 1 ? 1 : k) {}
+
+  void Build(const Digraph& graph) override;
+  bool Query(VertexId s, VertexId t) const override;
+  size_t IndexSizeBytes() const override;
+  bool IsComplete() const override { return false; }
+  std::string Name() const override {
+    return "ferrari(k=" + std::to_string(k_) + ")";
+  }
+
+  /// Pure label test: true = covered by some interval (maybe reachable),
+  /// false = certainly unreachable. Never a false negative.
+  bool MaybeReachable(VertexId s, VertexId t) const {
+    return s == t || Coverage(s, post_[t]) != 0;
+  }
+
+  /// Total stored intervals (<= k * V by construction).
+  size_t TotalIntervals() const { return intervals_.size(); }
+
+  /// Fraction of stored intervals that are exact (1.0 = degenerated to the
+  /// full tree-cover index; lower = more approximation pressure).
+  double ExactFraction() const;
+
+ private:
+  struct Interval {
+    uint32_t begin;
+    uint32_t end;
+    bool exact;
+  };
+
+  // Returns 0 = not covered, 1 = covered approximately, 2 = covered
+  // exactly, for post[t] against v's interval list.
+  int Coverage(VertexId v, uint32_t target_post) const;
+
+  size_t k_;
+  const Digraph* graph_ = nullptr;
+  std::vector<uint32_t> post_;
+  std::vector<size_t> offsets_;
+  std::vector<Interval> intervals_;
+  mutable SearchWorkspace ws_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_PLAIN_FERRARI_H_

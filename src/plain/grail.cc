@@ -1,0 +1,90 @@
+#include "plain/grail.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "graph/rng.h"
+#include "plain/interval_labeling.h"
+
+namespace reach {
+
+void Grail::Build(const Digraph& graph) {
+  graph_ = &graph;
+  const size_t n = graph.NumVertices();
+  post_.assign(n * k_, 0);
+  low_.assign(n * k_, 0);
+  label_only_rejections_ = 0;
+  SplitMix64 seed_stream(seed_);
+  std::vector<uint64_t> seeds(k_);
+  for (uint64_t& s : seeds) s = seed_stream.Next();
+
+  // Each traversal writes its own column of the label matrix, so the k
+  // traversals parallelize without synchronization and the result is
+  // identical to the serial build.
+  auto build_column = [&](size_t i) {
+    const IntervalForest forest = BuildIntervalForest(graph, seeds[i]);
+    const std::vector<uint32_t> low = ComputeReachableLow(graph, forest);
+    for (VertexId v = 0; v < n; ++v) {
+      post_[v * k_ + i] = forest.post[v];
+      low_[v * k_ + i] = low[v];
+    }
+  };
+  const size_t workers = std::min(num_threads_, k_);
+  if (workers <= 1) {
+    for (size_t i = 0; i < k_; ++i) build_column(i);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w]() {
+        for (size_t i = w; i < k_; i += workers) build_column(i);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+}
+
+bool Grail::MaybeReachable(VertexId s, VertexId t) const {
+  for (size_t i = 0; i < k_; ++i) {
+    if (low_[s * k_ + i] > low_[t * k_ + i] ||
+        post_[t * k_ + i] > post_[s * k_ + i]) {
+      return false;  // containment violated: certainly unreachable
+    }
+  }
+  return true;
+}
+
+bool Grail::GuidedDfs(VertexId s, VertexId t) const {
+  ws_.Prepare(graph_->NumVertices());
+  auto& stack = ws_.queue();
+  ws_.MarkForward(s);
+  stack.push_back(s);
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    if (v == t) return true;
+    for (VertexId w : graph_->OutNeighbors(v)) {
+      if (!ws_.IsForwardMarked(w) && MaybeReachable(w, t)) {
+        ws_.MarkForward(w);
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+bool Grail::Query(VertexId s, VertexId t) const {
+  if (s == t) return true;
+  if (!MaybeReachable(s, t)) {
+    ++label_only_rejections_;
+    return false;
+  }
+  return GuidedDfs(s, t);
+}
+
+size_t Grail::IndexSizeBytes() const {
+  return (post_.size() + low_.size()) * sizeof(uint32_t);
+}
+
+}  // namespace reach

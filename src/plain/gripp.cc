@@ -1,0 +1,124 @@
+#include "plain/gripp.h"
+
+#include <algorithm>
+
+namespace reach {
+
+void Gripp::Build(const Digraph& graph) {
+  num_vertices_ = graph.NumVertices();
+  tree_.assign(num_vertices_, {});
+  hop_order_.clear();
+  expanded_.assign(num_vertices_, false);
+
+  std::vector<bool> visited(num_vertices_, false);
+  struct Frame {
+    VertexId vertex;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  uint32_t counter = 0;
+
+  // One DFS per unvisited vertex unrolls the (possibly cyclic) graph into
+  // the instance tree: first visits expand, re-visits become hop leaves.
+  for (VertexId root = 0; root < num_vertices_; ++root) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    tree_[root].pre = ++counter;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const VertexId v = frame.vertex;
+      auto children = graph.OutNeighbors(v);
+      if (frame.next_child < children.size()) {
+        const VertexId w = children[frame.next_child++];
+        if (!visited[w]) {
+          visited[w] = true;
+          tree_[w].pre = ++counter;
+          stack.push_back({w, 0});
+        } else {
+          hop_order_.push_back({++counter, w});
+        }
+      } else {
+        tree_[v].post = ++counter;
+        stack.pop_back();
+      }
+    }
+  }
+  // DFS emits hop instances in increasing pre already; keep it explicit.
+  std::sort(hop_order_.begin(), hop_order_.end(),
+            [](const HopInstance& a, const HopInstance& b) {
+              return a.pre < b.pre;
+            });
+
+  // Per-vertex sorted instance positions (tree pre + hop pres).
+  instance_offsets_.assign(num_vertices_ + 1, 0);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    instance_offsets_[v + 1] = 1;  // tree instance
+  }
+  for (const HopInstance& hop : hop_order_) {
+    ++instance_offsets_[hop.vertex + 1];
+  }
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    instance_offsets_[v + 1] += instance_offsets_[v];
+  }
+  instance_pres_.assign(instance_offsets_[num_vertices_], 0);
+  std::vector<size_t> cursor(instance_offsets_.begin(),
+                             instance_offsets_.end() - 1);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    instance_pres_[cursor[v]++] = tree_[v].pre;
+  }
+  for (const HopInstance& hop : hop_order_) {
+    instance_pres_[cursor[hop.vertex]++] = hop.pre;
+  }
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    std::sort(instance_pres_.begin() + instance_offsets_[v],
+              instance_pres_.begin() + instance_offsets_[v + 1]);
+  }
+}
+
+bool Gripp::Query(VertexId s, VertexId t) const {
+  if (s == t) return true;
+  // Per-query scratch: cleared via touched list, not a full sweep.
+  std::vector<VertexId> touched;
+  std::vector<VertexId> worklist = {s};
+  expanded_[s] = true;
+  touched.push_back(s);
+  bool found = false;
+
+  const uint32_t* t_begin = instance_pres_.data() + instance_offsets_[t];
+  const uint32_t* t_end = instance_pres_.data() + instance_offsets_[t + 1];
+
+  for (size_t head = 0; head < worklist.size() && !found; ++head) {
+    const TreeInstance& interval = tree_[worklist[head]];
+    // Any instance of t strictly inside (pre, post)?
+    const uint32_t* it = std::upper_bound(t_begin, t_end, interval.pre);
+    if (it != t_end && *it < interval.post) {
+      found = true;
+      break;
+    }
+    // Hop instances inside the interval queue their vertices' trees.
+    auto hop_it = std::lower_bound(
+        hop_order_.begin(), hop_order_.end(), interval.pre,
+        [](const HopInstance& h, uint32_t pre) { return h.pre < pre; });
+    for (; hop_it != hop_order_.end() && hop_it->pre < interval.post;
+         ++hop_it) {
+      const VertexId w = hop_it->vertex;
+      if (!expanded_[w]) {
+        expanded_[w] = true;
+        touched.push_back(w);
+        worklist.push_back(w);
+      }
+    }
+  }
+  for (VertexId v : touched) expanded_[v] = false;
+  return found;
+}
+
+size_t Gripp::IndexSizeBytes() const {
+  return tree_.size() * sizeof(TreeInstance) +
+         hop_order_.size() * sizeof(HopInstance) +
+         instance_offsets_.size() * sizeof(size_t) +
+         instance_pres_.size() * sizeof(uint32_t);
+}
+
+}  // namespace reach

@@ -1,0 +1,138 @@
+#include "plain/interval_labeling.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/rng.h"
+
+namespace reach {
+
+namespace {
+
+// Per-traversal adjacency copy whose child lists are ordered by a random
+// priority (or by id when deterministic). Randomizing via a global vertex
+// priority permutation is equivalent to shuffling children at every vertex.
+struct OrderedAdjacency {
+  std::vector<size_t> offsets;
+  std::vector<VertexId> targets;
+
+  std::span<const VertexId> Children(VertexId v) const {
+    return {targets.data() + offsets[v], targets.data() + offsets[v + 1]};
+  }
+};
+
+OrderedAdjacency OrderAdjacency(const Digraph& dag,
+                                const std::vector<uint32_t>& priority) {
+  OrderedAdjacency adj;
+  const size_t n = dag.NumVertices();
+  adj.offsets.assign(n + 1, 0);
+  adj.targets.reserve(dag.NumEdges());
+  for (VertexId v = 0; v < n; ++v) {
+    auto nbrs = dag.OutNeighbors(v);
+    const size_t begin = adj.targets.size();
+    adj.targets.insert(adj.targets.end(), nbrs.begin(), nbrs.end());
+    std::sort(adj.targets.begin() + begin, adj.targets.end(),
+              [&](VertexId a, VertexId b) { return priority[a] < priority[b]; });
+    adj.offsets[v + 1] = adj.targets.size();
+  }
+  return adj;
+}
+
+}  // namespace
+
+IntervalForest BuildIntervalForest(const Digraph& dag,
+                                   std::optional<uint64_t> shuffle_seed) {
+  const size_t n = dag.NumVertices();
+  IntervalForest forest;
+  forest.post.assign(n, 0);
+  forest.subtree_low.assign(n, 0);
+  forest.parent.assign(n, kInvalidVertex);
+
+  // Vertex priorities: identity when deterministic, shuffled otherwise.
+  std::vector<uint32_t> priority(n);
+  std::iota(priority.begin(), priority.end(), 0);
+  if (shuffle_seed.has_value()) {
+    Xoshiro256ss rng(*shuffle_seed);
+    for (size_t i = n; i > 1; --i) {
+      std::swap(priority[i - 1], priority[rng.NextBounded(i)]);
+    }
+  }
+  const OrderedAdjacency adj = OrderAdjacency(dag, priority);
+
+  // Roots: in-degree-0 vertices, in priority order. In a DAG these cover
+  // every vertex.
+  std::vector<VertexId> roots;
+  for (VertexId v = 0; v < n; ++v) {
+    if (dag.InDegree(v) == 0) roots.push_back(v);
+  }
+  std::sort(roots.begin(), roots.end(),
+            [&](VertexId a, VertexId b) { return priority[a] < priority[b]; });
+
+  std::vector<bool> visited(n, false);
+  struct Frame {
+    VertexId vertex;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  uint32_t next_post = 0;
+
+  auto run_dfs = [&](VertexId root) {
+    visited[root] = true;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const VertexId v = frame.vertex;
+      auto children = adj.Children(v);
+      if (frame.next_child < children.size()) {
+        const VertexId w = children[frame.next_child++];
+        if (!visited[w]) {
+          visited[w] = true;
+          forest.parent[w] = v;
+          stack.push_back({w, 0});
+        }
+      } else {
+        // Post-visit: children already numbered; subtree_low is the min
+        // over tree children, or own post for leaves.
+        uint32_t low = next_post;
+        for (VertexId w : children) {
+          if (forest.parent[w] == v) {
+            low = std::min(low, forest.subtree_low[w]);
+          }
+        }
+        forest.post[v] = next_post;
+        forest.subtree_low[v] = low;
+        ++next_post;
+        stack.pop_back();
+      }
+    }
+  };
+
+  for (VertexId root : roots) {
+    if (!visited[root]) run_dfs(root);
+  }
+  // Safety net for non-DAG callers (e.g., graphs with isolated cycles):
+  // cover any remaining vertices so the labels stay well defined.
+  for (VertexId v = 0; v < n; ++v) {
+    if (!visited[v]) run_dfs(v);
+  }
+  return forest;
+}
+
+std::vector<uint32_t> ComputeReachableLow(const Digraph& dag,
+                                          const IntervalForest& forest) {
+  const size_t n = dag.NumVertices();
+  // Process vertices in increasing post order: every out-neighbor of v has
+  // smaller post (DAG property), so its low is final before v's.
+  std::vector<VertexId> by_post(n);
+  for (VertexId v = 0; v < n; ++v) by_post[forest.post[v]] = v;
+  std::vector<uint32_t> low(n);
+  for (uint32_t p = 0; p < n; ++p) {
+    const VertexId v = by_post[p];
+    uint32_t m = forest.post[v];
+    for (VertexId w : dag.OutNeighbors(v)) m = std::min(m, low[w]);
+    low[v] = m;
+  }
+  return low;
+}
+
+}  // namespace reach

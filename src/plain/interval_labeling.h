@@ -1,0 +1,65 @@
+#ifndef REACH_PLAIN_INTERVAL_LABELING_H_
+#define REACH_PLAIN_INTERVAL_LABELING_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/types.h"
+
+namespace reach {
+
+/// A DFS spanning forest of a DAG with post-order interval labels — the
+/// foundation of every tree-cover-based index (paper §3.1): for each vertex
+/// v, `post[v]` is v's global post-order number and `subtree_low[v]` is the
+/// lowest post-order number in v's spanning-tree subtree, so
+/// "t is a tree descendant of s" is the O(1) check
+/// `subtree_low[s] <= post[t] <= post[s]`.
+struct IntervalForest {
+  /// Global post-order rank of each vertex (0-based, unique).
+  std::vector<uint32_t> post;
+  /// Minimum post-order rank within the vertex's spanning-tree subtree.
+  std::vector<uint32_t> subtree_low;
+  /// Spanning-forest parent, or kInvalidVertex for roots.
+  std::vector<VertexId> parent;
+
+  /// True iff `t` lies in the spanning-tree subtree rooted at `s` (which
+  /// implies s reaches t in the DAG; tree edges are graph edges).
+  bool SubtreeContains(VertexId s, VertexId t) const {
+    return subtree_low[s] <= post[t] && post[t] <= post[s];
+  }
+
+  /// True iff the edge (u, v) is a spanning-forest edge.
+  bool IsTreeEdge(VertexId u, VertexId v) const { return parent[v] == u; }
+
+  /// Bytes held by the three label arrays.
+  size_t MemoryBytes() const {
+    return post.size() * (2 * sizeof(uint32_t) + sizeof(VertexId));
+  }
+};
+
+/// Builds a DFS spanning forest of `dag` with post-order intervals.
+///
+/// The DFS starts from every source (in-degree-0) vertex, so all vertices
+/// of a DAG are covered. With `shuffle_seed == nullopt` the traversal is
+/// deterministic (children in ascending id order); otherwise root and child
+/// orders are randomized by the seed — the "k random spanning trees" device
+/// of GRAIL.
+///
+/// Key DAG property delivered by *graph* DFS post-order (used by GRAIL,
+/// BFL, PReaCH): for every edge (u, v), post[v] < post[u]; hence u reaches
+/// w implies post[w] <= post[u].
+IntervalForest BuildIntervalForest(const Digraph& dag,
+                                   std::optional<uint64_t> shuffle_seed);
+
+/// Computes low[v] = min post-order rank over the *entire reachable set* of
+/// v (not just the tree subtree), by a reverse-topological sweep:
+/// low[v] = min(post[v], min over out-neighbors). This is GRAIL's interval
+/// floor: s reaches t implies low[s] <= low[t] and post[t] <= post[s].
+std::vector<uint32_t> ComputeReachableLow(const Digraph& dag,
+                                          const IntervalForest& forest);
+
+}  // namespace reach
+
+#endif  // REACH_PLAIN_INTERVAL_LABELING_H_

@@ -1,0 +1,104 @@
+#include "plain/preach.h"
+
+#include "graph/topological.h"
+#include "plain/interval_labeling.h"
+
+namespace reach {
+
+void Preach::Build(const Digraph& graph) {
+  graph_ = &graph;
+  const IntervalForest fwd = BuildIntervalForest(graph, std::nullopt);
+  post_ = fwd.post;
+  subtree_low_ = fwd.subtree_low;
+  reach_low_ = ComputeReachableLow(graph, fwd);
+
+  const Digraph reversed = graph.Reverse();
+  const IntervalForest bwd = BuildIntervalForest(reversed, std::nullopt);
+  rpost_ = bwd.post;
+  rsubtree_low_ = bwd.subtree_low;
+  rreach_low_ = ComputeReachableLow(reversed, bwd);
+
+  fwd_level_ = ForwardLevels(graph);
+  bwd_level_ = BackwardLevels(graph);
+}
+
+int Preach::FilterVerdict(VertexId s, VertexId t) const {
+  if (s == t) return 1;
+  // Positive: spanning-tree subtree containment, either direction.
+  if (subtree_low_[s] <= post_[t] && post_[t] <= post_[s]) return 1;
+  if (rsubtree_low_[t] <= rpost_[s] && rpost_[s] <= rpost_[t]) return 1;
+  // Negative: topological levels.
+  if (fwd_level_[s] >= fwd_level_[t]) return -1;
+  if (bwd_level_[s] <= bwd_level_[t]) return -1;
+  // Negative: reachable-set post-order ranges. s -> t needs
+  // post[t] in [reach_low(s), post(s)] and rpost[s] in
+  // [rreach_low(t), rpost(t)].
+  if (post_[t] < reach_low_[s] || post_[t] > post_[s]) return -1;
+  if (rpost_[s] < rreach_low_[t] || rpost_[s] > rpost_[t]) return -1;
+  return 0;
+}
+
+bool Preach::Query(VertexId s, VertexId t) const {
+  const int verdict = FilterVerdict(s, t);
+  if (verdict != 0) return verdict > 0;
+
+  ws_.Prepare(graph_->NumVertices());
+  auto& fwd = ws_.queue();
+  auto& bwd = ws_.backward_queue();
+  ws_.MarkForward(s);
+  ws_.MarkBackward(t);
+  fwd.push_back(s);
+  bwd.push_back(t);
+  size_t fwd_head = 0, bwd_head = 0;
+  while (fwd_head < fwd.size() && bwd_head < bwd.size()) {
+    const bool expand_forward =
+        (fwd.size() - fwd_head) <= (bwd.size() - bwd_head);
+    if (expand_forward) {
+      const size_t level_end = fwd.size();
+      for (; fwd_head < level_end; ++fwd_head) {
+        bool hit = false;
+        for (VertexId w : graph_->OutNeighbors(fwd[fwd_head])) {
+          if (ws_.IsBackwardMarked(w)) return true;
+          if (ws_.IsForwardMarked(w)) continue;
+          const int wv = FilterVerdict(w, t);
+          if (wv > 0) {
+            hit = true;
+            break;
+          }
+          if (wv < 0) continue;
+          ws_.MarkForward(w);
+          fwd.push_back(w);
+        }
+        if (hit) return true;
+      }
+    } else {
+      const size_t level_end = bwd.size();
+      for (; bwd_head < level_end; ++bwd_head) {
+        bool hit = false;
+        for (VertexId w : graph_->InNeighbors(bwd[bwd_head])) {
+          if (ws_.IsForwardMarked(w)) return true;
+          if (ws_.IsBackwardMarked(w)) continue;
+          const int wv = FilterVerdict(s, w);
+          if (wv > 0) {
+            hit = true;
+            break;
+          }
+          if (wv < 0) continue;
+          ws_.MarkBackward(w);
+          bwd.push_back(w);
+        }
+        if (hit) return true;
+      }
+    }
+  }
+  return false;
+}
+
+size_t Preach::IndexSizeBytes() const {
+  return (post_.size() + subtree_low_.size() + reach_low_.size() +
+          rpost_.size() + rsubtree_low_.size() + rreach_low_.size() +
+          fwd_level_.size() + bwd_level_.size()) *
+         sizeof(uint32_t);
+}
+
+}  // namespace reach

@@ -1,0 +1,328 @@
+#include "plain/pruned_two_hop.h"
+
+#include <algorithm>
+#include <istream>
+#include <numeric>
+#include <ostream>
+
+#include "graph/condensation.h"
+#include "graph/rng.h"
+
+namespace reach {
+
+namespace {
+
+// True iff the sorted rank vectors intersect.
+bool SortedIntersect(const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Inserts `value` into sorted `v` if absent; returns true if inserted.
+bool SortedInsert(std::vector<uint32_t>& v, uint32_t value) {
+  auto it = std::lower_bound(v.begin(), v.end(), value);
+  if (it != v.end() && *it == value) return false;
+  v.insert(it, value);
+  return true;
+}
+
+}  // namespace
+
+void PrunedTwoHop::ComputeOrder(const Digraph& graph) {
+  const size_t n = graph.NumVertices();
+  by_rank_.resize(n);
+  std::iota(by_rank_.begin(), by_rank_.end(), 0);
+  switch (order_) {
+    case VertexOrder::kDegree:
+      std::stable_sort(by_rank_.begin(), by_rank_.end(),
+                       [&](VertexId a, VertexId b) {
+                         return graph.Degree(a) > graph.Degree(b);
+                       });
+      break;
+    case VertexOrder::kReverseDegree:
+      std::stable_sort(by_rank_.begin(), by_rank_.end(),
+                       [&](VertexId a, VertexId b) {
+                         return graph.Degree(a) < graph.Degree(b);
+                       });
+      break;
+    case VertexOrder::kTopological: {
+      // Topological position of each vertex's SCC (Tarjan ids are reverse
+      // topological, so higher component id = earlier in topo order);
+      // degree breaks ties inside an SCC and between parallel components.
+      Condensation cond = Condense(graph);
+      std::stable_sort(
+          by_rank_.begin(), by_rank_.end(), [&](VertexId a, VertexId b) {
+            const VertexId ca = cond.DagVertex(a), cb = cond.DagVertex(b);
+            if (ca != cb) return ca > cb;
+            return graph.Degree(a) > graph.Degree(b);
+          });
+      break;
+    }
+    case VertexOrder::kRandom: {
+      Xoshiro256ss rng(seed_);
+      for (size_t i = n; i > 1; --i) {
+        std::swap(by_rank_[i - 1], by_rank_[rng.NextBounded(i)]);
+      }
+      break;
+    }
+  }
+  rank_.resize(n);
+  for (uint32_t r = 0; r < n; ++r) rank_[by_rank_[r]] = r;
+}
+
+template <typename Fn>
+void PrunedTwoHop::ForEachOut(VertexId v, Fn&& fn) const {
+  for (VertexId w : graph_->OutNeighbors(v)) fn(w);
+  if (!extra_out_.empty()) {
+    for (VertexId w : extra_out_[v]) fn(w);
+  }
+}
+
+template <typename Fn>
+void PrunedTwoHop::ForEachIn(VertexId v, Fn&& fn) const {
+  for (VertexId w : graph_->InNeighbors(v)) fn(w);
+  if (!extra_in_.empty()) {
+    for (VertexId w : extra_in_[v]) fn(w);
+  }
+}
+
+void PrunedTwoHop::BuildLabels(const Digraph& graph) {
+  const size_t n = graph.NumVertices();
+  lin_.assign(n, {});
+  lout_.assign(n, {});
+  std::vector<VertexId> queue;
+  std::vector<uint32_t> visited(n, UINT32_MAX);
+
+  for (uint32_t r = 0; r < n; ++r) {
+    const VertexId hop = by_rank_[r];
+    // Forward pruned BFS: add hop to Lin of everything it reaches, unless
+    // the current labels already answer Qr(hop, x).
+    queue.clear();
+    queue.push_back(hop);
+    visited[hop] = 2 * r;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const VertexId x = queue[head];
+      ForEachOut(x, [&](VertexId w) {
+        if (visited[w] == 2 * r || rank_[w] <= r) return;
+        visited[w] = 2 * r;
+        if (LabelQuery(hop, w)) return;  // prune: already covered
+        lin_[w].push_back(r);            // ranks arrive ascending: sorted
+        queue.push_back(w);
+      });
+    }
+    // Backward pruned BFS: add hop to Lout of everything that reaches it.
+    queue.clear();
+    queue.push_back(hop);
+    visited[hop] = 2 * r + 1;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const VertexId x = queue[head];
+      ForEachIn(x, [&](VertexId w) {
+        if (visited[w] == 2 * r + 1 || rank_[w] <= r) return;
+        visited[w] = 2 * r + 1;
+        if (LabelQuery(w, hop)) return;
+        lout_[w].push_back(r);
+        queue.push_back(w);
+      });
+    }
+  }
+}
+
+void PrunedTwoHop::Build(const Digraph& graph) {
+  graph_ = &graph;
+  extra_out_.clear();
+  extra_in_.clear();
+  ComputeOrder(graph);
+  BuildLabels(graph);
+}
+
+bool PrunedTwoHop::LabelQuery(VertexId s, VertexId t) const {
+  if (s == t) return true;
+  if (std::binary_search(lin_[t].begin(), lin_[t].end(), rank_[s])) {
+    return true;
+  }
+  if (std::binary_search(lout_[s].begin(), lout_[s].end(), rank_[t])) {
+    return true;
+  }
+  return SortedIntersect(lout_[s], lin_[t]);
+}
+
+bool PrunedTwoHop::Query(VertexId s, VertexId t) const {
+  return LabelQuery(s, t);
+}
+
+void PrunedTwoHop::InsertEdge(VertexId s, VertexId t) {
+  if (s == t) return;
+  if (graph_->HasEdge(s, t)) return;
+  if (extra_out_.empty()) {
+    extra_out_.resize(graph_->NumVertices());
+    extra_in_.resize(graph_->NumVertices());
+  }
+  if (std::find(extra_out_[s].begin(), extra_out_[s].end(), t) !=
+      extra_out_[s].end()) {
+    return;
+  }
+  extra_out_[s].push_back(t);
+  extra_in_[t].push_back(s);
+
+  // Any pair newly connected by (s, t) decomposes into x -> s (old paths)
+  // and t -> y (old paths); the old index answers x -> s with some hop
+  // h ∈ Lout(x) ∩ (Lin(s) ∪ {s}). Propagating every such h through the new
+  // edge to all of Reach(t) restores the invariant: h lands in Lin(y), so
+  // Qr(x, y) finds it. No pruning beyond per-BFS visited marks and
+  // already-present labels; this trades label minimality for correctness
+  // (see class comment).
+  std::vector<uint32_t> hops = lin_[s];
+  hops.push_back(rank_[s]);
+  // One shared sweep computes Reach(t); each hop is then inserted into the
+  // Lin of every vertex on the list (equivalent to one unpruned BFS per
+  // hop, without re-traversing the edges).
+  std::vector<VertexId> queue;
+  ws_.Prepare(graph_->NumVertices());
+  queue.push_back(t);
+  ws_.MarkForward(t);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    ForEachOut(queue[head], [&](VertexId w) {
+      if (ws_.MarkForward(w)) queue.push_back(w);
+    });
+  }
+  for (uint32_t h : hops) {
+    const VertexId hop = by_rank_[h];
+    for (VertexId x : queue) {
+      if (x != hop) SortedInsert(lin_[x], h);
+    }
+  }
+}
+
+void PrunedTwoHop::RemoveEdgeAndRebuild(VertexId s, VertexId t) {
+  std::vector<Edge> edges = graph_->Edges();
+  if (!extra_out_.empty()) {
+    for (VertexId v = 0; v < extra_out_.size(); ++v) {
+      for (VertexId w : extra_out_[v]) edges.push_back({v, w});
+    }
+  }
+  std::erase(edges, Edge{s, t});
+  owned_graph_ = Digraph::FromEdges(
+      static_cast<VertexId>(graph_->NumVertices()), std::move(edges));
+  Build(owned_graph_);
+}
+
+namespace {
+
+constexpr uint64_t kMagic = 0x72656163682d3268ULL;  // "reach-2h"
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WriteVec(std::ostream& out, const std::vector<uint32_t>& v) {
+  WritePod(out, static_cast<uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(uint32_t)));
+}
+
+bool ReadVec(std::istream& in, std::vector<uint32_t>* v, uint64_t max_size) {
+  uint64_t size = 0;
+  if (!ReadPod(in, &size) || size > max_size) return false;
+  v->resize(size);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(size * sizeof(uint32_t)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool PrunedTwoHop::Save(std::ostream& out) const {
+  WritePod(out, kMagic);
+  WritePod(out, static_cast<uint64_t>(rank_.size()));
+  WriteVec(out, rank_);
+  WriteVec(out, by_rank_);
+  for (const auto& labels : lin_) WriteVec(out, labels);
+  for (const auto& labels : lout_) WriteVec(out, labels);
+  return static_cast<bool>(out);
+}
+
+bool PrunedTwoHop::Load(std::istream& in) {
+  uint64_t magic = 0, n = 0;
+  if (!ReadPod(in, &magic) || magic != kMagic) return false;
+  if (!ReadPod(in, &n)) return false;
+  // Hard sanity cap: label vectors can never exceed n entries.
+  if (!ReadVec(in, &rank_, n)) return false;
+  std::vector<uint32_t> by_rank;
+  if (!ReadVec(in, &by_rank, n)) return false;
+  by_rank_.assign(by_rank.begin(), by_rank.end());
+  if (rank_.size() != n || by_rank_.size() != n) return false;
+  lin_.assign(n, {});
+  lout_.assign(n, {});
+  for (auto& labels : lin_) {
+    if (!ReadVec(in, &labels, n)) return false;
+  }
+  for (auto& labels : lout_) {
+    if (!ReadVec(in, &labels, n)) return false;
+  }
+  // Validate ranges so a corrupted stream cannot cause out-of-bounds use.
+  for (uint32_t r : rank_) {
+    if (r >= n) return false;
+  }
+  for (VertexId v : by_rank_) {
+    if (v >= n) return false;
+  }
+  for (const auto& labels : lin_) {
+    for (uint32_t r : labels) {
+      if (r >= n) return false;
+    }
+  }
+  for (const auto& labels : lout_) {
+    for (uint32_t r : labels) {
+      if (r >= n) return false;
+    }
+  }
+  graph_ = nullptr;
+  extra_out_.clear();
+  extra_in_.clear();
+  return true;
+}
+
+size_t PrunedTwoHop::IndexSizeBytes() const {
+  return TotalLabelEntries() * sizeof(uint32_t) +
+         (rank_.size() + by_rank_.size()) * sizeof(uint32_t);
+}
+
+size_t PrunedTwoHop::TotalLabelEntries() const {
+  size_t entries = 0;
+  for (const auto& l : lin_) entries += l.size();
+  for (const auto& l : lout_) entries += l.size();
+  return entries;
+}
+
+std::string PrunedTwoHop::Name() const {
+  switch (order_) {
+    case VertexOrder::kDegree:
+      return "pll";  // == DL; degree-order TOL
+    case VertexOrder::kTopological:
+      return "tfl";
+    case VertexOrder::kReverseDegree:
+      return "tol(revdeg)";
+    case VertexOrder::kRandom:
+      return "tol(random)";
+  }
+  return "2hop";
+}
+
+}  // namespace reach

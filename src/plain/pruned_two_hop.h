@@ -1,0 +1,114 @@
+#ifndef REACH_PLAIN_PRUNED_TWO_HOP_H_
+#define REACH_PLAIN_PRUNED_TWO_HOP_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/reachability_index.h"
+#include "core/search_workspace.h"
+#include "graph/digraph.h"
+
+namespace reach {
+
+/// Total orders that instantiate the TOL framework (paper §3.2): "TOL is a
+/// general approach for computing the 2-hop index with a total order of
+/// vertices as input, and TFL, DL, and PLL are instantiations of TOL."
+enum class VertexOrder {
+  /// Decreasing total degree — the DL / PLL instantiation (the paper notes
+  /// DL and PLL are equivalent).
+  kDegree,
+  /// Topological order of the SCC condensation — the TFL instantiation.
+  kTopological,
+  /// Increasing total degree — a deliberately bad order for ablation.
+  kReverseDegree,
+  /// Uniformly random order — the ablation baseline.
+  kRandom,
+};
+
+/// The 2-hop labeling framework of Cohen et al. [14] computed with pruned
+/// BFSs under a total order — i.e., TOL [55], covering PLL [49] / DL [25] /
+/// TFL [13] as order instantiations (paper §3.2).
+///
+/// Every vertex v carries two sets of hops: Lin(v) (vertices that reach v)
+/// and Lout(v) (vertices v reaches). Qr(s, t) is true iff s == t,
+/// s ∈ Lin(t), t ∈ Lout(s), or Lout(s) ∩ Lin(t) ≠ ∅ — the three cases of
+/// the paper. Building runs a forward and a backward BFS from each vertex
+/// in total-order sequence; a visit of w from hop v is pruned when the
+/// labels built so far already answer Qr(v, w) (resp. Qr(w, v)), and when a
+/// higher-ranked vertex is reached. This yields a *complete* index on
+/// *general* digraphs (no DAG condensation needed — vertices of an SCC are
+/// covered by their highest-ranked member).
+///
+/// Dynamics (the TOL row's "Yes" in Table 1):
+///  * `InsertEdge` maintains correctness incrementally: for every hop h in
+///    Lin(u) ∪ {u}, h is propagated through the new edge (u, v) to all
+///    vertices reachable from v. Unlike TOL's full algorithm this may
+///    retain redundant entries (redundancy elimination is out of scope);
+///    `Build` can be re-run to re-minimize.
+///  * `RemoveEdgeAndRebuild` handles deletions by rebuilding, documented in
+///    DESIGN.md as a simplification of TOL's in-place deletion.
+class PrunedTwoHop : public DynamicReachabilityIndex {
+ public:
+  explicit PrunedTwoHop(VertexOrder order = VertexOrder::kDegree,
+                        uint64_t seed = 0x70'6c'6cULL)
+      : order_(order), seed_(seed) {}
+
+  void Build(const Digraph& graph) override;
+  bool Query(VertexId s, VertexId t) const override;
+  size_t IndexSizeBytes() const override;
+  bool IsComplete() const override { return true; }
+  std::string Name() const override;
+
+  /// Incremental edge insertion (see class comment).
+  void InsertEdge(VertexId s, VertexId t) override;
+
+  /// Edge deletion by rebuilding over the current edge set minus (s, t).
+  void RemoveEdgeAndRebuild(VertexId s, VertexId t);
+
+  /// Serializes the labeling (ranks + Lin/Lout) to a binary stream — the
+  /// persistence piece of the §5 "integration into GDBMSs" challenge. The
+  /// label state already reflects any incremental insertions.
+  bool Save(std::ostream& out) const;
+
+  /// Restores a labeling saved by `Save`. A loaded index answers queries
+  /// without the original graph; call `Build` (or keep the graph around)
+  /// before using `InsertEdge`/`RemoveEdgeAndRebuild` again. Returns false
+  /// on malformed input, leaving the index unspecified.
+  bool Load(std::istream& in);
+
+  /// Total number of label entries sum |Lin| + |Lout| — the index-size
+  /// measure of §3.2.
+  size_t TotalLabelEntries() const;
+
+  /// The hop ranks labeling `v` (ascending), for tests / ablation benches.
+  const std::vector<uint32_t>& InLabels(VertexId v) const { return lin_[v]; }
+  const std::vector<uint32_t>& OutLabels(VertexId v) const { return lout_[v]; }
+
+ private:
+  void ComputeOrder(const Digraph& graph);
+  void BuildLabels(const Digraph& graph);
+  template <typename Fn>
+  void ForEachOut(VertexId v, Fn&& fn) const;
+  template <typename Fn>
+  void ForEachIn(VertexId v, Fn&& fn) const;
+  bool LabelQuery(VertexId s, VertexId t) const;
+
+  VertexOrder order_;
+  uint64_t seed_;
+  const Digraph* graph_ = nullptr;
+  Digraph owned_graph_;  // used after RemoveEdgeAndRebuild
+  std::vector<uint32_t> rank_;       // rank_[v] = order position (0 = first)
+  std::vector<VertexId> by_rank_;    // inverse of rank_
+  std::vector<std::vector<uint32_t>> lin_;   // sorted hop ranks
+  std::vector<std::vector<uint32_t>> lout_;  // sorted hop ranks
+  // Edges inserted after Build (delta adjacency on top of *graph_).
+  std::vector<std::vector<VertexId>> extra_out_;
+  std::vector<std::vector<VertexId>> extra_in_;
+  mutable SearchWorkspace ws_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_PLAIN_PRUNED_TWO_HOP_H_

@@ -1,0 +1,102 @@
+#include "plain/registry.h"
+
+#include <cstdlib>
+
+#include "core/scc_condensing_index.h"
+#include "plain/bfl.h"
+#include "plain/chain_cover.h"
+#include "plain/dagger.h"
+#include "plain/dbl.h"
+#include "plain/dual_labeling.h"
+#include "plain/feline.h"
+#include "plain/ferrari.h"
+#include "plain/grail.h"
+#include "plain/gripp.h"
+#include "plain/ip_label.h"
+#include "plain/oreach.h"
+#include "plain/preach.h"
+#include "plain/pruned_two_hop.h"
+#include "plain/tree_cover.h"
+#include "traversal/online_search.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+
+namespace {
+
+// Parses "name:k=7" style parameters; returns `fallback` when absent.
+size_t ParseParam(const std::string& spec, const std::string& key,
+                  size_t fallback) {
+  const std::string needle = key + "=";
+  const size_t pos = spec.find(needle);
+  if (pos == std::string::npos) return fallback;
+  return static_cast<size_t>(
+      std::strtoull(spec.c_str() + pos + needle.size(), nullptr, 10));
+}
+
+std::string BaseName(const std::string& spec) {
+  return spec.substr(0, spec.find(':'));
+}
+
+}  // namespace
+
+std::unique_ptr<ReachabilityIndex> MakePlainIndex(const std::string& spec) {
+  const std::string name = BaseName(spec);
+  if (name == "bfs") {
+    return std::make_unique<OnlineSearch>(TraversalKind::kBfs);
+  }
+  if (name == "dfs") {
+    return std::make_unique<OnlineSearch>(TraversalKind::kDfs);
+  }
+  if (name == "bibfs") {
+    return std::make_unique<OnlineSearch>(TraversalKind::kBiBfs);
+  }
+  if (name == "tc") return std::make_unique<TransitiveClosure>();
+  if (name == "treecover") return MakeCondensing<TreeCover>();
+  if (name == "dual") return MakeCondensing<DualLabeling>();
+  if (name == "chaincover") return MakeCondensing<ChainCover>();
+  if (name == "grail") {
+    return MakeCondensing<Grail>(ParseParam(spec, "k", 3));
+  }
+  if (name == "gripp") return std::make_unique<Gripp>();
+  if (name == "ferrari") {
+    return MakeCondensing<Ferrari>(ParseParam(spec, "k", 4));
+  }
+  if (name == "pll") {
+    return std::make_unique<PrunedTwoHop>(VertexOrder::kDegree);
+  }
+  if (name == "tfl") {
+    return std::make_unique<PrunedTwoHop>(VertexOrder::kTopological);
+  }
+  if (name == "tol-random") {
+    return std::make_unique<PrunedTwoHop>(VertexOrder::kRandom);
+  }
+  if (name == "tol-revdeg") {
+    return std::make_unique<PrunedTwoHop>(VertexOrder::kReverseDegree);
+  }
+  if (name == "dbl") return std::make_unique<Dbl>();
+  if (name == "dagger") {
+    return std::make_unique<Dagger>(ParseParam(spec, "k", 3));
+  }
+  if (name == "oreach") {
+    return MakeCondensing<OReach>(ParseParam(spec, "k", 32));
+  }
+  if (name == "ip") {
+    return MakeCondensing<IpLabel>(ParseParam(spec, "k", 4));
+  }
+  if (name == "bfl") {
+    return MakeCondensing<Bfl>(ParseParam(spec, "bits", 256));
+  }
+  if (name == "feline") return MakeCondensing<Feline>();
+  if (name == "preach") return MakeCondensing<Preach>();
+  return nullptr;
+}
+
+std::vector<std::string> DefaultPlainIndexSpecs() {
+  return {"bfs",     "dfs",    "bibfs", "tc",     "treecover",
+          "dual",    "chaincover", "gripp", "grail", "ferrari", "pll",
+          "tfl",     "tol-random", "dbl", "dagger", "oreach", "ip",
+          "bfl",     "feline",  "preach"};
+}
+
+}  // namespace reach

@@ -1,0 +1,32 @@
+#ifndef REACH_PLAIN_REGISTRY_H_
+#define REACH_PLAIN_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/reachability_index.h"
+
+namespace reach {
+
+/// Creates a ready-to-Build plain reachability index by specification
+/// string. DAG-only techniques come pre-wrapped in `SccCondensingIndex`,
+/// so every returned index accepts general digraphs — mirroring how the
+/// survey's Table 1 normalizes the Input column.
+///
+/// Known specs: "bfs", "dfs", "bibfs", "tc", "treecover", "dual",
+/// "chaincover",
+/// "gripp", "grail" / "grail:k=<n>", "ferrari" / "ferrari:k=<n>", "pll", "tfl",
+/// "tol-random", "tol-revdeg", "dbl", "dagger" / "dagger:k=<n>",
+/// "oreach" / "oreach:k=<n>",
+/// "ip" / "ip:k=<n>", "bfl" / "bfl:bits=<n>", "feline", "preach".
+/// Returns nullptr for unknown specs.
+std::unique_ptr<ReachabilityIndex> MakePlainIndex(const std::string& spec);
+
+/// The default benchmark roster: one spec per implemented Table 1 row plus
+/// the §2.3 baselines.
+std::vector<std::string> DefaultPlainIndexSpecs();
+
+}  // namespace reach
+
+#endif  // REACH_PLAIN_REGISTRY_H_

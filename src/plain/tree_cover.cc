@@ -1,0 +1,82 @@
+#include "plain/tree_cover.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "plain/interval_labeling.h"
+
+namespace reach {
+
+namespace {
+
+// Merges a sorted-by-begin interval list in place, coalescing overlapping
+// and adjacent intervals ([1,6] + [7,8] -> [1,8], as in the paper).
+template <typename Interval>
+void Coalesce(std::vector<Interval>& intervals) {
+  if (intervals.empty()) return;
+  size_t out = 0;
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].begin <= intervals[out].end + 1) {
+      intervals[out].end = std::max(intervals[out].end, intervals[i].end);
+    } else {
+      intervals[++out] = intervals[i];
+    }
+  }
+  intervals.resize(out + 1);
+}
+
+}  // namespace
+
+void TreeCover::Build(const Digraph& graph) {
+  const size_t n = graph.NumVertices();
+  const IntervalForest forest = BuildIntervalForest(graph, std::nullopt);
+  post_ = forest.post;
+
+  // Reverse topological order == increasing post order: out-neighbors of v
+  // all have smaller post, so their interval sets are final before v's.
+  std::vector<VertexId> by_post(n);
+  for (VertexId v = 0; v < n; ++v) by_post[forest.post[v]] = v;
+
+  std::vector<std::vector<Interval>> sets(n);
+  for (uint32_t p = 0; p < n; ++p) {
+    const VertexId v = by_post[p];
+    std::vector<Interval>& mine = sets[v];
+    mine.push_back({forest.subtree_low[v], forest.post[v]});
+    for (VertexId w : graph.OutNeighbors(v)) {
+      assert(forest.post[w] < forest.post[v] && "input must be a DAG");
+      mine.insert(mine.end(), sets[w].begin(), sets[w].end());
+    }
+    std::sort(mine.begin(), mine.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.begin < b.begin;
+              });
+    Coalesce(mine);
+  }
+
+  offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + sets[v].size();
+  intervals_.clear();
+  intervals_.reserve(offsets_[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    intervals_.insert(intervals_.end(), sets[v].begin(), sets[v].end());
+  }
+}
+
+bool TreeCover::Query(VertexId s, VertexId t) const {
+  const uint32_t target = post_[t];
+  const Interval* begin = intervals_.data() + offsets_[s];
+  const Interval* end = intervals_.data() + offsets_[s + 1];
+  // First interval with begin > target; its predecessor is the only
+  // candidate container.
+  const Interval* it = std::upper_bound(
+      begin, end, target,
+      [](uint32_t value, const Interval& i) { return value < i.begin; });
+  return it != begin && target <= (it - 1)->end;
+}
+
+size_t TreeCover::IndexSizeBytes() const {
+  return intervals_.size() * sizeof(Interval) +
+         offsets_.size() * sizeof(size_t) + post_.size() * sizeof(uint32_t);
+}
+
+}  // namespace reach

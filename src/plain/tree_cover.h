@@ -1,0 +1,62 @@
+#ifndef REACH_PLAIN_TREE_COVER_H_
+#define REACH_PLAIN_TREE_COVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/reachability_index.h"
+#include "graph/digraph.h"
+
+namespace reach {
+
+/// The original tree-cover index of Agrawal, Borgida & Jagadish [2]
+/// (paper §3.1): interval labeling on a spanning forest plus *interval
+/// inheritance* for non-tree reachability.
+///
+/// Construction: a DFS spanning forest assigns each vertex the interval
+/// [subtree_low, post] covering its tree descendants; vertices are then
+/// examined in reverse topological order, and every vertex inherits the
+/// interval set of each out-neighbor (tree and non-tree alike — the
+/// transitivity step the paper describes on the example of edge (w, u)).
+/// Adjacent and overlapping intervals are merged for compact storage.
+///
+/// The result is a *complete* index: v's interval set covers exactly
+/// { post[w] : w reachable from v }, so Qr(s, t) is a binary search of
+/// post[t] in s's interval list. Input must be a DAG (wrap in
+/// `SccCondensingIndex` for general graphs). The drawback the survey
+/// highlights — a potentially large number of intervals per vertex — is
+/// observable through `IndexSizeBytes()` / `TotalIntervals()`.
+class TreeCover : public ReachabilityIndex {
+ public:
+  TreeCover() = default;
+
+  void Build(const Digraph& graph) override;
+  bool Query(VertexId s, VertexId t) const override;
+  size_t IndexSizeBytes() const override;
+  bool IsComplete() const override { return true; }
+  std::string Name() const override { return "treecover"; }
+
+  /// Total number of stored intervals (the survey's index-size measure).
+  size_t TotalIntervals() const { return intervals_.size(); }
+
+  /// Number of intervals attached to `v`.
+  size_t NumIntervals(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+ private:
+  struct Interval {
+    uint32_t begin;  // inclusive
+    uint32_t end;    // inclusive
+  };
+
+  std::vector<uint32_t> post_;
+  // CSR layout: intervals of v are intervals_[offsets_[v] .. offsets_[v+1]).
+  std::vector<size_t> offsets_;
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_PLAIN_TREE_COVER_H_

@@ -1,0 +1,52 @@
+#include "reduction/reducing_index.h"
+
+namespace reach {
+
+void ReducingIndex::Build(const Digraph& graph) {
+  condensation_ = Condense(graph);
+  Digraph current = condensation_.dag;
+  if (equivalence_reduce_) {
+    equivalence_ = ReduceEquivalentVertices(current);
+    current = equivalence_.graph;
+  } else {
+    equivalence_ = EquivalenceReduction{};
+  }
+  if (transitive_reduce_) {
+    current = TransitiveReduction(current);
+  }
+  reduced_ = std::move(current);
+  inner_->Build(reduced_);
+}
+
+bool ReducingIndex::Query(VertexId s, VertexId t) const {
+  VertexId cs = condensation_.DagVertex(s);
+  VertexId ct = condensation_.DagVertex(t);
+  if (cs == ct) return true;
+  if (equivalence_reduce_) {
+    cs = equivalence_.representative_of[cs];
+    ct = equivalence_.representative_of[ct];
+    // Distinct SCCs merged by the equivalence reduction have identical
+    // neighborhoods in a DAG: they cannot reach each other.
+    if (cs == ct) return false;
+  }
+  return inner_->Query(cs, ct);
+}
+
+size_t ReducingIndex::IndexSizeBytes() const {
+  size_t bytes = inner_->IndexSizeBytes() +
+                 condensation_.scc.component_of.size() * sizeof(VertexId);
+  if (equivalence_reduce_) {
+    bytes += equivalence_.representative_of.size() * sizeof(VertexId);
+  }
+  return bytes;
+}
+
+std::string ReducingIndex::Name() const {
+  std::string name = "reduce(";
+  if (equivalence_reduce_) name += "er";
+  if (equivalence_reduce_ && transitive_reduce_) name += "+";
+  if (transitive_reduce_) name += "tr";
+  return name + ")+" + inner_->Name();
+}
+
+}  // namespace reach

@@ -1,0 +1,68 @@
+#include "reduction/reduction.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+
+Digraph TransitiveReduction(const Digraph& dag) {
+  TransitiveClosure tc;
+  tc.Build(dag);
+  std::vector<Edge> kept;
+  for (VertexId u = 0; u < dag.NumVertices(); ++u) {
+    const auto neighbors = dag.OutNeighbors(u);
+    for (VertexId v : neighbors) {
+      // (u, v) is redundant iff some sibling neighbor already reaches v.
+      bool redundant = false;
+      for (VertexId w : neighbors) {
+        if (w != v && tc.Query(w, v)) {
+          redundant = true;
+          break;
+        }
+      }
+      if (!redundant) kept.push_back({u, v});
+    }
+  }
+  return Digraph::FromEdges(static_cast<VertexId>(dag.NumVertices()),
+                            std::move(kept));
+}
+
+EquivalenceReduction ReduceEquivalentVertices(const Digraph& graph) {
+  const size_t n = graph.NumVertices();
+  // Group vertices by their (out-neighbor list, in-neighbor list)
+  // signature; CSR neighbor lists are sorted, so direct comparison works.
+  using Signature =
+      std::pair<std::vector<VertexId>, std::vector<VertexId>>;
+  std::map<Signature, std::vector<VertexId>> groups;
+  for (VertexId v = 0; v < n; ++v) {
+    auto out = graph.OutNeighbors(v);
+    auto in = graph.InNeighbors(v);
+    Signature sig{{out.begin(), out.end()}, {in.begin(), in.end()}};
+    groups[std::move(sig)].push_back(v);
+  }
+
+  EquivalenceReduction result;
+  result.representative_of.assign(n, 0);
+  VertexId next_id = 0;
+  for (const auto& [sig, members] : groups) {
+    for (VertexId v : members) result.representative_of[v] = next_id;
+    ++next_id;
+  }
+  result.merged = n - next_id;
+
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : graph.OutNeighbors(u)) {
+      const VertexId ru = result.representative_of[u];
+      const VertexId rv = result.representative_of[v];
+      if (ru != rv) edges.push_back({ru, rv});
+    }
+  }
+  result.graph = Digraph::FromEdges(next_id, std::move(edges));
+  return result;
+}
+
+}  // namespace reach

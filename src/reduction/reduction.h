@@ -1,0 +1,46 @@
+#ifndef REACH_REDUCTION_REDUCTION_H_
+#define REACH_REDUCTION_REDUCTION_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/types.h"
+
+namespace reach {
+
+/// Graph reduction techniques of paper §3.4 (SCARAB [23], ER [54],
+/// RCN [53]): shrink the graph *before* indexing, in ways that preserve
+/// reachability answers. "These reduction techniques are orthogonal to the
+/// indexing techniques" — accordingly they are free functions plus a
+/// generic `ReducingIndex` adapter that composes with any
+/// `ReachabilityIndex`.
+
+/// Transitive reduction of a DAG: removes every edge (u, v) for which a
+/// longer u-v path exists. Reachability is unchanged; index sizes that
+/// scale with edges (tree cover inheritance, 2-hop BFS frontiers) shrink.
+/// O(V * E) worst case — intended as a preprocessing pass.
+Digraph TransitiveReduction(const Digraph& dag);
+
+/// Reachability-equivalence reduction (the ER idea of [54]): vertices with
+/// identical out-neighbor sets and identical in-neighbor sets are
+/// reachability-equivalent and can be merged into one representative.
+struct EquivalenceReduction {
+  /// The reduced graph over representatives.
+  Digraph graph;
+  /// representative_of[v] = reduced-graph vertex standing in for v.
+  std::vector<VertexId> representative_of;
+  /// Number of vertices merged away (original n - reduced n).
+  size_t merged = 0;
+};
+
+/// Computes the equivalence reduction of a DAG (or any digraph whose
+/// self-loop-free vertices should merge only when truly equivalent).
+/// Queries map as Qr(s, t) = s == t || Qr'(rep(s), rep(t)) — equivalent
+/// vertices are mutually *unreachable* (identical neighborhoods in a
+/// simple digraph), so distinct originals mapping to one representative
+/// reach each other iff... they don't; the adapter handles this.
+EquivalenceReduction ReduceEquivalentVertices(const Digraph& graph);
+
+}  // namespace reach
+
+#endif  // REACH_REDUCTION_REDUCTION_H_

@@ -1,0 +1,35 @@
+#include "rlc/kleene_sequence.h"
+
+namespace reach {
+
+KleeneSequence MinimumRepeat(const KleeneSequence& sequence) {
+  const size_t n = sequence.size();
+  for (size_t period = 1; period <= n / 2; ++period) {
+    if (n % period != 0) continue;
+    bool repeats = true;
+    for (size_t i = period; i < n && repeats; ++i) {
+      repeats = sequence[i] == sequence[i - period];
+    }
+    if (repeats) {
+      return KleeneSequence(sequence.begin(), sequence.begin() + period);
+    }
+  }
+  return sequence;
+}
+
+std::string KleeneSequenceToString(const KleeneSequence& sequence,
+                                   const std::vector<std::string>& names) {
+  std::string out = "(";
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    if (i > 0) out += "·";  // middle dot
+    if (sequence[i] < names.size()) {
+      out += names[sequence[i]];
+    } else {
+      out += std::to_string(sequence[i]);
+    }
+  }
+  out += ")*";
+  return out;
+}
+
+}  // namespace reach

@@ -1,0 +1,30 @@
+#ifndef REACH_RLC_KLEENE_SEQUENCE_H_
+#define REACH_RLC_KLEENE_SEQUENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace reach {
+
+/// The label sequence (l1 · l2 · ... · lk) under a Kleene operator — the
+/// constraint of a recursive label-concatenated (RLC) query, paper §4.2:
+/// Qr(s, t, (l1···lk)*) asks for an s-t path whose edge-label sequence is
+/// an arbitrary number (>= 0; an empty path satisfies zero repeats, making
+/// reachability reflexive) of repeats of the sequence.
+using KleeneSequence = std::vector<Label>;
+
+/// The *minimum repeat* (MR) of a label sequence, the compression device
+/// of the RLC index [52]: the shortest prefix whose repetition spells the
+/// whole sequence, e.g. MR(worksFor, friendOf, worksFor, friendOf) =
+/// (worksFor, friendOf). Returns the input when it is not periodic.
+KleeneSequence MinimumRepeat(const KleeneSequence& sequence);
+
+/// Renders "(worksFor·friendOf)*" using `names` (bit indexes if missing).
+std::string KleeneSequenceToString(const KleeneSequence& sequence,
+                                   const std::vector<std::string>& names);
+
+}  // namespace reach
+
+#endif  // REACH_RLC_KLEENE_SEQUENCE_H_

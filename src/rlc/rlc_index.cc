@@ -1,0 +1,77 @@
+#include "rlc/rlc_index.h"
+
+#include <utility>
+
+#include "rlc/rlc_product_bfs.h"
+
+namespace reach {
+
+namespace {
+
+// Product of `graph` with the cyclic automaton of `sequence`:
+// state (v, phase) = v * k + phase; an edge u -l-> v with l == sequence[i]
+// connects (u, i) to (v, (i+1) mod k).
+Digraph BuildProductGraph(const LabeledDigraph& graph,
+                          const KleeneSequence& sequence) {
+  const size_t k = sequence.size();
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (const LabeledDigraph::Arc& arc : graph.OutArcs(u)) {
+      for (size_t phase = 0; phase < k; ++phase) {
+        if (sequence[phase] != arc.label) continue;
+        const size_t next_phase = (phase + 1) % k;
+        edges.push_back(
+            {static_cast<VertexId>(u * k + phase),
+             static_cast<VertexId>(arc.vertex * k + next_phase)});
+      }
+    }
+  }
+  return Digraph::FromEdges(
+      static_cast<VertexId>(graph.NumVertices() * k), std::move(edges));
+}
+
+}  // namespace
+
+void RlcIndex::Build(const LabeledDigraph& graph,
+                     std::vector<KleeneSequence> templates) {
+  graph_ = &graph;
+  templates_ = std::move(templates);
+  product_graphs_.clear();
+  labelings_.clear();
+  for (const KleeneSequence& sequence : templates_) {
+    product_graphs_.push_back(
+        std::make_unique<Digraph>(BuildProductGraph(graph, sequence)));
+    labelings_.push_back(std::make_unique<PrunedTwoHop>(VertexOrder::kDegree));
+    labelings_.back()->Build(*product_graphs_.back());
+  }
+}
+
+size_t RlcIndex::FindTemplate(const KleeneSequence& sequence) const {
+  for (size_t i = 0; i < templates_.size(); ++i) {
+    if (templates_[i] == sequence) return i;
+  }
+  return SIZE_MAX;
+}
+
+bool RlcIndex::Query(VertexId s, VertexId t,
+                     const KleeneSequence& sequence) const {
+  if (s == t) return true;  // zero repeats
+  if (sequence.empty()) return false;
+  const size_t i = FindTemplate(sequence);
+  if (i == SIZE_MAX) {
+    return RlcProductBfsReachability(*graph_, s, t, sequence, ws_);
+  }
+  const size_t k = sequence.size();
+  // (s, 0) and (t, 0) differ because s != t, so the 2-hop lookup is a
+  // genuine product-reachability test.
+  return labelings_[i]->Query(static_cast<VertexId>(s * k),
+                              static_cast<VertexId>(t * k));
+}
+
+size_t RlcIndex::IndexSizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& labeling : labelings_) bytes += labeling->IndexSizeBytes();
+  return bytes;
+}
+
+}  // namespace reach

@@ -1,0 +1,72 @@
+#ifndef REACH_RLC_RLC_INDEX_H_
+#define REACH_RLC_RLC_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/search_workspace.h"
+#include "graph/digraph.h"
+#include "graph/labeled_digraph.h"
+#include "plain/pruned_two_hop.h"
+#include "rlc/kleene_sequence.h"
+
+namespace reach {
+
+/// The RLC index (Zhang et al. [52], paper §4.2): a 2-hop index for
+/// recursive label-concatenated queries Qr(s, t, (l1···lk)*).
+///
+/// Formulation: the original work records *minimum repeats* of edge-label
+/// sequences inside a 2-hop skeleton, guided by the concatenation length
+/// under the Kleene operator. This implementation realizes the equivalent
+/// product construction (see DESIGN.md): for each Kleene-sequence template
+/// registered at build time, it materializes the product of the graph with
+/// the sequence's cyclic automaton — states (vertex, phase), edges only on
+/// matching labels — and builds a pruned 2-hop labeling (`PrunedTwoHop`,
+/// our TOL implementation) over it. A query for a registered template is
+/// then a pure 2-hop lookup from (s, 0) to (t, 0); queries for templates
+/// that were not registered fall back to the online product BFS.
+///
+/// Zero-repeat semantics: Qr(v, v, anything) = true (empty path).
+class RlcIndex {
+ public:
+  RlcIndex() = default;
+
+  /// Builds labelings for every template. Templates are typically the
+  /// recurring Kleene sub-expressions of the query workload.
+  void Build(const LabeledDigraph& graph,
+             std::vector<KleeneSequence> templates);
+
+  /// Answers Qr(s, t, (sequence)*); indexed lookup when the sequence is a
+  /// registered template, online product BFS otherwise.
+  bool Query(VertexId s, VertexId t, const KleeneSequence& sequence) const;
+
+  /// True iff `sequence` was registered at build time.
+  bool IsIndexed(const KleeneSequence& sequence) const {
+    return FindTemplate(sequence) != SIZE_MAX;
+  }
+
+  /// Bytes across all per-template 2-hop labelings.
+  size_t IndexSizeBytes() const;
+
+  /// Number of registered templates.
+  size_t NumTemplates() const { return templates_.size(); }
+
+  std::string Name() const { return "rlc"; }
+
+ private:
+  size_t FindTemplate(const KleeneSequence& sequence) const;
+
+  const LabeledDigraph* graph_ = nullptr;
+  std::vector<KleeneSequence> templates_;
+  // Per template: the product graph (kept alive for the 2-hop index) and
+  // its labeling.
+  std::vector<std::unique_ptr<Digraph>> product_graphs_;
+  std::vector<std::unique_ptr<PrunedTwoHop>> labelings_;
+  mutable SearchWorkspace ws_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_RLC_RLC_INDEX_H_

@@ -1,0 +1,49 @@
+#include "rlc/rlc_product_bfs.h"
+
+namespace reach {
+
+bool RlcProductBfsReachability(const LabeledDigraph& graph, VertexId s,
+                               VertexId t, const KleeneSequence& sequence,
+                               SearchWorkspace& ws, size_t* visited) {
+  if (s == t) {
+    if (visited != nullptr) *visited = 1;
+    return true;  // zero repeats: the empty path
+  }
+  if (sequence.empty()) {
+    if (visited != nullptr) *visited = 1;
+    return false;  // no non-empty word in the language
+  }
+  const size_t k = sequence.size();
+  const size_t num_states = graph.NumVertices() * k;
+  ws.Prepare(num_states);
+  auto& queue = ws.queue();
+  const auto state_of = [k](VertexId v, size_t phase) {
+    return static_cast<VertexId>(v * k + phase);
+  };
+  ws.MarkForward(state_of(s, 0));
+  queue.push_back(state_of(s, 0));
+  size_t count = 1;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId state = queue[head];
+    const VertexId v = state / static_cast<VertexId>(k);
+    const size_t phase = state % k;
+    const Label expected = sequence[phase];
+    const size_t next_phase = (phase + 1) % k;
+    for (const LabeledDigraph::Arc& arc : graph.OutArcs(v)) {
+      if (arc.label != expected) continue;
+      if (arc.vertex == t && next_phase == 0) {
+        if (visited != nullptr) *visited = count;
+        return true;
+      }
+      const VertexId next = state_of(arc.vertex, next_phase);
+      if (ws.MarkForward(next)) {
+        queue.push_back(next);
+        ++count;
+      }
+    }
+  }
+  if (visited != nullptr) *visited = count;
+  return false;
+}
+
+}  // namespace reach

@@ -1,0 +1,24 @@
+#ifndef REACH_RLC_RLC_PRODUCT_BFS_H_
+#define REACH_RLC_RLC_PRODUCT_BFS_H_
+
+#include <cstddef>
+
+#include "core/search_workspace.h"
+#include "graph/labeled_digraph.h"
+#include "rlc/kleene_sequence.h"
+
+namespace reach {
+
+/// Online baseline for RLC queries (paper §2.3 / §4.2): BFS over the
+/// product of the graph with the cyclic automaton of the sequence. States
+/// are (vertex, phase): at phase i only edges labeled sequence[i] may be
+/// taken, advancing to phase (i+1) mod k. Qr(s, t, (seq)*) is true iff
+/// s == t (zero repeats) or state (t, 0) is reachable from (s, 0).
+bool RlcProductBfsReachability(const LabeledDigraph& graph, VertexId s,
+                               VertexId t, const KleeneSequence& sequence,
+                               SearchWorkspace& ws,
+                               size_t* visited = nullptr);
+
+}  // namespace reach
+
+#endif  // REACH_RLC_RLC_PRODUCT_BFS_H_

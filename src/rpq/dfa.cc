@@ -1,0 +1,152 @@
+#include "rpq/dfa.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace reach {
+
+bool Dfa::Accepts(const std::vector<Label>& word) const {
+  uint32_t state = start;
+  for (Label l : word) {
+    if (l >= num_labels) return false;
+    state = Step(state, l);
+    if (state == kDead) return false;
+  }
+  return accepting[state];
+}
+
+Dfa BuildDfa(const Nfa& nfa, Label num_labels) {
+  Dfa dfa;
+  dfa.num_labels = num_labels;
+
+  std::map<std::vector<uint32_t>, uint32_t> subset_id;
+  std::vector<std::vector<uint32_t>> subsets;
+  const auto intern = [&](std::vector<uint32_t> subset) -> uint32_t {
+    auto [it, inserted] =
+        subset_id.emplace(std::move(subset), subsets.size());
+    if (inserted) {
+      subsets.push_back(it->first);
+      dfa.accepting.push_back(std::binary_search(
+          it->first.begin(), it->first.end(), nfa.accept));
+      dfa.transition.resize(subsets.size() * num_labels, Dfa::kDead);
+    }
+    return it->second;
+  };
+
+  dfa.start = intern(nfa.EpsilonClosure({nfa.start}));
+  for (uint32_t current = 0; current < subsets.size(); ++current) {
+    // Copy: `subsets` may reallocate while interning successors.
+    const std::vector<uint32_t> subset = subsets[current];
+    for (Label l = 0; l < num_labels; ++l) {
+      std::vector<uint32_t> next;
+      for (uint32_t s : subset) {
+        for (const Nfa::Transition& t : nfa.transitions[s]) {
+          if (!t.epsilon && t.label == l) next.push_back(t.to);
+        }
+      }
+      if (next.empty()) continue;
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      const uint32_t id = intern(nfa.EpsilonClosure(std::move(next)));
+      dfa.transition[current * num_labels + l] = id;
+    }
+  }
+  return dfa;
+}
+
+Dfa MinimizeDfa(const Dfa& dfa) {
+  const size_t n = dfa.NumStates();
+  if (n == 0) return dfa;
+  const Label labels = dfa.num_labels;
+  // Moore refinement. Classes only ever split (each signature embeds the
+  // current class), so the class count is nondecreasing and the loop stops
+  // at the first round with no split. The implicit dead state is its own
+  // class, encoded as UINT32_MAX in signatures.
+  std::vector<uint32_t> cls(n);
+  size_t num_classes = 0;
+  {
+    std::map<bool, uint32_t> initial;
+    for (size_t q = 0; q < n; ++q) {
+      auto [it, inserted] =
+          initial.emplace(dfa.accepting[q], initial.size());
+      cls[q] = it->second;
+    }
+    num_classes = initial.size();
+  }
+  while (true) {
+    std::map<std::vector<uint32_t>, uint32_t> signature_class;
+    std::vector<uint32_t> next(n);
+    for (size_t q = 0; q < n; ++q) {
+      std::vector<uint32_t> signature;
+      signature.reserve(labels + 1);
+      signature.push_back(cls[q]);
+      for (Label l = 0; l < labels; ++l) {
+        const uint32_t to = dfa.Step(static_cast<uint32_t>(q), l);
+        signature.push_back(to == Dfa::kDead ? UINT32_MAX : cls[to]);
+      }
+      auto [it, inserted] = signature_class.emplace(
+          std::move(signature),
+          static_cast<uint32_t>(signature_class.size()));
+      next[q] = it->second;
+    }
+    cls = std::move(next);
+    if (signature_class.size() == num_classes) break;
+    num_classes = signature_class.size();
+  }
+  Dfa out;
+  out.num_labels = labels;
+  out.accepting.assign(num_classes, false);
+  out.transition.assign(num_classes * labels, Dfa::kDead);
+  for (size_t q = 0; q < n; ++q) {
+    out.accepting[cls[q]] = out.accepting[cls[q]] || dfa.accepting[q];
+    for (Label l = 0; l < labels; ++l) {
+      const uint32_t to = dfa.Step(static_cast<uint32_t>(q), l);
+      if (to != Dfa::kDead) {
+        out.transition[static_cast<size_t>(cls[q]) * labels + l] = cls[to];
+      }
+    }
+  }
+  out.start = cls[dfa.start];
+  return out;
+}
+
+Dfa TrimDfa(const Dfa& dfa) {
+  const size_t n = dfa.NumStates();
+  // Backward reachability from accepting states over reversed transitions.
+  std::vector<std::vector<uint32_t>> reverse(n);
+  for (size_t q = 0; q < n; ++q) {
+    for (Label l = 0; l < dfa.num_labels; ++l) {
+      const uint32_t to = dfa.Step(static_cast<uint32_t>(q), l);
+      if (to != Dfa::kDead) reverse[to].push_back(static_cast<uint32_t>(q));
+    }
+  }
+  std::vector<bool> live(n, false);
+  std::vector<uint32_t> stack;
+  for (size_t q = 0; q < n; ++q) {
+    if (dfa.accepting[q]) {
+      live[q] = true;
+      stack.push_back(static_cast<uint32_t>(q));
+    }
+  }
+  while (!stack.empty()) {
+    const uint32_t q = stack.back();
+    stack.pop_back();
+    for (uint32_t p : reverse[q]) {
+      if (!live[p]) {
+        live[p] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  Dfa out = dfa;
+  for (size_t q = 0; q < n; ++q) {
+    for (Label l = 0; l < dfa.num_labels; ++l) {
+      uint32_t& to = out.transition[q * dfa.num_labels + l];
+      if (to != Dfa::kDead && !live[to]) to = Dfa::kDead;
+    }
+  }
+  return out;
+}
+
+}  // namespace reach

@@ -1,0 +1,50 @@
+#ifndef REACH_RPQ_DFA_H_
+#define REACH_RPQ_DFA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "rpq/nfa.h"
+
+namespace reach {
+
+/// Deterministic automaton over the label alphabet, built from an NFA by
+/// subset construction. Drives the guided product traversal of §2.3.
+struct Dfa {
+  static constexpr uint32_t kDead = UINT32_MAX;
+
+  /// transition[state * num_labels + label] = next state or kDead.
+  std::vector<uint32_t> transition;
+  std::vector<bool> accepting;
+  uint32_t start = 0;
+  Label num_labels = 0;
+
+  size_t NumStates() const { return accepting.size(); }
+
+  /// Next state on `label`, or kDead.
+  uint32_t Step(uint32_t state, Label label) const {
+    return transition[state * num_labels + label];
+  }
+
+  /// True iff the DFA accepts the label word.
+  bool Accepts(const std::vector<Label>& word) const;
+};
+
+/// Subset construction. `num_labels` fixes the alphabet (labels >= the
+/// regex's labels are simply dead everywhere).
+Dfa BuildDfa(const Nfa& nfa, Label num_labels);
+
+/// Moore partition-refinement minimization: returns the unique (up to
+/// renaming) minimal DFA for the same language. Useful before product
+/// traversal — fewer automaton states means a smaller product space.
+Dfa MinimizeDfa(const Dfa& dfa);
+
+/// Trims the DFA for product search: every state that cannot reach an
+/// accepting state becomes dead (transitions into it are cut), so the
+/// guided traversal of §2.3 never explores doomed product states.
+Dfa TrimDfa(const Dfa& dfa);
+
+}  // namespace reach
+
+#endif  // REACH_RPQ_DFA_H_

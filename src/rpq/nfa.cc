@@ -1,0 +1,119 @@
+#include "rpq/nfa.h"
+
+#include <algorithm>
+
+namespace reach {
+
+namespace {
+
+// Recursive Thompson construction: returns (start, accept) of the
+// sub-automaton for `node`, adding states to `nfa`.
+struct Fragment {
+  uint32_t start;
+  uint32_t accept;
+};
+
+uint32_t NewState(Nfa& nfa) {
+  nfa.transitions.emplace_back();
+  return static_cast<uint32_t>(nfa.transitions.size() - 1);
+}
+
+void AddEpsilon(Nfa& nfa, uint32_t from, uint32_t to) {
+  nfa.transitions[from].push_back({true, 0, to});
+}
+
+void AddLabel(Nfa& nfa, uint32_t from, Label label, uint32_t to) {
+  nfa.transitions[from].push_back({false, label, to});
+}
+
+Fragment Construct(Nfa& nfa, const RegexNode& node) {
+  switch (node.kind) {
+    case RegexNode::Kind::kLabel: {
+      const uint32_t s = NewState(nfa), a = NewState(nfa);
+      AddLabel(nfa, s, node.label, a);
+      return {s, a};
+    }
+    case RegexNode::Kind::kConcat: {
+      const Fragment left = Construct(nfa, *node.left);
+      const Fragment right = Construct(nfa, *node.right);
+      AddEpsilon(nfa, left.accept, right.start);
+      return {left.start, right.accept};
+    }
+    case RegexNode::Kind::kAlternation: {
+      const Fragment left = Construct(nfa, *node.left);
+      const Fragment right = Construct(nfa, *node.right);
+      const uint32_t s = NewState(nfa), a = NewState(nfa);
+      AddEpsilon(nfa, s, left.start);
+      AddEpsilon(nfa, s, right.start);
+      AddEpsilon(nfa, left.accept, a);
+      AddEpsilon(nfa, right.accept, a);
+      return {s, a};
+    }
+    case RegexNode::Kind::kStar: {
+      const Fragment inner = Construct(nfa, *node.left);
+      const uint32_t s = NewState(nfa), a = NewState(nfa);
+      AddEpsilon(nfa, s, inner.start);
+      AddEpsilon(nfa, s, a);                    // zero repeats
+      AddEpsilon(nfa, inner.accept, inner.start);  // loop
+      AddEpsilon(nfa, inner.accept, a);
+      return {s, a};
+    }
+    case RegexNode::Kind::kPlus: {
+      const Fragment inner = Construct(nfa, *node.left);
+      const uint32_t s = NewState(nfa), a = NewState(nfa);
+      AddEpsilon(nfa, s, inner.start);             // at least one repeat
+      AddEpsilon(nfa, inner.accept, inner.start);  // loop
+      AddEpsilon(nfa, inner.accept, a);
+      return {s, a};
+    }
+  }
+  return {0, 0};
+}
+
+}  // namespace
+
+std::vector<uint32_t> Nfa::EpsilonClosure(std::vector<uint32_t> states) const {
+  std::vector<bool> seen(NumStates(), false);
+  std::vector<uint32_t> stack = states;
+  for (uint32_t s : states) seen[s] = true;
+  while (!stack.empty()) {
+    const uint32_t s = stack.back();
+    stack.pop_back();
+    for (const Transition& t : transitions[s]) {
+      if (t.epsilon && !seen[t.to]) {
+        seen[t.to] = true;
+        states.push_back(t.to);
+        stack.push_back(t.to);
+      }
+    }
+  }
+  std::sort(states.begin(), states.end());
+  return states;
+}
+
+bool Nfa::Accepts(const std::vector<Label>& word) const {
+  std::vector<uint32_t> current = EpsilonClosure({start});
+  for (Label l : word) {
+    std::vector<uint32_t> next;
+    for (uint32_t s : current) {
+      for (const Transition& t : transitions[s]) {
+        if (!t.epsilon && t.label == l) next.push_back(t.to);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    current = EpsilonClosure(std::move(next));
+    if (current.empty()) return false;
+  }
+  return std::binary_search(current.begin(), current.end(), accept);
+}
+
+Nfa BuildNfa(const RegexNode& regex) {
+  Nfa nfa;
+  const Fragment fragment = Construct(nfa, regex);
+  nfa.start = fragment.start;
+  nfa.accept = fragment.accept;
+  return nfa;
+}
+
+}  // namespace reach

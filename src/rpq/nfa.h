@@ -1,0 +1,41 @@
+#ifndef REACH_RPQ_NFA_H_
+#define REACH_RPQ_NFA_H_
+
+#include <vector>
+
+#include "graph/types.h"
+#include "rpq/regex_parser.h"
+
+namespace reach {
+
+/// Thompson NFA built from a path-constraint regex (paper §2.3: "a finite
+/// automata can be built according to the regular expression alpha in the
+/// query"). One start state, one accept state, label and epsilon moves.
+struct Nfa {
+  /// A transition on `label` (or epsilon when `epsilon` is true).
+  struct Transition {
+    bool epsilon;
+    Label label;  // valid when !epsilon
+    uint32_t to;
+  };
+
+  std::vector<std::vector<Transition>> transitions;  // per state
+  uint32_t start = 0;
+  uint32_t accept = 0;
+
+  size_t NumStates() const { return transitions.size(); }
+
+  /// Epsilon-closure of `states` (sorted unique state ids in, out).
+  std::vector<uint32_t> EpsilonClosure(std::vector<uint32_t> states) const;
+
+  /// True iff the NFA accepts the label word (test utility; graph
+  /// evaluation goes through the DFA).
+  bool Accepts(const std::vector<Label>& word) const;
+};
+
+/// Thompson construction from the regex AST.
+Nfa BuildNfa(const RegexNode& regex);
+
+}  // namespace reach
+
+#endif  // REACH_RPQ_NFA_H_

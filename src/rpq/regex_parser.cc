@@ -1,0 +1,198 @@
+#include "rpq/regex_parser.h"
+
+#include <cctype>
+
+namespace reach {
+
+namespace {
+
+// Recursive-descent parser over a UTF-8 pattern. The multibyte operators
+// '·' (U+00B7, 0xC2 0xB7) and '∪' (U+222A, 0xE2 0x88 0xAA) are accepted as
+// aliases of '.' and '|'.
+class Parser {
+ public:
+  Parser(std::string_view pattern, const std::vector<std::string>& names,
+         std::string* error)
+      : pattern_(pattern), names_(names), error_(error) {}
+
+  std::unique_ptr<RegexNode> Parse() {
+    auto node = ParseAlternation();
+    if (node == nullptr) return nullptr;
+    SkipSpace();
+    if (pos_ != pattern_.size()) {
+      Fail("unexpected trailing input");
+      return nullptr;
+    }
+    return node;
+  }
+
+ private:
+  void Fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = message + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void SkipSpace() {
+    while (pos_ < pattern_.size() &&
+           std::isspace(static_cast<unsigned char>(pattern_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeIf(std::string_view token) {
+    SkipSpace();
+    if (pattern_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < pattern_.size() ? pattern_[pos_] : '\0';
+  }
+
+  std::unique_ptr<RegexNode> ParseAlternation() {
+    auto left = ParseConcat();
+    if (left == nullptr) return nullptr;
+    while (ConsumeIf("|") || ConsumeIf("\xe2\x88\xaa") /* ∪ */) {
+      auto right = ParseConcat();
+      if (right == nullptr) return nullptr;
+      auto node = std::make_unique<RegexNode>();
+      node->kind = RegexNode::Kind::kAlternation;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  std::unique_ptr<RegexNode> ParseConcat() {
+    auto left = ParseUnary();
+    if (left == nullptr) return nullptr;
+    while (ConsumeIf(".") || ConsumeIf("\xc2\xb7") /* · */) {
+      auto right = ParseUnary();
+      if (right == nullptr) return nullptr;
+      auto node = std::make_unique<RegexNode>();
+      node->kind = RegexNode::Kind::kConcat;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  std::unique_ptr<RegexNode> ParseUnary() {
+    auto node = ParseAtom();
+    if (node == nullptr) return nullptr;
+    while (true) {
+      if (ConsumeIf("*")) {
+        auto star = std::make_unique<RegexNode>();
+        star->kind = RegexNode::Kind::kStar;
+        star->left = std::move(node);
+        node = std::move(star);
+      } else if (ConsumeIf("+")) {
+        auto plus = std::make_unique<RegexNode>();
+        plus->kind = RegexNode::Kind::kPlus;
+        plus->left = std::move(node);
+        node = std::move(plus);
+      } else {
+        return node;
+      }
+    }
+  }
+
+  std::unique_ptr<RegexNode> ParseAtom() {
+    SkipSpace();
+    if (ConsumeIf("(")) {
+      auto inner = ParseAlternation();
+      if (inner == nullptr) return nullptr;
+      if (!ConsumeIf(")")) {
+        Fail("expected ')'");
+        return nullptr;
+      }
+      return inner;
+    }
+    // Label: identifier or number.
+    const size_t start = pos_;
+    while (pos_ < pattern_.size()) {
+      const char c = pattern_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      Fail("expected a label or '('");
+      return nullptr;
+    }
+    const std::string_view token = pattern_.substr(start, pos_ - start);
+    auto node = std::make_unique<RegexNode>();
+    node->kind = RegexNode::Kind::kLabel;
+    // Named label first; numeric fallback.
+    for (Label l = 0; l < names_.size(); ++l) {
+      if (names_[l] == token) {
+        node->label = l;
+        return node;
+      }
+    }
+    if (std::isdigit(static_cast<unsigned char>(token[0]))) {
+      Label value = 0;
+      for (char c : token) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          Fail("malformed label number '" + std::string(token) + "'");
+          return nullptr;
+        }
+        value = value * 10 + static_cast<Label>(c - '0');
+      }
+      if (value >= kMaxLabels) {
+        Fail("label id out of range");
+        return nullptr;
+      }
+      node->label = value;
+      return node;
+    }
+    Fail("unknown label '" + std::string(token) + "'");
+    return nullptr;
+  }
+
+  std::string_view pattern_;
+  const std::vector<std::string>& names_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<RegexNode> ParseRegex(
+    std::string_view pattern, const std::vector<std::string>& label_names,
+    std::string* error) {
+  if (error != nullptr) error->clear();
+  Parser parser(pattern, label_names, error);
+  return parser.Parse();
+}
+
+std::string RegexToString(const RegexNode& node,
+                          const std::vector<std::string>& label_names) {
+  switch (node.kind) {
+    case RegexNode::Kind::kLabel:
+      return node.label < label_names.size() ? label_names[node.label]
+                                             : std::to_string(node.label);
+    case RegexNode::Kind::kConcat:
+      return "(" + RegexToString(*node.left, label_names) + "·" +
+             RegexToString(*node.right, label_names) + ")";
+    case RegexNode::Kind::kAlternation:
+      return "(" + RegexToString(*node.left, label_names) + "∪" +
+             RegexToString(*node.right, label_names) + ")";
+    case RegexNode::Kind::kStar:
+      return RegexToString(*node.left, label_names) + "*";
+    case RegexNode::Kind::kPlus:
+      return RegexToString(*node.left, label_names) + "+";
+  }
+  return "";
+}
+
+}  // namespace reach

@@ -1,0 +1,46 @@
+#ifndef REACH_RPQ_REGEX_PARSER_H_
+#define REACH_RPQ_REGEX_PARSER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace reach {
+
+/// AST of a path-constraint regular expression over edge labels — the
+/// grammar of paper §2.2: alpha ::= l | alpha·alpha | alpha ∪ alpha |
+/// alpha+ | alpha*.
+struct RegexNode {
+  enum class Kind { kLabel, kConcat, kAlternation, kStar, kPlus };
+
+  Kind kind;
+  Label label = 0;  // kLabel only
+  std::unique_ptr<RegexNode> left;   // kConcat/kAlternation/kStar/kPlus
+  std::unique_ptr<RegexNode> right;  // kConcat/kAlternation only
+};
+
+/// Parses a path-constraint expression. Syntax:
+///  * labels: names resolved against `label_names` (e.g. "friendOf"), or
+///    non-negative integers ("2") for unnamed labels;
+///  * concatenation: '.' or '·'  — e.g. "worksFor·friendOf";
+///  * alternation: '|' or '∪'    — e.g. "friendOf|follows";
+///  * Kleene: postfix '*' / '+'; grouping with parentheses;
+///  * whitespace is ignored. Precedence: Kleene > concat > alternation.
+///
+/// Returns nullptr and fills `error` (if non-null) on malformed input or
+/// unknown label names.
+std::unique_ptr<RegexNode> ParseRegex(
+    std::string_view pattern, const std::vector<std::string>& label_names,
+    std::string* error = nullptr);
+
+/// Renders the AST back to a canonical string (for diagnostics).
+std::string RegexToString(const RegexNode& node,
+                          const std::vector<std::string>& label_names);
+
+}  // namespace reach
+
+#endif  // REACH_RPQ_REGEX_PARSER_H_

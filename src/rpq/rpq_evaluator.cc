@@ -1,0 +1,165 @@
+#include "rpq/rpq_evaluator.h"
+
+#include "rpq/regex_parser.h"
+
+namespace reach {
+
+bool RpqProductBfs(const LabeledDigraph& graph, VertexId s, VertexId t,
+                   const Dfa& dfa, SearchWorkspace& ws, size_t* visited) {
+  const uint32_t num_dfa_states = static_cast<uint32_t>(dfa.NumStates());
+  if (s == t && dfa.accepting[dfa.start]) {
+    if (visited != nullptr) *visited = 1;
+    return true;
+  }
+  ws.Prepare(graph.NumVertices() * num_dfa_states);
+  auto& queue = ws.queue();
+  const auto state_of = [num_dfa_states](VertexId v, uint32_t q) {
+    return static_cast<VertexId>(v * num_dfa_states + q);
+  };
+  ws.MarkForward(state_of(s, dfa.start));
+  queue.push_back(state_of(s, dfa.start));
+  size_t count = 1;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId product_state = queue[head];
+    const VertexId v = product_state / num_dfa_states;
+    const uint32_t q = product_state % num_dfa_states;
+    for (const LabeledDigraph::Arc& arc : graph.OutArcs(v)) {
+      if (arc.label >= dfa.num_labels) continue;
+      const uint32_t next_q = dfa.Step(q, arc.label);
+      if (next_q == Dfa::kDead) continue;
+      if (arc.vertex == t && dfa.accepting[next_q]) {
+        if (visited != nullptr) *visited = count;
+        return true;
+      }
+      const VertexId next = state_of(arc.vertex, next_q);
+      if (ws.MarkForward(next)) {
+        queue.push_back(next);
+        ++count;
+      }
+    }
+  }
+  if (visited != nullptr) *visited = count;
+  return false;
+}
+
+bool RpqBidirectionalBfs(const LabeledDigraph& graph, VertexId s,
+                         VertexId t, const Dfa& dfa, SearchWorkspace& ws,
+                         size_t* visited) {
+  const uint32_t q_count = static_cast<uint32_t>(dfa.NumStates());
+  if (s == t && dfa.accepting[dfa.start]) {
+    if (visited != nullptr) *visited = 1;
+    return true;
+  }
+  // Reverse DFA transitions: rev[q' * L + l] = states q with step(q,l)=q'.
+  std::vector<std::vector<uint32_t>> reverse_step(
+      static_cast<size_t>(q_count) * dfa.num_labels);
+  for (uint32_t q = 0; q < q_count; ++q) {
+    for (Label l = 0; l < dfa.num_labels; ++l) {
+      const uint32_t to = dfa.Step(q, l);
+      if (to != Dfa::kDead) {
+        reverse_step[static_cast<size_t>(to) * dfa.num_labels + l]
+            .push_back(q);
+      }
+    }
+  }
+
+  ws.Prepare(graph.NumVertices() * q_count);
+  auto& fwd = ws.queue();
+  auto& bwd = ws.backward_queue();
+  const auto state_of = [q_count](VertexId v, uint32_t q) {
+    return static_cast<VertexId>(v * q_count + q);
+  };
+  ws.MarkForward(state_of(s, dfa.start));
+  fwd.push_back(state_of(s, dfa.start));
+  for (uint32_t q = 0; q < q_count; ++q) {
+    if (dfa.accepting[q]) {
+      const VertexId st = state_of(t, q);
+      if (ws.IsForwardMarked(st)) {
+        // Only possible when s == t and start is accepting — handled.
+      }
+      ws.MarkBackward(st);
+      bwd.push_back(st);
+    }
+  }
+  size_t count = fwd.size() + bwd.size();
+  size_t fwd_head = 0, bwd_head = 0;
+  // Pending-arc work estimates steer which frontier expands (cf. BiBFS).
+  size_t fwd_work = graph.OutDegree(s);
+  size_t bwd_work = graph.InDegree(t) * bwd.size();
+  bool found = false;
+  while (!found && fwd_head < fwd.size() && bwd_head < bwd.size()) {
+    const bool expand_forward = fwd_work <= bwd_work;
+    if (expand_forward) {
+      const size_t level_end = fwd.size();
+      fwd_work = 0;
+      for (; fwd_head < level_end && !found; ++fwd_head) {
+        const VertexId state = fwd[fwd_head];
+        const VertexId v = state / q_count;
+        const uint32_t q = state % q_count;
+        for (const LabeledDigraph::Arc& arc : graph.OutArcs(v)) {
+          if (arc.label >= dfa.num_labels) continue;
+          const uint32_t next_q = dfa.Step(q, arc.label);
+          if (next_q == Dfa::kDead) continue;
+          const VertexId next = state_of(arc.vertex, next_q);
+          if (ws.IsBackwardMarked(next)) {
+            found = true;
+            break;
+          }
+          if (ws.MarkForward(next)) {
+            fwd.push_back(next);
+            fwd_work += graph.OutDegree(arc.vertex);
+            ++count;
+          }
+        }
+      }
+    } else {
+      const size_t level_end = bwd.size();
+      bwd_work = 0;
+      for (; bwd_head < level_end && !found; ++bwd_head) {
+        const VertexId state = bwd[bwd_head];
+        const VertexId v = state / q_count;
+        const uint32_t q = state % q_count;
+        for (const LabeledDigraph::Arc& arc : graph.InArcs(v)) {
+          if (arc.label >= dfa.num_labels) continue;
+          for (uint32_t prev_q :
+               reverse_step[static_cast<size_t>(q) * dfa.num_labels +
+                            arc.label]) {
+            const VertexId prev = state_of(arc.vertex, prev_q);
+            if (ws.IsForwardMarked(prev)) {
+              found = true;
+              break;
+            }
+            if (ws.MarkBackward(prev)) {
+              bwd.push_back(prev);
+              bwd_work += graph.InDegree(arc.vertex);
+              ++count;
+            }
+          }
+          if (found) break;
+        }
+      }
+    }
+  }
+  if (visited != nullptr) *visited = count;
+  return found;
+}
+
+std::unique_ptr<RpqQuery> RpqQuery::Compile(
+    std::string_view pattern, const std::vector<std::string>& label_names,
+    Label num_labels, std::string* error) {
+  auto ast = ParseRegex(pattern, label_names, error);
+  if (ast == nullptr) return nullptr;
+  // Minimize then trim: the product space is |V| x |DFA|, so every state
+  // shaved off the automaton shrinks the traversal, and trimming cuts
+  // doomed branches (states that cannot reach acceptance) up front.
+  Dfa dfa = TrimDfa(MinimizeDfa(BuildDfa(BuildNfa(*ast), num_labels)));
+  return std::unique_ptr<RpqQuery>(
+      new RpqQuery(std::string(pattern), std::move(dfa)));
+}
+
+bool RpqQuery::Evaluate(const LabeledDigraph& graph, VertexId s,
+                        VertexId t) const {
+  return RpqProductBfs(graph, s, t, dfa_, ws_);
+}
+
+}  // namespace reach

@@ -1,0 +1,62 @@
+#ifndef REACH_RPQ_RPQ_EVALUATOR_H_
+#define REACH_RPQ_RPQ_EVALUATOR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/search_workspace.h"
+#include "graph/labeled_digraph.h"
+#include "rpq/dfa.h"
+
+namespace reach {
+
+/// Automaton-guided evaluation of general path-constrained reachability
+/// queries (paper §2.3): BFS over the product (vertex, DFA state),
+/// accepting when the target vertex is visited in an accepting state.
+///
+/// This evaluates the *full* regex fragment of §2.2 — the "one indexing
+/// technique for general path constraints" challenge of §5 names exactly
+/// this query class — and serves as the semantic oracle the LCR and RLC
+/// specializations are tested against.
+bool RpqProductBfs(const LabeledDigraph& graph, VertexId s, VertexId t,
+                   const Dfa& dfa, SearchWorkspace& ws,
+                   size_t* visited = nullptr);
+
+/// Bidirectional variant: expands the smaller frontier of the product
+/// space, forward from (s, start) and backward from (t, accepting) over
+/// the reversed graph and reversed DFA transitions. Same answers as
+/// `RpqProductBfs`; often far fewer visited product states when the
+/// constraint is selective at the target end.
+bool RpqBidirectionalBfs(const LabeledDigraph& graph, VertexId s, VertexId t,
+                         const Dfa& dfa, SearchWorkspace& ws,
+                         size_t* visited = nullptr);
+
+/// A parsed + compiled path-constraint query, reusable across (s, t)
+/// pairs and graphs sharing the label vocabulary.
+class RpqQuery {
+ public:
+  /// Compiles `pattern` against a label vocabulary; nullptr on parse
+  /// errors (diagnostic in `error`).
+  static std::unique_ptr<RpqQuery> Compile(
+      std::string_view pattern, const std::vector<std::string>& label_names,
+      Label num_labels, std::string* error = nullptr);
+
+  /// Evaluates Qr(s, t, alpha) on `graph`.
+  bool Evaluate(const LabeledDigraph& graph, VertexId s, VertexId t) const;
+
+  const Dfa& dfa() const { return dfa_; }
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  RpqQuery(std::string pattern, Dfa dfa)
+      : pattern_(std::move(pattern)), dfa_(std::move(dfa)) {}
+
+  std::string pattern_;
+  Dfa dfa_;
+  mutable SearchWorkspace ws_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_RPQ_RPQ_EVALUATOR_H_

@@ -1,0 +1,105 @@
+#include "rpq/rpq_template_index.h"
+
+#include <utility>
+
+#include "rpq/nfa.h"
+#include "rpq/regex_parser.h"
+#include "rpq/rpq_evaluator.h"
+
+namespace reach {
+
+namespace {
+
+// Product of the graph with an arbitrary DFA: state (v, q) = v * |Q| + q.
+Digraph BuildProductGraph(const LabeledDigraph& graph, const Dfa& dfa) {
+  const size_t q_count = dfa.NumStates();
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (const LabeledDigraph::Arc& arc : graph.OutArcs(u)) {
+      if (arc.label >= dfa.num_labels) continue;
+      for (size_t q = 0; q < q_count; ++q) {
+        const uint32_t next = dfa.Step(static_cast<uint32_t>(q), arc.label);
+        if (next == Dfa::kDead) continue;
+        edges.push_back({static_cast<VertexId>(u * q_count + q),
+                         static_cast<VertexId>(arc.vertex * q_count + next)});
+      }
+    }
+  }
+  return Digraph::FromEdges(
+      static_cast<VertexId>(graph.NumVertices() * q_count),
+      std::move(edges));
+}
+
+}  // namespace
+
+bool RpqTemplateIndex::Build(const LabeledDigraph& graph,
+                             const std::vector<std::string>& patterns,
+                             const std::vector<std::string>& label_names,
+                             std::string* error) {
+  // Compile everything first so a late parse error cannot leave a
+  // half-built index.
+  std::vector<Dfa> dfas;
+  for (const std::string& pattern : patterns) {
+    auto ast = ParseRegex(pattern, label_names, error);
+    if (ast == nullptr) return false;
+    dfas.push_back(
+        TrimDfa(MinimizeDfa(BuildDfa(BuildNfa(*ast), graph.NumLabels()))));
+  }
+
+  graph_ = &graph;
+  label_names_ = label_names;
+  patterns_ = patterns;
+  dfas_ = std::move(dfas);
+  accepting_states_.clear();
+  product_graphs_.clear();
+  labelings_.clear();
+  for (const Dfa& dfa : dfas_) {
+    std::vector<uint32_t> accepting;
+    for (uint32_t q = 0; q < dfa.NumStates(); ++q) {
+      if (dfa.accepting[q]) accepting.push_back(q);
+    }
+    accepting_states_.push_back(std::move(accepting));
+    product_graphs_.push_back(
+        std::make_unique<Digraph>(BuildProductGraph(graph, dfa)));
+    labelings_.push_back(
+        std::make_unique<PrunedTwoHop>(VertexOrder::kDegree));
+    labelings_.back()->Build(*product_graphs_.back());
+  }
+  return true;
+}
+
+size_t RpqTemplateIndex::FindTemplate(const std::string& pattern) const {
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    if (patterns_[i] == pattern) return i;
+  }
+  return SIZE_MAX;
+}
+
+bool RpqTemplateIndex::Query(VertexId s, VertexId t,
+                             const std::string& pattern) const {
+  const size_t i = FindTemplate(pattern);
+  if (i == SIZE_MAX) {
+    auto query = RpqQuery::Compile(pattern, label_names_,
+                                   graph_->NumLabels());
+    return query != nullptr && query->Evaluate(*graph_, s, t);
+  }
+  const Dfa& dfa = dfas_[i];
+  // Empty word acceptance covers s == t directly.
+  if (s == t && dfa.accepting[dfa.start]) return true;
+  const size_t q_count = dfa.NumStates();
+  const VertexId source = static_cast<VertexId>(s * q_count + dfa.start);
+  for (uint32_t accept : accepting_states_[i]) {
+    const VertexId target = static_cast<VertexId>(t * q_count + accept);
+    if (source == target) continue;  // same product state: empty word only
+    if (labelings_[i]->Query(source, target)) return true;
+  }
+  return false;
+}
+
+size_t RpqTemplateIndex::IndexSizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& labeling : labelings_) bytes += labeling->IndexSizeBytes();
+  return bytes;
+}
+
+}  // namespace reach

@@ -1,0 +1,59 @@
+#ifndef REACH_TRAVERSAL_ONLINE_SEARCH_H_
+#define REACH_TRAVERSAL_ONLINE_SEARCH_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/reachability_index.h"
+#include "core/search_workspace.h"
+#include "graph/digraph.h"
+
+namespace reach {
+
+/// The index-free baselines of paper §2.3: plain reachability by online
+/// traversal. Each function optionally reports the number of vertices
+/// visited (the "visits a large portion of the graph" cost the survey
+/// motivates indexes with).
+
+/// Breadth-first search from `s`; true iff `t` is reached.
+bool BfsReachability(const Digraph& graph, VertexId s, VertexId t,
+                     SearchWorkspace& ws, size_t* visited = nullptr);
+
+/// Iterative depth-first search from `s`; true iff `t` is reached.
+bool DfsReachability(const Digraph& graph, VertexId s, VertexId t,
+                     SearchWorkspace& ws, size_t* visited = nullptr);
+
+/// Bidirectional BFS: alternately expands the smaller of the forward
+/// frontier from `s` and the backward frontier from `t` until they meet.
+bool BiBfsReachability(const Digraph& graph, VertexId s, VertexId t,
+                       SearchWorkspace& ws, size_t* visited = nullptr);
+
+/// Which traversal an `OnlineSearch` baseline uses.
+enum class TraversalKind { kBfs, kDfs, kBiBfs };
+
+/// Adapter exposing the online-traversal baselines through the
+/// `ReachabilityIndex` interface so benches and tests can treat them
+/// uniformly (index size 0; "partial" by definition — it is all traversal).
+class OnlineSearch : public ReachabilityIndex {
+ public:
+  explicit OnlineSearch(TraversalKind kind) : kind_(kind) {}
+
+  void Build(const Digraph& graph) override { graph_ = &graph; }
+  bool Query(VertexId s, VertexId t) const override;
+  size_t IndexSizeBytes() const override { return 0; }
+  bool IsComplete() const override { return false; }
+  std::string Name() const override;
+
+  /// Total vertices visited across all queries since Build (benchmarking).
+  size_t total_visited() const { return total_visited_; }
+
+ private:
+  TraversalKind kind_;
+  const Digraph* graph_ = nullptr;
+  mutable SearchWorkspace ws_;
+  mutable size_t total_visited_ = 0;
+};
+
+}  // namespace reach
+
+#endif  // REACH_TRAVERSAL_ONLINE_SEARCH_H_

@@ -1,0 +1,63 @@
+#include "traversal/transitive_closure.h"
+
+#include "graph/condensation.h"
+
+namespace reach {
+
+void TransitiveClosure::Build(const Digraph& graph) {
+  num_vertices_ = graph.NumVertices();
+  Condensation cond = Condense(graph);
+  component_of_ = cond.scc.component_of;
+  const VertexId num_components = cond.scc.num_components;
+
+  component_size_.assign(num_components, 0);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    ++component_size_[component_of_[v]];
+  }
+
+  rows_.assign(num_components, DynamicBitset(num_components));
+  // Tarjan assigns component ids in reverse topological order, so
+  // iterating c = 0, 1, ... visits successors before predecessors;
+  // each row is its own bit plus the union of its successors' rows.
+  for (VertexId c = 0; c < num_components; ++c) {
+    rows_[c].Set(c);
+    for (VertexId succ : cond.dag.OutNeighbors(c)) {
+      rows_[c].UnionWith(rows_[succ]);
+    }
+  }
+}
+
+bool TransitiveClosure::Query(VertexId s, VertexId t) const {
+  return rows_[component_of_[s]].Test(component_of_[t]);
+}
+
+size_t TransitiveClosure::IndexSizeBytes() const {
+  size_t bytes = component_of_.size() * sizeof(VertexId);
+  for (const DynamicBitset& row : rows_) bytes += row.MemoryBytes();
+  return bytes;
+}
+
+std::vector<VertexId> TransitiveClosure::ReachableSet(VertexId v) const {
+  const DynamicBitset& row = rows_[component_of_[v]];
+  std::vector<VertexId> out;
+  for (VertexId w = 0; w < num_vertices_; ++w) {
+    if (row.Test(component_of_[w])) out.push_back(w);
+  }
+  return out;
+}
+
+size_t TransitiveClosure::NumReachablePairs() const {
+  size_t pairs = 0;
+  // Sum over component pairs (c, d) with d reachable from c of
+  // |c| * |d| original-vertex pairs.
+  for (VertexId c = 0; c < rows_.size(); ++c) {
+    size_t reachable_vertices = 0;
+    for (VertexId d = 0; d < rows_.size(); ++d) {
+      if (rows_[c].Test(d)) reachable_vertices += component_size_[d];
+    }
+    pairs += component_size_[c] * reachable_vertices;
+  }
+  return pairs;
+}
+
+}  // namespace reach

@@ -1,0 +1,48 @@
+#ifndef REACH_TRAVERSAL_TRANSITIVE_CLOSURE_H_
+#define REACH_TRAVERSAL_TRANSITIVE_CLOSURE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dynamic_bitset.h"
+#include "core/reachability_index.h"
+#include "graph/digraph.h"
+
+namespace reach {
+
+/// The naive complete index of paper §2.3: the full transitive closure,
+/// one reachability bitset row per vertex. O(1) queries, O(V^2 / 8) bytes
+/// and O(V * E / 64) build — the survey's point is exactly that this is
+/// infeasible at scale, which `bench_table1_plain` demonstrates; here it
+/// doubles as the ground-truth oracle for every test in the repository.
+///
+/// Works on general graphs: rows are computed on the SCC condensation in
+/// reverse topological order (one bitset-union per DAG edge), then shared
+/// by all members of an SCC.
+class TransitiveClosure : public ReachabilityIndex {
+ public:
+  TransitiveClosure() = default;
+
+  void Build(const Digraph& graph) override;
+  bool Query(VertexId s, VertexId t) const override;
+  size_t IndexSizeBytes() const override;
+  bool IsComplete() const override { return true; }
+  std::string Name() const override { return "tc"; }
+
+  /// The set of vertices reachable from `v` (including `v`), as ids.
+  std::vector<VertexId> ReachableSet(VertexId v) const;
+
+  /// Number of reachable pairs (s, t), counting (v, v), i.e. |TC|.
+  size_t NumReachablePairs() const;
+
+ private:
+  // rows_[c] = closure row of condensation vertex c, over condensation ids.
+  std::vector<DynamicBitset> rows_;
+  std::vector<VertexId> component_of_;
+  std::vector<size_t> component_size_;
+  size_t num_vertices_ = 0;
+};
+
+}  // namespace reach
+
+#endif  // REACH_TRAVERSAL_TRANSITIVE_CLOSURE_H_

@@ -1,0 +1,187 @@
+// Tests for the approximate-TC indexes (IP, BFL) and the other-techniques
+// group (Feline, PReaCH, O'Reach): filter soundness in both directions and
+// end-to-end exactness.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "plain/bfl.h"
+#include "plain/feline.h"
+#include "plain/ip_label.h"
+#include "plain/oreach.h"
+#include "plain/preach.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+namespace {
+
+class ApproxSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ApproxSeedTest, IpFilterHasNoFalseNegatives) {
+  const uint64_t seed = GetParam();
+  const Digraph g = RandomDag(56, 180, seed);
+  IpLabel index(3, seed);
+  index.Build(g);
+  TransitiveClosure oracle;
+  oracle.Build(g);
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      if (oracle.Query(s, t)) {
+        EXPECT_TRUE(index.MaybeReachable(s, t)) << s << "->" << t;
+      }
+      ASSERT_EQ(index.Query(s, t), oracle.Query(s, t)) << s << "->" << t;
+    }
+  }
+}
+
+TEST_P(ApproxSeedTest, BflVerdictsAreNeverWrong) {
+  const uint64_t seed = GetParam();
+  const Digraph g = RandomDag(56, 170, seed);
+  Bfl index(128, seed);
+  index.Build(g);
+  TransitiveClosure oracle;
+  oracle.Build(g);
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      const int verdict = index.FilterVerdict(s, t);
+      if (verdict > 0) {
+        EXPECT_TRUE(oracle.Query(s, t)) << s << "->" << t;
+      }
+      if (verdict < 0) {
+        EXPECT_FALSE(oracle.Query(s, t)) << s << "->" << t;
+      }
+      ASSERT_EQ(index.Query(s, t), oracle.Query(s, t)) << s << "->" << t;
+    }
+  }
+}
+
+TEST_P(ApproxSeedTest, PreachVerdictsAreNeverWrong) {
+  const uint64_t seed = GetParam();
+  const Digraph g = RandomDag(50, 150, seed);
+  Preach index;
+  index.Build(g);
+  TransitiveClosure oracle;
+  oracle.Build(g);
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      const int verdict = index.FilterVerdict(s, t);
+      if (verdict > 0) {
+        EXPECT_TRUE(oracle.Query(s, t)) << s << "->" << t;
+      }
+      if (verdict < 0) {
+        EXPECT_FALSE(oracle.Query(s, t)) << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST_P(ApproxSeedTest, OReachVerdictsAreNeverWrong) {
+  const uint64_t seed = GetParam();
+  const Digraph g = RandomDag(50, 150, seed ^ 0x5);
+  OReach index(16);
+  index.Build(g);
+  TransitiveClosure oracle;
+  oracle.Build(g);
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      const int verdict = index.FilterVerdict(s, t);
+      if (verdict > 0) {
+        EXPECT_TRUE(oracle.Query(s, t)) << s << "->" << t;
+      }
+      if (verdict < 0) {
+        EXPECT_FALSE(oracle.Query(s, t)) << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST_P(ApproxSeedTest, FelineFilterHasNoFalseNegatives) {
+  const uint64_t seed = GetParam();
+  const Digraph g = RandomDag(50, 150, seed ^ 0x9);
+  Feline index;
+  index.Build(g);
+  TransitiveClosure oracle;
+  oracle.Build(g);
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      if (oracle.Query(s, t)) {
+        EXPECT_TRUE(index.MaybeReachable(s, t)) << s << "->" << t;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxSeedTest,
+                         ::testing::Values(141, 142, 143, 144));
+
+TEST(IpLabelTest, LargerKRejectsMore) {
+  const Digraph g = RandomDag(120, 360, 7);
+  IpLabel k1(1, 7), k8(8, 7);
+  k1.Build(g);
+  k8.Build(g);
+  size_t rejected_k1 = 0, rejected_k8 = 0;
+  for (VertexId s = 0; s < g.NumVertices(); s += 2) {
+    for (VertexId t = 0; t < g.NumVertices(); t += 2) {
+      rejected_k1 += !k1.MaybeReachable(s, t);
+      rejected_k8 += !k8.MaybeReachable(s, t);
+    }
+  }
+  EXPECT_GE(rejected_k8, rejected_k1);
+}
+
+TEST(BflTest, MoreBitsRejectNoLess) {
+  const Digraph g = RandomDag(120, 360, 8);
+  Bfl small(64, 8), large(512, 8);
+  small.Build(g);
+  large.Build(g);
+  size_t rejected_small = 0, rejected_large = 0;
+  for (VertexId s = 0; s < g.NumVertices(); s += 2) {
+    for (VertexId t = 0; t < g.NumVertices(); t += 2) {
+      rejected_small += small.FilterVerdict(s, t) < 0;
+      rejected_large += large.FilterVerdict(s, t) < 0;
+    }
+  }
+  // With 8x the bits, collisions can only decrease statistically; allow a
+  // tiny slack because the hash functions differ per size.
+  EXPECT_GE(rejected_large + 8, rejected_small);
+}
+
+TEST(BflTest, TreeIntervalSettlesTreePathsPositively) {
+  const Digraph g = Chain(32);
+  Bfl index;
+  index.Build(g);
+  EXPECT_GT(index.FilterVerdict(0, 31), 0);  // pure index lookup
+}
+
+TEST(FelineTest, DominanceRejectsInConstantTime) {
+  const Digraph g = Chain(16);
+  Feline index;
+  index.Build(g);
+  EXPECT_FALSE(index.Query(15, 0));
+  EXPECT_TRUE(index.Query(0, 15));
+  EXPECT_EQ(index.IndexSizeBytes(), 3 * 16 * sizeof(uint32_t));
+}
+
+TEST(PreachTest, SubtreeCertificateIsPositive) {
+  const Digraph g = Chain(16);
+  Preach index;
+  index.Build(g);
+  EXPECT_GT(index.FilterVerdict(0, 15), 0);
+  EXPECT_LT(index.FilterVerdict(15, 0), 0);
+}
+
+TEST(OReachTest, CommonSupportIsPositive) {
+  // Hub graph: 0..9 -> 10 -> 11..20; the hub 10 is a support.
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < 10; ++v) edges.push_back({v, 10});
+  for (VertexId v = 11; v < 21; ++v) edges.push_back({10, v});
+  const Digraph g = Digraph::FromEdges(21, edges);
+  OReach index(8);
+  index.Build(g);
+  EXPECT_GT(index.FilterVerdict(0, 11), 0);
+  EXPECT_TRUE(index.Query(0, 11));
+  EXPECT_FALSE(index.Query(11, 0));
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,83 @@
+#include "plain/chain_cover.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+namespace {
+
+TEST(ChainCoverTest, ChainGraphIsOneChain) {
+  const Digraph g = Chain(20);
+  ChainCover index;
+  index.Build(g);
+  EXPECT_EQ(index.NumChains(), 1u);
+  EXPECT_TRUE(index.Query(0, 19));
+  EXPECT_TRUE(index.Query(7, 7));
+  EXPECT_FALSE(index.Query(19, 0));
+  // One chain: the index is 3 words per vertex, far below the O(V^2) TC.
+  EXPECT_EQ(index.IndexSizeBytes(), 3 * 20 * sizeof(uint32_t));
+}
+
+TEST(ChainCoverTest, AntichainIsAllChains) {
+  const Digraph g = Digraph::FromEdges(5, {});  // no edges: 5 chains
+  ChainCover index;
+  index.Build(g);
+  EXPECT_EQ(index.NumChains(), 5u);
+  for (VertexId s = 0; s < 5; ++s) {
+    for (VertexId t = 0; t < 5; ++t) {
+      EXPECT_EQ(index.Query(s, t), s == t);
+    }
+  }
+}
+
+TEST(ChainCoverTest, DiamondNeedsTwoChains) {
+  const Digraph g = Digraph::FromEdges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  ChainCover index;
+  index.Build(g);
+  EXPECT_EQ(index.NumChains(), 2u);
+  EXPECT_TRUE(index.Query(0, 3));
+  EXPECT_TRUE(index.Query(2, 3));
+  EXPECT_FALSE(index.Query(1, 2));
+}
+
+TEST(ChainCoverTest, DeepGraphsCompressWell) {
+  // Layered deep DAG: the greedy cover is far from the Dilworth optimum
+  // (width 8) but still compresses several-fold relative to vertices.
+  const Digraph g = LayeredDag(64, 8, 2, 5);
+  ChainCover index;
+  index.Build(g);
+  EXPECT_LT(index.NumChains(), g.NumVertices() / 4);
+}
+
+class ChainCoverPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChainCoverPropertyTest, MatchesOracleOnDags) {
+  const uint64_t seed = GetParam();
+  const Digraph g = RandomDag(50, 160, seed);
+  ChainCover index;
+  TransitiveClosure oracle;
+  index.Build(g);
+  oracle.Build(g);
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      ASSERT_EQ(index.Query(s, t), oracle.Query(s, t))
+          << s << "->" << t << " seed " << seed;
+    }
+  }
+}
+
+TEST_P(ChainCoverPropertyTest, ChainsPartitionTheVertices) {
+  const Digraph g = RandomDag(60, 200, GetParam() ^ 0xc);
+  ChainCover index;
+  index.Build(g);
+  EXPECT_GE(index.NumChains(), 1u);
+  EXPECT_LE(index.NumChains(), g.NumVertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainCoverPropertyTest,
+                         ::testing::Values(241, 242, 243, 244));
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,75 @@
+#include "graph/condensation.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/topological.h"
+
+namespace reach {
+namespace {
+
+TEST(CondensationTest, DagIsUnchangedUpToRelabeling) {
+  Digraph g = Digraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  Condensation c = Condense(g);
+  EXPECT_EQ(c.dag.NumVertices(), 4u);
+  EXPECT_EQ(c.dag.NumEdges(), 3u);
+  EXPECT_TRUE(IsDag(c.dag));
+}
+
+TEST(CondensationTest, CycleCollapsesToSingleVertex) {
+  Condensation c = Condense(Cycle(10));
+  EXPECT_EQ(c.dag.NumVertices(), 1u);
+  EXPECT_EQ(c.dag.NumEdges(), 0u);  // internal edges dropped
+}
+
+TEST(CondensationTest, FigureEightCollapses) {
+  // Two cycles sharing vertex 0 form one SCC.
+  Digraph g =
+      Digraph::FromEdges(5, {{0, 1}, {1, 2}, {2, 0}, {0, 3}, {3, 4}, {4, 0}});
+  Condensation c = Condense(g);
+  EXPECT_EQ(c.dag.NumVertices(), 1u);
+}
+
+TEST(CondensationTest, MultiEdgesBetweenComponentsDeduplicated) {
+  // SCC {0,1} has two edges into SCC {2,3}.
+  Digraph g = Digraph::FromEdges(
+      4, {{0, 1}, {1, 0}, {0, 2}, {1, 3}, {2, 3}, {3, 2}});
+  Condensation c = Condense(g);
+  EXPECT_EQ(c.dag.NumVertices(), 2u);
+  EXPECT_EQ(c.dag.NumEdges(), 1u);
+}
+
+class CondensationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CondensationPropertyTest, ResultIsAlwaysADag) {
+  Digraph g = RandomDigraph(100, 300, GetParam());
+  Condensation c = Condense(g);
+  EXPECT_TRUE(IsDag(c.dag));
+}
+
+TEST_P(CondensationPropertyTest, DagVertexMapsAllVertices) {
+  Digraph g = RandomDigraph(100, 250, GetParam() ^ 0x55);
+  Condensation c = Condense(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_LT(c.DagVertex(v), c.dag.NumVertices());
+  }
+}
+
+TEST_P(CondensationPropertyTest, EveryOriginalEdgeMapsToDagEdgeOrSameScc) {
+  Digraph g = RandomDigraph(80, 240, GetParam() ^ 0x99);
+  Condensation c = Condense(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId w : g.OutNeighbors(v)) {
+      const VertexId cv = c.DagVertex(v), cw = c.DagVertex(w);
+      if (cv != cw) {
+        EXPECT_TRUE(c.dag.HasEdge(cv, cw));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CondensationPropertyTest,
+                         ::testing::Values(11, 12, 13, 14, 15));
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,122 @@
+#include "plain/dagger.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/rng.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+namespace {
+
+TEST(DaggerTest, StaticBehavesLikeGrail) {
+  const Digraph g = RandomDag(50, 160, 7);
+  Dagger index(3, 7);
+  index.Build(g);
+  TransitiveClosure oracle;
+  oracle.Build(g);
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      if (oracle.Query(s, t)) {
+        EXPECT_TRUE(index.MaybeReachable(s, t)) << s << "->" << t;
+      }
+      ASSERT_EQ(index.Query(s, t), oracle.Query(s, t)) << s << "->" << t;
+    }
+  }
+}
+
+TEST(DaggerTest, InsertEdgeConnectsComponents) {
+  const Digraph g = Digraph::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  Dagger index;
+  index.Build(g);
+  EXPECT_FALSE(index.Query(0, 5));
+  index.InsertEdge(2, 3);
+  EXPECT_TRUE(index.Query(0, 5));
+  EXPECT_TRUE(index.MaybeReachable(0, 5));  // filter must not reject
+  EXPECT_FALSE(index.Query(5, 0));
+}
+
+TEST(DaggerTest, InsertCreatingCycleStaysSound) {
+  const Digraph g = Chain(6);
+  Dagger index;
+  index.Build(g);
+  index.InsertEdge(5, 0);
+  for (VertexId s = 0; s < 6; ++s) {
+    for (VertexId t = 0; t < 6; ++t) {
+      EXPECT_TRUE(index.MaybeReachable(s, t));  // no false negatives
+      EXPECT_TRUE(index.Query(s, t));
+    }
+  }
+}
+
+class DaggerStreamTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DaggerStreamTest, StreamedInsertsStayExactAndFilterSound) {
+  const uint64_t seed = GetParam();
+  const VertexId n = 32;
+  Xoshiro256ss rng(seed);
+  std::vector<Edge> edges = RandomDag(n, 50, seed).Edges();
+  const Digraph base = Digraph::FromEdges(n, edges);
+  Dagger index(3, seed);
+  index.Build(base);
+
+  for (int step = 0; step < 30; ++step) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    index.InsertEdge(u, v);
+    edges.push_back({u, v});
+  }
+  const Digraph full = Digraph::FromEdges(n, edges);
+  TransitiveClosure oracle;
+  oracle.Build(full);
+  for (VertexId s = 0; s < n; ++s) {
+    for (VertexId t = 0; t < n; ++t) {
+      ASSERT_EQ(index.Query(s, t), oracle.Query(s, t))
+          << s << "->" << t << " seed " << seed;
+      if (oracle.Query(s, t)) {
+        ASSERT_TRUE(index.MaybeReachable(s, t))
+            << "filter false negative " << s << "->" << t;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DaggerStreamTest,
+                         ::testing::Values(251, 252, 253, 254, 255));
+
+TEST(DaggerTest, FilterPrecisionDecaysGracefully) {
+  // After many inserts the filter may admit more maybes, but a rebuild
+  // re-tightens it.
+  const VertexId n = 64;
+  const Digraph base = RandomDag(n, 100, 3);
+  Dagger index(3, 3);
+  index.Build(base);
+  std::vector<Edge> edges = base.Edges();
+  Xoshiro256ss rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u != v) {
+      index.InsertEdge(u, v);
+      edges.push_back({u, v});
+    }
+  }
+  size_t maybes_dynamic = 0;
+  for (VertexId s = 0; s < n; ++s) {
+    for (VertexId t = 0; t < n; ++t) maybes_dynamic += index.MaybeReachable(s, t);
+  }
+  const Digraph full = Digraph::FromEdges(n, edges);
+  Dagger rebuilt(3, 3);
+  rebuilt.Build(full);
+  size_t maybes_rebuilt = 0;
+  for (VertexId s = 0; s < n; ++s) {
+    for (VertexId t = 0; t < n; ++t) {
+      maybes_rebuilt += rebuilt.MaybeReachable(s, t);
+    }
+  }
+  EXPECT_LE(maybes_rebuilt, maybes_dynamic);
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,134 @@
+#include "plain/dbl.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/rng.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+namespace {
+
+TEST(DblTest, FilterVerdictsAreNeverWrong) {
+  for (uint64_t seed : {11, 12, 13}) {
+    const Digraph g = RandomDigraph(50, 160, seed);
+    Dbl index(seed);
+    index.Build(g);
+    TransitiveClosure oracle;
+    oracle.Build(g);
+    for (VertexId s = 0; s < g.NumVertices(); ++s) {
+      for (VertexId t = 0; t < g.NumVertices(); ++t) {
+        const int verdict = index.FilterVerdict(s, t);
+        if (verdict > 0) {
+          EXPECT_TRUE(oracle.Query(s, t)) << s << "->" << t;
+        }
+        if (verdict < 0) {
+          EXPECT_FALSE(oracle.Query(s, t)) << s << "->" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(DblTest, QueriesAreExact) {
+  for (uint64_t seed : {21, 22, 23}) {
+    const Digraph g = RandomDigraph(48, 150, seed);
+    Dbl index(seed);
+    index.Build(g);
+    TransitiveClosure oracle;
+    oracle.Build(g);
+    for (VertexId s = 0; s < g.NumVertices(); ++s) {
+      for (VertexId t = 0; t < g.NumVertices(); ++t) {
+        ASSERT_EQ(index.Query(s, t), oracle.Query(s, t)) << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST(DblTest, LandmarkHitSettlesHubQueriesPositively) {
+  // Star through a hub: all queries s -> hub -> t must be settled by the
+  // DL filter alone (the hub is the top-degree landmark).
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v <= 20; ++v) edges.push_back({v, 0});
+  for (VertexId v = 21; v <= 40; ++v) edges.push_back({0, v});
+  const Digraph g = Digraph::FromEdges(41, edges);
+  Dbl index;
+  index.Build(g);
+  EXPECT_GT(index.FilterVerdict(1, 25), 0);
+  EXPECT_TRUE(index.Query(1, 25));
+}
+
+TEST(DblTest, InsertEdgeUpdatesAnswers) {
+  Digraph g = Digraph::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  Dbl index;
+  index.Build(g);
+  EXPECT_FALSE(index.Query(0, 5));
+  index.InsertEdge(2, 3);
+  EXPECT_TRUE(index.Query(0, 5));
+  EXPECT_FALSE(index.Query(5, 0));
+}
+
+TEST(DblTest, InsertEdgeCreatingCycleKeepsFiltersSound) {
+  const Digraph g = Chain(6);
+  Dbl index;
+  index.Build(g);
+  index.InsertEdge(5, 0);
+  TransitiveClosure oracle;
+  oracle.Build(Cycle(6));
+  for (VertexId s = 0; s < 6; ++s) {
+    for (VertexId t = 0; t < 6; ++t) {
+      EXPECT_TRUE(index.Query(s, t));
+      const int verdict = index.FilterVerdict(s, t);
+      EXPECT_GE(verdict, 0) << "filter false-negative after cycle insert";
+    }
+  }
+}
+
+class DblStreamTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DblStreamTest, StreamedInsertsStayExactAndSound) {
+  const uint64_t seed = GetParam();
+  const VertexId n = 32;
+  Xoshiro256ss rng(seed);
+  std::vector<Edge> edges = RandomDigraph(n, 48, seed).Edges();
+  Dbl index(seed);
+  const Digraph base = Digraph::FromEdges(n, edges);
+  index.Build(base);
+
+  for (int step = 0; step < 30; ++step) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    index.InsertEdge(u, v);
+    edges.push_back({u, v});
+  }
+  const Digraph full = Digraph::FromEdges(n, edges);
+  TransitiveClosure oracle;
+  oracle.Build(full);
+  for (VertexId s = 0; s < n; ++s) {
+    for (VertexId t = 0; t < n; ++t) {
+      ASSERT_EQ(index.Query(s, t), oracle.Query(s, t))
+          << s << "->" << t << " seed " << seed;
+      const int verdict = index.FilterVerdict(s, t);
+      if (verdict > 0) {
+        ASSERT_TRUE(oracle.Query(s, t));
+      }
+      if (verdict < 0) {
+        ASSERT_FALSE(oracle.Query(s, t));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DblStreamTest,
+                         ::testing::Values(131, 132, 133, 134));
+
+TEST(DblTest, IndexSizeIsFiveWordsPerVertex) {
+  const Digraph g = Chain(100);
+  Dbl index;
+  index.Build(g);
+  EXPECT_EQ(index.IndexSizeBytes(), 5 * 100 * sizeof(uint64_t));
+}
+
+}  // namespace
+}  // namespace reach

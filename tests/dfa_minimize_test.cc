@@ -1,0 +1,105 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/rng.h"
+#include "rpq/dfa.h"
+#include "rpq/nfa.h"
+#include "rpq/regex_parser.h"
+
+namespace reach {
+namespace {
+
+const std::vector<std::string> kNames = {"a", "b", "c"};
+
+Dfa Compile(const std::string& pattern) {
+  auto ast = ParseRegex(pattern, kNames);
+  EXPECT_NE(ast, nullptr) << pattern;
+  return BuildDfa(BuildNfa(*ast), 3);
+}
+
+// Random words over the 3-letter alphabet for language-equality checks.
+std::vector<std::vector<Label>> RandomWords(size_t count, uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  std::vector<std::vector<Label>> words = {{}};
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<Label> word(rng.NextBounded(8));
+    for (Label& l : word) l = static_cast<Label>(rng.NextBounded(3));
+    words.push_back(std::move(word));
+  }
+  return words;
+}
+
+class MinimizeLanguageTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MinimizeLanguageTest, MinimizedAcceptsSameLanguage) {
+  const Dfa dfa = Compile(GetParam());
+  const Dfa minimized = MinimizeDfa(dfa);
+  EXPECT_LE(minimized.NumStates(), dfa.NumStates());
+  for (const auto& word : RandomWords(400, 11)) {
+    ASSERT_EQ(dfa.Accepts(word), minimized.Accepts(word))
+        << GetParam() << " word size " << word.size();
+  }
+}
+
+TEST_P(MinimizeLanguageTest, TrimmedAcceptsSameLanguage) {
+  const Dfa dfa = Compile(GetParam());
+  const Dfa trimmed = TrimDfa(dfa);
+  for (const auto& word : RandomWords(400, 12)) {
+    ASSERT_EQ(dfa.Accepts(word), trimmed.Accepts(word)) << GetParam();
+  }
+}
+
+TEST_P(MinimizeLanguageTest, MinimizeIsIdempotent) {
+  const Dfa once = MinimizeDfa(Compile(GetParam()));
+  const Dfa twice = MinimizeDfa(once);
+  EXPECT_EQ(once.NumStates(), twice.NumStates());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, MinimizeLanguageTest,
+    ::testing::Values("a", "(a|b)*", "(a.b)*", "a*.b*", "(a.b)+",
+                      "a.(b|c)*.a", "((a|b).c)*", "(a|b)*.(a|b)*",
+                      "(a*|b*)*", "a.b.c|a.b.c"));
+
+TEST(MinimizeDfaTest, CollapsesRedundantUnion) {
+  // (a|b)*.(a|b)* denotes the same language as (a|b)*, whose minimal DFA
+  // has exactly one state.
+  const Dfa redundant = MinimizeDfa(Compile("(a|b)*.(a|b)*"));
+  const Dfa simple = MinimizeDfa(Compile("(a|b)*"));
+  EXPECT_EQ(redundant.NumStates(), simple.NumStates());
+  EXPECT_EQ(simple.NumStates(), 1u);
+}
+
+TEST(MinimizeDfaTest, DuplicatedAlternativeCollapses) {
+  const Dfa dup = MinimizeDfa(Compile("a.b.c|a.b.c"));
+  const Dfa single = MinimizeDfa(Compile("a.b.c"));
+  EXPECT_EQ(dup.NumStates(), single.NumStates());
+}
+
+TEST(MinimizeDfaTest, PreservesAcceptingStart) {
+  const Dfa star = MinimizeDfa(Compile("a*"));
+  EXPECT_TRUE(star.accepting[star.start]);
+  const Dfa plus = MinimizeDfa(Compile("a+"));
+  EXPECT_FALSE(plus.accepting[plus.start]);
+}
+
+TEST(TrimDfaTest, CutsDoomedBranches) {
+  // In a.b, reading 'b' first leads nowhere; the subset DFA may still
+  // hold a live-looking transition chain for prefixes that cannot reach
+  // acceptance after a wrong label. Verify trim leaves behavior intact
+  // and never *adds* transitions.
+  const Dfa dfa = Compile("a.b");
+  const Dfa trimmed = TrimDfa(dfa);
+  ASSERT_EQ(trimmed.NumStates(), dfa.NumStates());
+  size_t live_before = 0, live_after = 0;
+  for (size_t i = 0; i < dfa.transition.size(); ++i) {
+    live_before += dfa.transition[i] != Dfa::kDead;
+    live_after += trimmed.transition[i] != Dfa::kDead;
+  }
+  EXPECT_LE(live_after, live_before);
+}
+
+}  // namespace
+}  // namespace reach

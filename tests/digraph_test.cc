@@ -1,0 +1,128 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/rng.h"
+
+namespace reach {
+namespace {
+
+TEST(DigraphTest, EmptyGraph) {
+  Digraph g = Digraph::FromEdges(0, {});
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(DigraphTest, VerticesWithoutEdges) {
+  Digraph g = Digraph::FromEdges(5, {});
+  EXPECT_EQ(g.NumVertices(), 5u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_TRUE(g.OutNeighbors(v).empty());
+    EXPECT_TRUE(g.InNeighbors(v).empty());
+  }
+}
+
+TEST(DigraphTest, BasicAdjacency) {
+  Digraph g = Digraph::FromEdges(4, {{0, 1}, {0, 2}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.NumEdges(), 4u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+  EXPECT_EQ(g.Degree(2), 3u);
+  ASSERT_EQ(g.OutNeighbors(0).size(), 2u);
+  EXPECT_EQ(g.OutNeighbors(0)[0], 1u);
+  EXPECT_EQ(g.OutNeighbors(0)[1], 2u);
+  ASSERT_EQ(g.InNeighbors(2).size(), 2u);
+  EXPECT_EQ(g.InNeighbors(2)[0], 0u);
+  EXPECT_EQ(g.InNeighbors(2)[1], 1u);
+}
+
+TEST(DigraphTest, DeduplicatesParallelEdges) {
+  Digraph g = Digraph::FromEdges(3, {{0, 1}, {0, 1}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+}
+
+TEST(DigraphTest, KeepsSelfLoops) {
+  Digraph g = Digraph::FromEdges(2, {{0, 0}, {0, 1}});
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 0));
+}
+
+TEST(DigraphTest, HasEdge) {
+  Digraph g = Digraph::FromEdges(4, {{0, 1}, {0, 3}, {2, 3}});
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 3));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(3, 3));
+}
+
+TEST(DigraphTest, EdgesRoundTrip) {
+  const std::vector<Edge> edges = {{0, 1}, {0, 3}, {2, 3}, {3, 0}};
+  Digraph g = Digraph::FromEdges(4, edges);
+  EXPECT_EQ(g.Edges(), edges);  // FromEdges sorts; input already sorted
+}
+
+TEST(DigraphTest, ReverseSwapsAdjacency) {
+  Digraph g = Digraph::FromEdges(4, {{0, 1}, {1, 2}, {1, 3}});
+  Digraph r = g.Reverse();
+  EXPECT_EQ(r.NumVertices(), g.NumVertices());
+  EXPECT_EQ(r.NumEdges(), g.NumEdges());
+  EXPECT_TRUE(r.HasEdge(1, 0));
+  EXPECT_TRUE(r.HasEdge(2, 1));
+  EXPECT_TRUE(r.HasEdge(3, 1));
+  EXPECT_FALSE(r.HasEdge(0, 1));
+}
+
+TEST(DigraphTest, ReverseTwiceIsIdentity) {
+  Digraph g = RandomDigraph(64, 256, /*seed=*/7);
+  Digraph rr = g.Reverse().Reverse();
+  EXPECT_EQ(g.Edges(), rr.Edges());
+}
+
+TEST(DigraphTest, InNeighborsMatchOutNeighbors) {
+  Digraph g = RandomDigraph(100, 500, /*seed=*/13);
+  size_t in_arcs = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId u : g.InNeighbors(v)) {
+      EXPECT_TRUE(g.HasEdge(u, v));
+      ++in_arcs;
+    }
+  }
+  EXPECT_EQ(in_arcs, g.NumEdges());
+}
+
+TEST(DigraphTest, NeighborListsAreSorted) {
+  Digraph g = RandomDigraph(80, 400, /*seed=*/29);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    auto out = g.OutNeighbors(v);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+    auto in = g.InNeighbors(v);
+    EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+  }
+}
+
+TEST(DigraphTest, DegreeSumsEqualEdgeCount) {
+  Digraph g = RandomDigraph(60, 300, /*seed=*/31);
+  size_t out_sum = 0, in_sum = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    out_sum += g.OutDegree(v);
+    in_sum += g.InDegree(v);
+  }
+  EXPECT_EQ(out_sum, g.NumEdges());
+  EXPECT_EQ(in_sum, g.NumEdges());
+}
+
+TEST(DigraphTest, MemoryBytesIsPositiveForNonEmpty) {
+  Digraph g = Digraph::FromEdges(3, {{0, 1}});
+  EXPECT_GT(g.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,85 @@
+#include "core/dynamic_bitset.h"
+
+#include <gtest/gtest.h>
+
+namespace reach {
+namespace {
+
+TEST(DynamicBitsetTest, StartsClear) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.Test(i));
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(DynamicBitsetTest, SetResetTest) {
+  DynamicBitset b(70);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(69);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Reset(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(DynamicBitsetTest, Clear) {
+  DynamicBitset b(128);
+  for (size_t i = 0; i < 128; i += 3) b.Set(i);
+  b.Clear();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(DynamicBitsetTest, UnionWithReportsChange) {
+  DynamicBitset a(80), b(80);
+  b.Set(5);
+  b.Set(77);
+  EXPECT_TRUE(a.UnionWith(b));
+  EXPECT_TRUE(a.Test(5));
+  EXPECT_TRUE(a.Test(77));
+  EXPECT_FALSE(a.UnionWith(b));  // no new bits
+}
+
+TEST(DynamicBitsetTest, IsSubsetOf) {
+  DynamicBitset a(130), b(130);
+  a.Set(1);
+  a.Set(129);
+  b.Set(1);
+  b.Set(129);
+  b.Set(64);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  a.Set(2);
+  EXPECT_FALSE(a.IsSubsetOf(b));
+}
+
+TEST(DynamicBitsetTest, EmptySetIsSubsetOfAll) {
+  DynamicBitset empty(64), b(64);
+  b.Set(3);
+  EXPECT_TRUE(empty.IsSubsetOf(b));
+  EXPECT_TRUE(empty.IsSubsetOf(empty));
+}
+
+TEST(DynamicBitsetTest, Equality) {
+  DynamicBitset a(64), b(64);
+  a.Set(10);
+  b.Set(10);
+  EXPECT_EQ(a, b);
+  b.Set(11);
+  EXPECT_NE(a, b);
+}
+
+TEST(DynamicBitsetTest, MemoryBytesRoundsUpToWords) {
+  EXPECT_EQ(DynamicBitset(1).MemoryBytes(), 8u);
+  EXPECT_EQ(DynamicBitset(64).MemoryBytes(), 8u);
+  EXPECT_EQ(DynamicBitset(65).MemoryBytes(), 16u);
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,144 @@
+// Pathological-graph sweep: every plain index against the oracle on the
+// degenerate shapes that break naive implementations — single vertices,
+// universal self-loops, complete digraphs, stars, bipartite fans, long
+// chains with shortcuts, two-regime mixtures, and multi-root forests.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "plain/registry.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+namespace {
+
+Digraph SingleVertex() { return Digraph::FromEdges(1, {}); }
+
+Digraph SingleVertexWithSelfLoop() { return Digraph::FromEdges(1, {{0, 0}}); }
+
+Digraph AllSelfLoops(VertexId n) {
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < n; ++v) edges.push_back({v, v});
+  // plus a chain so there is real reachability too
+  for (VertexId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  return Digraph::FromEdges(n, edges);
+}
+
+Digraph CompleteDigraph(VertexId n) {
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (u != v) edges.push_back({u, v});
+    }
+  }
+  return Digraph::FromEdges(n, edges);
+}
+
+Digraph InStar(VertexId n) {  // everyone points at vertex 0
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < n; ++v) edges.push_back({v, 0});
+  return Digraph::FromEdges(n, edges);
+}
+
+Digraph OutStar(VertexId n) {  // vertex 0 points at everyone
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < n; ++v) edges.push_back({0, v});
+  return Digraph::FromEdges(n, edges);
+}
+
+Digraph BipartiteFan(VertexId half) {
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < half; ++u) {
+    for (VertexId v = half; v < 2 * half; ++v) edges.push_back({u, v});
+  }
+  return Digraph::FromEdges(2 * half, edges);
+}
+
+Digraph ChainWithShortcuts(VertexId n) {
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  for (VertexId v = 0; v + 5 < n; v += 3) edges.push_back({v, v + 5});
+  return Digraph::FromEdges(n, edges);
+}
+
+Digraph TwoRegimes() {
+  // A big SCC feeding a tree: mixes both extremes.
+  std::vector<Edge> edges = Cycle(10).Edges();
+  for (VertexId v = 10; v < 30; ++v) edges.push_back({(v - 10) % 10, v});
+  for (VertexId v = 30; v < 40; ++v) edges.push_back({v - 20, v});
+  return Digraph::FromEdges(40, edges);
+}
+
+Digraph DisconnectedForest() {
+  std::vector<Edge> edges;
+  for (VertexId root : {0u, 10u, 20u}) {
+    for (VertexId i = 1; i < 10; ++i) {
+      edges.push_back({root + (i - 1) / 2, root + i});
+    }
+  }
+  return Digraph::FromEdges(30, edges);
+}
+
+class EdgeCaseTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void ExpectExact(const Digraph& g, const std::string& context) {
+    auto index = MakePlainIndex(GetParam());
+    ASSERT_NE(index, nullptr);
+    TransitiveClosure oracle;
+    index->Build(g);
+    oracle.Build(g);
+    for (VertexId s = 0; s < g.NumVertices(); ++s) {
+      for (VertexId t = 0; t < g.NumVertices(); ++t) {
+        ASSERT_EQ(index->Query(s, t), oracle.Query(s, t))
+            << context << ": " << index->Name() << " on " << s << "->" << t;
+      }
+    }
+  }
+};
+
+TEST_P(EdgeCaseTest, SingleVertex) { ExpectExact(SingleVertex(), "single"); }
+
+TEST_P(EdgeCaseTest, SingleVertexSelfLoop) {
+  ExpectExact(SingleVertexWithSelfLoop(), "selfloop1");
+}
+
+TEST_P(EdgeCaseTest, SelfLoopsEverywhere) {
+  ExpectExact(AllSelfLoops(12), "selfloops");
+}
+
+TEST_P(EdgeCaseTest, CompleteDigraph) {
+  ExpectExact(CompleteDigraph(10), "complete");
+}
+
+TEST_P(EdgeCaseTest, InStar) { ExpectExact(InStar(24), "instar"); }
+
+TEST_P(EdgeCaseTest, OutStar) { ExpectExact(OutStar(24), "outstar"); }
+
+TEST_P(EdgeCaseTest, BipartiteFan) {
+  ExpectExact(BipartiteFan(8), "bipartite");
+}
+
+TEST_P(EdgeCaseTest, ChainWithShortcuts) {
+  ExpectExact(ChainWithShortcuts(30), "shortcuts");
+}
+
+TEST_P(EdgeCaseTest, SccFeedingTree) { ExpectExact(TwoRegimes(), "mixed"); }
+
+TEST_P(EdgeCaseTest, DisconnectedForest) {
+  ExpectExact(DisconnectedForest(), "forest");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, EdgeCaseTest,
+    ::testing::ValuesIn(DefaultPlainIndexSpecs()), [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace reach

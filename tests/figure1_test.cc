@@ -1,0 +1,171 @@
+// The paper's Figure 1 running example, asserted verbatim (experiment E1
+// of EXPERIMENTS.md). Each worked query from the text is checked against
+// multiple independent engines.
+
+#include <gtest/gtest.h>
+
+#include "graph/figure1.h"
+#include "graph/scc.h"
+#include "lcr/gtc_index.h"
+#include "lcr/label_set.h"
+#include "lcr/lcr_bfs.h"
+#include "lcr/pruned_labeled_two_hop.h"
+#include "lcr/single_source_gtc.h"
+#include "plain/registry.h"
+#include "rlc/rlc_index.h"
+#include "rlc/rlc_product_bfs.h"
+#include "rpq/rpq_evaluator.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+namespace {
+
+using namespace figure1;
+
+class Figure1Test : public ::testing::Test {
+ protected:
+  const LabeledDigraph labeled_ = LabeledGraph();
+  const Digraph plain_ = PlainGraph();
+};
+
+TEST_F(Figure1Test, Shape) {
+  EXPECT_EQ(labeled_.NumVertices(), 9u);
+  EXPECT_EQ(labeled_.NumLabels(), 3u);
+  EXPECT_EQ(plain_.NumVertices(), 9u);
+}
+
+// §2.1: "Qr(A, G) = true because of an s-t path (A, D, H, G)".
+TEST_F(Figure1Test, Sec21PlainReachability) {
+  TransitiveClosure tc;
+  tc.Build(plain_);
+  EXPECT_TRUE(tc.Query(kA, kG));
+  // The cited path exists edge by edge.
+  EXPECT_TRUE(plain_.HasEdge(kA, kD));
+  EXPECT_TRUE(plain_.HasEdge(kD, kH));
+  EXPECT_TRUE(plain_.HasEdge(kH, kG));
+  // And every registry index agrees.
+  for (const std::string& spec : DefaultPlainIndexSpecs()) {
+    auto index = MakePlainIndex(spec);
+    index->Build(plain_);
+    EXPECT_TRUE(index->Query(kA, kG)) << spec;
+  }
+}
+
+// §2.2: "if alpha = (friendOf ∪ follows)*, then Qr(A, G, alpha) = false
+// because every path from A to G includes worksFor".
+TEST_F(Figure1Test, Sec22PathConstrainedExample) {
+  SearchWorkspace ws;
+  const LabelSet social = MakeLabelSet({kFriendOf, kFollows});
+  EXPECT_FALSE(LcrBfsReachability(labeled_, kA, kG, social, ws));
+  // Relaxing the constraint to include worksFor flips the answer, i.e.,
+  // worksFor is exactly what all A-G paths need.
+  EXPECT_TRUE(LcrBfsReachability(labeled_, kA, kG,
+                                 social | MakeLabelSet({kWorksFor}), ws));
+  auto rpq = RpqQuery::Compile("(friendOf|follows)*", labeled_.label_names(),
+                               kNumLabels);
+  ASSERT_NE(rpq, nullptr);
+  EXPECT_FALSE(rpq->Evaluate(labeled_, kA, kG));
+}
+
+// §4.1: "vertex M is reachable from vertex L via two paths ... the label
+// set of p1 is a subset of the label set of p2, such that the former is
+// the SPLS from L to M".
+TEST_F(Figure1Test, Sec41SplsFromLToM) {
+  // Both cited paths exist.
+  SearchWorkspace ws;
+  EXPECT_TRUE(LcrBfsReachability(labeled_, kL, kM,
+                                 MakeLabelSet({kWorksFor}), ws));  // p1
+  EXPECT_TRUE(LcrBfsReachability(labeled_, kL, kM,
+                                 MakeLabelSet({kFollows, kWorksFor}),
+                                 ws));  // p2's labels
+  // The minimal SPLS is p1's {worksFor} alone.
+  const auto gtc = SingleSourceGtc(labeled_, kL);
+  EXPECT_EQ(gtc[kM].sets(),
+            (std::vector<LabelSet>{MakeLabelSet({kWorksFor})}));
+}
+
+// §4.1: "the SPLS from A to M is {follows, worksFor}, which can be
+// computed by using the SPLS from A to L, i.e., {follows}, and the SPLS
+// from L to M, i.e., {worksFor}" (transitivity / cross product).
+TEST_F(Figure1Test, Sec41SplsTransitivity) {
+  const auto from_a = SingleSourceGtc(labeled_, kA);
+  EXPECT_EQ(from_a[kL].sets(),
+            (std::vector<LabelSet>{MakeLabelSet({kFollows})}));
+  EXPECT_EQ(from_a[kM].sets(),
+            (std::vector<LabelSet>{MakeLabelSet({kFollows, kWorksFor})}));
+  // The cross product of the two component SPLSs equals the result.
+  EXPECT_EQ(from_a[kM].sets()[0],
+            from_a[kL].sets()[0] | MakeLabelSet({kWorksFor}));
+}
+
+// §4.1.2: "H is reachable from L via two paths ... p3 is 'shorter' than
+// p4 since p3 has only 1 distinct label while p4 has 2. Thus, p3 is
+// expanded ... and p4 is ignored."
+TEST_F(Figure1Test, Sec412DijkstraLikeOrdering) {
+  // p4's two-label path exists...
+  SearchWorkspace ws;
+  EXPECT_TRUE(LcrBfsReachability(labeled_, kL, kH,
+                                 MakeLabelSet({kWorksFor, kFriendOf}), ws));
+  // ...but the settled minimal SPLS is p3's single label.
+  const auto gtc = SingleSourceGtc(labeled_, kL);
+  ASSERT_EQ(gtc[kH].sets().size(), 1u);
+  EXPECT_EQ(gtc[kH].sets()[0], MakeLabelSet({kWorksFor}));
+  EXPECT_EQ(LabelCount(gtc[kH].sets()[0]), 1);
+}
+
+// §4.2: "Qr(L, B, (worksFor · friendOf)*) = true" via the cited path.
+TEST_F(Figure1Test, Sec42ConcatenationExample) {
+  SearchWorkspace ws;
+  const KleeneSequence seq = {kWorksFor, kFriendOf};
+  EXPECT_TRUE(RlcProductBfsReachability(labeled_, kL, kB, seq, ws));
+  // The cited path (L, worksFor, D, friendOf, H, worksFor, G, friendOf, B)
+  // exists edge by edge with those labels.
+  auto has_arc = [&](VertexId u, VertexId v, Label l) {
+    for (const auto& arc : labeled_.OutArcs(u)) {
+      if (arc.vertex == v && arc.label == l) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_arc(kL, kD, kWorksFor));
+  EXPECT_TRUE(has_arc(kD, kH, kFriendOf));
+  EXPECT_TRUE(has_arc(kH, kG, kWorksFor));
+  EXPECT_TRUE(has_arc(kG, kB, kFriendOf));
+  // Indexed answer agrees; the paper's §4.2 "MR" of the path is the
+  // two-label sequence itself.
+  RlcIndex rlc;
+  rlc.Build(labeled_, {seq});
+  EXPECT_TRUE(rlc.Query(kL, kB, seq));
+  EXPECT_EQ(MinimumRepeat({kWorksFor, kFriendOf, kWorksFor, kFriendOf}),
+            seq);
+}
+
+// Cross-engine agreement on the whole example: every LCR engine, every
+// mask, every pair.
+TEST_F(Figure1Test, AllLcrEnginesAgreeOnAllMasks) {
+  GtcIndex gtc;
+  PrunedLabeledTwoHop p2h;
+  gtc.Build(labeled_);
+  p2h.Build(labeled_);
+  SearchWorkspace ws;
+  for (VertexId s = 0; s < labeled_.NumVertices(); ++s) {
+    for (VertexId t = 0; t < labeled_.NumVertices(); ++t) {
+      for (LabelSet mask = 0; mask < 8; ++mask) {
+        const bool expected = LcrBfsReachability(labeled_, s, t, mask, ws);
+        EXPECT_EQ(gtc.Query(s, t, mask), expected);
+        EXPECT_EQ(p2h.Query(s, t, mask), expected);
+      }
+    }
+  }
+}
+
+// B and M form the only SCC (the labeled graph's plain projection is not
+// a DAG) — exercising the §3.1 reduction on the running example.
+TEST_F(Figure1Test, BAndMFormTheOnlyScc) {
+  const SccDecomposition scc = ComputeScc(plain_);
+  EXPECT_EQ(scc.num_components, 8u);  // 9 vertices, one 2-cycle
+  EXPECT_TRUE(scc.SameComponent(kB, kM));
+  EXPECT_FALSE(scc.SameComponent(kB, kG));
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,109 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/topological.h"
+
+namespace reach {
+namespace {
+
+TEST(GeneratorsTest, RandomDigraphShape) {
+  Digraph g = RandomDigraph(100, 400, /*seed=*/1);
+  EXPECT_EQ(g.NumVertices(), 100u);
+  EXPECT_EQ(g.NumEdges(), 400u);
+}
+
+TEST(GeneratorsTest, RandomDigraphDeterministic) {
+  Digraph a = RandomDigraph(50, 200, 9);
+  Digraph b = RandomDigraph(50, 200, 9);
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(GeneratorsTest, RandomDigraphSeedsDiffer) {
+  Digraph a = RandomDigraph(50, 200, 9);
+  Digraph b = RandomDigraph(50, 200, 10);
+  EXPECT_NE(a.Edges(), b.Edges());
+}
+
+TEST(GeneratorsTest, RandomDigraphHasNoSelfLoops) {
+  Digraph g = RandomDigraph(40, 300, 3);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_FALSE(g.HasEdge(v, v));
+  }
+}
+
+TEST(GeneratorsTest, RandomDagIsAcyclic) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    EXPECT_TRUE(IsDag(RandomDag(100, 350, seed))) << seed;
+  }
+}
+
+TEST(GeneratorsTest, RandomDagEdgeCount) {
+  Digraph g = RandomDag(100, 350, 4);
+  EXPECT_EQ(g.NumEdges(), 350u);
+}
+
+TEST(GeneratorsTest, ScaleFreeDagIsAcyclic) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    EXPECT_TRUE(IsDag(ScaleFreeDag(200, 3, seed))) << seed;
+  }
+}
+
+TEST(GeneratorsTest, ScaleFreeDagDegreesAreSkewed) {
+  Digraph g = ScaleFreeDag(500, 3, 7);
+  size_t max_in = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    max_in = std::max(max_in, g.InDegree(v));
+  }
+  // Preferential attachment should create at least one clear hub.
+  EXPECT_GE(max_in, 10u);
+}
+
+TEST(GeneratorsTest, RandomTreeHasNMinusOneEdges) {
+  Digraph g = RandomTree(64, 2);
+  EXPECT_EQ(g.NumEdges(), 63u);
+  EXPECT_TRUE(IsDag(g));
+  // Every non-root vertex has exactly one parent.
+  EXPECT_EQ(g.InDegree(0), 0u);
+  for (VertexId v = 1; v < 64; ++v) EXPECT_EQ(g.InDegree(v), 1u);
+}
+
+TEST(GeneratorsTest, LayeredDagShape) {
+  Digraph g = LayeredDag(/*layers=*/5, /*width=*/10, /*out_degree=*/2, 3);
+  EXPECT_EQ(g.NumVertices(), 50u);
+  EXPECT_EQ(g.NumEdges(), 4u * 10u * 2u);
+  EXPECT_TRUE(IsDag(g));
+}
+
+TEST(GeneratorsTest, ChainAndCycle) {
+  EXPECT_TRUE(IsDag(Chain(8)));
+  EXPECT_FALSE(IsDag(Cycle(8)));
+  EXPECT_EQ(Chain(8).NumEdges(), 7u);
+  EXPECT_EQ(Cycle(8).NumEdges(), 8u);
+}
+
+TEST(GeneratorsTest, UniformLabelsCoverAllLabels) {
+  LabeledDigraph g =
+      WithUniformLabels(RandomDigraph(100, 600, 5), /*num_labels=*/4, 6);
+  EXPECT_EQ(g.NumLabels(), 4u);
+  std::vector<size_t> counts(4, 0);
+  for (const auto& e : g.Edges()) ++counts[e.label];
+  for (Label l = 0; l < 4; ++l) EXPECT_GT(counts[l], 0u) << l;
+}
+
+TEST(GeneratorsTest, ZipfLabelsAreSkewed) {
+  LabeledDigraph g = WithZipfLabels(RandomDigraph(200, 2000, 8),
+                                    /*num_labels=*/8, /*skew=*/1.2, 6);
+  std::vector<size_t> counts(8, 0);
+  for (const auto& e : g.Edges()) ++counts[e.label];
+  EXPECT_GT(counts[0], counts[7] * 2) << "label 0 should dominate label 7";
+}
+
+TEST(GeneratorsTest, LabeledGraphPreservesTopology) {
+  Digraph base = RandomDigraph(60, 240, 8);
+  LabeledDigraph g = WithUniformLabels(base, 3, 9);
+  EXPECT_EQ(g.ProjectPlain().Edges(), base.Edges());
+}
+
+}  // namespace
+}  // namespace reach

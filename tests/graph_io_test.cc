@@ -1,0 +1,87 @@
+#include "graph/graph_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/figure1.h"
+#include "graph/generators.h"
+
+namespace reach {
+namespace {
+
+TEST(GraphIoTest, ReadSimpleEdgeList) {
+  std::istringstream in("0 1\n1 2\n2 0\n");
+  auto g = ReadEdgeList(in);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumVertices(), 3u);
+  EXPECT_EQ(g->NumEdges(), 3u);
+  EXPECT_TRUE(g->HasEdge(2, 0));
+}
+
+TEST(GraphIoTest, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# SNAP-style comment\n% matrix-market comment\n\n0 1\n\n1 2\n");
+  auto g = ReadEdgeList(in);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumEdges(), 2u);
+}
+
+TEST(GraphIoTest, RejectsMalformedLine) {
+  std::istringstream in("0 1\nbogus\n");
+  std::string error;
+  auto g = ReadEdgeList(in, &error);
+  EXPECT_FALSE(g.has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(GraphIoTest, SparseIdsKeptVerbatim) {
+  std::istringstream in("0 7\n");
+  auto g = ReadEdgeList(in);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumVertices(), 8u);
+}
+
+TEST(GraphIoTest, PlainRoundTrip) {
+  Digraph g = RandomDigraph(40, 160, 12);
+  std::stringstream buffer;
+  WriteEdgeList(g, buffer);
+  auto back = ReadEdgeList(buffer);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->Edges(), g.Edges());
+}
+
+TEST(GraphIoTest, LabeledRoundTrip) {
+  LabeledDigraph g = figure1::LabeledGraph();
+  std::stringstream buffer;
+  WriteLabeledEdgeList(g, buffer);
+  auto back = ReadLabeledEdgeList(buffer);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->Edges(), g.Edges());
+  EXPECT_EQ(back->NumLabels(), g.NumLabels());
+}
+
+TEST(GraphIoTest, LabeledRejectsLabelOutOfRange) {
+  std::istringstream in("0 1 99\n");
+  std::string error;
+  auto g = ReadLabeledEdgeList(in, &error);
+  EXPECT_FALSE(g.has_value());
+  EXPECT_NE(error.find("label"), std::string::npos) << error;
+}
+
+TEST(GraphIoTest, MissingFileReportsError) {
+  std::string error;
+  auto g = ReadEdgeListFile("/nonexistent/path/graph.txt", &error);
+  EXPECT_FALSE(g.has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(GraphIoTest, EmptyInputGivesEmptyGraph) {
+  std::istringstream in("# only a comment\n");
+  auto g = ReadEdgeList(in);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumVertices(), 0u);
+}
+
+}  // namespace
+}  // namespace reach

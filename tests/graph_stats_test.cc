@@ -1,0 +1,94 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "plain/auto_index.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+namespace {
+
+TEST(GraphStatsTest, ChainStats) {
+  const GraphStats s = ComputeGraphStats(Chain(10));
+  EXPECT_EQ(s.num_vertices, 10u);
+  EXPECT_EQ(s.num_edges, 9u);
+  EXPECT_TRUE(s.is_dag);
+  EXPECT_EQ(s.num_sccs, 10u);
+  EXPECT_EQ(s.largest_scc, 1u);
+  EXPECT_EQ(s.condensation_depth, 10u);
+  EXPECT_EQ(s.num_sources, 1u);
+  EXPECT_EQ(s.num_sinks, 1u);
+}
+
+TEST(GraphStatsTest, CycleStats) {
+  const GraphStats s = ComputeGraphStats(Cycle(8));
+  EXPECT_FALSE(s.is_dag);
+  EXPECT_EQ(s.num_sccs, 1u);
+  EXPECT_EQ(s.largest_scc, 8u);
+  EXPECT_EQ(s.condensation_depth, 1u);
+  // Everything reaches everything.
+  EXPECT_DOUBLE_EQ(s.reachability_density, 1.0);
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  const GraphStats s = ComputeGraphStats(Digraph::FromEdges(0, {}));
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_EQ(s.condensation_depth, 0u);
+}
+
+TEST(GraphStatsTest, DensityIsInUnitInterval) {
+  const GraphStats s = ComputeGraphStats(RandomDigraph(200, 800, 3));
+  EXPECT_GT(s.reachability_density, 0.0);
+  EXPECT_LE(s.reachability_density, 1.0);
+}
+
+TEST(GraphStatsTest, ToStringMentionsKeyFacts) {
+  const std::string text = GraphStatsToString(ComputeGraphStats(Chain(5)));
+  EXPECT_NE(text.find("vertices: 5"), std::string::npos);
+  EXPECT_NE(text.find("DAG"), std::string::npos);
+}
+
+TEST(AutoIndexTest, PicksTreeCoverForTrees) {
+  const Digraph g = RandomTree(500, 3);
+  AutoIndex index;
+  index.Build(g);
+  EXPECT_EQ(index.choice().spec, "treecover");
+  EXPECT_NE(index.Name().find("treecover"), std::string::npos);
+}
+
+TEST(AutoIndexTest, PicksPllForSmallGraphs) {
+  const Digraph g = RandomDigraph(500, 2500, 4);
+  AutoIndex index;
+  index.Build(g);
+  EXPECT_EQ(index.choice().spec, "pll");
+}
+
+TEST(AutoIndexTest, PicksPartialIndexForLargeGraphs) {
+  const Digraph g = RandomDag(20000, 80000, 5);
+  AutoIndex index;
+  index.Build(g);
+  EXPECT_TRUE(index.choice().spec == "bfl" ||
+              index.choice().spec == "grail")
+      << index.choice().spec;
+  EXPECT_FALSE(index.IsComplete());
+  EXPECT_FALSE(index.choice().rationale.empty());
+}
+
+TEST(AutoIndexTest, WhateverItPicksIsExact) {
+  for (uint64_t seed : {61, 62}) {
+    const Digraph g = RandomDigraph(48, 150, seed);
+    AutoIndex index;
+    index.Build(g);
+    TransitiveClosure oracle;
+    oracle.Build(g);
+    for (VertexId s = 0; s < g.NumVertices(); ++s) {
+      for (VertexId t = 0; t < g.NumVertices(); ++t) {
+        ASSERT_EQ(index.Query(s, t), oracle.Query(s, t)) << s << "->" << t;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,126 @@
+#include "plain/interval_labeling.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/topological.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+namespace {
+
+TEST(IntervalLabelingTest, ChainIntervals) {
+  const IntervalForest f = BuildIntervalForest(Chain(4), std::nullopt);
+  // Post-order on a chain: deepest vertex first.
+  EXPECT_EQ(f.post[3], 0u);
+  EXPECT_EQ(f.post[0], 3u);
+  EXPECT_EQ(f.subtree_low[0], 0u);
+  EXPECT_TRUE(f.SubtreeContains(0, 3));
+  EXPECT_FALSE(f.SubtreeContains(3, 0));
+}
+
+TEST(IntervalLabelingTest, PostOrderIsAPermutation) {
+  const Digraph g = RandomDag(60, 180, 3);
+  const IntervalForest f = BuildIntervalForest(g, std::nullopt);
+  std::set<uint32_t> posts(f.post.begin(), f.post.end());
+  EXPECT_EQ(posts.size(), g.NumVertices());
+  EXPECT_EQ(*posts.begin(), 0u);
+  EXPECT_EQ(*posts.rbegin(), g.NumVertices() - 1);
+}
+
+TEST(IntervalLabelingTest, EdgePostOrderPropertyOnDags) {
+  // For every edge (u, v) of a DAG, post[v] < post[u].
+  for (uint64_t seed : {1, 2, 3}) {
+    const Digraph g = RandomDag(50, 160, seed);
+    const IntervalForest f = BuildIntervalForest(g, seed);
+    for (VertexId u = 0; u < g.NumVertices(); ++u) {
+      for (VertexId v : g.OutNeighbors(u)) {
+        EXPECT_LT(f.post[v], f.post[u]) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(IntervalLabelingTest, ParentsFormAForestOfGraphEdges) {
+  const Digraph g = RandomDag(50, 150, 5);
+  const IntervalForest f = BuildIntervalForest(g, std::nullopt);
+  size_t roots = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (f.parent[v] == kInvalidVertex) {
+      ++roots;
+    } else {
+      EXPECT_TRUE(g.HasEdge(f.parent[v], v));
+      EXPECT_TRUE(f.IsTreeEdge(f.parent[v], v));
+    }
+  }
+  EXPECT_GE(roots, 1u);
+}
+
+TEST(IntervalLabelingTest, SubtreeContainsMatchesParentChains) {
+  const Digraph g = RandomTree(40, 9);
+  const IntervalForest f = BuildIntervalForest(g, std::nullopt);
+  // On a tree the spanning forest is the tree itself, so SubtreeContains
+  // must equal ancestor-ship.
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      bool ancestor = false;
+      for (VertexId v = t; v != kInvalidVertex; v = f.parent[v]) {
+        if (v == s) {
+          ancestor = true;
+          break;
+        }
+      }
+      EXPECT_EQ(f.SubtreeContains(s, t), ancestor) << s << " " << t;
+    }
+  }
+}
+
+TEST(IntervalLabelingTest, SubtreeContainmentImpliesReachability) {
+  const Digraph g = RandomDag(40, 120, 11);
+  const IntervalForest f = BuildIntervalForest(g, 11);
+  TransitiveClosure tc;
+  tc.Build(g);
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      if (f.SubtreeContains(s, t)) {
+        EXPECT_TRUE(tc.Query(s, t));
+      }
+    }
+  }
+}
+
+TEST(IntervalLabelingTest, DifferentSeedsGiveDifferentForests) {
+  const Digraph g = RandomDag(60, 240, 13);
+  const IntervalForest a = BuildIntervalForest(g, 1);
+  const IntervalForest b = BuildIntervalForest(g, 2);
+  EXPECT_NE(a.post, b.post);
+}
+
+TEST(IntervalLabelingTest, DeterministicWithoutSeed) {
+  const Digraph g = RandomDag(60, 240, 13);
+  const IntervalForest a = BuildIntervalForest(g, std::nullopt);
+  const IntervalForest b = BuildIntervalForest(g, std::nullopt);
+  EXPECT_EQ(a.post, b.post);
+  EXPECT_EQ(a.parent, b.parent);
+}
+
+TEST(IntervalLabelingTest, ReachableLowIsMinOverReachableSet) {
+  const Digraph g = RandomDag(36, 100, 17);
+  const IntervalForest f = BuildIntervalForest(g, std::nullopt);
+  const std::vector<uint32_t> low = ComputeReachableLow(g, f);
+  TransitiveClosure tc;
+  tc.Build(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    uint32_t expected = f.post[v];
+    for (VertexId w : tc.ReachableSet(v)) {
+      expected = std::min(expected, f.post[w]);
+    }
+    EXPECT_EQ(low[v], expected) << v;
+  }
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,104 @@
+#include "lcr/label_set.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace reach {
+namespace {
+
+TEST(LabelSetTest, BitAndSubsetBasics) {
+  EXPECT_EQ(LabelBit(0), 1u);
+  EXPECT_EQ(LabelBit(3), 8u);
+  EXPECT_TRUE(IsSubsetOf(0, 0));
+  EXPECT_TRUE(IsSubsetOf(0b101, 0b111));
+  EXPECT_FALSE(IsSubsetOf(0b101, 0b110));
+  EXPECT_TRUE(IsSubsetOf(0, 0b1));
+  EXPECT_EQ(LabelCount(0b1011), 3);
+}
+
+TEST(LabelSetTest, MakeLabelSet) {
+  EXPECT_EQ(MakeLabelSet({0, 2}), 0b101u);
+  EXPECT_EQ(MakeLabelSet({}), 0u);
+}
+
+TEST(LabelSetTest, ToStringUsesNames) {
+  const std::vector<std::string> names = {"friendOf", "follows", "worksFor"};
+  EXPECT_EQ(LabelSetToString(MakeLabelSet({0, 2}), names),
+            "{friendOf, worksFor}");
+  EXPECT_EQ(LabelSetToString(0, names), "{}");
+  EXPECT_EQ(LabelSetToString(MakeLabelSet({5}), names), "{5}");
+}
+
+TEST(MinimalLabelSetsTest, SubsetMakesSupersetRedundant) {
+  // The paper's §4.1 foundation: S1 ⊆ S2 makes S2 redundant.
+  MinimalLabelSets sets;
+  EXPECT_TRUE(sets.AddIfMinimal(0b11));
+  EXPECT_FALSE(sets.AddIfMinimal(0b111));  // superset rejected
+  EXPECT_EQ(sets.size(), 1u);
+  EXPECT_TRUE(sets.AddIfMinimal(0b01));  // subset replaces
+  EXPECT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets.sets()[0], 0b01u);
+}
+
+TEST(MinimalLabelSetsTest, IncomparableSetsCoexist) {
+  MinimalLabelSets sets;
+  EXPECT_TRUE(sets.AddIfMinimal(0b011));
+  EXPECT_TRUE(sets.AddIfMinimal(0b101));
+  EXPECT_TRUE(sets.AddIfMinimal(0b110));
+  EXPECT_EQ(sets.size(), 3u);
+}
+
+TEST(MinimalLabelSetsTest, NewSubsetEvictsMultipleSupersets) {
+  MinimalLabelSets sets;
+  sets.AddIfMinimal(0b011);
+  sets.AddIfMinimal(0b101);
+  EXPECT_TRUE(sets.AddIfMinimal(0b001));  // subset of both
+  EXPECT_EQ(sets.size(), 1u);
+}
+
+TEST(MinimalLabelSetsTest, EmptySetDominatesEverything) {
+  MinimalLabelSets sets;
+  sets.AddIfMinimal(0b10);
+  EXPECT_TRUE(sets.AddIfMinimal(0));
+  EXPECT_EQ(sets.size(), 1u);
+  EXPECT_FALSE(sets.AddIfMinimal(0b1));
+  EXPECT_TRUE(sets.ContainsSubsetOf(0));
+}
+
+TEST(MinimalLabelSetsTest, ContainsSubsetOfIsTheQueryTest) {
+  MinimalLabelSets sets;
+  sets.AddIfMinimal(0b011);
+  sets.AddIfMinimal(0b100);
+  EXPECT_TRUE(sets.ContainsSubsetOf(0b011));
+  EXPECT_TRUE(sets.ContainsSubsetOf(0b111));
+  EXPECT_TRUE(sets.ContainsSubsetOf(0b110));  // 0b100 fits
+  EXPECT_FALSE(sets.ContainsSubsetOf(0b001));
+  EXPECT_FALSE(sets.ContainsSubsetOf(0b010));
+}
+
+TEST(MinimalLabelSetsTest, DuplicateRejected) {
+  MinimalLabelSets sets;
+  EXPECT_TRUE(sets.AddIfMinimal(0b10));
+  EXPECT_FALSE(sets.AddIfMinimal(0b10));
+  EXPECT_EQ(sets.size(), 1u);
+}
+
+TEST(MinimalLabelSetsTest, AlwaysAnAntichain) {
+  MinimalLabelSets sets;
+  // Add all 4-bit masks in an adversarial order.
+  for (LabelSet m : {0b1111u, 0b0111u, 0b1010u, 0b0011u, 0b0101u, 0b1100u,
+                     0b0110u, 0b1001u}) {
+    sets.AddIfMinimal(m);
+  }
+  for (LabelSet a : sets.sets()) {
+    for (LabelSet b : sets.sets()) {
+      if (a != b) {
+        EXPECT_FALSE(IsSubsetOf(a, b)) << a << " subset of " << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reach

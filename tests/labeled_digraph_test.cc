@@ -1,0 +1,93 @@
+#include "graph/labeled_digraph.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/figure1.h"
+#include "graph/generators.h"
+
+namespace reach {
+namespace {
+
+TEST(LabeledDigraphTest, EmptyGraph) {
+  LabeledDigraph g = LabeledDigraph::FromEdges(0, 0, {});
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.NumLabels(), 0u);
+}
+
+TEST(LabeledDigraphTest, BasicArcs) {
+  LabeledDigraph g = LabeledDigraph::FromEdges(
+      3, 2, {{0, 1, 0}, {0, 1, 1}, {1, 2, 0}});
+  EXPECT_EQ(g.NumEdges(), 3u);
+  ASSERT_EQ(g.OutArcs(0).size(), 2u);  // parallel edges, distinct labels
+  EXPECT_EQ(g.OutArcs(0)[0].vertex, 1u);
+  EXPECT_EQ(g.OutArcs(0)[0].label, 0u);
+  EXPECT_EQ(g.OutArcs(0)[1].label, 1u);
+  ASSERT_EQ(g.InArcs(1).size(), 2u);
+  EXPECT_EQ(g.InArcs(1)[0].vertex, 0u);
+}
+
+TEST(LabeledDigraphTest, DeduplicatesIdenticalTriples) {
+  LabeledDigraph g =
+      LabeledDigraph::FromEdges(2, 1, {{0, 1, 0}, {0, 1, 0}});
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(LabeledDigraphTest, EdgesRoundTrip) {
+  const std::vector<LabeledEdge> edges = {{0, 1, 0}, {0, 1, 1}, {1, 2, 0}};
+  LabeledDigraph g = LabeledDigraph::FromEdges(3, 2, edges);
+  EXPECT_EQ(g.Edges(), edges);
+}
+
+TEST(LabeledDigraphTest, ProjectPlainMergesParallelLabels) {
+  LabeledDigraph g = LabeledDigraph::FromEdges(
+      3, 3, {{0, 1, 0}, {0, 1, 1}, {0, 1, 2}, {1, 2, 0}});
+  Digraph plain = g.ProjectPlain();
+  EXPECT_EQ(plain.NumEdges(), 2u);
+  EXPECT_TRUE(plain.HasEdge(0, 1));
+  EXPECT_TRUE(plain.HasEdge(1, 2));
+}
+
+TEST(LabeledDigraphTest, LabelNames) {
+  LabeledDigraph g = figure1::LabeledGraph();
+  ASSERT_EQ(g.label_names().size(), 3u);
+  EXPECT_EQ(g.label_names()[figure1::kFriendOf], "friendOf");
+  EXPECT_EQ(g.label_names()[figure1::kFollows], "follows");
+  EXPECT_EQ(g.label_names()[figure1::kWorksFor], "worksFor");
+}
+
+TEST(LabeledDigraphTest, Figure1Shape) {
+  LabeledDigraph g = figure1::LabeledGraph();
+  EXPECT_EQ(g.NumVertices(), figure1::kNumVertices);
+  EXPECT_EQ(g.NumLabels(), figure1::kNumLabels);
+  EXPECT_EQ(g.NumEdges(), 13u);
+}
+
+TEST(LabeledDigraphTest, InArcsMirrorOutArcs) {
+  LabeledDigraph g = RandomLabeledDigraph(50, 250, 4, /*seed=*/17);
+  size_t in_count = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) in_count += g.InArcs(v).size();
+  EXPECT_EQ(in_count, g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (const auto& arc : g.InArcs(v)) {
+      bool found = false;
+      for (const auto& out : g.OutArcs(arc.vertex)) {
+        if (out.vertex == v && out.label == arc.label) found = true;
+      }
+      EXPECT_TRUE(found) << arc.vertex << " -" << arc.label << "-> " << v;
+    }
+  }
+}
+
+TEST(LabeledDigraphTest, DegreesCountArcs) {
+  LabeledDigraph g = LabeledDigraph::FromEdges(
+      3, 2, {{0, 1, 0}, {0, 1, 1}, {0, 2, 0}, {1, 2, 1}});
+  EXPECT_EQ(g.OutDegree(0), 3u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+  EXPECT_EQ(g.Degree(1), 3u);
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,62 @@
+#include "lcr/landmark_index.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "lcr/lcr_bfs.h"
+
+namespace reach {
+namespace {
+
+void ExpectMatchesBfs(LandmarkIndex& index, const LabeledDigraph& g) {
+  index.Build(g);
+  SearchWorkspace ws;
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      for (LabelSet mask = 0; mask < (1u << g.NumLabels()); ++mask) {
+        ASSERT_EQ(index.Query(s, t, mask),
+                  LcrBfsReachability(g, s, t, mask, ws))
+            << index.Name() << " " << s << "->" << t << " mask " << mask;
+      }
+    }
+  }
+}
+
+TEST(LandmarkBudgetTest, ZeroShortcutBudgetIsStillExact) {
+  const LabeledDigraph g = RandomLabeledDigraph(18, 70, 3, 7);
+  LandmarkIndex index(/*num_landmarks=*/4, /*budget=*/0);
+  ExpectMatchesBfs(index, g);
+}
+
+TEST(LandmarkBudgetTest, LargeShortcutBudgetIsStillExact) {
+  const LabeledDigraph g = RandomLabeledDigraph(18, 70, 3, 8);
+  LandmarkIndex index(/*num_landmarks=*/4, /*budget=*/16);
+  ExpectMatchesBfs(index, g);
+}
+
+TEST(LandmarkBudgetTest, MoreLandmarksThanVertices) {
+  const LabeledDigraph g = RandomLabeledDigraph(6, 18, 2, 9);
+  LandmarkIndex index(/*num_landmarks=*/100, /*budget=*/2);
+  ExpectMatchesBfs(index, g);
+  // Every vertex became a landmark: all queries are pure row lookups.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_TRUE(index.IsLandmark(v));
+  }
+}
+
+TEST(LandmarkBudgetTest, ZeroLandmarksDegeneratesToConstrainedBfs) {
+  const LabeledDigraph g = RandomLabeledDigraph(14, 50, 3, 10);
+  LandmarkIndex index(/*num_landmarks=*/0, /*budget=*/2);
+  ExpectMatchesBfs(index, g);
+}
+
+TEST(LandmarkBudgetTest, BiggerBudgetGrowsIndexSize) {
+  const LabeledDigraph g = RandomLabeledDigraph(200, 900, 4, 11);
+  LandmarkIndex thin(8, 0), fat(8, 8);
+  thin.Build(g);
+  fat.Build(g);
+  EXPECT_LT(thin.IndexSizeBytes(), fat.IndexSizeBytes());
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,124 @@
+// Cross-cutting LCR conformance: every index in the LCR registry must
+// agree with the constrained-BFS oracle for all vertex pairs and ALL
+// 2^|L| constraint masks, across graph families — plus the paper's
+// Figure 1(b) worked queries.
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "graph/figure1.h"
+#include "graph/generators.h"
+#include "lcr/label_set.h"
+#include "lcr/lcr_bfs.h"
+#include "lcr/lcr_registry.h"
+
+namespace reach {
+namespace {
+
+void ExpectMatchesOracle(LcrIndex& index, const LabeledDigraph& graph,
+                         const std::string& context) {
+  index.Build(graph);
+  SearchWorkspace ws;
+  const LabelSet all_masks = LabelSet{1} << graph.NumLabels();
+  for (VertexId s = 0; s < graph.NumVertices(); ++s) {
+    for (VertexId t = 0; t < graph.NumVertices(); ++t) {
+      for (LabelSet mask = 0; mask < all_masks; ++mask) {
+        const bool expected = LcrBfsReachability(graph, s, t, mask, ws);
+        ASSERT_EQ(index.Query(s, t, mask), expected)
+            << context << ": " << index.Name() << " disagrees on " << s
+            << " -> " << t << " mask=" << mask;
+      }
+    }
+  }
+}
+
+class LcrConformanceTest
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+TEST_P(LcrConformanceTest, MatchesConstrainedBfsEverywhere) {
+  const auto& [spec, seed] = GetParam();
+  auto index = MakeLcrIndex(spec);
+  ASSERT_NE(index, nullptr) << spec;
+
+  ExpectMatchesOracle(*index, RandomLabeledDigraph(18, 60, 3, seed),
+                      "random3");
+  ExpectMatchesOracle(*index, RandomLabeledDigraph(14, 70, 4, seed),
+                      "random4-dense");
+  ExpectMatchesOracle(*index,
+                      WithZipfLabels(RandomDigraph(16, 48, seed), 3, 1.5,
+                                     seed + 1),
+                      "zipf");
+  ExpectMatchesOracle(*index, WithUniformLabels(RandomDag(16, 44, seed), 3,
+                                                seed + 2),
+                      "dag");
+  ExpectMatchesOracle(*index, WithUniformLabels(Cycle(8), 2, seed), "cycle");
+  ExpectMatchesOracle(*index, figure1::LabeledGraph(), "figure1");
+  ExpectMatchesOracle(*index, LabeledDigraph::FromEdges(4, 2, {}),
+                      "edgeless");
+}
+
+TEST_P(LcrConformanceTest, Figure1PaperQueries) {
+  using namespace figure1;
+  const auto& [spec, seed] = GetParam();
+  (void)seed;
+  auto index = MakeLcrIndex(spec);
+  ASSERT_NE(index, nullptr);
+  const LabeledDigraph g = LabeledGraph();
+  index->Build(g);
+  // §2.2: Qr(A, G, (friendOf ∪ follows)*) = false — every A-G path
+  // includes worksFor.
+  EXPECT_FALSE(index->Query(kA, kG, MakeLabelSet({kFriendOf, kFollows})));
+  // ... and allowing worksFor makes A -> G reachable (plain path ADHG uses
+  // follows, friendOf, worksFor).
+  EXPECT_TRUE(
+      index->Query(kA, kG, MakeLabelSet({kFriendOf, kFollows, kWorksFor})));
+  // §4.1: L reaches M under (worksFor)* via p1.
+  EXPECT_TRUE(index->Query(kL, kM, MakeLabelSet({kWorksFor})));
+  // ... and under (follows ∪ worksFor)* via p2 as well.
+  EXPECT_TRUE(index->Query(kL, kM, MakeLabelSet({kFollows, kWorksFor})));
+  // ... but not under (friendOf)* alone.
+  EXPECT_FALSE(index->Query(kL, kM, MakeLabelSet({kFriendOf})));
+  // A reaches M exactly when {follows, worksFor} ⊆ alpha.
+  EXPECT_TRUE(index->Query(kA, kM, MakeLabelSet({kFollows, kWorksFor})));
+  EXPECT_FALSE(index->Query(kA, kM, MakeLabelSet({kFollows})));
+  EXPECT_FALSE(index->Query(kA, kM, MakeLabelSet({kWorksFor})));
+  // Reflexivity (empty path, Kleene-star semantics).
+  EXPECT_TRUE(index->Query(kC, kC, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLcrIndexes, LcrConformanceTest,
+    ::testing::Combine(::testing::ValuesIn(DefaultLcrIndexSpecs()),
+                       ::testing::Values(211, 222)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(LcrRegistryTest, UnknownSpecReturnsNull) {
+  EXPECT_EQ(MakeLcrIndex("bogus"), nullptr);
+}
+
+TEST(LcrRegistryTest, CompletenessMatchesTable2) {
+  // Complete: GTC (Zou et al.), P2H+. Partial: landmark, online BFS.
+  const LabeledDigraph g = figure1::LabeledGraph();
+  for (const char* spec : {"gtc", "p2h", "jin-tree"}) {
+    auto index = MakeLcrIndex(spec);
+    index->Build(g);
+    EXPECT_TRUE(index->IsComplete()) << spec;
+  }
+  for (const char* spec : {"landmark", "lcr-bfs"}) {
+    auto index = MakeLcrIndex(spec);
+    index->Build(g);
+    EXPECT_FALSE(index->IsComplete()) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace reach

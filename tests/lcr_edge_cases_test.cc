@@ -1,0 +1,126 @@
+// Pathological labeled graphs swept against the constrained-BFS oracle
+// for every LCR index.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "lcr/lcr_bfs.h"
+#include "lcr/lcr_registry.h"
+
+namespace reach {
+namespace {
+
+LabeledDigraph SingleLabelEverything() {
+  // All edges share one label: constraint either admits everything or
+  // only the empty path.
+  return WithUniformLabels(RandomDigraph(14, 50, 1), 1, 2);
+}
+
+LabeledDigraph ParallelRainbow() {
+  // Every adjacent pair connected by one edge per label.
+  std::vector<LabeledEdge> edges;
+  for (VertexId v = 0; v + 1 < 6; ++v) {
+    for (Label l = 0; l < 3; ++l) edges.push_back({v, v + 1, l});
+  }
+  return LabeledDigraph::FromEdges(6, 3, edges);
+}
+
+LabeledDigraph LabeledSelfLoops() {
+  std::vector<LabeledEdge> edges;
+  for (VertexId v = 0; v < 8; ++v) {
+    edges.push_back({v, v, static_cast<Label>(v % 3)});
+    if (v + 1 < 8) edges.push_back({v, v + 1, static_cast<Label>(v % 3)});
+  }
+  return LabeledDigraph::FromEdges(8, 3, edges);
+}
+
+LabeledDigraph AlternatingCycle() {
+  // Even cycle with strictly alternating labels: single-label constraints
+  // admit nothing beyond direct hops.
+  std::vector<LabeledEdge> edges;
+  for (VertexId v = 0; v < 8; ++v) {
+    edges.push_back({v, static_cast<VertexId>((v + 1) % 8),
+                     static_cast<Label>(v % 2)});
+  }
+  return LabeledDigraph::FromEdges(8, 2, edges);
+}
+
+LabeledDigraph LabeledCompleteBipartite() {
+  std::vector<LabeledEdge> edges;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = 5; v < 10; ++v) {
+      edges.push_back({u, v, static_cast<Label>((u + v) % 4)});
+    }
+  }
+  return LabeledDigraph::FromEdges(10, 4, edges);
+}
+
+LabeledDigraph TwoDisconnectedLabeledCycles() {
+  std::vector<LabeledEdge> edges;
+  for (VertexId v = 0; v < 5; ++v) {
+    edges.push_back({v, static_cast<VertexId>((v + 1) % 5), 0});
+    edges.push_back({static_cast<VertexId>(5 + v),
+                     static_cast<VertexId>(5 + (v + 1) % 5), 1});
+  }
+  return LabeledDigraph::FromEdges(10, 2, edges);
+}
+
+class LcrEdgeCaseTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void ExpectExact(const LabeledDigraph& g, const std::string& context) {
+    auto index = MakeLcrIndex(GetParam());
+    ASSERT_NE(index, nullptr);
+    index->Build(g);
+    SearchWorkspace ws;
+    const LabelSet all_masks = LabelSet{1} << g.NumLabels();
+    for (VertexId s = 0; s < g.NumVertices(); ++s) {
+      for (VertexId t = 0; t < g.NumVertices(); ++t) {
+        for (LabelSet mask = 0; mask < all_masks; ++mask) {
+          ASSERT_EQ(index->Query(s, t, mask),
+                    LcrBfsReachability(g, s, t, mask, ws))
+              << context << ": " << index->Name() << " on " << s << "->"
+              << t << " mask " << mask;
+        }
+      }
+    }
+  }
+};
+
+TEST_P(LcrEdgeCaseTest, SingleLabel) {
+  ExpectExact(SingleLabelEverything(), "single-label");
+}
+
+TEST_P(LcrEdgeCaseTest, ParallelRainbow) {
+  ExpectExact(ParallelRainbow(), "rainbow");
+}
+
+TEST_P(LcrEdgeCaseTest, LabeledSelfLoops) {
+  ExpectExact(LabeledSelfLoops(), "self-loops");
+}
+
+TEST_P(LcrEdgeCaseTest, AlternatingCycle) {
+  ExpectExact(AlternatingCycle(), "alternating-cycle");
+}
+
+TEST_P(LcrEdgeCaseTest, CompleteBipartite) {
+  ExpectExact(LabeledCompleteBipartite(), "bipartite");
+}
+
+TEST_P(LcrEdgeCaseTest, DisconnectedCycles) {
+  ExpectExact(TwoDisconnectedLabeledCycles(), "two-cycles");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLcrIndexes, LcrEdgeCaseTest,
+    ::testing::ValuesIn(DefaultLcrIndexSpecs()), [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,122 @@
+// Cross-cutting conformance suite: EVERY plain index in the registry must
+// agree exactly with the transitive-closure oracle on every graph family,
+// for all vertex pairs — including cyclic inputs (exercising the §3.1 SCC
+// reduction), DAGs, trees, dense graphs, and the paper's Figure 1.
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "graph/figure1.h"
+#include "graph/generators.h"
+#include "plain/registry.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+namespace {
+
+class PlainConformanceTest
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+void ExpectMatchesOracle(ReachabilityIndex& index, const Digraph& graph,
+                         const std::string& context) {
+  TransitiveClosure oracle;
+  oracle.Build(graph);
+  index.Build(graph);
+  for (VertexId s = 0; s < graph.NumVertices(); ++s) {
+    for (VertexId t = 0; t < graph.NumVertices(); ++t) {
+      ASSERT_EQ(index.Query(s, t), oracle.Query(s, t))
+          << context << ": " << index.Name() << " disagrees on " << s
+          << " -> " << t;
+    }
+  }
+}
+
+TEST_P(PlainConformanceTest, MatchesTransitiveClosureOnAllFamilies) {
+  const auto& [spec, seed] = GetParam();
+  auto index = MakePlainIndex(spec);
+  ASSERT_NE(index, nullptr) << spec;
+
+  ExpectMatchesOracle(*index, RandomDigraph(40, 120, seed), "cyclic-sparse");
+  ExpectMatchesOracle(*index, RandomDigraph(24, 180, seed), "cyclic-dense");
+  ExpectMatchesOracle(*index, RandomDag(40, 110, seed), "dag");
+  ExpectMatchesOracle(*index, ScaleFreeDag(40, 2, seed), "scale-free");
+  ExpectMatchesOracle(*index, RandomTree(40, seed), "tree");
+  ExpectMatchesOracle(*index, LayeredDag(4, 8, 2, seed), "layered");
+  ExpectMatchesOracle(*index, Chain(12), "chain");
+  ExpectMatchesOracle(*index, Cycle(12), "cycle");
+  ExpectMatchesOracle(*index, figure1::PlainGraph(), "figure1");
+  ExpectMatchesOracle(*index, Digraph::FromEdges(5, {}), "edgeless");
+}
+
+TEST_P(PlainConformanceTest, ReflexivityAndRebuild) {
+  const auto& [spec, seed] = GetParam();
+  auto index = MakePlainIndex(spec);
+  ASSERT_NE(index, nullptr);
+  const Digraph g1 = RandomDigraph(30, 90, seed);
+  index->Build(g1);
+  for (VertexId v = 0; v < g1.NumVertices(); ++v) {
+    EXPECT_TRUE(index->Query(v, v)) << index->Name();
+  }
+  // Rebuilding on a different graph must fully replace prior state.
+  const Digraph g2 = RandomDag(25, 70, seed + 1);
+  ExpectMatchesOracle(*index, g2, "rebuild");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, PlainConformanceTest,
+    ::testing::Combine(::testing::ValuesIn(DefaultPlainIndexSpecs()),
+                       ::testing::Values(101, 202, 303)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(PlainRegistryTest, UnknownSpecReturnsNull) {
+  EXPECT_EQ(MakePlainIndex("nonsense"), nullptr);
+}
+
+TEST(PlainRegistryTest, ParamSpecsApply) {
+  auto grail = MakePlainIndex("grail:k=5");
+  ASSERT_NE(grail, nullptr);
+  EXPECT_NE(grail->Name().find("k=5"), std::string::npos);
+  auto bfl = MakePlainIndex("bfl:bits=128");
+  ASSERT_NE(bfl, nullptr);
+  EXPECT_NE(bfl->Name().find("128"), std::string::npos);
+}
+
+TEST(PlainRegistryTest, DefaultRosterIsBuildable) {
+  const Digraph g = RandomDigraph(20, 60, 7);
+  for (const std::string& spec : DefaultPlainIndexSpecs()) {
+    auto index = MakePlainIndex(spec);
+    ASSERT_NE(index, nullptr) << spec;
+    index->Build(g);
+    EXPECT_FALSE(index->Name().empty());
+  }
+}
+
+TEST(PlainRegistryTest, CompletenessFlagsMatchTable1) {
+  // Complete rows of Table 1: tree cover, dual labeling, 2-hop family, TC.
+  for (const char* spec :
+       {"tc", "treecover", "dual", "chaincover", "pll", "tfl"}) {
+    auto index = MakePlainIndex(spec);
+    index->Build(Chain(4));
+    EXPECT_TRUE(index->IsComplete()) << spec;
+  }
+  // Partial rows: GRAIL, Ferrari, IP, BFL, O'Reach, DBL, Feline, PReaCH.
+  for (const char* spec :
+       {"grail", "gripp", "ferrari", "ip", "bfl", "oreach", "dbl", "dagger",
+        "feline", "preach", "bfs", "bibfs"}) {
+    auto index = MakePlainIndex(spec);
+    index->Build(Chain(4));
+    EXPECT_FALSE(index->IsComplete()) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace reach

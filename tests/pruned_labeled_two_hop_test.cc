@@ -1,0 +1,149 @@
+#include "lcr/pruned_labeled_two_hop.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/figure1.h"
+#include "graph/generators.h"
+#include "graph/rng.h"
+#include "lcr/gtc_index.h"
+#include "lcr/lcr_bfs.h"
+
+namespace reach {
+namespace {
+
+TEST(PrunedLabeledTwoHopTest, Figure1RlcPrerequisitePath) {
+  // The alternation relaxation of the §4.2 example: L reaches B using only
+  // {worksFor, friendOf}.
+  using namespace figure1;
+  const LabeledDigraph g = LabeledGraph();
+  PrunedLabeledTwoHop index;
+  index.Build(g);
+  EXPECT_TRUE(index.Query(kL, kB, MakeLabelSet({kWorksFor, kFriendOf})));
+  EXPECT_FALSE(index.Query(kL, kB, MakeLabelSet({kWorksFor})));
+  EXPECT_FALSE(index.Query(kL, kB, MakeLabelSet({kFriendOf})));
+}
+
+TEST(PrunedLabeledTwoHopTest, EntriesStayModestOnHubGraphs) {
+  // The degree order puts the hub first, so spokes carry one entry per
+  // direction instead of quadratic blowup.
+  std::vector<LabeledEdge> edges;
+  for (VertexId v = 1; v <= 30; ++v) edges.push_back({v, 0, 0});
+  for (VertexId v = 31; v <= 60; ++v) edges.push_back({0, v, 1});
+  const LabeledDigraph g = LabeledDigraph::FromEdges(61, 2, edges);
+  PrunedLabeledTwoHop index;
+  index.Build(g);
+  EXPECT_LE(index.TotalEntries(), 2u * 61u);
+  EXPECT_TRUE(index.Query(5, 40, MakeLabelSet({0, 1})));
+  EXPECT_FALSE(index.Query(5, 40, MakeLabelSet({0})));
+}
+
+TEST(PrunedLabeledTwoHopTest, InsertEdgeBridgesComponents) {
+  const LabeledDigraph g = LabeledDigraph::FromEdges(
+      4, 2, {{0, 1, 0}, {2, 3, 1}});
+  PrunedLabeledTwoHop index;
+  index.Build(g);
+  EXPECT_FALSE(index.Query(0, 3, 0b11));
+  index.InsertEdge(1, 2, 0);
+  EXPECT_TRUE(index.Query(0, 3, 0b11));
+  EXPECT_FALSE(index.Query(0, 3, 0b01));  // still needs label 1 for 2->3
+  EXPECT_TRUE(index.Query(0, 2, 0b01));
+}
+
+TEST(PrunedLabeledTwoHopTest, InsertParallelEdgeAddsCheaperSpls) {
+  const LabeledDigraph g = LabeledDigraph::FromEdges(
+      2, 2, {{0, 1, 1}});
+  PrunedLabeledTwoHop index;
+  index.Build(g);
+  EXPECT_FALSE(index.Query(0, 1, 0b01));
+  index.InsertEdge(0, 1, 0);  // parallel edge, different label
+  EXPECT_TRUE(index.Query(0, 1, 0b01));
+  EXPECT_TRUE(index.Query(0, 1, 0b10));
+}
+
+TEST(PrunedLabeledTwoHopTest, InsertDuplicateEdgeIsNoop) {
+  const LabeledDigraph g =
+      LabeledDigraph::FromEdges(2, 2, {{0, 1, 0}});
+  PrunedLabeledTwoHop index;
+  index.Build(g);
+  const size_t before = index.TotalEntries();
+  index.InsertEdge(0, 1, 0);
+  EXPECT_EQ(index.TotalEntries(), before);
+}
+
+class LabeledInsertStreamTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LabeledInsertStreamTest, IncrementalMatchesOracleAfterEveryBatch) {
+  const uint64_t seed = GetParam();
+  const VertexId n = 16;
+  const Label num_labels = 3;
+  Xoshiro256ss rng(seed);
+  std::vector<LabeledEdge> edges =
+      RandomLabeledDigraph(n, 26, num_labels, seed).Edges();
+  PrunedLabeledTwoHop index;
+  LabeledDigraph base = LabeledDigraph::FromEdges(n, num_labels, edges);
+  index.Build(base);
+
+  SearchWorkspace ws;
+  for (int step = 0; step < 18; ++step) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    const Label l = static_cast<Label>(rng.NextBounded(num_labels));
+    if (u == v) continue;
+    index.InsertEdge(u, v, l);
+    edges.push_back({u, v, l});
+    if (step % 6 != 5) continue;  // verify every 6th step (all-pairs scan)
+    const LabeledDigraph current =
+        LabeledDigraph::FromEdges(n, num_labels, edges);
+    for (VertexId s = 0; s < n; ++s) {
+      for (VertexId t = 0; t < n; ++t) {
+        for (LabelSet mask = 0; mask < (1u << num_labels); ++mask) {
+          ASSERT_EQ(index.Query(s, t, mask),
+                    LcrBfsReachability(current, s, t, mask, ws))
+              << s << "->" << t << " mask=" << mask << " step=" << step
+              << " seed=" << seed;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabeledInsertStreamTest,
+                         ::testing::Values(161, 162, 163, 164));
+
+TEST(PrunedLabeledTwoHopTest, RemoveEdgeAndRebuild) {
+  const LabeledDigraph g = LabeledDigraph::FromEdges(
+      3, 2, {{0, 1, 0}, {1, 2, 1}});
+  PrunedLabeledTwoHop index;
+  index.Build(g);
+  EXPECT_TRUE(index.Query(0, 2, 0b11));
+  index.RemoveEdgeAndRebuild(1, 2, 1);
+  EXPECT_FALSE(index.Query(0, 2, 0b11));
+  EXPECT_TRUE(index.Query(0, 1, 0b01));
+  // Inserted edges survive unrelated rebuild-deletions.
+  index.InsertEdge(1, 2, 0);
+  EXPECT_TRUE(index.Query(0, 2, 0b01));
+  index.RemoveEdgeAndRebuild(0, 1, 0);
+  EXPECT_FALSE(index.Query(0, 2, 0b01));
+  EXPECT_TRUE(index.Query(1, 2, 0b01));
+}
+
+TEST(PrunedLabeledTwoHopTest, AgreesWithGtcOnSplsCoverage) {
+  // P2H and GTC must answer identically even though they store different
+  // structures (hop-split SPLSs vs per-pair SPLSs).
+  const LabeledDigraph g = RandomLabeledDigraph(20, 80, 4, 99);
+  PrunedLabeledTwoHop p2h;
+  GtcIndex gtc;
+  p2h.Build(g);
+  gtc.Build(g);
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      for (LabelSet mask = 0; mask < 16; ++mask) {
+        ASSERT_EQ(p2h.Query(s, t, mask), gtc.Query(s, t, mask))
+            << s << "->" << t << " mask " << mask;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reach

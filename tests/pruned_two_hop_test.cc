@@ -1,0 +1,169 @@
+#include "plain/pruned_two_hop.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/rng.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+namespace {
+
+void ExpectMatchesOracle(const PrunedTwoHop& index,
+                         const TransitiveClosure& oracle, size_t n,
+                         const std::string& context) {
+  for (VertexId s = 0; s < n; ++s) {
+    for (VertexId t = 0; t < n; ++t) {
+      ASSERT_EQ(index.Query(s, t), oracle.Query(s, t))
+          << context << ": " << s << "->" << t;
+    }
+  }
+}
+
+class OrderTest : public ::testing::TestWithParam<VertexOrder> {};
+
+TEST_P(OrderTest, AllOrdersAreExactOnCyclicGraphs) {
+  for (uint64_t seed : {91, 92, 93}) {
+    const Digraph g = RandomDigraph(44, 140, seed);
+    PrunedTwoHop index(GetParam(), seed);
+    index.Build(g);
+    TransitiveClosure oracle;
+    oracle.Build(g);
+    ExpectMatchesOracle(index, oracle, g.NumVertices(),
+                        "seed=" + std::to_string(seed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, OrderTest,
+                         ::testing::Values(VertexOrder::kDegree,
+                                           VertexOrder::kTopological,
+                                           VertexOrder::kReverseDegree,
+                                           VertexOrder::kRandom));
+
+TEST(PrunedTwoHopTest, LabelsAreSortedAndBounded) {
+  const Digraph g = RandomDigraph(60, 200, 5);
+  PrunedTwoHop index(VertexOrder::kDegree);
+  index.Build(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const auto& lin = index.InLabels(v);
+    const auto& lout = index.OutLabels(v);
+    EXPECT_TRUE(std::is_sorted(lin.begin(), lin.end()));
+    EXPECT_TRUE(std::is_sorted(lout.begin(), lout.end()));
+    for (uint32_t r : lin) EXPECT_LT(r, g.NumVertices());
+    for (uint32_t r : lout) EXPECT_LT(r, g.NumVertices());
+  }
+}
+
+TEST(PrunedTwoHopTest, DegreeOrderBeatsReverseDegreeOnScaleFree) {
+  // §3.2: the choice of total order drives index size; hubs first is the
+  // DL/PLL heuristic. On a hub-heavy graph it must not lose to hubs-last.
+  const Digraph g = ScaleFreeDag(300, 3, 11);
+  PrunedTwoHop good(VertexOrder::kDegree);
+  PrunedTwoHop bad(VertexOrder::kReverseDegree);
+  good.Build(g);
+  bad.Build(g);
+  EXPECT_LT(good.TotalLabelEntries(), bad.TotalLabelEntries());
+}
+
+TEST(PrunedTwoHopTest, SccMembersShareHighestRankedHop) {
+  const Digraph g = Cycle(8);
+  PrunedTwoHop index(VertexOrder::kDegree);
+  index.Build(g);
+  for (VertexId s = 0; s < 8; ++s) {
+    for (VertexId t = 0; t < 8; ++t) EXPECT_TRUE(index.Query(s, t));
+  }
+  // One hop covers the cycle: labels stay linear, not quadratic.
+  EXPECT_LE(index.TotalLabelEntries(), 2 * 8u);
+}
+
+TEST(PrunedTwoHopTest, InsertEdgeConnectsComponents) {
+  Digraph g = Digraph::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  PrunedTwoHop index;
+  index.Build(g);
+  EXPECT_FALSE(index.Query(0, 5));
+  index.InsertEdge(2, 3);
+  EXPECT_TRUE(index.Query(0, 5));
+  EXPECT_TRUE(index.Query(2, 3));
+  EXPECT_TRUE(index.Query(1, 4));
+  EXPECT_FALSE(index.Query(5, 0));
+}
+
+TEST(PrunedTwoHopTest, InsertEdgeCreatingCycle) {
+  const Digraph g = Chain(5);
+  PrunedTwoHop index;
+  index.Build(g);
+  index.InsertEdge(4, 0);  // close the cycle
+  for (VertexId s = 0; s < 5; ++s) {
+    for (VertexId t = 0; t < 5; ++t) {
+      EXPECT_TRUE(index.Query(s, t)) << s << "->" << t;
+    }
+  }
+}
+
+TEST(PrunedTwoHopTest, InsertExistingEdgeIsNoop) {
+  const Digraph g = Chain(4);
+  PrunedTwoHop index;
+  index.Build(g);
+  const size_t before = index.TotalLabelEntries();
+  index.InsertEdge(0, 1);  // already present
+  EXPECT_EQ(index.TotalLabelEntries(), before);
+}
+
+class InsertStreamTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InsertStreamTest, IncrementalMatchesRebuiltIndex) {
+  const uint64_t seed = GetParam();
+  const VertexId n = 36;
+  Xoshiro256ss rng(seed);
+  std::vector<Edge> base_edges = RandomDigraph(n, 60, seed).Edges();
+  Digraph base = Digraph::FromEdges(n, base_edges);
+
+  PrunedTwoHop incremental(VertexOrder::kDegree);
+  incremental.Build(base);
+
+  std::vector<Edge> all_edges = base_edges;
+  for (int step = 0; step < 25; ++step) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    incremental.InsertEdge(u, v);
+    all_edges.push_back({u, v});
+  }
+  const Digraph full = Digraph::FromEdges(n, all_edges);
+  TransitiveClosure oracle;
+  oracle.Build(full);
+  for (VertexId s = 0; s < n; ++s) {
+    for (VertexId t = 0; t < n; ++t) {
+      ASSERT_EQ(incremental.Query(s, t), oracle.Query(s, t))
+          << s << "->" << t << " seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InsertStreamTest,
+                         ::testing::Values(111, 222, 333, 444, 555));
+
+TEST(PrunedTwoHopTest, RemoveEdgeAndRebuild) {
+  const Digraph g = Chain(5);
+  PrunedTwoHop index;
+  index.Build(g);
+  EXPECT_TRUE(index.Query(0, 4));
+  index.RemoveEdgeAndRebuild(2, 3);
+  EXPECT_FALSE(index.Query(0, 4));
+  EXPECT_TRUE(index.Query(0, 2));
+  EXPECT_TRUE(index.Query(3, 4));
+  // Removal also drops previously inserted edges correctly.
+  index.InsertEdge(2, 3);
+  EXPECT_TRUE(index.Query(0, 4));
+  index.RemoveEdgeAndRebuild(2, 3);
+  EXPECT_FALSE(index.Query(0, 4));
+}
+
+TEST(PrunedTwoHopTest, NamesReflectOrders) {
+  EXPECT_EQ(PrunedTwoHop(VertexOrder::kDegree).Name(), "pll");
+  EXPECT_EQ(PrunedTwoHop(VertexOrder::kTopological).Name(), "tfl");
+  EXPECT_EQ(PrunedTwoHop(VertexOrder::kRandom).Name(), "tol(random)");
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,156 @@
+#include "reduction/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/topological.h"
+#include "plain/registry.h"
+#include "reduction/reducing_index.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+namespace {
+
+TEST(TransitiveReductionTest, RemovesShortcutEdges) {
+  // 0->1->2 plus shortcut 0->2: the shortcut must go.
+  Digraph g = Digraph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  Digraph r = TransitiveReduction(g);
+  EXPECT_EQ(r.NumEdges(), 2u);
+  EXPECT_TRUE(r.HasEdge(0, 1));
+  EXPECT_TRUE(r.HasEdge(1, 2));
+  EXPECT_FALSE(r.HasEdge(0, 2));
+}
+
+TEST(TransitiveReductionTest, KeepsIrreducibleEdges) {
+  Digraph diamond = Digraph::FromEdges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  Digraph r = TransitiveReduction(diamond);
+  EXPECT_EQ(r.NumEdges(), 4u);
+}
+
+TEST(TransitiveReductionTest, ChainIsAlreadyReduced) {
+  Digraph r = TransitiveReduction(Chain(10));
+  EXPECT_EQ(r.NumEdges(), 9u);
+}
+
+class ReductionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReductionPropertyTest, TransitiveReductionPreservesReachability) {
+  const Digraph g = RandomDag(48, 200, GetParam());
+  const Digraph r = TransitiveReduction(g);
+  EXPECT_LE(r.NumEdges(), g.NumEdges());
+  EXPECT_TRUE(IsDag(r));
+  TransitiveClosure before, after;
+  before.Build(g);
+  after.Build(r);
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      ASSERT_EQ(before.Query(s, t), after.Query(s, t)) << s << "->" << t;
+    }
+  }
+}
+
+TEST_P(ReductionPropertyTest, TransitiveReductionIsIdempotent) {
+  const Digraph g = RandomDag(40, 160, GetParam() ^ 0x1);
+  const Digraph once = TransitiveReduction(g);
+  const Digraph twice = TransitiveReduction(once);
+  EXPECT_EQ(once.Edges(), twice.Edges());
+}
+
+TEST(EquivalenceReductionTest, MergesTwins) {
+  // 1 and 2 have identical in ({0}) and out ({3}) sets.
+  Digraph g = Digraph::FromEdges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  EquivalenceReduction er = ReduceEquivalentVertices(g);
+  EXPECT_EQ(er.merged, 1u);
+  EXPECT_EQ(er.graph.NumVertices(), 3u);
+  EXPECT_EQ(er.representative_of[1], er.representative_of[2]);
+  EXPECT_NE(er.representative_of[0], er.representative_of[3]);
+}
+
+TEST(EquivalenceReductionTest, NoFalseMerges) {
+  Digraph g = Chain(6);
+  EquivalenceReduction er = ReduceEquivalentVertices(g);
+  EXPECT_EQ(er.merged, 0u);
+  EXPECT_EQ(er.graph.NumVertices(), 6u);
+}
+
+TEST(EquivalenceReductionTest, WideFanMergesAggressively) {
+  // Star: 0 -> 1..20; all leaves are equivalent.
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v <= 20; ++v) edges.push_back({0, v});
+  EquivalenceReduction er =
+      ReduceEquivalentVertices(Digraph::FromEdges(21, edges));
+  EXPECT_EQ(er.merged, 19u);
+  EXPECT_EQ(er.graph.NumVertices(), 2u);
+}
+
+TEST_P(ReductionPropertyTest, EquivalenceReductionPreservesClassReachability) {
+  const Digraph g = RandomDag(40, 120, GetParam() ^ 0x2);
+  EquivalenceReduction er = ReduceEquivalentVertices(g);
+  TransitiveClosure before, after;
+  before.Build(g);
+  after.Build(er.graph);
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      if (s == t) continue;
+      const VertexId rs = er.representative_of[s];
+      const VertexId rt = er.representative_of[t];
+      // Merged distinct vertices are mutually unreachable in a DAG.
+      const bool expected = before.Query(s, t);
+      const bool mapped = (rs == rt) ? false : after.Query(rs, rt);
+      ASSERT_EQ(mapped, expected) << s << "->" << t;
+    }
+  }
+}
+
+TEST_P(ReductionPropertyTest, ReducingIndexIsExactOnCyclicGraphs) {
+  const Digraph g = RandomDigraph(44, 130, GetParam() ^ 0x3);
+  TransitiveClosure oracle;
+  oracle.Build(g);
+  for (const bool er : {false, true}) {
+    for (const bool tr : {false, true}) {
+      ReducingIndex index(MakePlainIndex("pll"), er, tr);
+      index.Build(g);
+      for (VertexId s = 0; s < g.NumVertices(); ++s) {
+        for (VertexId t = 0; t < g.NumVertices(); ++t) {
+          ASSERT_EQ(index.Query(s, t), oracle.Query(s, t))
+              << "er=" << er << " tr=" << tr << " " << s << "->" << t;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionPropertyTest,
+                         ::testing::Values(191, 192, 193, 194));
+
+TEST(ReducingIndexTest, ReductionShrinksTheIndexedGraph) {
+  // A fan (0 -> 1..10 -> 11, all equivalent middles) with a shortcut edge
+  // 0 -> 11: ER merges the middle layer, TR drops the shortcut.
+  std::vector<Edge> edges = {{0, 11}};
+  for (VertexId v = 1; v <= 10; ++v) {
+    edges.push_back({0, v});
+    edges.push_back({v, 11});
+  }
+  const Digraph g = Digraph::FromEdges(12, edges);
+  ReducingIndex reduced(MakePlainIndex("pll"), /*er=*/true, /*tr=*/true);
+  reduced.Build(g);
+  EXPECT_EQ(reduced.ReducedNumVertices(), 3u);
+  EXPECT_EQ(reduced.ReducedNumEdges(), 2u);
+  EXPECT_EQ(reduced.Name(), "reduce(er+tr)+pll");
+  EXPECT_TRUE(reduced.Query(0, 11));
+  EXPECT_TRUE(reduced.Query(3, 11));
+  EXPECT_FALSE(reduced.Query(3, 4));  // merged twins are not mutually reachable
+}
+
+TEST(ReducingIndexTest, CompletenessFollowsInner) {
+  const Digraph g = Chain(5);
+  ReducingIndex complete(MakePlainIndex("pll"), true, false);
+  ReducingIndex partial(MakePlainIndex("grail"), true, false);
+  complete.Build(g);
+  partial.Build(g);
+  EXPECT_TRUE(complete.IsComplete());
+  EXPECT_FALSE(partial.IsComplete());
+}
+
+}  // namespace
+}  // namespace reach

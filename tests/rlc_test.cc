@@ -1,0 +1,170 @@
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/figure1.h"
+#include "graph/generators.h"
+#include "rlc/kleene_sequence.h"
+#include "rlc/rlc_index.h"
+#include "rlc/rlc_product_bfs.h"
+
+namespace reach {
+namespace {
+
+// Independent oracle: exhaustive DFS over (vertex, phase) states with its
+// own visited bookkeeping.
+bool BruteRlc(const LabeledDigraph& g, VertexId s, VertexId t,
+              const KleeneSequence& seq) {
+  if (s == t) return true;
+  if (seq.empty()) return false;
+  const size_t k = seq.size();
+  std::vector<bool> seen(g.NumVertices() * k, false);
+  std::function<bool(VertexId, size_t)> dfs = [&](VertexId v, size_t phase) {
+    for (const auto& arc : g.OutArcs(v)) {
+      if (arc.label != seq[phase]) continue;
+      const size_t next = (phase + 1) % k;
+      if (arc.vertex == t && next == 0) return true;
+      if (!seen[arc.vertex * k + next]) {
+        seen[arc.vertex * k + next] = true;
+        if (dfs(arc.vertex, next)) return true;
+      }
+    }
+    return false;
+  };
+  return dfs(s, 0);
+}
+
+TEST(KleeneSequenceTest, MinimumRepeat) {
+  EXPECT_EQ(MinimumRepeat({0, 1, 0, 1}), (KleeneSequence{0, 1}));
+  EXPECT_EQ(MinimumRepeat({2, 2, 2}), (KleeneSequence{2}));
+  EXPECT_EQ(MinimumRepeat({0, 1, 2}), (KleeneSequence{0, 1, 2}));
+  EXPECT_EQ(MinimumRepeat({0, 1, 0}), (KleeneSequence{0, 1, 0}));
+  EXPECT_EQ(MinimumRepeat({}), (KleeneSequence{}));
+}
+
+TEST(KleeneSequenceTest, ToString) {
+  const std::vector<std::string> names = {"a", "b"};
+  EXPECT_EQ(KleeneSequenceToString({0, 1}, names), "(a·b)*");
+  EXPECT_EQ(KleeneSequenceToString({1, 5}, names), "(b·5)*");
+}
+
+TEST(RlcProductBfsTest, Figure1PaperQuery) {
+  // §4.2: Qr(L, B, (worksFor · friendOf)*) = true via
+  // (L, worksFor, D, friendOf, H, worksFor, G, friendOf, B).
+  using namespace figure1;
+  const LabeledDigraph g = LabeledGraph();
+  SearchWorkspace ws;
+  EXPECT_TRUE(RlcProductBfsReachability(g, kL, kB,
+                                        {kWorksFor, kFriendOf}, ws));
+  // The reversed concatenation does not hold from L to B.
+  EXPECT_FALSE(RlcProductBfsReachability(g, kL, kB,
+                                         {kFriendOf, kWorksFor}, ws));
+  // One-label concatenation: L reaches M under (worksFor)* via p1.
+  EXPECT_TRUE(RlcProductBfsReachability(g, kL, kM, {kWorksFor}, ws));
+}
+
+TEST(RlcProductBfsTest, RepeatCountSemantics) {
+  // 0 -a-> 1 -b-> 2 -a-> 3 -b-> 4.
+  const LabeledDigraph g = LabeledDigraph::FromEdges(
+      5, 2, {{0, 1, 0}, {1, 2, 1}, {2, 3, 0}, {3, 4, 1}});
+  SearchWorkspace ws;
+  const KleeneSequence ab = {0, 1}, abab = {0, 1, 0, 1};
+  EXPECT_TRUE(RlcProductBfsReachability(g, 0, 2, ab, ws));   // 1 repeat
+  EXPECT_TRUE(RlcProductBfsReachability(g, 0, 4, ab, ws));   // 2 repeats
+  EXPECT_FALSE(RlcProductBfsReachability(g, 0, 3, ab, ws));  // mid-repeat
+  EXPECT_FALSE(RlcProductBfsReachability(g, 0, 1, ab, ws));
+  // (abab)* is a strict subset of (ab)*: only even numbers of ab repeats.
+  EXPECT_TRUE(RlcProductBfsReachability(g, 0, 4, abab, ws));
+  EXPECT_FALSE(RlcProductBfsReachability(g, 0, 2, abab, ws));
+}
+
+TEST(RlcProductBfsTest, ZeroRepeatsAndEmptySequence) {
+  const LabeledDigraph g = LabeledDigraph::FromEdges(2, 1, {{0, 1, 0}});
+  SearchWorkspace ws;
+  EXPECT_TRUE(RlcProductBfsReachability(g, 0, 0, {0}, ws));
+  EXPECT_TRUE(RlcProductBfsReachability(g, 1, 1, {}, ws));
+  EXPECT_FALSE(RlcProductBfsReachability(g, 0, 1, {}, ws));
+}
+
+TEST(RlcProductBfsTest, CyclesAllowUnboundedRepeats) {
+  // Directed triangle labeled a, b, a... wait: labels a,b alternate needs
+  // even cycle. Square: 0-a->1-b->2-a->3-b->0.
+  const LabeledDigraph g = LabeledDigraph::FromEdges(
+      4, 2, {{0, 1, 0}, {1, 2, 1}, {2, 3, 0}, {3, 0, 1}});
+  SearchWorkspace ws;
+  const KleeneSequence ab = {0, 1};
+  for (VertexId t : {0u, 2u}) {
+    EXPECT_TRUE(RlcProductBfsReachability(g, 0, t, ab, ws)) << t;
+  }
+  EXPECT_FALSE(RlcProductBfsReachability(g, 0, 1, ab, ws));
+  EXPECT_FALSE(RlcProductBfsReachability(g, 0, 3, ab, ws));
+}
+
+TEST(RlcIndexTest, IndexedTemplateMatchesBaseline) {
+  using namespace figure1;
+  const LabeledDigraph g = LabeledGraph();
+  RlcIndex index;
+  index.Build(g, {{kWorksFor, kFriendOf}, {kWorksFor}});
+  EXPECT_TRUE(index.IsIndexed({kWorksFor, kFriendOf}));
+  EXPECT_FALSE(index.IsIndexed({kFriendOf, kWorksFor}));
+  EXPECT_TRUE(index.Query(kL, kB, {kWorksFor, kFriendOf}));
+  EXPECT_TRUE(index.Query(kL, kM, {kWorksFor}));
+  EXPECT_FALSE(index.Query(kA, kM, {kWorksFor}));
+  // Unindexed sequences fall back to the online product BFS.
+  EXPECT_FALSE(index.Query(kL, kB, {kFriendOf, kWorksFor}));
+  EXPECT_TRUE(index.Query(kL, kH, {kWorksFor}));
+}
+
+class RlcPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RlcPropertyTest, ProductBfsMatchesBruteForce) {
+  const uint64_t seed = GetParam();
+  const LabeledDigraph g = RandomLabeledDigraph(18, 80, 3, seed);
+  SearchWorkspace ws;
+  const std::vector<KleeneSequence> sequences = {
+      {0}, {1}, {0, 1}, {1, 2}, {0, 1, 2}, {2, 2}};
+  for (const auto& seq : sequences) {
+    for (VertexId s = 0; s < g.NumVertices(); s += 2) {
+      for (VertexId t = 0; t < g.NumVertices(); t += 2) {
+        ASSERT_EQ(RlcProductBfsReachability(g, s, t, seq, ws),
+                  BruteRlc(g, s, t, seq))
+            << s << "->" << t << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST_P(RlcPropertyTest, IndexMatchesBaselineOnAllPairs) {
+  const uint64_t seed = GetParam();
+  const LabeledDigraph g = RandomLabeledDigraph(20, 110, 3, seed);
+  const std::vector<KleeneSequence> templates = {
+      {0}, {0, 1}, {1, 2, 0}, {2, 2}};
+  RlcIndex index;
+  index.Build(g, templates);
+  SearchWorkspace ws;
+  for (const auto& seq : templates) {
+    for (VertexId s = 0; s < g.NumVertices(); ++s) {
+      for (VertexId t = 0; t < g.NumVertices(); ++t) {
+        ASSERT_EQ(index.Query(s, t, seq),
+                  RlcProductBfsReachability(g, s, t, seq, ws))
+            << s << "->" << t << " seed " << seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RlcPropertyTest,
+                         ::testing::Values(171, 172, 173, 174));
+
+TEST(RlcIndexTest, SizeAndTemplateAccounting) {
+  const LabeledDigraph g = RandomLabeledDigraph(30, 120, 3, 5);
+  RlcIndex index;
+  index.Build(g, {{0, 1}, {2}});
+  EXPECT_EQ(index.NumTemplates(), 2u);
+  EXPECT_GT(index.IndexSizeBytes(), 0u);
+  EXPECT_EQ(index.Name(), "rlc");
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,88 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/figure1.h"
+#include "graph/generators.h"
+#include "rpq/nfa.h"
+#include "rpq/regex_parser.h"
+#include "rpq/rpq_evaluator.h"
+
+namespace reach {
+namespace {
+
+const std::vector<std::string> kAbc = {"a", "b", "c"};
+
+Dfa Compile(const std::string& pattern, Label num_labels = 3) {
+  auto ast = ParseRegex(pattern, kAbc);
+  EXPECT_NE(ast, nullptr) << pattern;
+  return TrimDfa(MinimizeDfa(BuildDfa(BuildNfa(*ast), num_labels)));
+}
+
+TEST(RpqBidirectionalTest, Figure1Queries) {
+  using namespace figure1;
+  const LabeledDigraph g = LabeledGraph();
+  SearchWorkspace ws;
+  auto fig_dfa = [&](const std::string& pattern) {
+    auto ast = ParseRegex(pattern, g.label_names());
+    EXPECT_NE(ast, nullptr);
+    return TrimDfa(MinimizeDfa(BuildDfa(BuildNfa(*ast), kNumLabels)));
+  };
+  const Dfa social = fig_dfa("(friendOf|follows)*");
+  EXPECT_FALSE(RpqBidirectionalBfs(g, kA, kG, social, ws));
+  const Dfa concat = fig_dfa("(worksFor.friendOf)*");
+  EXPECT_TRUE(RpqBidirectionalBfs(g, kL, kB, concat, ws));
+  EXPECT_TRUE(RpqBidirectionalBfs(g, kC, kC, social, ws));  // empty word
+}
+
+class RpqBidiPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RpqBidiPropertyTest, AgreesWithForwardEverywhere) {
+  const uint64_t seed = GetParam();
+  const LabeledDigraph g = RandomLabeledDigraph(18, 80, 3, seed);
+  SearchWorkspace fwd_ws, bidi_ws;
+  for (const char* pattern :
+       {"(a|b)*", "(a.b)*", "a+.b", "a*.(b|c).a*", "c", "(a|b|c)+"}) {
+    const Dfa dfa = Compile(pattern);
+    for (VertexId s = 0; s < g.NumVertices(); ++s) {
+      for (VertexId t = 0; t < g.NumVertices(); ++t) {
+        ASSERT_EQ(RpqBidirectionalBfs(g, s, t, dfa, bidi_ws),
+                  RpqProductBfs(g, s, t, dfa, fwd_ws))
+            << pattern << " " << s << "->" << t << " seed " << seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RpqBidiPropertyTest,
+                         ::testing::Values(281, 282, 283, 284));
+
+TEST(RpqBidirectionalTest, VisitsFewerStatesOnSelectiveTargets) {
+  // Wide fan from s, but the constraint's final label is rare near t:
+  // the backward frontier settles negatives cheaply.
+  std::vector<LabeledEdge> edges;
+  for (VertexId v = 2; v < 800; ++v) edges.push_back({0, v, 0});
+  edges.push_back({1, 2, 1});  // t = 1 has no incoming edges at all
+  const LabeledDigraph g = LabeledDigraph::FromEdges(800, 2, edges);
+  const Dfa dfa = Compile("(a|b)*", 2);
+  SearchWorkspace ws;
+  size_t forward_visits = 0, bidi_visits = 0;
+  EXPECT_FALSE(RpqProductBfs(g, 0, 1, dfa, ws, &forward_visits));
+  EXPECT_FALSE(RpqBidirectionalBfs(g, 0, 1, dfa, ws, &bidi_visits));
+  EXPECT_LT(bidi_visits, forward_visits / 10);
+}
+
+TEST(RpqBidirectionalTest, NoAcceptingStatesMeansFalse) {
+  // A pattern over label c on a graph with only a/b edges: after trimming
+  // the DFA may keep states, but no product path exists.
+  const LabeledDigraph g = RandomLabeledDigraph(10, 40, 2, 3);
+  const Dfa dfa = Compile("c.c", 3);
+  SearchWorkspace ws;
+  for (VertexId s = 0; s < 10; ++s) {
+    EXPECT_FALSE(RpqBidirectionalBfs(g, s, (s + 1) % 10, dfa, ws));
+  }
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,107 @@
+// Randomized differential fuzzing of the whole RPQ pipeline: generated
+// regexes are run through four independent engines — NFA simulation, raw
+// subset DFA, minimized+trimmed DFA, and the two product evaluators — and
+// all must agree on random words and random graph queries.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/rng.h"
+#include "rpq/dfa.h"
+#include "rpq/nfa.h"
+#include "rpq/regex_parser.h"
+#include "rpq/rpq_evaluator.h"
+
+namespace reach {
+namespace {
+
+const std::vector<std::string> kNames = {"a", "b", "c"};
+
+// Random regex generator over {a, b, c} with bounded depth.
+std::string RandomPattern(Xoshiro256ss& rng, int depth) {
+  if (depth <= 0 || rng.NextBounded(4) == 0) {
+    return kNames[rng.NextBounded(3)];
+  }
+  switch (rng.NextBounded(4)) {
+    case 0:
+      return "(" + RandomPattern(rng, depth - 1) + "." +
+             RandomPattern(rng, depth - 1) + ")";
+    case 1:
+      return "(" + RandomPattern(rng, depth - 1) + "|" +
+             RandomPattern(rng, depth - 1) + ")";
+    case 2:
+      return "(" + RandomPattern(rng, depth - 1) + ")*";
+    default:
+      return "(" + RandomPattern(rng, depth - 1) + ")+";
+  }
+}
+
+class RpqFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RpqFuzzTest, AllAutomataAgreeOnRandomWords) {
+  Xoshiro256ss rng(GetParam());
+  for (int round = 0; round < 40; ++round) {
+    const std::string pattern = RandomPattern(rng, 3);
+    auto ast = ParseRegex(pattern, kNames);
+    ASSERT_NE(ast, nullptr) << pattern;
+    const Nfa nfa = BuildNfa(*ast);
+    const Dfa dfa = BuildDfa(nfa, 3);
+    const Dfa optimized = TrimDfa(MinimizeDfa(dfa));
+    for (int w = 0; w < 30; ++w) {
+      std::vector<Label> word(rng.NextBounded(7));
+      for (Label& l : word) l = static_cast<Label>(rng.NextBounded(3));
+      const bool expected = nfa.Accepts(word);
+      ASSERT_EQ(dfa.Accepts(word), expected) << pattern;
+      ASSERT_EQ(optimized.Accepts(word), expected) << pattern;
+    }
+  }
+}
+
+TEST_P(RpqFuzzTest, EvaluatorsAgreeOnRandomGraphQueries) {
+  Xoshiro256ss rng(GetParam() ^ 0xf2);
+  const LabeledDigraph g = RandomLabeledDigraph(14, 60, 3, GetParam());
+  SearchWorkspace fwd_ws, bidi_ws;
+  for (int round = 0; round < 12; ++round) {
+    const std::string pattern = RandomPattern(rng, 3);
+    auto ast = ParseRegex(pattern, kNames);
+    ASSERT_NE(ast, nullptr) << pattern;
+    const Dfa dfa = TrimDfa(MinimizeDfa(BuildDfa(BuildNfa(*ast), 3)));
+    for (VertexId s = 0; s < g.NumVertices(); ++s) {
+      for (VertexId t = 0; t < g.NumVertices(); ++t) {
+        const bool forward = RpqProductBfs(g, s, t, dfa, fwd_ws);
+        ASSERT_EQ(RpqBidirectionalBfs(g, s, t, dfa, bidi_ws), forward)
+            << pattern << " " << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST_P(RpqFuzzTest, RoundTripThroughToString) {
+  // Parsing the canonical rendering must preserve the language.
+  Xoshiro256ss rng(GetParam() ^ 0x77);
+  for (int round = 0; round < 25; ++round) {
+    const std::string pattern = RandomPattern(rng, 3);
+    auto ast = ParseRegex(pattern, kNames);
+    ASSERT_NE(ast, nullptr);
+    const std::string rendered = RegexToString(*ast, kNames);
+    auto reparsed = ParseRegex(rendered, kNames);
+    ASSERT_NE(reparsed, nullptr) << rendered;
+    const Nfa a = BuildNfa(*ast);
+    const Nfa b = BuildNfa(*reparsed);
+    for (int w = 0; w < 20; ++w) {
+      std::vector<Label> word(rng.NextBounded(6));
+      for (Label& l : word) l = static_cast<Label>(rng.NextBounded(3));
+      ASSERT_EQ(a.Accepts(word), b.Accepts(word))
+          << pattern << " vs " << rendered;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RpqFuzzTest,
+                         ::testing::Values(301, 302, 303, 304));
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,82 @@
+#include "rpq/rpq_template_index.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/figure1.h"
+#include "graph/generators.h"
+#include "rpq/rpq_evaluator.h"
+
+namespace reach {
+namespace {
+
+const std::vector<std::string> kAbc = {"a", "b", "c"};
+
+TEST(RpqTemplateIndexTest, Figure1GeneralConstraints) {
+  using namespace figure1;
+  const LabeledDigraph g = LabeledGraph();
+  RpqTemplateIndex index;
+  ASSERT_TRUE(index.Build(g,
+                          {"(friendOf|follows)*", "(worksFor.friendOf)*",
+                           "worksFor+.friendOf"},
+                          g.label_names()));
+  EXPECT_EQ(index.NumTemplates(), 3u);
+  // §2.2 alternation example.
+  EXPECT_FALSE(index.Query(kA, kG, "(friendOf|follows)*"));
+  // §4.2 concatenation example.
+  EXPECT_TRUE(index.Query(kL, kB, "(worksFor.friendOf)*"));
+  // A mixed constraint neither Table 2 class covers.
+  EXPECT_TRUE(index.Query(kL, kB, "worksFor+.friendOf"));
+  EXPECT_FALSE(index.Query(kA, kB, "worksFor+.friendOf"));
+  // Unregistered pattern falls back to evaluation.
+  EXPECT_FALSE(index.IsIndexed("friendOf"));
+  EXPECT_TRUE(index.Query(kG, kB, "friendOf"));
+}
+
+TEST(RpqTemplateIndexTest, RejectsBadPatternsAtomically) {
+  const LabeledDigraph g = RandomLabeledDigraph(10, 30, 3, 1);
+  RpqTemplateIndex index;
+  std::string error;
+  EXPECT_FALSE(index.Build(g, {"(a|b)*", "((broken"}, kAbc, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(index.NumTemplates(), 0u);
+}
+
+TEST(RpqTemplateIndexTest, EmptyWordSemantics) {
+  const LabeledDigraph g = RandomLabeledDigraph(8, 16, 3, 2);
+  RpqTemplateIndex index;
+  ASSERT_TRUE(index.Build(g, {"(a)*", "a+"}, kAbc));
+  // Star accepts the empty word: reflexive.
+  EXPECT_TRUE(index.Query(3, 3, "(a)*"));
+  // Plus does not: Qr(v, v, a+) needs an actual a-cycle through v.
+  bool has_a_self_cycle = index.Query(3, 3, "a+");
+  SearchWorkspace ws;
+  auto oracle = RpqQuery::Compile("a+", kAbc, 3);
+  EXPECT_EQ(has_a_self_cycle, oracle->Evaluate(g, 3, 3));
+}
+
+class RpqTemplatePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RpqTemplatePropertyTest, IndexedAnswersMatchEvaluator) {
+  const uint64_t seed = GetParam();
+  const LabeledDigraph g = RandomLabeledDigraph(16, 70, 3, seed);
+  const std::vector<std::string> patterns = {
+      "(a|b)*", "(a.b)*", "a*.(b|c).a*", "a+.b+", "(a.b|c)*", "c"};
+  RpqTemplateIndex index;
+  ASSERT_TRUE(index.Build(g, patterns, kAbc));
+  for (const std::string& pattern : patterns) {
+    auto oracle = RpqQuery::Compile(pattern, kAbc, 3);
+    ASSERT_NE(oracle, nullptr);
+    for (VertexId s = 0; s < g.NumVertices(); ++s) {
+      for (VertexId t = 0; t < g.NumVertices(); ++t) {
+        ASSERT_EQ(index.Query(s, t, pattern), oracle->Evaluate(g, s, t))
+            << pattern << " " << s << "->" << t << " seed " << seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RpqTemplatePropertyTest,
+                         ::testing::Values(261, 262, 263));
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,220 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/figure1.h"
+#include "graph/generators.h"
+#include "lcr/label_set.h"
+#include "lcr/lcr_bfs.h"
+#include "rlc/rlc_product_bfs.h"
+#include "rpq/dfa.h"
+#include "rpq/nfa.h"
+#include "rpq/regex_parser.h"
+#include "rpq/rpq_evaluator.h"
+
+namespace reach {
+namespace {
+
+const std::vector<std::string> kAb = {"a", "b", "c"};
+
+TEST(RegexParserTest, SingleLabel) {
+  auto ast = ParseRegex("a", kAb);
+  ASSERT_NE(ast, nullptr);
+  EXPECT_EQ(ast->kind, RegexNode::Kind::kLabel);
+  EXPECT_EQ(ast->label, 0u);
+}
+
+TEST(RegexParserTest, NumericLabels) {
+  auto ast = ParseRegex("17", {});
+  ASSERT_NE(ast, nullptr);
+  EXPECT_EQ(ast->label, 17u);
+}
+
+TEST(RegexParserTest, PrecedenceKleeneOverConcatOverAlt) {
+  auto ast = ParseRegex("a.b|c*", kAb);
+  ASSERT_NE(ast, nullptr);
+  EXPECT_EQ(ast->kind, RegexNode::Kind::kAlternation);
+  EXPECT_EQ(ast->left->kind, RegexNode::Kind::kConcat);
+  EXPECT_EQ(ast->right->kind, RegexNode::Kind::kStar);
+}
+
+TEST(RegexParserTest, UnicodeOperators) {
+  auto a = ParseRegex("(a\xc2\xb7"           // a·b
+                      "b)*",
+                      kAb);
+  auto b = ParseRegex("(a.b)*", kAb);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(RegexToString(*a, kAb), RegexToString(*b, kAb));
+  auto c = ParseRegex("a\xe2\x88\xaa"  // a∪b
+                      "b",
+                      kAb);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, RegexNode::Kind::kAlternation);
+}
+
+TEST(RegexParserTest, Whitespace) {
+  EXPECT_NE(ParseRegex("  ( a . b ) *  ", kAb), nullptr);
+}
+
+TEST(RegexParserTest, Errors) {
+  std::string error;
+  EXPECT_EQ(ParseRegex("", kAb, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(ParseRegex("(a.b", kAb, &error), nullptr);
+  EXPECT_EQ(ParseRegex("a..b", kAb, &error), nullptr);
+  EXPECT_EQ(ParseRegex("unknownLabel", kAb, &error), nullptr);
+  EXPECT_NE(error.find("unknown"), std::string::npos);
+  EXPECT_EQ(ParseRegex("a)b", kAb, &error), nullptr);
+  EXPECT_EQ(ParseRegex("99", kAb, &error), nullptr);  // out of range
+}
+
+Dfa CompileDfa(const std::string& pattern, Label num_labels = 3) {
+  auto ast = ParseRegex(pattern, kAb);
+  EXPECT_NE(ast, nullptr) << pattern;
+  return BuildDfa(BuildNfa(*ast), num_labels);
+}
+
+TEST(NfaDfaTest, LanguageMembershipAgree) {
+  const std::vector<std::string> patterns = {
+      "a",       "a.b",      "a|b",      "a*",          "a+",
+      "(a.b)*",  "(a|b)*",   "(a.b)+",   "a.(b|c)*",    "((a|b).c)*",
+      "a*.b*",   "(a+|b+)*", "a.b.c",    "(a.a)*|(b)*",
+  };
+  const std::vector<std::vector<Label>> words = {
+      {},        {0},       {1},       {0, 1},    {1, 0},  {0, 0},
+      {0, 1, 2}, {0, 1, 0}, {2, 2, 2}, {0, 0, 1}, {1, 1},  {0, 1, 0, 1},
+  };
+  for (const auto& pattern : patterns) {
+    auto ast = ParseRegex(pattern, kAb);
+    ASSERT_NE(ast, nullptr) << pattern;
+    const Nfa nfa = BuildNfa(*ast);
+    const Dfa dfa = BuildDfa(nfa, 3);
+    for (const auto& word : words) {
+      EXPECT_EQ(nfa.Accepts(word), dfa.Accepts(word))
+          << pattern << " on word size " << word.size();
+    }
+  }
+}
+
+TEST(NfaDfaTest, KnownLanguages) {
+  const Dfa star = CompileDfa("(a.b)*");
+  EXPECT_TRUE(star.Accepts({}));
+  EXPECT_TRUE(star.Accepts({0, 1}));
+  EXPECT_TRUE(star.Accepts({0, 1, 0, 1}));
+  EXPECT_FALSE(star.Accepts({0}));
+  EXPECT_FALSE(star.Accepts({1, 0}));
+
+  const Dfa plus = CompileDfa("(a.b)+");
+  EXPECT_FALSE(plus.Accepts({}));
+  EXPECT_TRUE(plus.Accepts({0, 1}));
+
+  const Dfa alt = CompileDfa("(a|b)*");
+  EXPECT_TRUE(alt.Accepts({0, 1, 1, 0}));
+  EXPECT_FALSE(alt.Accepts({2}));
+}
+
+TEST(RpqEvaluatorTest, Figure1PaperQueries) {
+  using namespace figure1;
+  const LabeledDigraph g = LabeledGraph();
+  const auto& names = g.label_names();
+  // §2.2: Qr(A, G, (friendOf ∪ follows)*) = false.
+  auto q1 = RpqQuery::Compile("(friendOf|follows)*", names, kNumLabels);
+  ASSERT_NE(q1, nullptr);
+  EXPECT_FALSE(q1->Evaluate(g, kA, kG));
+  // §4.2: Qr(L, B, (worksFor · friendOf)*) = true.
+  auto q2 = RpqQuery::Compile("(worksFor.friendOf)*", names, kNumLabels);
+  ASSERT_NE(q2, nullptr);
+  EXPECT_TRUE(q2->Evaluate(g, kL, kB));
+  // Plain reachability as the universal constraint: Qr(A, G) = true.
+  auto q3 = RpqQuery::Compile("(friendOf|follows|worksFor)*", names,
+                              kNumLabels);
+  ASSERT_NE(q3, nullptr);
+  EXPECT_TRUE(q3->Evaluate(g, kA, kG));
+  // Non-Kleene constraint: a single worksFor edge.
+  auto q4 = RpqQuery::Compile("worksFor", names, kNumLabels);
+  ASSERT_NE(q4, nullptr);
+  EXPECT_TRUE(q4->Evaluate(g, kH, kG));
+  EXPECT_FALSE(q4->Evaluate(g, kA, kG));
+}
+
+class RpqCrossCheckTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RpqCrossCheckTest, AlternationStarMatchesLcrBfs) {
+  const uint64_t seed = GetParam();
+  const LabeledDigraph g = RandomLabeledDigraph(20, 80, 3, seed);
+  SearchWorkspace ws;
+  const struct {
+    const char* pattern;
+    LabelSet mask;
+  } cases[] = {
+      {"(a)*", 0b001},
+      {"(a|b)*", 0b011},
+      {"(a|c)*", 0b101},
+      {"(a|b|c)*", 0b111},
+  };
+  for (const auto& c : cases) {
+    auto query = RpqQuery::Compile(c.pattern, kAb, 3);
+    ASSERT_NE(query, nullptr);
+    for (VertexId s = 0; s < g.NumVertices(); ++s) {
+      for (VertexId t = 0; t < g.NumVertices(); ++t) {
+        ASSERT_EQ(query->Evaluate(g, s, t),
+                  LcrBfsReachability(g, s, t, c.mask, ws))
+            << c.pattern << " " << s << "->" << t << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST_P(RpqCrossCheckTest, ConcatenationStarMatchesRlcProductBfs) {
+  const uint64_t seed = GetParam();
+  const LabeledDigraph g = RandomLabeledDigraph(18, 90, 3, seed);
+  SearchWorkspace ws;
+  const struct {
+    const char* pattern;
+    KleeneSequence seq;
+  } cases[] = {
+      {"(a.b)*", {0, 1}},
+      {"(b.c)*", {1, 2}},
+      {"(a.b.c)*", {0, 1, 2}},
+      {"(a)*", {0}},
+  };
+  for (const auto& c : cases) {
+    auto query = RpqQuery::Compile(c.pattern, kAb, 3);
+    ASSERT_NE(query, nullptr);
+    for (VertexId s = 0; s < g.NumVertices(); ++s) {
+      for (VertexId t = 0; t < g.NumVertices(); ++t) {
+        ASSERT_EQ(query->Evaluate(g, s, t),
+                  RlcProductBfsReachability(g, s, t, c.seq, ws))
+            << c.pattern << " " << s << "->" << t << " seed " << seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RpqCrossCheckTest,
+                         ::testing::Values(181, 182, 183, 184));
+
+TEST(RpqEvaluatorTest, MixedConstraintBeyondLcrAndRlc) {
+  // worksFor+ · friendOf — expressible neither as pure alternation-star
+  // nor as pure concatenation-star (the §5 generality gap).
+  using namespace figure1;
+  const LabeledDigraph g = LabeledGraph();
+  auto query =
+      RpqQuery::Compile("worksFor+.friendOf", g.label_names(), kNumLabels);
+  ASSERT_NE(query, nullptr);
+  // L -worksFor-> C -worksFor-> M -friendOf-> B.
+  EXPECT_TRUE(query->Evaluate(g, kL, kB));
+  // H -worksFor-> G -friendOf-> B.
+  EXPECT_TRUE(query->Evaluate(g, kH, kB));
+  // A's first edge is follows: no match.
+  EXPECT_FALSE(query->Evaluate(g, kA, kB));
+  // Zero worksFor repeats not allowed by '+': D -friendOf-> H alone fails.
+  auto strict = RpqQuery::Compile("worksFor+.friendOf", g.label_names(),
+                                  kNumLabels);
+  EXPECT_FALSE(strict->Evaluate(g, kD, kH));
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,69 @@
+#include "core/scc_condensing_index.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "plain/tree_cover.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+namespace {
+
+TEST(SccCondensingIndexTest, SameSccShortCircuits) {
+  const Digraph g = Cycle(6);
+  SccCondensingIndex index(std::make_unique<TreeCover>());
+  index.Build(g);
+  for (VertexId s = 0; s < 6; ++s) {
+    for (VertexId t = 0; t < 6; ++t) EXPECT_TRUE(index.Query(s, t));
+  }
+  // The inner DAG index saw a single vertex.
+  EXPECT_EQ(index.condensation().dag.NumVertices(), 1u);
+}
+
+TEST(SccCondensingIndexTest, NamePrefixesInner) {
+  SccCondensingIndex index(std::make_unique<TreeCover>());
+  const Digraph g = Chain(3);
+  index.Build(g);
+  EXPECT_EQ(index.Name(), "scc+treecover");
+  EXPECT_TRUE(index.IsComplete());
+}
+
+TEST(SccCondensingIndexTest, SizeIncludesComponentMap) {
+  const Digraph g = Chain(100);
+  SccCondensingIndex index(std::make_unique<TreeCover>());
+  index.Build(g);
+  TreeCover bare;
+  bare.Build(g);
+  EXPECT_EQ(index.IndexSizeBytes(),
+            bare.IndexSizeBytes() + 100 * sizeof(VertexId));
+}
+
+TEST(SccCondensingIndexTest, MakeCondensingHelper) {
+  auto index = MakeCondensing<TreeCover>();
+  const Digraph g = RandomDigraph(30, 90, 5);
+  index->Build(g);
+  TransitiveClosure oracle;
+  oracle.Build(g);
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      ASSERT_EQ(index->Query(s, t), oracle.Query(s, t));
+    }
+  }
+}
+
+TEST(SccCondensingIndexTest, MixedSccSizes) {
+  // Two 3-cycles bridged by a chain, plus an isolated vertex.
+  const Digraph g = Digraph::FromEdges(
+      8, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 4}});
+  SccCondensingIndex index(std::make_unique<TreeCover>());
+  index.Build(g);
+  EXPECT_TRUE(index.Query(0, 6));
+  EXPECT_TRUE(index.Query(6, 4));
+  EXPECT_FALSE(index.Query(4, 0));
+  EXPECT_FALSE(index.Query(7, 0));
+  EXPECT_TRUE(index.Query(7, 7));
+  EXPECT_EQ(index.condensation().dag.NumVertices(), 4u);
+}
+
+}  // namespace
+}  // namespace reach

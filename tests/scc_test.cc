@@ -1,0 +1,126 @@
+#include "graph/scc.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace reach {
+namespace {
+
+// Brute-force mutual reachability via DFS, for cross-checking.
+bool Reaches(const Digraph& g, VertexId s, VertexId t) {
+  std::vector<bool> seen(g.NumVertices(), false);
+  std::vector<VertexId> stack = {s};
+  seen[s] = true;
+  while (!stack.empty()) {
+    VertexId v = stack.back();
+    stack.pop_back();
+    if (v == t) return true;
+    for (VertexId w : g.OutNeighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+TEST(SccTest, SingleVertex) {
+  Digraph g = Digraph::FromEdges(1, {});
+  SccDecomposition scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 1u);
+}
+
+TEST(SccTest, DagHasSingletonComponents) {
+  Digraph g = Digraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  SccDecomposition scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 4u);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) {
+      EXPECT_FALSE(scc.SameComponent(u, v));
+    }
+  }
+}
+
+TEST(SccTest, SingleCycleIsOneComponent) {
+  Digraph g = Cycle(6);
+  SccDecomposition scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 1u);
+  for (VertexId v = 1; v < 6; ++v) EXPECT_TRUE(scc.SameComponent(0, v));
+}
+
+TEST(SccTest, TwoCyclesJoinedByBridge) {
+  // 0 <-> 1 -> 2 <-> 3
+  Digraph g = Digraph::FromEdges(4, {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}});
+  SccDecomposition scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_TRUE(scc.SameComponent(0, 1));
+  EXPECT_TRUE(scc.SameComponent(2, 3));
+  EXPECT_FALSE(scc.SameComponent(1, 2));
+}
+
+TEST(SccTest, ComponentIdsAreReverseTopological) {
+  // Edge between components (A -> B) must satisfy id(A) > id(B).
+  Digraph g = Digraph::FromEdges(
+      6, {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}, {3, 4}, {4, 5}, {5, 4}});
+  SccDecomposition scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 3u);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId w : g.OutNeighbors(v)) {
+      if (!scc.SameComponent(v, w)) {
+        EXPECT_GT(scc.component_of[v], scc.component_of[w]);
+      }
+    }
+  }
+}
+
+TEST(SccTest, DeepChainDoesNotOverflowStack) {
+  // 200k-vertex chain: the iterative Tarjan must not recurse.
+  Digraph g = Chain(200000);
+  SccDecomposition scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 200000u);
+}
+
+TEST(SccTest, DeepCycleIsOneComponent) {
+  Digraph g = Cycle(200000);
+  SccDecomposition scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 1u);
+}
+
+class SccPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SccPropertyTest, MatchesBruteForceMutualReachability) {
+  const uint64_t seed = GetParam();
+  Digraph g = RandomDigraph(40, 100 + (seed % 60), seed);
+  SccDecomposition scc = ComputeScc(g);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      const bool mutual = Reaches(g, u, v) && Reaches(g, v, u);
+      EXPECT_EQ(scc.SameComponent(u, v), mutual)
+          << "u=" << u << " v=" << v << " seed=" << seed;
+    }
+  }
+}
+
+TEST_P(SccPropertyTest, CrossComponentEdgesRespectReverseTopoIds) {
+  const uint64_t seed = GetParam();
+  Digraph g = RandomDigraph(60, 150, seed ^ 0xabcdef);
+  SccDecomposition scc = ComputeScc(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId w : g.OutNeighbors(v)) {
+      if (!scc.SameComponent(v, w)) {
+        EXPECT_GT(scc.component_of[v], scc.component_of[w]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SccPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace reach

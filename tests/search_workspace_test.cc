@@ -1,0 +1,59 @@
+#include "core/search_workspace.h"
+
+#include <gtest/gtest.h>
+
+namespace reach {
+namespace {
+
+TEST(SearchWorkspaceTest, MarksResetBetweenPrepares) {
+  SearchWorkspace ws;
+  ws.Prepare(10);
+  EXPECT_TRUE(ws.MarkForward(3));
+  EXPECT_FALSE(ws.MarkForward(3));
+  EXPECT_TRUE(ws.IsForwardMarked(3));
+  ws.Prepare(10);
+  EXPECT_FALSE(ws.IsForwardMarked(3));
+  EXPECT_TRUE(ws.MarkForward(3));
+}
+
+TEST(SearchWorkspaceTest, ForwardAndBackwardAreIndependent) {
+  SearchWorkspace ws;
+  ws.Prepare(5);
+  ws.MarkForward(2);
+  EXPECT_FALSE(ws.IsBackwardMarked(2));
+  ws.MarkBackward(2);
+  EXPECT_TRUE(ws.IsBackwardMarked(2));
+  EXPECT_TRUE(ws.IsForwardMarked(2));
+}
+
+TEST(SearchWorkspaceTest, GrowsForLargerGraphs) {
+  SearchWorkspace ws;
+  ws.Prepare(4);
+  ws.MarkForward(3);
+  ws.Prepare(100);
+  EXPECT_FALSE(ws.IsForwardMarked(99));
+  EXPECT_TRUE(ws.MarkForward(99));
+}
+
+TEST(SearchWorkspaceTest, QueuesAreClearedByPrepare) {
+  SearchWorkspace ws;
+  ws.Prepare(4);
+  ws.queue().push_back(1);
+  ws.backward_queue().push_back(2);
+  ws.Prepare(4);
+  EXPECT_TRUE(ws.queue().empty());
+  EXPECT_TRUE(ws.backward_queue().empty());
+}
+
+TEST(SearchWorkspaceTest, ManyEpochsStayCorrect) {
+  SearchWorkspace ws;
+  for (int round = 0; round < 1000; ++round) {
+    ws.Prepare(8);
+    EXPECT_FALSE(ws.IsForwardMarked(round % 8));
+    ws.MarkForward(round % 8);
+    EXPECT_TRUE(ws.IsForwardMarked(round % 8));
+  }
+}
+
+}  // namespace
+}  // namespace reach

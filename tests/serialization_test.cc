@@ -1,0 +1,114 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "plain/pruned_two_hop.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+namespace {
+
+TEST(SerializationTest, RoundTripPreservesAllAnswers) {
+  const Digraph g = RandomDigraph(60, 200, 9);
+  PrunedTwoHop original;
+  original.Build(g);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(original.Save(buffer));
+
+  PrunedTwoHop loaded;
+  ASSERT_TRUE(loaded.Load(buffer));
+  EXPECT_EQ(loaded.TotalLabelEntries(), original.TotalLabelEntries());
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      ASSERT_EQ(loaded.Query(s, t), original.Query(s, t)) << s << "->" << t;
+    }
+  }
+}
+
+TEST(SerializationTest, RoundTripAfterInsertions) {
+  const Digraph g = Digraph::FromEdges(6, {{0, 1}, {2, 3}, {4, 5}});
+  PrunedTwoHop index;
+  index.Build(g);
+  index.InsertEdge(1, 2);
+  index.InsertEdge(3, 4);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(index.Save(buffer));
+  PrunedTwoHop loaded;
+  ASSERT_TRUE(loaded.Load(buffer));
+  EXPECT_TRUE(loaded.Query(0, 5));  // path through both inserted edges
+  EXPECT_FALSE(loaded.Query(5, 0));
+}
+
+TEST(SerializationTest, LoadedIndexMatchesOracleWithoutGraph) {
+  const Digraph g = RandomDigraph(40, 140, 21);
+  TransitiveClosure oracle;
+  oracle.Build(g);
+  std::stringstream buffer;
+  {
+    PrunedTwoHop index;
+    index.Build(g);
+    ASSERT_TRUE(index.Save(buffer));
+  }  // original index destroyed; the loaded one must stand alone
+  PrunedTwoHop loaded;
+  ASSERT_TRUE(loaded.Load(buffer));
+  for (VertexId s = 0; s < g.NumVertices(); s += 2) {
+    for (VertexId t = 0; t < g.NumVertices(); t += 2) {
+      ASSERT_EQ(loaded.Query(s, t), oracle.Query(s, t));
+    }
+  }
+}
+
+TEST(SerializationTest, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "definitely not an index";
+  PrunedTwoHop loaded;
+  EXPECT_FALSE(loaded.Load(buffer));
+}
+
+TEST(SerializationTest, RejectsTruncatedStream) {
+  const Digraph g = Chain(20);
+  PrunedTwoHop index;
+  index.Build(g);
+  std::stringstream buffer;
+  ASSERT_TRUE(index.Save(buffer));
+  const std::string full = buffer.str();
+  for (size_t cut : {size_t{4}, full.size() / 2, full.size() - 3}) {
+    std::stringstream truncated(full.substr(0, cut));
+    PrunedTwoHop loaded;
+    EXPECT_FALSE(loaded.Load(truncated)) << "cut at " << cut;
+  }
+}
+
+TEST(SerializationTest, RejectsCorruptedRanks) {
+  const Digraph g = Chain(8);
+  PrunedTwoHop index;
+  index.Build(g);
+  std::stringstream buffer;
+  ASSERT_TRUE(index.Save(buffer));
+  std::string data = buffer.str();
+  // rank_ entries start right after magic (8B) + count (8B) + size (8B);
+  // smash one to an out-of-range value.
+  data[24] = '\xff';
+  data[25] = '\xff';
+  data[26] = '\xff';
+  data[27] = '\xff';
+  std::stringstream corrupted(data);
+  PrunedTwoHop loaded;
+  EXPECT_FALSE(loaded.Load(corrupted));
+}
+
+TEST(SerializationTest, EmptyGraphRoundTrip) {
+  const Digraph g = Digraph::FromEdges(0, {});
+  PrunedTwoHop index;
+  index.Build(g);
+  std::stringstream buffer;
+  ASSERT_TRUE(index.Save(buffer));
+  PrunedTwoHop loaded;
+  EXPECT_TRUE(loaded.Load(buffer));
+}
+
+}  // namespace
+}  // namespace reach

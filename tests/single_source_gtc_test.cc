@@ -1,0 +1,136 @@
+#include "lcr/single_source_gtc.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/figure1.h"
+#include "graph/generators.h"
+
+namespace reach {
+namespace {
+
+// Brute-force minimal SPLSs by exhaustive (mask, vertex) state BFS.
+std::vector<MinimalLabelSets> BruteGtc(const LabeledDigraph& g,
+                                       VertexId source) {
+  const size_t n = g.NumVertices();
+  std::vector<std::vector<bool>> state(n);
+  const size_t num_masks = size_t{1} << g.NumLabels();
+  for (auto& s : state) s.assign(num_masks, false);
+  std::vector<std::pair<VertexId, LabelSet>> queue = {{source, 0}};
+  state[source][0] = true;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    auto [v, mask] = queue[head];
+    for (const auto& arc : g.OutArcs(v)) {
+      const LabelSet next = mask | LabelBit(arc.label);
+      if (!state[arc.vertex][next]) {
+        state[arc.vertex][next] = true;
+        queue.push_back({arc.vertex, next});
+      }
+    }
+  }
+  std::vector<MinimalLabelSets> result(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (LabelSet m = 0; m < num_masks; ++m) {
+      if (state[v][m]) result[v].AddIfMinimal(m);
+    }
+  }
+  return result;
+}
+
+void ExpectSameAntichains(const std::vector<MinimalLabelSets>& a,
+                          const std::vector<MinimalLabelSets>& b,
+                          const std::string& context) {
+  ASSERT_EQ(a.size(), b.size());
+  for (VertexId v = 0; v < a.size(); ++v) {
+    std::vector<LabelSet> sa = a[v].sets(), sb = b[v].sets();
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    EXPECT_EQ(sa, sb) << context << " vertex " << v;
+  }
+}
+
+TEST(SingleSourceGtcTest, Figure1WorkedExamples) {
+  using namespace figure1;
+  const LabeledDigraph g = LabeledGraph();
+  const auto from_l = SingleSourceGtc(g, kL);
+  // §4.1: the SPLS from L to M is {worksFor} (p1 dominates p2).
+  ASSERT_EQ(from_l[kM].sets().size(), 1u);
+  EXPECT_EQ(from_l[kM].sets()[0], MakeLabelSet({kWorksFor}));
+  // §4.1.2: L reaches H with the single minimal SPLS {worksFor} (p3); the
+  // two-label p4 = (L, worksFor, D, friendOf, H) is ignored.
+  ASSERT_EQ(from_l[kH].sets().size(), 1u);
+  EXPECT_EQ(from_l[kH].sets()[0], MakeLabelSet({kWorksFor}));
+
+  const auto from_a = SingleSourceGtc(g, kA);
+  // §4.1: SPLS(A, L) = {follows}; SPLS(A, M) = {follows, worksFor}
+  // (cross-product transitivity of SPLSs).
+  ASSERT_EQ(from_a[kL].sets().size(), 1u);
+  EXPECT_EQ(from_a[kL].sets()[0], MakeLabelSet({kFollows}));
+  ASSERT_EQ(from_a[kM].sets().size(), 1u);
+  EXPECT_EQ(from_a[kM].sets()[0], MakeLabelSet({kFollows, kWorksFor}));
+}
+
+TEST(SingleSourceGtcTest, SourceHasEmptySet) {
+  const LabeledDigraph g = figure1::LabeledGraph();
+  const auto gtc = SingleSourceGtc(g, figure1::kA);
+  ASSERT_EQ(gtc[figure1::kA].sets().size(), 1u);
+  EXPECT_EQ(gtc[figure1::kA].sets()[0], 0u);
+}
+
+TEST(SingleSourceGtcTest, UnreachableVerticesHaveNoSets) {
+  const LabeledDigraph g = figure1::LabeledGraph();
+  const auto from_g = SingleSourceGtc(g, figure1::kG);
+  EXPECT_TRUE(from_g[figure1::kA].empty());
+  EXPECT_TRUE(from_g[figure1::kL].empty());
+  EXPECT_FALSE(from_g[figure1::kB].empty());
+}
+
+TEST(SingleSourceGtcTest, CycleAccumulatesAllLabelsOnItsPath) {
+  // 0 -a-> 1 -b-> 2 -c-> 0: from 0, SPLS(1) = {a}, SPLS(2) = {a,b}.
+  const LabeledDigraph g = LabeledDigraph::FromEdges(
+      3, 3, {{0, 1, 0}, {1, 2, 1}, {2, 0, 2}});
+  const auto gtc = SingleSourceGtc(g, 0);
+  EXPECT_EQ(gtc[1].sets(), (std::vector<LabelSet>{0b001}));
+  EXPECT_EQ(gtc[2].sets(), (std::vector<LabelSet>{0b011}));
+  EXPECT_EQ(gtc[0].sets(), (std::vector<LabelSet>{0}));  // empty path wins
+}
+
+TEST(SingleSourceGtcTest, ParallelEdgesGiveAlternativeSets) {
+  const LabeledDigraph g =
+      LabeledDigraph::FromEdges(2, 2, {{0, 1, 0}, {0, 1, 1}});
+  const auto gtc = SingleSourceGtc(g, 0);
+  std::vector<LabelSet> sets = gtc[1].sets();
+  std::sort(sets.begin(), sets.end());
+  EXPECT_EQ(sets, (std::vector<LabelSet>{0b01, 0b10}));
+}
+
+class GtcPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GtcPropertyTest, MatchesBruteForceOnRandomGraphs) {
+  const uint64_t seed = GetParam();
+  const LabeledDigraph g = RandomLabeledDigraph(24, 90, 4, seed);
+  for (VertexId source = 0; source < g.NumVertices(); source += 3) {
+    ExpectSameAntichains(SingleSourceGtc(g, source), BruteGtc(g, source),
+                         "seed=" + std::to_string(seed) + " source=" +
+                             std::to_string(source));
+  }
+}
+
+TEST_P(GtcPropertyTest, SingleTargetIsSingleSourceOnReverse) {
+  const uint64_t seed = GetParam();
+  const LabeledDigraph g = RandomLabeledDigraph(20, 70, 3, seed);
+  // Reverse the graph manually and compare.
+  std::vector<LabeledEdge> reversed;
+  for (const auto& e : g.Edges()) reversed.push_back({e.target, e.source, e.label});
+  const LabeledDigraph rg = LabeledDigraph::FromEdges(
+      static_cast<VertexId>(g.NumVertices()), g.NumLabels(), reversed);
+  for (VertexId target = 0; target < g.NumVertices(); target += 4) {
+    ExpectSameAntichains(SingleTargetGtc(g, target),
+                         SingleSourceGtc(rg, target), "target");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GtcPropertyTest,
+                         ::testing::Values(151, 152, 153, 154, 155));
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,93 @@
+#include "graph/topological.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace reach {
+namespace {
+
+TEST(TopologicalTest, OrderRespectsEdges) {
+  Digraph g = Digraph::FromEdges(5, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}});
+  auto order = TopologicalOrder(g);
+  ASSERT_TRUE(order.has_value());
+  auto rank = RankOf(*order);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId w : g.OutNeighbors(v)) EXPECT_LT(rank[v], rank[w]);
+  }
+}
+
+TEST(TopologicalTest, CycleReturnsNullopt) {
+  EXPECT_FALSE(TopologicalOrder(Cycle(4)).has_value());
+  EXPECT_FALSE(IsDag(Cycle(4)));
+}
+
+TEST(TopologicalTest, ChainIsDag) {
+  EXPECT_TRUE(IsDag(Chain(10)));
+}
+
+TEST(TopologicalTest, ReverseTiesGivesDifferentButValidOrder) {
+  // Diamond: both orders valid, tie-breaking differs on the middle layer.
+  Digraph g = Digraph::FromEdges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto a = TopologicalOrder(g);
+  auto b = TopologicalOrderReverseTies(g);
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(*a, *b);
+  auto rank = RankOf(*b);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId w : g.OutNeighbors(v)) EXPECT_LT(rank[v], rank[w]);
+  }
+}
+
+TEST(TopologicalTest, RankOfIsInverse) {
+  Digraph g = RandomDag(50, 120, /*seed=*/5);
+  auto order = TopologicalOrder(g);
+  ASSERT_TRUE(order.has_value());
+  auto rank = RankOf(*order);
+  for (VertexId i = 0; i < order->size(); ++i) {
+    EXPECT_EQ(rank[(*order)[i]], i);
+  }
+}
+
+TEST(TopologicalTest, ForwardLevelsOnChain) {
+  auto level = ForwardLevels(Chain(5));
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(level[v], v);
+}
+
+TEST(TopologicalTest, BackwardLevelsOnChain) {
+  auto level = BackwardLevels(Chain(5));
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(level[v], 4 - v);
+}
+
+TEST(TopologicalTest, ForwardLevelIsLongestPath) {
+  // 0->1->2->4 and 0->3->4: level(4) must be 3 (via the longer path).
+  Digraph g = Digraph::FromEdges(5, {{0, 1}, {1, 2}, {2, 4}, {0, 3}, {3, 4}});
+  auto level = ForwardLevels(g);
+  EXPECT_EQ(level[0], 0u);
+  EXPECT_EQ(level[4], 3u);
+}
+
+class TopoPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TopoPropertyTest, RandomDagsAreDags) {
+  Digraph g = RandomDag(120, 400, GetParam());
+  EXPECT_TRUE(IsDag(g));
+}
+
+TEST_P(TopoPropertyTest, LevelsIncreaseAlongEdges) {
+  Digraph g = RandomDag(100, 300, GetParam() ^ 0x77);
+  auto fwd = ForwardLevels(g);
+  auto bwd = BackwardLevels(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId w : g.OutNeighbors(v)) {
+      EXPECT_LT(fwd[v], fwd[w]);
+      EXPECT_GT(bwd[v], bwd[w]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopoPropertyTest,
+                         ::testing::Values(21, 22, 23, 24, 25));
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,111 @@
+#include "traversal/transitive_closure.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/figure1.h"
+#include "graph/generators.h"
+#include "traversal/online_search.h"
+
+namespace reach {
+namespace {
+
+TEST(TransitiveClosureTest, ChainClosure) {
+  TransitiveClosure tc;
+  tc.Build(Chain(5));
+  for (VertexId s = 0; s < 5; ++s) {
+    for (VertexId t = 0; t < 5; ++t) {
+      EXPECT_EQ(tc.Query(s, t), s <= t) << s << "->" << t;
+    }
+  }
+}
+
+TEST(TransitiveClosureTest, CycleIsFullyConnected) {
+  TransitiveClosure tc;
+  tc.Build(Cycle(6));
+  for (VertexId s = 0; s < 6; ++s) {
+    for (VertexId t = 0; t < 6; ++t) EXPECT_TRUE(tc.Query(s, t));
+  }
+}
+
+TEST(TransitiveClosureTest, ReflexiveEvenWithoutEdges) {
+  TransitiveClosure tc;
+  tc.Build(Digraph::FromEdges(3, {}));
+  for (VertexId v = 0; v < 3; ++v) EXPECT_TRUE(tc.Query(v, v));
+  EXPECT_FALSE(tc.Query(0, 1));
+}
+
+TEST(TransitiveClosureTest, Figure1Queries) {
+  TransitiveClosure tc;
+  Digraph g = figure1::PlainGraph();
+  tc.Build(g);
+  using namespace figure1;
+  EXPECT_TRUE(tc.Query(kA, kG));   // §2.1 worked example
+  EXPECT_FALSE(tc.Query(kG, kA));
+  EXPECT_TRUE(tc.Query(kL, kM));
+  EXPECT_TRUE(tc.Query(kB, kM));   // B <-> M SCC
+  EXPECT_TRUE(tc.Query(kM, kB));
+  EXPECT_FALSE(tc.Query(kK, kG));  // K only reaches M/B
+}
+
+TEST(TransitiveClosureTest, ReachableSetOnChain) {
+  TransitiveClosure tc;
+  tc.Build(Chain(4));
+  EXPECT_EQ(tc.ReachableSet(2), (std::vector<VertexId>{2, 3}));
+  EXPECT_EQ(tc.ReachableSet(0), (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(TransitiveClosureTest, NumReachablePairsOnChain) {
+  TransitiveClosure tc;
+  tc.Build(Chain(4));
+  // 4 + 3 + 2 + 1 pairs including (v, v).
+  EXPECT_EQ(tc.NumReachablePairs(), 10u);
+}
+
+TEST(TransitiveClosureTest, NumReachablePairsOnCycle) {
+  TransitiveClosure tc;
+  tc.Build(Cycle(5));
+  EXPECT_EQ(tc.NumReachablePairs(), 25u);
+}
+
+TEST(TransitiveClosureTest, ReportsCompleteAndNonzeroSize) {
+  TransitiveClosure tc;
+  tc.Build(Chain(10));
+  EXPECT_TRUE(tc.IsComplete());
+  EXPECT_GT(tc.IndexSizeBytes(), 0u);
+  EXPECT_EQ(tc.Name(), "tc");
+}
+
+class TcPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TcPropertyTest, MatchesBfsOnRandomDigraphs) {
+  const uint64_t seed = GetParam();
+  Digraph g = RandomDigraph(64, 160 + (seed % 100), seed);
+  TransitiveClosure tc;
+  tc.Build(g);
+  SearchWorkspace ws;
+  for (VertexId s = 0; s < g.NumVertices(); s += 2) {
+    for (VertexId t = 0; t < g.NumVertices(); t += 2) {
+      EXPECT_EQ(tc.Query(s, t), BfsReachability(g, s, t, ws))
+          << "s=" << s << " t=" << t << " seed=" << seed;
+    }
+  }
+}
+
+TEST_P(TcPropertyTest, MatchesBfsOnRandomDags) {
+  const uint64_t seed = GetParam();
+  Digraph g = RandomDag(64, 200, seed);
+  TransitiveClosure tc;
+  tc.Build(g);
+  SearchWorkspace ws;
+  for (VertexId s = 0; s < g.NumVertices(); s += 3) {
+    for (VertexId t = 0; t < g.NumVertices(); t += 3) {
+      EXPECT_EQ(tc.Query(s, t), BfsReachability(g, s, t, ws));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcPropertyTest,
+                         ::testing::Values(41, 42, 43, 44, 45, 46, 47, 48));
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,132 @@
+#include "plain/tree_cover.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "plain/dual_labeling.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+namespace {
+
+TEST(TreeCoverTest, ChainHasOneIntervalPerVertex) {
+  TreeCover index;
+  index.Build(Chain(8));
+  for (VertexId v = 0; v < 8; ++v) EXPECT_EQ(index.NumIntervals(v), 1u);
+  EXPECT_TRUE(index.Query(0, 7));
+  EXPECT_FALSE(index.Query(7, 0));
+}
+
+TEST(TreeCoverTest, NonTreeEdgeForcesInheritance) {
+  // Two parallel branches joined at the bottom: 0->1->3, 0->2->3.
+  // One of the edges into 3 is a non-tree edge whose interval must be
+  // inherited up to the root.
+  Digraph g = Digraph::FromEdges(4, {{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  TreeCover index;
+  index.Build(g);
+  EXPECT_TRUE(index.Query(1, 3));
+  EXPECT_TRUE(index.Query(2, 3));
+  EXPECT_TRUE(index.Query(0, 3));
+  EXPECT_FALSE(index.Query(1, 2));
+  EXPECT_FALSE(index.Query(2, 1));
+}
+
+TEST(TreeCoverTest, AdjacentIntervalsAreMerged) {
+  // A tree: the single subtree interval per vertex suffices; total
+  // intervals == n even after inheritance (children are merged away).
+  TreeCover index;
+  Digraph g = RandomTree(64, 21);
+  index.Build(g);
+  EXPECT_EQ(index.TotalIntervals(), 64u);
+}
+
+TEST(TreeCoverTest, MatchesOracleOnDags) {
+  for (uint64_t seed : {51, 52, 53, 54}) {
+    Digraph g = RandomDag(48, 140, seed);
+    TreeCover index;
+    TransitiveClosure oracle;
+    index.Build(g);
+    oracle.Build(g);
+    for (VertexId s = 0; s < g.NumVertices(); ++s) {
+      for (VertexId t = 0; t < g.NumVertices(); ++t) {
+        ASSERT_EQ(index.Query(s, t), oracle.Query(s, t))
+            << s << "->" << t << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(TreeCoverTest, IndexSizeGrowsWithNonTreeEdges) {
+  // Same vertex count: a tree vs a dense DAG; the dense DAG needs more
+  // intervals (the survey's main drawback of the tree-cover approach).
+  TreeCover tree_index, dense_index;
+  tree_index.Build(RandomTree(128, 3));
+  dense_index.Build(RandomDag(128, 1024, 3));
+  EXPECT_GT(dense_index.TotalIntervals(), tree_index.TotalIntervals());
+}
+
+TEST(DualLabelingTest, PureTreeHasNoLinks) {
+  DualLabeling index;
+  index.Build(RandomTree(50, 5));
+  EXPECT_EQ(index.NumLinks(), 0u);
+  EXPECT_TRUE(index.Query(0, 17));
+}
+
+TEST(DualLabelingTest, SingleCrossEdge) {
+  // Deterministic DFS from 0 builds the tree 0->{1,2}, 1->3, 2->4; the
+  // edge 4->1 crosses into the earlier branch, so it must become a link.
+  Digraph g =
+      Digraph::FromEdges(5, {{0, 1}, {0, 2}, {1, 3}, {2, 4}, {4, 1}});
+  DualLabeling index;
+  index.Build(g);
+  EXPECT_EQ(index.NumLinks(), 1u);
+  EXPECT_TRUE(index.Query(4, 1));
+  EXPECT_TRUE(index.Query(4, 3));  // via the link then tree
+  EXPECT_TRUE(index.Query(2, 3));  // 2 -> 4 -> 1 -> 3
+  EXPECT_FALSE(index.Query(1, 2));
+  EXPECT_FALSE(index.Query(3, 4));
+}
+
+TEST(DualLabelingTest, ForwardEdgesAreDropped) {
+  // 0->1->2 plus the forward edge 0->2 (implied by the tree).
+  Digraph g = Digraph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  DualLabeling index;
+  index.Build(g);
+  EXPECT_EQ(index.NumLinks(), 0u);
+  EXPECT_TRUE(index.Query(0, 2));
+}
+
+TEST(DualLabelingTest, ChainedLinksCompose) {
+  // Three branches under 0; cross edges hop from a later branch into an
+  // earlier one, so both are links and reaching 6 -> ... -> 2 composes
+  // them through the link closure: 5 -link-> 3 -> 4 -link-> 1 -> 2.
+  Digraph g = Digraph::FromEdges(
+      7, {{0, 1}, {1, 2}, {0, 3}, {3, 4}, {0, 5}, {5, 6}, {5, 3}, {4, 1}});
+  DualLabeling index;
+  index.Build(g);
+  EXPECT_EQ(index.NumLinks(), 2u);
+  EXPECT_TRUE(index.Query(5, 2));  // 5 -link-> 3 -> 4 -link-> 1 -> 2
+  EXPECT_TRUE(index.Query(5, 4));
+  EXPECT_FALSE(index.Query(2, 5));
+  EXPECT_FALSE(index.Query(1, 3));
+}
+
+TEST(DualLabelingTest, MatchesOracleOnSparseDags) {
+  for (uint64_t seed : {61, 62, 63}) {
+    // Sparse: few non-tree edges, the design's target regime.
+    Digraph g = RandomDag(40, 55, seed);
+    DualLabeling index;
+    TransitiveClosure oracle;
+    index.Build(g);
+    oracle.Build(g);
+    for (VertexId s = 0; s < g.NumVertices(); ++s) {
+      for (VertexId t = 0; t < g.NumVertices(); ++t) {
+        ASSERT_EQ(index.Query(s, t), oracle.Query(s, t))
+            << s << "->" << t << " seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reach

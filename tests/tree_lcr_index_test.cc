@@ -1,0 +1,105 @@
+#include "lcr/tree_lcr_index.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/figure1.h"
+#include "graph/generators.h"
+#include "lcr/lcr_bfs.h"
+
+namespace reach {
+namespace {
+
+TEST(TreeLcrIndexTest, PureTreeNeedsNoPartialGtc) {
+  // A labeled tree: every path is a tree path; no hubs at all.
+  const LabeledDigraph g =
+      WithUniformLabels(RandomTree(40, 3), /*num_labels=*/3, 5);
+  TreeLcrIndex index;
+  index.Build(g);
+  EXPECT_EQ(index.NumHubs(), 0u);
+  EXPECT_EQ(index.PartialGtcEntries(), 0u);
+  // Tree-path SPLS answers must match constrained BFS.
+  SearchWorkspace ws;
+  for (VertexId s = 0; s < g.NumVertices(); s += 2) {
+    for (VertexId t = 0; t < g.NumVertices(); t += 2) {
+      for (LabelSet mask = 0; mask < 8; ++mask) {
+        ASSERT_EQ(index.Query(s, t, mask),
+                  LcrBfsReachability(g, s, t, mask, ws));
+      }
+    }
+  }
+}
+
+TEST(TreeLcrIndexTest, NonTreeEdgeCreatesHub) {
+  // Deterministic DFS from 0 makes 0->1, 0->2 tree arcs; 1->2 is non-tree
+  // (2 is not 1's child), so 1 becomes a hub.
+  const LabeledDigraph g = LabeledDigraph::FromEdges(
+      3, 2, {{0, 1, 0}, {0, 2, 0}, {1, 2, 1}});
+  TreeLcrIndex index;
+  index.Build(g);
+  EXPECT_EQ(index.NumHubs(), 1u);
+  EXPECT_GE(index.PartialGtcEntries(), 1u);
+  EXPECT_TRUE(index.Query(1, 2, 0b10));   // via the non-tree arc
+  EXPECT_FALSE(index.Query(1, 2, 0b01));  // no label-0 path 1 -> 2
+}
+
+TEST(TreeLcrIndexTest, ParallelArcWithDifferentLabelIsNonTree) {
+  // 0 -l0-> 1 becomes the tree arc; 0 -l1-> 1 must be indexed as a
+  // non-tree alternative.
+  const LabeledDigraph g =
+      LabeledDigraph::FromEdges(2, 2, {{0, 1, 0}, {0, 1, 1}});
+  TreeLcrIndex index;
+  index.Build(g);
+  EXPECT_EQ(index.NumHubs(), 1u);
+  EXPECT_TRUE(index.Query(0, 1, 0b01));
+  EXPECT_TRUE(index.Query(0, 1, 0b10));
+  EXPECT_FALSE(index.Query(1, 0, 0b11));
+}
+
+TEST(TreeLcrIndexTest, CaseTwoMiddleWithTreeInterior) {
+  // Middle path whose interior uses a tree arc: 3 -nt-> 0 -t-> 1 -nt-> 4.
+  // Tree from 0: 0->1 (l0); 3 and 4 are separate roots... force shape:
+  const LabeledDigraph g = LabeledDigraph::FromEdges(
+      5, 3, {{0, 1, 0}, {1, 2, 1}, {3, 0, 2}, {2, 4, 2}});
+  TreeLcrIndex index;
+  index.Build(g);
+  // 3 -> 4 must compose: non-tree(3->0), tree(0->1->2), non-tree(2->4).
+  EXPECT_TRUE(index.Query(3, 4, 0b111));
+  EXPECT_FALSE(index.Query(3, 4, 0b011));
+  EXPECT_FALSE(index.Query(4, 3, 0b111));
+}
+
+TEST(TreeLcrIndexTest, Figure1Queries) {
+  using namespace figure1;
+  const LabeledDigraph g = LabeledGraph();
+  TreeLcrIndex index;
+  index.Build(g);
+  EXPECT_FALSE(index.Query(kA, kG, MakeLabelSet({kFriendOf, kFollows})));
+  EXPECT_TRUE(index.Query(kL, kM, MakeLabelSet({kWorksFor})));
+  EXPECT_TRUE(index.Query(kA, kM, MakeLabelSet({kFollows, kWorksFor})));
+  EXPECT_FALSE(index.Query(kA, kM, MakeLabelSet({kWorksFor})));
+}
+
+class TreeLcrPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeLcrPropertyTest, MatchesOracleOnDenseCyclicGraphs) {
+  const uint64_t seed = GetParam();
+  const LabeledDigraph g = RandomLabeledDigraph(16, 80, 3, seed);
+  TreeLcrIndex index;
+  index.Build(g);
+  SearchWorkspace ws;
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      for (LabelSet mask = 0; mask < 8; ++mask) {
+        ASSERT_EQ(index.Query(s, t, mask),
+                  LcrBfsReachability(g, s, t, mask, ws))
+            << s << "->" << t << " mask=" << mask << " seed=" << seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeLcrPropertyTest,
+                         ::testing::Values(231, 232, 233, 234, 235, 236));
+
+}  // namespace
+}  // namespace reach
