@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rpq_general.dir/bench_rpq_general.cc.o"
+  "CMakeFiles/bench_rpq_general.dir/bench_rpq_general.cc.o.d"
+  "bench_rpq_general"
+  "bench_rpq_general.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rpq_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

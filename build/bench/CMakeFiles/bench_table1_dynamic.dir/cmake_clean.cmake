@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_dynamic.dir/bench_table1_dynamic.cc.o"
+  "CMakeFiles/bench_table1_dynamic.dir/bench_table1_dynamic.cc.o.d"
+  "bench_table1_dynamic"
+  "bench_table1_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

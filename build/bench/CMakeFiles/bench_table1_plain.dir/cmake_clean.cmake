@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_plain.dir/bench_table1_plain.cc.o"
+  "CMakeFiles/bench_table1_plain.dir/bench_table1_plain.cc.o.d"
+  "bench_table1_plain"
+  "bench_table1_plain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_plain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_dynamic.dir/bench_table2_dynamic.cc.o"
+  "CMakeFiles/bench_table2_dynamic.dir/bench_table2_dynamic.cc.o.d"
+  "bench_table2_dynamic"
+  "bench_table2_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

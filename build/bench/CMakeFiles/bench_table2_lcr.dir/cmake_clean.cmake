@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_lcr.dir/bench_table2_lcr.cc.o"
+  "CMakeFiles/bench_table2_lcr.dir/bench_table2_lcr.cc.o.d"
+  "bench_table2_lcr"
+  "bench_table2_lcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_lcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_rlc.dir/bench_table2_rlc.cc.o"
+  "CMakeFiles/bench_table2_rlc.dir/bench_table2_rlc.cc.o.d"
+  "bench_table2_rlc"
+  "bench_table2_rlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_rlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

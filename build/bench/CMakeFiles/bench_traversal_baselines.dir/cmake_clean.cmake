@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traversal_baselines.dir/bench_traversal_baselines.cc.o"
+  "CMakeFiles/bench_traversal_baselines.dir/bench_traversal_baselines.cc.o.d"
+  "bench_traversal_baselines"
+  "bench_traversal_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traversal_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_reachability.dir/citation_reachability.cc.o"
+  "CMakeFiles/citation_reachability.dir/citation_reachability.cc.o.d"
+  "citation_reachability"
+  "citation_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_tour.dir/figure1_tour.cc.o"
+  "CMakeFiles/figure1_tour.dir/figure1_tour.cc.o.d"
+  "figure1_tour"
+  "figure1_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

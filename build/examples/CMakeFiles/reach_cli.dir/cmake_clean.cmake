@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_cli.dir/reach_cli.cc.o"
+  "CMakeFiles/reach_cli.dir/reach_cli.cc.o.d"
+  "reach_cli"
+  "reach_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpq_playground.dir/rpq_playground.cc.o"
+  "CMakeFiles/rpq_playground.dir/rpq_playground.cc.o.d"
+  "rpq_playground"
+  "rpq_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpq_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_network_lcr.dir/social_network_lcr.cc.o"
+  "CMakeFiles/social_network_lcr.dir/social_network_lcr.cc.o.d"
+  "social_network_lcr"
+  "social_network_lcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_network_lcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_core.dir/core/query_workload.cc.o"
+  "CMakeFiles/reach_core.dir/core/query_workload.cc.o.d"
+  "libreach_core.a"
+  "libreach_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/condensation.cc" "src/CMakeFiles/reach_graph.dir/graph/condensation.cc.o" "gcc" "src/CMakeFiles/reach_graph.dir/graph/condensation.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/CMakeFiles/reach_graph.dir/graph/digraph.cc.o" "gcc" "src/CMakeFiles/reach_graph.dir/graph/digraph.cc.o.d"
+  "/root/repo/src/graph/figure1.cc" "src/CMakeFiles/reach_graph.dir/graph/figure1.cc.o" "gcc" "src/CMakeFiles/reach_graph.dir/graph/figure1.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/reach_graph.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/reach_graph.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/reach_graph.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/reach_graph.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/CMakeFiles/reach_graph.dir/graph/graph_stats.cc.o" "gcc" "src/CMakeFiles/reach_graph.dir/graph/graph_stats.cc.o.d"
+  "/root/repo/src/graph/labeled_digraph.cc" "src/CMakeFiles/reach_graph.dir/graph/labeled_digraph.cc.o" "gcc" "src/CMakeFiles/reach_graph.dir/graph/labeled_digraph.cc.o.d"
+  "/root/repo/src/graph/scc.cc" "src/CMakeFiles/reach_graph.dir/graph/scc.cc.o" "gcc" "src/CMakeFiles/reach_graph.dir/graph/scc.cc.o.d"
+  "/root/repo/src/graph/topological.cc" "src/CMakeFiles/reach_graph.dir/graph/topological.cc.o" "gcc" "src/CMakeFiles/reach_graph.dir/graph/topological.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

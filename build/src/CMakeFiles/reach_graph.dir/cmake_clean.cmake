@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_graph.dir/graph/condensation.cc.o"
+  "CMakeFiles/reach_graph.dir/graph/condensation.cc.o.d"
+  "CMakeFiles/reach_graph.dir/graph/digraph.cc.o"
+  "CMakeFiles/reach_graph.dir/graph/digraph.cc.o.d"
+  "CMakeFiles/reach_graph.dir/graph/figure1.cc.o"
+  "CMakeFiles/reach_graph.dir/graph/figure1.cc.o.d"
+  "CMakeFiles/reach_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/reach_graph.dir/graph/generators.cc.o.d"
+  "CMakeFiles/reach_graph.dir/graph/graph_io.cc.o"
+  "CMakeFiles/reach_graph.dir/graph/graph_io.cc.o.d"
+  "CMakeFiles/reach_graph.dir/graph/graph_stats.cc.o"
+  "CMakeFiles/reach_graph.dir/graph/graph_stats.cc.o.d"
+  "CMakeFiles/reach_graph.dir/graph/labeled_digraph.cc.o"
+  "CMakeFiles/reach_graph.dir/graph/labeled_digraph.cc.o.d"
+  "CMakeFiles/reach_graph.dir/graph/scc.cc.o"
+  "CMakeFiles/reach_graph.dir/graph/scc.cc.o.d"
+  "CMakeFiles/reach_graph.dir/graph/topological.cc.o"
+  "CMakeFiles/reach_graph.dir/graph/topological.cc.o.d"
+  "libreach_graph.a"
+  "libreach_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

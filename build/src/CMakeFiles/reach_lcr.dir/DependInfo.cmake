@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lcr/gtc_index.cc" "src/CMakeFiles/reach_lcr.dir/lcr/gtc_index.cc.o" "gcc" "src/CMakeFiles/reach_lcr.dir/lcr/gtc_index.cc.o.d"
+  "/root/repo/src/lcr/label_set.cc" "src/CMakeFiles/reach_lcr.dir/lcr/label_set.cc.o" "gcc" "src/CMakeFiles/reach_lcr.dir/lcr/label_set.cc.o.d"
+  "/root/repo/src/lcr/landmark_index.cc" "src/CMakeFiles/reach_lcr.dir/lcr/landmark_index.cc.o" "gcc" "src/CMakeFiles/reach_lcr.dir/lcr/landmark_index.cc.o.d"
+  "/root/repo/src/lcr/lcr_bfs.cc" "src/CMakeFiles/reach_lcr.dir/lcr/lcr_bfs.cc.o" "gcc" "src/CMakeFiles/reach_lcr.dir/lcr/lcr_bfs.cc.o.d"
+  "/root/repo/src/lcr/lcr_registry.cc" "src/CMakeFiles/reach_lcr.dir/lcr/lcr_registry.cc.o" "gcc" "src/CMakeFiles/reach_lcr.dir/lcr/lcr_registry.cc.o.d"
+  "/root/repo/src/lcr/pruned_labeled_two_hop.cc" "src/CMakeFiles/reach_lcr.dir/lcr/pruned_labeled_two_hop.cc.o" "gcc" "src/CMakeFiles/reach_lcr.dir/lcr/pruned_labeled_two_hop.cc.o.d"
+  "/root/repo/src/lcr/single_source_gtc.cc" "src/CMakeFiles/reach_lcr.dir/lcr/single_source_gtc.cc.o" "gcc" "src/CMakeFiles/reach_lcr.dir/lcr/single_source_gtc.cc.o.d"
+  "/root/repo/src/lcr/tree_lcr_index.cc" "src/CMakeFiles/reach_lcr.dir/lcr/tree_lcr_index.cc.o" "gcc" "src/CMakeFiles/reach_lcr.dir/lcr/tree_lcr_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/reach_traversal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

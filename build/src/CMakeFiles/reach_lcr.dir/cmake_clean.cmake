@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_lcr.dir/lcr/gtc_index.cc.o"
+  "CMakeFiles/reach_lcr.dir/lcr/gtc_index.cc.o.d"
+  "CMakeFiles/reach_lcr.dir/lcr/label_set.cc.o"
+  "CMakeFiles/reach_lcr.dir/lcr/label_set.cc.o.d"
+  "CMakeFiles/reach_lcr.dir/lcr/landmark_index.cc.o"
+  "CMakeFiles/reach_lcr.dir/lcr/landmark_index.cc.o.d"
+  "CMakeFiles/reach_lcr.dir/lcr/lcr_bfs.cc.o"
+  "CMakeFiles/reach_lcr.dir/lcr/lcr_bfs.cc.o.d"
+  "CMakeFiles/reach_lcr.dir/lcr/lcr_registry.cc.o"
+  "CMakeFiles/reach_lcr.dir/lcr/lcr_registry.cc.o.d"
+  "CMakeFiles/reach_lcr.dir/lcr/pruned_labeled_two_hop.cc.o"
+  "CMakeFiles/reach_lcr.dir/lcr/pruned_labeled_two_hop.cc.o.d"
+  "CMakeFiles/reach_lcr.dir/lcr/single_source_gtc.cc.o"
+  "CMakeFiles/reach_lcr.dir/lcr/single_source_gtc.cc.o.d"
+  "CMakeFiles/reach_lcr.dir/lcr/tree_lcr_index.cc.o"
+  "CMakeFiles/reach_lcr.dir/lcr/tree_lcr_index.cc.o.d"
+  "libreach_lcr.a"
+  "libreach_lcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_lcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

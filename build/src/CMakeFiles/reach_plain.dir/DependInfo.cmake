@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plain/auto_index.cc" "src/CMakeFiles/reach_plain.dir/plain/auto_index.cc.o" "gcc" "src/CMakeFiles/reach_plain.dir/plain/auto_index.cc.o.d"
+  "/root/repo/src/plain/bfl.cc" "src/CMakeFiles/reach_plain.dir/plain/bfl.cc.o" "gcc" "src/CMakeFiles/reach_plain.dir/plain/bfl.cc.o.d"
+  "/root/repo/src/plain/chain_cover.cc" "src/CMakeFiles/reach_plain.dir/plain/chain_cover.cc.o" "gcc" "src/CMakeFiles/reach_plain.dir/plain/chain_cover.cc.o.d"
+  "/root/repo/src/plain/dagger.cc" "src/CMakeFiles/reach_plain.dir/plain/dagger.cc.o" "gcc" "src/CMakeFiles/reach_plain.dir/plain/dagger.cc.o.d"
+  "/root/repo/src/plain/dbl.cc" "src/CMakeFiles/reach_plain.dir/plain/dbl.cc.o" "gcc" "src/CMakeFiles/reach_plain.dir/plain/dbl.cc.o.d"
+  "/root/repo/src/plain/dual_labeling.cc" "src/CMakeFiles/reach_plain.dir/plain/dual_labeling.cc.o" "gcc" "src/CMakeFiles/reach_plain.dir/plain/dual_labeling.cc.o.d"
+  "/root/repo/src/plain/feline.cc" "src/CMakeFiles/reach_plain.dir/plain/feline.cc.o" "gcc" "src/CMakeFiles/reach_plain.dir/plain/feline.cc.o.d"
+  "/root/repo/src/plain/ferrari.cc" "src/CMakeFiles/reach_plain.dir/plain/ferrari.cc.o" "gcc" "src/CMakeFiles/reach_plain.dir/plain/ferrari.cc.o.d"
+  "/root/repo/src/plain/grail.cc" "src/CMakeFiles/reach_plain.dir/plain/grail.cc.o" "gcc" "src/CMakeFiles/reach_plain.dir/plain/grail.cc.o.d"
+  "/root/repo/src/plain/gripp.cc" "src/CMakeFiles/reach_plain.dir/plain/gripp.cc.o" "gcc" "src/CMakeFiles/reach_plain.dir/plain/gripp.cc.o.d"
+  "/root/repo/src/plain/interval_labeling.cc" "src/CMakeFiles/reach_plain.dir/plain/interval_labeling.cc.o" "gcc" "src/CMakeFiles/reach_plain.dir/plain/interval_labeling.cc.o.d"
+  "/root/repo/src/plain/ip_label.cc" "src/CMakeFiles/reach_plain.dir/plain/ip_label.cc.o" "gcc" "src/CMakeFiles/reach_plain.dir/plain/ip_label.cc.o.d"
+  "/root/repo/src/plain/oreach.cc" "src/CMakeFiles/reach_plain.dir/plain/oreach.cc.o" "gcc" "src/CMakeFiles/reach_plain.dir/plain/oreach.cc.o.d"
+  "/root/repo/src/plain/preach.cc" "src/CMakeFiles/reach_plain.dir/plain/preach.cc.o" "gcc" "src/CMakeFiles/reach_plain.dir/plain/preach.cc.o.d"
+  "/root/repo/src/plain/pruned_two_hop.cc" "src/CMakeFiles/reach_plain.dir/plain/pruned_two_hop.cc.o" "gcc" "src/CMakeFiles/reach_plain.dir/plain/pruned_two_hop.cc.o.d"
+  "/root/repo/src/plain/registry.cc" "src/CMakeFiles/reach_plain.dir/plain/registry.cc.o" "gcc" "src/CMakeFiles/reach_plain.dir/plain/registry.cc.o.d"
+  "/root/repo/src/plain/tree_cover.cc" "src/CMakeFiles/reach_plain.dir/plain/tree_cover.cc.o" "gcc" "src/CMakeFiles/reach_plain.dir/plain/tree_cover.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/reach_traversal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

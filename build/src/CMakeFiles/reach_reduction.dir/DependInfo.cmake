@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reduction/reducing_index.cc" "src/CMakeFiles/reach_reduction.dir/reduction/reducing_index.cc.o" "gcc" "src/CMakeFiles/reach_reduction.dir/reduction/reducing_index.cc.o.d"
+  "/root/repo/src/reduction/reduction.cc" "src/CMakeFiles/reach_reduction.dir/reduction/reduction.cc.o" "gcc" "src/CMakeFiles/reach_reduction.dir/reduction/reduction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/reach_traversal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

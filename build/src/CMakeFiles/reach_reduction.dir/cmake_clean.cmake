@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_reduction.dir/reduction/reducing_index.cc.o"
+  "CMakeFiles/reach_reduction.dir/reduction/reducing_index.cc.o.d"
+  "CMakeFiles/reach_reduction.dir/reduction/reduction.cc.o"
+  "CMakeFiles/reach_reduction.dir/reduction/reduction.cc.o.d"
+  "libreach_reduction.a"
+  "libreach_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rlc/kleene_sequence.cc" "src/CMakeFiles/reach_rlc.dir/rlc/kleene_sequence.cc.o" "gcc" "src/CMakeFiles/reach_rlc.dir/rlc/kleene_sequence.cc.o.d"
+  "/root/repo/src/rlc/rlc_index.cc" "src/CMakeFiles/reach_rlc.dir/rlc/rlc_index.cc.o" "gcc" "src/CMakeFiles/reach_rlc.dir/rlc/rlc_index.cc.o.d"
+  "/root/repo/src/rlc/rlc_product_bfs.cc" "src/CMakeFiles/reach_rlc.dir/rlc/rlc_product_bfs.cc.o" "gcc" "src/CMakeFiles/reach_rlc.dir/rlc/rlc_product_bfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/reach_lcr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_plain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_traversal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_rlc.dir/rlc/kleene_sequence.cc.o"
+  "CMakeFiles/reach_rlc.dir/rlc/kleene_sequence.cc.o.d"
+  "CMakeFiles/reach_rlc.dir/rlc/rlc_index.cc.o"
+  "CMakeFiles/reach_rlc.dir/rlc/rlc_index.cc.o.d"
+  "CMakeFiles/reach_rlc.dir/rlc/rlc_product_bfs.cc.o"
+  "CMakeFiles/reach_rlc.dir/rlc/rlc_product_bfs.cc.o.d"
+  "libreach_rlc.a"
+  "libreach_rlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_rlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpq/dfa.cc" "src/CMakeFiles/reach_rpq.dir/rpq/dfa.cc.o" "gcc" "src/CMakeFiles/reach_rpq.dir/rpq/dfa.cc.o.d"
+  "/root/repo/src/rpq/nfa.cc" "src/CMakeFiles/reach_rpq.dir/rpq/nfa.cc.o" "gcc" "src/CMakeFiles/reach_rpq.dir/rpq/nfa.cc.o.d"
+  "/root/repo/src/rpq/regex_parser.cc" "src/CMakeFiles/reach_rpq.dir/rpq/regex_parser.cc.o" "gcc" "src/CMakeFiles/reach_rpq.dir/rpq/regex_parser.cc.o.d"
+  "/root/repo/src/rpq/rpq_evaluator.cc" "src/CMakeFiles/reach_rpq.dir/rpq/rpq_evaluator.cc.o" "gcc" "src/CMakeFiles/reach_rpq.dir/rpq/rpq_evaluator.cc.o.d"
+  "/root/repo/src/rpq/rpq_template_index.cc" "src/CMakeFiles/reach_rpq.dir/rpq/rpq_template_index.cc.o" "gcc" "src/CMakeFiles/reach_rpq.dir/rpq/rpq_template_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/reach_lcr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_plain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_traversal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_rpq.dir/rpq/dfa.cc.o"
+  "CMakeFiles/reach_rpq.dir/rpq/dfa.cc.o.d"
+  "CMakeFiles/reach_rpq.dir/rpq/nfa.cc.o"
+  "CMakeFiles/reach_rpq.dir/rpq/nfa.cc.o.d"
+  "CMakeFiles/reach_rpq.dir/rpq/regex_parser.cc.o"
+  "CMakeFiles/reach_rpq.dir/rpq/regex_parser.cc.o.d"
+  "CMakeFiles/reach_rpq.dir/rpq/rpq_evaluator.cc.o"
+  "CMakeFiles/reach_rpq.dir/rpq/rpq_evaluator.cc.o.d"
+  "CMakeFiles/reach_rpq.dir/rpq/rpq_template_index.cc.o"
+  "CMakeFiles/reach_rpq.dir/rpq/rpq_template_index.cc.o.d"
+  "libreach_rpq.a"
+  "libreach_rpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_rpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

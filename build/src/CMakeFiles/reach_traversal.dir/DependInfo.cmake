@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traversal/online_search.cc" "src/CMakeFiles/reach_traversal.dir/traversal/online_search.cc.o" "gcc" "src/CMakeFiles/reach_traversal.dir/traversal/online_search.cc.o.d"
+  "/root/repo/src/traversal/transitive_closure.cc" "src/CMakeFiles/reach_traversal.dir/traversal/transitive_closure.cc.o" "gcc" "src/CMakeFiles/reach_traversal.dir/traversal/transitive_closure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/reach_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

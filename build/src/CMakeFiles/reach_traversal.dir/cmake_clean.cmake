@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_traversal.dir/traversal/online_search.cc.o"
+  "CMakeFiles/reach_traversal.dir/traversal/online_search.cc.o.d"
+  "CMakeFiles/reach_traversal.dir/traversal/transitive_closure.cc.o"
+  "CMakeFiles/reach_traversal.dir/traversal/transitive_closure.cc.o.d"
+  "libreach_traversal.a"
+  "libreach_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_tc_test.dir/approx_tc_test.cc.o"
+  "CMakeFiles/approx_tc_test.dir/approx_tc_test.cc.o.d"
+  "approx_tc_test"
+  "approx_tc_test.pdb"
+  "approx_tc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_tc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

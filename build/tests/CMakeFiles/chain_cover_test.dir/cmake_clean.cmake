@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_cover_test.dir/chain_cover_test.cc.o"
+  "CMakeFiles/chain_cover_test.dir/chain_cover_test.cc.o.d"
+  "chain_cover_test"
+  "chain_cover_test.pdb"
+  "chain_cover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_cover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensation_test.dir/condensation_test.cc.o"
+  "CMakeFiles/condensation_test.dir/condensation_test.cc.o.d"
+  "condensation_test"
+  "condensation_test.pdb"
+  "condensation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagger_test.dir/dagger_test.cc.o"
+  "CMakeFiles/dagger_test.dir/dagger_test.cc.o.d"
+  "dagger_test"
+  "dagger_test.pdb"
+  "dagger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbl_test.dir/dbl_test.cc.o"
+  "CMakeFiles/dbl_test.dir/dbl_test.cc.o.d"
+  "dbl_test"
+  "dbl_test.pdb"
+  "dbl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfa_minimize_test.dir/dfa_minimize_test.cc.o"
+  "CMakeFiles/dfa_minimize_test.dir/dfa_minimize_test.cc.o.d"
+  "dfa_minimize_test"
+  "dfa_minimize_test.pdb"
+  "dfa_minimize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfa_minimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_bitset_test.dir/dynamic_bitset_test.cc.o"
+  "CMakeFiles/dynamic_bitset_test.dir/dynamic_bitset_test.cc.o.d"
+  "dynamic_bitset_test"
+  "dynamic_bitset_test.pdb"
+  "dynamic_bitset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_bitset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

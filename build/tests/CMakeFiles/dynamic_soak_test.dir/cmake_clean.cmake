@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_soak_test.dir/dynamic_soak_test.cc.o"
+  "CMakeFiles/dynamic_soak_test.dir/dynamic_soak_test.cc.o.d"
+  "dynamic_soak_test"
+  "dynamic_soak_test.pdb"
+  "dynamic_soak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grail_ferrari_test.dir/grail_ferrari_test.cc.o"
+  "CMakeFiles/grail_ferrari_test.dir/grail_ferrari_test.cc.o.d"
+  "grail_ferrari_test"
+  "grail_ferrari_test.pdb"
+  "grail_ferrari_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grail_ferrari_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

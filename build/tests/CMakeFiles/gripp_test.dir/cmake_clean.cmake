@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gripp_test.dir/gripp_test.cc.o"
+  "CMakeFiles/gripp_test.dir/gripp_test.cc.o.d"
+  "gripp_test"
+  "gripp_test.pdb"
+  "gripp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gripp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labeled_digraph_test.dir/labeled_digraph_test.cc.o"
+  "CMakeFiles/labeled_digraph_test.dir/labeled_digraph_test.cc.o.d"
+  "labeled_digraph_test"
+  "labeled_digraph_test.pdb"
+  "labeled_digraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labeled_digraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

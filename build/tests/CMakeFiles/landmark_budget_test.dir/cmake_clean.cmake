@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landmark_budget_test.dir/landmark_budget_test.cc.o"
+  "CMakeFiles/landmark_budget_test.dir/landmark_budget_test.cc.o.d"
+  "landmark_budget_test"
+  "landmark_budget_test.pdb"
+  "landmark_budget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landmark_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcr_conformance_test.dir/lcr_conformance_test.cc.o"
+  "CMakeFiles/lcr_conformance_test.dir/lcr_conformance_test.cc.o.d"
+  "lcr_conformance_test"
+  "lcr_conformance_test.pdb"
+  "lcr_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcr_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcr_edge_cases_test.dir/lcr_edge_cases_test.cc.o"
+  "CMakeFiles/lcr_edge_cases_test.dir/lcr_edge_cases_test.cc.o.d"
+  "lcr_edge_cases_test"
+  "lcr_edge_cases_test.pdb"
+  "lcr_edge_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcr_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

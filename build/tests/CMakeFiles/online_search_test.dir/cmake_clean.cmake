@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_search_test.dir/online_search_test.cc.o"
+  "CMakeFiles/online_search_test.dir/online_search_test.cc.o.d"
+  "online_search_test"
+  "online_search_test.pdb"
+  "online_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

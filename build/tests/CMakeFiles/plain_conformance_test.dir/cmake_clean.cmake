@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plain_conformance_test.dir/plain_conformance_test.cc.o"
+  "CMakeFiles/plain_conformance_test.dir/plain_conformance_test.cc.o.d"
+  "plain_conformance_test"
+  "plain_conformance_test.pdb"
+  "plain_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plain_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

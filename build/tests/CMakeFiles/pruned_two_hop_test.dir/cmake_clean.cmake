@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pruned_two_hop_test.dir/pruned_two_hop_test.cc.o"
+  "CMakeFiles/pruned_two_hop_test.dir/pruned_two_hop_test.cc.o.d"
+  "pruned_two_hop_test"
+  "pruned_two_hop_test.pdb"
+  "pruned_two_hop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pruned_two_hop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

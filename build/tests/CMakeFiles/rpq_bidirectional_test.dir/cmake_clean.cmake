@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpq_bidirectional_test.dir/rpq_bidirectional_test.cc.o"
+  "CMakeFiles/rpq_bidirectional_test.dir/rpq_bidirectional_test.cc.o.d"
+  "rpq_bidirectional_test"
+  "rpq_bidirectional_test.pdb"
+  "rpq_bidirectional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpq_bidirectional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

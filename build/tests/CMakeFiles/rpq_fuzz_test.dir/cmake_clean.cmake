@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpq_fuzz_test.dir/rpq_fuzz_test.cc.o"
+  "CMakeFiles/rpq_fuzz_test.dir/rpq_fuzz_test.cc.o.d"
+  "rpq_fuzz_test"
+  "rpq_fuzz_test.pdb"
+  "rpq_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpq_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

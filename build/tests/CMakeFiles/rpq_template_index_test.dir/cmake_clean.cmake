@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpq_template_index_test.dir/rpq_template_index_test.cc.o"
+  "CMakeFiles/rpq_template_index_test.dir/rpq_template_index_test.cc.o.d"
+  "rpq_template_index_test"
+  "rpq_template_index_test.pdb"
+  "rpq_template_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpq_template_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

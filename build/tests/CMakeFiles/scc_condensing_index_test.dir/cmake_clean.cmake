@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_condensing_index_test.dir/scc_condensing_index_test.cc.o"
+  "CMakeFiles/scc_condensing_index_test.dir/scc_condensing_index_test.cc.o.d"
+  "scc_condensing_index_test"
+  "scc_condensing_index_test.pdb"
+  "scc_condensing_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_condensing_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_workspace_test.dir/search_workspace_test.cc.o"
+  "CMakeFiles/search_workspace_test.dir/search_workspace_test.cc.o.d"
+  "search_workspace_test"
+  "search_workspace_test.pdb"
+  "search_workspace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_workspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/single_source_gtc_test.cc" "tests/CMakeFiles/single_source_gtc_test.dir/single_source_gtc_test.cc.o" "gcc" "tests/CMakeFiles/single_source_gtc_test.dir/single_source_gtc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/reach_rlc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_rpq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_plain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_lcr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_reduction.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_traversal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reach_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

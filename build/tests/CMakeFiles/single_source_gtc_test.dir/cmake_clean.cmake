@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_source_gtc_test.dir/single_source_gtc_test.cc.o"
+  "CMakeFiles/single_source_gtc_test.dir/single_source_gtc_test.cc.o.d"
+  "single_source_gtc_test"
+  "single_source_gtc_test.pdb"
+  "single_source_gtc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_source_gtc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

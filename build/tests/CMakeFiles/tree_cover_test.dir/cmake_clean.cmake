@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_cover_test.dir/tree_cover_test.cc.o"
+  "CMakeFiles/tree_cover_test.dir/tree_cover_test.cc.o.d"
+  "tree_cover_test"
+  "tree_cover_test.pdb"
+  "tree_cover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_cover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_lcr_index_test.dir/tree_lcr_index_test.cc.o"
+  "CMakeFiles/tree_lcr_index_test.dir/tree_lcr_index_test.cc.o.d"
+  "tree_lcr_index_test"
+  "tree_lcr_index_test.pdb"
+  "tree_lcr_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_lcr_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
