@@ -6,16 +6,21 @@
 // experiment index). Benchmarks use fixed iteration counts so a full
 // harness run stays bounded; throughput/latency land in custom counters.
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "core/index_stats.h"
 #include "core/query_workload.h"
 #include "graph/digraph.h"
 #include "graph/generators.h"
 #include "graph/labeled_digraph.h"
+#include "obs/metrics_exporter.h"
 
 namespace reach::bench {
 
@@ -87,6 +92,75 @@ void RunQueryLoop(::benchmark::State& state, const Queries& queries,
   state.counters["true_frac"] = ::benchmark::Counter(
       static_cast<double>(positives) /
       (static_cast<double>(state.iterations()) * queries.size()));
+}
+
+/// The exporter every bench binary accumulates `IndexReport`s into;
+/// `EmitBenchMetrics()` renders it after the run.
+inline MetricsExporter& BenchExporter() {
+  static MetricsExporter exporter;
+  return exporter;
+}
+
+/// Publishes the index-reported build statistics as benchmark counters —
+/// the single source of truth for indexing time (satisfying the "don't
+/// re-time what the index already measured" rule): `stat_build_ms` comes
+/// from `IndexStats::build_time`, `peak_rss_MB` from the build's
+/// getrusage reading.
+inline void ReportBuildCounters(::benchmark::State& state,
+                                const IndexStats& stats) {
+  state.counters["stat_build_ms"] =
+      static_cast<double>(stats.build_time.count()) / 1e6;
+  state.counters["peak_rss_MB"] =
+      static_cast<double>(stats.peak_build_memory_bytes) / (1024.0 * 1024.0);
+}
+
+/// Publishes the probe delta between two snapshots (taken around a query
+/// phase) as per-query benchmark counters (`probe_<field>`); the
+/// `probe_queries` counter itself is the raw count.
+inline void ReportProbeDelta(::benchmark::State& state,
+                             const QueryProbe& before,
+                             const QueryProbe& after) {
+  std::vector<std::pair<const char*, uint64_t>> b, a;
+  before.ForEachField(
+      [&](const char* name, uint64_t v) { b.emplace_back(name, v); });
+  after.ForEachField(
+      [&](const char* name, uint64_t v) { a.emplace_back(name, v); });
+  // `queries` is the first ForEachField field by contract.
+  const uint64_t queries = a[0].second - b[0].second;
+  if (queries == 0) return;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double delta = static_cast<double>(a[i].second - b[i].second);
+    state.counters[std::string("probe_") + a[i].first] =
+        i == 0 ? delta : delta / static_cast<double>(queries);
+  }
+}
+
+/// Collects `index` into the bench-wide exporter under
+/// "<graph>/<index-name>". Call once per built index, after its query
+/// phases ran, so the report carries both build phases and probe counts.
+template <typename Index>
+void CollectIndexReport(const std::string& graph_name, const Index& index) {
+  IndexReport report = MakeIndexReport(index);
+  report.name = graph_name + "/" + report.name;
+  BenchExporter().Add(std::move(report));
+}
+
+/// Renders the accumulated reports once the benchmarks finished: into the
+/// file named by REACH_METRICS_JSON when set, to stderr otherwise.
+inline void EmitBenchMetrics() {
+  MetricsExporter& exporter = BenchExporter();
+  if (exporter.reports().empty()) return;
+  exporter.SetRegistrySnapshot(MetricsRegistry::Global().Snapshot());
+  if (const char* path = std::getenv("REACH_METRICS_JSON")) {
+    if (exporter.WriteJsonFile(path)) {
+      std::fprintf(stderr, "metrics: JSON report written to %s\n", path);
+    } else {
+      std::fprintf(stderr, "metrics: failed to write %s\n", path);
+    }
+    return;
+  }
+  std::fputs(exporter.ToJson().c_str(), stderr);
+  std::fputc('\n', stderr);
 }
 
 }  // namespace reach::bench

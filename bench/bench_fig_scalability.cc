@@ -30,17 +30,23 @@ void RegisterAll() {
           ("scalability/" + spec + "/" + gc.name).c_str(),
           [&gc, spec](::benchmark::State& state) {
             size_t bytes = 0;
+            IndexStats stats;
             for (auto _ : state) {
               auto index = MakePlainIndex(spec);
               index->Build(gc.graph);
               bytes = index->IndexSizeBytes();
+              stats = index->Stats();
+              state.SetIterationTime(
+                  static_cast<double>(stats.build_time.count()) / 1e9);
             }
+            ReportBuildCounters(state, stats);
             state.counters["index_KB"] =
                 static_cast<double>(bytes) / 1024.0;
             state.counters["bytes_per_vertex"] = ::benchmark::Counter(
                 static_cast<double>(bytes) / gc.graph.NumVertices());
           })
           ->Iterations(1)
+          ->UseManualTime()
           ->Unit(::benchmark::kMillisecond);
     }
   }

@@ -19,11 +19,14 @@ void RegisterAll() {
     ::benchmark::RegisterBenchmark(
         ("parallel/grail-k8/threads=" + std::to_string(threads)).c_str(),
         [graph, threads](::benchmark::State& state) {
+          IndexStats stats;
           for (auto _ : state) {
             Grail index(/*k=*/8, /*seed=*/7, threads);
             index.Build(*graph);
             ::benchmark::DoNotOptimize(index.IndexSizeBytes());
+            stats = index.Stats();
           }
+          ReportBuildCounters(state, stats);
           state.counters["threads"] = static_cast<double>(threads);
         })
         ->Iterations(2)

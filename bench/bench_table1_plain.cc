@@ -46,18 +46,25 @@ void RegisterAll() {
       if (spec == "dual" && gc.name != "layered-deep") continue;
 
       const std::string base = "table1/" + gc.name + "/" + spec;
-      // Build phase: fresh index per iteration.
+      // Build phase: fresh index per iteration. The reported time is the
+      // *index-measured* IndexStats::build_time (manual time), so the
+      // bench table and the metrics report come from one stopwatch.
       ::benchmark::RegisterBenchmark(
           (base + "/build").c_str(),
           [&gc, spec](::benchmark::State& state) {
             size_t bytes = 0;
             bool complete = false;
+            IndexStats stats;
             for (auto _ : state) {
               auto index = MakePlainIndex(spec);
               index->Build(gc.graph);
               bytes = index->IndexSizeBytes();
               complete = index->IsComplete();
+              stats = index->Stats();
+              state.SetIterationTime(
+                  static_cast<double>(stats.build_time.count()) / 1e9);
             }
+            ReportBuildCounters(state, stats);
             state.counters["index_KB"] =
                 static_cast<double>(bytes) / 1024.0;
             state.counters["complete"] = complete ? 1 : 0;
@@ -67,6 +74,7 @@ void RegisterAll() {
                 static_cast<double>(gc.graph.NumEdges());
           })
           ->Iterations(1)
+          ->UseManualTime()
           ->Unit(::benchmark::kMillisecond);
 
       // Query phases share one pre-built index.
@@ -81,18 +89,22 @@ void RegisterAll() {
       const struct {
         const char* name;
         const std::vector<QueryPair>* queries;
-      } phases[] = {{"query_pos", &wl.positive},
-                    {"query_neg", &wl.negative},
-                    {"query_rand", &wl.random}};
+        bool collect_report;  // last phase folds the index into the JSON
+      } phases[] = {{"query_pos", &wl.positive, false},
+                    {"query_neg", &wl.negative, false},
+                    {"query_rand", &wl.random, true}};
       for (const auto& phase : phases) {
         ::benchmark::RegisterBenchmark(
             (base + "/" + phase.name).c_str(),
-            [ensure_built, built, queries = phase.queries](
-                ::benchmark::State& state) {
+            [ensure_built, built, &gc, queries = phase.queries,
+             collect = phase.collect_report](::benchmark::State& state) {
               ensure_built();
+              const QueryProbe before = built->index->Probe();
               RunQueryLoop(state, *queries, [&](const QueryPair& q) {
                 return built->index->Query(q.source, q.target);
               });
+              ReportProbeDelta(state, before, built->index->Probe());
+              if (collect) CollectIndexReport(gc.name, *built->index);
             })
             ->Iterations(2)
             ->Unit(::benchmark::kMicrosecond);
@@ -108,6 +120,7 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   reach::bench::RegisterAll();
   ::benchmark::RunSpecifiedBenchmarks();
+  reach::bench::EmitBenchMetrics();
   ::benchmark::Shutdown();
   return 0;
 }

@@ -40,19 +40,27 @@ void RegisterAll() {
         continue;
       }
       const std::string base = "table2/" + gc.name + "/" + spec;
+      // Reported build time is the index-measured IndexStats::build_time
+      // (manual time) — one stopwatch for bench tables and metrics alike.
       ::benchmark::RegisterBenchmark(
           (base + "/build").c_str(),
           [&gc, spec](::benchmark::State& state) {
             size_t bytes = 0;
+            IndexStats stats;
             for (auto _ : state) {
               auto index = MakeLcrIndex(spec);
               index->Build(gc.graph);
               bytes = index->IndexSizeBytes();
+              stats = index->Stats();
+              state.SetIterationTime(
+                  static_cast<double>(stats.build_time.count()) / 1e9);
             }
+            ReportBuildCounters(state, stats);
             state.counters["index_KB"] =
                 static_cast<double>(bytes) / 1024.0;
           })
           ->Iterations(1)
+          ->UseManualTime()
           ->Unit(::benchmark::kMillisecond);
 
       auto built = std::make_shared<BuiltLcr>();
@@ -65,18 +73,22 @@ void RegisterAll() {
       const struct {
         const char* name;
         const std::vector<LcrQuery>* queries;
-      } phases[] = {{"query_pos", pos},
-                    {"query_rand_narrow", rand_narrow},
-                    {"query_rand_wide", rand_wide}};
+        bool collect_report;  // last phase folds the index into the JSON
+      } phases[] = {{"query_pos", pos, false},
+                    {"query_rand_narrow", rand_narrow, false},
+                    {"query_rand_wide", rand_wide, true}};
       for (const auto& phase : phases) {
         ::benchmark::RegisterBenchmark(
             (base + "/" + phase.name).c_str(),
-            [ensure_built, built, queries = phase.queries](
-                ::benchmark::State& state) {
+            [ensure_built, built, &gc, queries = phase.queries,
+             collect = phase.collect_report](::benchmark::State& state) {
               ensure_built();
+              const QueryProbe before = built->index->Probe();
               RunQueryLoop(state, *queries, [&](const LcrQuery& q) {
                 return built->index->Query(q.source, q.target, q.allowed);
               });
+              ReportProbeDelta(state, before, built->index->Probe());
+              if (collect) CollectIndexReport(gc.name, *built->index);
             })
             ->Iterations(2)
             ->Unit(::benchmark::kMicrosecond);
@@ -92,6 +104,7 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   reach::bench::RegisterAll();
   ::benchmark::RunSpecifiedBenchmarks();
+  reach::bench::EmitBenchMetrics();
   ::benchmark::Shutdown();
   return 0;
 }

@@ -1,17 +1,22 @@
 // A small command-line reachability service — the library as a downstream
 // user would deploy it: load a SNAP-style edge list, build an index chosen
 // by name, then answer queries from stdin. Demonstrates file I/O, the
-// index registry, LCR constraints, and 2-hop persistence.
+// index registry, LCR constraints, 2-hop persistence, and the
+// observability layer (--metrics).
 //
 // Usage:
-//   reach_cli <edge-list-file> [index-spec]          # plain graphs
-//   reach_cli --labeled <edge-list-file>             # labeled graphs (p2h)
-//   reach_cli --demo                                 # built-in demo graph
+//   reach_cli [--metrics] <edge-list-file> [index-spec]   # plain graphs
+//   reach_cli [--metrics] --labeled <edge-list-file>      # labeled (p2h)
+//   reach_cli [--metrics] --demo [index-spec]             # built-in demo
 //
 // Query language on stdin, one per line:
 //   <s> <t>              plain reachability Qr(s, t)
 //   <s> <t> <l0,l1,...>  LCR query (labeled mode): labels allowed
 //   save <file> / load <file>   persist / restore (pll indexes only)
+//
+// With --metrics, a JSON metrics report (schema "reach.metrics.v1") is
+// printed to stdout after stdin is exhausted: per-phase build timings,
+// index size, peak build RSS, and the accumulated query probe counters.
 
 #include <cstdio>
 #include <cstring>
@@ -20,30 +25,42 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/index_stats.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "lcr/label_set.h"
 #include "lcr/pruned_labeled_two_hop.h"
+#include "obs/metrics_exporter.h"
 #include "plain/pruned_two_hop.h"
 #include "plain/registry.h"
 
 namespace {
 
-int RunPlain(const reach::Digraph& graph, const std::string& spec) {
+// Emits the JSON metrics report for `index` on stdout.
+template <typename Index>
+void EmitMetrics(const Index& index) {
+  reach::MetricsExporter exporter;
+  exporter.Add(reach::MakeIndexReport(index));
+  exporter.SetRegistrySnapshot(reach::MetricsRegistry::Global().Snapshot());
+  std::fputs(exporter.ToJson().c_str(), stdout);
+  std::fputc('\n', stdout);
+}
+
+int RunPlain(const reach::Digraph& graph, const std::string& spec,
+             bool metrics) {
   using namespace reach;
   auto index = MakePlainIndex(spec);
   if (index == nullptr) {
     std::fprintf(stderr, "unknown index spec '%s'\n", spec.c_str());
     return 1;
   }
-  Stopwatch timer;
   index->Build(graph);
   std::fprintf(stderr,
                "built %s in %.1f ms (%zu KiB) over %zu vertices / %zu "
                "edges; enter queries: <s> <t>\n",
-               index->Name().c_str(), timer.Elapsed().count() / 1e6,
+               index->Name().c_str(), index->Stats().build_time.count() / 1e6,
                index->IndexSizeBytes() / 1024, graph.NumVertices(),
                graph.NumEdges());
 
@@ -84,18 +101,18 @@ int RunPlain(const reach::Digraph& graph, const std::string& spec) {
     }
     std::printf("%s\n", index->Query(s, t) ? "true" : "false");
   }
+  if (metrics) EmitMetrics(*index);
   return 0;
 }
 
-int RunLabeled(const reach::LabeledDigraph& graph) {
+int RunLabeled(const reach::LabeledDigraph& graph, bool metrics) {
   using namespace reach;
   PrunedLabeledTwoHop index;
-  Stopwatch timer;
   index.Build(graph);
   std::fprintf(stderr,
                "built p2h in %.1f ms (%zu entries) over %zu vertices / %zu "
                "labeled edges / %u labels; queries: <s> <t> <l0,l1,...>\n",
-               timer.Elapsed().count() / 1e6, index.TotalEntries(),
+               index.Stats().build_time.count() / 1e6, index.TotalEntries(),
                graph.NumVertices(), graph.NumEdges(), graph.NumLabels());
 
   std::string line;
@@ -127,6 +144,7 @@ int RunLabeled(const reach::LabeledDigraph& graph) {
     }
     std::printf("%s\n", index.Query(s, t, mask) ? "true" : "false");
   }
+  if (metrics) EmitMetrics(index);
   return 0;
 }
 
@@ -134,30 +152,40 @@ int RunLabeled(const reach::LabeledDigraph& graph) {
 
 int main(int argc, char** argv) {
   using namespace reach;
-  if (argc >= 2 && std::strcmp(argv[1], "--demo") == 0) {
-    return RunPlain(ScaleFreeDag(10000, 3, 1), argc > 2 ? argv[2] : "pll");
+  bool metrics = false;
+  std::vector<const char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else {
+      args.push_back(argv[i]);
+    }
   }
-  if (argc >= 3 && std::strcmp(argv[1], "--labeled") == 0) {
+  if (!args.empty() && std::strcmp(args[0], "--demo") == 0) {
+    return RunPlain(ScaleFreeDag(10000, 3, 1),
+                    args.size() > 1 ? args[1] : "pll", metrics);
+  }
+  if (args.size() >= 2 && std::strcmp(args[0], "--labeled") == 0) {
     std::string error;
-    auto graph = ReadLabeledEdgeListFile(argv[2], &error);
+    auto graph = ReadLabeledEdgeListFile(args[1], &error);
     if (!graph) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
       return 1;
     }
-    return RunLabeled(*graph);
+    return RunLabeled(*graph, metrics);
   }
-  if (argc >= 2) {
+  if (!args.empty()) {
     std::string error;
-    auto graph = ReadEdgeListFile(argv[1], &error);
+    auto graph = ReadEdgeListFile(args[0], &error);
     if (!graph) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
       return 1;
     }
-    return RunPlain(*graph, argc > 2 ? argv[2] : "pll");
+    return RunPlain(*graph, args.size() > 1 ? args[1] : "pll", metrics);
   }
   std::fprintf(stderr,
-               "usage: reach_cli <edge-list> [index-spec]\n"
-               "       reach_cli --labeled <edge-list>\n"
-               "       reach_cli --demo [index-spec]\n");
+               "usage: reach_cli [--metrics] <edge-list> [index-spec]\n"
+               "       reach_cli [--metrics] --labeled <edge-list>\n"
+               "       reach_cli [--metrics] --demo [index-spec]\n");
   return 1;
 }

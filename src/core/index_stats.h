@@ -3,11 +3,18 @@
 
 #include <chrono>
 #include <cstddef>
+#include <vector>
+
+#include "obs/build_phase_timer.h"
 
 namespace reach {
 
 /// Build-time/size statistics reported alongside every index, matching the
-/// columns of the survey's comparisons (indexing time, index size).
+/// columns of the survey's comparisons (indexing time, index size) plus
+/// the observability extensions (phase breakdown, peak memory). Every
+/// index's `Build()` populates this via `BuildStatsScope`; benches and the
+/// CLI read it back through `ReachabilityIndex::Stats()` so indexing-time
+/// numbers come from one source of truth.
 struct IndexStats {
   /// Wall-clock build time.
   std::chrono::nanoseconds build_time{0};
@@ -15,6 +22,12 @@ struct IndexStats {
   size_t size_bytes = 0;
   /// Number of label entries / intervals / hops, technique-specific.
   size_t num_entries = 0;
+  /// Best-effort peak resident-set size observed at the end of the build
+  /// (process-wide, via getrusage; an upper bound for the build itself).
+  size_t peak_build_memory_bytes = 0;
+  /// Named build-phase breakdown in execution order (e.g. condense ->
+  /// order -> label). Empty when compiled with REACH_METRICS=0.
+  std::vector<PhaseTiming> phases;
 };
 
 /// Small stopwatch for measuring build and query phases.
@@ -34,6 +47,29 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII wrapper for one `Build()` call: clears `stats` on entry (builds
+/// replace prior state) and fills `build_time` and
+/// `peak_build_memory_bytes` on exit. Phases are timed separately with
+/// `BuildPhaseTimer`; size fields are assigned by the build body.
+class BuildStatsScope {
+ public:
+  explicit BuildStatsScope(IndexStats* stats) : stats_(stats) {
+    *stats_ = IndexStats{};
+  }
+
+  ~BuildStatsScope() {
+    stats_->build_time = timer_.Elapsed();
+    stats_->peak_build_memory_bytes = PeakRssBytes();
+  }
+
+  BuildStatsScope(const BuildStatsScope&) = delete;
+  BuildStatsScope& operator=(const BuildStatsScope&) = delete;
+
+ private:
+  IndexStats* stats_;
+  Stopwatch timer_;
 };
 
 }  // namespace reach

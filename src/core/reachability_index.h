@@ -4,8 +4,10 @@
 #include <cstddef>
 #include <string>
 
+#include "core/index_stats.h"
 #include "graph/digraph.h"
 #include "graph/types.h"
+#include "obs/query_probe.h"
 
 namespace reach {
 
@@ -44,6 +46,23 @@ class ReachabilityIndex {
 
   /// Short identifier used in benchmark tables, e.g. "grail(k=3)".
   virtual std::string Name() const = 0;
+
+  /// Build statistics of the last `Build()` (time, phase breakdown, peak
+  /// memory; size fields are technique-specific). The single source of
+  /// truth for the survey's "indexing time" column.
+  const IndexStats& Stats() const { return build_stats_; }
+
+  /// Per-query instrumentation accumulated since `Build()` /
+  /// `ResetProbe()`. Uninstrumented indexes report an empty probe; with
+  /// REACH_METRICS=0 every probe is empty.
+  virtual QueryProbe Probe() const { return QueryProbe{}; }
+
+  /// Zeroes the probe counters (e.g. between benchmark phases).
+  virtual void ResetProbe() const {}
+
+ protected:
+  /// Populated by each `Build()` via `BuildStatsScope`.
+  IndexStats build_stats_;
 };
 
 /// Interface of a plain reachability index that supports edge insertions

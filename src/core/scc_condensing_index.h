@@ -26,15 +26,34 @@ class SccCondensingIndex : public ReachabilityIndex {
       : dag_index_(std::move(dag_index)) {}
 
   void Build(const Digraph& graph) override {
-    condensation_ = Condense(graph);
+    BuildStatsScope build(&build_stats_);
+    {
+      BuildPhaseTimer timer(&build_stats_.phases, "condense");
+      condensation_ = Condense(graph);
+    }
     dag_index_->Build(condensation_.dag);
+    // Absorb the wrapped build's breakdown so `Stats()` shows the whole
+    // pipeline (condense -> inner phases).
+    const IndexStats& inner = dag_index_->Stats();
+    build_stats_.phases.insert(build_stats_.phases.end(),
+                               inner.phases.begin(), inner.phases.end());
+    build_stats_.size_bytes = IndexSizeBytes();
+    build_stats_.num_entries = inner.num_entries;
+    probe_.Reset();
   }
 
   bool Query(VertexId s, VertexId t) const override {
+    REACH_PROBE_INC(probe_, queries);
+    REACH_PROBE_ADD(probe_, labels_scanned, 1);  // component-of lookup
     const VertexId cs = condensation_.DagVertex(s);
     const VertexId ct = condensation_.DagVertex(t);
-    if (cs == ct) return true;
-    return dag_index_->Query(cs, ct);
+    if (cs == ct) {
+      REACH_PROBE_INC(probe_, positives);
+      return true;
+    }
+    const bool reachable = dag_index_->Query(cs, ct);
+    if (reachable) REACH_PROBE_INC(probe_, positives);
+    return reachable;
   }
 
   size_t IndexSizeBytes() const override {
@@ -46,6 +65,22 @@ class SccCondensingIndex : public ReachabilityIndex {
 
   std::string Name() const override { return "scc+" + dag_index_->Name(); }
 
+  /// The wrapped index's probe, with queries/positives counted at the
+  /// wrapper (same-SCC pairs are settled here and never reach the DAG
+  /// index).
+  QueryProbe Probe() const override {
+    QueryProbe merged = dag_index_->Probe();
+    merged.queries = probe_.queries;
+    merged.positives = probe_.positives;
+    merged.labels_scanned += probe_.labels_scanned;
+    return merged;
+  }
+
+  void ResetProbe() const override {
+    probe_.Reset();
+    dag_index_->ResetProbe();
+  }
+
   /// The wrapped DAG index (e.g., to inspect its stats).
   const ReachabilityIndex& dag_index() const { return *dag_index_; }
 
@@ -55,6 +90,7 @@ class SccCondensingIndex : public ReachabilityIndex {
  private:
   std::unique_ptr<ReachabilityIndex> dag_index_;
   Condensation condensation_;
+  mutable QueryProbe probe_;
 };
 
 /// Convenience: wraps a freshly constructed `DagIndex(args...)` in an

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "obs/query_probe.h"
 
 namespace reach {
 
@@ -66,12 +67,21 @@ class SearchWorkspace {
   /// Scratch FIFO/stack for the backward frontier.
   std::vector<VertexId>& backward_queue() { return backward_queue_; }
 
+  /// Query instrumentation carried alongside the traversal scratch state:
+  /// the traversal helpers and every index that guides a search through
+  /// this workspace record into the same probe (plain increments via the
+  /// REACH_PROBE_* macros). Not reset by `Prepare` — it accumulates across
+  /// queries until the owner resets it.
+  QueryProbe& probe() { return probe_; }
+  const QueryProbe& probe() const { return probe_; }
+
  private:
   std::vector<uint32_t> forward_marks_;
   std::vector<uint32_t> backward_marks_;
   uint32_t epoch_ = 0;
   std::vector<VertexId> queue_;
   std::vector<VertexId> backward_queue_;
+  QueryProbe probe_;
 };
 
 }  // namespace reach

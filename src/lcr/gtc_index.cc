@@ -7,9 +7,12 @@
 namespace reach {
 
 void GtcIndex::Build(const LabeledDigraph& graph) {
+  BuildStatsScope build(&build_stats_);
+  probe_.Reset();
   num_vertices_ = graph.NumVertices();
   row_offsets_.assign(num_vertices_ + 1, 0);
   entries_.clear();
+  BuildPhaseTimer timer(&build_stats_.phases, "single_source_gtc");
   for (VertexId s = 0; s < num_vertices_; ++s) {
     const std::vector<MinimalLabelSets> minimal = SingleSourceGtc(graph, s);
     for (VertexId t = 0; t < num_vertices_; ++t) {
@@ -19,18 +22,30 @@ void GtcIndex::Build(const LabeledDigraph& graph) {
     }
     row_offsets_[s + 1] = entries_.size();
   }
+  timer.Stop();
+  build_stats_.size_bytes = IndexSizeBytes();
+  build_stats_.num_entries = entries_.size();
 }
 
 bool GtcIndex::Query(VertexId s, VertexId t, LabelSet allowed) const {
-  if (s == t) return true;
+  REACH_PROBE_INC(probe_, queries);
+  if (s == t) {
+    REACH_PROBE_INC(probe_, positives);
+    return true;
+  }
   const Entry* begin = entries_.data() + row_offsets_[s];
   const Entry* end = entries_.data() + row_offsets_[s + 1];
   const Entry* it = std::lower_bound(
       begin, end, t,
       [](const Entry& e, VertexId target) { return e.target < target; });
   for (; it != end && it->target == t; ++it) {
-    if (IsSubsetOf(it->mask, allowed)) return true;
+    REACH_PROBE_INC(probe_, labels_scanned);
+    if (IsSubsetOf(it->mask, allowed)) {
+      REACH_PROBE_INC(probe_, positives);
+      return true;
+    }
   }
+  REACH_PROBE_INC(probe_, label_rejections);
   return false;
 }
 

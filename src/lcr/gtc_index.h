@@ -31,6 +31,8 @@ class GtcIndex : public LcrIndex {
   size_t IndexSizeBytes() const override;
   bool IsComplete() const override { return true; }
   std::string Name() const override { return "gtc"; }
+  QueryProbe Probe() const override { return probe_; }
+  void ResetProbe() const override { probe_.Reset(); }
 
   /// The minimal SPLSs from s to t (empty if unreachable; {∅} if s == t).
   std::vector<LabelSet> Spls(VertexId s, VertexId t) const;
@@ -48,6 +50,7 @@ class GtcIndex : public LcrIndex {
   // Row s: entries_[row_offsets_[s] .. row_offsets_[s+1]) sorted by target.
   std::vector<size_t> row_offsets_;
   std::vector<Entry> entries_;
+  mutable QueryProbe probe_;
 };
 
 }  // namespace reach

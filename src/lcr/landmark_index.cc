@@ -8,10 +8,13 @@
 namespace reach {
 
 void LandmarkIndex::Build(const LabeledDigraph& graph) {
+  BuildStatsScope build(&build_stats_);
+  ws_.probe().Reset();
   graph_ = &graph;
   const size_t n = graph.NumVertices();
   landmark_id_.assign(n, kNoLandmark);
 
+  BuildPhaseTimer select_timer(&build_stats_.phases, "select_landmarks");
   std::vector<VertexId> by_degree(n);
   std::iota(by_degree.begin(), by_degree.end(), 0);
   std::stable_sort(by_degree.begin(), by_degree.end(),
@@ -19,7 +22,9 @@ void LandmarkIndex::Build(const LabeledDigraph& graph) {
                      return graph.Degree(a) > graph.Degree(b);
                    });
   const size_t k = std::min(num_landmarks_, n);
+  select_timer.Stop();
 
+  BuildPhaseTimer rows_timer(&build_stats_.phases, "landmark_rows");
   row_offsets_.assign(k + 1, 0);
   row_entries_.clear();
   shortcuts_.assign(n, {});
@@ -45,7 +50,9 @@ void LandmarkIndex::Build(const LabeledDigraph& graph) {
       }
     }
   }
+  rows_timer.Stop();
   if (budget_ > 0) {
+    BuildPhaseTimer shortcut_timer(&build_stats_.phases, "shortcut_budget");
     for (VertexId v = 0; v < n; ++v) {
       auto& sc = shortcuts_[v];
       std::stable_sort(sc.begin(), sc.end(),
@@ -56,6 +63,8 @@ void LandmarkIndex::Build(const LabeledDigraph& graph) {
       sc.shrink_to_fit();
     }
   }
+  build_stats_.size_bytes = IndexSizeBytes();
+  build_stats_.num_entries = row_entries_.size();
 }
 
 bool LandmarkIndex::RowQuery(uint32_t lm, VertexId t, LabelSet allowed) const {
@@ -65,38 +74,64 @@ bool LandmarkIndex::RowQuery(uint32_t lm, VertexId t, LabelSet allowed) const {
       begin, end, t,
       [](const RowEntry& e, VertexId target) { return e.target < target; });
   for (; it != end && it->target == t; ++it) {
+    REACH_PROBE_INC(ws_.probe(), labels_scanned);
     if (IsSubsetOf(it->mask, allowed)) return true;
   }
   return false;
 }
 
 bool LandmarkIndex::Query(VertexId s, VertexId t, LabelSet allowed) const {
-  if (s == t) return true;
+  REACH_PROBE_INC(ws_.probe(), queries);
+  if (s == t) {
+    REACH_PROBE_INC(ws_.probe(), positives);
+    return true;
+  }
   // A landmark source is answered entirely from its complete GTC row.
   if (landmark_id_[s] != kNoLandmark) {
-    return RowQuery(landmark_id_[s], t, allowed);
+    const bool reachable = RowQuery(landmark_id_[s], t, allowed);
+    if (reachable) {
+      REACH_PROBE_INC(ws_.probe(), positives);
+    } else {
+      REACH_PROBE_INC(ws_.probe(), label_rejections);
+    }
+    return reachable;
   }
   // Shortcut acceleration: s -> landmark -> t without any traversal.
   for (const Shortcut& sc : shortcuts_[s]) {
+    REACH_PROBE_INC(ws_.probe(), labels_scanned);
     if (IsSubsetOf(sc.mask, allowed) && RowQuery(sc.landmark, t, allowed)) {
+      REACH_PROBE_INC(ws_.probe(), positives);
       return true;
     }
   }
   // Constrained BFS with landmark acceleration and pruning.
+  REACH_PROBE_INC(ws_.probe(), fallbacks);
   ws_.Prepare(graph_->NumVertices());
   auto& queue = ws_.queue();
   ws_.MarkForward(s);
   queue.push_back(s);
   for (size_t head = 0; head < queue.size(); ++head) {
+    REACH_PROBE_INC(ws_.probe(), vertices_visited);
     for (const LabeledDigraph::Arc& arc : graph_->OutArcs(queue[head])) {
-      if ((LabelBit(arc.label) & allowed) == 0) continue;
-      if (arc.vertex == t) return true;
+      REACH_PROBE_INC(ws_.probe(), edges_scanned);
+      if ((LabelBit(arc.label) & allowed) == 0) {
+        REACH_PROBE_INC(ws_.probe(), filter_prunes);
+        continue;
+      }
+      if (arc.vertex == t) {
+        REACH_PROBE_INC(ws_.probe(), positives);
+        return true;
+      }
       if (!ws_.MarkForward(arc.vertex)) continue;
       const uint32_t lm = landmark_id_[arc.vertex];
       if (lm != kNoLandmark) {
         // Landmark hit: its complete row either answers true or proves no
         // path through it can satisfy the constraint — prune either way.
-        if (RowQuery(lm, t, allowed)) return true;
+        if (RowQuery(lm, t, allowed)) {
+          REACH_PROBE_INC(ws_.probe(), positives);
+          return true;
+        }
+        REACH_PROBE_INC(ws_.probe(), filter_prunes);
         continue;
       }
       queue.push_back(arc.vertex);

@@ -36,6 +36,8 @@ class LandmarkIndex : public LcrIndex {
   std::string Name() const override {
     return "landmark(k=" + std::to_string(num_landmarks_) + ")";
   }
+  QueryProbe Probe() const override { return ws_.probe(); }
+  void ResetProbe() const override { ws_.probe().Reset(); }
 
   /// True iff v was selected as a landmark.
   bool IsLandmark(VertexId v) const {

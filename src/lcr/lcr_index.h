@@ -4,8 +4,10 @@
 #include <cstddef>
 #include <string>
 
+#include "core/index_stats.h"
 #include "graph/labeled_digraph.h"
 #include "graph/types.h"
+#include "obs/query_probe.h"
 
 namespace reach {
 
@@ -38,6 +40,20 @@ class LcrIndex {
 
   /// Identifier for benchmark tables.
   virtual std::string Name() const = 0;
+
+  /// Build statistics of the last `Build()` (see `ReachabilityIndex`).
+  const IndexStats& Stats() const { return build_stats_; }
+
+  /// Per-query instrumentation accumulated since `Build()` /
+  /// `ResetProbe()`; empty for uninstrumented indexes or REACH_METRICS=0.
+  virtual QueryProbe Probe() const { return QueryProbe{}; }
+
+  /// Zeroes the probe counters.
+  virtual void ResetProbe() const {}
+
+ protected:
+  /// Populated by each `Build()` via `BuildStatsScope`.
+  IndexStats build_stats_;
 };
 
 }  // namespace reach

@@ -40,4 +40,11 @@ std::vector<std::string> DefaultLcrIndexSpecs() {
   return {"lcr-bfs", "gtc", "jin-tree", "landmark", "p2h"};
 }
 
+void AddLcrIndexReport(MetricsExporter& exporter, const LcrIndex& index,
+                       const std::string& name_prefix) {
+  IndexReport report = MakeIndexReport(index);
+  if (!name_prefix.empty()) report.name = name_prefix + report.name;
+  exporter.Add(std::move(report));
+}
+
 }  // namespace reach

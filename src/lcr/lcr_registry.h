@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "lcr/lcr_index.h"
+#include "obs/metrics_exporter.h"
 
 namespace reach {
 
@@ -17,6 +18,11 @@ std::unique_ptr<LcrIndex> MakeLcrIndex(const std::string& spec);
 
 /// One spec per implemented Table 2 alternation row plus the baseline.
 std::vector<std::string> DefaultLcrIndexSpecs();
+
+/// Folds `index` into `exporter` as an `IndexReport`, optionally prefixing
+/// the report name. Non-template convenience over `MakeIndexReport`.
+void AddLcrIndexReport(MetricsExporter& exporter, const LcrIndex& index,
+                       const std::string& name_prefix = "");
 
 }  // namespace reach
 

@@ -135,15 +135,29 @@ bool PrunedLabeledTwoHop::LabelQuery(VertexId s, VertexId t,
 
 bool PrunedLabeledTwoHop::Query(VertexId s, VertexId t,
                                 LabelSet allowed) const {
-  return LabelQuery(s, t, allowed);
+  REACH_PROBE_INC(probe_, queries);
+  // Worst case the two-pointer sweep consults both full entry lists.
+  // (LabelQuery itself is unprobed — the build's pruning tests would
+  // otherwise swamp the counts.)
+  REACH_PROBE_ADD(probe_, labels_scanned, lout_[s].size() + lin_[t].size());
+  const bool reachable = LabelQuery(s, t, allowed);
+  if (reachable) {
+    REACH_PROBE_INC(probe_, positives);
+  } else {
+    REACH_PROBE_INC(probe_, label_rejections);  // complete label: no fallback
+  }
+  return reachable;
 }
 
 void PrunedLabeledTwoHop::Build(const LabeledDigraph& graph) {
+  BuildStatsScope build(&build_stats_);
+  probe_.Reset();
   graph_ = &graph;
   extra_out_.clear();
   extra_in_.clear();
   const size_t n = graph.NumVertices();
 
+  BuildPhaseTimer order_timer(&build_stats_.phases, "order");
   by_rank_.resize(n);
   std::iota(by_rank_.begin(), by_rank_.end(), 0);
   std::stable_sort(by_rank_.begin(), by_rank_.end(),
@@ -152,7 +166,9 @@ void PrunedLabeledTwoHop::Build(const LabeledDigraph& graph) {
                    });
   rank_.resize(n);
   for (uint32_t r = 0; r < n; ++r) rank_[by_rank_[r]] = r;
+  order_timer.Stop();
 
+  BuildPhaseTimer label_timer(&build_stats_.phases, "label_bfs");
   lin_.assign(n, {});
   lout_.assign(n, {});
   BucketQueue queue;
@@ -202,6 +218,9 @@ void PrunedLabeledTwoHop::Build(const LabeledDigraph& graph) {
       });
     }
   }
+  label_timer.Stop();
+  build_stats_.size_bytes = IndexSizeBytes();
+  build_stats_.num_entries = TotalEntries();
 }
 
 void PrunedLabeledTwoHop::InsertEdge(VertexId s, VertexId t, Label label) {

@@ -40,6 +40,8 @@ class PrunedLabeledTwoHop : public LcrIndex {
   size_t IndexSizeBytes() const override;
   bool IsComplete() const override { return true; }
   std::string Name() const override { return "p2h"; }
+  QueryProbe Probe() const override { return probe_; }
+  void ResetProbe() const override { probe_.Reset(); }
 
   /// Incremental insertion of the labeled edge s -l-> t.
   void InsertEdge(VertexId s, VertexId t, Label label);
@@ -72,6 +74,7 @@ class PrunedLabeledTwoHop : public LcrIndex {
   std::vector<std::vector<Entry>> lin_;   // sorted by (rank, insertion)
   std::vector<std::vector<Entry>> lout_;
   std::vector<std::vector<LabeledDigraph::Arc>> extra_out_, extra_in_;
+  mutable QueryProbe probe_;
 };
 
 }  // namespace reach

@@ -1,0 +1,80 @@
+#ifndef REACH_OBS_BUILD_PHASE_TIMER_H_
+#define REACH_OBS_BUILD_PHASE_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/query_probe.h"  // for REACH_METRICS
+
+namespace reach {
+
+/// One named slice of an index build (e.g. condense -> order -> label ->
+/// prune for the pruned 2-hop), recorded by `BuildPhaseTimer`.
+struct PhaseTiming {
+  std::string name;
+  std::chrono::nanoseconds elapsed{0};
+};
+
+/// RAII scope timing one build phase into a `PhaseTiming` list (normally
+/// `IndexStats::phases`). Phases append in execution order; nesting is
+/// allowed and simply records both scopes. Compiled out (records nothing)
+/// when REACH_METRICS=0.
+///
+///   void SomeIndex::Build(const Digraph& g) {
+///     BuildStatsScope build(&stats_);
+///     { BuildPhaseTimer t(&stats_.phases, "order"); ComputeOrder(g); }
+///     { BuildPhaseTimer t(&stats_.phases, "label"); BuildLabels(g); }
+///   }
+class BuildPhaseTimer {
+ public:
+  BuildPhaseTimer(std::vector<PhaseTiming>* phases, std::string name)
+#if REACH_METRICS
+      : phases_(phases),
+        name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {
+  }
+#else
+  {
+    (void)phases;
+    (void)name;
+  }
+#endif
+
+  ~BuildPhaseTimer() { Stop(); }
+
+  /// Ends the phase now instead of at scope exit; the destructor then
+  /// records nothing. Lets sequential phases share one scope:
+  ///   BuildPhaseTimer t1(&phases, "order"); ...; t1.Stop();
+  ///   BuildPhaseTimer t2(&phases, "label"); ...
+  void Stop() {
+#if REACH_METRICS
+    if (phases_ == nullptr) return;
+    phases_->push_back(
+        {std::move(name_), std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - start_)});
+    phases_ = nullptr;
+#endif
+  }
+
+  BuildPhaseTimer(const BuildPhaseTimer&) = delete;
+  BuildPhaseTimer& operator=(const BuildPhaseTimer&) = delete;
+
+ private:
+#if REACH_METRICS
+  std::vector<PhaseTiming>* phases_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+/// Best-effort peak resident-set size of the current process in bytes
+/// (getrusage ru_maxrss on POSIX; 0 where unavailable). Process-wide and
+/// monotonic, so per-build readings are an upper bound — good enough for
+/// the "index construction is memory-hungry" observations of the survey.
+uint64_t PeakRssBytes();
+
+}  // namespace reach
+
+#endif  // REACH_OBS_BUILD_PHASE_TIMER_H_

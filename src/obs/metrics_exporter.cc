@@ -1,0 +1,255 @@
+#include "obs/metrics_exporter.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace reach {
+
+namespace {
+
+double NsToMs(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+void AppendIndent(std::string& out, int depth) {
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+void AppendKey(std::string& out, int depth, const std::string& key) {
+  AppendIndent(out, depth);
+  out += '"';
+  out += JsonEscape(key);
+  out += "\": ";
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void MetricsExporter::Add(IndexReport report) {
+  reports_.push_back(std::move(report));
+}
+
+void MetricsExporter::SetRegistrySnapshot(MetricsSnapshot snapshot) {
+  registry_ = std::move(snapshot);
+  has_registry_ = true;
+}
+
+std::string MetricsExporter::ToJson() const {
+  std::string out = "{\n";
+  AppendKey(out, 1, "schema");
+  out += "\"reach.metrics.v1\",\n";
+  AppendKey(out, 1, "metrics_compiled");
+  out += kMetricsCompiled ? "true,\n" : "false,\n";
+
+  AppendKey(out, 1, "indexes");
+  out += "[";
+  for (size_t i = 0; i < reports_.size(); ++i) {
+    const IndexReport& r = reports_[i];
+    out += i == 0 ? "\n" : ",\n";
+    AppendIndent(out, 2);
+    out += "{\n";
+    AppendKey(out, 3, "name");
+    out += '"' + JsonEscape(r.name) + "\",\n";
+    AppendKey(out, 3, "complete");
+    out += r.complete ? "true,\n" : "false,\n";
+    AppendKey(out, 3, "size_bytes");
+    out += std::to_string(r.size_bytes) + ",\n";
+    AppendKey(out, 3, "num_entries");
+    out += std::to_string(r.num_entries) + ",\n";
+
+    AppendKey(out, 3, "build");
+    out += "{\n";
+    AppendKey(out, 4, "total_ns");
+    out += std::to_string(r.build_ns) + ",\n";
+    AppendKey(out, 4, "peak_rss_bytes");
+    out += std::to_string(r.peak_build_memory_bytes) + ",\n";
+    AppendKey(out, 4, "phases");
+    out += "[";
+    for (size_t p = 0; p < r.phases.size(); ++p) {
+      out += p == 0 ? "\n" : ",\n";
+      AppendIndent(out, 5);
+      out += "{\"name\": \"" + JsonEscape(r.phases[p].name) +
+             "\", \"ns\": " + std::to_string(r.phases[p].elapsed.count()) +
+             "}";
+    }
+    if (!r.phases.empty()) {
+      out += '\n';
+      AppendIndent(out, 4);
+    }
+    out += "]\n";
+    AppendIndent(out, 3);
+    out += "},\n";
+
+    AppendKey(out, 3, "probe");
+    out += "{\n";
+    bool first = true;
+    r.probe.ForEachField([&](const char* field, uint64_t value) {
+      if (!first) out += ",\n";
+      first = false;
+      AppendKey(out, 4, field);
+      out += std::to_string(value);
+    });
+    out += '\n';
+    AppendIndent(out, 3);
+    out += "}\n";
+    AppendIndent(out, 2);
+    out += "}";
+  }
+  if (!reports_.empty()) {
+    out += '\n';
+    AppendIndent(out, 1);
+  }
+  out += "],\n";
+
+  AppendKey(out, 1, "registry");
+  out += "{\n";
+  AppendKey(out, 2, "counters");
+  out += "{";
+  {
+    bool first = true;
+    for (const auto& [name, value] : registry_.counters) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      AppendKey(out, 3, name);
+      out += std::to_string(value);
+    }
+    if (!registry_.counters.empty()) {
+      out += '\n';
+      AppendIndent(out, 2);
+    }
+  }
+  out += "},\n";
+  AppendKey(out, 2, "gauges");
+  out += "{";
+  {
+    bool first = true;
+    for (const auto& [name, value] : registry_.gauges) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      AppendKey(out, 3, name);
+      out += FormatDouble(value);
+    }
+    if (!registry_.gauges.empty()) {
+      out += '\n';
+      AppendIndent(out, 2);
+    }
+  }
+  out += "},\n";
+  AppendKey(out, 2, "histograms");
+  out += "{";
+  {
+    bool first = true;
+    for (const auto& [name, hist] : registry_.histograms) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      AppendKey(out, 3, name);
+      out += "{\"count\": " + std::to_string(hist.count) +
+             ", \"sum\": " + std::to_string(hist.sum) + ", \"buckets\": [";
+      for (size_t b = 0; b < hist.buckets.size(); ++b) {
+        if (b > 0) out += ", ";
+        out += std::to_string(hist.buckets[b]);
+      }
+      out += "]}";
+    }
+    if (!registry_.histograms.empty()) {
+      out += '\n';
+      AppendIndent(out, 2);
+    }
+  }
+  out += "}\n";
+  AppendIndent(out, 1);
+  out += "}\n}\n";
+  return out;
+}
+
+std::string MetricsExporter::ToTable() const {
+  std::ostringstream out;
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "%-18s %9s %9s %9s %9s %10s %10s %9s %9s %9s\n", "index",
+                "build_ms", "size_KB", "queries", "pos", "visited", "labels",
+                "prunes", "rejects", "fallback");
+  out << line;
+  for (const IndexReport& r : reports_) {
+    std::snprintf(line, sizeof(line),
+                  "%-18s %9.2f %9.1f %9" PRIu64 " %9" PRIu64 " %10" PRIu64
+                  " %10" PRIu64 " %9" PRIu64 " %9" PRIu64 " %9" PRIu64 "\n",
+                  r.name.c_str(), NsToMs(r.build_ns),
+                  static_cast<double>(r.size_bytes) / 1024.0, r.probe.queries,
+                  r.probe.positives, r.probe.vertices_visited,
+                  r.probe.labels_scanned, r.probe.filter_prunes,
+                  r.probe.label_rejections, r.probe.fallbacks);
+    out << line;
+    if (!r.phases.empty()) {
+      out << "  phases:";
+      for (const PhaseTiming& phase : r.phases) {
+        std::snprintf(line, sizeof(line), " %s=%.2fms", phase.name.c_str(),
+                      NsToMs(static_cast<uint64_t>(phase.elapsed.count())));
+        out << line;
+      }
+      out << '\n';
+    }
+  }
+  if (has_registry_ && !registry_.counters.empty()) {
+    out << "registry counters:\n";
+    for (const auto& [name, value] : registry_.counters) {
+      out << "  " << name << " = " << value << '\n';
+    }
+  }
+  if (has_registry_ && !registry_.histograms.empty()) {
+    for (const auto& [name, hist] : registry_.histograms) {
+      std::snprintf(line, sizeof(line),
+                    "registry histogram %s: count=%" PRIu64 " mean=%.1f\n",
+                    name.c_str(), hist.count, hist.Mean());
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+bool MetricsExporter::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToJson();
+  return static_cast<bool>(out);
+}
+
+}  // namespace reach

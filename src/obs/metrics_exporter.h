@@ -1,0 +1,82 @@
+#ifndef REACH_OBS_METRICS_EXPORTER_H_
+#define REACH_OBS_METRICS_EXPORTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/build_phase_timer.h"
+#include "obs/metrics_registry.h"
+#include "obs/query_probe.h"
+
+namespace reach {
+
+/// Everything the observability layer knows about one index instance:
+/// identity, size, build breakdown, and accumulated query probe. Collected
+/// via `MakeIndexReport` from any type with the `ReachabilityIndex` /
+/// `LcrIndex` surface (Name / IsComplete / IndexSizeBytes / Stats / Probe).
+struct IndexReport {
+  std::string name;
+  bool complete = true;
+  uint64_t size_bytes = 0;
+  uint64_t num_entries = 0;
+  uint64_t build_ns = 0;
+  uint64_t peak_build_memory_bytes = 0;
+  std::vector<PhaseTiming> phases;
+  QueryProbe probe;
+};
+
+/// Duck-typed collector — works for `ReachabilityIndex`, `LcrIndex`, and
+/// anything else exposing the same surface, without obs depending on core.
+template <typename Index>
+IndexReport MakeIndexReport(const Index& index) {
+  IndexReport report;
+  report.name = index.Name();
+  report.complete = index.IsComplete();
+  report.size_bytes = index.IndexSizeBytes();
+  const auto& stats = index.Stats();
+  report.num_entries = stats.num_entries;
+  report.build_ns = static_cast<uint64_t>(stats.build_time.count());
+  report.peak_build_memory_bytes = stats.peak_build_memory_bytes;
+  report.phases = stats.phases;
+  report.probe = index.Probe();
+  return report;
+}
+
+/// Accumulates per-index reports plus an optional registry snapshot and
+/// renders them as JSON (machine-readable, schema "reach.metrics.v1") or
+/// as human-readable tables. Used by `reach_cli --metrics` and the bench
+/// harness; see docs/OBSERVABILITY.md for the column taxonomy.
+class MetricsExporter {
+ public:
+  void Add(IndexReport report);
+
+  /// Attaches a registry snapshot (typically
+  /// `MetricsRegistry::Global().Snapshot()`) to the report.
+  void SetRegistrySnapshot(MetricsSnapshot snapshot);
+
+  const std::vector<IndexReport>& reports() const { return reports_; }
+
+  /// The full report as a JSON document (pretty-printed, deterministic
+  /// ordering: indexes in insertion order, registry keys sorted).
+  std::string ToJson() const;
+
+  /// The full report as fixed-width human-readable tables.
+  std::string ToTable() const;
+
+  /// Writes `ToJson()` to `path`; returns false on I/O failure.
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  std::vector<IndexReport> reports_;
+  MetricsSnapshot registry_;
+  bool has_registry_ = false;
+};
+
+/// Escapes `s` for inclusion in a JSON string literal.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace reach
+
+#endif  // REACH_OBS_METRICS_EXPORTER_H_

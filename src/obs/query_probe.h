@@ -1,0 +1,93 @@
+#ifndef REACH_OBS_QUERY_PROBE_H_
+#define REACH_OBS_QUERY_PROBE_H_
+
+#include <cstdint>
+
+// REACH_METRICS selects whether the library is compiled with
+// instrumentation (query probes, build-phase timers, registry counters).
+// The CMake option of the same name defines it to 0 or 1; standalone
+// inclusion defaults to instrumented. With REACH_METRICS=0 every probe
+// macro expands to nothing, so the query path carries zero overhead.
+#ifndef REACH_METRICS
+#define REACH_METRICS 1
+#endif
+
+namespace reach {
+
+/// True iff the library was compiled with instrumentation.
+inline constexpr bool kMetricsCompiled = REACH_METRICS != 0;
+
+/// Per-query instrumentation counters, accumulated across queries since
+/// `Build()` / `ResetProbe()`. One probe lives in every `SearchWorkspace`
+/// (indexes that traverse record into it); indexes without a workspace own
+/// a probe directly. Increments are plain uint64_t adds through the
+/// `REACH_PROBE_*` macros — no atomics on the query path; a probe belongs
+/// to exactly one index instance and is scraped, not shared.
+///
+/// Field taxonomy (see docs/OBSERVABILITY.md for the full mapping):
+///  * `queries`            — Query() calls observed.
+///  * `positives`          — queries answered true.
+///  * `vertices_visited`   — vertices expanded by any (guided) traversal.
+///  * `edges_scanned`      — arcs examined by any (guided) traversal.
+///  * `labels_scanned`     — label entries / intervals / filter words
+///                           compared on the lookup path.
+///  * `filter_prunes`      — traversal candidates cut by an interval /
+///                           Bloom / SPLS filter (the pruning the partial
+///                           indexes are designed around).
+///  * `label_rejections`   — negative answers settled from labels alone,
+///                           with zero traversal (GRAIL's "label-only
+///                           rejection", BFL's Bloom containment miss).
+///  * `fallbacks`          — queries a partial index could not settle from
+///                           labels and handed to guided traversal.
+struct QueryProbe {
+  uint64_t queries = 0;
+  uint64_t positives = 0;
+  uint64_t vertices_visited = 0;
+  uint64_t edges_scanned = 0;
+  uint64_t labels_scanned = 0;
+  uint64_t filter_prunes = 0;
+  uint64_t label_rejections = 0;
+  uint64_t fallbacks = 0;
+
+  void Reset() { *this = QueryProbe{}; }
+
+  void MergeFrom(const QueryProbe& other) {
+    queries += other.queries;
+    positives += other.positives;
+    vertices_visited += other.vertices_visited;
+    edges_scanned += other.edges_scanned;
+    labels_scanned += other.labels_scanned;
+    filter_prunes += other.filter_prunes;
+    label_rejections += other.label_rejections;
+    fallbacks += other.fallbacks;
+  }
+
+  /// Calls `fn(name, value)` for every field, in declaration order — the
+  /// single source of truth for exporters and tests.
+  template <typename Fn>
+  void ForEachField(Fn&& fn) const {
+    fn("queries", queries);
+    fn("positives", positives);
+    fn("vertices_visited", vertices_visited);
+    fn("edges_scanned", edges_scanned);
+    fn("labels_scanned", labels_scanned);
+    fn("filter_prunes", filter_prunes);
+    fn("label_rejections", label_rejections);
+    fn("fallbacks", fallbacks);
+  }
+};
+
+}  // namespace reach
+
+// Probe increment macros: plain member adds when instrumented, nothing
+// otherwise. `probe` is a QueryProbe lvalue, `field` one of its members.
+#if REACH_METRICS
+#define REACH_PROBE_INC(probe, field) (void)(++(probe).field)
+#define REACH_PROBE_ADD(probe, field, n) \
+  (void)((probe).field += static_cast<uint64_t>(n))
+#else
+#define REACH_PROBE_INC(probe, field) (void)0
+#define REACH_PROBE_ADD(probe, field, n) (void)0
+#endif
+
+#endif  // REACH_OBS_QUERY_PROBE_H_

@@ -34,10 +34,20 @@ IndexChoice ChoosePlainIndexSpec(const GraphStats& stats) {
 }
 
 void AutoIndex::Build(const Digraph& graph) {
-  stats_ = ComputeGraphStats(graph);
+  BuildStatsScope build(&build_stats_);
+  {
+    BuildPhaseTimer timer(&build_stats_.phases, "graph_stats");
+    stats_ = ComputeGraphStats(graph);
+  }
   choice_ = ChoosePlainIndexSpec(stats_);
   chosen_ = MakePlainIndex(choice_.spec);
   chosen_->Build(graph);
+  // Surface the chosen index's phase breakdown as our own.
+  for (const PhaseTiming& phase : chosen_->Stats().phases) {
+    build_stats_.phases.push_back(phase);
+  }
+  build_stats_.size_bytes = chosen_->Stats().size_bytes;
+  build_stats_.num_entries = chosen_->Stats().num_entries;
 }
 
 }  // namespace reach

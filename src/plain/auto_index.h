@@ -47,6 +47,12 @@ class AutoIndex : public ReachabilityIndex {
   std::string Name() const override {
     return "auto[" + (chosen_ ? chosen_->Name() : std::string("?")) + "]";
   }
+  QueryProbe Probe() const override {
+    return chosen_ ? chosen_->Probe() : QueryProbe{};
+  }
+  void ResetProbe() const override {
+    if (chosen_) chosen_->ResetProbe();
+  }
 
   /// The decision made by the last Build.
   const IndexChoice& choice() const { return choice_; }

@@ -7,15 +7,20 @@
 namespace reach {
 
 void Bfl::Build(const Digraph& graph) {
+  BuildStatsScope build(&build_stats_);
+  ws_.probe().Reset();
   graph_ = &graph;
   const size_t n = graph.NumVertices();
   bloom_out_.assign(n * words_, 0);
   bloom_in_.assign(n * words_, 0);
 
+  BuildPhaseTimer forest_timer(&build_stats_.phases, "interval_forest");
   const IntervalForest forest = BuildIntervalForest(graph, std::nullopt);
   post_ = forest.post;
   subtree_low_ = forest.subtree_low;
+  forest_timer.Stop();
 
+  BuildPhaseTimer bloom_timer(&build_stats_.phases, "bloom_sweeps");
   // Seed each vertex's own bit, then one sweep per direction.
   const size_t bits = words_ * 64;
   auto set_own = [&](std::vector<uint64_t>& bloom, VertexId v) {
@@ -44,6 +49,9 @@ void Bfl::Build(const Digraph& graph) {
       }
     }
   }
+  bloom_timer.Stop();
+  build_stats_.size_bytes = IndexSizeBytes();
+  build_stats_.num_entries = bloom_out_.size() + bloom_in_.size();
 }
 
 bool Bfl::BloomConsistent(VertexId s, VertexId t) const {
@@ -63,6 +71,7 @@ bool Bfl::BloomConsistent(VertexId s, VertexId t) const {
 }
 
 int Bfl::FilterVerdict(VertexId s, VertexId t) const {
+  REACH_PROBE_INC(ws_.probe(), labels_scanned);
   if (s == t) return 1;
   if (subtree_low_[s] <= post_[t] && post_[t] <= post_[s]) return 1;
   if (!BloomConsistent(s, t)) return -1;
@@ -70,9 +79,18 @@ int Bfl::FilterVerdict(VertexId s, VertexId t) const {
 }
 
 bool Bfl::Query(VertexId s, VertexId t) const {
+  REACH_PROBE_INC(ws_.probe(), queries);
   const int verdict = FilterVerdict(s, t);
-  if (verdict != 0) return verdict > 0;
+  if (verdict > 0) {
+    REACH_PROBE_INC(ws_.probe(), positives);
+    return true;
+  }
+  if (verdict < 0) {
+    REACH_PROBE_INC(ws_.probe(), label_rejections);
+    return false;
+  }
   // Guided DFS with per-vertex filter checks.
+  REACH_PROBE_INC(ws_.probe(), fallbacks);
   ws_.Prepare(graph_->NumVertices());
   auto& stack = ws_.queue();
   ws_.MarkForward(s);
@@ -80,14 +98,24 @@ bool Bfl::Query(VertexId s, VertexId t) const {
   while (!stack.empty()) {
     const VertexId v = stack.back();
     stack.pop_back();
+    REACH_PROBE_INC(ws_.probe(), vertices_visited);
     for (VertexId w : graph_->OutNeighbors(v)) {
-      if (w == t) return true;
+      REACH_PROBE_INC(ws_.probe(), edges_scanned);
+      if (w == t) {
+        REACH_PROBE_INC(ws_.probe(), positives);
+        return true;
+      }
       if (ws_.IsForwardMarked(w)) continue;
       const int wv = FilterVerdict(w, t);
-      if (wv > 0) return true;
+      if (wv > 0) {
+        REACH_PROBE_INC(ws_.probe(), positives);
+        return true;
+      }
       if (wv == 0) {
         ws_.MarkForward(w);
         stack.push_back(w);
+      } else {
+        REACH_PROBE_INC(ws_.probe(), filter_prunes);
       }
     }
   }

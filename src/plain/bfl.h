@@ -41,6 +41,8 @@ class Bfl : public ReachabilityIndex {
   std::string Name() const override {
     return "bfl(bits=" + std::to_string(words_ * 64) + ")";
   }
+  QueryProbe Probe() const override { return ws_.probe(); }
+  void ResetProbe() const override { ws_.probe().Reset(); }
 
   /// Pure-filter verdict: +1 reachable (tree interval), -1 unreachable
   /// (Bloom containment violated), 0 undecided.

@@ -9,11 +9,16 @@
 namespace reach {
 
 void Ferrari::Build(const Digraph& graph) {
+  BuildStatsScope build(&build_stats_);
+  ws_.probe().Reset();
   graph_ = &graph;
   const size_t n = graph.NumVertices();
+  BuildPhaseTimer forest_timer(&build_stats_.phases, "interval_forest");
   const IntervalForest forest = BuildIntervalForest(graph, std::nullopt);
   post_ = forest.post;
+  forest_timer.Stop();
 
+  BuildPhaseTimer inherit_timer(&build_stats_.phases, "inherit_budget");
   std::vector<VertexId> by_post(n);
   for (VertexId v = 0; v < n; ++v) by_post[forest.post[v]] = v;
 
@@ -72,9 +77,13 @@ void Ferrari::Build(const Digraph& graph) {
   for (VertexId v = 0; v < n; ++v) {
     intervals_.insert(intervals_.end(), sets[v].begin(), sets[v].end());
   }
+  inherit_timer.Stop();
+  build_stats_.size_bytes = IndexSizeBytes();
+  build_stats_.num_entries = intervals_.size();
 }
 
 int Ferrari::Coverage(VertexId v, uint32_t target_post) const {
+  REACH_PROBE_INC(ws_.probe(), labels_scanned);
   const Interval* begin = intervals_.data() + offsets_[v];
   const Interval* end = intervals_.data() + offsets_[v + 1];
   const Interval* it = std::upper_bound(
@@ -87,12 +96,23 @@ int Ferrari::Coverage(VertexId v, uint32_t target_post) const {
 }
 
 bool Ferrari::Query(VertexId s, VertexId t) const {
-  if (s == t) return true;
+  REACH_PROBE_INC(ws_.probe(), queries);
+  if (s == t) {
+    REACH_PROBE_INC(ws_.probe(), positives);
+    return true;
+  }
   const uint32_t target = post_[t];
   const int coverage = Coverage(s, target);
-  if (coverage == 0) return false;
-  if (coverage == 2) return true;
+  if (coverage == 0) {
+    REACH_PROBE_INC(ws_.probe(), label_rejections);
+    return false;
+  }
+  if (coverage == 2) {
+    REACH_PROBE_INC(ws_.probe(), positives);
+    return true;
+  }
   // Approximate hit: guided DFS with early exact acceptance.
+  REACH_PROBE_INC(ws_.probe(), fallbacks);
   ws_.Prepare(graph_->NumVertices());
   auto& stack = ws_.queue();
   ws_.MarkForward(s);
@@ -100,14 +120,24 @@ bool Ferrari::Query(VertexId s, VertexId t) const {
   while (!stack.empty()) {
     const VertexId v = stack.back();
     stack.pop_back();
+    REACH_PROBE_INC(ws_.probe(), vertices_visited);
     for (VertexId w : graph_->OutNeighbors(v)) {
-      if (w == t) return true;
+      REACH_PROBE_INC(ws_.probe(), edges_scanned);
+      if (w == t) {
+        REACH_PROBE_INC(ws_.probe(), positives);
+        return true;
+      }
       if (ws_.IsForwardMarked(w)) continue;
       const int c = Coverage(w, target);
-      if (c == 2) return true;
+      if (c == 2) {
+        REACH_PROBE_INC(ws_.probe(), positives);
+        return true;
+      }
       if (c == 1) {
         ws_.MarkForward(w);
         stack.push_back(w);
+      } else {
+        REACH_PROBE_INC(ws_.probe(), filter_prunes);
       }
     }
   }

@@ -40,6 +40,8 @@ class Ferrari : public ReachabilityIndex {
   std::string Name() const override {
     return "ferrari(k=" + std::to_string(k_) + ")";
   }
+  QueryProbe Probe() const override { return ws_.probe(); }
+  void ResetProbe() const override { ws_.probe().Reset(); }
 
   /// Pure label test: true = covered by some interval (maybe reachable),
   /// false = certainly unreachable. Never a false negative.

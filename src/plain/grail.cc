@@ -10,11 +10,14 @@
 namespace reach {
 
 void Grail::Build(const Digraph& graph) {
+  BuildStatsScope build(&build_stats_);
+  ws_.probe().Reset();
   graph_ = &graph;
   const size_t n = graph.NumVertices();
   post_.assign(n * k_, 0);
   low_.assign(n * k_, 0);
   label_only_rejections_ = 0;
+  BuildPhaseTimer columns_timer(&build_stats_.phases, "label_columns");
   SplitMix64 seed_stream(seed_);
   std::vector<uint64_t> seeds(k_);
   for (uint64_t& s : seeds) s = seed_stream.Next();
@@ -43,10 +46,14 @@ void Grail::Build(const Digraph& graph) {
     }
     for (std::thread& t : threads) t.join();
   }
+  columns_timer.Stop();
+  build_stats_.size_bytes = IndexSizeBytes();
+  build_stats_.num_entries = post_.size() + low_.size();
 }
 
 bool Grail::MaybeReachable(VertexId s, VertexId t) const {
   for (size_t i = 0; i < k_; ++i) {
+    REACH_PROBE_INC(ws_.probe(), labels_scanned);
     if (low_[s * k_ + i] > low_[t * k_ + i] ||
         post_[t * k_ + i] > post_[s * k_ + i]) {
       return false;  // containment violated: certainly unreachable
@@ -63,24 +70,37 @@ bool Grail::GuidedDfs(VertexId s, VertexId t) const {
   while (!stack.empty()) {
     const VertexId v = stack.back();
     stack.pop_back();
+    REACH_PROBE_INC(ws_.probe(), vertices_visited);
     if (v == t) return true;
     for (VertexId w : graph_->OutNeighbors(v)) {
-      if (!ws_.IsForwardMarked(w) && MaybeReachable(w, t)) {
-        ws_.MarkForward(w);
-        stack.push_back(w);
+      REACH_PROBE_INC(ws_.probe(), edges_scanned);
+      if (ws_.IsForwardMarked(w)) continue;
+      if (!MaybeReachable(w, t)) {
+        REACH_PROBE_INC(ws_.probe(), filter_prunes);
+        continue;
       }
+      ws_.MarkForward(w);
+      stack.push_back(w);
     }
   }
   return false;
 }
 
 bool Grail::Query(VertexId s, VertexId t) const {
-  if (s == t) return true;
+  REACH_PROBE_INC(ws_.probe(), queries);
+  if (s == t) {
+    REACH_PROBE_INC(ws_.probe(), positives);
+    return true;
+  }
   if (!MaybeReachable(s, t)) {
     ++label_only_rejections_;
+    REACH_PROBE_INC(ws_.probe(), label_rejections);
     return false;
   }
-  return GuidedDfs(s, t);
+  REACH_PROBE_INC(ws_.probe(), fallbacks);
+  const bool reachable = GuidedDfs(s, t);
+  if (reachable) REACH_PROBE_INC(ws_.probe(), positives);
+  return reachable;
 }
 
 size_t Grail::IndexSizeBytes() const {

@@ -43,6 +43,8 @@ class Grail : public ReachabilityIndex {
   std::string Name() const override {
     return "grail(k=" + std::to_string(k_) + ")";
   }
+  QueryProbe Probe() const override { return ws_.probe(); }
+  void ResetProbe() const override { ws_.probe().Reset(); }
 
   /// The pure label test: true = maybe reachable, false = certainly not.
   /// Exposed so tests/benches can measure the filter's false-positive rate

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "graph/rng.h"
+#include "obs/metrics_registry.h"
 
 namespace reach {
 
@@ -42,6 +43,16 @@ OrderedAdjacency OrderAdjacency(const Digraph& dag,
 
 IntervalForest BuildIntervalForest(const Digraph& dag,
                                    std::optional<uint64_t> shuffle_seed) {
+#if REACH_METRICS
+  // Shared by every tree-cover-family index; the counters make visible how
+  // many DFS sweeps a given configuration costs (GRAIL pays k of them).
+  static Counter& builds =
+      MetricsRegistry::Global().GetCounter("interval_forest.builds");
+  static Counter& vertices =
+      MetricsRegistry::Global().GetCounter("interval_forest.vertices_labeled");
+  builds.Add(1);
+  vertices.Add(dag.NumVertices());
+#endif
   const size_t n = dag.NumVertices();
   IntervalForest forest;
   forest.post.assign(n, 0);

@@ -138,11 +138,21 @@ void PrunedTwoHop::BuildLabels(const Digraph& graph) {
 }
 
 void PrunedTwoHop::Build(const Digraph& graph) {
+  BuildStatsScope build(&build_stats_);
+  probe_.Reset();
   graph_ = &graph;
   extra_out_.clear();
   extra_in_.clear();
-  ComputeOrder(graph);
-  BuildLabels(graph);
+  {
+    BuildPhaseTimer timer(&build_stats_.phases, "order");
+    ComputeOrder(graph);
+  }
+  {
+    BuildPhaseTimer timer(&build_stats_.phases, "label");
+    BuildLabels(graph);
+  }
+  build_stats_.size_bytes = IndexSizeBytes();
+  build_stats_.num_entries = TotalLabelEntries();
 }
 
 bool PrunedTwoHop::LabelQuery(VertexId s, VertexId t) const {
@@ -157,7 +167,18 @@ bool PrunedTwoHop::LabelQuery(VertexId s, VertexId t) const {
 }
 
 bool PrunedTwoHop::Query(VertexId s, VertexId t) const {
-  return LabelQuery(s, t);
+  REACH_PROBE_INC(probe_, queries);
+  // Worst-case entries consulted: the two-pointer Lout(s) ∩ Lin(t)
+  // intersection scans both lists end to end. (LabelQuery itself is left
+  // unprobed — the build's pruning tests would otherwise swamp the counts.)
+  REACH_PROBE_ADD(probe_, labels_scanned, lout_[s].size() + lin_[t].size());
+  const bool reachable = LabelQuery(s, t);
+  if (reachable) {
+    REACH_PROBE_INC(probe_, positives);
+  } else {
+    REACH_PROBE_INC(probe_, label_rejections);  // complete label: no fallback
+  }
+  return reachable;
 }
 
 void PrunedTwoHop::InsertEdge(VertexId s, VertexId t) {

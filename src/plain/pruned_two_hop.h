@@ -60,6 +60,8 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
   size_t IndexSizeBytes() const override;
   bool IsComplete() const override { return true; }
   std::string Name() const override;
+  QueryProbe Probe() const override { return probe_; }
+  void ResetProbe() const override { probe_.Reset(); }
 
   /// Incremental edge insertion (see class comment).
   void InsertEdge(VertexId s, VertexId t) override;
@@ -107,6 +109,7 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
   std::vector<std::vector<VertexId>> extra_out_;
   std::vector<std::vector<VertexId>> extra_in_;
   mutable SearchWorkspace ws_;
+  mutable QueryProbe probe_;
 };
 
 }  // namespace reach

@@ -99,4 +99,11 @@ std::vector<std::string> DefaultPlainIndexSpecs() {
           "bfl",     "feline",  "preach"};
 }
 
+void AddIndexReport(MetricsExporter& exporter, const ReachabilityIndex& index,
+                    const std::string& name_prefix) {
+  IndexReport report = MakeIndexReport(index);
+  if (!name_prefix.empty()) report.name = name_prefix + report.name;
+  exporter.Add(std::move(report));
+}
+
 }  // namespace reach

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/reachability_index.h"
+#include "obs/metrics_exporter.h"
 
 namespace reach {
 
@@ -26,6 +27,12 @@ std::unique_ptr<ReachabilityIndex> MakePlainIndex(const std::string& spec);
 /// The default benchmark roster: one spec per implemented Table 1 row plus
 /// the §2.3 baselines.
 std::vector<std::string> DefaultPlainIndexSpecs();
+
+/// Folds `index` (typically registry-made) into `exporter` as an
+/// `IndexReport`, optionally prefixing the report name (e.g. the graph it
+/// was built on). Non-template convenience over `MakeIndexReport`.
+void AddIndexReport(MetricsExporter& exporter, const ReachabilityIndex& index,
+                    const std::string& name_prefix = "");
 
 }  // namespace reach
 

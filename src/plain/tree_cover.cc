@@ -1,6 +1,7 @@
 #include "plain/tree_cover.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "plain/interval_labeling.h"
@@ -28,10 +29,15 @@ void Coalesce(std::vector<Interval>& intervals) {
 }  // namespace
 
 void TreeCover::Build(const Digraph& graph) {
+  BuildStatsScope build(&build_stats_);
+  probe_.Reset();
   const size_t n = graph.NumVertices();
+  BuildPhaseTimer forest_timer(&build_stats_.phases, "interval_forest");
   const IntervalForest forest = BuildIntervalForest(graph, std::nullopt);
   post_ = forest.post;
+  forest_timer.Stop();
 
+  BuildPhaseTimer inherit_timer(&build_stats_.phases, "inherit_merge");
   // Reverse topological order == increasing post order: out-neighbors of v
   // all have smaller post, so their interval sets are final before v's.
   std::vector<VertexId> by_post(n);
@@ -60,18 +66,30 @@ void TreeCover::Build(const Digraph& graph) {
   for (VertexId v = 0; v < n; ++v) {
     intervals_.insert(intervals_.end(), sets[v].begin(), sets[v].end());
   }
+  build_stats_.size_bytes = IndexSizeBytes();
+  build_stats_.num_entries = intervals_.size();
 }
 
 bool TreeCover::Query(VertexId s, VertexId t) const {
+  REACH_PROBE_INC(probe_, queries);
   const uint32_t target = post_[t];
   const Interval* begin = intervals_.data() + offsets_[s];
   const Interval* end = intervals_.data() + offsets_[s + 1];
+  // Binary search touches ~log2(|set|) + 1 interval entries.
+  REACH_PROBE_ADD(probe_, labels_scanned,
+                  std::bit_width(static_cast<size_t>(end - begin)) + 1);
   // First interval with begin > target; its predecessor is the only
   // candidate container.
   const Interval* it = std::upper_bound(
       begin, end, target,
       [](uint32_t value, const Interval& i) { return value < i.begin; });
-  return it != begin && target <= (it - 1)->end;
+  const bool reachable = it != begin && target <= (it - 1)->end;
+  if (reachable) {
+    REACH_PROBE_INC(probe_, positives);
+  } else {
+    REACH_PROBE_INC(probe_, label_rejections);  // exact label: no fallback
+  }
+  return reachable;
 }
 
 size_t TreeCover::IndexSizeBytes() const {

@@ -36,6 +36,8 @@ class TreeCover : public ReachabilityIndex {
   size_t IndexSizeBytes() const override;
   bool IsComplete() const override { return true; }
   std::string Name() const override { return "treecover"; }
+  QueryProbe Probe() const override { return probe_; }
+  void ResetProbe() const override { probe_.Reset(); }
 
   /// Total number of stored intervals (the survey's index-size measure).
   size_t TotalIntervals() const { return intervals_.size(); }
@@ -55,6 +57,7 @@ class TreeCover : public ReachabilityIndex {
   // CSR layout: intervals of v are intervals_[offsets_[v] .. offsets_[v+1]).
   std::vector<size_t> offsets_;
   std::vector<Interval> intervals_;
+  mutable QueryProbe probe_;
 };
 
 }  // namespace reach

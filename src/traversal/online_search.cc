@@ -13,6 +13,7 @@ bool BfsReachability(const Digraph& graph, VertexId s, VertexId t,
     queue.push_back(s);
     for (size_t head = 0; head < queue.size() && !found; ++head) {
       for (VertexId w : graph.OutNeighbors(queue[head])) {
+        REACH_PROBE_INC(ws.probe(), edges_scanned);
         if (w == t) {
           found = true;
           break;
@@ -24,6 +25,7 @@ bool BfsReachability(const Digraph& graph, VertexId s, VertexId t,
       }
     }
   }
+  REACH_PROBE_ADD(ws.probe(), vertices_visited, count);
   if (visited != nullptr) *visited = count;
   return found;
 }
@@ -41,6 +43,7 @@ bool DfsReachability(const Digraph& graph, VertexId s, VertexId t,
       const VertexId v = stack.back();
       stack.pop_back();
       for (VertexId w : graph.OutNeighbors(v)) {
+        REACH_PROBE_INC(ws.probe(), edges_scanned);
         if (w == t) {
           found = true;
           break;
@@ -52,6 +55,7 @@ bool DfsReachability(const Digraph& graph, VertexId s, VertexId t,
       }
     }
   }
+  REACH_PROBE_ADD(ws.probe(), vertices_visited, count);
   if (visited != nullptr) *visited = count;
   return found;
 }
@@ -84,6 +88,7 @@ bool BiBfsReachability(const Digraph& graph, VertexId s, VertexId t,
       fwd_work = 0;
       for (; fwd_head < level_end && !found; ++fwd_head) {
         for (VertexId w : graph.OutNeighbors(fwd[fwd_head])) {
+          REACH_PROBE_INC(ws.probe(), edges_scanned);
           if (ws.IsBackwardMarked(w)) {
             found = true;
             break;
@@ -100,6 +105,7 @@ bool BiBfsReachability(const Digraph& graph, VertexId s, VertexId t,
       bwd_work = 0;
       for (; bwd_head < level_end && !found; ++bwd_head) {
         for (VertexId w : graph.InNeighbors(bwd[bwd_head])) {
+          REACH_PROBE_INC(ws.probe(), edges_scanned);
           if (ws.IsForwardMarked(w)) {
             found = true;
             break;
@@ -113,11 +119,21 @@ bool BiBfsReachability(const Digraph& graph, VertexId s, VertexId t,
       }
     }
   }
+  REACH_PROBE_ADD(ws.probe(), vertices_visited, count);
   if (visited != nullptr) *visited = count;
   return found;
 }
 
+void OnlineSearch::Build(const Digraph& graph) {
+  BuildStatsScope build(&build_stats_);
+  graph_ = &graph;
+  total_visited_ = 0;
+  ws_.probe().Reset();
+}
+
 bool OnlineSearch::Query(VertexId s, VertexId t) const {
+  REACH_PROBE_INC(ws_.probe(), queries);
+  REACH_PROBE_INC(ws_.probe(), fallbacks);  // index-free: always traversal
   size_t visited = 0;
   bool result = false;
   switch (kind_) {
@@ -131,6 +147,7 @@ bool OnlineSearch::Query(VertexId s, VertexId t) const {
       result = BiBfsReachability(*graph_, s, t, ws_, &visited);
       break;
   }
+  if (result) REACH_PROBE_INC(ws_.probe(), positives);
   total_visited_ += visited;
   return result;
 }

@@ -38,11 +38,13 @@ class OnlineSearch : public ReachabilityIndex {
  public:
   explicit OnlineSearch(TraversalKind kind) : kind_(kind) {}
 
-  void Build(const Digraph& graph) override { graph_ = &graph; }
+  void Build(const Digraph& graph) override;
   bool Query(VertexId s, VertexId t) const override;
   size_t IndexSizeBytes() const override { return 0; }
   bool IsComplete() const override { return false; }
   std::string Name() const override;
+  QueryProbe Probe() const override { return ws_.probe(); }
+  void ResetProbe() const override { ws_.probe().Reset(); }
 
   /// Total vertices visited across all queries since Build (benchmarking).
   size_t total_visited() const { return total_visited_; }

@@ -5,8 +5,14 @@
 namespace reach {
 
 void TransitiveClosure::Build(const Digraph& graph) {
+  BuildStatsScope build(&build_stats_);
+  probe_.Reset();
   num_vertices_ = graph.NumVertices();
-  Condensation cond = Condense(graph);
+  Condensation cond;
+  {
+    BuildPhaseTimer timer(&build_stats_.phases, "condense");
+    cond = Condense(graph);
+  }
   component_of_ = cond.scc.component_of;
   const VertexId num_components = cond.scc.num_components;
 
@@ -15,6 +21,7 @@ void TransitiveClosure::Build(const Digraph& graph) {
     ++component_size_[component_of_[v]];
   }
 
+  BuildPhaseTimer timer(&build_stats_.phases, "closure_sweep");
   rows_.assign(num_components, DynamicBitset(num_components));
   // Tarjan assigns component ids in reverse topological order, so
   // iterating c = 0, 1, ... visits successors before predecessors;
@@ -25,10 +32,16 @@ void TransitiveClosure::Build(const Digraph& graph) {
       rows_[c].UnionWith(rows_[succ]);
     }
   }
+  build_stats_.size_bytes = IndexSizeBytes();
+  build_stats_.num_entries = rows_.size();
 }
 
 bool TransitiveClosure::Query(VertexId s, VertexId t) const {
-  return rows_[component_of_[s]].Test(component_of_[t]);
+  REACH_PROBE_INC(probe_, queries);
+  REACH_PROBE_INC(probe_, labels_scanned);  // one closure-row bit test
+  const bool reachable = rows_[component_of_[s]].Test(component_of_[t]);
+  if (reachable) REACH_PROBE_INC(probe_, positives);
+  return reachable;
 }
 
 size_t TransitiveClosure::IndexSizeBytes() const {

@@ -28,6 +28,8 @@ class TransitiveClosure : public ReachabilityIndex {
   size_t IndexSizeBytes() const override;
   bool IsComplete() const override { return true; }
   std::string Name() const override { return "tc"; }
+  QueryProbe Probe() const override { return probe_; }
+  void ResetProbe() const override { probe_.Reset(); }
 
   /// The set of vertices reachable from `v` (including `v`), as ids.
   std::vector<VertexId> ReachableSet(VertexId v) const;
@@ -41,6 +43,7 @@ class TransitiveClosure : public ReachabilityIndex {
   std::vector<VertexId> component_of_;
   std::vector<size_t> component_size_;
   size_t num_vertices_ = 0;
+  mutable QueryProbe probe_;
 };
 
 }  // namespace reach

@@ -11,6 +11,7 @@
 
 #include "graph/figure1.h"
 #include "graph/generators.h"
+#include "obs/query_probe.h"
 #include "plain/registry.h"
 #include "traversal/transitive_closure.h"
 
@@ -115,6 +116,80 @@ TEST(PlainRegistryTest, CompletenessFlagsMatchTable1) {
     auto index = MakePlainIndex(spec);
     index->Build(Chain(4));
     EXPECT_FALSE(index->IsComplete()) << spec;
+  }
+}
+
+// A negative query against GRAIL must leave probe evidence: either the
+// interval labels rejected it outright (label_rejections) or the index
+// fell back to guided DFS (fallbacks). Uses the paper's Figure 1 graph.
+TEST(PlainProbeTest, GrailRecordsNegativeQueryEvidence) {
+  const Digraph g = figure1::PlainGraph();
+  TransitiveClosure oracle;
+  oracle.Build(g);
+  auto grail = MakePlainIndex("grail");
+  ASSERT_NE(grail, nullptr);
+  grail->Build(g);
+
+  VertexId neg_s = 0, neg_t = 0;
+  bool found = false;
+  for (VertexId s = 0; s < g.NumVertices() && !found; ++s) {
+    for (VertexId t = 0; t < g.NumVertices() && !found; ++t) {
+      if (!oracle.Query(s, t)) {
+        neg_s = s;
+        neg_t = t;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found) << "Figure 1 has no unreachable pair?";
+
+  grail->ResetProbe();
+  EXPECT_FALSE(grail->Query(neg_s, neg_t));
+  const QueryProbe probe = grail->Probe();
+  if (kMetricsCompiled) {
+    EXPECT_EQ(probe.queries, 1u);
+    EXPECT_EQ(probe.positives, 0u);
+    EXPECT_GT(probe.labels_scanned, 0u);
+    EXPECT_GE(probe.label_rejections + probe.fallbacks, 1u)
+        << "negative answer must be attributed to labels or fallback";
+  } else {
+    EXPECT_EQ(probe.queries, 0u);
+  }
+}
+
+TEST(PlainProbeTest, InstrumentedRosterCountsQueriesAndBuildStats) {
+  const Digraph g = RandomDigraph(24, 72, 11);
+  // The indexes the tentpole instruments end-to-end (probe + phases).
+  for (const char* spec : {"bfs", "dfs", "bibfs", "tc", "treecover", "grail",
+                           "ferrari", "bfl", "pll", "tfl"}) {
+    auto index = MakePlainIndex(spec);
+    ASSERT_NE(index, nullptr) << spec;
+    index->Build(g);
+    index->ResetProbe();
+    for (VertexId s = 0; s < g.NumVertices(); ++s) {
+      index->Query(s, (s * 7 + 1) % g.NumVertices());
+    }
+    const QueryProbe probe = index->Probe();
+    // Online searches (bfs/dfs/bibfs) are index-free: their Build() only
+    // stores a pointer, so phase/build-time assertions apply to the rest.
+    const bool builds_an_index =
+        std::string(spec) != "bfs" && std::string(spec) != "dfs" &&
+        std::string(spec) != "bibfs";
+    if (kMetricsCompiled) {
+      EXPECT_EQ(probe.queries, g.NumVertices()) << spec;
+      if (builds_an_index) {
+        EXPECT_GT(index->Stats().build_time.count(), 0) << spec;
+        EXPECT_FALSE(index->Stats().phases.empty()) << spec;
+      }
+    } else {
+      EXPECT_EQ(probe.queries, 0u) << spec;
+    }
+    // ResetProbe must zero everything regardless of compile mode.
+    index->ResetProbe();
+    index->Probe().ForEachField(
+        [&](const char* field, uint64_t value) {
+          EXPECT_EQ(value, 0u) << spec << "." << field;
+        });
   }
 }
 
