@@ -17,10 +17,12 @@
 
 #include "core/index_stats.h"
 #include "core/query_workload.h"
+#include "core/reachability_index.h"
 #include "graph/digraph.h"
 #include "graph/generators.h"
 #include "graph/labeled_digraph.h"
 #include "obs/metrics_exporter.h"
+#include "par/thread_pool.h"
 
 namespace reach::bench {
 
@@ -73,8 +75,18 @@ inline std::vector<LabeledGraphCase> LcrBenchGraphs(VertexId n) {
   };
 }
 
+/// Records the parallelism level of a bench row so BENCH JSON carries it:
+/// pass the explicit thread count a sweep used, or 0 for "the pool
+/// default" (what `num_threads = 0` builders resolve to). Every harness
+/// helper below stamps this; sweeps overwrite it with their own value.
+inline void ReportThreads(::benchmark::State& state, size_t threads = 0) {
+  state.counters["threads"] =
+      static_cast<double>(ResolveThreads(threads));
+}
+
 /// Runs `queries` through `fn` once per benchmark iteration and reports
-/// per-query latency via the benchmark's counters.
+/// per-query latency via the benchmark's counters. The query loop itself
+/// is serial, so the row's `threads` counter is 1.
 template <typename Queries, typename Fn>
 void RunQueryLoop(::benchmark::State& state, const Queries& queries,
                   Fn&& fn) {
@@ -92,6 +104,31 @@ void RunQueryLoop(::benchmark::State& state, const Queries& queries,
   state.counters["true_frac"] = ::benchmark::Counter(
       static_cast<double>(positives) /
       (static_cast<double>(state.iterations()) * queries.size()));
+  ReportThreads(state, 1);
+}
+
+/// Like `RunQueryLoop`, but drives the whole workload through the
+/// index's `BatchQuery` API (`threads` as passed; 0 = pool default).
+inline void RunBatchQueryLoop(::benchmark::State& state,
+                              const ReachabilityIndex& index,
+                              const std::vector<QueryPair>& queries,
+                              size_t threads = 0) {
+  if (queries.empty()) {
+    state.SkipWithError("empty workload");
+    return;
+  }
+  size_t positives = 0;
+  for (auto _ : state) {
+    const std::vector<uint8_t> results = index.BatchQuery(queries, threads);
+    for (const uint8_t r : results) positives += r;
+  }
+  ::benchmark::DoNotOptimize(positives);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+  state.counters["true_frac"] = ::benchmark::Counter(
+      static_cast<double>(positives) /
+      (static_cast<double>(state.iterations()) * queries.size()));
+  ReportThreads(state, threads);
 }
 
 /// The exporter every bench binary accumulates `IndexReport`s into;
@@ -112,6 +149,7 @@ inline void ReportBuildCounters(::benchmark::State& state,
       static_cast<double>(stats.build_time.count()) / 1e6;
   state.counters["peak_rss_MB"] =
       static_cast<double>(stats.peak_build_memory_bytes) / (1024.0 * 1024.0);
+  ReportThreads(state);
 }
 
 /// Publishes the probe delta between two snapshots (taken around a query

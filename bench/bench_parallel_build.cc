@@ -1,39 +1,125 @@
 // Regenerates the §5 "parallel computation of indexes" direction as a
-// speedup series: GRAIL's k independent traversals built with 1, 2, 4,
-// and 8 threads on a larger DAG.
+// speedup series: every parallelized builder (transitive closure's
+// dependency-level bitset sweep, PLL's rank-batched pruned BFS, FERRARI's
+// level-parallel interval merge, BFL's parallel bloom sweeps, GRAIL's k
+// independent traversals) built with 1, 2, 4, and 8 threads on a larger
+// DAG. Rows at threads>1 carry a `speedup_vs_1t` counter against the
+// serial row of the same family (rows run in registration order, so the
+// threads=1 baseline is always measured first).
 //
-// Row naming: parallel/grail-k8/threads=<t>.
+// A second series drives the same workload through the parallel
+// `BatchQuery` API on the PLL index.
+//
+// Row naming: parallel/<family>/threads=<t> and
+//             parallel/pll-batch-query/threads=<t>.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
 
 #include "bench_common.h"
+#include "plain/bfl.h"
+#include "plain/ferrari.h"
 #include "plain/grail.h"
+#include "plain/pruned_two_hop.h"
+#include "traversal/transitive_closure.h"
 
 namespace reach::bench {
 namespace {
 
-void RegisterAll() {
-  const VertexId n = 65536;
-  auto* graph = new Digraph(
-      RandomDag(n, 4 * static_cast<size_t>(n), kSeed + 140));
+constexpr size_t kThreadSweep[] = {1, 2, 4, 8};
 
-  for (size_t threads : {1, 2, 4, 8}) {
+// threads=1 build milliseconds per family, filled by the serial rows.
+std::map<std::string, double>& BaselineMs() {
+  static std::map<std::string, double> baselines;
+  return baselines;
+}
+
+using IndexFactory =
+    std::function<std::unique_ptr<ReachabilityIndex>(size_t threads)>;
+
+void RegisterBuildSweep(const Digraph* graph, const std::string& family,
+                        IndexFactory make) {
+  for (const size_t threads : kThreadSweep) {
     ::benchmark::RegisterBenchmark(
-        ("parallel/grail-k8/threads=" + std::to_string(threads)).c_str(),
-        [graph, threads](::benchmark::State& state) {
+        ("parallel/" + family + "/threads=" + std::to_string(threads))
+            .c_str(),
+        [graph, family, make, threads](::benchmark::State& state) {
           IndexStats stats;
           for (auto _ : state) {
-            Grail index(/*k=*/8, /*seed=*/7, threads);
-            index.Build(*graph);
-            ::benchmark::DoNotOptimize(index.IndexSizeBytes());
-            stats = index.Stats();
+            auto index = make(threads);
+            index->Build(*graph);
+            ::benchmark::DoNotOptimize(index->IndexSizeBytes());
+            stats = index->Stats();
           }
           ReportBuildCounters(state, stats);
-          state.counters["threads"] = static_cast<double>(threads);
+          ReportThreads(state, threads);
+          const double build_ms =
+              static_cast<double>(stats.build_time.count()) / 1e6;
+          if (threads == 1) {
+            BaselineMs()[family] = build_ms;
+          } else if (const auto it = BaselineMs().find(family);
+                     it != BaselineMs().end() && build_ms > 0.0) {
+            state.counters["speedup_vs_1t"] = it->second / build_ms;
+          }
         })
         ->Iterations(2)
         ->Unit(::benchmark::kMillisecond)
         ->MeasureProcessCPUTime()
         ->UseRealTime();
   }
+}
+
+void RegisterBatchQuerySweep(const Digraph* graph) {
+  // One serial-built PLL index shared by all rows; built on first use so
+  // --benchmark_filter runs that skip this series pay nothing.
+  static std::unique_ptr<PrunedTwoHop> index;
+  static std::vector<QueryPair> queries;
+  for (const size_t threads : kThreadSweep) {
+    ::benchmark::RegisterBenchmark(
+        ("parallel/pll-batch-query/threads=" + std::to_string(threads))
+            .c_str(),
+        [graph, threads](::benchmark::State& state) {
+          if (index == nullptr) {
+            index = std::make_unique<PrunedTwoHop>(
+                VertexOrder::kDegree, /*seed=*/0x70'6c'6cULL,
+                /*num_threads=*/1);
+            index->Build(*graph);
+            queries = RandomPairs(*graph, 1 << 16, kSeed + 141);
+          }
+          RunBatchQueryLoop(state, *index, queries, threads);
+        })
+        ->Iterations(4)
+        ->Unit(::benchmark::kMillisecond)
+        ->MeasureProcessCPUTime()
+        ->UseRealTime();
+  }
+}
+
+void RegisterAll() {
+  const VertexId n = 65536;
+  auto* graph = new Digraph(
+      RandomDag(n, 4 * static_cast<size_t>(n), kSeed + 140));
+
+  RegisterBuildSweep(graph, "tc", [](size_t threads) {
+    return std::make_unique<TransitiveClosure>(threads);
+  });
+  RegisterBuildSweep(graph, "pll", [](size_t threads) {
+    return std::make_unique<PrunedTwoHop>(VertexOrder::kDegree,
+                                          /*seed=*/0x70'6c'6cULL, threads);
+  });
+  RegisterBuildSweep(graph, "ferrari-k4", [](size_t threads) {
+    return std::make_unique<Ferrari>(/*k=*/4, threads);
+  });
+  RegisterBuildSweep(graph, "bfl-256", [](size_t threads) {
+    return std::make_unique<Bfl>(/*filter_bits=*/256,
+                                 /*seed=*/0x62'66'6cULL, threads);
+  });
+  RegisterBuildSweep(graph, "grail-k8", [](size_t threads) {
+    return std::make_unique<Grail>(/*k=*/8, /*seed=*/7, threads);
+  });
+  RegisterBatchQuerySweep(graph);
 }
 
 }  // namespace

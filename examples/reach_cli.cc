@@ -5,9 +5,13 @@
 // observability layer (--metrics).
 //
 // Usage:
-//   reach_cli [--metrics] <edge-list-file> [index-spec]   # plain graphs
-//   reach_cli [--metrics] --labeled <edge-list-file>      # labeled (p2h)
-//   reach_cli [--metrics] --demo [index-spec]             # built-in demo
+//   reach_cli [--metrics] [--threads N] <edge-list-file> [index-spec]
+//   reach_cli [--metrics] [--threads N] --labeled <edge-list-file>
+//   reach_cli [--metrics] [--threads N] --demo [index-spec]
+//
+// --threads N sets the process-wide default parallelism (the shared
+// thread pool that parallel index builds draw from); without it the pool
+// follows REACH_THREADS or the hardware concurrency.
 //
 // Query language on stdin, one per line:
 //   <s> <t>              plain reachability Qr(s, t)
@@ -33,6 +37,7 @@
 #include "lcr/label_set.h"
 #include "lcr/pruned_labeled_two_hop.h"
 #include "obs/metrics_exporter.h"
+#include "par/thread_pool.h"
 #include "plain/pruned_two_hop.h"
 #include "plain/registry.h"
 
@@ -157,6 +162,17 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      unsigned long threads = 0;
+      try {
+        threads = std::stoul(argv[++i]);
+      } catch (...) {
+      }
+      if (threads == 0) {
+        std::fprintf(stderr, "error: --threads needs a positive integer\n");
+        return 1;
+      }
+      SetDefaultThreads(threads);
     } else {
       args.push_back(argv[i]);
     }
@@ -183,9 +199,10 @@ int main(int argc, char** argv) {
     }
     return RunPlain(*graph, args.size() > 1 ? args[1] : "pll", metrics);
   }
-  std::fprintf(stderr,
-               "usage: reach_cli [--metrics] <edge-list> [index-spec]\n"
-               "       reach_cli [--metrics] --labeled <edge-list>\n"
-               "       reach_cli [--metrics] --demo [index-spec]\n");
+  std::fprintf(
+      stderr,
+      "usage: reach_cli [--metrics] [--threads N] <edge-list> [index-spec]\n"
+      "       reach_cli [--metrics] [--threads N] --labeled <edge-list>\n"
+      "       reach_cli [--metrics] [--threads N] --demo [index-spec]\n");
   return 1;
 }

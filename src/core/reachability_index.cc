@@ -1,0 +1,47 @@
+#include "core/reachability_index.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "par/parallel_for.h"
+#include "par/thread_pool.h"
+
+namespace reach {
+
+std::vector<uint8_t> ReachabilityIndex::BatchQuery(
+    std::span<const QueryPair> queries, size_t num_threads) const {
+  std::vector<uint8_t> results(queries.size(), 0);
+  if (queries.empty()) return results;
+
+  size_t threads = std::min(ResolveThreads(num_threads), queries.size());
+  if (threads > 1 && PrepareConcurrentQueries(threads)) {
+    // Chunks are claimed from a shared counter so expensive queries
+    // (traversal fallbacks) don't serialize behind a static split. Each
+    // worker keeps one slot for its whole run, so per-slot scratch state
+    // is reused across chunks.
+    const size_t grain =
+        std::max<size_t>(64, queries.size() / (8 * threads));
+    std::atomic<size_t> next{0};
+    ParallelForWorkers(threads, [&](size_t slot) {
+      for (;;) {
+        const size_t chunk_begin =
+            next.fetch_add(grain, std::memory_order_relaxed);
+        if (chunk_begin >= queries.size()) return;
+        const size_t chunk_end =
+            std::min(chunk_begin + grain, queries.size());
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          results[i] =
+              QueryInSlot(queries[i].source, queries[i].target, slot) ? 1 : 0;
+        }
+      }
+    });
+    return results;
+  }
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    results[i] = Query(queries[i].source, queries[i].target) ? 1 : 0;
+  }
+  return results;
+}
+
+}  // namespace reach

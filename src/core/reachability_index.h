@@ -2,9 +2,13 @@
 #define REACH_CORE_REACHABILITY_INDEX_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/index_stats.h"
+#include "core/query_workload.h"
 #include "graph/digraph.h"
 #include "graph/types.h"
 #include "obs/query_probe.h"
@@ -35,6 +39,32 @@ class ReachabilityIndex {
 
   /// Answers Qr(s, t). Must be called after `Build()`.
   virtual bool Query(VertexId s, VertexId t) const = 0;
+
+  /// Answers `queries[i]` into element i of the returned vector (1 =
+  /// reachable). The default partitions the batch across the shared
+  /// thread pool (src/par/, docs/PARALLELISM.md) when the index opts into
+  /// concurrent queries via `PrepareConcurrentQueries`, and degrades to a
+  /// serial `Query` loop otherwise — so it is always safe to call.
+  /// `num_threads`: 0 = `DefaultThreads()`, 1 = serial.
+  virtual std::vector<uint8_t> BatchQuery(std::span<const QueryPair> queries,
+                                          size_t num_threads = 0) const;
+
+  /// Readies the index for `slots` concurrent `QueryInSlot` streams
+  /// (grow per-slot workspaces/probes); returns false when the index does
+  /// not support concurrent queries (the default). Not itself
+  /// thread-safe: call before fanning out, as `BatchQuery` does.
+  virtual bool PrepareConcurrentQueries(size_t slots) const {
+    (void)slots;
+    return false;
+  }
+
+  /// `Query(s, t)` recording into the scratch state / probe of `slot`
+  /// (< the count passed to `PrepareConcurrentQueries`). Distinct slots
+  /// may run concurrently; slot 0 is the plain `Query` path.
+  virtual bool QueryInSlot(VertexId s, VertexId t, size_t slot) const {
+    (void)slot;
+    return Query(s, t);
+  }
 
   /// Index footprint in bytes (labels only, excluding the graph itself).
   /// This is the "index size" column of the survey's comparisons.

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/reachability_index.h"
+#include "core/workspace_pool.h"
 #include "graph/condensation.h"
 
 namespace reach {
@@ -39,20 +40,34 @@ class SccCondensingIndex : public ReachabilityIndex {
                                inner.phases.begin(), inner.phases.end());
     build_stats_.size_bytes = IndexSizeBytes();
     build_stats_.num_entries = inner.num_entries;
-    probe_.Reset();
+    probes_.Reset();
   }
 
   bool Query(VertexId s, VertexId t) const override {
-    REACH_PROBE_INC(probe_, queries);
-    REACH_PROBE_ADD(probe_, labels_scanned, 1);  // component-of lookup
+    return QueryInSlot(s, t, 0);
+  }
+
+  /// Concurrent queries work iff the wrapped index supports them (the
+  /// wrapper's own state is an immutable component map plus per-slot
+  /// probes).
+  bool PrepareConcurrentQueries(size_t slots) const override {
+    if (!dag_index_->PrepareConcurrentQueries(slots)) return false;
+    probes_.EnsureSlots(slots);
+    return true;
+  }
+
+  bool QueryInSlot(VertexId s, VertexId t, size_t slot) const override {
+    [[maybe_unused]] QueryProbe& probe = probes_.Slot(slot);
+    REACH_PROBE_INC(probe, queries);
+    REACH_PROBE_ADD(probe, labels_scanned, 1);  // component-of lookup
     const VertexId cs = condensation_.DagVertex(s);
     const VertexId ct = condensation_.DagVertex(t);
     if (cs == ct) {
-      REACH_PROBE_INC(probe_, positives);
+      REACH_PROBE_INC(probe, positives);
       return true;
     }
-    const bool reachable = dag_index_->Query(cs, ct);
-    if (reachable) REACH_PROBE_INC(probe_, positives);
+    const bool reachable = dag_index_->QueryInSlot(cs, ct, slot);
+    if (reachable) REACH_PROBE_INC(probe, positives);
     return reachable;
   }
 
@@ -69,15 +84,16 @@ class SccCondensingIndex : public ReachabilityIndex {
   /// wrapper (same-SCC pairs are settled here and never reach the DAG
   /// index).
   QueryProbe Probe() const override {
+    const QueryProbe own = probes_.Aggregate();
     QueryProbe merged = dag_index_->Probe();
-    merged.queries = probe_.queries;
-    merged.positives = probe_.positives;
-    merged.labels_scanned += probe_.labels_scanned;
+    merged.queries = own.queries;
+    merged.positives = own.positives;
+    merged.labels_scanned += own.labels_scanned;
     return merged;
   }
 
   void ResetProbe() const override {
-    probe_.Reset();
+    probes_.Reset();
     dag_index_->ResetProbe();
   }
 
@@ -90,7 +106,7 @@ class SccCondensingIndex : public ReachabilityIndex {
  private:
   std::unique_ptr<ReachabilityIndex> dag_index_;
   Condensation condensation_;
-  mutable QueryProbe probe_;
+  mutable ProbePool probes_;
 };
 
 /// Convenience: wraps a freshly constructed `DagIndex(args...)` in an

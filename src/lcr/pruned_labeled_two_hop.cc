@@ -1,7 +1,12 @@
 #include "lcr/pruned_labeled_two_hop.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
+#include <utility>
+
+#include "par/parallel_for.h"
+#include "par/thread_pool.h"
 
 namespace reach {
 
@@ -64,6 +69,11 @@ class SeenSets {
   bool Dominates(VertexId v, LabelSet mask) const {
     return seen_[v].Dominates(mask);
   }
+
+  /// Distinct vertices added since the last `Reset` — exactly the set of
+  /// vertices the sweep's pruning oracle was evaluated at, which is what
+  /// the parallel build's conflict check needs.
+  const std::vector<VertexId>& Touched() const { return touched_; }
 
  private:
   std::vector<MinimalLabelSets> seen_;
@@ -169,58 +179,221 @@ void PrunedLabeledTwoHop::Build(const LabeledDigraph& graph) {
   order_timer.Stop();
 
   BuildPhaseTimer label_timer(&build_stats_.phases, "label_bfs");
-  lin_.assign(n, {});
-  lout_.assign(n, {});
-  BucketQueue queue;
-  SeenSets seen;
-  State state;
-
-  for (uint32_t r = 0; r < n; ++r) {
-    const VertexId hop = by_rank_[r];
-    // Forward sweep: hop -> x states populate Lin(x).
-    queue.Clear();
-    seen.Reset(n);
-    seen.Add(hop, 0);
-    queue.Push({0, hop});
-    while (queue.Pop(&state)) {
-      ArcsOut(state.vertex, [&](const LabeledDigraph::Arc& arc) {
-        const VertexId x = arc.vertex;
-        if (x == hop || rank_[x] < r) return;
-        const LabelSet next = state.mask | LabelBit(arc.label);
-        if (seen.Dominates(x, next)) return;
-        if (LabelQuery(hop, x, next)) {
-          seen.Add(x, next);  // block supersets; already answerable
-          return;
-        }
-        seen.Add(x, next);
-        lin_[x].push_back({r, next});
-        queue.Push({next, x});
-      });
-    }
-    // Backward sweep: x -> hop states populate Lout(x).
-    queue.Clear();
-    seen.Reset(n);
-    seen.Add(hop, 0);
-    queue.Push({0, hop});
-    while (queue.Pop(&state)) {
-      ArcsIn(state.vertex, [&](const LabeledDigraph::Arc& arc) {
-        const VertexId x = arc.vertex;
-        if (x == hop || rank_[x] < r) return;
-        const LabelSet next = state.mask | LabelBit(arc.label);
-        if (seen.Dominates(x, next)) return;
-        if (LabelQuery(x, hop, next)) {
-          seen.Add(x, next);
-          return;
-        }
-        seen.Add(x, next);
-        lout_[x].push_back({r, next});
-        queue.Push({next, x});
-      });
-    }
-  }
+  BuildLabels(graph, ResolveThreads(num_threads_));
   label_timer.Stop();
   build_stats_.size_bytes = IndexSizeBytes();
   build_stats_.num_entries = TotalEntries();
+}
+
+void PrunedLabeledTwoHop::BuildLabels(const LabeledDigraph& graph,
+                                      size_t threads) {
+  const size_t n = graph.NumVertices();
+  lin_.assign(n, {});
+  lout_.assign(n, {});
+  if (n == 0) return;
+
+  // lin_stamp[x] == batch_epoch iff the current batch already committed a
+  // Lin(x) entry (dually lout_stamp) — the reads that can invalidate a
+  // speculative sweep. During warmup / serial builds batch_epoch stays 0,
+  // matching the stamps' initial value, so stamping is a no-op there.
+  std::vector<uint32_t> lin_stamp(n, 0), lout_stamp(n, 0);
+  uint32_t batch_epoch = 0;
+
+  BucketQueue serial_queue;
+  SeenSets serial_seen;
+
+  // The exact serial sweep of P2H+: forward populates Lin via hop -> x
+  // label-BFS states, backward populates Lout. Also used for warmup and
+  // for conflict redos in the parallel build.
+  auto serial_sweep = [&](uint32_t r, bool forward) {
+    const VertexId hop = by_rank_[r];
+    State state;
+    serial_queue.Clear();
+    serial_seen.Reset(n);
+    serial_seen.Add(hop, 0);
+    serial_queue.Push({0, hop});
+    while (serial_queue.Pop(&state)) {
+      auto visit = [&](const LabeledDigraph::Arc& arc) {
+        const VertexId x = arc.vertex;
+        if (x == hop || rank_[x] < r) return;
+        const LabelSet next = state.mask | LabelBit(arc.label);
+        if (serial_seen.Dominates(x, next)) return;
+        if (forward ? LabelQuery(hop, x, next) : LabelQuery(x, hop, next)) {
+          serial_seen.Add(x, next);  // block supersets; already answerable
+          return;
+        }
+        serial_seen.Add(x, next);
+        if (forward) {
+          lin_[x].push_back({r, next});
+          lin_stamp[x] = batch_epoch;
+        } else {
+          lout_[x].push_back({r, next});
+          lout_stamp[x] = batch_epoch;
+        }
+        serial_queue.Push({next, x});
+      };
+      if (forward) {
+        ArcsOut(state.vertex, visit);
+      } else {
+        ArcsIn(state.vertex, visit);
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    for (uint32_t r = 0; r < n; ++r) {
+      serial_sweep(r, /*forward=*/true);
+      serial_sweep(r, /*forward=*/false);
+    }
+    return;
+  }
+
+  // Rank-batched speculate/commit/redo (see PrunedTwoHop for the scheme
+  // and docs/PARALLELISM.md for the argument). One LCR-specific wrinkle:
+  // the serial pruning oracle LabelQuery(hop, x, next) reads the rank-r
+  // entry group of Lin(x) — entries the *current sweep* inserted. The
+  // speculative sweep shadows that group in a worker-local per-vertex
+  // mask list, so local-covered || committed-prefix LabelQuery equals the
+  // serial oracle exactly (the committed prefix has no rank-r groups).
+  struct Scratch {
+    BucketQueue queue;
+    SeenSets seen;
+    std::vector<std::vector<LabelSet>> local;  // own-rank group shadow
+    std::vector<VertexId> local_touched;
+  };
+  std::vector<Scratch> scratch(threads);
+  for (Scratch& s : scratch) s.local.assign(n, {});
+
+  // Outcome of one speculative sweep.
+  struct Sweep {
+    std::vector<std::pair<VertexId, LabelSet>> labeled;  // push order
+    std::vector<VertexId> touched;  // vertices the oracle evaluated
+    bool redo = false;              // overflowed the cap: rerun serially
+  };
+
+  // Label-BFS state counts can exceed n (one state per (vertex, mask));
+  // cut off speculative floods and redo those sweeps serially.
+  const size_t state_cap = std::max<size_t>(1024, 4 * n);
+  auto speculative_sweep = [&](uint32_t r, bool forward, Scratch& s,
+                               Sweep* out) {
+    const VertexId hop = by_rank_[r];
+    State state;
+    s.queue.Clear();
+    s.seen.Reset(n);
+    for (VertexId v : s.local_touched) s.local[v].clear();
+    s.local_touched.clear();
+    s.seen.Add(hop, 0);
+    s.queue.Push({0, hop});
+    size_t evaluated = 0;
+    while (!out->redo && s.queue.Pop(&state)) {
+      auto visit = [&](const LabeledDigraph::Arc& arc) {
+        const VertexId x = arc.vertex;
+        if (x == hop || rank_[x] < r) return;
+        const LabelSet next = state.mask | LabelBit(arc.label);
+        if (s.seen.Dominates(x, next)) return;
+        ++evaluated;
+        bool covered = false;
+        for (LabelSet m : s.local[x]) {
+          if (IsSubsetOf(m, next)) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) {
+          covered = forward ? LabelQuery(hop, x, next)
+                            : LabelQuery(x, hop, next);
+        }
+        s.seen.Add(x, next);
+        if (covered) return;
+        if (s.local[x].empty()) s.local_touched.push_back(x);
+        s.local[x].push_back(next);
+        out->labeled.emplace_back(x, next);
+        s.queue.Push({next, x});
+      };
+      if (forward) {
+        ArcsOut(state.vertex, visit);
+      } else {
+        ArcsIn(state.vertex, visit);
+      }
+      if (evaluated > state_cap) out->redo = true;
+    }
+    if (out->redo) {
+      out->labeled.clear();
+    } else {
+      out->touched = s.seen.Touched();
+    }
+  };
+
+  // A forward oracle call reads Lout(hop) plus Lin(x) of evaluated
+  // vertices x (remaining reads are this sweep's own shadow group);
+  // backward is symmetric. The sweep is stale iff the batch committed to
+  // one of those since phase 1 snapshotted the labeling.
+  auto commit_rank = [&](uint32_t r, bool forward, Sweep& sweep) {
+    const VertexId hop = by_rank_[r];
+    bool conflict = sweep.redo;
+    if (!conflict) {
+      conflict = (forward ? lout_stamp : lin_stamp)[hop] == batch_epoch;
+    }
+    if (!conflict) {
+      const std::vector<uint32_t>& stamp = forward ? lin_stamp : lout_stamp;
+      for (VertexId x : sweep.touched) {
+        if (stamp[x] == batch_epoch) {
+          conflict = true;
+          break;
+        }
+      }
+    }
+    if (conflict) {
+      serial_sweep(r, forward);
+      return;
+    }
+    std::vector<uint32_t>& stamp = forward ? lin_stamp : lout_stamp;
+    auto& labels = forward ? lin_ : lout_;
+    for (const auto& [x, mask] : sweep.labeled) {
+      labels[x].push_back({r, mask});
+      stamp[x] = batch_epoch;
+    }
+  };
+
+  const uint32_t num_ranks = static_cast<uint32_t>(n);
+  uint32_t r = 0;
+  const uint32_t warmup = static_cast<uint32_t>(std::min<size_t>(n, 32));
+  for (; r < warmup; ++r) {
+    serial_sweep(r, /*forward=*/true);
+    serial_sweep(r, /*forward=*/false);
+  }
+
+  size_t batch_size = 2 * threads;
+  const size_t max_batch = std::max<size_t>(64 * threads, 256);
+  std::vector<Sweep> fwd, bwd;
+  while (r < num_ranks) {
+    const uint32_t batch_end =
+        static_cast<uint32_t>(std::min<size_t>(num_ranks, r + batch_size));
+    const size_t count = batch_end - r;
+    fwd.assign(count, Sweep{});
+    bwd.assign(count, Sweep{});
+    ++batch_epoch;
+
+    std::atomic<size_t> next{0};
+    ParallelForWorkers(threads, [&](size_t worker) {
+      Scratch& s = scratch[worker];
+      for (;;) {
+        const size_t unit = next.fetch_add(1, std::memory_order_relaxed);
+        if (unit >= 2 * count) return;
+        const uint32_t rank = r + static_cast<uint32_t>(unit / 2);
+        const bool forward = (unit % 2) == 0;
+        speculative_sweep(rank, forward, s,
+                          forward ? &fwd[unit / 2] : &bwd[unit / 2]);
+      }
+    });
+
+    for (uint32_t offset = 0; offset < count; ++offset) {
+      commit_rank(r + offset, /*forward=*/true, fwd[offset]);
+      commit_rank(r + offset, /*forward=*/false, bwd[offset]);
+    }
+    r = batch_end;
+    batch_size = std::min(batch_size * 2, max_batch);
+  }
 }
 
 void PrunedLabeledTwoHop::InsertEdge(VertexId s, VertexId t, Label label) {

@@ -33,7 +33,14 @@ namespace reach {
 /// handled by `RemoveEdgeAndRebuild`.
 class PrunedLabeledTwoHop : public LcrIndex {
  public:
-  PrunedLabeledTwoHop() = default;
+  /// `num_threads` parallelizes the build with the same rank-batched
+  /// speculate/commit/redo scheme as `PrunedTwoHop` (speculative sweeps
+  /// consult a worker-local shadow of their own rank's entries, since the
+  /// serial pruning oracle sees in-sweep insertions). The labeling is
+  /// bit-identical to a serial build for any thread count
+  /// (docs/PARALLELISM.md). 0 = `DefaultThreads()`, 1 = serial.
+  explicit PrunedLabeledTwoHop(size_t num_threads = 0)
+      : num_threads_(num_threads) {}
 
   void Build(const LabeledDigraph& graph) override;
   bool Query(VertexId s, VertexId t, LabelSet allowed) const override;
@@ -58,6 +65,7 @@ class PrunedLabeledTwoHop : public LcrIndex {
     LabelSet mask;
   };
 
+  void BuildLabels(const LabeledDigraph& graph, size_t threads);
   bool LabelQuery(VertexId s, VertexId t, LabelSet allowed) const;
   // True iff `entries` holds (rank, mask ⊆ allowed).
   static bool HasCoveredEntry(const std::vector<Entry>& entries,
@@ -67,6 +75,7 @@ class PrunedLabeledTwoHop : public LcrIndex {
   template <typename ArcFn>
   void ArcsIn(VertexId v, ArcFn&& fn) const;
 
+  size_t num_threads_ = 0;
   const LabeledDigraph* graph_ = nullptr;
   LabeledDigraph owned_graph_;  // used after RemoveEdgeAndRebuild
   std::vector<uint32_t> rank_;

@@ -1,0 +1,44 @@
+#ifndef REACH_PAR_DEPENDENCY_LEVELS_H_
+#define REACH_PAR_DEPENDENCY_LEVELS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace reach {
+
+/// Vertices grouped into dependency levels: `buckets[l]` holds every
+/// vertex whose longest dependency chain has length l. All vertices of a
+/// bucket are mutually independent, so a sweep with per-vertex results
+/// that depend only on already-finished dependencies parallelizes as
+/// "for each level, ParallelFor over the bucket" — and stays bit-identical
+/// to the sequential sweep whenever the per-vertex combine is
+/// order-independent (bitset unions, interval merges).
+struct DependencyLevels {
+  std::vector<std::vector<VertexId>> buckets;
+};
+
+/// Computes levels for vertices [0, n). `order` must iterate all n
+/// vertices dependencies-first (a topological order of the dependency
+/// relation); `deps_of(v, fn)` must call `fn(w)` for every dependency w
+/// of v. O(V + E).
+template <typename Range, typename DepsFn>
+DependencyLevels ComputeDependencyLevels(size_t n, const Range& order,
+                                         DepsFn&& deps_of) {
+  std::vector<uint32_t> level(n, 0);
+  DependencyLevels out;
+  for (const VertexId v : order) {
+    uint32_t l = 0;
+    deps_of(v, [&](VertexId w) { l = std::max(l, level[w] + 1); });
+    level[v] = l;
+    if (l >= out.buckets.size()) out.buckets.resize(l + 1);
+    out.buckets[l].push_back(v);
+  }
+  return out;
+}
+
+}  // namespace reach
+
+#endif  // REACH_PAR_DEPENDENCY_LEVELS_H_

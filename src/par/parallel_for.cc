@@ -1,0 +1,87 @@
+#include "par/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+namespace reach {
+
+void ParallelForWorkers(size_t num_workers,
+                        const std::function<void(size_t)>& fn) {
+  if (num_workers == 0) return;
+  if (num_workers == 1 || ThreadPool::CurrentWorkerIndex() >= 0) {
+    for (size_t w = 0; w < num_workers; ++w) fn(w);
+    return;
+  }
+
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    size_t remaining;
+    std::exception_ptr first_error;
+  } shared;
+  shared.remaining = num_workers - 1;
+
+  ThreadPool& pool = ThreadPool::Global();
+  for (size_t w = 1; w < num_workers; ++w) {
+    pool.Submit([&shared, &fn, w]() {
+      try {
+        fn(w);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        if (!shared.first_error) shared.first_error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(shared.mutex);
+      if (--shared.remaining == 0) shared.done_cv.notify_one();
+    });
+  }
+
+  std::exception_ptr caller_error;
+  try {
+    fn(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(shared.mutex);
+  shared.done_cv.wait(lock, [&shared]() { return shared.remaining == 0; });
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (shared.first_error) std::rethrow_exception(shared.first_error);
+}
+
+void ParallelForChunked(size_t begin, size_t end,
+                        const std::function<void(size_t, size_t)>& fn,
+                        size_t num_threads, size_t grain) {
+  if (begin >= end) return;
+  const size_t count = end - begin;
+  const size_t threads =
+      std::min(ResolveThreads(num_threads), count);
+  if (threads <= 1 || ThreadPool::CurrentWorkerIndex() >= 0) {
+    fn(begin, end);
+    return;
+  }
+  if (grain == 0) grain = std::max<size_t>(1, count / (8 * threads));
+  std::atomic<size_t> next{begin};
+  ParallelForWorkers(threads, [&next, &fn, end, grain](size_t) {
+    for (;;) {
+      const size_t chunk_begin =
+          next.fetch_add(grain, std::memory_order_relaxed);
+      if (chunk_begin >= end) return;
+      fn(chunk_begin, std::min(chunk_begin + grain, end));
+    }
+  });
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn, size_t num_threads,
+                 size_t grain) {
+  ParallelForChunked(
+      begin, end,
+      [&fn](size_t chunk_begin, size_t chunk_end) {
+        for (size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
+      },
+      num_threads, grain);
+}
+
+}  // namespace reach

@@ -1,0 +1,43 @@
+#ifndef REACH_PAR_PARALLEL_FOR_H_
+#define REACH_PAR_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "par/thread_pool.h"
+
+namespace reach {
+
+/// Runs `fn(worker)` once for every worker id in [0, num_workers) —
+/// worker 0 on the calling thread, the rest on the global pool — and
+/// blocks until all return. The first exception thrown by any worker is
+/// rethrown on the caller after every worker finished. Called from inside
+/// a pool worker (nested parallelism), the ids run sequentially on the
+/// caller instead, so pool workers never block on pool work.
+///
+/// `num_workers` may exceed the pool's thread count: surplus ids queue
+/// and run as workers free up, so algorithms whose *partitioning* depends
+/// on the requested thread count behave identically on any machine.
+void ParallelForWorkers(size_t num_workers,
+                        const std::function<void(size_t)>& fn);
+
+/// Runs `fn(chunk_begin, chunk_end)` over a dynamic partition of
+/// [begin, end) into chunks of `grain` indexes (0 = pick automatically).
+/// Chunks are claimed from a shared counter, so uneven chunk costs
+/// balance across workers. `num_threads`: 0 = `DefaultThreads()`, 1 =
+/// serial (one `fn(begin, end)` call, no pool touched).
+void ParallelForChunked(size_t begin, size_t end,
+                        const std::function<void(size_t, size_t)>& fn,
+                        size_t num_threads = 0, size_t grain = 0);
+
+/// Runs `fn(i)` for every i in [begin, end), chunked as in
+/// `ParallelForChunked`. Use for loop bodies heavy enough to amortize an
+/// indirect call per index (a BFS, a bitset-row union); for tight loops
+/// prefer `ParallelForChunked` and iterate inside the chunk.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn,
+                 size_t num_threads = 0, size_t grain = 0);
+
+}  // namespace reach
+
+#endif  // REACH_PAR_PARALLEL_FOR_H_

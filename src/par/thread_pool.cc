@@ -1,0 +1,143 @@
+#include "par/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+namespace reach {
+
+namespace {
+
+// Worker identity of the current thread within its pool, -1 elsewhere.
+thread_local int tls_worker_index = -1;
+
+// SetDefaultThreads override; 0 = unset. Atomic so tools may adjust it
+// while benches read it from other threads.
+std::atomic<size_t> g_default_threads_override{0};
+
+}  // namespace
+
+namespace internal {
+
+size_t ParseThreadsValue(const char* value, size_t fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || parsed == 0) return fallback;
+  return static_cast<size_t>(parsed);
+}
+
+}  // namespace internal
+
+size_t HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+size_t DefaultThreads() {
+  const size_t override = g_default_threads_override.load(std::memory_order_relaxed);
+  if (override != 0) return override;
+  return internal::ParseThreadsValue(std::getenv("REACH_THREADS"),
+                                     HardwareThreads());
+}
+
+void SetDefaultThreads(size_t num_threads) {
+  g_default_threads_override.store(num_threads, std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = num_threads == 0 ? 1 : num_threads;
+  queues_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkQueue>());
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i]() { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  // A worker submitting into its own pool pushes onto its own deque (it
+  // pops LIFO, so nested work runs before stolen work); external threads
+  // round-robin across the deques.
+  const int self = tls_worker_index;
+  const size_t target =
+      (self >= 0 && static_cast<size_t>(self) < queues_.size())
+          ? static_cast<size_t>(self)
+          : next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  // Publish after the push: a worker woken by `pending_ > 0` must find the
+  // task in some deque instead of spinning on a not-yet-visible one.
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    ++pending_;
+  }
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::PopOrSteal(size_t self, std::function<void()>* task) {
+  {
+    WorkQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.back());  // LIFO: newest first, locality
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  for (size_t offset = 1; offset < queues_.size(); ++offset) {
+    WorkQueue& victim = *queues_[(self + offset) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      *task = std::move(victim.tasks.front());  // FIFO steal: oldest first
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tls_worker_index = static_cast<int>(index);
+  std::function<void()> task;
+  for (;;) {
+    if (PopOrSteal(index, &task)) {
+      {
+        std::lock_guard<std::mutex> lock(idle_mutex_);
+        --pending_;
+      }
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    // `pending_` can be stale the moment the queues looked empty; recheck
+    // under the idle lock, which every Submit takes before notifying.
+    idle_cv_.wait(lock, [this]() { return stop_ || pending_ > 0; });
+    if (stop_ && pending_ == 0) return;  // drained: queued work runs first
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(DefaultThreads());
+  return pool;
+}
+
+int ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
+
+}  // namespace reach

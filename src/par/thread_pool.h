@@ -1,0 +1,104 @@
+#ifndef REACH_PAR_THREAD_POOL_H_
+#define REACH_PAR_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace reach {
+
+/// A work-stealing thread pool — the shared parallel-build substrate of
+/// the §5 "parallel computation of indexes" direction (docs/PARALLELISM.md).
+///
+/// Each worker owns a deque: it pops its own tasks LIFO (locality for
+/// nested/recursive submission) and steals FIFO from the other workers
+/// when its deque runs dry, so a burst of uneven tasks — pruned BFSs whose
+/// cost varies by orders of magnitude — balances without a central
+/// bottleneck. Tasks submitted from within a worker go to that worker's
+/// own deque; external submissions round-robin.
+///
+/// One process-global instance (`Global()`) is created lazily with
+/// `DefaultThreads()` workers; index builders accept a per-call thread
+/// count and only fall back to the global pool when it is 0. Destroying a
+/// pool drains every queued task, then joins.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (excluding callers, which participate in
+  /// `ParallelFor*` loops on top of this).
+  size_t NumThreads() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution. Tasks must not block waiting for
+  /// other pool tasks (the `ParallelFor*` helpers run inline when called
+  /// from a worker for exactly this reason).
+  void Submit(std::function<void()> task);
+
+  /// The process-global pool, created on first use with `DefaultThreads()`
+  /// workers. Call `SetDefaultThreads()` before first use to size it.
+  static ThreadPool& Global();
+
+  /// Index of the calling pool worker in its pool, or -1 when called from
+  /// a thread that is not a pool worker.
+  static int CurrentWorkerIndex();
+
+ private:
+  // One per worker: the deque plus its lock (coarse-grained stealing; the
+  // tasks this library submits are whole BFS sweeps or chunk loops, so
+  // queue traffic is far off the critical path).
+  struct WorkQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t index);
+  bool PopOrSteal(size_t self, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<WorkQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  size_t pending_ = 0;  // queued-but-unclaimed tasks, guarded by idle_mutex_
+  bool stop_ = false;   // guarded by idle_mutex_
+  // Round-robin cursor for external submissions.
+  std::atomic<size_t> next_queue_{0};
+};
+
+/// `std::thread::hardware_concurrency()`, clamped to >= 1.
+size_t HardwareThreads();
+
+/// The library-wide default parallelism: the `SetDefaultThreads` override
+/// if set, else the `REACH_THREADS` environment variable (positive
+/// integer), else `HardwareThreads()`.
+size_t DefaultThreads();
+
+/// Overrides `DefaultThreads()` process-wide (0 restores the environment/
+/// hardware default). Call before the global pool's first use — the pool
+/// is sized once, on creation.
+void SetDefaultThreads(size_t num_threads);
+
+/// Resolves a per-call thread-count parameter: 0 means `DefaultThreads()`.
+inline size_t ResolveThreads(size_t requested) {
+  return requested == 0 ? DefaultThreads() : requested;
+}
+
+namespace internal {
+/// Parses a `REACH_THREADS`-style value; returns `fallback` when `value`
+/// is null, empty, non-numeric, or zero. Exposed for tests.
+size_t ParseThreadsValue(const char* value, size_t fallback);
+}  // namespace internal
+
+}  // namespace reach
+
+#endif  // REACH_PAR_THREAD_POOL_H_

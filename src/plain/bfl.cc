@@ -2,13 +2,16 @@
 
 #include "graph/rng.h"
 #include "graph/topological.h"
+#include "par/dependency_levels.h"
+#include "par/parallel_for.h"
+#include "par/thread_pool.h"
 #include "plain/interval_labeling.h"
 
 namespace reach {
 
 void Bfl::Build(const Digraph& graph) {
   BuildStatsScope build(&build_stats_);
-  ws_.probe().Reset();
+  ws_pool_.ResetProbes();
   graph_ = &graph;
   const size_t n = graph.NumVertices();
   bloom_out_.assign(n * words_, 0);
@@ -20,34 +23,79 @@ void Bfl::Build(const Digraph& graph) {
   subtree_low_ = forest.subtree_low;
   forest_timer.Stop();
 
+  const size_t threads = ResolveThreads(num_threads_);
   BuildPhaseTimer bloom_timer(&build_stats_.phases, "bloom_sweeps");
-  // Seed each vertex's own bit, then one sweep per direction.
+  // Seed each vertex's own bit, then one sweep per direction. Rows are
+  // disjoint per vertex, so seeding parallelizes freely.
   const size_t bits = words_ * 64;
   auto set_own = [&](std::vector<uint64_t>& bloom, VertexId v) {
     const uint64_t h = Mix64(v ^ seed_) % bits;
     bloom[v * words_ + (h >> 6)] |= uint64_t{1} << (h & 63);
   };
-  for (VertexId v = 0; v < n; ++v) {
-    set_own(bloom_out_, v);
-    set_own(bloom_in_, v);
-  }
+  ParallelForChunked(
+      0, n,
+      [&](size_t chunk_begin, size_t chunk_end) {
+        for (size_t v = chunk_begin; v < chunk_end; ++v) {
+          set_own(bloom_out_, v);
+          set_own(bloom_in_, v);
+        }
+      },
+      threads);
+
   auto order = TopologicalOrder(graph);
-  // Out: reverse topological (successors first).
-  for (auto it = order->rbegin(); it != order->rend(); ++it) {
-    const VertexId v = *it;
-    for (VertexId w : graph.OutNeighbors(v)) {
-      for (size_t word = 0; word < words_; ++word) {
-        bloom_out_[v * words_ + word] |= bloom_out_[w * words_ + word];
-      }
+  auto or_row = [this](std::vector<uint64_t>& bloom, VertexId v, VertexId w) {
+    for (size_t word = 0; word < words_; ++word) {
+      bloom[v * words_ + word] |= bloom[w * words_ + word];
     }
-  }
-  // In: topological (predecessors first).
-  for (VertexId v : *order) {
-    for (VertexId w : graph.InNeighbors(v)) {
-      for (size_t word = 0; word < words_; ++word) {
-        bloom_in_[v * words_ + word] |= bloom_in_[w * words_ + word];
-      }
+  };
+  if (threads <= 1) {
+    // Out: reverse topological (successors first).
+    for (auto it = order->rbegin(); it != order->rend(); ++it) {
+      const VertexId v = *it;
+      for (VertexId w : graph.OutNeighbors(v)) or_row(bloom_out_, v, w);
     }
+    // In: topological (predecessors first).
+    for (VertexId v : *order) {
+      for (VertexId w : graph.InNeighbors(v)) or_row(bloom_in_, v, w);
+    }
+  } else {
+    // Level-parallel sweeps: each vertex's row only reads rows of strictly
+    // lower levels, and ORs commute, so the filters come out bit-identical
+    // to the serial sweeps.
+    auto run_sweep = [&](const DependencyLevels& levels, bool out) {
+      for (const std::vector<VertexId>& bucket : levels.buckets) {
+        ParallelForChunked(
+            0, bucket.size(),
+            [&](size_t chunk_begin, size_t chunk_end) {
+              for (size_t i = chunk_begin; i < chunk_end; ++i) {
+                const VertexId v = bucket[i];
+                if (out) {
+                  for (VertexId w : graph.OutNeighbors(v)) {
+                    or_row(bloom_out_, v, w);
+                  }
+                } else {
+                  for (VertexId w : graph.InNeighbors(v)) {
+                    or_row(bloom_in_, v, w);
+                  }
+                }
+              }
+            },
+            threads);
+      }
+    };
+    const std::vector<VertexId> reverse_order(order->rbegin(), order->rend());
+    run_sweep(ComputeDependencyLevels(n, reverse_order,
+                                      [&graph](VertexId v, auto&& fn) {
+                                        for (VertexId w : graph.OutNeighbors(v))
+                                          fn(w);
+                                      }),
+              /*out=*/true);
+    run_sweep(ComputeDependencyLevels(n, *order,
+                                      [&graph](VertexId v, auto&& fn) {
+                                        for (VertexId w : graph.InNeighbors(v))
+                                          fn(w);
+                                      }),
+              /*out=*/false);
   }
   bloom_timer.Stop();
   build_stats_.size_bytes = IndexSizeBytes();
@@ -71,7 +119,12 @@ bool Bfl::BloomConsistent(VertexId s, VertexId t) const {
 }
 
 int Bfl::FilterVerdict(VertexId s, VertexId t) const {
-  REACH_PROBE_INC(ws_.probe(), labels_scanned);
+  return FilterVerdictCounted(s, t, ws_pool_.Slot(0).probe());
+}
+
+int Bfl::FilterVerdictCounted(VertexId s, VertexId t,
+                              [[maybe_unused]] QueryProbe& probe) const {
+  REACH_PROBE_INC(probe, labels_scanned);
   if (s == t) return 1;
   if (subtree_low_[s] <= post_[t] && post_[t] <= post_[s]) return 1;
   if (!BloomConsistent(s, t)) return -1;
@@ -79,43 +132,48 @@ int Bfl::FilterVerdict(VertexId s, VertexId t) const {
 }
 
 bool Bfl::Query(VertexId s, VertexId t) const {
-  REACH_PROBE_INC(ws_.probe(), queries);
-  const int verdict = FilterVerdict(s, t);
+  return QueryInSlot(s, t, 0);
+}
+
+bool Bfl::QueryInSlot(VertexId s, VertexId t, size_t slot) const {
+  SearchWorkspace& ws = ws_pool_.Slot(slot);
+  REACH_PROBE_INC(ws.probe(), queries);
+  const int verdict = FilterVerdictCounted(s, t, ws.probe());
   if (verdict > 0) {
-    REACH_PROBE_INC(ws_.probe(), positives);
+    REACH_PROBE_INC(ws.probe(), positives);
     return true;
   }
   if (verdict < 0) {
-    REACH_PROBE_INC(ws_.probe(), label_rejections);
+    REACH_PROBE_INC(ws.probe(), label_rejections);
     return false;
   }
   // Guided DFS with per-vertex filter checks.
-  REACH_PROBE_INC(ws_.probe(), fallbacks);
-  ws_.Prepare(graph_->NumVertices());
-  auto& stack = ws_.queue();
-  ws_.MarkForward(s);
+  REACH_PROBE_INC(ws.probe(), fallbacks);
+  ws.Prepare(graph_->NumVertices());
+  auto& stack = ws.queue();
+  ws.MarkForward(s);
   stack.push_back(s);
   while (!stack.empty()) {
     const VertexId v = stack.back();
     stack.pop_back();
-    REACH_PROBE_INC(ws_.probe(), vertices_visited);
+    REACH_PROBE_INC(ws.probe(), vertices_visited);
     for (VertexId w : graph_->OutNeighbors(v)) {
-      REACH_PROBE_INC(ws_.probe(), edges_scanned);
+      REACH_PROBE_INC(ws.probe(), edges_scanned);
       if (w == t) {
-        REACH_PROBE_INC(ws_.probe(), positives);
+        REACH_PROBE_INC(ws.probe(), positives);
         return true;
       }
-      if (ws_.IsForwardMarked(w)) continue;
-      const int wv = FilterVerdict(w, t);
+      if (ws.IsForwardMarked(w)) continue;
+      const int wv = FilterVerdictCounted(w, t, ws.probe());
       if (wv > 0) {
-        REACH_PROBE_INC(ws_.probe(), positives);
+        REACH_PROBE_INC(ws.probe(), positives);
         return true;
       }
       if (wv == 0) {
-        ws_.MarkForward(w);
+        ws.MarkForward(w);
         stack.push_back(w);
       } else {
-        REACH_PROBE_INC(ws_.probe(), filter_prunes);
+        REACH_PROBE_INC(ws.probe(), filter_prunes);
       }
     }
   }

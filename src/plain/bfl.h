@@ -7,6 +7,7 @@
 
 #include "core/reachability_index.h"
 #include "core/search_workspace.h"
+#include "core/workspace_pool.h"
 #include "graph/digraph.h"
 
 namespace reach {
@@ -28,9 +29,15 @@ namespace reach {
 /// Input must be a DAG (wrap in `SccCondensingIndex`).
 class Bfl : public ReachabilityIndex {
  public:
-  /// `filter_bits` is rounded up to a multiple of 64.
-  explicit Bfl(size_t filter_bits = 256, uint64_t seed = 0x62'66'6cULL)
-      : words_((filter_bits + 63) / 64), seed_(seed) {
+  /// `filter_bits` is rounded up to a multiple of 64. `num_threads`
+  /// parallelizes the two Bloom sweeps over dependency levels of the DAG
+  /// (word-wise ORs commute, so the filters are bit-identical to a serial
+  /// build). 0 = `DefaultThreads()`, 1 = serial.
+  explicit Bfl(size_t filter_bits = 256, uint64_t seed = 0x62'66'6cULL,
+               size_t num_threads = 0)
+      : words_((filter_bits + 63) / 64),
+        seed_(seed),
+        num_threads_(num_threads) {
     if (words_ == 0) words_ = 1;
   }
 
@@ -41,24 +48,32 @@ class Bfl : public ReachabilityIndex {
   std::string Name() const override {
     return "bfl(bits=" + std::to_string(words_ * 64) + ")";
   }
-  QueryProbe Probe() const override { return ws_.probe(); }
-  void ResetProbe() const override { ws_.probe().Reset(); }
+  QueryProbe Probe() const override { return ws_pool_.AggregateProbe(); }
+  void ResetProbe() const override { ws_pool_.ResetProbes(); }
+
+  bool PrepareConcurrentQueries(size_t slots) const override {
+    ws_pool_.EnsureSlots(slots);
+    return true;
+  }
+  bool QueryInSlot(VertexId s, VertexId t, size_t slot) const override;
 
   /// Pure-filter verdict: +1 reachable (tree interval), -1 unreachable
   /// (Bloom containment violated), 0 undecided.
   int FilterVerdict(VertexId s, VertexId t) const;
 
  private:
+  int FilterVerdictCounted(VertexId s, VertexId t, QueryProbe& probe) const;
   bool BloomConsistent(VertexId s, VertexId t) const;
 
   size_t words_;
   uint64_t seed_;
+  size_t num_threads_;
   const Digraph* graph_ = nullptr;
   std::vector<uint64_t> bloom_out_;  // n * words_
   std::vector<uint64_t> bloom_in_;
   std::vector<uint32_t> post_;         // DFS intervals (positive cert)
   std::vector<uint32_t> subtree_low_;
-  mutable SearchWorkspace ws_;
+  mutable WorkspacePool ws_pool_;
 };
 
 }  // namespace reach

@@ -4,13 +4,16 @@
 #include <cassert>
 #include <limits>
 
+#include "par/dependency_levels.h"
+#include "par/parallel_for.h"
+#include "par/thread_pool.h"
 #include "plain/interval_labeling.h"
 
 namespace reach {
 
 void Ferrari::Build(const Digraph& graph) {
   BuildStatsScope build(&build_stats_);
-  ws_.probe().Reset();
+  ws_pool_.ResetProbes();
   graph_ = &graph;
   const size_t n = graph.NumVertices();
   BuildPhaseTimer forest_timer(&build_stats_.phases, "interval_forest");
@@ -23,9 +26,12 @@ void Ferrari::Build(const Digraph& graph) {
   for (VertexId v = 0; v < n; ++v) by_post[forest.post[v]] = v;
 
   std::vector<std::vector<Interval>> sets(n);
-  std::vector<Interval> scratch;
-  for (uint32_t p = 0; p < n; ++p) {
-    const VertexId v = by_post[p];
+  // The full per-vertex inheritance step: collect own exact interval plus
+  // every successor's finished list, coalesce, and enforce the budget.
+  // Depends only on the successors' *final* lists, so it runs per
+  // dependency level in parallel with results identical to the serial
+  // post-order sweep.
+  auto inherit_vertex = [&](VertexId v, std::vector<Interval>& scratch) {
     scratch.clear();
     scratch.push_back({forest.subtree_low[v], forest.post[v], true});
     for (VertexId w : graph.OutNeighbors(v)) {
@@ -66,6 +72,30 @@ void Ferrari::Build(const Digraph& graph) {
       mine[best].exact = false;
       mine.erase(mine.begin() + best + 1);
     }
+  };
+
+  const size_t threads = ResolveThreads(num_threads_);
+  if (threads <= 1) {
+    std::vector<Interval> scratch;
+    for (uint32_t p = 0; p < n; ++p) inherit_vertex(by_post[p], scratch);
+  } else {
+    // post[w] < post[v] for every edge v -> w, so ascending post order is
+    // dependencies-first for deps = out-neighbors.
+    const DependencyLevels levels = ComputeDependencyLevels(
+        n, by_post, [&graph](VertexId v, auto&& fn) {
+          for (VertexId w : graph.OutNeighbors(v)) fn(w);
+        });
+    for (const std::vector<VertexId>& bucket : levels.buckets) {
+      ParallelForChunked(
+          0, bucket.size(),
+          [&bucket, &inherit_vertex](size_t chunk_begin, size_t chunk_end) {
+            std::vector<Interval> scratch;
+            for (size_t i = chunk_begin; i < chunk_end; ++i) {
+              inherit_vertex(bucket[i], scratch);
+            }
+          },
+          threads);
+    }
   }
 
   offsets_.assign(n + 1, 0);
@@ -82,8 +112,9 @@ void Ferrari::Build(const Digraph& graph) {
   build_stats_.num_entries = intervals_.size();
 }
 
-int Ferrari::Coverage(VertexId v, uint32_t target_post) const {
-  REACH_PROBE_INC(ws_.probe(), labels_scanned);
+int Ferrari::Coverage(VertexId v, uint32_t target_post,
+                      [[maybe_unused]] QueryProbe& probe) const {
+  REACH_PROBE_INC(probe, labels_scanned);
   const Interval* begin = intervals_.data() + offsets_[v];
   const Interval* end = intervals_.data() + offsets_[v + 1];
   const Interval* it = std::upper_bound(
@@ -96,48 +127,53 @@ int Ferrari::Coverage(VertexId v, uint32_t target_post) const {
 }
 
 bool Ferrari::Query(VertexId s, VertexId t) const {
-  REACH_PROBE_INC(ws_.probe(), queries);
+  return QueryInSlot(s, t, 0);
+}
+
+bool Ferrari::QueryInSlot(VertexId s, VertexId t, size_t slot) const {
+  SearchWorkspace& ws = ws_pool_.Slot(slot);
+  REACH_PROBE_INC(ws.probe(), queries);
   if (s == t) {
-    REACH_PROBE_INC(ws_.probe(), positives);
+    REACH_PROBE_INC(ws.probe(), positives);
     return true;
   }
   const uint32_t target = post_[t];
-  const int coverage = Coverage(s, target);
+  const int coverage = Coverage(s, target, ws.probe());
   if (coverage == 0) {
-    REACH_PROBE_INC(ws_.probe(), label_rejections);
+    REACH_PROBE_INC(ws.probe(), label_rejections);
     return false;
   }
   if (coverage == 2) {
-    REACH_PROBE_INC(ws_.probe(), positives);
+    REACH_PROBE_INC(ws.probe(), positives);
     return true;
   }
   // Approximate hit: guided DFS with early exact acceptance.
-  REACH_PROBE_INC(ws_.probe(), fallbacks);
-  ws_.Prepare(graph_->NumVertices());
-  auto& stack = ws_.queue();
-  ws_.MarkForward(s);
+  REACH_PROBE_INC(ws.probe(), fallbacks);
+  ws.Prepare(graph_->NumVertices());
+  auto& stack = ws.queue();
+  ws.MarkForward(s);
   stack.push_back(s);
   while (!stack.empty()) {
     const VertexId v = stack.back();
     stack.pop_back();
-    REACH_PROBE_INC(ws_.probe(), vertices_visited);
+    REACH_PROBE_INC(ws.probe(), vertices_visited);
     for (VertexId w : graph_->OutNeighbors(v)) {
-      REACH_PROBE_INC(ws_.probe(), edges_scanned);
+      REACH_PROBE_INC(ws.probe(), edges_scanned);
       if (w == t) {
-        REACH_PROBE_INC(ws_.probe(), positives);
+        REACH_PROBE_INC(ws.probe(), positives);
         return true;
       }
-      if (ws_.IsForwardMarked(w)) continue;
-      const int c = Coverage(w, target);
+      if (ws.IsForwardMarked(w)) continue;
+      const int c = Coverage(w, target, ws.probe());
       if (c == 2) {
-        REACH_PROBE_INC(ws_.probe(), positives);
+        REACH_PROBE_INC(ws.probe(), positives);
         return true;
       }
       if (c == 1) {
-        ws_.MarkForward(w);
+        ws.MarkForward(w);
         stack.push_back(w);
       } else {
-        REACH_PROBE_INC(ws_.probe(), filter_prunes);
+        REACH_PROBE_INC(ws.probe(), filter_prunes);
       }
     }
   }

@@ -7,6 +7,7 @@
 
 #include "core/reachability_index.h"
 #include "core/search_workspace.h"
+#include "core/workspace_pool.h"
 #include "graph/digraph.h"
 
 namespace reach {
@@ -30,8 +31,13 @@ namespace reach {
 /// Input must be a DAG (wrap in `SccCondensingIndex`).
 class Ferrari : public ReachabilityIndex {
  public:
-  /// At most `k` intervals per vertex (k >= 1).
-  explicit Ferrari(size_t k = 4) : k_(k < 1 ? 1 : k) {}
+  /// At most `k` intervals per vertex (k >= 1). `num_threads`
+  /// parallelizes interval inheritance over dependency levels of the DAG
+  /// (each vertex's list depends only on its successors' finished lists,
+  /// so the result is bit-identical to a serial build). 0 =
+  /// `DefaultThreads()`, 1 = serial.
+  explicit Ferrari(size_t k = 4, size_t num_threads = 0)
+      : k_(k < 1 ? 1 : k), num_threads_(num_threads) {}
 
   void Build(const Digraph& graph) override;
   bool Query(VertexId s, VertexId t) const override;
@@ -40,13 +46,19 @@ class Ferrari : public ReachabilityIndex {
   std::string Name() const override {
     return "ferrari(k=" + std::to_string(k_) + ")";
   }
-  QueryProbe Probe() const override { return ws_.probe(); }
-  void ResetProbe() const override { ws_.probe().Reset(); }
+  QueryProbe Probe() const override { return ws_pool_.AggregateProbe(); }
+  void ResetProbe() const override { ws_pool_.ResetProbes(); }
+
+  bool PrepareConcurrentQueries(size_t slots) const override {
+    ws_pool_.EnsureSlots(slots);
+    return true;
+  }
+  bool QueryInSlot(VertexId s, VertexId t, size_t slot) const override;
 
   /// Pure label test: true = covered by some interval (maybe reachable),
   /// false = certainly unreachable. Never a false negative.
   bool MaybeReachable(VertexId s, VertexId t) const {
-    return s == t || Coverage(s, post_[t]) != 0;
+    return s == t || Coverage(s, post_[t], ws_pool_.Slot(0).probe()) != 0;
   }
 
   /// Total stored intervals (<= k * V by construction).
@@ -65,14 +77,15 @@ class Ferrari : public ReachabilityIndex {
 
   // Returns 0 = not covered, 1 = covered approximately, 2 = covered
   // exactly, for post[t] against v's interval list.
-  int Coverage(VertexId v, uint32_t target_post) const;
+  int Coverage(VertexId v, uint32_t target_post, QueryProbe& probe) const;
 
   size_t k_;
+  size_t num_threads_;
   const Digraph* graph_ = nullptr;
   std::vector<uint32_t> post_;
   std::vector<size_t> offsets_;
   std::vector<Interval> intervals_;
-  mutable SearchWorkspace ws_;
+  mutable WorkspacePool ws_pool_;
 };
 
 }  // namespace reach

@@ -1,22 +1,23 @@
 #include "plain/grail.h"
 
 #include <algorithm>
-#include <thread>
 #include <vector>
 
 #include "graph/rng.h"
+#include "par/parallel_for.h"
+#include "par/thread_pool.h"
 #include "plain/interval_labeling.h"
 
 namespace reach {
 
 void Grail::Build(const Digraph& graph) {
   BuildStatsScope build(&build_stats_);
-  ws_.probe().Reset();
+  ws_pool_.ResetProbes();
   graph_ = &graph;
   const size_t n = graph.NumVertices();
   post_.assign(n * k_, 0);
   low_.assign(n * k_, 0);
-  label_only_rejections_ = 0;
+  label_only_rejections_.store(0, std::memory_order_relaxed);
   BuildPhaseTimer columns_timer(&build_stats_.phases, "label_columns");
   SplitMix64 seed_stream(seed_);
   std::vector<uint64_t> seeds(k_);
@@ -33,27 +34,21 @@ void Grail::Build(const Digraph& graph) {
       low_[v * k_ + i] = low[v];
     }
   };
-  const size_t workers = std::min(num_threads_, k_);
-  if (workers <= 1) {
-    for (size_t i = 0; i < k_; ++i) build_column(i);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) {
-      threads.emplace_back([&, w]() {
-        for (size_t i = w; i < k_; i += workers) build_column(i);
-      });
-    }
-    for (std::thread& t : threads) t.join();
-  }
+  ParallelFor(0, k_, build_column,
+              std::min(ResolveThreads(num_threads_), k_), /*grain=*/1);
   columns_timer.Stop();
   build_stats_.size_bytes = IndexSizeBytes();
   build_stats_.num_entries = post_.size() + low_.size();
 }
 
 bool Grail::MaybeReachable(VertexId s, VertexId t) const {
+  return MaybeReachableCounted(s, t, ws_pool_.Slot(0).probe());
+}
+
+bool Grail::MaybeReachableCounted(VertexId s, VertexId t,
+                                  [[maybe_unused]] QueryProbe& probe) const {
   for (size_t i = 0; i < k_; ++i) {
-    REACH_PROBE_INC(ws_.probe(), labels_scanned);
+    REACH_PROBE_INC(probe, labels_scanned);
     if (low_[s * k_ + i] > low_[t * k_ + i] ||
         post_[t * k_ + i] > post_[s * k_ + i]) {
       return false;  // containment violated: certainly unreachable
@@ -62,24 +57,24 @@ bool Grail::MaybeReachable(VertexId s, VertexId t) const {
   return true;
 }
 
-bool Grail::GuidedDfs(VertexId s, VertexId t) const {
-  ws_.Prepare(graph_->NumVertices());
-  auto& stack = ws_.queue();
-  ws_.MarkForward(s);
+bool Grail::GuidedDfs(VertexId s, VertexId t, SearchWorkspace& ws) const {
+  ws.Prepare(graph_->NumVertices());
+  auto& stack = ws.queue();
+  ws.MarkForward(s);
   stack.push_back(s);
   while (!stack.empty()) {
     const VertexId v = stack.back();
     stack.pop_back();
-    REACH_PROBE_INC(ws_.probe(), vertices_visited);
+    REACH_PROBE_INC(ws.probe(), vertices_visited);
     if (v == t) return true;
     for (VertexId w : graph_->OutNeighbors(v)) {
-      REACH_PROBE_INC(ws_.probe(), edges_scanned);
-      if (ws_.IsForwardMarked(w)) continue;
-      if (!MaybeReachable(w, t)) {
-        REACH_PROBE_INC(ws_.probe(), filter_prunes);
+      REACH_PROBE_INC(ws.probe(), edges_scanned);
+      if (ws.IsForwardMarked(w)) continue;
+      if (!MaybeReachableCounted(w, t, ws.probe())) {
+        REACH_PROBE_INC(ws.probe(), filter_prunes);
         continue;
       }
-      ws_.MarkForward(w);
+      ws.MarkForward(w);
       stack.push_back(w);
     }
   }
@@ -87,19 +82,24 @@ bool Grail::GuidedDfs(VertexId s, VertexId t) const {
 }
 
 bool Grail::Query(VertexId s, VertexId t) const {
-  REACH_PROBE_INC(ws_.probe(), queries);
+  return QueryInSlot(s, t, 0);
+}
+
+bool Grail::QueryInSlot(VertexId s, VertexId t, size_t slot) const {
+  SearchWorkspace& ws = ws_pool_.Slot(slot);
+  REACH_PROBE_INC(ws.probe(), queries);
   if (s == t) {
-    REACH_PROBE_INC(ws_.probe(), positives);
+    REACH_PROBE_INC(ws.probe(), positives);
     return true;
   }
-  if (!MaybeReachable(s, t)) {
-    ++label_only_rejections_;
-    REACH_PROBE_INC(ws_.probe(), label_rejections);
+  if (!MaybeReachableCounted(s, t, ws.probe())) {
+    label_only_rejections_.fetch_add(1, std::memory_order_relaxed);
+    REACH_PROBE_INC(ws.probe(), label_rejections);
     return false;
   }
-  REACH_PROBE_INC(ws_.probe(), fallbacks);
-  const bool reachable = GuidedDfs(s, t);
-  if (reachable) REACH_PROBE_INC(ws_.probe(), positives);
+  REACH_PROBE_INC(ws.probe(), fallbacks);
+  const bool reachable = GuidedDfs(s, t, ws);
+  if (reachable) REACH_PROBE_INC(ws.probe(), positives);
   return reachable;
 }
 

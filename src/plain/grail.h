@@ -1,12 +1,14 @@
 #ifndef REACH_PLAIN_GRAIL_H_
 #define REACH_PLAIN_GRAIL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/reachability_index.h"
 #include "core/search_workspace.h"
+#include "core/workspace_pool.h"
 #include "graph/digraph.h"
 
 namespace reach {
@@ -28,13 +30,14 @@ namespace reach {
 class Grail : public ReachabilityIndex {
  public:
   /// `k` random traversals; `seed` drives their shuffles. `num_threads`
-  /// parallelizes the traversals (the §5 "parallel computation of
-  /// indexes" direction): each of the k label columns is independent, so
-  /// the build is embarrassingly parallel and bit-identical to the
-  /// serial one for the same seed.
+  /// parallelizes the traversals on the shared pool (the §5 "parallel
+  /// computation of indexes" direction): each of the k label columns is
+  /// independent, so the build is embarrassingly parallel and
+  /// bit-identical to the serial one for the same seed. 0 =
+  /// `DefaultThreads()`, 1 = serial.
   explicit Grail(size_t k = 3, uint64_t seed = 0x67'72'61'69ULL,
-                 size_t num_threads = 1)
-      : k_(k), seed_(seed), num_threads_(num_threads == 0 ? 1 : num_threads) {}
+                 size_t num_threads = 0)
+      : k_(k), seed_(seed), num_threads_(num_threads) {}
 
   void Build(const Digraph& graph) override;
   bool Query(VertexId s, VertexId t) const override;
@@ -43,8 +46,14 @@ class Grail : public ReachabilityIndex {
   std::string Name() const override {
     return "grail(k=" + std::to_string(k_) + ")";
   }
-  QueryProbe Probe() const override { return ws_.probe(); }
-  void ResetProbe() const override { ws_.probe().Reset(); }
+  QueryProbe Probe() const override { return ws_pool_.AggregateProbe(); }
+  void ResetProbe() const override { ws_pool_.ResetProbes(); }
+
+  bool PrepareConcurrentQueries(size_t slots) const override {
+    ws_pool_.EnsureSlots(slots);
+    return true;
+  }
+  bool QueryInSlot(VertexId s, VertexId t, size_t slot) const override;
 
   /// The pure label test: true = maybe reachable, false = certainly not.
   /// Exposed so tests/benches can measure the filter's false-positive rate
@@ -52,11 +61,15 @@ class Grail : public ReachabilityIndex {
   bool MaybeReachable(VertexId s, VertexId t) const;
 
   /// Number of label-only rejections since Build (negatives settled with
-  /// zero traversal — the §5 "many such vertices s" fast path).
-  size_t label_only_rejections() const { return label_only_rejections_; }
+  /// zero traversal — the §5 "many such vertices s" fast path). Counted
+  /// atomically so concurrent `BatchQuery` streams don't lose updates.
+  size_t label_only_rejections() const {
+    return label_only_rejections_.load(std::memory_order_relaxed);
+  }
 
  private:
-  bool GuidedDfs(VertexId s, VertexId t) const;
+  bool MaybeReachableCounted(VertexId s, VertexId t, QueryProbe& probe) const;
+  bool GuidedDfs(VertexId s, VertexId t, SearchWorkspace& ws) const;
 
   size_t k_;
   uint64_t seed_;
@@ -65,8 +78,8 @@ class Grail : public ReachabilityIndex {
   // Labels for traversal i of vertex v at [v * k_ + i].
   std::vector<uint32_t> post_;
   std::vector<uint32_t> low_;
-  mutable SearchWorkspace ws_;
-  mutable size_t label_only_rejections_ = 0;
+  mutable WorkspacePool ws_pool_;
+  mutable std::atomic<size_t> label_only_rejections_{0};
 };
 
 }  // namespace reach

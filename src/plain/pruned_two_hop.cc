@@ -1,12 +1,15 @@
 #include "plain/pruned_two_hop.h"
 
 #include <algorithm>
+#include <atomic>
 #include <istream>
 #include <numeric>
 #include <ostream>
 
 #include "graph/condensation.h"
 #include "graph/rng.h"
+#include "par/parallel_for.h"
+#include "par/thread_pool.h"
 
 namespace reach {
 
@@ -137,9 +140,192 @@ void PrunedTwoHop::BuildLabels(const Digraph& graph) {
   }
 }
 
+void PrunedTwoHop::BuildLabelsParallel(const Digraph& graph, size_t threads) {
+  const size_t n = graph.NumVertices();
+  lin_.assign(n, {});
+  lout_.assign(n, {});
+  if (n == 0) return;
+
+  // paraPLL-style speculate/validate/redo over rank batches. Phase 1 runs
+  // every sweep of the batch in parallel against the *committed* label
+  // prefix only. Phase 2 commits in rank order: a sweep whose pruning
+  // oracle never touched a label the batch committed in the meantime is
+  // appended verbatim; otherwise the sweep is redone serially against the
+  // live labeling. Pruning against fewer labels visits a superset of the
+  // serial sweep's vertices, so checking the speculative visited set is a
+  // sound (conservative) staleness test — the committed labeling is
+  // bit-identical to the serial build for any thread count or batching.
+
+  // Per-worker scratch: epoch-stamped visited marks + BFS queue.
+  struct Scratch {
+    std::vector<uint32_t> mark;
+    uint32_t epoch = 0;
+    std::vector<VertexId> queue;
+  };
+  // Outcome of one speculative sweep (one rank, one direction).
+  struct Sweep {
+    std::vector<VertexId> labeled;  // label targets, in BFS push order
+    std::vector<VertexId> visited;  // every vertex the oracle evaluated
+    bool redo = false;              // overflowed the cap: rerun serially
+  };
+
+  std::vector<Scratch> scratch(threads);
+  for (Scratch& s : scratch) s.mark.assign(n, 0);
+
+  // lin_stamp[w] == batch_epoch iff the current batch committed a Lin(w)
+  // entry already (dually lout_stamp) — exactly the reads that can make a
+  // speculative oracle stale.
+  std::vector<uint32_t> lin_stamp(n, 0), lout_stamp(n, 0);
+  uint32_t batch_epoch = 0;
+
+  // The exact serial sweep (identical to BuildLabels), also used for the
+  // warmup prefix and for conflict redos.
+  auto serial_sweep = [&](uint32_t r, bool forward, Scratch& s) {
+    const VertexId hop = by_rank_[r];
+    ++s.epoch;
+    s.queue.clear();
+    s.queue.push_back(hop);
+    s.mark[hop] = s.epoch;
+    for (size_t head = 0; head < s.queue.size(); ++head) {
+      const VertexId x = s.queue[head];
+      auto visit = [&](VertexId w) {
+        if (s.mark[w] == s.epoch || rank_[w] <= r) return;
+        s.mark[w] = s.epoch;
+        if (forward ? LabelQuery(hop, w) : LabelQuery(w, hop)) return;
+        if (forward) {
+          lin_[w].push_back(r);
+          lin_stamp[w] = batch_epoch;
+        } else {
+          lout_[w].push_back(r);
+          lout_stamp[w] = batch_epoch;
+        }
+        s.queue.push_back(w);
+      };
+      if (forward) {
+        for (VertexId w : graph.OutNeighbors(x)) visit(w);
+      } else {
+        for (VertexId w : graph.InNeighbors(x)) visit(w);
+      }
+    }
+  };
+
+  // A speculative sweep that floods far past the serial one (because the
+  // prefix is still thin) is cut off and redone serially — bounding wasted
+  // work without affecting the result.
+  const size_t visit_cap = std::max<size_t>(1024, n / 16);
+  auto speculative_sweep = [&](uint32_t r, bool forward, Scratch& s,
+                               Sweep* out) {
+    const VertexId hop = by_rank_[r];
+    ++s.epoch;
+    s.queue.clear();
+    s.queue.push_back(hop);
+    s.mark[hop] = s.epoch;
+    for (size_t head = 0; head < s.queue.size(); ++head) {
+      const VertexId x = s.queue[head];
+      auto visit = [&](VertexId w) {
+        if (s.mark[w] == s.epoch || rank_[w] <= r) return;
+        s.mark[w] = s.epoch;
+        out->visited.push_back(w);
+        if (forward ? LabelQuery(hop, w) : LabelQuery(w, hop)) return;
+        out->labeled.push_back(w);
+        s.queue.push_back(w);
+      };
+      if (forward) {
+        for (VertexId w : graph.OutNeighbors(x)) visit(w);
+      } else {
+        for (VertexId w : graph.InNeighbors(x)) visit(w);
+      }
+      if (out->visited.size() > visit_cap) {
+        out->redo = true;
+        out->labeled.clear();
+        out->visited.clear();
+        return;
+      }
+    }
+  };
+
+  // A forward oracle call LabelQuery(hop, w) reads Lout(hop) and Lin(w)
+  // for speculatively-visited w (the remaining branches cannot change
+  // during the batch); backward is symmetric. The sweep is stale iff the
+  // batch committed to one of those label sets after phase 1 snapshotted.
+  auto commit_rank = [&](uint32_t r, bool forward, Sweep& sweep) {
+    const VertexId hop = by_rank_[r];
+    bool conflict = sweep.redo;
+    if (!conflict) {
+      const std::vector<uint32_t>& hop_stamp =
+          forward ? lout_stamp : lin_stamp;
+      conflict = hop_stamp[hop] == batch_epoch;
+    }
+    if (!conflict) {
+      const std::vector<uint32_t>& stamp = forward ? lin_stamp : lout_stamp;
+      for (VertexId w : sweep.visited) {
+        if (stamp[w] == batch_epoch) {
+          conflict = true;
+          break;
+        }
+      }
+    }
+    if (conflict) {
+      serial_sweep(r, forward, scratch[0]);
+      return;
+    }
+    std::vector<uint32_t>& stamp = forward ? lin_stamp : lout_stamp;
+    auto& labels = forward ? lin_ : lout_;
+    for (VertexId w : sweep.labeled) {
+      labels[w].push_back(r);
+      stamp[w] = batch_epoch;
+    }
+  };
+
+  const uint32_t num_ranks = static_cast<uint32_t>(n);
+  // Warmup: early sweeps run against a nearly empty labeling and would
+  // speculatively flood the graph; run them serially.
+  uint32_t r = 0;
+  const uint32_t warmup = static_cast<uint32_t>(std::min<size_t>(n, 32));
+  for (; r < warmup; ++r) {
+    serial_sweep(r, /*forward=*/true, scratch[0]);
+    serial_sweep(r, /*forward=*/false, scratch[0]);
+  }
+
+  // Batches grow geometrically: small while the prefix is thin (frequent
+  // conflicts), large once pruning has kicked in and sweeps are cheap and
+  // almost always conflict-free.
+  size_t batch_size = 2 * threads;
+  const size_t max_batch = std::max<size_t>(64 * threads, 256);
+  std::vector<Sweep> fwd, bwd;
+  while (r < num_ranks) {
+    const uint32_t batch_end =
+        static_cast<uint32_t>(std::min<size_t>(num_ranks, r + batch_size));
+    const size_t count = batch_end - r;
+    fwd.assign(count, Sweep{});
+    bwd.assign(count, Sweep{});
+    ++batch_epoch;
+
+    std::atomic<size_t> next{0};
+    ParallelForWorkers(threads, [&](size_t worker) {
+      Scratch& s = scratch[worker];
+      for (;;) {
+        const size_t unit = next.fetch_add(1, std::memory_order_relaxed);
+        if (unit >= 2 * count) return;
+        const uint32_t rank = r + static_cast<uint32_t>(unit / 2);
+        const bool forward = (unit % 2) == 0;
+        speculative_sweep(rank, forward, s,
+                          forward ? &fwd[unit / 2] : &bwd[unit / 2]);
+      }
+    });
+
+    for (uint32_t offset = 0; offset < count; ++offset) {
+      commit_rank(r + offset, /*forward=*/true, fwd[offset]);
+      commit_rank(r + offset, /*forward=*/false, bwd[offset]);
+    }
+    r = batch_end;
+    batch_size = std::min(batch_size * 2, max_batch);
+  }
+}
+
 void PrunedTwoHop::Build(const Digraph& graph) {
   BuildStatsScope build(&build_stats_);
-  probe_.Reset();
+  probes_.Reset();
   graph_ = &graph;
   extra_out_.clear();
   extra_in_.clear();
@@ -149,7 +335,12 @@ void PrunedTwoHop::Build(const Digraph& graph) {
   }
   {
     BuildPhaseTimer timer(&build_stats_.phases, "label");
-    BuildLabels(graph);
+    const size_t threads = ResolveThreads(num_threads_);
+    if (threads <= 1) {
+      BuildLabels(graph);
+    } else {
+      BuildLabelsParallel(graph, threads);
+    }
   }
   build_stats_.size_bytes = IndexSizeBytes();
   build_stats_.num_entries = TotalLabelEntries();
@@ -167,16 +358,21 @@ bool PrunedTwoHop::LabelQuery(VertexId s, VertexId t) const {
 }
 
 bool PrunedTwoHop::Query(VertexId s, VertexId t) const {
-  REACH_PROBE_INC(probe_, queries);
+  return QueryInSlot(s, t, 0);
+}
+
+bool PrunedTwoHop::QueryInSlot(VertexId s, VertexId t, size_t slot) const {
+  [[maybe_unused]] QueryProbe& probe = probes_.Slot(slot);
+  REACH_PROBE_INC(probe, queries);
   // Worst-case entries consulted: the two-pointer Lout(s) ∩ Lin(t)
   // intersection scans both lists end to end. (LabelQuery itself is left
   // unprobed — the build's pruning tests would otherwise swamp the counts.)
-  REACH_PROBE_ADD(probe_, labels_scanned, lout_[s].size() + lin_[t].size());
+  REACH_PROBE_ADD(probe, labels_scanned, lout_[s].size() + lin_[t].size());
   const bool reachable = LabelQuery(s, t);
   if (reachable) {
-    REACH_PROBE_INC(probe_, positives);
+    REACH_PROBE_INC(probe, positives);
   } else {
-    REACH_PROBE_INC(probe_, label_rejections);  // complete label: no fallback
+    REACH_PROBE_INC(probe, label_rejections);  // complete label: no fallback
   }
   return reachable;
 }

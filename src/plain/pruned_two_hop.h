@@ -8,6 +8,7 @@
 
 #include "core/reachability_index.h"
 #include "core/search_workspace.h"
+#include "core/workspace_pool.h"
 #include "graph/digraph.h"
 
 namespace reach {
@@ -51,17 +52,31 @@ enum class VertexOrder {
 ///    DESIGN.md as a simplification of TOL's in-place deletion.
 class PrunedTwoHop : public DynamicReachabilityIndex {
  public:
+  /// `num_threads` parallelizes the build with rank-batched speculative
+  /// pruned BFSs (paraPLL-style): each batch speculates against the
+  /// committed label prefix in parallel, then commits in rank order,
+  /// redoing exactly the sweeps whose pruning oracle was made stale by an
+  /// earlier rank of the same batch. The committed labeling — including
+  /// `Save` bytes — is bit-identical to a serial build for any thread
+  /// count (docs/PARALLELISM.md has the argument). 0 = `DefaultThreads()`,
+  /// 1 = serial.
   explicit PrunedTwoHop(VertexOrder order = VertexOrder::kDegree,
-                        uint64_t seed = 0x70'6c'6cULL)
-      : order_(order), seed_(seed) {}
+                        uint64_t seed = 0x70'6c'6cULL, size_t num_threads = 0)
+      : order_(order), seed_(seed), num_threads_(num_threads) {}
 
   void Build(const Digraph& graph) override;
   bool Query(VertexId s, VertexId t) const override;
   size_t IndexSizeBytes() const override;
   bool IsComplete() const override { return true; }
   std::string Name() const override;
-  QueryProbe Probe() const override { return probe_; }
-  void ResetProbe() const override { probe_.Reset(); }
+  QueryProbe Probe() const override { return probes_.Aggregate(); }
+  void ResetProbe() const override { probes_.Reset(); }
+
+  bool PrepareConcurrentQueries(size_t slots) const override {
+    probes_.EnsureSlots(slots);
+    return true;
+  }
+  bool QueryInSlot(VertexId s, VertexId t, size_t slot) const override;
 
   /// Incremental edge insertion (see class comment).
   void InsertEdge(VertexId s, VertexId t) override;
@@ -91,6 +106,7 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
  private:
   void ComputeOrder(const Digraph& graph);
   void BuildLabels(const Digraph& graph);
+  void BuildLabelsParallel(const Digraph& graph, size_t threads);
   template <typename Fn>
   void ForEachOut(VertexId v, Fn&& fn) const;
   template <typename Fn>
@@ -99,6 +115,7 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
 
   VertexOrder order_;
   uint64_t seed_;
+  size_t num_threads_;
   const Digraph* graph_ = nullptr;
   Digraph owned_graph_;  // used after RemoveEdgeAndRebuild
   std::vector<uint32_t> rank_;       // rank_[v] = order position (0 = first)
@@ -109,7 +126,7 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
   std::vector<std::vector<VertexId>> extra_out_;
   std::vector<std::vector<VertexId>> extra_in_;
   mutable SearchWorkspace ws_;
-  mutable QueryProbe probe_;
+  mutable ProbePool probes_;
 };
 
 }  // namespace reach

@@ -1,12 +1,17 @@
 #include "traversal/transitive_closure.h"
 
+#include <numeric>
+
 #include "graph/condensation.h"
+#include "par/dependency_levels.h"
+#include "par/parallel_for.h"
+#include "par/thread_pool.h"
 
 namespace reach {
 
 void TransitiveClosure::Build(const Digraph& graph) {
   BuildStatsScope build(&build_stats_);
-  probe_.Reset();
+  probes_.Reset();
   num_vertices_ = graph.NumVertices();
   Condensation cond;
   {
@@ -21,15 +26,35 @@ void TransitiveClosure::Build(const Digraph& graph) {
     ++component_size_[component_of_[v]];
   }
 
+  const size_t threads = ResolveThreads(num_threads_);
   BuildPhaseTimer timer(&build_stats_.phases, "closure_sweep");
   rows_.assign(num_components, DynamicBitset(num_components));
   // Tarjan assigns component ids in reverse topological order, so
   // iterating c = 0, 1, ... visits successors before predecessors;
   // each row is its own bit plus the union of its successors' rows.
-  for (VertexId c = 0; c < num_components; ++c) {
+  auto compute_row = [this, &cond](VertexId c) {
     rows_[c].Set(c);
     for (VertexId succ : cond.dag.OutNeighbors(c)) {
       rows_[c].UnionWith(rows_[succ]);
+    }
+  };
+  if (threads <= 1) {
+    for (VertexId c = 0; c < num_components; ++c) compute_row(c);
+  } else {
+    // All rows of a dependency level only read rows of lower levels, so
+    // each level is an independent ParallelFor; bitset unions commute, so
+    // the result is bit-identical to the serial sweep.
+    std::vector<VertexId> order(num_components);
+    std::iota(order.begin(), order.end(), VertexId{0});
+    const DependencyLevels levels = ComputeDependencyLevels(
+        num_components, order, [&cond](VertexId c, auto&& fn) {
+          for (VertexId succ : cond.dag.OutNeighbors(c)) fn(succ);
+        });
+    for (const std::vector<VertexId>& bucket : levels.buckets) {
+      ParallelFor(
+          0, bucket.size(),
+          [&bucket, &compute_row](size_t i) { compute_row(bucket[i]); },
+          threads);
     }
   }
   build_stats_.size_bytes = IndexSizeBytes();
@@ -37,10 +62,16 @@ void TransitiveClosure::Build(const Digraph& graph) {
 }
 
 bool TransitiveClosure::Query(VertexId s, VertexId t) const {
-  REACH_PROBE_INC(probe_, queries);
-  REACH_PROBE_INC(probe_, labels_scanned);  // one closure-row bit test
+  return QueryInSlot(s, t, 0);
+}
+
+bool TransitiveClosure::QueryInSlot(VertexId s, VertexId t,
+                                    size_t slot) const {
+  [[maybe_unused]] QueryProbe& probe = probes_.Slot(slot);
+  REACH_PROBE_INC(probe, queries);
+  REACH_PROBE_INC(probe, labels_scanned);  // one closure-row bit test
   const bool reachable = rows_[component_of_[s]].Test(component_of_[t]);
-  if (reachable) REACH_PROBE_INC(probe_, positives);
+  if (reachable) REACH_PROBE_INC(probe, positives);
   return reachable;
 }
 

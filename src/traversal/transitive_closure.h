@@ -6,6 +6,7 @@
 
 #include "core/dynamic_bitset.h"
 #include "core/reachability_index.h"
+#include "core/workspace_pool.h"
 #include "graph/digraph.h"
 
 namespace reach {
@@ -21,15 +22,25 @@ namespace reach {
 /// by all members of an SCC.
 class TransitiveClosure : public ReachabilityIndex {
  public:
-  TransitiveClosure() = default;
+  /// `num_threads` parallelizes the closure sweep over dependency levels
+  /// of the condensation DAG (bitset unions commute, so the rows are
+  /// identical to a serial build). 0 = `DefaultThreads()`, 1 = serial.
+  explicit TransitiveClosure(size_t num_threads = 0)
+      : num_threads_(num_threads) {}
 
   void Build(const Digraph& graph) override;
   bool Query(VertexId s, VertexId t) const override;
   size_t IndexSizeBytes() const override;
   bool IsComplete() const override { return true; }
   std::string Name() const override { return "tc"; }
-  QueryProbe Probe() const override { return probe_; }
-  void ResetProbe() const override { probe_.Reset(); }
+  QueryProbe Probe() const override { return probes_.Aggregate(); }
+  void ResetProbe() const override { probes_.Reset(); }
+
+  bool PrepareConcurrentQueries(size_t slots) const override {
+    probes_.EnsureSlots(slots);
+    return true;
+  }
+  bool QueryInSlot(VertexId s, VertexId t, size_t slot) const override;
 
   /// The set of vertices reachable from `v` (including `v`), as ids.
   std::vector<VertexId> ReachableSet(VertexId v) const;
@@ -43,7 +54,8 @@ class TransitiveClosure : public ReachabilityIndex {
   std::vector<VertexId> component_of_;
   std::vector<size_t> component_size_;
   size_t num_vertices_ = 0;
-  mutable QueryProbe probe_;
+  size_t num_threads_ = 0;
+  mutable ProbePool probes_;
 };
 
 }  // namespace reach

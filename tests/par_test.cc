@@ -1,0 +1,168 @@
+// The shared thread-pool substrate (src/par/): pool lifecycle, the
+// ParallelFor* helpers' coverage and exception contracts, nested-call
+// safety, and the REACH_THREADS resolution chain.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "par/parallel_for.h"
+#include "par/thread_pool.h"
+
+namespace reach {
+namespace {
+
+TEST(ThreadPoolTest, DrainsQueuedTasksOnDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.NumThreads(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool drains, then joins.
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.NumThreads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  // Rely on the destructor's drain to observe completion.
+  // (scope exit)
+}
+
+TEST(ThreadPoolTest, WorkerIndexIsSetInsideWorkersOnly) {
+  EXPECT_EQ(ThreadPool::CurrentWorkerIndex(), -1);
+  std::atomic<int> seen_index{-2};
+  {
+    ThreadPool pool(2);
+    pool.Submit(
+        [&seen_index] { seen_index = ThreadPool::CurrentWorkerIndex(); });
+  }
+  EXPECT_GE(seen_index.load(), 0);
+  EXPECT_LT(seen_index.load(), 2);
+}
+
+TEST(ParallelForTest, WorkersRunEveryIdExactlyOnce) {
+  constexpr size_t kWorkers = 7;  // deliberately above this box's pool size
+  std::vector<std::atomic<int>> hits(kWorkers);
+  for (auto& h : hits) h = 0;
+  ParallelForWorkers(kWorkers, [&hits](size_t worker) {
+    hits[worker].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kWorkers; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, WorkerExceptionIsRethrownAfterAllFinish) {
+  std::atomic<int> finished{0};
+  EXPECT_THROW(
+      ParallelForWorkers(4,
+                         [&finished](size_t worker) {
+                           if (worker == 2) throw std::runtime_error("boom");
+                           finished.fetch_add(1, std::memory_order_relaxed);
+                         }),
+      std::runtime_error);
+  // Every non-throwing worker completed before the rethrow.
+  EXPECT_EQ(finished.load(), 3);
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  // Outer ids beyond 0 execute on pool workers; their nested calls must
+  // run inline (a worker blocking on pool work would deadlock a
+  // single-thread pool, which is exactly what CI machines may have).
+  constexpr size_t kOuter = 4, kInner = 3;
+  std::atomic<int> inner_runs{0};
+  ParallelForWorkers(kOuter, [&inner_runs](size_t) {
+    ParallelForWorkers(kInner, [&inner_runs](size_t) {
+      inner_runs.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_runs.load(), static_cast<int>(kOuter * kInner));
+}
+
+TEST(ParallelForTest, NestedSubmitFromWorkerDoesNotDeadlock) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    pool.Submit([&pool, &ran] {
+      // Submission from inside a worker goes to its own deque.
+      pool.Submit([&ran] { ran.fetch_add(1); });
+      ran.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ParallelForTest, ChunkedCoversRangeExactlyOnce) {
+  constexpr size_t kN = 1000;
+  for (const size_t grain : {0ul, 1ul, 7ul, 5000ul}) {
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto& h : hits) h = 0;
+    ParallelForChunked(
+        0, kN,
+        [&hits](size_t b, size_t e) {
+          for (size_t i = b; i < e; ++i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+          }
+        },
+        /*num_threads=*/4, grain);
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "i=" << i << " grain=" << grain;
+    }
+  }
+}
+
+TEST(ParallelForTest, ChunkedEmptyRangeNeverInvokes) {
+  std::atomic<int> calls{0};
+  ParallelForChunked(
+      10, 10, [&calls](size_t, size_t) { calls.fetch_add(1); },
+      /*num_threads=*/4);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, IndexVariantCoversRange) {
+  constexpr size_t kN = 257;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h = 0;
+  ParallelFor(
+      0, kN,
+      [&hits](size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+      /*num_threads=*/8, /*grain=*/1);
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, ChunkedExceptionPropagates) {
+  EXPECT_THROW(ParallelForChunked(
+                   0, 100,
+                   [](size_t b, size_t) {
+                     if (b < 100) throw std::runtime_error("chunk");
+                   },
+                   /*num_threads=*/2),
+               std::runtime_error);
+}
+
+TEST(ThreadConfigTest, ParseThreadsValueFallsBackOnGarbage) {
+  using internal::ParseThreadsValue;
+  EXPECT_EQ(ParseThreadsValue(nullptr, 5), 5u);
+  EXPECT_EQ(ParseThreadsValue("", 5), 5u);
+  EXPECT_EQ(ParseThreadsValue("abc", 5), 5u);
+  EXPECT_EQ(ParseThreadsValue("0", 5), 5u);
+  EXPECT_EQ(ParseThreadsValue("7", 5), 7u);
+}
+
+TEST(ThreadConfigTest, ResolveThreadsHonorsOverride) {
+  EXPECT_EQ(ResolveThreads(5), 5u);
+  SetDefaultThreads(3);
+  EXPECT_EQ(DefaultThreads(), 3u);
+  EXPECT_EQ(ResolveThreads(0), 3u);
+  SetDefaultThreads(0);  // restore environment/hardware default
+  EXPECT_GE(DefaultThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,14 +1,45 @@
-// §5 "parallel computation of indexes": the multi-threaded GRAIL build
-// must be bit-identical to the serial one and exact.
+// §5 "parallel computation of indexes": every parallelized builder must
+// produce answers (and for the 2-hop labelings, the *labeling itself*)
+// bit-identical to its serial build, on the paper's Figure 1 and on
+// larger random graphs. Also covers the BatchQuery parallel query API.
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/query_workload.h"
+#include "core/scc_condensing_index.h"
+#include "graph/figure1.h"
 #include "graph/generators.h"
+#include "lcr/pruned_labeled_two_hop.h"
+#include "plain/bfl.h"
+#include "plain/ferrari.h"
 #include "plain/grail.h"
+#include "plain/pruned_two_hop.h"
 #include "traversal/transitive_closure.h"
 
 namespace reach {
 namespace {
+
+// The 4k-vertex determinism workhorse DAG shared by the suites below.
+const Digraph& BigDag() {
+  static const Digraph g = RandomDag(4096, 16384, 0xda9);
+  return g;
+}
+
+// Strided sample of vertex pairs — dense enough to catch any divergence,
+// sparse enough to keep the suite fast.
+template <typename SerialFn, typename ParallelFn>
+void ExpectSameAnswers(const Digraph& g, SerialFn&& serial,
+                       ParallelFn&& parallel, VertexId stride = 1) {
+  for (VertexId s = 0; s < g.NumVertices(); s += stride) {
+    for (VertexId t = 0; t < g.NumVertices(); t += stride) {
+      ASSERT_EQ(serial(s, t), parallel(s, t)) << s << "->" << t;
+    }
+  }
+}
 
 TEST(ParallelBuildTest, ParallelGrailMatchesSerialAnswers) {
   const Digraph g = RandomDag(300, 1200, 3);
@@ -46,7 +77,7 @@ TEST(ParallelBuildTest, MoreThreadsThanColumnsIsFine) {
   EXPECT_FALSE(index.Query(49, 0));
 }
 
-TEST(ParallelBuildTest, ZeroThreadsClampsToOne) {
+TEST(ParallelBuildTest, ZeroThreadsMeansPoolDefault) {
   const Digraph g = Chain(10);
   Grail index(3, 5, 0);
   index.Build(g);
@@ -63,6 +94,185 @@ TEST(ParallelBuildTest, RepeatedParallelBuildsAreDeterministic) {
     for (VertexId t = 0; t < g.NumVertices(); t += 3) {
       ASSERT_EQ(a.MaybeReachable(s, t), b.MaybeReachable(s, t));
     }
+  }
+}
+
+TEST(ParallelBuildTest, TransitiveClosureMatchesSerialOnFigure1) {
+  const Digraph g = figure1::PlainGraph();
+  TransitiveClosure serial(/*num_threads=*/1), parallel(/*num_threads=*/4);
+  serial.Build(g);
+  parallel.Build(g);
+  ExpectSameAnswers(
+      g, [&](VertexId s, VertexId t) { return serial.Query(s, t); },
+      [&](VertexId s, VertexId t) { return parallel.Query(s, t); });
+}
+
+TEST(ParallelBuildTest, TransitiveClosureMatchesSerialOnBigDag) {
+  const Digraph& g = BigDag();
+  TransitiveClosure serial(/*num_threads=*/1), parallel(/*num_threads=*/8);
+  serial.Build(g);
+  parallel.Build(g);
+  EXPECT_EQ(serial.IndexSizeBytes(), parallel.IndexSizeBytes());
+  ExpectSameAnswers(
+      g, [&](VertexId s, VertexId t) { return serial.Query(s, t); },
+      [&](VertexId s, VertexId t) { return parallel.Query(s, t); },
+      /*stride=*/61);
+}
+
+TEST(ParallelBuildTest, TransitiveClosureParallelHandlesCycles) {
+  const Digraph g = RandomDigraph(400, 1600, 17);
+  TransitiveClosure serial(1), parallel(4);
+  serial.Build(g);
+  parallel.Build(g);
+  ExpectSameAnswers(
+      g, [&](VertexId s, VertexId t) { return serial.Query(s, t); },
+      [&](VertexId s, VertexId t) { return parallel.Query(s, t); },
+      /*stride=*/3);
+}
+
+// For the 2-hop labelings the contract is stronger than equal answers:
+// the committed label arrays — and therefore the Save() bytes — must be
+// bit-identical to the serial build's.
+TEST(ParallelBuildTest, PrunedTwoHopLabelingIsBitIdentical) {
+  for (const VertexOrder order :
+       {VertexOrder::kDegree, VertexOrder::kTopological}) {
+    const Digraph& g = BigDag();
+    PrunedTwoHop serial(order, /*seed=*/11, /*num_threads=*/1);
+    PrunedTwoHop parallel(order, /*seed=*/11, /*num_threads=*/8);
+    serial.Build(g);
+    parallel.Build(g);
+    ASSERT_EQ(serial.TotalLabelEntries(), parallel.TotalLabelEntries());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      ASSERT_EQ(serial.InLabels(v), parallel.InLabels(v)) << "Lin " << v;
+      ASSERT_EQ(serial.OutLabels(v), parallel.OutLabels(v)) << "Lout " << v;
+    }
+    std::ostringstream serial_bytes, parallel_bytes;
+    ASSERT_TRUE(serial.Save(serial_bytes));
+    ASSERT_TRUE(parallel.Save(parallel_bytes));
+    EXPECT_EQ(serial_bytes.str(), parallel_bytes.str());
+  }
+}
+
+TEST(ParallelBuildTest, PrunedTwoHopMatchesSerialOnFigure1) {
+  const Digraph g = figure1::PlainGraph();
+  PrunedTwoHop serial(VertexOrder::kDegree, 11, 1);
+  PrunedTwoHop parallel(VertexOrder::kDegree, 11, 4);
+  serial.Build(g);
+  parallel.Build(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_EQ(serial.InLabels(v), parallel.InLabels(v));
+    ASSERT_EQ(serial.OutLabels(v), parallel.OutLabels(v));
+  }
+  EXPECT_TRUE(parallel.Query(figure1::kA, figure1::kG));  // §2.1
+}
+
+TEST(ParallelBuildTest, PrunedTwoHopParallelHandlesCycles) {
+  const Digraph g = RandomDigraph(500, 2500, 23);
+  PrunedTwoHop serial(VertexOrder::kDegree, 7, 1);
+  PrunedTwoHop parallel(VertexOrder::kDegree, 7, 6);
+  serial.Build(g);
+  parallel.Build(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_EQ(serial.InLabels(v), parallel.InLabels(v));
+    ASSERT_EQ(serial.OutLabels(v), parallel.OutLabels(v));
+  }
+}
+
+TEST(ParallelBuildTest, FerrariMatchesSerialOnBigDag) {
+  const Digraph& g = BigDag();
+  Ferrari serial(/*k=*/4, /*num_threads=*/1);
+  Ferrari parallel(/*k=*/4, /*num_threads=*/8);
+  serial.Build(g);
+  parallel.Build(g);
+  EXPECT_EQ(serial.IndexSizeBytes(), parallel.IndexSizeBytes());
+  ExpectSameAnswers(
+      g, [&](VertexId s, VertexId t) { return serial.Query(s, t); },
+      [&](VertexId s, VertexId t) { return parallel.Query(s, t); },
+      /*stride=*/61);
+}
+
+TEST(ParallelBuildTest, BflMatchesSerialOnBigDag) {
+  const Digraph& g = BigDag();
+  Bfl serial(/*filter_bits=*/128, /*seed=*/9, /*num_threads=*/1);
+  Bfl parallel(/*filter_bits=*/128, /*seed=*/9, /*num_threads=*/8);
+  serial.Build(g);
+  parallel.Build(g);
+  ExpectSameAnswers(
+      g, [&](VertexId s, VertexId t) { return serial.Query(s, t); },
+      [&](VertexId s, VertexId t) { return parallel.Query(s, t); },
+      /*stride=*/61);
+}
+
+TEST(ParallelBuildTest, LcrTwoHopMatchesSerialOnFigure1) {
+  const LabeledDigraph g = figure1::LabeledGraph();
+  PrunedLabeledTwoHop serial(/*num_threads=*/1);
+  PrunedLabeledTwoHop parallel(/*num_threads=*/4);
+  serial.Build(g);
+  parallel.Build(g);
+  ASSERT_EQ(serial.TotalEntries(), parallel.TotalEntries());
+  ASSERT_EQ(serial.IndexSizeBytes(), parallel.IndexSizeBytes());
+  const LabelSet all_masks = LabelBit(figure1::kNumLabels) - 1;
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      for (LabelSet mask = 0; mask <= all_masks; ++mask) {
+        ASSERT_EQ(serial.Query(s, t, mask), parallel.Query(s, t, mask))
+            << s << "->" << t << " mask=" << mask;
+      }
+    }
+  }
+  // The §2.2 worked example must still hold after a parallel build.
+  EXPECT_FALSE(parallel.Query(figure1::kA, figure1::kG,
+                              LabelBit(figure1::kFriendOf) |
+                                  LabelBit(figure1::kFollows)));
+}
+
+TEST(ParallelBuildTest, LcrTwoHopMatchesSerialOnRandomGraph) {
+  const LabeledDigraph g = RandomLabeledDigraph(512, 2048, 4, 0x1c4);
+  PrunedLabeledTwoHop serial(1), parallel(8);
+  serial.Build(g);
+  parallel.Build(g);
+  ASSERT_EQ(serial.TotalEntries(), parallel.TotalEntries());
+  ASSERT_EQ(serial.IndexSizeBytes(), parallel.IndexSizeBytes());
+  for (VertexId s = 0; s < g.NumVertices(); s += 5) {
+    for (VertexId t = 0; t < g.NumVertices(); t += 7) {
+      for (LabelSet mask = 0; mask < 16; ++mask) {
+        ASSERT_EQ(serial.Query(s, t, mask), parallel.Query(s, t, mask))
+            << s << "->" << t << " mask=" << mask;
+      }
+    }
+  }
+}
+
+TEST(ParallelBuildTest, BatchQueryMatchesSerialLoop) {
+  const Digraph& g = BigDag();
+  const std::vector<QueryPair> queries = RandomPairs(g, 5000, 0xb0);
+  PrunedTwoHop pll(VertexOrder::kDegree, 11, 1);
+  pll.Build(g);
+  TransitiveClosure tc(1);
+  tc.Build(g);
+  for (const size_t threads : {1ul, 4ul}) {
+    const std::vector<uint8_t> pll_batch = pll.BatchQuery(queries, threads);
+    const std::vector<uint8_t> tc_batch = tc.BatchQuery(queries, threads);
+    ASSERT_EQ(pll_batch.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const QueryPair& q = queries[i];
+      ASSERT_EQ(pll_batch[i] != 0, pll.Query(q.source, q.target)) << i;
+      ASSERT_EQ(tc_batch[i] != 0, tc.Query(q.source, q.target)) << i;
+    }
+  }
+}
+
+TEST(ParallelBuildTest, BatchQueryThroughSccWrapper) {
+  const Digraph g = RandomDigraph(600, 2400, 31);
+  auto index = MakeCondensing<TransitiveClosure>(/*num_threads=*/2);
+  index->Build(g);
+  const std::vector<QueryPair> queries = RandomPairs(g, 2000, 0xcc);
+  const std::vector<uint8_t> batch = index->BatchQuery(queries, 4);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(batch[i] != 0, index->Query(queries[i].source,
+                                          queries[i].target))
+        << i;
   }
 }
 
