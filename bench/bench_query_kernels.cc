@@ -1,0 +1,195 @@
+// Microbenchmark for the query hot-path intersection kernels
+// (src/core/label_kernels.h, docs/QUERY_ENGINE.md): scalar two-pointer
+// reference vs branchless merge, portable word-parallel blocks, the
+// runtime-dispatched SIMD block kernel, galloping, and the full engine
+// dispatch — swept over the label-size ratios the 2-hop indexes actually
+// produce (similar sizes and 8x / 64x skew).
+//
+// Row naming: kernels/<ratio>/<kernel>. Besides the benchmark rows, a
+// chrono-measured speedup summary lands in the reach.metrics.v1 report
+// (REACH_METRICS_JSON) as reports "kernels/<ratio>/<kernel>" plus gauges
+// "kernels.speedup.<ratio>.<kernel>" (scalar-relative).
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/label_kernels.h"
+#include "graph/rng.h"
+
+namespace reach::bench {
+namespace {
+
+using Set = std::vector<uint32_t>;
+using KernelFn = bool (*)(const uint32_t*, size_t, const uint32_t*, size_t);
+
+struct Pair {
+  Set small;  // |small| * ratio == |large|
+  Set large;
+};
+
+struct Workload {
+  std::string name;   // "1:1", "1:8", "1:64"
+  size_t ratio;
+  std::vector<Pair> pairs;
+};
+
+Set RandomSortedSet(Xoshiro256ss& rng, size_t size, uint32_t universe) {
+  Set values;
+  values.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    values.push_back(static_cast<uint32_t>(rng.NextBounded(universe)));
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+// 256 pairs per ratio; half get one planted common element so both the
+// hit and miss exits stay exercised (a miss scans everything, a hit exits
+// early — real query mixes contain both).
+Workload MakeWorkload(const std::string& name, size_t ratio) {
+  constexpr size_t kLargeSize = 4096;
+  constexpr uint32_t kUniverse = 1u << 22;  // sparse: misses dominate raw
+  Workload w{name, ratio, {}};
+  Xoshiro256ss rng(kSeed + ratio);
+  for (size_t p = 0; p < 256; ++p) {
+    Pair pair;
+    pair.small = RandomSortedSet(rng, kLargeSize / ratio, kUniverse);
+    pair.large = RandomSortedSet(rng, kLargeSize, kUniverse);
+    if (p % 2 == 0 && !pair.small.empty()) {
+      const uint32_t planted = static_cast<uint32_t>(
+          pair.small[rng.NextBounded(pair.small.size())]);
+      pair.large.insert(
+          std::lower_bound(pair.large.begin(), pair.large.end(), planted),
+          planted);
+      pair.large.erase(std::unique(pair.large.begin(), pair.large.end()),
+                       pair.large.end());
+    }
+    w.pairs.push_back(std::move(pair));
+  }
+  return w;
+}
+
+bool GallopSmallFirst(const uint32_t* a, size_t na, const uint32_t* b,
+                      size_t nb) {
+  return na <= nb ? IntersectSortedGalloping(a, na, b, nb)
+                  : IntersectSortedGalloping(b, nb, a, na);
+}
+
+struct Kernel {
+  const char* name;
+  KernelFn fn;
+};
+
+std::vector<Kernel> Kernels() {
+  return {
+      {"scalar", &IntersectSortedScalar},
+      {"branchless", &IntersectSortedBranchless},
+      {"word64", &IntersectSortedWord},
+      {"blocks", &IntersectSortedBlocks},  // runtime: avx2/sse2/word64
+      {"gallop", &GallopSmallFirst},
+      {"engine", &IntersectSorted},
+  };
+}
+
+size_t RunAllPairs(const Workload& w, KernelFn fn) {
+  size_t hits = 0;
+  for (const Pair& p : w.pairs) {
+    hits += fn(p.small.data(), p.small.size(), p.large.data(),
+               p.large.size())
+                ? 1
+                : 0;
+  }
+  return hits;
+}
+
+void RegisterAll() {
+  auto* workloads = new std::vector<Workload>();
+  workloads->push_back(MakeWorkload("1:1", 1));
+  workloads->push_back(MakeWorkload("1:8", 8));
+  workloads->push_back(MakeWorkload("1:64", 64));
+
+  for (const Workload& w : *workloads) {
+    for (const Kernel& k : Kernels()) {
+      ::benchmark::RegisterBenchmark(
+          ("kernels/" + w.name + "/" + k.name).c_str(),
+          [&w, fn = k.fn](::benchmark::State& state) {
+            size_t hits = 0;
+            for (auto _ : state) hits = RunAllPairs(w, fn);
+            ::benchmark::DoNotOptimize(hits);
+            state.SetItemsProcessed(state.iterations() *
+                                    static_cast<int64_t>(w.pairs.size()));
+            state.counters["hit_frac"] = ::benchmark::Counter(
+                static_cast<double>(hits) / w.pairs.size());
+            ReportThreads(state, 1);
+          })
+          ->Unit(::benchmark::kMicrosecond);
+    }
+  }
+}
+
+// Chrono-measured speedup summary for the metrics report: ns/query per
+// kernel and ratio, plus the scalar-relative speedup as a gauge. This is
+// deliberately independent of google-benchmark's own timing so the
+// reach.metrics.v1 JSON is self-contained.
+void EmitSpeedupReport(const std::vector<Workload>& workloads) {
+  constexpr int kRounds = 40;
+  for (const Workload& w : workloads) {
+    double scalar_ns = 0;
+    for (const Kernel& k : Kernels()) {
+      size_t hits = 0;
+      const auto start = std::chrono::steady_clock::now();
+      for (int r = 0; r < kRounds; ++r) hits += RunAllPairs(w, k.fn);
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      ::benchmark::DoNotOptimize(hits);
+      const uint64_t total_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count());
+      const size_t queries = kRounds * w.pairs.size();
+      const double ns_per_query =
+          static_cast<double>(total_ns) / static_cast<double>(queries);
+      if (std::string(k.name) == "scalar") scalar_ns = ns_per_query;
+
+      IndexReport report;
+      report.name = "kernels/" + w.name + "/" + k.name;
+      report.complete = true;
+      report.build_ns = total_ns;
+      report.num_entries = queries;
+      report.probe.queries = queries;
+      BenchExporter().Add(std::move(report));
+
+      MetricsRegistry::Global()
+          .GetGauge("kernels.ns_per_query." + w.name + "." + k.name)
+          .Set(ns_per_query);
+      if (scalar_ns > 0) {
+        MetricsRegistry::Global()
+            .GetGauge("kernels.speedup." + w.name + "." + k.name)
+            .Set(scalar_ns / ns_per_query);
+      }
+    }
+  }
+  std::fprintf(stderr, "kernels: active block kernel = %s\n",
+               ActiveIntersectKernelName());
+}
+
+}  // namespace
+}  // namespace reach::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  reach::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  {
+    std::vector<reach::bench::Workload> workloads;
+    workloads.push_back(reach::bench::MakeWorkload("1:1", 1));
+    workloads.push_back(reach::bench::MakeWorkload("1:8", 8));
+    workloads.push_back(reach::bench::MakeWorkload("1:64", 64));
+    reach::bench::EmitSpeedupReport(workloads);
+  }
+  reach::bench::EmitBenchMetrics();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -5,13 +5,20 @@
 // observability layer (--metrics).
 //
 // Usage:
-//   reach_cli [--metrics] [--threads N] <edge-list-file> [index-spec]
+//   reach_cli [--metrics] [--threads N] [--reorder=deg|bfs|none]
+//             <edge-list-file> [index-spec]
 //   reach_cli [--metrics] [--threads N] --labeled <edge-list-file>
-//   reach_cli [--metrics] [--threads N] --demo [index-spec]
+//   reach_cli [--metrics] [--threads N] [--reorder=deg|bfs|none]
+//             --demo [index-spec]
 //
 // --threads N sets the process-wide default parallelism (the shared
 // thread pool that parallel index builds draw from); without it the pool
 // follows REACH_THREADS or the hardware concurrency.
+//
+// --reorder builds the index on a locality-renumbered copy of the graph
+// (docs/QUERY_ENGINE.md) behind an id-translation shim; queries still use
+// the file's vertex ids. save/load only works without --reorder (the
+// persisted pll format stores no permutation).
 //
 // Query language on stdin, one per line:
 //   <s> <t>              plain reachability Qr(s, t)
@@ -32,7 +39,9 @@
 #include <vector>
 
 #include "core/index_stats.h"
+#include "core/reordering_index.h"
 #include "graph/generators.h"
+#include "graph/reorder.h"
 #include "graph/graph_io.h"
 #include "lcr/label_set.h"
 #include "lcr/pruned_labeled_two_hop.h"
@@ -54,12 +63,15 @@ void EmitMetrics(const Index& index) {
 }
 
 int RunPlain(const reach::Digraph& graph, const std::string& spec,
-             bool metrics) {
+             bool metrics, reach::ReorderStrategy reorder) {
   using namespace reach;
-  auto index = MakePlainIndex(spec);
+  std::unique_ptr<ReachabilityIndex> index = MakePlainIndex(spec);
   if (index == nullptr) {
     std::fprintf(stderr, "unknown index spec '%s'\n", spec.c_str());
     return 1;
+  }
+  if (reorder != ReorderStrategy::kNone) {
+    index = std::make_unique<ReorderingIndex>(std::move(index), reorder);
   }
   index->Build(graph);
   std::fprintf(stderr,
@@ -158,10 +170,20 @@ int RunLabeled(const reach::LabeledDigraph& graph, bool metrics) {
 int main(int argc, char** argv) {
   using namespace reach;
   bool metrics = false;
+  ReorderStrategy reorder = ReorderStrategy::kNone;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strncmp(argv[i], "--reorder=", 10) == 0) {
+      const auto parsed = ParseReorderStrategy(argv[i] + 10);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "error: --reorder wants deg, bfs, or none (got '%s')\n",
+                     argv[i] + 10);
+        return 1;
+      }
+      reorder = *parsed;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       unsigned long threads = 0;
       try {
@@ -179,7 +201,7 @@ int main(int argc, char** argv) {
   }
   if (!args.empty() && std::strcmp(args[0], "--demo") == 0) {
     return RunPlain(ScaleFreeDag(10000, 3, 1),
-                    args.size() > 1 ? args[1] : "pll", metrics);
+                    args.size() > 1 ? args[1] : "pll", metrics, reorder);
   }
   if (args.size() >= 2 && std::strcmp(args[0], "--labeled") == 0) {
     std::string error;
@@ -197,12 +219,15 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
       return 1;
     }
-    return RunPlain(*graph, args.size() > 1 ? args[1] : "pll", metrics);
+    return RunPlain(*graph, args.size() > 1 ? args[1] : "pll", metrics,
+                    reorder);
   }
   std::fprintf(
       stderr,
-      "usage: reach_cli [--metrics] [--threads N] <edge-list> [index-spec]\n"
+      "usage: reach_cli [--metrics] [--threads N] [--reorder=deg|bfs|none] "
+      "<edge-list> [index-spec]\n"
       "       reach_cli [--metrics] [--threads N] --labeled <edge-list>\n"
-      "       reach_cli [--metrics] [--threads N] --demo [index-spec]\n");
+      "       reach_cli [--metrics] [--threads N] [--reorder=deg|bfs|none] "
+      "--demo [index-spec]\n");
   return 1;
 }

@@ -1,0 +1,264 @@
+#ifndef REACH_CORE_LABEL_KERNELS_H_
+#define REACH_CORE_LABEL_KERNELS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+// REACH_NO_SIMD (CMake option of the same name) is the escape hatch that
+// compiles the vectorized intersection kernels out, leaving the portable
+// word-parallel fallback as the only block kernel. Standalone inclusion
+// defaults to SIMD enabled.
+#ifndef REACH_NO_SIMD
+#define REACH_NO_SIMD 0
+#endif
+
+#if !REACH_NO_SIMD && (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define REACH_LABEL_KERNELS_X86 1
+#include <immintrin.h>
+#else
+#define REACH_LABEL_KERNELS_X86 0
+#endif
+
+namespace reach {
+
+/// Query hot-path intersection kernels for sorted 2-hop label arrays
+/// (docs/QUERY_ENGINE.md). The 2-hop families answer Qr(s, t) by testing
+/// whether two sorted rank arrays — Lout(s) and Lin(t), laid out
+/// contiguously by `FlatLabelPool` — share an element. `IntersectSorted`
+/// is the engine entry point: it prefilters on the first/last ranks,
+/// gallops when the sizes are skewed, and otherwise runs a block-compare
+/// kernel selected once at runtime (AVX2 > SSE2 > portable 64-bit words).
+/// Every kernel returns exactly the answer of the scalar two-pointer merge
+/// (tests/label_kernels_test.cc holds the differential suite).
+
+/// Reference kernel: the classic two-pointer merge. Also the tail loop of
+/// the block kernels once fewer than a block of elements remains.
+inline bool IntersectSortedScalar(const uint32_t* a, size_t na,
+                                  const uint32_t* b, size_t nb) {
+  size_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Branch-light merge: the two advance conditions compile to flag
+/// arithmetic instead of an unpredictable taken/not-taken branch per
+/// element, which is what makes the similar-size regime fast.
+inline bool IntersectSortedBranchless(const uint32_t* a, size_t na,
+                                      const uint32_t* b, size_t nb) {
+  size_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    const uint32_t x = a[i], y = b[j];
+    if (x == y) return true;
+    i += x < y;
+    j += y < x;
+  }
+  return false;
+}
+
+/// First index `>= from` with `data[index] >= value` (n when none), found
+/// by exponential probing followed by a binary search over the bracketed
+/// window — O(log gap) instead of O(log n), which is what galloping
+/// intersection needs when it advances through a long run.
+inline size_t GallopLowerBound(const uint32_t* data, size_t n, size_t from,
+                               uint32_t value) {
+  if (from >= n || data[from] >= value) return from;
+  // Invariant below: data[from + offset / 2] < value.
+  size_t offset = 1;
+  while (from + offset < n && data[from + offset] < value) offset <<= 1;
+  // Branchless binary search over the bracketed window: `base` always
+  // points at an element < value and the answer lies in (base, base+len].
+  // The conditional add compiles to a cmov, so the probes that dominate
+  // galloping cost no branch mispredicts.
+  const uint32_t* base = data + from + offset / 2;
+  size_t len = std::min(n, from + offset) - (from + offset / 2);
+  while (len > 1) {
+    const size_t half = len / 2;
+    base += base[half] < value ? half : 0;
+    len -= half;
+  }
+  return static_cast<size_t>(base - data) + 1;
+}
+
+/// Skewed-size kernel: for each element of the small array, gallop to its
+/// lower bound in the large one. O(ns log(nl/ns)) — the regime where the
+/// merge's O(ns + nl) loses badly.
+inline bool IntersectSortedGalloping(const uint32_t* small_arr, size_t ns,
+                                     const uint32_t* large_arr, size_t nl) {
+  size_t j = 0;
+  for (size_t i = 0; i < ns; ++i) {
+    j = GallopLowerBound(large_arr, nl, j, small_arr[i]);
+    if (j == nl) return false;
+    if (large_arr[j] == small_arr[i]) return true;
+  }
+  return false;
+}
+
+namespace kernel_detail {
+
+// True iff either 32-bit lane of `v` is zero (exact; the word-size
+// generalization of the classic has-zero-byte trick).
+inline bool HasZeroLane32(uint64_t v) {
+  return ((v - 0x0000000100000001ULL) & ~v & 0x8000000080000000ULL) != 0;
+}
+
+}  // namespace kernel_detail
+
+/// Portable word-parallel block kernel: packs two 32-bit ranks per 64-bit
+/// word and tests the four cross-equalities of a 2x2 block with XOR +
+/// has-zero-lane arithmetic — no per-element branch inside a block.
+inline bool IntersectSortedWord(const uint32_t* a, size_t na,
+                                const uint32_t* b, size_t nb) {
+  size_t i = 0, j = 0;
+  while (i + 2 <= na && j + 2 <= nb) {
+    uint64_t wa, wb;
+    std::memcpy(&wa, a + i, sizeof(wa));
+    std::memcpy(&wb, b + j, sizeof(wb));
+    const uint64_t b_lo = (wb & 0xffffffffULL) * 0x0000000100000001ULL;
+    const uint64_t b_hi = (wb >> 32) * 0x0000000100000001ULL;
+    if (kernel_detail::HasZeroLane32(wa ^ b_lo) ||
+        kernel_detail::HasZeroLane32(wa ^ b_hi)) {
+      return true;
+    }
+    const uint32_t a_max = a[i + 1], b_max = b[j + 1];
+    // a_max == b_max would have matched above, so exactly one side moves.
+    i += a_max < b_max ? 2 : 0;
+    j += b_max < a_max ? 2 : 0;
+  }
+  return IntersectSortedBranchless(a + i, na - i, b + j, nb - j);
+}
+
+#if REACH_LABEL_KERNELS_X86
+
+/// SSE2 block kernel: compares a 4-lane block of `a` against all four
+/// rotations of a 4-lane block of `b` (16 comparisons per iteration), then
+/// advances whichever block exhausted first.
+__attribute__((target("sse2"))) inline bool IntersectSortedSse2(
+    const uint32_t* a, size_t na, const uint32_t* b, size_t nb) {
+  size_t i = 0, j = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    __m128i eq = _mm_cmpeq_epi32(va, vb);
+    vb = _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1));
+    eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, vb));
+    vb = _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1));
+    eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, vb));
+    vb = _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1));
+    eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, vb));
+    if (_mm_movemask_epi8(eq) != 0) return true;
+    const uint32_t a_max = a[i + 3], b_max = b[j + 3];
+    i += a_max < b_max ? 4 : 0;
+    j += b_max < a_max ? 4 : 0;
+  }
+  return IntersectSortedBranchless(a + i, na - i, b + j, nb - j);
+}
+
+/// AVX2 block kernel: an 8-lane block of `a` against all eight rotations
+/// of an 8-lane block of `b` (64 comparisons per iteration).
+__attribute__((target("avx2"))) inline bool IntersectSortedAvx2(
+    const uint32_t* a, size_t na, const uint32_t* b, size_t nb) {
+  const __m256i rotate1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  size_t i = 0, j = 0;
+  while (i + 8 <= na && j + 8 <= nb) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    __m256i eq = _mm256_cmpeq_epi32(va, vb);
+    for (int r = 1; r < 8; ++r) {
+      vb = _mm256_permutevar8x32_epi32(vb, rotate1);
+      eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, vb));
+    }
+    if (_mm256_movemask_epi8(eq) != 0) return true;
+    const uint32_t a_max = a[i + 7], b_max = b[j + 7];
+    i += a_max < b_max ? 8 : 0;
+    j += b_max < a_max ? 8 : 0;
+  }
+  return IntersectSortedSse2(a + i, na - i, b + j, nb - j);
+}
+
+#endif  // REACH_LABEL_KERNELS_X86
+
+namespace kernel_detail {
+
+using IntersectFn = bool (*)(const uint32_t*, size_t, const uint32_t*,
+                             size_t);
+
+struct BlockKernel {
+  IntersectFn fn;
+  const char* name;
+};
+
+// One-time cpuid probe (x86 only; elsewhere — and under REACH_NO_SIMD —
+// the portable word-parallel kernel is the block kernel).
+inline BlockKernel ResolveBlockKernel() {
+#if REACH_LABEL_KERNELS_X86
+  if (__builtin_cpu_supports("avx2")) return {&IntersectSortedAvx2, "avx2"};
+  if (__builtin_cpu_supports("sse2")) return {&IntersectSortedSse2, "sse2"};
+#endif
+  return {&IntersectSortedWord, "word64"};
+}
+
+inline const BlockKernel& ActiveBlockKernel() {
+  static const BlockKernel kernel = ResolveBlockKernel();
+  return kernel;
+}
+
+}  // namespace kernel_detail
+
+/// The block kernel the runtime dispatch resolved to ("avx2", "sse2", or
+/// "word64"), for logs / bench rows.
+inline const char* ActiveIntersectKernelName() {
+  return kernel_detail::ActiveBlockKernel().name;
+}
+
+/// Runs the runtime-selected block-compare kernel (no prefilter, no
+/// galloping) — exposed separately for the differential tests and the
+/// kernel microbenchmark.
+inline bool IntersectSortedBlocks(const uint32_t* a, size_t na,
+                                  const uint32_t* b, size_t nb) {
+  return kernel_detail::ActiveBlockKernel().fn(a, na, b, nb);
+}
+
+/// Size-ratio threshold above which the engine gallops with the smaller
+/// array instead of merging.
+inline constexpr size_t kGallopSkewThreshold = 8;
+
+/// True iff the value ranges [a[0], a[na-1]] and [b[0], b[nb-1]] overlap.
+/// The first/last-rank prefilter: disjoint ranges settle the query with
+/// two comparisons and no intersection at all.
+inline bool SortedRangesOverlap(const uint32_t* a, size_t na,
+                                const uint32_t* b, size_t nb) {
+  return na != 0 && nb != 0 && a[na - 1] >= b[0] && b[nb - 1] >= a[0];
+}
+
+/// The engine entry point: exact sorted-set intersection test with the
+/// full selection logic (prefilter -> galloping on >= 8x skew -> runtime
+/// block kernel). Bit-identical answers to `IntersectSortedScalar`.
+inline bool IntersectSorted(const uint32_t* a, size_t na, const uint32_t* b,
+                            size_t nb) {
+  if (!SortedRangesOverlap(a, na, b, nb)) return false;
+  if (na * kGallopSkewThreshold <= nb) {
+    return IntersectSortedGalloping(a, na, b, nb);
+  }
+  if (nb * kGallopSkewThreshold <= na) {
+    return IntersectSortedGalloping(b, nb, a, na);
+  }
+  return IntersectSortedBlocks(a, na, b, nb);
+}
+
+}  // namespace reach
+
+#endif  // REACH_CORE_LABEL_KERNELS_H_

@@ -1,0 +1,109 @@
+#ifndef REACH_CORE_LABEL_POOL_H_
+#define REACH_CORE_LABEL_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace reach {
+
+/// A sealed, CSR-style contiguous pool of per-vertex label entries — the
+/// flat layout of the query hot-path engine (docs/QUERY_ENGINE.md).
+///
+/// The 2-hop builders accumulate labels into `vector<vector<Entry>>`
+/// (ranks arrive per-sweep, appending to arbitrary vertices); at the end
+/// of `Build`/`Load` the nested vectors are *sealed* into one 64-byte
+/// aligned entries array plus an offsets array. Queries then read
+/// `Slice(v)` — a single indirection into memory where consecutive
+/// vertices' labels are adjacent, instead of a pointer chase through
+/// ~48 bytes of vector headers per vertex.
+///
+/// A sealed pool is immutable. Post-seal mutation (TOL-style `InsertEdge`)
+/// goes into a per-index *delta overlay* kept next to the pool by its
+/// owner; the pool itself never reallocates, so spans stay valid for the
+/// index's lifetime.
+template <typename Entry>
+class FlatLabelPool {
+  static_assert(std::is_trivially_copyable_v<Entry>,
+                "pool entries are raw-copied into aligned storage");
+
+ public:
+  /// Cache-line alignment of the entries array.
+  static constexpr size_t kAlignment = 64;
+
+  FlatLabelPool() = default;
+
+  /// Seals `per_vertex` into the pool and releases the nested vectors
+  /// (the caller's build-side memory is freed, not kept in parallel).
+  void Seal(std::vector<std::vector<Entry>>&& per_vertex) {
+    const size_t n = per_vertex.size();
+    offsets_.assign(n + 1, 0);
+    for (size_t v = 0; v < n; ++v) {
+      offsets_[v + 1] = offsets_[v] + per_vertex[v].size();
+    }
+    const size_t total = static_cast<size_t>(offsets_[n]);
+    entries_.reset(total == 0 ? nullptr
+                              : static_cast<Entry*>(::operator new[](
+                                    total * sizeof(Entry),
+                                    std::align_val_t{kAlignment})));
+    for (size_t v = 0; v < n; ++v) {
+      if (!per_vertex[v].empty()) {
+        std::memcpy(entries_.get() + offsets_[v], per_vertex[v].data(),
+                    per_vertex[v].size() * sizeof(Entry));
+      }
+    }
+    std::vector<std::vector<Entry>>().swap(per_vertex);
+  }
+
+  /// The sealed labels of `v`, sorted exactly as the build produced them.
+  /// (The empty-slice branch also keeps pointer arithmetic off the null
+  /// entries array of an all-empty pool.)
+  std::span<const Entry> Slice(VertexId v) const {
+    const size_t begin = static_cast<size_t>(offsets_[v]);
+    const size_t count = static_cast<size_t>(offsets_[v + 1]) - begin;
+    if (count == 0) return {};
+    return {entries_.get() + begin, count};
+  }
+
+  bool Sealed() const { return !offsets_.empty(); }
+  size_t NumVertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  size_t NumEntries() const {
+    return offsets_.empty() ? 0 : static_cast<size_t>(offsets_.back());
+  }
+
+  /// Returns the pool to the unsealed (empty) state.
+  void Clear() {
+    offsets_.clear();
+    entries_.reset();
+  }
+
+  /// Heap footprint: offsets array (capacity, not size) plus the aligned
+  /// entries block — the bytes the Table 1 size columns report.
+  size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(uint64_t) +
+           NumEntries() * sizeof(Entry);
+  }
+
+ private:
+  struct AlignedDelete {
+    void operator()(Entry* p) const {
+      ::operator delete[](p, std::align_val_t{kAlignment});
+    }
+  };
+
+  std::vector<uint64_t> offsets_;  // size NumVertices() + 1 when sealed
+  std::unique_ptr<Entry[], AlignedDelete> entries_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_CORE_LABEL_POOL_H_

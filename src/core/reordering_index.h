@@ -1,0 +1,91 @@
+#ifndef REACH_CORE_REORDERING_INDEX_H_
+#define REACH_CORE_REORDERING_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/reachability_index.h"
+#include "graph/reorder.h"
+
+namespace reach {
+
+/// Builds the wrapped index on a locality-renumbered copy of the graph
+/// (docs/QUERY_ENGINE.md) and translates vertex ids at the query boundary,
+/// so callers keep speaking the original numbering. The renumbering is
+/// purely an in-memory layout optimization: answers are identical for any
+/// strategy because reachability is invariant under vertex relabeling.
+///
+/// Opt-in via `reach_cli --reorder=deg|bfs|none`.
+class ReorderingIndex : public ReachabilityIndex {
+ public:
+  /// Takes ownership of the index to wrap.
+  ReorderingIndex(std::unique_ptr<ReachabilityIndex> inner,
+                  ReorderStrategy strategy)
+      : inner_(std::move(inner)), strategy_(strategy) {}
+
+  void Build(const Digraph& graph) override {
+    BuildStatsScope build(&build_stats_);
+    {
+      BuildPhaseTimer timer(&build_stats_.phases, "reorder");
+      perm_ = ComputeReordering(graph, strategy_);
+      relabeled_ = RelabelDigraph(graph, perm_);
+    }
+    inner_->Build(relabeled_);
+    // Absorb the wrapped build's breakdown so `Stats()` shows the whole
+    // pipeline (reorder -> inner phases).
+    const IndexStats& inner_stats = inner_->Stats();
+    build_stats_.phases.insert(build_stats_.phases.end(),
+                               inner_stats.phases.begin(),
+                               inner_stats.phases.end());
+    build_stats_.size_bytes = IndexSizeBytes();
+    build_stats_.num_entries = inner_stats.num_entries;
+  }
+
+  bool Query(VertexId s, VertexId t) const override {
+    return inner_->Query(perm_.ToNew(s), perm_.ToNew(t));
+  }
+
+  bool PrepareConcurrentQueries(size_t slots) const override {
+    return inner_->PrepareConcurrentQueries(slots);
+  }
+
+  bool QueryInSlot(VertexId s, VertexId t, size_t slot) const override {
+    return inner_->QueryInSlot(perm_.ToNew(s), perm_.ToNew(t), slot);
+  }
+
+  /// Inner index plus the two permutation arrays; the relabeled graph copy
+  /// is a build artifact, not index state, and is excluded (matching how
+  /// indexes never count their input graph).
+  size_t IndexSizeBytes() const override {
+    return inner_->IndexSizeBytes() +
+           (perm_.old_to_new.size() + perm_.new_to_old.size()) *
+               sizeof(VertexId);
+  }
+
+  bool IsComplete() const override { return inner_->IsComplete(); }
+
+  std::string Name() const override {
+    return "reorder(" + ReorderStrategyName(strategy_) + ")+" +
+           inner_->Name();
+  }
+
+  QueryProbe Probe() const override { return inner_->Probe(); }
+  void ResetProbe() const override { inner_->ResetProbe(); }
+
+  /// The wrapped index (e.g., to inspect its stats).
+  const ReachabilityIndex& inner() const { return *inner_; }
+
+  /// The permutation computed by the last `Build()`.
+  const VertexPermutation& permutation() const { return perm_; }
+
+ private:
+  std::unique_ptr<ReachabilityIndex> inner_;
+  ReorderStrategy strategy_;
+  VertexPermutation perm_;
+  Digraph relabeled_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_CORE_REORDERING_INDEX_H_

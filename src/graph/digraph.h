@@ -70,10 +70,15 @@ class Digraph {
   /// Returns all edges, sorted by (source, target).
   std::vector<Edge> Edges() const;
 
-  /// Approximate heap footprint in bytes (CSR arrays).
+  /// Heap footprint in bytes (CSR arrays). Counts vector *capacity*, not
+  /// size: `FromEdges` can leave the offset arrays (and, after dedup, the
+  /// adjacency arrays) holding more memory than their element counts, and
+  /// reporting size alone under-counted that slack.
   size_t MemoryBytes() const {
-    return (out_offsets_.size() + in_offsets_.size()) * sizeof(size_t) +
-           (out_targets_.size() + in_sources_.size()) * sizeof(VertexId);
+    return (out_offsets_.capacity() + in_offsets_.capacity()) *
+               sizeof(size_t) +
+           (out_targets_.capacity() + in_sources_.capacity()) *
+               sizeof(VertexId);
   }
 
  private:

@@ -1,0 +1,129 @@
+#include "graph/reorder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace reach {
+namespace {
+
+// Vertices sorted by decreasing total degree, ties by ascending id — the
+// same hub-first order the 2-hop builders use for ranking.
+std::vector<VertexId> ByDegreeDescending(const Digraph& graph) {
+  std::vector<VertexId> order(graph.NumVertices());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](VertexId a, VertexId b) {
+                     return graph.Degree(a) > graph.Degree(b);
+                   });
+  return order;
+}
+
+VertexPermutation IdentityPermutation(size_t n) {
+  VertexPermutation perm;
+  perm.old_to_new.resize(n);
+  std::iota(perm.old_to_new.begin(), perm.old_to_new.end(), VertexId{0});
+  perm.new_to_old = perm.old_to_new;
+  return perm;
+}
+
+// new_to_old is a full visitation order; derive the inverse.
+VertexPermutation FromNewToOld(std::vector<VertexId> new_to_old) {
+  VertexPermutation perm;
+  perm.old_to_new.resize(new_to_old.size());
+  for (VertexId new_id = 0; new_id < new_to_old.size(); ++new_id) {
+    perm.old_to_new[new_to_old[new_id]] = new_id;
+  }
+  perm.new_to_old = std::move(new_to_old);
+  return perm;
+}
+
+VertexPermutation DegreePermutation(const Digraph& graph) {
+  return FromNewToOld(ByDegreeDescending(graph));
+}
+
+VertexPermutation BfsPermutation(const Digraph& graph) {
+  const size_t n = graph.NumVertices();
+  std::vector<VertexId> new_to_old;
+  new_to_old.reserve(n);
+  std::vector<char> visited(n, 0);
+  std::vector<VertexId> neighbors;
+
+  // Seed components hub-first; within a component, expand the BFS frontier
+  // in degree-descending neighbor order (over the undirected skeleton) so
+  // vertices touched together get contiguous ids.
+  for (VertexId root : ByDegreeDescending(graph)) {
+    if (visited[root]) continue;
+    visited[root] = 1;
+    size_t head = new_to_old.size();
+    new_to_old.push_back(root);
+    while (head < new_to_old.size()) {
+      const VertexId v = new_to_old[head++];
+      neighbors.clear();
+      for (VertexId w : graph.OutNeighbors(v)) {
+        if (!visited[w]) neighbors.push_back(w);
+      }
+      for (VertexId w : graph.InNeighbors(v)) {
+        if (!visited[w]) neighbors.push_back(w);
+      }
+      std::stable_sort(neighbors.begin(), neighbors.end(),
+                       [&](VertexId a, VertexId b) {
+                         return graph.Degree(a) > graph.Degree(b);
+                       });
+      for (VertexId w : neighbors) {
+        if (visited[w]) continue;  // duplicates from the in+out union
+        visited[w] = 1;
+        new_to_old.push_back(w);
+      }
+    }
+  }
+  assert(new_to_old.size() == n);
+  return FromNewToOld(std::move(new_to_old));
+}
+
+}  // namespace
+
+std::optional<ReorderStrategy> ParseReorderStrategy(std::string_view text) {
+  if (text == "none") return ReorderStrategy::kNone;
+  if (text == "deg") return ReorderStrategy::kDegree;
+  if (text == "bfs") return ReorderStrategy::kBfs;
+  return std::nullopt;
+}
+
+std::string ReorderStrategyName(ReorderStrategy strategy) {
+  switch (strategy) {
+    case ReorderStrategy::kNone:
+      return "none";
+    case ReorderStrategy::kDegree:
+      return "deg";
+    case ReorderStrategy::kBfs:
+      return "bfs";
+  }
+  return "none";
+}
+
+VertexPermutation ComputeReordering(const Digraph& graph,
+                                    ReorderStrategy strategy) {
+  switch (strategy) {
+    case ReorderStrategy::kNone:
+      return IdentityPermutation(graph.NumVertices());
+    case ReorderStrategy::kDegree:
+      return DegreePermutation(graph);
+    case ReorderStrategy::kBfs:
+      return BfsPermutation(graph);
+  }
+  return IdentityPermutation(graph.NumVertices());
+}
+
+Digraph RelabelDigraph(const Digraph& graph, const VertexPermutation& perm) {
+  assert(perm.NumVertices() == graph.NumVertices());
+  std::vector<Edge> edges = graph.Edges();
+  for (Edge& e : edges) {
+    e.source = perm.ToNew(e.source);
+    e.target = perm.ToNew(e.target);
+  }
+  return Digraph::FromEdges(static_cast<VertexId>(graph.NumVertices()),
+                            std::move(edges));
+}
+
+}  // namespace reach

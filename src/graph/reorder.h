@@ -1,0 +1,63 @@
+#ifndef REACH_GRAPH_REORDER_H_
+#define REACH_GRAPH_REORDER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/types.h"
+
+namespace reach {
+
+/// Locality-aware vertex renumbering (docs/QUERY_ENGINE.md). Indexes that
+/// scan per-vertex adjacency or label arrays benefit when vertices touched
+/// together sit close in id space: the 2-hop builders visit neighbors of
+/// high-degree hubs millions of times, and a hub-first numbering keeps the
+/// hot offsets within a few cache lines.
+enum class ReorderStrategy {
+  /// Identity permutation (the input numbering).
+  kNone,
+  /// Decreasing total degree, ties by old id. Hubs — which dominate both
+  /// BFS frontiers and 2-hop label content — get the smallest ids.
+  kDegree,
+  /// BFS (Cuthill–McKee-flavored) numbering over the undirected skeleton:
+  /// components are seeded from their highest-degree vertex and frontiers
+  /// expand in degree-descending neighbor order, so each BFS level — the
+  /// set of vertices touched together — is contiguous.
+  kBfs,
+};
+
+/// Parses "none" / "deg" / "bfs" (the `reach_cli --reorder=` values).
+/// Returns nullopt for anything else.
+std::optional<ReorderStrategy> ParseReorderStrategy(std::string_view text);
+
+/// The canonical short name: "none" / "deg" / "bfs".
+std::string ReorderStrategyName(ReorderStrategy strategy);
+
+/// A bijection between an original ("old") vertex numbering and the
+/// permuted ("new") one — the id-translation shim callers keep so external
+/// queries in old ids can be answered by an index built on the relabeled
+/// graph.
+struct VertexPermutation {
+  std::vector<VertexId> old_to_new;  // old_to_new[old id] = new id
+  std::vector<VertexId> new_to_old;  // inverse
+
+  VertexId ToNew(VertexId old_id) const { return old_to_new[old_id]; }
+  VertexId ToOld(VertexId new_id) const { return new_to_old[new_id]; }
+  size_t NumVertices() const { return old_to_new.size(); }
+};
+
+/// Computes the permutation `strategy` assigns to `graph`. kNone yields the
+/// identity; every strategy yields a valid bijection.
+VertexPermutation ComputeReordering(const Digraph& graph,
+                                    ReorderStrategy strategy);
+
+/// Returns `graph` with every vertex id `v` renamed to `perm.ToNew(v)`.
+/// Edge set is preserved up to renaming; vertex count is unchanged.
+Digraph RelabelDigraph(const Digraph& graph, const VertexPermutation& perm);
+
+}  // namespace reach
+
+#endif  // REACH_GRAPH_REORDER_H_

@@ -5,12 +5,32 @@
 #include <numeric>
 #include <utility>
 
+#include "core/label_kernels.h"
 #include "par/parallel_for.h"
 #include "par/thread_pool.h"
 
 namespace reach {
 
 namespace {
+
+// Exponential search to the first entry with `entry.rank >= rank` at index
+// >= `from` — the rank-projected analogue of `GallopLowerBound`, shared by
+// the skewed-size advance of the LCR rank-group sweep.
+template <typename E>
+size_t GallopToRank(std::span<const E> entries, size_t from, uint32_t rank) {
+  const size_t n = entries.size();
+  if (from >= n || entries[from].rank >= rank) return from;
+  size_t offset = 1;
+  while (from + offset < n && entries[from + offset].rank < rank) {
+    offset <<= 1;
+  }
+  const size_t lo = from + offset / 2;
+  const size_t hi = std::min(n, from + offset + 1);
+  return static_cast<size_t>(
+      std::lower_bound(entries.begin() + lo, entries.begin() + hi, rank,
+                       [](const E& e, uint32_t r) { return e.rank < r; }) -
+      entries.begin());
+}
 
 // A label-BFS state: `vertex` reached with accumulated label set `mask`.
 struct State {
@@ -98,7 +118,7 @@ void PrunedLabeledTwoHop::ArcsIn(VertexId v, ArcFn&& fn) const {
   }
 }
 
-bool PrunedLabeledTwoHop::HasCoveredEntry(const std::vector<Entry>& entries,
+bool PrunedLabeledTwoHop::HasCoveredEntry(std::span<const Entry> entries,
                                           uint32_t rank, LabelSet allowed) {
   // Entries are grouped by ascending rank; binary-search the group start.
   auto it = std::lower_bound(
@@ -110,21 +130,25 @@ bool PrunedLabeledTwoHop::HasCoveredEntry(const std::vector<Entry>& entries,
   return false;
 }
 
-bool PrunedLabeledTwoHop::LabelQuery(VertexId s, VertexId t,
-                                     LabelSet allowed) const {
-  if (s == t) return true;
-  // Virtual self-hops: s itself or t itself as the common hop.
-  if (HasCoveredEntry(lin_[t], rank_[s], allowed)) return true;
-  if (HasCoveredEntry(lout_[s], rank_[t], allowed)) return true;
-  // Two-pointer sweep over rank groups.
-  const auto& out = lout_[s];
-  const auto& in = lin_[t];
+bool PrunedLabeledTwoHop::IntersectEntryRanges(std::span<const Entry> out,
+                                               std::span<const Entry> in,
+                                               LabelSet allowed) {
+  // First/last-rank prefilter: disjoint rank ranges cannot share a hop.
+  if (out.empty() || in.empty()) return false;
+  if (out.back().rank < in.front().rank ||
+      in.back().rank < out.front().rank) {
+    return false;
+  }
+  // Rank-group sweep; skewed sizes advance by galloping instead of one
+  // group at a time (same >= 8x threshold as the plain engine).
+  const bool gallop = out.size() >= kGallopSkewThreshold * in.size() ||
+                      in.size() >= kGallopSkewThreshold * out.size();
   size_t i = 0, j = 0;
   while (i < out.size() && j < in.size()) {
     if (out[i].rank < in[j].rank) {
-      ++i;
+      i = gallop ? GallopToRank(out, i + 1, in[j].rank) : i + 1;
     } else if (out[i].rank > in[j].rank) {
-      ++j;
+      j = gallop ? GallopToRank(in, j + 1, out[i].rank) : j + 1;
     } else {
       const uint32_t rank = out[i].rank;
       size_t i_end = i, j_end = j;
@@ -143,14 +167,41 @@ bool PrunedLabeledTwoHop::LabelQuery(VertexId s, VertexId t,
   return false;
 }
 
+bool PrunedLabeledTwoHop::LabelQuery(VertexId s, VertexId t,
+                                     LabelSet allowed) const {
+  if (s == t) return true;
+  // Virtual self-hops: s itself or t itself as the common hop.
+  if (HasCoveredEntry(lin_[t], rank_[s], allowed)) return true;
+  if (HasCoveredEntry(lout_[s], rank_[t], allowed)) return true;
+  return IntersectEntryRanges(lout_[s], lin_[t], allowed);
+}
+
+bool PrunedLabeledTwoHop::AnswerQuery(VertexId s, VertexId t,
+                                      LabelSet allowed) const {
+  if (s == t) return true;
+  const std::span<const Entry> out = lout_pool_.Slice(s);
+  const std::span<const Entry> in = lin_pool_.Slice(t);
+  if (HasCoveredEntry(in, rank_[s], allowed)) return true;
+  if (HasCoveredEntry(out, rank_[t], allowed)) return true;
+  if (IntersectEntryRanges(out, in, allowed)) return true;
+  if (!has_delta_) return false;
+  // Delta entries live outside the pool, so every (pool, delta)
+  // combination that could supply the common hop is checked separately.
+  const std::span<const Entry> delta{delta_lin_[t]};
+  if (HasCoveredEntry(delta, rank_[s], allowed)) return true;
+  return IntersectEntryRanges(out, delta, allowed);
+}
+
 bool PrunedLabeledTwoHop::Query(VertexId s, VertexId t,
                                 LabelSet allowed) const {
   REACH_PROBE_INC(probe_, queries);
-  // Worst case the two-pointer sweep consults both full entry lists.
-  // (LabelQuery itself is unprobed — the build's pruning tests would
+  // Worst case the rank-group sweep consults both full entry lists.
+  // (The build-time oracle is unprobed — the pruning tests would
   // otherwise swamp the counts.)
-  REACH_PROBE_ADD(probe_, labels_scanned, lout_[s].size() + lin_[t].size());
-  const bool reachable = LabelQuery(s, t, allowed);
+  REACH_PROBE_ADD(probe_, labels_scanned,
+                  lout_pool_.Slice(s).size() + lin_pool_.Slice(t).size() +
+                      (has_delta_ ? delta_lin_[t].size() : 0));
+  const bool reachable = AnswerQuery(s, t, allowed);
   if (reachable) {
     REACH_PROBE_INC(probe_, positives);
   } else {
@@ -165,6 +216,10 @@ void PrunedLabeledTwoHop::Build(const LabeledDigraph& graph) {
   graph_ = &graph;
   extra_out_.clear();
   extra_in_.clear();
+  lin_pool_.Clear();
+  lout_pool_.Clear();
+  delta_lin_.clear();
+  has_delta_ = false;
   const size_t n = graph.NumVertices();
 
   BuildPhaseTimer order_timer(&build_stats_.phases, "order");
@@ -181,8 +236,21 @@ void PrunedLabeledTwoHop::Build(const LabeledDigraph& graph) {
   BuildPhaseTimer label_timer(&build_stats_.phases, "label_bfs");
   BuildLabels(graph, ResolveThreads(num_threads_));
   label_timer.Stop();
+
+  BuildPhaseTimer seal_timer(&build_stats_.phases, "seal");
+  SealLabels();
+  seal_timer.Stop();
   build_stats_.size_bytes = IndexSizeBytes();
   build_stats_.num_entries = TotalEntries();
+}
+
+void PrunedLabeledTwoHop::SealLabels() {
+  lin_pool_.Seal(std::move(lin_));
+  lout_pool_.Seal(std::move(lout_));
+  lin_.clear();
+  lout_.clear();
+  delta_lin_.clear();
+  has_delta_ = false;
 }
 
 void PrunedLabeledTwoHop::BuildLabels(const LabeledDigraph& graph,
@@ -413,9 +481,19 @@ void PrunedLabeledTwoHop::InsertEdge(VertexId s, VertexId t, Label label) {
   // M2 ⊆ A). The old index answers (x, s, M1) through some hop entry of
   // Lin(s) (or a virtual endpoint hop), so propagating each such hop
   // through the new edge to everything reachable from t restores
-  // completeness. Traversal prunes only by per-sweep dominance, never by
-  // index queries — minimality is traded for correctness (see header).
-  std::vector<Entry> hops = lin_[s];
+  // completeness. The sealed pool is immutable, so new entries land in the
+  // unsealed delta overlay the query path checks alongside the pool.
+  // Traversal prunes only by per-sweep dominance, never by index queries —
+  // minimality is traded for correctness (see header).
+  if (delta_lin_.empty()) delta_lin_.resize(graph_->NumVertices());
+  has_delta_ = true;
+  const std::span<const Entry> sealed_in = lin_pool_.Slice(s);
+  std::vector<Entry> hops(sealed_in.begin(), sealed_in.end());
+  hops.insert(hops.end(), delta_lin_[s].begin(), delta_lin_[s].end());
+  std::stable_sort(hops.begin(), hops.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.rank < b.rank;
+                   });
   hops.push_back({rank_[s], 0});
 
   BucketQueue queue;
@@ -430,9 +508,12 @@ void PrunedLabeledTwoHop::InsertEdge(VertexId s, VertexId t, Label label) {
     queue.Push({start, t});
     while (queue.Pop(&state)) {
       if (state.vertex != hop &&
-          !HasCoveredEntry(lin_[state.vertex], hop_entry.rank, state.mask)) {
-        // Insert keeping rank-group ordering.
-        auto& entries = lin_[state.vertex];
+          !HasCoveredEntry(lin_pool_.Slice(state.vertex), hop_entry.rank,
+                           state.mask) &&
+          !HasCoveredEntry(delta_lin_[state.vertex], hop_entry.rank,
+                           state.mask)) {
+        // Insert keeping rank-group ordering within the overlay.
+        auto& entries = delta_lin_[state.vertex];
         auto it = std::upper_bound(
             entries.begin(), entries.end(), hop_entry.rank,
             [](uint32_t r, const Entry& e) { return r < e.rank; });
@@ -466,15 +547,19 @@ void PrunedLabeledTwoHop::RemoveEdgeAndRebuild(VertexId s, VertexId t,
 }
 
 size_t PrunedLabeledTwoHop::TotalEntries() const {
-  size_t total = 0;
-  for (const auto& e : lin_) total += e.size();
-  for (const auto& e : lout_) total += e.size();
+  size_t total = lin_pool_.NumEntries() + lout_pool_.NumEntries();
+  for (const auto& e : delta_lin_) total += e.size();
   return total;
 }
 
 size_t PrunedLabeledTwoHop::IndexSizeBytes() const {
-  return TotalEntries() * sizeof(Entry) +
-         (rank_.size() + by_rank_.size()) * sizeof(uint32_t);
+  size_t delta_bytes = 0;
+  if (has_delta_) {
+    delta_bytes = delta_lin_.size() * sizeof(std::vector<Entry>);
+    for (const auto& d : delta_lin_) delta_bytes += d.capacity() * sizeof(Entry);
+  }
+  return lin_pool_.MemoryBytes() + lout_pool_.MemoryBytes() +
+         (rank_.size() + by_rank_.size()) * sizeof(uint32_t) + delta_bytes;
 }
 
 }  // namespace reach

@@ -2,9 +2,11 @@
 #define REACH_LCR_PRUNED_LABELED_TWO_HOP_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/label_pool.h"
 #include "lcr/label_set.h"
 #include "lcr/lcr_index.h"
 
@@ -66,10 +68,20 @@ class PrunedLabeledTwoHop : public LcrIndex {
   };
 
   void BuildLabels(const LabeledDigraph& graph, size_t threads);
+  void SealLabels();
+  // Build-time pruning oracle over the (unsealed) nested entry vectors.
   bool LabelQuery(VertexId s, VertexId t, LabelSet allowed) const;
+  // The sealed query hot path (pool slices + delta overlay) every entry
+  // point routes through.
+  bool AnswerQuery(VertexId s, VertexId t, LabelSet allowed) const;
   // True iff `entries` holds (rank, mask ⊆ allowed).
-  static bool HasCoveredEntry(const std::vector<Entry>& entries,
-                              uint32_t rank, LabelSet allowed);
+  static bool HasCoveredEntry(std::span<const Entry> entries, uint32_t rank,
+                              LabelSet allowed);
+  // Rank-grouped two-pointer / galloping sweep over two sorted entry
+  // ranges (docs/QUERY_ENGINE.md).
+  static bool IntersectEntryRanges(std::span<const Entry> out,
+                                   std::span<const Entry> in,
+                                   LabelSet allowed);
   template <typename ArcFn>
   void ArcsOut(VertexId v, ArcFn&& fn) const;
   template <typename ArcFn>
@@ -80,8 +92,16 @@ class PrunedLabeledTwoHop : public LcrIndex {
   LabeledDigraph owned_graph_;  // used after RemoveEdgeAndRebuild
   std::vector<uint32_t> rank_;
   std::vector<VertexId> by_rank_;
-  std::vector<std::vector<Entry>> lin_;   // sorted by (rank, insertion)
+  // Build-side accumulators (sorted by (rank, insertion)); SealLabels()
+  // moves them into the flat pools and leaves them empty.
+  std::vector<std::vector<Entry>> lin_;
   std::vector<std::vector<Entry>> lout_;
+  FlatLabelPool<Entry> lin_pool_;
+  FlatLabelPool<Entry> lout_pool_;
+  // Unsealed delta overlay: Lin entries added by InsertEdge after sealing
+  // (rank-ordered). Empty until the first insert.
+  std::vector<std::vector<Entry>> delta_lin_;
+  bool has_delta_ = false;
   std::vector<std::vector<LabeledDigraph::Arc>> extra_out_, extra_in_;
   mutable QueryProbe probe_;
 };

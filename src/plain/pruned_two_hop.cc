@@ -6,6 +6,7 @@
 #include <numeric>
 #include <ostream>
 
+#include "core/label_kernels.h"
 #include "graph/condensation.h"
 #include "graph/rng.h"
 #include "par/parallel_for.h"
@@ -14,22 +15,6 @@
 namespace reach {
 
 namespace {
-
-// True iff the sorted rank vectors intersect.
-bool SortedIntersect(const std::vector<uint32_t>& a,
-                     const std::vector<uint32_t>& b) {
-  size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      return true;
-    }
-  }
-  return false;
-}
 
 // Inserts `value` into sorted `v` if absent; returns true if inserted.
 bool SortedInsert(std::vector<uint32_t>& v, uint32_t value) {
@@ -329,6 +314,10 @@ void PrunedTwoHop::Build(const Digraph& graph) {
   graph_ = &graph;
   extra_out_.clear();
   extra_in_.clear();
+  lin_pool_.Clear();
+  lout_pool_.Clear();
+  delta_lin_.clear();
+  has_delta_ = false;
   {
     BuildPhaseTimer timer(&build_stats_.phases, "order");
     ComputeOrder(graph);
@@ -342,19 +331,54 @@ void PrunedTwoHop::Build(const Digraph& graph) {
       BuildLabelsParallel(graph, threads);
     }
   }
+  {
+    BuildPhaseTimer timer(&build_stats_.phases, "seal");
+    SealLabels();
+  }
   build_stats_.size_bytes = IndexSizeBytes();
   build_stats_.num_entries = TotalLabelEntries();
 }
 
+void PrunedTwoHop::SealLabels() {
+  lin_pool_.Seal(std::move(lin_));
+  lout_pool_.Seal(std::move(lout_));
+  lin_.clear();
+  lout_.clear();
+  delta_lin_.clear();
+  has_delta_ = false;
+}
+
 bool PrunedTwoHop::LabelQuery(VertexId s, VertexId t) const {
   if (s == t) return true;
-  if (std::binary_search(lin_[t].begin(), lin_[t].end(), rank_[s])) {
+  const std::vector<uint32_t>& lin_t = lin_[t];
+  const std::vector<uint32_t>& lout_s = lout_[s];
+  if (std::binary_search(lin_t.begin(), lin_t.end(), rank_[s])) return true;
+  if (std::binary_search(lout_s.begin(), lout_s.end(), rank_[t])) {
     return true;
   }
-  if (std::binary_search(lout_[s].begin(), lout_[s].end(), rank_[t])) {
+  return IntersectSorted(lout_s.data(), lout_s.size(), lin_t.data(),
+                         lin_t.size());
+}
+
+bool PrunedTwoHop::AnswerQuery(VertexId s, VertexId t) const {
+  if (s == t) return true;
+  const std::span<const uint32_t> lout_s = lout_pool_.Slice(s);
+  const std::span<const uint32_t> lin_t = lin_pool_.Slice(t);
+  if (std::binary_search(lin_t.begin(), lin_t.end(), rank_[s])) return true;
+  if (std::binary_search(lout_s.begin(), lout_s.end(), rank_[t])) {
     return true;
   }
-  return SortedIntersect(lout_[s], lin_[t]);
+  if (IntersectSorted(lout_s.data(), lout_s.size(), lin_t.data(),
+                      lin_t.size())) {
+    return true;
+  }
+  if (!has_delta_) return false;
+  const std::vector<uint32_t>& delta_t = delta_lin_[t];
+  if (std::binary_search(delta_t.begin(), delta_t.end(), rank_[s])) {
+    return true;
+  }
+  return IntersectSorted(lout_s.data(), lout_s.size(), delta_t.data(),
+                         delta_t.size());
 }
 
 bool PrunedTwoHop::Query(VertexId s, VertexId t) const {
@@ -364,11 +388,13 @@ bool PrunedTwoHop::Query(VertexId s, VertexId t) const {
 bool PrunedTwoHop::QueryInSlot(VertexId s, VertexId t, size_t slot) const {
   [[maybe_unused]] QueryProbe& probe = probes_.Slot(slot);
   REACH_PROBE_INC(probe, queries);
-  // Worst-case entries consulted: the two-pointer Lout(s) ∩ Lin(t)
-  // intersection scans both lists end to end. (LabelQuery itself is left
-  // unprobed — the build's pruning tests would otherwise swamp the counts.)
-  REACH_PROBE_ADD(probe, labels_scanned, lout_[s].size() + lin_[t].size());
-  const bool reachable = LabelQuery(s, t);
+  // Worst-case entries consulted: the Lout(s) ∩ Lin(t) intersection scans
+  // both lists end to end. (The build-time oracle is left unprobed — the
+  // pruning tests would otherwise swamp the counts.)
+  REACH_PROBE_ADD(probe, labels_scanned,
+                  lout_pool_.Slice(s).size() + lin_pool_.Slice(t).size() +
+                      (has_delta_ ? delta_lin_[t].size() : 0));
+  const bool reachable = AnswerQuery(s, t);
   if (reachable) {
     REACH_PROBE_INC(probe, positives);
   } else {
@@ -395,10 +421,14 @@ void PrunedTwoHop::InsertEdge(VertexId s, VertexId t) {
   // and t -> y (old paths); the old index answers x -> s with some hop
   // h ∈ Lout(x) ∩ (Lin(s) ∪ {s}). Propagating every such h through the new
   // edge to all of Reach(t) restores the invariant: h lands in Lin(y), so
-  // Qr(x, y) finds it. No pruning beyond per-BFS visited marks and
-  // already-present labels; this trades label minimality for correctness
-  // (see class comment).
-  std::vector<uint32_t> hops = lin_[s];
+  // Qr(x, y) finds it. The sealed pool is immutable, so the new entries go
+  // into the unsealed delta overlay (sorted, disjoint from the pool
+  // slice); the query path consults both. No pruning beyond per-BFS
+  // visited marks and already-present labels; this trades label minimality
+  // for correctness (see class comment).
+  if (delta_lin_.empty()) delta_lin_.resize(graph_->NumVertices());
+  has_delta_ = true;
+  std::vector<uint32_t> hops = InLabels(s);
   hops.push_back(rank_[s]);
   // One shared sweep computes Reach(t); each hop is then inserted into the
   // Lin of every vertex on the list (equivalent to one unpruned BFS per
@@ -415,7 +445,10 @@ void PrunedTwoHop::InsertEdge(VertexId s, VertexId t) {
   for (uint32_t h : hops) {
     const VertexId hop = by_rank_[h];
     for (VertexId x : queue) {
-      if (x != hop) SortedInsert(lin_[x], h);
+      if (x == hop) continue;
+      const std::span<const uint32_t> sealed = lin_pool_.Slice(x);
+      if (std::binary_search(sealed.begin(), sealed.end(), h)) continue;
+      SortedInsert(delta_lin_[x], h);
     }
   }
 }
@@ -466,12 +499,17 @@ bool ReadVec(std::istream& in, std::vector<uint32_t>* v, uint64_t max_size) {
 }  // namespace
 
 bool PrunedTwoHop::Save(std::ostream& out) const {
+  // The stream layout predates the flat pool and is kept byte-identical:
+  // per-vertex sorted label vectors, reconstructed by merging each pool
+  // slice with its delta overlay (exactly what the nested-vector layout
+  // used to hold).
   WritePod(out, kMagic);
   WritePod(out, static_cast<uint64_t>(rank_.size()));
   WriteVec(out, rank_);
   WriteVec(out, by_rank_);
-  for (const auto& labels : lin_) WriteVec(out, labels);
-  for (const auto& labels : lout_) WriteVec(out, labels);
+  const size_t n = rank_.size();
+  for (VertexId v = 0; v < n; ++v) WriteVec(out, InLabels(v));
+  for (VertexId v = 0; v < n; ++v) WriteVec(out, OutLabels(v));
   return static_cast<bool>(out);
 }
 
@@ -513,19 +551,44 @@ bool PrunedTwoHop::Load(std::istream& in) {
   graph_ = nullptr;
   extra_out_.clear();
   extra_in_.clear();
+  SealLabels();
   return true;
 }
 
 size_t PrunedTwoHop::IndexSizeBytes() const {
-  return TotalLabelEntries() * sizeof(uint32_t) +
-         (rank_.size() + by_rank_.size()) * sizeof(uint32_t);
+  // The flat layout's real footprint: aligned entry blocks plus the CSR
+  // offset arrays, the rank translation tables, and any delta overlay.
+  size_t delta_bytes = 0;
+  if (has_delta_) {
+    delta_bytes = delta_lin_.size() * sizeof(std::vector<uint32_t>);
+    for (const auto& d : delta_lin_) delta_bytes += d.capacity() * sizeof(uint32_t);
+  }
+  return lin_pool_.MemoryBytes() + lout_pool_.MemoryBytes() +
+         (rank_.size() + by_rank_.size()) * sizeof(uint32_t) + delta_bytes;
 }
 
 size_t PrunedTwoHop::TotalLabelEntries() const {
-  size_t entries = 0;
-  for (const auto& l : lin_) entries += l.size();
-  for (const auto& l : lout_) entries += l.size();
+  size_t entries = lin_pool_.NumEntries() + lout_pool_.NumEntries();
+  for (const auto& d : delta_lin_) entries += d.size();
   return entries;
+}
+
+std::vector<uint32_t> PrunedTwoHop::InLabels(VertexId v) const {
+  const std::span<const uint32_t> sealed = lin_pool_.Slice(v);
+  std::vector<uint32_t> merged(sealed.begin(), sealed.end());
+  if (has_delta_ && !delta_lin_[v].empty()) {
+    const std::vector<uint32_t>& delta = delta_lin_[v];
+    std::vector<uint32_t> out(merged.size() + delta.size());
+    std::merge(merged.begin(), merged.end(), delta.begin(), delta.end(),
+               out.begin());
+    merged = std::move(out);
+  }
+  return merged;
+}
+
+std::vector<uint32_t> PrunedTwoHop::OutLabels(VertexId v) const {
+  const std::span<const uint32_t> sealed = lout_pool_.Slice(v);
+  return {sealed.begin(), sealed.end()};
 }
 
 std::string PrunedTwoHop::Name() const {

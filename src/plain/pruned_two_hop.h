@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/label_pool.h"
 #include "core/reachability_index.h"
 #include "core/search_workspace.h"
 #include "core/workspace_pool.h"
@@ -99,19 +100,26 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
   /// measure of §3.2.
   size_t TotalLabelEntries() const;
 
-  /// The hop ranks labeling `v` (ascending), for tests / ablation benches.
-  const std::vector<uint32_t>& InLabels(VertexId v) const { return lin_[v]; }
-  const std::vector<uint32_t>& OutLabels(VertexId v) const { return lout_[v]; }
+  /// The hop ranks labeling `v` (ascending), for tests / ablation benches:
+  /// the sealed pool slice merged with any post-build delta entries.
+  std::vector<uint32_t> InLabels(VertexId v) const;
+  std::vector<uint32_t> OutLabels(VertexId v) const;
 
  private:
   void ComputeOrder(const Digraph& graph);
   void BuildLabels(const Digraph& graph);
   void BuildLabelsParallel(const Digraph& graph, size_t threads);
+  void SealLabels();
   template <typename Fn>
   void ForEachOut(VertexId v, Fn&& fn) const;
   template <typename Fn>
   void ForEachIn(VertexId v, Fn&& fn) const;
+  // Build-time pruning oracle over the (unsealed) nested label vectors.
   bool LabelQuery(VertexId s, VertexId t) const;
+  // The three-case 2-hop test on the sealed pools + delta overlay — the
+  // single query hot path every entry point (Query, QueryInSlot, and
+  // wrapper indexes calling either) routes through.
+  bool AnswerQuery(VertexId s, VertexId t) const;
 
   VertexOrder order_;
   uint64_t seed_;
@@ -120,8 +128,17 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
   Digraph owned_graph_;  // used after RemoveEdgeAndRebuild
   std::vector<uint32_t> rank_;       // rank_[v] = order position (0 = first)
   std::vector<VertexId> by_rank_;    // inverse of rank_
-  std::vector<std::vector<uint32_t>> lin_;   // sorted hop ranks
-  std::vector<std::vector<uint32_t>> lout_;  // sorted hop ranks
+  // Build-side label accumulators (sorted hop ranks); SealLabels() moves
+  // them into the flat pools and leaves them empty.
+  std::vector<std::vector<uint32_t>> lin_;
+  std::vector<std::vector<uint32_t>> lout_;
+  // Sealed query-path layout (docs/QUERY_ENGINE.md).
+  FlatLabelPool<uint32_t> lin_pool_;
+  FlatLabelPool<uint32_t> lout_pool_;
+  // Unsealed delta overlay: Lin entries added by InsertEdge after sealing
+  // (sorted, disjoint from the pool slice). Empty until the first insert.
+  std::vector<std::vector<uint32_t>> delta_lin_;
+  bool has_delta_ = false;
   // Edges inserted after Build (delta adjacency on top of *graph_).
   std::vector<std::vector<VertexId>> extra_out_;
   std::vector<std::vector<VertexId>> extra_in_;

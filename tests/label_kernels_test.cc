@@ -1,0 +1,339 @@
+#include "core/label_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/figure1.h"
+#include "graph/generators.h"
+#include "graph/rng.h"
+#include "plain/pruned_two_hop.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+namespace {
+
+using Set = std::vector<uint32_t>;
+
+// A sorted duplicate-free set of `size` values drawn from [0, universe).
+Set RandomSortedSet(Xoshiro256ss& rng, size_t size, uint32_t universe) {
+  Set values;
+  values.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    values.push_back(static_cast<uint32_t>(rng.NextBounded(universe)));
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+// Every kernel under test, compared pointwise against the scalar reference.
+void ExpectAllKernelsAgree(const Set& a, const Set& b,
+                           const std::string& context) {
+  const bool expected =
+      IntersectSortedScalar(a.data(), a.size(), b.data(), b.size());
+  EXPECT_EQ(IntersectSortedBranchless(a.data(), a.size(), b.data(), b.size()),
+            expected)
+      << "branchless " << context;
+  EXPECT_EQ(IntersectSortedWord(a.data(), a.size(), b.data(), b.size()),
+            expected)
+      << "word64 " << context;
+  EXPECT_EQ(IntersectSortedBlocks(a.data(), a.size(), b.data(), b.size()),
+            expected)
+      << "blocks(" << ActiveIntersectKernelName() << ") " << context;
+  if (!a.empty()) {
+    EXPECT_EQ(
+        IntersectSortedGalloping(a.data(), a.size(), b.data(), b.size()),
+        expected)
+        << "gallop(a,b) " << context;
+  }
+  if (!b.empty()) {
+    EXPECT_EQ(
+        IntersectSortedGalloping(b.data(), b.size(), a.data(), a.size()),
+        expected)
+        << "gallop(b,a) " << context;
+  }
+#if REACH_LABEL_KERNELS_X86
+  if (__builtin_cpu_supports("sse2")) {
+    EXPECT_EQ(IntersectSortedSse2(a.data(), a.size(), b.data(), b.size()),
+              expected)
+        << "sse2 " << context;
+  }
+  if (__builtin_cpu_supports("avx2")) {
+    EXPECT_EQ(IntersectSortedAvx2(a.data(), a.size(), b.data(), b.size()),
+              expected)
+        << "avx2 " << context;
+  }
+#endif
+  EXPECT_EQ(IntersectSorted(a.data(), a.size(), b.data(), b.size()), expected)
+      << "engine " << context;
+}
+
+TEST(LabelKernelsTest, EdgeCases) {
+  const Set empty;
+  const Set one{7};
+  const Set other{9};
+  Set run(64);
+  for (uint32_t i = 0; i < 64; ++i) run[i] = i;
+  Set shifted(64);
+  for (uint32_t i = 0; i < 64; ++i) shifted[i] = 64 + i;
+
+  ExpectAllKernelsAgree(empty, empty, "empty/empty");
+  ExpectAllKernelsAgree(empty, run, "empty/run");
+  ExpectAllKernelsAgree(run, empty, "run/empty");
+  ExpectAllKernelsAgree(one, one, "singleton equal");
+  ExpectAllKernelsAgree(one, other, "singleton distinct");
+  ExpectAllKernelsAgree(run, run, "all-overlap");
+  ExpectAllKernelsAgree(run, shifted, "disjoint ranges");
+  // Interleaved but never equal: the classic worst case for prefilters.
+  Set evens, odds;
+  for (uint32_t i = 0; i < 64; ++i) (i % 2 ? odds : evens).push_back(i);
+  ExpectAllKernelsAgree(evens, odds, "interleaved disjoint");
+  // Match only at the very last element of both.
+  Set tail_a = evens, tail_b = odds;
+  tail_a.push_back(1000);
+  tail_b.push_back(1000);
+  ExpectAllKernelsAgree(tail_a, tail_b, "last-element match");
+}
+
+TEST(LabelKernelsTest, RandomizedDifferential) {
+  // 10k random pairs spanning every size regime the engine dispatches on:
+  // similar sizes (block kernels), >= 8x skew (galloping), tiny arrays
+  // (scalar tails), plus sparse/dense universes for low/high hit rates.
+  Xoshiro256ss rng(0x6b65726eULL);
+  const size_t sizes[] = {0, 1, 2, 3, 5, 8, 15, 31, 64, 200, 1024};
+  const uint32_t universes[] = {16, 1024, 1u << 20};
+  for (int iter = 0; iter < 10000; ++iter) {
+    const size_t na = sizes[rng.NextBounded(std::size(sizes))];
+    const size_t nb = sizes[rng.NextBounded(std::size(sizes))];
+    const uint32_t universe =
+        universes[rng.NextBounded(std::size(universes))];
+    const Set a = RandomSortedSet(rng, na, universe);
+    const Set b = RandomSortedSet(rng, nb, universe);
+    ExpectAllKernelsAgree(a, b,
+                          "iter=" + std::to_string(iter) +
+                              " universe=" + std::to_string(universe));
+    if (HasFailure()) return;  // one detailed failure beats 10k repeats
+  }
+}
+
+TEST(LabelKernelsTest, GallopLowerBound) {
+  const Set data{2, 4, 4, 8, 16, 32, 64, 100};
+  // From the front.
+  EXPECT_EQ(GallopLowerBound(data.data(), data.size(), 0, 0), 0u);
+  EXPECT_EQ(GallopLowerBound(data.data(), data.size(), 0, 2), 0u);
+  EXPECT_EQ(GallopLowerBound(data.data(), data.size(), 0, 3), 1u);
+  EXPECT_EQ(GallopLowerBound(data.data(), data.size(), 0, 4), 1u);
+  EXPECT_EQ(GallopLowerBound(data.data(), data.size(), 0, 100), 7u);
+  EXPECT_EQ(GallopLowerBound(data.data(), data.size(), 0, 101), 8u);
+  // Resuming mid-array keeps the lower-bound semantics.
+  EXPECT_EQ(GallopLowerBound(data.data(), data.size(), 3, 16), 4u);
+  EXPECT_EQ(GallopLowerBound(data.data(), data.size(), 5, 5), 5u);
+  // `from` past the end is returned unchanged.
+  EXPECT_EQ(GallopLowerBound(data.data(), data.size(), 8, 1), 8u);
+  // Differential against std::lower_bound on random queries.
+  Xoshiro256ss rng(0x676c62ULL);
+  const Set hay = RandomSortedSet(rng, 500, 4096);
+  for (int i = 0; i < 2000; ++i) {
+    const uint32_t needle = static_cast<uint32_t>(rng.NextBounded(5000));
+    const size_t from = rng.NextBounded(hay.size() + 1);
+    const size_t clamped =
+        std::max(from, static_cast<size_t>(
+                           std::lower_bound(hay.begin(), hay.end(), needle) -
+                           hay.begin()));
+    EXPECT_EQ(GallopLowerBound(hay.data(), hay.size(), from, needle),
+              clamped)
+        << "needle=" << needle << " from=" << from;
+  }
+}
+
+TEST(LabelKernelsTest, ActiveKernelNameIsKnown) {
+  const std::string name = ActiveIntersectKernelName();
+  EXPECT_TRUE(name == "avx2" || name == "sse2" || name == "word64") << name;
+#if !REACH_LABEL_KERNELS_X86
+  EXPECT_EQ(name, "word64");
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Pool-backed PrunedTwoHop equivalence: the flat-pool + kernel query path
+// must be observationally identical to the legacy nested-vector path —
+// same answers, same Save bytes.
+
+void ExpectIndexMatchesOracle(const PrunedTwoHop& index, const Digraph& g,
+                              const std::string& context) {
+  TransitiveClosure oracle;
+  oracle.Build(g);
+  index.PrepareConcurrentQueries(2);
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      const bool expected = oracle.Query(s, t);
+      ASSERT_EQ(index.Query(s, t), expected)
+          << context << ": " << s << "->" << t;
+      ASSERT_EQ(index.QueryInSlot(s, t, 1), expected)
+          << context << " (slot): " << s << "->" << t;
+    }
+  }
+}
+
+std::string SaveToString(const PrunedTwoHop& index) {
+  std::ostringstream out(std::ios::binary);
+  EXPECT_TRUE(index.Save(out));
+  return out.str();
+}
+
+template <typename T>
+void AppendPod(std::string& out, const T& value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+void AppendVec(std::string& out, const std::vector<uint32_t>& v) {
+  AppendPod(out, static_cast<uint64_t>(v.size()));
+  if (!v.empty()) {
+    out.append(reinterpret_cast<const char*>(v.data()),
+               v.size() * sizeof(uint32_t));
+  }
+}
+
+template <typename T>
+bool TakePod(const std::string& in, size_t& pos, T* value) {
+  if (pos + sizeof(T) > in.size()) return false;
+  std::memcpy(value, in.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return true;
+}
+
+bool TakeVec(const std::string& in, size_t& pos, std::vector<uint32_t>* v) {
+  uint64_t size = 0;
+  if (!TakePod(in, pos, &size)) return false;
+  if (pos + size * sizeof(uint32_t) > in.size()) return false;
+  v->resize(size);
+  if (size > 0) {
+    std::memcpy(v->data(), in.data() + pos, size * sizeof(uint32_t));
+    pos += size * sizeof(uint32_t);
+  }
+  return true;
+}
+
+// Decodes `bytes` as the legacy layout (magic, n, rank, by_rank, n Lin
+// vectors, n Lout vectors), then re-encodes the decoded fields with the
+// pool-backed accessors and asserts byte equality — proving the sealed
+// index still serializes exactly the pre-pool format.
+void ExpectLegacySaveLayout(const PrunedTwoHop& index,
+                            const std::string& bytes, size_t n) {
+  size_t pos = 0;
+  uint64_t magic = 0, count = 0;
+  ASSERT_TRUE(TakePod(bytes, pos, &magic));
+  EXPECT_EQ(magic, 0x72656163682d3268ULL);  // "reach-2h"
+  ASSERT_TRUE(TakePod(bytes, pos, &count));
+  EXPECT_EQ(count, n);
+  std::vector<uint32_t> rank, by_rank;
+  ASSERT_TRUE(TakeVec(bytes, pos, &rank));
+  ASSERT_TRUE(TakeVec(bytes, pos, &by_rank));
+  ASSERT_EQ(rank.size(), n);
+  ASSERT_EQ(by_rank.size(), n);
+  for (uint32_t r = 0; r < n; ++r) EXPECT_EQ(rank[by_rank[r]], r);
+
+  std::string rebuilt;
+  AppendPod(rebuilt, magic);
+  AppendPod(rebuilt, count);
+  AppendVec(rebuilt, rank);
+  AppendVec(rebuilt, by_rank);
+  for (VertexId v = 0; v < n; ++v) {
+    std::vector<uint32_t> lin;
+    ASSERT_TRUE(TakeVec(bytes, pos, &lin));
+    EXPECT_EQ(lin, index.InLabels(v)) << "Lin(" << v << ")";
+    AppendVec(rebuilt, lin);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    std::vector<uint32_t> lout;
+    ASSERT_TRUE(TakeVec(bytes, pos, &lout));
+    EXPECT_EQ(lout, index.OutLabels(v)) << "Lout(" << v << ")";
+    AppendVec(rebuilt, lout);
+  }
+  EXPECT_EQ(pos, bytes.size()) << "trailing bytes after legacy layout";
+  EXPECT_EQ(rebuilt, bytes);
+}
+
+TEST(PooledTwoHopEquivalenceTest, Figure1AndGenerators) {
+  struct Case {
+    std::string name;
+    Digraph graph;
+  };
+  const Case cases[] = {
+      {"figure1", figure1::PlainGraph()},
+      {"random_digraph", RandomDigraph(48, 160, 0x51)},
+      {"random_dag", RandomDag(48, 150, 0x52)},
+      {"scale_free", ScaleFreeDag(64, 3, 0x53)},
+      {"layered", LayeredDag(6, 8, 2, 0x54)},
+      {"chain", Chain(20)},
+      {"cycle", Cycle(12)},
+  };
+  for (const Case& c : cases) {
+    PrunedTwoHop index;
+    index.Build(c.graph);
+    ExpectIndexMatchesOracle(index, c.graph, c.name);
+    const std::string bytes = SaveToString(index);
+    ExpectLegacySaveLayout(index, bytes, c.graph.NumVertices());
+    // Save -> Load -> Save roundtrips to the same bytes.
+    PrunedTwoHop loaded;
+    std::istringstream in(bytes, std::ios::binary);
+    ASSERT_TRUE(loaded.Load(in)) << c.name;
+    EXPECT_EQ(SaveToString(loaded), bytes) << c.name;
+    ExpectIndexMatchesOracle(loaded, c.graph, c.name + " (loaded)");
+  }
+}
+
+TEST(PooledTwoHopEquivalenceTest, DeltaOverlayAfterInsertEdge) {
+  // Post-seal inserts land in the delta overlay; answers must match an
+  // oracle on the grown graph and Save must serialize the merged labels.
+  const VertexId n = 40;
+  std::vector<Edge> edges = RandomDigraph(n, 70, 0x55).Edges();
+  const Digraph base = Digraph::FromEdges(n, edges);  // must outlive Build
+  PrunedTwoHop index;
+  index.Build(base);
+
+  Xoshiro256ss rng(0x56);
+  for (int step = 0; step < 20; ++step) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    index.InsertEdge(u, v);
+    edges.push_back({u, v});
+  }
+  const Digraph grown = Digraph::FromEdges(n, edges);
+  ExpectIndexMatchesOracle(index, grown, "delta overlay");
+
+  const std::string bytes = SaveToString(index);
+  ExpectLegacySaveLayout(index, bytes, n);
+  PrunedTwoHop loaded;
+  std::istringstream in(bytes, std::ios::binary);
+  ASSERT_TRUE(loaded.Load(in));
+  // A loaded index folds the delta into its pool; bytes stay stable.
+  EXPECT_EQ(SaveToString(loaded), bytes);
+  ExpectIndexMatchesOracle(loaded, grown, "delta overlay (loaded)");
+}
+
+TEST(PooledTwoHopEquivalenceTest, LabelAccessorsStaySorted) {
+  const Digraph g = RandomDigraph(48, 160, 0x57);
+  PrunedTwoHop index;
+  index.Build(g);
+  index.InsertEdge(0, 47);
+  index.InsertEdge(3, 41);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const std::vector<uint32_t> lin = index.InLabels(v);
+    const std::vector<uint32_t> lout = index.OutLabels(v);
+    EXPECT_TRUE(std::is_sorted(lin.begin(), lin.end())) << v;
+    EXPECT_TRUE(std::is_sorted(lout.begin(), lout.end())) << v;
+    EXPECT_EQ(std::adjacent_find(lin.begin(), lin.end()), lin.end()) << v;
+  }
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,139 @@
+#include "graph/reorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/reordering_index.h"
+#include "graph/figure1.h"
+#include "graph/generators.h"
+#include "plain/pruned_two_hop.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+namespace {
+
+const ReorderStrategy kAllStrategies[] = {
+    ReorderStrategy::kNone, ReorderStrategy::kDegree, ReorderStrategy::kBfs};
+
+void ExpectValidPermutation(const VertexPermutation& perm, size_t n) {
+  ASSERT_EQ(perm.old_to_new.size(), n);
+  ASSERT_EQ(perm.new_to_old.size(), n);
+  std::vector<char> seen(n, 0);
+  for (VertexId old_id = 0; old_id < n; ++old_id) {
+    const VertexId new_id = perm.ToNew(old_id);
+    ASSERT_LT(new_id, n);
+    EXPECT_FALSE(seen[new_id]) << "new id " << new_id << " assigned twice";
+    seen[new_id] = 1;
+    EXPECT_EQ(perm.ToOld(new_id), old_id);
+  }
+}
+
+TEST(ReorderTest, ParseAndName) {
+  EXPECT_EQ(ParseReorderStrategy("none"), ReorderStrategy::kNone);
+  EXPECT_EQ(ParseReorderStrategy("deg"), ReorderStrategy::kDegree);
+  EXPECT_EQ(ParseReorderStrategy("bfs"), ReorderStrategy::kBfs);
+  EXPECT_EQ(ParseReorderStrategy("degree"), std::nullopt);
+  EXPECT_EQ(ParseReorderStrategy(""), std::nullopt);
+  for (ReorderStrategy s : kAllStrategies) {
+    EXPECT_EQ(ParseReorderStrategy(ReorderStrategyName(s)), s);
+  }
+}
+
+TEST(ReorderTest, PermutationsAreBijections) {
+  const Digraph graphs[] = {
+      figure1::PlainGraph(),
+      RandomDigraph(50, 170, 0x71),
+      ScaleFreeDag(80, 3, 0x72),
+      Digraph::FromEdges(5, {}),  // edgeless: every vertex is its own BFS root
+      Digraph(),                  // empty graph
+  };
+  for (const Digraph& g : graphs) {
+    for (ReorderStrategy s : kAllStrategies) {
+      SCOPED_TRACE(ReorderStrategyName(s));
+      ExpectValidPermutation(ComputeReordering(g, s), g.NumVertices());
+    }
+  }
+}
+
+TEST(ReorderTest, NoneIsIdentity) {
+  const VertexPermutation perm =
+      ComputeReordering(RandomDigraph(30, 80, 0x73), ReorderStrategy::kNone);
+  for (VertexId v = 0; v < 30; ++v) EXPECT_EQ(perm.ToNew(v), v);
+}
+
+TEST(ReorderTest, DegreeStrategyPutsHubsFirst) {
+  const Digraph g = ScaleFreeDag(100, 3, 0x74);
+  const VertexPermutation perm =
+      ComputeReordering(g, ReorderStrategy::kDegree);
+  for (VertexId new_id = 0; new_id + 1 < 100; ++new_id) {
+    EXPECT_GE(g.Degree(perm.ToOld(new_id)), g.Degree(perm.ToOld(new_id + 1)))
+        << "new id " << new_id;
+  }
+}
+
+TEST(ReorderTest, RelabelPreservesEdges) {
+  const Digraph g = RandomDigraph(40, 120, 0x75);
+  for (ReorderStrategy s : kAllStrategies) {
+    SCOPED_TRACE(ReorderStrategyName(s));
+    const VertexPermutation perm = ComputeReordering(g, s);
+    const Digraph relabeled = RelabelDigraph(g, perm);
+    ASSERT_EQ(relabeled.NumVertices(), g.NumVertices());
+    ASSERT_EQ(relabeled.NumEdges(), g.NumEdges());
+    for (const Edge& e : g.Edges()) {
+      EXPECT_TRUE(relabeled.HasEdge(perm.ToNew(e.source),
+                                    perm.ToNew(e.target)))
+          << e.source << "->" << e.target;
+    }
+  }
+}
+
+TEST(ReorderingIndexTest, MatchesOracleUnderEveryStrategy) {
+  const Digraph graphs[] = {
+      figure1::PlainGraph(),
+      RandomDigraph(44, 140, 0x76),
+      ScaleFreeDag(60, 3, 0x77),
+  };
+  for (const Digraph& g : graphs) {
+    TransitiveClosure oracle;
+    oracle.Build(g);
+    for (ReorderStrategy s : kAllStrategies) {
+      SCOPED_TRACE(ReorderStrategyName(s));
+      ReorderingIndex index(std::make_unique<PrunedTwoHop>(), s);
+      index.Build(g);
+      index.PrepareConcurrentQueries(2);
+      for (VertexId a = 0; a < g.NumVertices(); ++a) {
+        for (VertexId b = 0; b < g.NumVertices(); ++b) {
+          const bool expected = oracle.Query(a, b);
+          ASSERT_EQ(index.Query(a, b), expected) << a << "->" << b;
+          ASSERT_EQ(index.QueryInSlot(a, b, 1), expected) << a << "->" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(ReorderingIndexTest, NameAndStats) {
+  ReorderingIndex index(std::make_unique<PrunedTwoHop>(),
+                        ReorderStrategy::kDegree);
+  EXPECT_EQ(index.Name(), "reorder(deg)+pll");
+  const Digraph g = ScaleFreeDag(50, 2, 0x78);
+  index.Build(g);
+#if REACH_METRICS
+  // The reorder phase is reported ahead of the absorbed inner phases.
+  const auto& phases = index.Stats().phases;
+  ASSERT_FALSE(phases.empty());
+  EXPECT_EQ(phases.front().name, "reorder");
+#endif
+  EXPECT_TRUE(index.IsComplete());
+  // Shim cost: two VertexId arrays on top of the inner index.
+  EXPECT_EQ(index.IndexSizeBytes(),
+            index.inner().IndexSizeBytes() + 2 * 50 * sizeof(VertexId));
+  ExpectValidPermutation(index.permutation(), 50);
+}
+
+}  // namespace
+}  // namespace reach
