@@ -9,7 +9,7 @@
 
 #include "bench_common.h"
 #include "graph/rng.h"
-#include "plain/registry.h"
+#include "core/index_factory.h"
 #include "reduction/reducing_index.h"
 
 namespace reach::bench {
@@ -56,7 +56,7 @@ void RegisterAll() {
             [&gc, inner, pipeline](::benchmark::State& state) {
               size_t bytes = 0, rv = 0, re = 0;
               for (auto _ : state) {
-                ReducingIndex index(MakePlainIndex(inner), pipeline.er,
+                ReducingIndex index(MakeIndex(inner).plain, pipeline.er,
                                     pipeline.tr);
                 index.Build(gc.graph);
                 bytes = index.IndexSizeBytes();
@@ -71,7 +71,7 @@ void RegisterAll() {
             ->Iterations(1)
             ->Unit(::benchmark::kMillisecond);
 
-        auto built = std::make_shared<ReducingIndex>(MakePlainIndex(inner),
+        auto built = std::make_shared<ReducingIndex>(MakeIndex(inner).plain,
                                                      pipeline.er,
                                                      pipeline.tr);
         built->Build(gc.graph);

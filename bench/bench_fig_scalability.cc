@@ -9,7 +9,7 @@
 #include <memory>
 
 #include "bench_common.h"
-#include "plain/registry.h"
+#include "core/index_factory.h"
 
 namespace reach::bench {
 namespace {
@@ -32,7 +32,7 @@ void RegisterAll() {
             size_t bytes = 0;
             IndexStats stats;
             for (auto _ : state) {
-              auto index = MakePlainIndex(spec);
+              auto index = MakeIndex(spec).plain;
               index->Build(gc.graph);
               bytes = index->IndexSizeBytes();
               stats = index->Stats();

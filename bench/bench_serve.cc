@@ -1,0 +1,155 @@
+// Serving-engine latency and throughput (src/serve/): query percentiles
+// under a concurrent insert stream, the scenario the §5 "integration into
+// GDBMSs" challenge describes. The p50/p99 counters are the headline —
+// mean latency hides the snapshot-swap and delta-closure tail.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/rng.h"
+#include "serve/reach_service.h"
+
+namespace reach::bench {
+namespace {
+
+double Percentile(std::vector<double>& sorted_ns, double p) {
+  if (sorted_ns.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(p * (sorted_ns.size() - 1));
+  return sorted_ns[idx];
+}
+
+// One reader measuring per-query latency while `writers` background
+// threads stream inserts. The drain threshold keeps several snapshot
+// rebuilds in flight over the run, so the measured distribution includes
+// queries served mid-swap (delta closure and fallback paths).
+void BM_ServeQueryLatencyUnderWrites(benchmark::State& state) {
+  const auto writers = static_cast<size_t>(state.range(0));
+  const VertexId n = 1 << 14;
+  const Digraph graph = ScaleFreeDag(n, 3, kSeed);
+
+  ServiceOptions options;
+  options.spec = "pll";
+  options.drain_threshold = 128;
+  ReachService service(graph, options);
+  service.Start();
+  service.Flush();  // measure from the first indexed snapshot
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writer_threads;
+  for (size_t w = 0; w < writers; ++w) {
+    writer_threads.emplace_back([&, w] {
+      Xoshiro256ss rng(kSeed + 100 + w);
+      while (!stop.load(std::memory_order_relaxed)) {
+        service.InsertEdge(static_cast<VertexId>(rng.NextBounded(n)),
+                           static_cast<VertexId>(rng.NextBounded(n)));
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    });
+  }
+
+  Xoshiro256ss rng(kSeed + 7);
+  std::vector<double> latencies_ns;
+  for (auto _ : state) {
+    const auto s = static_cast<VertexId>(rng.NextBounded(n));
+    const auto t = static_cast<VertexId>(rng.NextBounded(n));
+    const auto begin = std::chrono::steady_clock::now();
+    ServeAnswer answer = service.Query(s, t);
+    const auto end = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(answer);
+    latencies_ns.push_back(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+            .count());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : writer_threads) th.join();
+  service.Stop();
+
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  state.counters["p50_ns"] = Percentile(latencies_ns, 0.50);
+  state.counters["p99_ns"] = Percentile(latencies_ns, 0.99);
+  const ServeStats& stats = service.stats();
+  state.counters["snapshots"] = static_cast<double>(stats.rebuilds.load());
+  state.counters["delta_answers"] =
+      static_cast<double>(stats.delta_answers.load());
+  state.counters["fallback_answers"] =
+      static_cast<double>(stats.fallback_answers.load());
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_ServeQueryLatencyUnderWrites)
+    ->Arg(0)  // read-only baseline: every answer is an index hit
+    ->Arg(1)
+    ->Arg(4)
+    ->Iterations(20000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Aggregate read throughput: `threads` benchmark reader threads share one
+// service while a single background writer streams inserts.
+ReachService* g_service = nullptr;
+std::atomic<bool>* g_stop = nullptr;
+std::thread* g_writer = nullptr;
+
+void BM_ServeReadThroughput(benchmark::State& state) {
+  constexpr VertexId kN = 1 << 14;
+  if (state.thread_index() == 0) {
+    ServiceOptions options;
+    options.spec = "pll";
+    options.slots = static_cast<size_t>(state.threads());
+    options.drain_threshold = 128;
+    g_service = new ReachService(ScaleFreeDag(kN, 3, kSeed), options);
+    g_service->Start();
+    g_service->Flush();
+    g_stop = new std::atomic<bool>{false};
+    g_writer = new std::thread([stop = g_stop, service = g_service] {
+      Xoshiro256ss rng(kSeed + 99);
+      while (!stop->load(std::memory_order_relaxed)) {
+        service->InsertEdge(static_cast<VertexId>(rng.NextBounded(kN)),
+                            static_cast<VertexId>(rng.NextBounded(kN)));
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    });
+  }
+  Xoshiro256ss rng(kSeed + 13 * (state.thread_index() + 1));
+  for (auto _ : state) {
+    ServeAnswer answer =
+        g_service->Query(static_cast<VertexId>(rng.NextBounded(kN)),
+                         static_cast<VertexId>(rng.NextBounded(kN)));
+    benchmark::DoNotOptimize(answer);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    g_stop->store(true, std::memory_order_relaxed);
+    g_writer->join();
+    g_service->Stop();
+    state.counters["snapshots"] =
+        static_cast<double>(g_service->stats().rebuilds.load());
+    delete g_writer;
+    delete g_stop;
+    delete g_service;
+    g_writer = nullptr;
+    g_stop = nullptr;
+    g_service = nullptr;
+  }
+}
+
+BENCHMARK(BM_ServeReadThroughput)
+    ->ThreadRange(1, 8)
+    ->Iterations(20000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace reach::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  reach::bench::EmitBenchMetrics();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -10,7 +10,7 @@
 #include <memory>
 
 #include "bench_common.h"
-#include "plain/registry.h"
+#include "core/index_factory.h"
 
 namespace reach::bench {
 namespace {
@@ -38,7 +38,7 @@ void RegisterAll() {
   for (size_t gi = 0; gi < graphs->size(); ++gi) {
     const GraphCase& gc = (*graphs)[gi];
     const PlainWorkload& wl = (*workloads)[gi];
-    for (const std::string& spec : DefaultPlainIndexSpecs()) {
+    for (const std::string& spec : DefaultIndexSpecs(IndexFamily::kPlain)) {
       // Dual labeling is designed for graphs with very few non-tree edges
       // (§3.1); on dense random inputs its O(t^2) link closure is the
       // documented anti-pattern, so benchmark it only where it is meant
@@ -56,7 +56,7 @@ void RegisterAll() {
             bool complete = false;
             IndexStats stats;
             for (auto _ : state) {
-              auto index = MakePlainIndex(spec);
+              auto index = MakeIndex(spec).plain;
               index->Build(gc.graph);
               bytes = index->IndexSizeBytes();
               complete = index->IsComplete();
@@ -81,7 +81,7 @@ void RegisterAll() {
       auto built = std::make_shared<BuiltIndex>();
       auto ensure_built = [built, &gc, spec]() {
         if (built->index == nullptr) {
-          built->index = MakePlainIndex(spec);
+          built->index = MakeIndex(spec).plain;
           built->index->Build(gc.graph);
           built->graph = &gc.graph;
         }

@@ -8,7 +8,7 @@
 #include <memory>
 
 #include "bench_common.h"
-#include "lcr/lcr_registry.h"
+#include "core/index_factory.h"
 
 namespace reach::bench {
 namespace {
@@ -31,11 +31,11 @@ void RegisterAll() {
     auto* rand_wide = new std::vector<LcrQuery>(
         RandomLcrQueries(gc.graph, 500, wide, kSeed + 52));
 
-    for (const std::string& spec : DefaultLcrIndexSpecs()) {
+    for (const std::string& spec : DefaultIndexSpecs(IndexFamily::kLcr)) {
       // The full GTC materialization is quadratic in pairs and blows up
       // with the label count; keep it to the 4-label graph (its cost story
       // is exactly the survey's point about complete GTC indexes).
-      if ((spec == "gtc" || spec == "jin-tree") &&
+      if ((spec == "lcr:gtc" || spec == "lcr:tree") &&
           gc.graph.NumLabels() > 4) {
         continue;
       }
@@ -48,7 +48,7 @@ void RegisterAll() {
             size_t bytes = 0;
             IndexStats stats;
             for (auto _ : state) {
-              auto index = MakeLcrIndex(spec);
+              auto index = MakeIndex(spec).lcr;
               index->Build(gc.graph);
               bytes = index->IndexSizeBytes();
               stats = index->Stats();
@@ -66,7 +66,7 @@ void RegisterAll() {
       auto built = std::make_shared<BuiltLcr>();
       auto ensure_built = [built, &gc, spec]() {
         if (built->index == nullptr) {
-          built->index = MakeLcrIndex(spec);
+          built->index = MakeIndex(spec).lcr;
           built->index->Build(gc.graph);
         }
       };

@@ -9,7 +9,7 @@
 #include <memory>
 
 #include "bench_common.h"
-#include "plain/registry.h"
+#include "core/index_factory.h"
 #include "traversal/online_search.h"
 
 namespace reach::bench {
@@ -88,7 +88,7 @@ void RegisterAll() {
 
   // The index side of the §3.1 ">= 10x" comparison.
   for (const char* spec : {"pll", "bfl", "grail"}) {
-    auto index = std::shared_ptr<ReachabilityIndex>(MakePlainIndex(spec));
+    auto index = std::shared_ptr<ReachabilityIndex>(MakeIndex(spec).plain);
     index->Build(*graph);
     for (const auto& qc : classes) {
       ::benchmark::RegisterBenchmark(

@@ -11,7 +11,7 @@
 #include "core/index_stats.h"
 #include "core/query_workload.h"
 #include "graph/generators.h"
-#include "plain/registry.h"
+#include "core/index_factory.h"
 
 int main() {
   using namespace reach;
@@ -30,7 +30,7 @@ int main() {
               "rand_q_ns", "pos_q_ns");
   for (const char* spec : {"bibfs", "grail", "ferrari", "bfl", "ip",
                            "feline", "preach", "oreach", "pll"}) {
-    auto index = MakePlainIndex(spec);
+    auto index = MakeIndex(spec).plain;
     Stopwatch build_timer;
     index->Build(citations);
     const double build_ms = build_timer.Elapsed().count() / 1e6;

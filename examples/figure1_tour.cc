@@ -9,7 +9,7 @@
 #include "lcr/gtc_index.h"
 #include "lcr/label_set.h"
 #include "lcr/single_source_gtc.h"
-#include "plain/registry.h"
+#include "core/index_factory.h"
 #include "rlc/rlc_index.h"
 #include "rpq/rpq_evaluator.h"
 
@@ -27,7 +27,7 @@ int main() {
               g.NumVertices(), g.NumEdges());
 
   // §2.1 — plain reachability: Qr(A, G) via the path (A, D, H, G).
-  auto index = MakePlainIndex("pll");
+  auto index = MakeIndex("pll").plain;
   index->Build(plain);
   std::printf("[§2.1] Qr(A, G) = %s  (paper: true, via (A, D, H, G))\n",
               index->Query(kA, kG) ? "true" : "false");

@@ -14,7 +14,7 @@
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 #include "plain/auto_index.h"
-#include "plain/registry.h"
+#include "core/index_factory.h"
 
 namespace {
 
@@ -41,7 +41,7 @@ void Advise(const std::string& name, const reach::Digraph& graph) {
                 index.IndexSizeBytes() / 1024, hits);
   };
   measure(auto_index, auto_index.Name().c_str());
-  auto bibfs = MakePlainIndex("bibfs");
+  auto bibfs = MakeIndex("bibfs").plain;
   bibfs->Build(graph);
   measure(*bibfs, "bibfs");
   std::printf("\n");

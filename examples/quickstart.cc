@@ -12,7 +12,7 @@
 #include "graph/generators.h"
 #include "plain/bfl.h"
 #include "plain/pruned_two_hop.h"
-#include "plain/registry.h"
+#include "core/index_factory.h"
 #include "traversal/online_search.h"
 
 int main() {
@@ -39,8 +39,8 @@ int main() {
   // 4. A partial index: filters + guided traversal, much cheaper to build.
   Bfl bfl;
   // DAG-only techniques are lifted to general graphs by the SCC adapter;
-  // the registry does this automatically:
-  auto wrapped_bfl = MakePlainIndex("bfl");
+  // the MakeIndex factory does this automatically:
+  auto wrapped_bfl = MakeIndex("bfl").plain;
   wrapped_bfl->Build(graph);
   std::printf("bfl: %zu KiB (complete=%d)\n",
               wrapped_bfl->IndexSizeBytes() / 1024,

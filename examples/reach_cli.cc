@@ -1,7 +1,7 @@
 // A small command-line reachability service — the library as a downstream
 // user would deploy it: load a SNAP-style edge list, build an index chosen
 // by name, then answer queries from stdin. Demonstrates file I/O, the
-// index registry, LCR constraints, 2-hop persistence, and the
+// MakeIndex factory, LCR constraints, 2-hop persistence, and the
 // observability layer (--metrics).
 //
 // Usage:
@@ -10,6 +10,14 @@
 //   reach_cli [--metrics] [--threads N] --labeled <edge-list-file>
 //   reach_cli [--metrics] [--threads N] [--reorder=deg|bfs|none]
 //             --demo [index-spec]
+//   reach_cli [--metrics] [--threads N] --serve (<edge-list-file> | --demo)
+//             [index-spec]
+//
+// --serve runs the snapshot-serving engine (src/serve/) instead of a
+// one-shot index: queries are answered from an immutable snapshot while
+// `+ <s> <t>` inserts stream into a write buffer that background rebuilds
+// absorb. Each answer reports how it was produced (index, delta closure,
+// or bounded BFS) and by which snapshot generation.
 //
 // --threads N sets the process-wide default parallelism (the shared
 // thread pool that parallel index builds draw from); without it the pool
@@ -24,6 +32,7 @@
 //   <s> <t>              plain reachability Qr(s, t)
 //   <s> <t> <l0,l1,...>  LCR query (labeled mode): labels allowed
 //   save <file> / load <file>   persist / restore (pll indexes only)
+//   + <s> <t> / flush    insert an edge / force a snapshot (--serve only)
 //
 // With --metrics, a JSON metrics report (schema "reach.metrics.v1") is
 // printed to stdout after stdin is exhausted: per-phase build timings,
@@ -48,7 +57,8 @@
 #include "obs/metrics_exporter.h"
 #include "par/thread_pool.h"
 #include "plain/pruned_two_hop.h"
-#include "plain/registry.h"
+#include "core/index_factory.h"
+#include "serve/reach_service.h"
 
 namespace {
 
@@ -65,7 +75,7 @@ void EmitMetrics(const Index& index) {
 int RunPlain(const reach::Digraph& graph, const std::string& spec,
              bool metrics, reach::ReorderStrategy reorder) {
   using namespace reach;
-  std::unique_ptr<ReachabilityIndex> index = MakePlainIndex(spec);
+  std::unique_ptr<ReachabilityIndex> index = MakeIndex(spec).plain;
   if (index == nullptr) {
     std::fprintf(stderr, "unknown index spec '%s'\n", spec.c_str());
     return 1;
@@ -165,16 +175,103 @@ int RunLabeled(const reach::LabeledDigraph& graph, bool metrics) {
   return 0;
 }
 
+const char* SourceName(reach::AnswerSource source) {
+  switch (source) {
+    case reach::AnswerSource::kIndex:
+      return "index";
+    case reach::AnswerSource::kDelta:
+      return "delta";
+    case reach::AnswerSource::kFallbackBfs:
+      return "bfs";
+  }
+  return "?";
+}
+
+int RunServe(const reach::Digraph& graph, const std::string& spec,
+             bool metrics) {
+  using namespace reach;
+  ServiceOptions options;
+  options.spec = spec;
+  ReachService service(graph, options);
+  service.Start();
+  std::fprintf(stderr,
+               "serving %zu vertices / %zu edges with '%s'; commands:\n"
+               "  <s> <t>    query  (prints: <answer> <source> v<snapshot>)\n"
+               "  + <s> <t>  insert edge\n"
+               "  flush      absorb pending inserts into a new snapshot\n",
+               graph.NumVertices(), graph.NumEdges(), spec.c_str());
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream fields(line);
+    std::string first;
+    if (!(fields >> first)) continue;
+    if (first == "flush") {
+      service.Flush();
+      std::printf("flushed; snapshot v%llu\n",
+                  static_cast<unsigned long long>(service.SnapshotVersion()));
+      continue;
+    }
+    if (first == "+") {
+      VertexId s = 0, t = 0;
+      if (!(fields >> s >> t) || !service.InsertEdge(s, t)) {
+        std::printf("error: bad insert '%s'\n", line.c_str());
+        continue;
+      }
+      std::printf("inserted %u -> %u (%zu pending)\n", s, t,
+                  service.PendingEdgeCount());
+      continue;
+    }
+    VertexId s = 0, t = 0;
+    try {
+      s = static_cast<VertexId>(std::stoul(first));
+    } catch (...) {
+      std::printf("error: bad query '%s'\n", line.c_str());
+      continue;
+    }
+    if (!(fields >> t) || s >= service.NumVertices() ||
+        t >= service.NumVertices()) {
+      std::printf("error: bad query '%s'\n", line.c_str());
+      continue;
+    }
+    const ServeAnswer answer = service.Query(s, t);
+    std::printf("%s%s %s v%llu\n", answer.reachable ? "true" : "false",
+                answer.exact ? "" : "?", SourceName(answer.source),
+                static_cast<unsigned long long>(answer.snapshot_version));
+  }
+  service.Stop();
+  const ServeStats& stats = service.stats();
+  std::fprintf(stderr,
+               "served %llu queries (%llu index, %llu delta, %llu bfs), "
+               "%llu inserts, %llu snapshots\n",
+               static_cast<unsigned long long>(stats.queries.load()),
+               static_cast<unsigned long long>(stats.index_answers.load()),
+               static_cast<unsigned long long>(stats.delta_answers.load()),
+               static_cast<unsigned long long>(stats.fallback_answers.load()),
+               static_cast<unsigned long long>(stats.inserts.load()),
+               static_cast<unsigned long long>(stats.rebuilds.load()));
+  if (metrics) {
+    MetricsExporter exporter;
+    exporter.SetRegistrySnapshot(MetricsRegistry::Global().Snapshot());
+    std::fputs(exporter.ToJson().c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace reach;
   bool metrics = false;
+  bool serve = false;
   ReorderStrategy reorder = ReorderStrategy::kNone;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
     } else if (std::strncmp(argv[i], "--reorder=", 10) == 0) {
       const auto parsed = ParseReorderStrategy(argv[i] + 10);
       if (!parsed) {
@@ -200,8 +297,9 @@ int main(int argc, char** argv) {
     }
   }
   if (!args.empty() && std::strcmp(args[0], "--demo") == 0) {
-    return RunPlain(ScaleFreeDag(10000, 3, 1),
-                    args.size() > 1 ? args[1] : "pll", metrics, reorder);
+    const std::string spec = args.size() > 1 ? args[1] : "pll";
+    if (serve) return RunServe(ScaleFreeDag(10000, 3, 1), spec, metrics);
+    return RunPlain(ScaleFreeDag(10000, 3, 1), spec, metrics, reorder);
   }
   if (args.size() >= 2 && std::strcmp(args[0], "--labeled") == 0) {
     std::string error;
@@ -219,8 +317,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
       return 1;
     }
-    return RunPlain(*graph, args.size() > 1 ? args[1] : "pll", metrics,
-                    reorder);
+    const std::string spec = args.size() > 1 ? args[1] : "pll";
+    if (serve) return RunServe(*graph, spec, metrics);
+    return RunPlain(*graph, spec, metrics, reorder);
   }
   std::fprintf(
       stderr,
@@ -228,6 +327,8 @@ int main(int argc, char** argv) {
       "<edge-list> [index-spec]\n"
       "       reach_cli [--metrics] [--threads N] --labeled <edge-list>\n"
       "       reach_cli [--metrics] [--threads N] [--reorder=deg|bfs|none] "
-      "--demo [index-spec]\n");
+      "--demo [index-spec]\n"
+      "       reach_cli [--metrics] [--threads N] --serve "
+      "(<edge-list> | --demo) [index-spec]\n");
   return 1;
 }

@@ -1,0 +1,147 @@
+#include "core/index_factory.h"
+
+#include <cstdlib>
+
+#include "core/scc_condensing_index.h"
+#include "lcr/gtc_index.h"
+#include "lcr/landmark_index.h"
+#include "lcr/lcr_bfs.h"
+#include "lcr/pruned_labeled_two_hop.h"
+#include "lcr/tree_lcr_index.h"
+#include "plain/auto_index.h"
+#include "plain/bfl.h"
+#include "plain/chain_cover.h"
+#include "plain/dagger.h"
+#include "plain/dbl.h"
+#include "plain/dual_labeling.h"
+#include "plain/feline.h"
+#include "plain/ferrari.h"
+#include "plain/grail.h"
+#include "plain/gripp.h"
+#include "plain/ip_label.h"
+#include "plain/oreach.h"
+#include "plain/preach.h"
+#include "plain/pruned_two_hop.h"
+#include "plain/tree_cover.h"
+#include "traversal/online_search.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+
+namespace {
+
+constexpr char kLcrPrefix[] = "lcr:";
+constexpr size_t kLcrPrefixLen = 4;
+
+std::unique_ptr<ReachabilityIndex> MakePlain(const IndexSpec& spec) {
+  const std::string& name = spec.base;
+  if (name == "bfs") return std::make_unique<OnlineSearch>(TraversalKind::kBfs);
+  if (name == "dfs") return std::make_unique<OnlineSearch>(TraversalKind::kDfs);
+  if (name == "bibfs") {
+    return std::make_unique<OnlineSearch>(TraversalKind::kBiBfs);
+  }
+  if (name == "tc") return std::make_unique<TransitiveClosure>();
+  if (name == "treecover") return MakeCondensing<TreeCover>();
+  if (name == "dual") return MakeCondensing<DualLabeling>();
+  if (name == "chaincover") return MakeCondensing<ChainCover>();
+  if (name == "grail") return MakeCondensing<Grail>(spec.Param("k", 3));
+  if (name == "gripp") return std::make_unique<Gripp>();
+  if (name == "ferrari") return MakeCondensing<Ferrari>(spec.Param("k", 4));
+  if (name == "pll") {
+    return std::make_unique<PrunedTwoHop>(VertexOrder::kDegree);
+  }
+  if (name == "tfl") {
+    return std::make_unique<PrunedTwoHop>(VertexOrder::kTopological);
+  }
+  if (name == "tol-random") {
+    return std::make_unique<PrunedTwoHop>(VertexOrder::kRandom);
+  }
+  if (name == "tol-revdeg") {
+    return std::make_unique<PrunedTwoHop>(VertexOrder::kReverseDegree);
+  }
+  if (name == "dbl") return std::make_unique<Dbl>();
+  if (name == "dagger") return std::make_unique<Dagger>(spec.Param("k", 3));
+  if (name == "oreach") return MakeCondensing<OReach>(spec.Param("k", 32));
+  if (name == "ip") return MakeCondensing<IpLabel>(spec.Param("k", 4));
+  if (name == "bfl") return MakeCondensing<Bfl>(spec.Param("bits", 256));
+  if (name == "feline") return MakeCondensing<Feline>();
+  if (name == "preach") return MakeCondensing<Preach>();
+  if (name == "auto") return std::make_unique<AutoIndex>();
+  return nullptr;
+}
+
+std::unique_ptr<LcrIndex> MakeLcr(const IndexSpec& spec) {
+  const std::string& name = spec.base;
+  if (name == "bfs" || name == "lcr-bfs") {
+    return std::make_unique<LcrOnlineBfs>();
+  }
+  if (name == "gtc") return std::make_unique<GtcIndex>();
+  if (name == "tree" || name == "jin-tree") {
+    return std::make_unique<TreeLcrIndex>();
+  }
+  if (name == "landmark") {
+    return std::make_unique<LandmarkIndex>(spec.Param("k", 16),
+                                           spec.Param("b", 2));
+  }
+  if (name == "pll" || name == "p2h") {
+    return std::make_unique<PrunedLabeledTwoHop>();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+IndexSpec::IndexSpec(std::string spec_text) : text(std::move(spec_text)) {
+  std::string rest = text;
+  if (rest.compare(0, kLcrPrefixLen, kLcrPrefix) == 0) {
+    labeled = true;
+    rest = rest.substr(kLcrPrefixLen);
+  }
+  const size_t colon = rest.find(':');
+  base = rest.substr(0, colon);
+  if (colon != std::string::npos) params_ = rest.substr(colon);
+}
+
+size_t IndexSpec::Param(const std::string& key, size_t fallback) const {
+  const std::string needle = ":" + key + "=";
+  const size_t pos = params_.find(needle);
+  if (pos == std::string::npos) return fallback;
+  return static_cast<size_t>(
+      std::strtoull(params_.c_str() + pos + needle.size(), nullptr, 10));
+}
+
+MadeIndex MakeIndex(const IndexSpec& spec) {
+  MadeIndex made;
+  if (spec.labeled) {
+    made.lcr = MakeLcr(spec);
+    if (!made.lcr) return made;
+    made.caps.labeled = true;
+    // PrunedLabeledTwoHop is the one LCR technique with incremental
+    // InsertEdge (the DLCR row of Table 2).
+    made.caps.dynamic =
+        dynamic_cast<PrunedLabeledTwoHop*>(made.lcr.get()) != nullptr;
+    made.caps.complete = made.lcr->IsComplete();
+    made.caps.serializable = made.lcr->SupportsSerialization();
+    return made;
+  }
+  made.plain = MakePlain(spec);
+  if (!made.plain) return made;
+  made.caps.dynamic =
+      dynamic_cast<DynamicReachabilityIndex*>(made.plain.get()) != nullptr;
+  // AutoIndex only knows its completeness after Build picks a technique.
+  made.caps.complete = spec.base != "auto" && made.plain->IsComplete();
+  made.caps.serializable = made.plain->SupportsSerialization();
+  return made;
+}
+
+std::vector<std::string> DefaultIndexSpecs(IndexFamily family) {
+  if (family == IndexFamily::kLcr) {
+    return {"lcr:bfs", "lcr:gtc", "lcr:tree", "lcr:landmark", "lcr:pll"};
+  }
+  return {"bfs",  "dfs",        "bibfs",  "tc",     "treecover", "dual",
+          "chaincover", "gripp", "grail",  "ferrari", "pll",      "tfl",
+          "tol-random", "dbl",   "dagger", "oreach",  "ip",       "bfl",
+          "feline",     "preach"};
+}
+
+}  // namespace reach

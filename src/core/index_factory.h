@@ -1,0 +1,96 @@
+#ifndef REACH_CORE_INDEX_FACTORY_H_
+#define REACH_CORE_INDEX_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/reachability_index.h"
+#include "lcr/lcr_index.h"
+
+namespace reach {
+
+/// A parsed index specification. Constructible implicitly from a string,
+/// so every call site can keep writing `MakeIndex("grail:k=5")`.
+///
+/// Grammar: `["lcr:"] base [":" key "=" value]...`
+///   * "pll"                — plain 2-hop under the degree order
+///   * "grail:k=5"          — GRAIL with five interval labelings
+///   * "lcr:pll"            — labeled-constrained P2H+
+///   * "lcr:landmark:k=8:b=2"
+struct IndexSpec {
+  IndexSpec(std::string spec_text);  // NOLINT(google-explicit-constructor)
+  IndexSpec(const char* spec_text)   // NOLINT(google-explicit-constructor)
+      : IndexSpec(std::string(spec_text)) {}
+
+  /// The full original text, e.g. "lcr:landmark:k=8:b=2".
+  std::string text;
+  /// True when the spec carries the "lcr:" family prefix.
+  bool labeled = false;
+  /// Technique name with the family prefix and parameters stripped,
+  /// e.g. "landmark".
+  std::string base;
+
+  /// Integer parameter lookup over the ":key=value" tail; returns
+  /// `fallback` when `key` is absent.
+  size_t Param(const std::string& key, size_t fallback) const;
+
+ private:
+  std::string params_;  // the parameter tail, e.g. ":k=8:b=2"
+};
+
+/// What a constructed index can do — the factory's rendering of the
+/// survey's Table 1 / Table 2 columns, so callers can branch on
+/// capabilities instead of string-matching spec names.
+struct IndexCaps {
+  /// Answers label-constrained queries (`MadeIndex::lcr` is set).
+  bool labeled = false;
+  /// Supports incremental `InsertEdge` after `Build`.
+  bool dynamic = false;
+  /// Answers from the index alone — never falls back to traversal.
+  /// (For "auto" this is unknown until `Build` picks a technique.)
+  bool complete = false;
+  /// Supports the versioned `Save`/`Load` envelope (core/serialize.h).
+  bool serializable = false;
+};
+
+/// The result of `MakeIndex`: exactly one of `plain` / `lcr` is set (per
+/// `caps.labeled`), or neither for an unknown spec.
+struct MadeIndex {
+  std::unique_ptr<ReachabilityIndex> plain;
+  std::unique_ptr<LcrIndex> lcr;
+  IndexCaps caps;
+
+  explicit operator bool() const { return plain != nullptr || lcr != nullptr; }
+};
+
+/// The single index-construction entry point: creates a ready-to-Build
+/// index from a spec string and reports its capabilities. DAG-only plain
+/// techniques come pre-wrapped in `SccCondensingIndex`, so every returned
+/// index accepts general digraphs — mirroring how the survey's Table 1
+/// normalizes the Input column.
+///
+/// Plain specs: "bfs", "dfs", "bibfs", "tc", "treecover", "dual",
+/// "chaincover", "gripp", "grail[:k=<n>]", "ferrari[:k=<n>]", "pll",
+/// "tfl", "tol-random", "tol-revdeg", "dbl", "dagger[:k=<n>]",
+/// "oreach[:k=<n>]", "ip[:k=<n>]", "bfl[:bits=<n>]", "feline", "preach",
+/// and "auto" (Table 1 advisor, plain/auto_index.h).
+///
+/// LCR specs (all "lcr:"-prefixed): "lcr:bfs", "lcr:gtc", "lcr:tree",
+/// "lcr:landmark[:k=<n>][:b=<n>]", "lcr:pll"; the historical technique
+/// names "lcr:lcr-bfs", "lcr:jin-tree", and "lcr:p2h" are accepted as
+/// aliases.
+///
+/// Returns an empty `MadeIndex` (operator bool == false) for unknown
+/// specs.
+MadeIndex MakeIndex(const IndexSpec& spec);
+
+enum class IndexFamily { kPlain, kLcr };
+
+/// The default benchmark/conformance roster for a family: one spec per
+/// implemented Table 1 / Table 2 row plus the online baselines.
+std::vector<std::string> DefaultIndexSpecs(IndexFamily family);
+
+}  // namespace reach
+
+#endif  // REACH_CORE_INDEX_FACTORY_H_

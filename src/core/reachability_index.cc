@@ -14,7 +14,13 @@ std::vector<uint8_t> ReachabilityIndex::BatchQuery(
   if (queries.empty()) return results;
 
   size_t threads = std::min(ResolveThreads(num_threads), queries.size());
-  if (threads > 1 && PrepareConcurrentQueries(threads)) {
+  if (threads > 1) {
+    // Honor the prepared-slot contract: fan out over however many slots
+    // the index actually granted, and fall through to the serial loop
+    // when it granted only the plain-Query slot.
+    threads = std::min(threads, PrepareConcurrentQueries(threads));
+  }
+  if (threads > 1) {
     // Chunks are claimed from a shared counter so expensive queries
     // (traversal fallbacks) don't serialize behind a static split. Each
     // worker keeps one slot for its whole run, so per-slot scratch state

@@ -9,6 +9,7 @@
 
 #include "core/index_stats.h"
 #include "core/query_workload.h"
+#include "core/serialize.h"
 #include "graph/digraph.h"
 #include "graph/types.h"
 #include "obs/query_probe.h"
@@ -49,21 +50,55 @@ class ReachabilityIndex {
   virtual std::vector<uint8_t> BatchQuery(std::span<const QueryPair> queries,
                                           size_t num_threads = 0) const;
 
-  /// Readies the index for `slots` concurrent `QueryInSlot` streams
-  /// (grow per-slot workspaces/probes); returns false when the index does
-  /// not support concurrent queries (the default). Not itself
-  /// thread-safe: call before fanning out, as `BatchQuery` does.
-  virtual bool PrepareConcurrentQueries(size_t slots) const {
+  /// Readies the index for concurrent `QueryInSlot` streams (growing
+  /// per-slot workspaces/probes) and returns the number of slots actually
+  /// prepared — the concurrency contract of the library:
+  ///  * A return of `slots` means full concurrency: slots `0..slots-1`
+  ///    may each run one `QueryInSlot` stream in parallel.
+  ///  * A return of 1 (the default) means only slot 0 exists — the plain
+  ///    serial `Query` path. The index does NOT support concurrent
+  ///    queries, and callers must serialize access themselves. This is an
+  ///    explicit signal; earlier revisions silently degraded instead,
+  ///    which concurrent callers had no way to detect.
+  ///  * Wrappers may prepare fewer slots than requested when their inner
+  ///    index does; callers must respect the returned count, never the
+  ///    requested one.
+  /// Not itself thread-safe: call before fanning out, as `BatchQuery`
+  /// does. `slots == 0` is treated as 1.
+  virtual size_t PrepareConcurrentQueries(size_t slots) const {
     (void)slots;
-    return false;
+    return 1;
   }
 
   /// `Query(s, t)` recording into the scratch state / probe of `slot`
-  /// (< the count passed to `PrepareConcurrentQueries`). Distinct slots
-  /// may run concurrently; slot 0 is the plain `Query` path.
+  /// (< the count *returned* by `PrepareConcurrentQueries`). Distinct
+  /// slots may run concurrently; slot 0 is the plain `Query` path.
   virtual bool QueryInSlot(VertexId s, VertexId t, size_t slot) const {
     (void)slot;
     return Query(s, t);
+  }
+
+  /// Serialization capability (optional). `Save` writes the versioned
+  /// envelope of core/serialize.h followed by an index-specific payload;
+  /// `Load` validates the envelope (typed error on magic / version /
+  /// format-name mismatch) and restores the index. The defaults signal
+  /// "unsupported" explicitly — no silent garbage. Check
+  /// `SupportsSerialization()` (also surfaced as the factory's
+  /// `IndexCaps::serializable`) before relying on persistence.
+  virtual bool SupportsSerialization() const { return false; }
+
+  /// Serializes the index. Returns false on I/O failure or when the
+  /// index does not support serialization.
+  virtual bool Save(std::ostream& out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Restores an index saved by `Save` of the same index type. On
+  /// failure the index state is unspecified; re-`Build` before use.
+  virtual LoadResult Load(std::istream& in) {
+    (void)in;
+    return LoadResult{LoadStatus::kUnsupported, Name()};
   }
 
   /// Index footprint in bytes (labels only, excluding the graph itself).

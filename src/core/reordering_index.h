@@ -46,7 +46,7 @@ class ReorderingIndex : public ReachabilityIndex {
     return inner_->Query(perm_.ToNew(s), perm_.ToNew(t));
   }
 
-  bool PrepareConcurrentQueries(size_t slots) const override {
+  size_t PrepareConcurrentQueries(size_t slots) const override {
     return inner_->PrepareConcurrentQueries(slots);
   }
 

@@ -47,13 +47,13 @@ class SccCondensingIndex : public ReachabilityIndex {
     return QueryInSlot(s, t, 0);
   }
 
-  /// Concurrent queries work iff the wrapped index supports them (the
-  /// wrapper's own state is an immutable component map plus per-slot
-  /// probes).
-  bool PrepareConcurrentQueries(size_t slots) const override {
-    if (!dag_index_->PrepareConcurrentQueries(slots)) return false;
-    probes_.EnsureSlots(slots);
-    return true;
+  /// Concurrent queries work exactly as far as the wrapped index allows
+  /// (the wrapper's own state is an immutable component map plus per-slot
+  /// probes), so the granted slot count is the inner one.
+  size_t PrepareConcurrentQueries(size_t slots) const override {
+    const size_t granted = dag_index_->PrepareConcurrentQueries(slots);
+    probes_.EnsureSlots(granted);
+    return granted;
   }
 
   bool QueryInSlot(VertexId s, VertexId t, size_t slot) const override {

@@ -1,0 +1,96 @@
+#include "core/serialize.h"
+
+#include <istream>
+#include <ostream>
+
+namespace reach {
+
+namespace {
+
+// Cap on the envelope's format-name length: real names are a few bytes,
+// so anything larger is garbage, not an index stream.
+constexpr uint32_t kMaxFormatNameLen = 64;
+
+}  // namespace
+
+const char* LoadStatusMessage(LoadStatus status) {
+  switch (status) {
+    case LoadStatus::kOk:
+      return "ok";
+    case LoadStatus::kBadMagic:
+      return "not a reach index stream (bad envelope magic)";
+    case LoadStatus::kBadVersion:
+      return "incompatible index stream version";
+    case LoadStatus::kWrongIndex:
+      return "stream holds a different index format";
+    case LoadStatus::kCorrupt:
+      return "index payload truncated or corrupt";
+    case LoadStatus::kUnsupported:
+      return "index type does not support serialization";
+  }
+  return "unknown load status";
+}
+
+bool WriteEnvelope(std::ostream& out, std::string_view format_name,
+                   uint32_t version) {
+  using serialize_detail::WritePod;
+  WritePod(out, kEnvelopeMagic);
+  WritePod(out, version);
+  WritePod(out, static_cast<uint32_t>(format_name.size()));
+  out.write(format_name.data(),
+            static_cast<std::streamsize>(format_name.size()));
+  return static_cast<bool>(out);
+}
+
+LoadResult ReadEnvelope(std::istream& in,
+                        std::string_view expected_format_name) {
+  using serialize_detail::ReadPod;
+  uint32_t magic = 0, version = 0, len = 0;
+  if (!ReadPod(in, &magic) || magic != kEnvelopeMagic) {
+    return {LoadStatus::kBadMagic, {}};
+  }
+  if (!ReadPod(in, &version)) return {LoadStatus::kBadMagic, {}};
+  if (version != kEnvelopeVersion) {
+    return {LoadStatus::kBadVersion, std::to_string(version)};
+  }
+  if (!ReadPod(in, &len) || len > kMaxFormatNameLen) {
+    return {LoadStatus::kCorrupt, {}};
+  }
+  std::string name(len, '\0');
+  if (!serialize_detail::ReadBytes(in, name.data(), len)) {
+    return {LoadStatus::kCorrupt, {}};
+  }
+  if (name != expected_format_name) {
+    return {LoadStatus::kWrongIndex, name};
+  }
+  return {LoadStatus::kOk, {}};
+}
+
+namespace serialize_detail {
+
+void WriteBytes(std::ostream& out, const void* data, size_t bytes) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+}
+
+bool ReadBytes(std::istream& in, void* data, size_t bytes) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  return static_cast<bool>(in);
+}
+
+void WriteU32Vec(std::ostream& out, const std::vector<uint32_t>& v) {
+  WritePod(out, static_cast<uint64_t>(v.size()));
+  WriteBytes(out, v.data(), v.size() * sizeof(uint32_t));
+}
+
+bool ReadU32Vec(std::istream& in, std::vector<uint32_t>* v,
+                uint64_t max_size) {
+  uint64_t size = 0;
+  if (!ReadPod(in, &size) || size > max_size) return false;
+  v->resize(size);
+  return ReadBytes(in, v->data(), size * sizeof(uint32_t));
+}
+
+}  // namespace serialize_detail
+
+}  // namespace reach

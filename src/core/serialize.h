@@ -1,0 +1,100 @@
+#ifndef REACH_CORE_SERIALIZE_H_
+#define REACH_CORE_SERIALIZE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reach {
+
+/// Versioned serialization envelope shared by every index `Save`/`Load`
+/// (the persistence piece of the §5 "integration into GDBMSs" challenge).
+///
+/// Layout, little-endian, preceding the index-specific payload:
+///
+///   u32 magic    kEnvelopeMagic ("RCHX")
+///   u32 version  kEnvelopeVersion
+///   u32 len      length of the format name
+///   u8[len]      format name, e.g. "pll" or "p2h"
+///
+/// The payload bytes that follow are exactly what the unversioned
+/// pre-envelope formats wrote, so golden layouts (and the byte-identity
+/// guarantees of the parallel builders, docs/PARALLELISM.md) still hold.
+/// A mismatched magic, version, or format name is reported as a typed
+/// `LoadStatus` instead of being misread as payload.
+inline constexpr uint32_t kEnvelopeMagic = 0x52434858u;  // "RCHX"
+inline constexpr uint32_t kEnvelopeVersion = 1;
+
+/// Why a `Load` failed (or didn't).
+enum class LoadStatus {
+  kOk,
+  /// The stream does not start with the envelope magic — not a reach
+  /// index stream at all (or one saved before the envelope existed).
+  kBadMagic,
+  /// Envelope present but written by an incompatible format revision.
+  kBadVersion,
+  /// Envelope present but for a different index technique (e.g. a "p2h"
+  /// stream handed to a "pll" index).
+  kWrongIndex,
+  /// Envelope valid but the payload is truncated or malformed.
+  kCorrupt,
+  /// The index type has no serialization capability.
+  kUnsupported,
+};
+
+/// Human-readable description of `status` (stable, for error messages).
+const char* LoadStatusMessage(LoadStatus status);
+
+/// Outcome of a `Load`: tests `true` iff the index was restored. On
+/// failure `detail` carries the offending value (observed name or
+/// version) when one is available.
+struct LoadResult {
+  LoadStatus status = LoadStatus::kOk;
+  std::string detail;
+
+  explicit operator bool() const { return status == LoadStatus::kOk; }
+};
+
+/// Writes the envelope for `format_name`. `version` is overridable only
+/// so tests can produce version-mismatch streams.
+bool WriteEnvelope(std::ostream& out, std::string_view format_name,
+                   uint32_t version = kEnvelopeVersion);
+
+/// Consumes and validates an envelope, expecting `expected_format_name`.
+/// On any failure the stream position is unspecified and the returned
+/// status says which check failed first (magic, then version, then name).
+LoadResult ReadEnvelope(std::istream& in,
+                        std::string_view expected_format_name);
+
+namespace serialize_detail {
+
+/// POD + u32-vector stream helpers shared by the index payload codecs.
+/// The byte layout (u64 count + raw element bytes) predates the envelope
+/// and must not change.
+void WriteBytes(std::ostream& out, const void* data, size_t bytes);
+bool ReadBytes(std::istream& in, void* data, size_t bytes);
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  WriteBytes(out, &value, sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  return ReadBytes(in, value, sizeof(T));
+}
+
+void WriteU32Vec(std::ostream& out, const std::vector<uint32_t>& v);
+/// Reads a vector written by `WriteU32Vec`; fails (returns false) when
+/// the recorded size exceeds `max_size`, so corrupted streams cannot
+/// trigger huge allocations.
+bool ReadU32Vec(std::istream& in, std::vector<uint32_t>* v,
+                uint64_t max_size);
+
+}  // namespace serialize_detail
+
+}  // namespace reach
+
+#endif  // REACH_CORE_SERIALIZE_H_

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/index_stats.h"
+#include "core/serialize.h"
 #include "graph/labeled_digraph.h"
 #include "graph/types.h"
 #include "obs/query_probe.h"
@@ -31,6 +32,22 @@ class LcrIndex {
 
   /// Answers Qr(s, t, (∪ allowed)*).
   virtual bool Query(VertexId s, VertexId t, LabelSet allowed) const = 0;
+
+  /// Serialization capability (optional) — same envelope contract as
+  /// `ReachabilityIndex` (core/serialize.h): versioned envelope + payload
+  /// on `Save`, typed mismatch errors on `Load`, defaults that signal
+  /// "unsupported" explicitly.
+  virtual bool SupportsSerialization() const { return false; }
+
+  virtual bool Save(std::ostream& out) const {
+    (void)out;
+    return false;
+  }
+
+  virtual LoadResult Load(std::istream& in) {
+    (void)in;
+    return LoadResult{LoadStatus::kUnsupported, Name()};
+  }
 
   /// Index footprint in bytes (labels only).
   virtual size_t IndexSizeBytes() const = 0;

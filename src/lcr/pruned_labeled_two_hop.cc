@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <istream>
 #include <numeric>
+#include <ostream>
+#include <string_view>
 #include <utility>
 
 #include "core/label_kernels.h"
+#include "core/serialize.h"
 #include "par/parallel_for.h"
 #include "par/thread_pool.h"
 
@@ -560,6 +564,116 @@ size_t PrunedLabeledTwoHop::IndexSizeBytes() const {
   }
   return lin_pool_.MemoryBytes() + lout_pool_.MemoryBytes() +
          (rank_.size() + by_rank_.size()) * sizeof(uint32_t) + delta_bytes;
+}
+
+std::vector<PrunedLabeledTwoHop::Entry> PrunedLabeledTwoHop::InEntries(
+    VertexId v) const {
+  const std::span<const Entry> sealed = lin_pool_.Slice(v);
+  std::vector<Entry> merged(sealed.begin(), sealed.end());
+  if (has_delta_ && !delta_lin_[v].empty()) {
+    const std::vector<Entry>& delta = delta_lin_[v];
+    std::vector<Entry> out(merged.size() + delta.size());
+    std::merge(merged.begin(), merged.end(), delta.begin(), delta.end(),
+               out.begin(),
+               [](const Entry& a, const Entry& b) { return a.rank < b.rank; });
+    merged = std::move(out);
+  }
+  return merged;
+}
+
+std::vector<PrunedLabeledTwoHop::Entry> PrunedLabeledTwoHop::OutEntries(
+    VertexId v) const {
+  const std::span<const Entry> sealed = lout_pool_.Slice(v);
+  return {sealed.begin(), sealed.end()};
+}
+
+namespace {
+
+// Payload magic for the labeled 2-hop stream (distinct from the plain
+// "reach-2h" payload; the envelope already distinguishes formats, this is
+// defense in depth).
+constexpr uint64_t kP2hMagic = 0x7265616368703268ULL;  // "reachp2h"
+
+constexpr std::string_view kP2hFormatName = "p2h";
+
+using serialize_detail::ReadPod;
+using serialize_detail::ReadU32Vec;
+using serialize_detail::WritePod;
+using serialize_detail::WriteU32Vec;
+
+}  // namespace
+
+bool PrunedLabeledTwoHop::Save(std::ostream& out) const {
+  if (!WriteEnvelope(out, kP2hFormatName)) return false;
+  WritePod(out, kP2hMagic);
+  WritePod(out, static_cast<uint64_t>(rank_.size()));
+  WriteU32Vec(out, rank_);
+  WriteU32Vec(out, by_rank_);
+  const size_t n = rank_.size();
+  const auto write_entries = [&out](const std::vector<Entry>& entries) {
+    WritePod(out, static_cast<uint64_t>(entries.size()));
+    for (const Entry& e : entries) {
+      WritePod(out, e.rank);
+      WritePod(out, static_cast<uint32_t>(e.mask));
+    }
+  };
+  for (VertexId v = 0; v < n; ++v) write_entries(InEntries(v));
+  for (VertexId v = 0; v < n; ++v) write_entries(OutEntries(v));
+  return static_cast<bool>(out);
+}
+
+LoadResult PrunedLabeledTwoHop::Load(std::istream& in) {
+  LoadResult envelope = ReadEnvelope(in, kP2hFormatName);
+  if (!envelope) return envelope;
+  const LoadResult corrupt{LoadStatus::kCorrupt,
+                           std::string(kP2hFormatName)};
+  uint64_t magic = 0, n = 0;
+  if (!ReadPod(in, &magic) || magic != kP2hMagic) return corrupt;
+  if (!ReadPod(in, &n)) return corrupt;
+  if (!ReadU32Vec(in, &rank_, n)) return corrupt;
+  std::vector<uint32_t> by_rank;
+  if (!ReadU32Vec(in, &by_rank, n)) return corrupt;
+  by_rank_.assign(by_rank.begin(), by_rank.end());
+  if (rank_.size() != n || by_rank_.size() != n) return corrupt;
+  for (uint32_t r : rank_) {
+    if (r >= n) return corrupt;
+  }
+  for (VertexId v : by_rank_) {
+    if (v >= n) return corrupt;
+  }
+  // Entry lists: each must be rank-sorted (the rank-group sweep's
+  // invariant) with in-range hop ranks. Per-vertex count is bounded by
+  // n * 2^|labels| in principle; cap at a generous multiple to reject
+  // nonsense sizes without rejecting legal dense labelings.
+  const uint64_t max_entries = n * 64;
+  const auto read_entries = [&](std::vector<Entry>* entries) {
+    uint64_t count = 0;
+    if (!ReadPod(in, &count) || count > max_entries) return false;
+    entries->clear();
+    entries->reserve(count);
+    uint32_t prev_rank = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint32_t rank = 0, mask = 0;
+      if (!ReadPod(in, &rank) || !ReadPod(in, &mask)) return false;
+      if (rank >= n || (i > 0 && rank < prev_rank)) return false;
+      prev_rank = rank;
+      entries->push_back(Entry{rank, static_cast<LabelSet>(mask)});
+    }
+    return true;
+  };
+  lin_.assign(n, {});
+  lout_.assign(n, {});
+  for (auto& entries : lin_) {
+    if (!read_entries(&entries)) return corrupt;
+  }
+  for (auto& entries : lout_) {
+    if (!read_entries(&entries)) return corrupt;
+  }
+  graph_ = nullptr;
+  extra_out_.clear();
+  extra_in_.clear();
+  SealLabels();
+  return LoadResult{};
 }
 
 }  // namespace reach

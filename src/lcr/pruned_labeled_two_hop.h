@@ -52,6 +52,18 @@ class PrunedLabeledTwoHop : public LcrIndex {
   QueryProbe Probe() const override { return probe_; }
   void ResetProbe() const override { probe_.Reset(); }
 
+  /// Serializes the labeling (envelope + ranks + (hop, SPLS) entries) to
+  /// a binary stream; the state already reflects any incremental
+  /// insertions. Envelope format name: "p2h".
+  bool SupportsSerialization() const override { return true; }
+  bool Save(std::ostream& out) const override;
+
+  /// Restores a labeling saved by `Save`. A loaded index answers queries
+  /// without the original graph; call `Build` (or keep the graph around)
+  /// before using `InsertEdge`/`RemoveEdgeAndRebuild` again. Returns a
+  /// typed error on malformed input, leaving the index unspecified.
+  LoadResult Load(std::istream& in) override;
+
   /// Incremental insertion of the labeled edge s -l-> t.
   void InsertEdge(VertexId s, VertexId t, Label label);
 
@@ -69,6 +81,10 @@ class PrunedLabeledTwoHop : public LcrIndex {
 
   void BuildLabels(const LabeledDigraph& graph, size_t threads);
   void SealLabels();
+  // Per-vertex entries as one rank-sorted vector: the sealed pool slice
+  // merged with the delta overlay (Lin only; Lout has no delta).
+  std::vector<Entry> InEntries(VertexId v) const;
+  std::vector<Entry> OutEntries(VertexId v) const;
   // Build-time pruning oracle over the (unsealed) nested entry vectors.
   bool LabelQuery(VertexId s, VertexId t, LabelSet allowed) const;
   // The sealed query hot path (pool slices + delta overlay) every entry

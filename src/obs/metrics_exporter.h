@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/build_phase_timer.h"
@@ -73,6 +74,18 @@ class MetricsExporter {
   MetricsSnapshot registry_;
   bool has_registry_ = false;
 };
+
+/// Folds `index` into `exporter` as an `IndexReport`, optionally prefixing
+/// the report name (e.g. with the graph it was built on). Duck-typed like
+/// `MakeIndexReport`: works for `ReachabilityIndex`, `LcrIndex`, and
+/// anything else with the same surface.
+template <typename Index>
+void AddIndexReport(MetricsExporter& exporter, const Index& index,
+                    const std::string& name_prefix = "") {
+  IndexReport report = MakeIndexReport(index);
+  if (!name_prefix.empty()) report.name = name_prefix + report.name;
+  exporter.Add(std::move(report));
+}
 
 /// Escapes `s` for inclusion in a JSON string literal.
 std::string JsonEscape(const std::string& s);

@@ -1,6 +1,6 @@
 #include "plain/auto_index.h"
 
-#include "plain/registry.h"
+#include "core/index_factory.h"
 
 namespace reach {
 
@@ -40,7 +40,7 @@ void AutoIndex::Build(const Digraph& graph) {
     stats_ = ComputeGraphStats(graph);
   }
   choice_ = ChoosePlainIndexSpec(stats_);
-  chosen_ = MakePlainIndex(choice_.spec);
+  chosen_ = MakeIndex(choice_.spec).plain;
   chosen_->Build(graph);
   // Surface the chosen index's phase breakdown as our own.
   for (const PhaseTiming& phase : chosen_->Stats().phases) {

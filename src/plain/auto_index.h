@@ -23,7 +23,7 @@ namespace reach {
 ///  * large and deep (big condensation depth) -> interval filters excel
 ///    at rejecting, guided search stays cheap -> "grail".
 struct IndexChoice {
-  std::string spec;       // registry spec, e.g. "bfl"
+  std::string spec;       // MakeIndex spec, e.g. "bfl"
   std::string rationale;  // one-line explanation
 };
 

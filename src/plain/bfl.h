@@ -51,9 +51,10 @@ class Bfl : public ReachabilityIndex {
   QueryProbe Probe() const override { return ws_pool_.AggregateProbe(); }
   void ResetProbe() const override { ws_pool_.ResetProbes(); }
 
-  bool PrepareConcurrentQueries(size_t slots) const override {
+  size_t PrepareConcurrentQueries(size_t slots) const override {
+    if (slots == 0) slots = 1;
     ws_pool_.EnsureSlots(slots);
-    return true;
+    return slots;
   }
   bool QueryInSlot(VertexId s, VertexId t, size_t slot) const override;
 

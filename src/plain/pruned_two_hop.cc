@@ -5,8 +5,10 @@
 #include <istream>
 #include <numeric>
 #include <ostream>
+#include <string_view>
 
 #include "core/label_kernels.h"
+#include "core/serialize.h"
 #include "graph/condensation.h"
 #include "graph/rng.h"
 #include "par/parallel_for.h"
@@ -468,91 +470,81 @@ void PrunedTwoHop::RemoveEdgeAndRebuild(VertexId s, VertexId t) {
 
 namespace {
 
+// Payload magic, kept from the pre-envelope format so the payload bytes
+// after the envelope stay byte-identical to the historical layout.
 constexpr uint64_t kMagic = 0x72656163682d3268ULL;  // "reach-2h"
 
-template <typename T>
-void WritePod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
+// The envelope's format name: one name for the whole TOL family — the
+// stream stores the total order itself, so any `VertexOrder` instance
+// can load any other's labeling.
+constexpr std::string_view kFormatName = "pll";
 
-template <typename T>
-bool ReadPod(std::istream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return static_cast<bool>(in);
-}
-
-void WriteVec(std::ostream& out, const std::vector<uint32_t>& v) {
-  WritePod(out, static_cast<uint64_t>(v.size()));
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(uint32_t)));
-}
-
-bool ReadVec(std::istream& in, std::vector<uint32_t>* v, uint64_t max_size) {
-  uint64_t size = 0;
-  if (!ReadPod(in, &size) || size > max_size) return false;
-  v->resize(size);
-  in.read(reinterpret_cast<char*>(v->data()),
-          static_cast<std::streamsize>(size * sizeof(uint32_t)));
-  return static_cast<bool>(in);
-}
+using serialize_detail::ReadPod;
+using serialize_detail::ReadU32Vec;
+using serialize_detail::WritePod;
+using serialize_detail::WriteU32Vec;
 
 }  // namespace
 
 bool PrunedTwoHop::Save(std::ostream& out) const {
-  // The stream layout predates the flat pool and is kept byte-identical:
+  // The payload layout predates the flat pool and is kept byte-identical:
   // per-vertex sorted label vectors, reconstructed by merging each pool
   // slice with its delta overlay (exactly what the nested-vector layout
   // used to hold).
+  if (!WriteEnvelope(out, kFormatName)) return false;
   WritePod(out, kMagic);
   WritePod(out, static_cast<uint64_t>(rank_.size()));
-  WriteVec(out, rank_);
-  WriteVec(out, by_rank_);
+  WriteU32Vec(out, rank_);
+  WriteU32Vec(out, by_rank_);
   const size_t n = rank_.size();
-  for (VertexId v = 0; v < n; ++v) WriteVec(out, InLabels(v));
-  for (VertexId v = 0; v < n; ++v) WriteVec(out, OutLabels(v));
+  for (VertexId v = 0; v < n; ++v) WriteU32Vec(out, InLabels(v));
+  for (VertexId v = 0; v < n; ++v) WriteU32Vec(out, OutLabels(v));
   return static_cast<bool>(out);
 }
 
-bool PrunedTwoHop::Load(std::istream& in) {
+LoadResult PrunedTwoHop::Load(std::istream& in) {
+  LoadResult envelope = ReadEnvelope(in, kFormatName);
+  if (!envelope) return envelope;
+  const LoadResult corrupt{LoadStatus::kCorrupt, std::string(kFormatName)};
   uint64_t magic = 0, n = 0;
-  if (!ReadPod(in, &magic) || magic != kMagic) return false;
-  if (!ReadPod(in, &n)) return false;
+  if (!ReadPod(in, &magic) || magic != kMagic) return corrupt;
+  if (!ReadPod(in, &n)) return corrupt;
   // Hard sanity cap: label vectors can never exceed n entries.
-  if (!ReadVec(in, &rank_, n)) return false;
+  if (!ReadU32Vec(in, &rank_, n)) return corrupt;
   std::vector<uint32_t> by_rank;
-  if (!ReadVec(in, &by_rank, n)) return false;
+  if (!ReadU32Vec(in, &by_rank, n)) return corrupt;
   by_rank_.assign(by_rank.begin(), by_rank.end());
-  if (rank_.size() != n || by_rank_.size() != n) return false;
+  if (rank_.size() != n || by_rank_.size() != n) return corrupt;
   lin_.assign(n, {});
   lout_.assign(n, {});
   for (auto& labels : lin_) {
-    if (!ReadVec(in, &labels, n)) return false;
+    if (!ReadU32Vec(in, &labels, n)) return corrupt;
   }
   for (auto& labels : lout_) {
-    if (!ReadVec(in, &labels, n)) return false;
+    if (!ReadU32Vec(in, &labels, n)) return corrupt;
   }
   // Validate ranges so a corrupted stream cannot cause out-of-bounds use.
   for (uint32_t r : rank_) {
-    if (r >= n) return false;
+    if (r >= n) return corrupt;
   }
   for (VertexId v : by_rank_) {
-    if (v >= n) return false;
+    if (v >= n) return corrupt;
   }
   for (const auto& labels : lin_) {
     for (uint32_t r : labels) {
-      if (r >= n) return false;
+      if (r >= n) return corrupt;
     }
   }
   for (const auto& labels : lout_) {
     for (uint32_t r : labels) {
-      if (r >= n) return false;
+      if (r >= n) return corrupt;
     }
   }
   graph_ = nullptr;
   extra_out_.clear();
   extra_in_.clear();
   SealLabels();
-  return true;
+  return LoadResult{};
 }
 
 size_t PrunedTwoHop::IndexSizeBytes() const {

@@ -73,9 +73,10 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
   QueryProbe Probe() const override { return probes_.Aggregate(); }
   void ResetProbe() const override { probes_.Reset(); }
 
-  bool PrepareConcurrentQueries(size_t slots) const override {
+  size_t PrepareConcurrentQueries(size_t slots) const override {
+    if (slots == 0) slots = 1;
     probes_.EnsureSlots(slots);
-    return true;
+    return slots;
   }
   bool QueryInSlot(VertexId s, VertexId t, size_t slot) const override;
 
@@ -85,16 +86,18 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
   /// Edge deletion by rebuilding over the current edge set minus (s, t).
   void RemoveEdgeAndRebuild(VertexId s, VertexId t);
 
-  /// Serializes the labeling (ranks + Lin/Lout) to a binary stream — the
-  /// persistence piece of the §5 "integration into GDBMSs" challenge. The
-  /// label state already reflects any incremental insertions.
-  bool Save(std::ostream& out) const;
+  /// Serializes the labeling (envelope + ranks + Lin/Lout) to a binary
+  /// stream — the persistence piece of the §5 "integration into GDBMSs"
+  /// challenge. The label state already reflects any incremental
+  /// insertions. Envelope format name: "pll" for the whole TOL family.
+  bool SupportsSerialization() const override { return true; }
+  bool Save(std::ostream& out) const override;
 
   /// Restores a labeling saved by `Save`. A loaded index answers queries
   /// without the original graph; call `Build` (or keep the graph around)
-  /// before using `InsertEdge`/`RemoveEdgeAndRebuild` again. Returns false
-  /// on malformed input, leaving the index unspecified.
-  bool Load(std::istream& in);
+  /// before using `InsertEdge`/`RemoveEdgeAndRebuild` again. Returns a
+  /// typed error on malformed input, leaving the index unspecified.
+  LoadResult Load(std::istream& in) override;
 
   /// Total number of label entries sum |Lin| + |Lout| — the index-size
   /// measure of §3.2.

@@ -1,0 +1,367 @@
+#include "serve/reach_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "core/index_factory.h"
+#include "obs/metrics_registry.h"
+#include "par/thread_pool.h"
+
+namespace reach {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string ValidatedSpec(const std::string& spec) {
+  return MakeIndex(spec).plain != nullptr ? spec : std::string("pll");
+}
+
+}  // namespace
+
+/// RAII lease of one concurrent-query slot from a pinned snapshot.
+class ReachService::SlotLease {
+ public:
+  SlotLease(const ServeSnapshot& snap, bool* waited)
+      : snap_(snap), slot_(snap.slots.Acquire(waited)) {}
+  ~SlotLease() { snap_.slots.Release(slot_); }
+  SlotLease(const SlotLease&) = delete;
+  SlotLease& operator=(const SlotLease&) = delete;
+
+  size_t slot() const { return slot_; }
+
+ private:
+  const ServeSnapshot& snap_;
+  const size_t slot_;
+};
+
+ReachService::ReachService(Digraph base, ServiceOptions options)
+    : options_(std::move(options)),
+      num_vertices_(base.NumVertices()),
+      spec_(ValidatedSpec(options_.spec)),
+      base_edges_(base.Edges()) {
+  auto snap = std::make_shared<ServeSnapshot>();
+  snap->version = 0;
+  snap->graph = std::move(base);
+  snapshot_.Store(std::move(snap));
+  pending_.Store(std::make_shared<const PendingEdges>());
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  queries_counter_ = &reg.GetCounter("serve.queries");
+  index_counter_ = &reg.GetCounter("serve.index_answers");
+  delta_counter_ = &reg.GetCounter("serve.delta_answers");
+  fallback_counter_ = &reg.GetCounter("serve.fallback_bfs");
+  deadline_counter_ = &reg.GetCounter("serve.deadline_degraded");
+  slot_wait_counter_ = &reg.GetCounter("serve.slot_waits");
+  inexact_counter_ = &reg.GetCounter("serve.inexact_answers");
+  insert_counter_ = &reg.GetCounter("serve.inserts");
+  rebuild_counter_ = &reg.GetCounter("serve.rebuilds");
+  version_gauge_ = &reg.GetGauge("serve.snapshot_version");
+  pending_gauge_ = &reg.GetGauge("serve.pending_edges");
+  latency_hist_ = &reg.GetHistogram("serve.query_ns");
+}
+
+ReachService::~ReachService() { Stop(); }
+
+void ReachService::Start() {
+  std::lock_guard<std::mutex> lock(rebuild_mu_);
+  if (started_) return;
+  started_ = true;
+  ScheduleLocked();
+}
+
+void ReachService::Stop() {
+  stopped_.store(true, std::memory_order_seq_cst);
+  std::unique_lock<std::mutex> lock(rebuild_mu_);
+  rebuild_cv_.wait(lock, [&] { return !rebuild_inflight_; });
+}
+
+bool ReachService::InsertEdge(VertexId s, VertexId t) {
+  if (s >= num_vertices_ || t >= num_vertices_) return false;
+  if (stopped_.load(std::memory_order_relaxed)) return false;
+  size_t pending_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    const auto cur = pending_.Load();
+    auto next = std::make_shared<PendingEdges>();
+    next->reserve(cur->size() + 1);
+    *next = *cur;
+    next->push_back(Edge{s, t});
+    pending_count = next->size();
+    pending_.Store(std::move(next));
+  }
+  stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+  insert_counter_->Add();
+  pending_gauge_->Set(static_cast<double>(pending_count));
+  if (pending_count >= options_.drain_threshold) {
+    std::lock_guard<std::mutex> lock(rebuild_mu_);
+    ScheduleLocked();
+  }
+  return true;
+}
+
+void ReachService::Flush() {
+  std::unique_lock<std::mutex> lock(rebuild_mu_);
+  if (stopped_.load(std::memory_order_relaxed)) return;
+  flush_requested_ = true;
+  ScheduleLocked();
+  rebuild_cv_.wait(lock, [&] {
+    if (stopped_.load(std::memory_order_relaxed)) return true;
+    if (!rebuild_inflight_ && pending_.Load()->empty()) return true;
+    // A drain finished but inserts raced past it: keep draining until
+    // everything accepted before this Flush is absorbed.
+    if (!rebuild_inflight_) {
+      flush_requested_ = true;
+      ScheduleLocked();
+    }
+    return false;
+  });
+}
+
+void ReachService::ScheduleLocked() {
+  if (stopped_.load(std::memory_order_relaxed) || !started_ ||
+      rebuild_inflight_) {
+    return;
+  }
+  rebuild_inflight_ = true;
+  ThreadPool::Global().Submit([this] { RebuildLoop(); });
+}
+
+void ReachService::RebuildLoop() {
+  for (;;) {
+    // Everything pending *now* goes into this generation; inserts racing
+    // past this load stay pending (the list only ever grows by append,
+    // so the drained list is a prefix of every later list).
+    const auto drained = pending_.Load();
+    {
+      std::lock_guard<std::mutex> lock(rebuild_mu_);
+      flush_requested_ = false;
+    }
+
+    auto snap = std::make_shared<ServeSnapshot>();
+    {
+      std::vector<Edge> edges = base_edges_;
+      edges.insert(edges.end(), drained->begin(), drained->end());
+      snap->graph = Digraph::FromEdges(static_cast<VertexId>(num_vertices_),
+                                       std::move(edges));
+    }
+    // The index must be built against the graph at its final address —
+    // partial indexes keep a pointer into it for guided traversal.
+    snap->index = MakeIndex(spec_).plain;
+    snap->index->Build(snap->graph);
+    const size_t granted = snap->index->PrepareConcurrentQueries(
+        ResolveThreads(options_.slots));
+    snap->slots.Reset(granted);
+    snap->version = next_version_++;
+    base_edges_ = snap->graph.Edges();
+    const uint64_t published_version = snap->version;
+
+    // Publish, then trim the absorbed prefix. Readers load pending
+    // BEFORE snapshot, so between the two stores they can only observe
+    // the new snapshot with a stale (longer) pending list — harmless
+    // double-counting, never a lost edge.
+    snapshot_.Store(std::move(snap));
+    version_gauge_->Set(static_cast<double>(published_version));
+    size_t left = 0;
+    {
+      std::lock_guard<std::mutex> lock(write_mu_);
+      const auto cur = pending_.Load();
+      auto next = std::make_shared<PendingEdges>(
+          cur->begin() + static_cast<ptrdiff_t>(drained->size()), cur->end());
+      left = next->size();
+      pending_.Store(std::move(next));
+    }
+    pending_gauge_->Set(static_cast<double>(left));
+    stats_.rebuilds.fetch_add(1, std::memory_order_relaxed);
+    rebuild_counter_->Add();
+
+    {
+      std::lock_guard<std::mutex> lock(rebuild_mu_);
+      const bool more = !stopped_.load(std::memory_order_relaxed) &&
+                        (left >= options_.drain_threshold ||
+                         (flush_requested_ && left > 0));
+      if (!more) {
+        rebuild_inflight_ = false;
+        rebuild_cv_.notify_all();
+        return;
+      }
+    }
+  }
+}
+
+ServeAnswer ReachService::Query(VertexId s, VertexId t) const {
+  const Clock::time_point start = Clock::now();
+  stats_.queries.fetch_add(1, std::memory_order_relaxed);
+  queries_counter_->Add();
+
+  // Pin pending BEFORE the snapshot: a concurrent swap+trim between the
+  // two loads then yields a newer snapshot with an already-absorbed
+  // pending prefix (redundant but correct). The opposite order could
+  // pair an old snapshot with a trimmed list and lose edges.
+  const auto pending = pending_.Load();
+  const auto snap = snapshot_.Load();
+
+  ServeAnswer ans;
+  ans.snapshot_version = snap->version;
+  if (s < num_vertices_ && t < num_vertices_) {
+    if (snap->index == nullptr) {
+      // Startup: the first index build is still in flight.
+      ans = DegradedAnswer(*snap, *pending, s, t);
+    } else {
+      const Clock::time_point deadline =
+          options_.deadline.count() > 0 ? start + options_.deadline
+                                        : Clock::time_point::max();
+      bool waited = false;
+      ans = AnswerWithIndex(*snap, *pending, s, t, deadline, &waited);
+      if (waited) {
+        stats_.slot_waits.fetch_add(1, std::memory_order_relaxed);
+        slot_wait_counter_->Add();
+      }
+    }
+    ans.snapshot_version = snap->version;
+  }
+  if (!ans.exact) {
+    stats_.inexact_answers.fetch_add(1, std::memory_order_relaxed);
+    inexact_counter_->Add();
+  }
+  latency_hist_->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count()));
+  return ans;
+}
+
+ServeAnswer ReachService::AnswerWithIndex(
+    const ServeSnapshot& snap, const PendingEdges& pending, VertexId s,
+    VertexId t, Clock::time_point deadline, bool* waited) const {
+  ServeAnswer ans;
+  SlotLease lease(snap, waited);
+  const ReachabilityIndex& index = *snap.index;
+  const size_t slot = lease.slot();
+
+  if (index.QueryInSlot(s, t, slot)) {
+    // Reachability is monotone under insertion: an index hit on this
+    // snapshot stays true no matter how many edges are pending.
+    ans.reachable = true;
+    stats_.index_answers.fetch_add(1, std::memory_order_relaxed);
+    index_counter_->Add();
+    return ans;
+  }
+  if (pending.empty()) {
+    stats_.index_answers.fetch_add(1, std::memory_order_relaxed);
+    index_counter_->Add();
+    return ans;
+  }
+
+  // Index miss with pending edges: close over them. Any s-t path in
+  // graph ∪ pending decomposes into base-graph segments joined by
+  // pending edges, so a worklist of "usable" pending edges (tail
+  // base-reachable from s, possibly through other usable edges) decides
+  // the query with O(k²) index lookups, k = |pending| (bounded by the
+  // drain threshold).
+  ans.source = AnswerSource::kDelta;
+  const size_t k = pending.size();
+  std::vector<uint8_t> usable(k, 0);
+  std::vector<size_t> work;
+  work.reserve(k);
+  bool expired = false;
+  const auto now_expired = [&deadline] { return Clock::now() > deadline; };
+  for (size_t i = 0; i < k; ++i) {
+    if (index.QueryInSlot(s, pending[i].source, slot)) {
+      usable[i] = 1;
+      work.push_back(i);
+    }
+  }
+  while (!work.empty() && !expired) {
+    const size_t i = work.back();
+    work.pop_back();
+    if (index.QueryInSlot(pending[i].target, t, slot)) {
+      ans.reachable = true;
+      stats_.delta_answers.fetch_add(1, std::memory_order_relaxed);
+      delta_counter_->Add();
+      return ans;
+    }
+    for (size_t j = 0; j < k; ++j) {
+      if (usable[j] == 0 &&
+          index.QueryInSlot(pending[i].target, pending[j].source, slot)) {
+        usable[j] = 1;
+        work.push_back(j);
+      }
+    }
+    expired = now_expired();
+  }
+  if (!expired) {
+    stats_.delta_answers.fetch_add(1, std::memory_order_relaxed);
+    delta_counter_->Add();
+    return ans;  // exact negative: closure exhausted
+  }
+  // Budget blown mid-closure: degrade to the bounded traversal.
+  stats_.deadline_degraded.fetch_add(1, std::memory_order_relaxed);
+  deadline_counter_->Add();
+  return DegradedAnswer(snap, pending, s, t);
+}
+
+ServeAnswer ReachService::DegradedAnswer(const ServeSnapshot& snap,
+                                         const PendingEdges& pending,
+                                         VertexId s, VertexId t) const {
+  ServeAnswer ans;
+  ans.source = AnswerSource::kFallbackBfs;
+  const BoundedBfsOutcome out = BoundedUnionBfs(
+      snap.graph, pending, s, t, options_.fallback_visit_budget);
+  ans.reachable = out.reachable;
+  // A found path is a witness; only unverified negatives are inexact.
+  ans.exact = out.reachable || out.complete;
+  stats_.fallback_answers.fetch_add(1, std::memory_order_relaxed);
+  fallback_counter_->Add();
+  return ans;
+}
+
+BoundedBfsOutcome BoundedUnionBfs(const Digraph& graph,
+                                  const PendingEdges& extra, VertexId s,
+                                  VertexId t, size_t max_visits) {
+  BoundedBfsOutcome out;
+  if (s == t) {
+    out.reachable = true;
+    return out;
+  }
+  std::vector<Edge> by_source(extra.begin(), extra.end());
+  std::sort(by_source.begin(), by_source.end());
+  std::vector<uint8_t> visited(graph.NumVertices(), 0);
+  std::vector<VertexId> queue;
+  queue.push_back(s);
+  visited[s] = 1;
+  size_t visits = 0;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    if (visits++ >= max_visits) {
+      out.complete = false;
+      return out;
+    }
+    const VertexId v = queue[head];
+    const auto enqueue = [&](VertexId n) {
+      if (visited[n] == 0) {
+        visited[n] = 1;
+        queue.push_back(n);
+      }
+      return n == t;
+    };
+    for (const VertexId n : graph.OutNeighbors(v)) {
+      if (enqueue(n)) {
+        out.reachable = true;
+        return out;
+      }
+    }
+    const auto range = std::equal_range(
+        by_source.begin(), by_source.end(), Edge{v, 0},
+        [](const Edge& a, const Edge& b) { return a.source < b.source; });
+    for (auto it = range.first; it != range.second; ++it) {
+      if (enqueue(it->target)) {
+        out.reachable = true;
+        return out;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace reach

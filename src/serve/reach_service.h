@@ -1,0 +1,214 @@
+#ifndef REACH_SERVE_REACH_SERVICE_H_
+#define REACH_SERVE_REACH_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/types.h"
+#include "serve/serve_snapshot.h"
+
+namespace reach {
+
+class Counter;
+class Gauge;
+class Histogram;
+
+/// Configuration of a `ReachService`.
+struct ServiceOptions {
+  /// `MakeIndex` spec of the plain index each snapshot is built with.
+  /// Unknown and non-plain specs fall back to "pll".
+  std::string spec = "pll";
+  /// Concurrent-query slots requested per snapshot; the index may grant
+  /// fewer (see `PrepareConcurrentQueries`). 0 = `DefaultThreads()`.
+  size_t slots = 0;
+  /// Pending-insert count that triggers a background snapshot rebuild.
+  size_t drain_threshold = 64;
+  /// Per-query time budget; once exceeded, the expensive answer paths
+  /// (delta closure, unindexed fallback) degrade to the bounded BFS.
+  /// 0 = no deadline.
+  std::chrono::nanoseconds deadline{0};
+  /// Vertex-visit cap of the degraded bounded BFS. Exhausting it yields
+  /// an inexact negative answer (`ServeAnswer::exact == false`).
+  size_t fallback_visit_budget = 1 << 16;
+};
+
+/// How a query was answered.
+enum class AnswerSource : uint8_t {
+  kIndex,        // snapshot index alone
+  kDelta,        // index plus the pending-edge closure
+  kFallbackBfs,  // bounded online BFS (no index yet, or budget exceeded)
+};
+
+/// The result of one `ReachService::Query`.
+struct ServeAnswer {
+  bool reachable = false;
+  /// False only for a negative answer the service could not verify within
+  /// its budgets (bounded BFS hit the visit cap). Positive answers are
+  /// always exact — a witness path was found.
+  bool exact = true;
+  AnswerSource source = AnswerSource::kIndex;
+  /// Generation of the snapshot that served the query.
+  uint64_t snapshot_version = 0;
+};
+
+/// Always-on service counters (independent of REACH_METRICS); the same
+/// values are mirrored into `MetricsRegistry::Global()` under "serve.*"
+/// when metrics are compiled in.
+struct ServeStats {
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> index_answers{0};
+  std::atomic<uint64_t> delta_answers{0};
+  std::atomic<uint64_t> fallback_answers{0};
+  std::atomic<uint64_t> deadline_degraded{0};
+  std::atomic<uint64_t> slot_waits{0};
+  std::atomic<uint64_t> inexact_answers{0};
+  std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> rebuilds{0};
+};
+
+/// An embeddable concurrent reachability-serving engine — the §5
+/// "integration into GDBMSs" challenge made concrete. One service owns an
+/// evolving edge set and serves exact point queries while absorbing an
+/// `InsertEdge` stream:
+///
+///  * Reads pin an immutable `ServeSnapshot` (graph + index + query
+///    slots) behind an atomic `shared_ptr`, lease a slot, and answer via
+///    `QueryInSlot` — many readers in parallel, zero locks on the hot
+///    path.
+///  * Writes append to a copy-on-write pending-edge buffer; a background
+///    task on the shared thread pool (src/par/) drains the buffer into a
+///    freshly built snapshot and swaps it in. At most one rebuild is in
+///    flight; generations are strictly ordered.
+///  * Queries stay exact across the swap: reachability is monotone under
+///    insertion, so an index hit on the pinned snapshot is final, and an
+///    index miss is re-checked against the pending edges by a closure
+///    over index queries (each base-graph gap between pending edges is
+///    one `QueryInSlot`). When there is no index yet — service just
+///    started — or the per-query deadline expires mid-closure, the
+///    answer degrades to a bounded union BFS over graph + pending edges,
+///    and `ServeAnswer::exact` says whether the budget sufficed.
+///
+/// Thread-safety: `Query` may be called from any number of threads
+/// concurrently with `InsertEdge`, `Flush`, and the background rebuild.
+/// `Start`/`Stop` are not thread-safe with each other.
+class ReachService {
+ public:
+  /// The vertex set is fixed at construction; `InsertEdge` streams edges
+  /// over it. The service answers queries from `Start()` on.
+  explicit ReachService(Digraph base, ServiceOptions options = {});
+  ~ReachService();
+
+  ReachService(const ReachService&) = delete;
+  ReachService& operator=(const ReachService&) = delete;
+
+  /// Publishes the startup snapshot (graph only — queries degrade to the
+  /// bounded BFS) and schedules the first index build in the background.
+  void Start();
+
+  /// Blocks until the in-flight rebuild (if any) finishes and stops
+  /// scheduling new ones. Queries keep working against the last
+  /// published snapshot; further inserts are rejected. Idempotent.
+  void Stop();
+
+  /// Answers Qr(s, t) over the union of the base graph and every edge
+  /// accepted by `InsertEdge` so far (see class comment for exactness).
+  ServeAnswer Query(VertexId s, VertexId t) const;
+
+  /// Accepts edge s -> t into the pending buffer; a rebuild is scheduled
+  /// once `drain_threshold` edges accumulate. Returns false when an
+  /// endpoint is out of range or the service is stopped.
+  bool InsertEdge(VertexId s, VertexId t);
+
+  /// Blocks until every previously accepted insert is absorbed into a
+  /// published snapshot (forcing a rebuild if needed). No-op when
+  /// stopped.
+  void Flush();
+
+  size_t NumVertices() const { return num_vertices_; }
+  /// Version of the currently published snapshot (0 = unindexed startup).
+  uint64_t SnapshotVersion() const { return snapshot_.Load()->version; }
+  /// Inserts not yet absorbed into a snapshot.
+  size_t PendingEdgeCount() const { return pending_.Load()->size(); }
+  const ServeStats& stats() const { return stats_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  class SlotLease;
+
+  void ScheduleLocked();
+  void RebuildLoop();
+  ServeAnswer AnswerWithIndex(const ServeSnapshot& snap,
+                              const PendingEdges& pending, VertexId s,
+                              VertexId t,
+                              std::chrono::steady_clock::time_point deadline,
+                              bool* waited) const;
+  ServeAnswer DegradedAnswer(const ServeSnapshot& snap,
+                             const PendingEdges& pending, VertexId s,
+                             VertexId t) const;
+
+  const ServiceOptions options_;
+  const size_t num_vertices_;
+  // `options_.spec` validated against the factory ("pll" if unknown).
+  const std::string spec_;
+
+  AtomicSharedPtr<const ServeSnapshot> snapshot_;
+  AtomicSharedPtr<const PendingEdges> pending_;
+
+  // Serializes writers mutating the pending buffer (readers are
+  // lock-free via the COW shared_ptr).
+  mutable std::mutex write_mu_;
+  // Every edge already absorbed into the published snapshot's graph.
+  // Touched only by the (single) in-flight rebuild task and Start().
+  std::vector<Edge> base_edges_;
+  uint64_t next_version_ = 1;
+
+  // Rebuild handshake: at most one drain task in flight.
+  mutable std::mutex rebuild_mu_;
+  mutable std::condition_variable rebuild_cv_;
+  bool rebuild_inflight_ = false;
+  bool flush_requested_ = false;
+  std::atomic<bool> stopped_{false};
+  bool started_ = false;
+
+  mutable ServeStats stats_;
+  // Cached obs-registry instruments mirroring ServeStats ("serve.*").
+  Counter* queries_counter_;
+  Counter* index_counter_;
+  Counter* delta_counter_;
+  Counter* fallback_counter_;
+  Counter* deadline_counter_;
+  Counter* slot_wait_counter_;
+  Counter* inexact_counter_;
+  Counter* insert_counter_;
+  Counter* rebuild_counter_;
+  Gauge* version_gauge_;
+  Gauge* pending_gauge_;
+  Histogram* latency_hist_;
+};
+
+/// Outcome of the budgeted traversal fallback.
+struct BoundedBfsOutcome {
+  bool reachable = false;
+  /// True when the BFS ran to completion (frontier exhausted or target
+  /// found) within the visit budget; a negative answer with
+  /// `complete == false` is unverified.
+  bool complete = true;
+};
+
+/// Breadth-first search over `graph` plus the extra edges, giving up
+/// after `max_visits` vertex expansions — the degraded answer path of
+/// `ReachService`, exposed for tests and the differential harness.
+BoundedBfsOutcome BoundedUnionBfs(const Digraph& graph,
+                                  const PendingEdges& extra, VertexId s,
+                                  VertexId t, size_t max_visits);
+
+}  // namespace reach
+
+#endif  // REACH_SERVE_REACH_SERVICE_H_

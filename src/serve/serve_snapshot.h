@@ -1,0 +1,145 @@
+#ifndef REACH_SERVE_SERVE_SNAPSHOT_H_
+#define REACH_SERVE_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/reachability_index.h"
+#include "graph/digraph.h"
+
+namespace reach {
+
+/// Lease-based distribution of the concurrent-query slots granted by
+/// `PrepareConcurrentQueries` (core/reachability_index.h): each in-flight
+/// request leases one slot for its whole `QueryInSlot` stream, so two
+/// requests never share per-slot scratch state. A single atomic free-mask
+/// caps the pool at 64 slots — far above any `DefaultThreads()` in
+/// practice. When every slot is leased, `Acquire` spins with `yield`;
+/// with one granted slot this degrades to mutual exclusion, which is
+/// exactly the serial-only contract a grant of 1 signals.
+class SlotPool {
+ public:
+  static constexpr size_t kMaxSlots = 64;
+
+  SlotPool() { Reset(1); }
+
+  /// Sizes the pool to `slots` free slots (clamped to [1, 64]). Not
+  /// thread-safe: call before the owning snapshot is published.
+  void Reset(size_t slots) {
+    if (slots == 0) slots = 1;
+    if (slots > kMaxSlots) slots = kMaxSlots;
+    size_ = slots;
+    free_.store(slots == kMaxSlots ? ~uint64_t{0} : (uint64_t{1} << slots) - 1,
+                std::memory_order_relaxed);
+  }
+
+  size_t size() const { return size_; }
+
+  /// Leases a free slot, spinning until one frees up. `waited` (optional)
+  /// is set when the caller had to contend.
+  size_t Acquire(bool* waited = nullptr) {
+    for (bool first = true;; first = false) {
+      uint64_t mask = free_.load(std::memory_order_relaxed);
+      while (mask != 0) {
+        const uint64_t bit = mask & (~mask + 1);  // lowest set bit
+        if (free_.compare_exchange_weak(mask, mask & ~bit,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+          return static_cast<size_t>(std::countr_zero(bit));
+        }
+      }
+      if (first && waited != nullptr) *waited = true;
+      std::this_thread::yield();
+    }
+  }
+
+  void Release(size_t slot) {
+    free_.fetch_or(uint64_t{1} << slot, std::memory_order_release);
+  }
+
+ private:
+  size_t size_ = 1;
+  std::atomic<uint64_t> free_{1};
+};
+
+/// One immutable generation of the serving state: the base graph, the
+/// index built over it, and the slot pool sized to what the index
+/// actually granted. Published behind an atomic `shared_ptr` swap
+/// (`AtomicSharedPtr`); readers pin a generation for the duration of one
+/// request and never observe a half-rebuilt index. All fields except the
+/// slot leases are frozen before publication.
+struct ServeSnapshot {
+  /// Monotonic generation number (0 = the unindexed startup snapshot).
+  uint64_t version = 0;
+  /// The base graph this generation serves. The index may retain a
+  /// pointer into it (partial indexes do), so it lives in the snapshot.
+  Digraph graph;
+  /// Index over `graph`; null only in the startup snapshot, while the
+  /// first background build is still in flight — queries then degrade to
+  /// the bounded online BFS.
+  std::unique_ptr<ReachabilityIndex> index;
+  /// Leases for the slots `index->PrepareConcurrentQueries` granted.
+  mutable SlotPool slots;
+};
+
+/// Edges accepted by `InsertEdge` but not yet absorbed into a snapshot.
+/// Copy-on-write: writers replace the whole (small, bounded by the drain
+/// threshold) vector under the service's write lock; readers pin the
+/// current list lock-free alongside the snapshot.
+using PendingEdges = std::vector<Edge>;
+
+// TSan cannot see through libstdc++'s _Sp_atomic lock-bit protocol (the
+// pointer word is guarded by a bit spliced into the refcount word and
+// accessed with plain loads), so atomic<shared_ptr> use reports false
+// races; take the mutex path under TSan instead.
+#if defined(__SANITIZE_THREAD__)
+#define REACH_SERVE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define REACH_SERVE_TSAN 1
+#endif
+#endif
+#ifndef REACH_SERVE_TSAN
+#define REACH_SERVE_TSAN 0
+#endif
+
+/// `std::atomic<std::shared_ptr<T>>` where the standard library provides
+/// it (libstdc++ >= 12, the toolchain this repo targets), with a mutex
+/// fallback elsewhere and under TSan. Load/Store are the only operations
+/// the serving path needs.
+template <typename T>
+class AtomicSharedPtr {
+ public:
+#if defined(__cpp_lib_atomic_shared_ptr) && !REACH_SERVE_TSAN
+  std::shared_ptr<T> Load() const { return ptr_.load(std::memory_order_acquire); }
+  void Store(std::shared_ptr<T> p) {
+    ptr_.store(std::move(p), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<T>> ptr_;
+#else
+  std::shared_ptr<T> Load() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ptr_;
+  }
+  void Store(std::shared_ptr<T> p) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ptr_ = std::move(p);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<T> ptr_;
+#endif
+};
+
+}  // namespace reach
+
+#endif  // REACH_SERVE_SERVE_SNAPSHOT_H_

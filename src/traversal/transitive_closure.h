@@ -36,9 +36,10 @@ class TransitiveClosure : public ReachabilityIndex {
   QueryProbe Probe() const override { return probes_.Aggregate(); }
   void ResetProbe() const override { probes_.Reset(); }
 
-  bool PrepareConcurrentQueries(size_t slots) const override {
+  size_t PrepareConcurrentQueries(size_t slots) const override {
+    if (slots == 0) slots = 1;
     probes_.EnsureSlots(slots);
-    return true;
+    return slots;
   }
   bool QueryInSlot(VertexId s, VertexId t, size_t slot) const override;
 

@@ -8,7 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
-#include "plain/registry.h"
+#include "core/index_factory.h"
 #include "traversal/transitive_closure.h"
 
 namespace reach {
@@ -84,7 +84,7 @@ Digraph DisconnectedForest() {
 class EdgeCaseTest : public ::testing::TestWithParam<std::string> {
  protected:
   void ExpectExact(const Digraph& g, const std::string& context) {
-    auto index = MakePlainIndex(GetParam());
+    auto index = MakeIndex(GetParam()).plain;
     ASSERT_NE(index, nullptr);
     TransitiveClosure oracle;
     index->Build(g);
@@ -132,7 +132,7 @@ TEST_P(EdgeCaseTest, DisconnectedForest) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllIndexes, EdgeCaseTest,
-    ::testing::ValuesIn(DefaultPlainIndexSpecs()), [](const auto& info) {
+    ::testing::ValuesIn(DefaultIndexSpecs(IndexFamily::kPlain)), [](const auto& info) {
       std::string name = info.param;
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';

@@ -11,7 +11,7 @@
 #include "lcr/lcr_bfs.h"
 #include "lcr/pruned_labeled_two_hop.h"
 #include "lcr/single_source_gtc.h"
-#include "plain/registry.h"
+#include "core/index_factory.h"
 #include "rlc/rlc_index.h"
 #include "rlc/rlc_product_bfs.h"
 #include "rpq/rpq_evaluator.h"
@@ -43,9 +43,9 @@ TEST_F(Figure1Test, Sec21PlainReachability) {
   EXPECT_TRUE(plain_.HasEdge(kA, kD));
   EXPECT_TRUE(plain_.HasEdge(kD, kH));
   EXPECT_TRUE(plain_.HasEdge(kH, kG));
-  // And every registry index agrees.
-  for (const std::string& spec : DefaultPlainIndexSpecs()) {
-    auto index = MakePlainIndex(spec);
+  // And every roster index agrees.
+  for (const std::string& spec : DefaultIndexSpecs(IndexFamily::kPlain)) {
+    auto index = MakeIndex(spec).plain;
     index->Build(plain_);
     EXPECT_TRUE(index->Query(kA, kG)) << spec;
   }

@@ -1,0 +1,154 @@
+// Unit tests for the unified construction entry point
+// (core/index_factory.h): spec parsing, capability reporting, aliases,
+// and the default rosters. Conformance of the indexes themselves lives in
+// plain_conformance_test.cc / lcr_conformance_test.cc.
+
+#include "core/index_factory.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/figure1.h"
+
+namespace reach {
+namespace {
+
+TEST(IndexSpecTest, ParsesPlainSpecWithParameters) {
+  const IndexSpec spec("grail:k=5");
+  EXPECT_EQ(spec.text, "grail:k=5");
+  EXPECT_FALSE(spec.labeled);
+  EXPECT_EQ(spec.base, "grail");
+  EXPECT_EQ(spec.Param("k", 3), 5u);
+  EXPECT_EQ(spec.Param("missing", 7), 7u);
+}
+
+TEST(IndexSpecTest, ParsesLcrSpecWithMultipleParameters) {
+  const IndexSpec spec("lcr:landmark:k=8:b=3");
+  EXPECT_TRUE(spec.labeled);
+  EXPECT_EQ(spec.base, "landmark");
+  EXPECT_EQ(spec.Param("k", 16), 8u);
+  EXPECT_EQ(spec.Param("b", 2), 3u);
+}
+
+TEST(IndexSpecTest, BareNameHasNoParameters) {
+  const IndexSpec spec("pll");
+  EXPECT_FALSE(spec.labeled);
+  EXPECT_EQ(spec.base, "pll");
+  EXPECT_EQ(spec.Param("k", 42), 42u);
+}
+
+TEST(IndexFactoryTest, UnknownSpecsReturnEmpty) {
+  EXPECT_FALSE(MakeIndex("nonsense"));
+  EXPECT_FALSE(MakeIndex("lcr:nonsense"));
+  EXPECT_FALSE(MakeIndex(""));
+}
+
+TEST(IndexFactoryTest, PlainSpecSetsExactlyPlain) {
+  MadeIndex made = MakeIndex("pll");
+  ASSERT_TRUE(made);
+  EXPECT_NE(made.plain, nullptr);
+  EXPECT_EQ(made.lcr, nullptr);
+  EXPECT_FALSE(made.caps.labeled);
+  EXPECT_TRUE(made.caps.dynamic);       // 2-hop supports InsertEdge
+  EXPECT_TRUE(made.caps.complete);
+  EXPECT_TRUE(made.caps.serializable);  // versioned Save/Load envelope
+}
+
+TEST(IndexFactoryTest, LcrSpecSetsExactlyLcr) {
+  MadeIndex made = MakeIndex("lcr:pll");
+  ASSERT_TRUE(made);
+  EXPECT_EQ(made.plain, nullptr);
+  EXPECT_NE(made.lcr, nullptr);
+  EXPECT_TRUE(made.caps.labeled);
+  EXPECT_TRUE(made.caps.dynamic);
+  EXPECT_TRUE(made.caps.complete);
+}
+
+TEST(IndexFactoryTest, PartialIndexesReportIncomplete) {
+  MadeIndex grail = MakeIndex("grail:k=5");
+  ASSERT_TRUE(grail);
+  EXPECT_FALSE(grail.caps.complete);  // GRAIL prunes, then falls back
+  EXPECT_FALSE(grail.caps.dynamic);
+  EXPECT_FALSE(grail.caps.serializable);
+
+  MadeIndex bfs = MakeIndex("lcr:bfs");
+  ASSERT_TRUE(bfs);
+  EXPECT_FALSE(bfs.caps.complete);  // pure online baseline
+}
+
+TEST(IndexFactoryTest, AutoAdvisorIsDeferred) {
+  MadeIndex made = MakeIndex("auto");
+  ASSERT_TRUE(made);
+  // The advisor picks its technique at Build time, so completeness and
+  // serializability cannot be promised up front.
+  EXPECT_FALSE(made.caps.complete);
+  EXPECT_FALSE(made.caps.serializable);
+}
+
+TEST(IndexFactoryTest, HistoricalLcrAliasesStillConstruct) {
+  for (const char* alias : {"lcr:lcr-bfs", "lcr:jin-tree", "lcr:p2h"}) {
+    MadeIndex made = MakeIndex(alias);
+    EXPECT_TRUE(made) << alias;
+    EXPECT_NE(made.lcr, nullptr) << alias;
+  }
+}
+
+TEST(IndexFactoryTest, ParametersReachTheTechnique) {
+  MadeIndex a = MakeIndex("bfl:bits=64");
+  MadeIndex b = MakeIndex("bfl:bits=512");
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  const Digraph g = figure1::PlainGraph();
+  a.plain->Build(g);
+  b.plain->Build(g);
+  EXPECT_LT(a.plain->IndexSizeBytes(), b.plain->IndexSizeBytes());
+}
+
+TEST(IndexFactoryTest, PlainRosterConstructsAndAnswersFigure1) {
+  const Digraph g = figure1::PlainGraph();
+  const std::vector<std::string> roster = DefaultIndexSpecs(IndexFamily::kPlain);
+  EXPECT_GE(roster.size(), 20u);
+  for (const std::string& spec : roster) {
+    MadeIndex made = MakeIndex(spec);
+    ASSERT_TRUE(made) << spec;
+    ASSERT_NE(made.plain, nullptr) << spec;
+    EXPECT_FALSE(made.caps.labeled) << spec;
+    made.plain->Build(g);
+    EXPECT_TRUE(made.plain->Query(figure1::kA, figure1::kG)) << spec;  // §2.1
+    EXPECT_FALSE(made.plain->Query(figure1::kG, figure1::kA)) << spec;
+  }
+}
+
+TEST(IndexFactoryTest, LcrRosterIsPrefixedAndConstructs) {
+  const std::vector<std::string> roster = DefaultIndexSpecs(IndexFamily::kLcr);
+  EXPECT_GE(roster.size(), 5u);
+  for (const std::string& spec : roster) {
+    EXPECT_EQ(spec.rfind("lcr:", 0), 0u) << spec;
+    MadeIndex made = MakeIndex(spec);
+    ASSERT_TRUE(made) << spec;
+    EXPECT_NE(made.lcr, nullptr) << spec;
+    EXPECT_TRUE(made.caps.labeled) << spec;
+  }
+}
+
+TEST(IndexFactoryTest, CapsMatchIndexSelfReports) {
+  for (IndexFamily family : {IndexFamily::kPlain, IndexFamily::kLcr}) {
+    for (const std::string& spec : DefaultIndexSpecs(family)) {
+      if (spec == "auto") continue;  // deferred until Build
+      MadeIndex made = MakeIndex(spec);
+      ASSERT_TRUE(made) << spec;
+      if (made.plain != nullptr) {
+        EXPECT_EQ(made.caps.complete, made.plain->IsComplete()) << spec;
+        EXPECT_EQ(made.caps.serializable, made.plain->SupportsSerialization())
+            << spec;
+      } else {
+        EXPECT_EQ(made.caps.complete, made.lcr->IsComplete()) << spec;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,5 +1,7 @@
 #include "core/label_kernels.h"
 
+#include "core/serialize.h"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -221,13 +223,24 @@ bool TakeVec(const std::string& in, size_t& pos, std::vector<uint32_t>* v) {
   return true;
 }
 
-// Decodes `bytes` as the legacy layout (magic, n, rank, by_rank, n Lin
-// vectors, n Lout vectors), then re-encodes the decoded fields with the
+// Decodes `bytes` as the versioned envelope (core/serialize.h) followed
+// by the legacy payload (magic, n, rank, by_rank, n Lin vectors, n Lout
+// vectors), then re-encodes the decoded payload fields with the
 // pool-backed accessors and asserts byte equality — proving the sealed
-// index still serializes exactly the pre-pool format.
+// index still serializes exactly the pre-pool payload.
 void ExpectLegacySaveLayout(const PrunedTwoHop& index,
                             const std::string& bytes, size_t n) {
   size_t pos = 0;
+  uint32_t env_magic = 0, env_version = 0, name_len = 0;
+  ASSERT_TRUE(TakePod(bytes, pos, &env_magic));
+  EXPECT_EQ(env_magic, kEnvelopeMagic);
+  ASSERT_TRUE(TakePod(bytes, pos, &env_version));
+  EXPECT_EQ(env_version, kEnvelopeVersion);
+  ASSERT_TRUE(TakePod(bytes, pos, &name_len));
+  ASSERT_EQ(name_len, 3u);
+  EXPECT_EQ(bytes.substr(pos, name_len), "pll");
+  pos += name_len;
+  const size_t payload_start = pos;
   uint64_t magic = 0, count = 0;
   ASSERT_TRUE(TakePod(bytes, pos, &magic));
   EXPECT_EQ(magic, 0x72656163682d3268ULL);  // "reach-2h"
@@ -258,7 +271,7 @@ void ExpectLegacySaveLayout(const PrunedTwoHop& index,
     AppendVec(rebuilt, lout);
   }
   EXPECT_EQ(pos, bytes.size()) << "trailing bytes after legacy layout";
-  EXPECT_EQ(rebuilt, bytes);
+  EXPECT_EQ(rebuilt, bytes.substr(payload_start));
 }
 
 TEST(PooledTwoHopEquivalenceTest, Figure1AndGenerators) {

@@ -1,5 +1,5 @@
-// Cross-cutting LCR conformance: every index in the LCR registry must
-// agree with the constrained-BFS oracle for all vertex pairs and ALL
+// Cross-cutting LCR conformance: every index in the LCR factory roster
+// must agree with the constrained-BFS oracle for all vertex pairs and ALL
 // 2^|L| constraint masks, across graph families — plus the paper's
 // Figure 1(b) worked queries.
 
@@ -13,7 +13,7 @@
 #include "graph/generators.h"
 #include "lcr/label_set.h"
 #include "lcr/lcr_bfs.h"
-#include "lcr/lcr_registry.h"
+#include "core/index_factory.h"
 
 namespace reach {
 namespace {
@@ -40,7 +40,7 @@ class LcrConformanceTest
 
 TEST_P(LcrConformanceTest, MatchesConstrainedBfsEverywhere) {
   const auto& [spec, seed] = GetParam();
-  auto index = MakeLcrIndex(spec);
+  auto index = MakeIndex(spec).lcr;
   ASSERT_NE(index, nullptr) << spec;
 
   ExpectMatchesOracle(*index, RandomLabeledDigraph(18, 60, 3, seed),
@@ -64,7 +64,7 @@ TEST_P(LcrConformanceTest, Figure1PaperQueries) {
   using namespace figure1;
   const auto& [spec, seed] = GetParam();
   (void)seed;
-  auto index = MakeLcrIndex(spec);
+  auto index = MakeIndex(spec).lcr;
   ASSERT_NE(index, nullptr);
   const LabeledDigraph g = LabeledGraph();
   index->Build(g);
@@ -91,7 +91,7 @@ TEST_P(LcrConformanceTest, Figure1PaperQueries) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllLcrIndexes, LcrConformanceTest,
-    ::testing::Combine(::testing::ValuesIn(DefaultLcrIndexSpecs()),
+    ::testing::Combine(::testing::ValuesIn(DefaultIndexSpecs(IndexFamily::kLcr)),
                        ::testing::Values(211, 222)),
     [](const auto& info) {
       std::string name = std::get<0>(info.param);
@@ -101,20 +101,20 @@ INSTANTIATE_TEST_SUITE_P(
       return name + "_seed" + std::to_string(std::get<1>(info.param));
     });
 
-TEST(LcrRegistryTest, UnknownSpecReturnsNull) {
-  EXPECT_EQ(MakeLcrIndex("bogus"), nullptr);
+TEST(LcrFactoryTest, UnknownSpecReturnsEmpty) {
+  EXPECT_FALSE(MakeIndex("lcr:bogus"));
 }
 
-TEST(LcrRegistryTest, CompletenessMatchesTable2) {
+TEST(LcrFactoryTest, CompletenessMatchesTable2) {
   // Complete: GTC (Zou et al.), P2H+. Partial: landmark, online BFS.
   const LabeledDigraph g = figure1::LabeledGraph();
-  for (const char* spec : {"gtc", "p2h", "jin-tree"}) {
-    auto index = MakeLcrIndex(spec);
+  for (const char* spec : {"lcr:gtc", "lcr:pll", "lcr:tree"}) {
+    auto index = MakeIndex(spec).lcr;
     index->Build(g);
     EXPECT_TRUE(index->IsComplete()) << spec;
   }
-  for (const char* spec : {"landmark", "lcr-bfs"}) {
-    auto index = MakeLcrIndex(spec);
+  for (const char* spec : {"lcr:landmark", "lcr:bfs"}) {
+    auto index = MakeIndex(spec).lcr;
     index->Build(g);
     EXPECT_FALSE(index->IsComplete()) << spec;
   }

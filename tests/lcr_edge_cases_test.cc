@@ -7,7 +7,7 @@
 
 #include "graph/generators.h"
 #include "lcr/lcr_bfs.h"
-#include "lcr/lcr_registry.h"
+#include "core/index_factory.h"
 
 namespace reach {
 namespace {
@@ -70,7 +70,7 @@ LabeledDigraph TwoDisconnectedLabeledCycles() {
 class LcrEdgeCaseTest : public ::testing::TestWithParam<std::string> {
  protected:
   void ExpectExact(const LabeledDigraph& g, const std::string& context) {
-    auto index = MakeLcrIndex(GetParam());
+    auto index = MakeIndex(GetParam()).lcr;
     ASSERT_NE(index, nullptr);
     index->Build(g);
     SearchWorkspace ws;
@@ -114,7 +114,7 @@ TEST_P(LcrEdgeCaseTest, DisconnectedCycles) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllLcrIndexes, LcrEdgeCaseTest,
-    ::testing::ValuesIn(DefaultLcrIndexSpecs()), [](const auto& info) {
+    ::testing::ValuesIn(DefaultIndexSpecs(IndexFamily::kLcr)), [](const auto& info) {
       std::string name = info.param;
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';

@@ -1,5 +1,6 @@
-// Cross-cutting conformance suite: EVERY plain index in the registry must
-// agree exactly with the transitive-closure oracle on every graph family,
+// Cross-cutting conformance suite: EVERY plain index in the factory
+// roster must agree exactly with the transitive-closure oracle on every
+// graph family,
 // for all vertex pairs — including cyclic inputs (exercising the §3.1 SCC
 // reduction), DAGs, trees, dense graphs, and the paper's Figure 1.
 
@@ -12,7 +13,7 @@
 #include "graph/figure1.h"
 #include "graph/generators.h"
 #include "obs/query_probe.h"
-#include "plain/registry.h"
+#include "core/index_factory.h"
 #include "traversal/transitive_closure.h"
 
 namespace reach {
@@ -37,7 +38,7 @@ void ExpectMatchesOracle(ReachabilityIndex& index, const Digraph& graph,
 
 TEST_P(PlainConformanceTest, MatchesTransitiveClosureOnAllFamilies) {
   const auto& [spec, seed] = GetParam();
-  auto index = MakePlainIndex(spec);
+  auto index = MakeIndex(spec).plain;
   ASSERT_NE(index, nullptr) << spec;
 
   ExpectMatchesOracle(*index, RandomDigraph(40, 120, seed), "cyclic-sparse");
@@ -54,7 +55,7 @@ TEST_P(PlainConformanceTest, MatchesTransitiveClosureOnAllFamilies) {
 
 TEST_P(PlainConformanceTest, ReflexivityAndRebuild) {
   const auto& [spec, seed] = GetParam();
-  auto index = MakePlainIndex(spec);
+  auto index = MakeIndex(spec).plain;
   ASSERT_NE(index, nullptr);
   const Digraph g1 = RandomDigraph(30, 90, seed);
   index->Build(g1);
@@ -68,7 +69,7 @@ TEST_P(PlainConformanceTest, ReflexivityAndRebuild) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllIndexes, PlainConformanceTest,
-    ::testing::Combine(::testing::ValuesIn(DefaultPlainIndexSpecs()),
+    ::testing::Combine(::testing::ValuesIn(DefaultIndexSpecs(IndexFamily::kPlain)),
                        ::testing::Values(101, 202, 303)),
     [](const auto& info) {
       std::string name = std::get<0>(info.param);
@@ -78,34 +79,34 @@ INSTANTIATE_TEST_SUITE_P(
       return name + "_seed" + std::to_string(std::get<1>(info.param));
     });
 
-TEST(PlainRegistryTest, UnknownSpecReturnsNull) {
-  EXPECT_EQ(MakePlainIndex("nonsense"), nullptr);
+TEST(PlainFactoryTest, UnknownSpecReturnsEmpty) {
+  EXPECT_FALSE(MakeIndex("nonsense"));
 }
 
-TEST(PlainRegistryTest, ParamSpecsApply) {
-  auto grail = MakePlainIndex("grail:k=5");
+TEST(PlainFactoryTest, ParamSpecsApply) {
+  auto grail = MakeIndex("grail:k=5").plain;
   ASSERT_NE(grail, nullptr);
   EXPECT_NE(grail->Name().find("k=5"), std::string::npos);
-  auto bfl = MakePlainIndex("bfl:bits=128");
+  auto bfl = MakeIndex("bfl:bits=128").plain;
   ASSERT_NE(bfl, nullptr);
   EXPECT_NE(bfl->Name().find("128"), std::string::npos);
 }
 
-TEST(PlainRegistryTest, DefaultRosterIsBuildable) {
+TEST(PlainFactoryTest, DefaultRosterIsBuildable) {
   const Digraph g = RandomDigraph(20, 60, 7);
-  for (const std::string& spec : DefaultPlainIndexSpecs()) {
-    auto index = MakePlainIndex(spec);
+  for (const std::string& spec : DefaultIndexSpecs(IndexFamily::kPlain)) {
+    auto index = MakeIndex(spec).plain;
     ASSERT_NE(index, nullptr) << spec;
     index->Build(g);
     EXPECT_FALSE(index->Name().empty());
   }
 }
 
-TEST(PlainRegistryTest, CompletenessFlagsMatchTable1) {
+TEST(PlainFactoryTest, CompletenessFlagsMatchTable1) {
   // Complete rows of Table 1: tree cover, dual labeling, 2-hop family, TC.
   for (const char* spec :
        {"tc", "treecover", "dual", "chaincover", "pll", "tfl"}) {
-    auto index = MakePlainIndex(spec);
+    auto index = MakeIndex(spec).plain;
     index->Build(Chain(4));
     EXPECT_TRUE(index->IsComplete()) << spec;
   }
@@ -113,7 +114,7 @@ TEST(PlainRegistryTest, CompletenessFlagsMatchTable1) {
   for (const char* spec :
        {"grail", "gripp", "ferrari", "ip", "bfl", "oreach", "dbl", "dagger",
         "feline", "preach", "bfs", "bibfs"}) {
-    auto index = MakePlainIndex(spec);
+    auto index = MakeIndex(spec).plain;
     index->Build(Chain(4));
     EXPECT_FALSE(index->IsComplete()) << spec;
   }
@@ -126,7 +127,7 @@ TEST(PlainProbeTest, GrailRecordsNegativeQueryEvidence) {
   const Digraph g = figure1::PlainGraph();
   TransitiveClosure oracle;
   oracle.Build(g);
-  auto grail = MakePlainIndex("grail");
+  auto grail = MakeIndex("grail").plain;
   ASSERT_NE(grail, nullptr);
   grail->Build(g);
 
@@ -162,7 +163,7 @@ TEST(PlainProbeTest, InstrumentedRosterCountsQueriesAndBuildStats) {
   // The indexes the tentpole instruments end-to-end (probe + phases).
   for (const char* spec : {"bfs", "dfs", "bibfs", "tc", "treecover", "grail",
                            "ferrari", "bfl", "pll", "tfl"}) {
-    auto index = MakePlainIndex(spec);
+    auto index = MakeIndex(spec).plain;
     ASSERT_NE(index, nullptr) << spec;
     index->Build(g);
     index->ResetProbe();

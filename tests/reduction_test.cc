@@ -4,7 +4,7 @@
 
 #include "graph/generators.h"
 #include "graph/topological.h"
-#include "plain/registry.h"
+#include "core/index_factory.h"
 #include "reduction/reducing_index.h"
 #include "traversal/transitive_closure.h"
 
@@ -108,7 +108,7 @@ TEST_P(ReductionPropertyTest, ReducingIndexIsExactOnCyclicGraphs) {
   oracle.Build(g);
   for (const bool er : {false, true}) {
     for (const bool tr : {false, true}) {
-      ReducingIndex index(MakePlainIndex("pll"), er, tr);
+      ReducingIndex index(MakeIndex("pll").plain, er, tr);
       index.Build(g);
       for (VertexId s = 0; s < g.NumVertices(); ++s) {
         for (VertexId t = 0; t < g.NumVertices(); ++t) {
@@ -132,7 +132,7 @@ TEST(ReducingIndexTest, ReductionShrinksTheIndexedGraph) {
     edges.push_back({v, 11});
   }
   const Digraph g = Digraph::FromEdges(12, edges);
-  ReducingIndex reduced(MakePlainIndex("pll"), /*er=*/true, /*tr=*/true);
+  ReducingIndex reduced(MakeIndex("pll").plain, /*er=*/true, /*tr=*/true);
   reduced.Build(g);
   EXPECT_EQ(reduced.ReducedNumVertices(), 3u);
   EXPECT_EQ(reduced.ReducedNumEdges(), 2u);
@@ -144,8 +144,8 @@ TEST(ReducingIndexTest, ReductionShrinksTheIndexedGraph) {
 
 TEST(ReducingIndexTest, CompletenessFollowsInner) {
   const Digraph g = Chain(5);
-  ReducingIndex complete(MakePlainIndex("pll"), true, false);
-  ReducingIndex partial(MakePlainIndex("grail"), true, false);
+  ReducingIndex complete(MakeIndex("pll").plain, true, false);
+  ReducingIndex partial(MakeIndex("grail").plain, true, false);
   complete.Build(g);
   partial.Build(g);
   EXPECT_TRUE(complete.IsComplete());

@@ -1,8 +1,14 @@
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/index_factory.h"
+#include "core/serialize.h"
+#include "graph/figure1.h"
 #include "graph/generators.h"
+#include "lcr/label_set.h"
 #include "plain/pruned_two_hop.h"
 #include "traversal/transitive_closure.h"
 
@@ -98,6 +104,115 @@ TEST(SerializationTest, RejectsCorruptedRanks) {
   std::stringstream corrupted(data);
   PrunedTwoHop loaded;
   EXPECT_FALSE(loaded.Load(corrupted));
+}
+
+// Save -> Load across *every* registered plain spec: serializable
+// indexes must answer identically after the round trip; the rest must
+// refuse with the typed kUnsupported status instead of writing or
+// misreading bytes.
+TEST(SerializationRosterTest, PlainRoundTripAcrossAllRegisteredSpecs) {
+  const Digraph fig = figure1::PlainGraph();
+  const Digraph rnd = RandomDigraph(48, 150, 0xC0FFEE);
+  for (const std::string& spec : DefaultIndexSpecs(IndexFamily::kPlain)) {
+    for (const Digraph* g : {&fig, &rnd}) {
+      MadeIndex made = MakeIndex(spec);
+      ASSERT_TRUE(made) << spec;
+      made.plain->Build(*g);
+      std::stringstream buffer;
+      if (!made.caps.serializable) {
+        EXPECT_FALSE(made.plain->Save(buffer)) << spec;
+        const LoadResult result = made.plain->Load(buffer);
+        EXPECT_EQ(result.status, LoadStatus::kUnsupported) << spec;
+        continue;
+      }
+      ASSERT_TRUE(made.plain->Save(buffer)) << spec;
+      MadeIndex fresh = MakeIndex(spec);
+      const LoadResult result = fresh.plain->Load(buffer);
+      ASSERT_TRUE(result) << spec << ": "
+                          << LoadStatusMessage(result.status);
+      for (VertexId s = 0; s < g->NumVertices(); ++s) {
+        for (VertexId t = 0; t < g->NumVertices(); ++t) {
+          ASSERT_EQ(fresh.plain->Query(s, t), made.plain->Query(s, t))
+              << spec << ": " << s << "->" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(SerializationRosterTest, LcrRoundTripAcrossAllRegisteredSpecs) {
+  const LabeledDigraph fig = figure1::LabeledGraph();
+  const LabeledDigraph rnd = RandomLabeledDigraph(40, 130, 3, 0xBEEF);
+  const std::vector<LabelSet> label_sets = {
+      MakeLabelSet({}),     MakeLabelSet({0}),       MakeLabelSet({2}),
+      MakeLabelSet({0, 1}), MakeLabelSet({0, 1, 2}),
+  };
+  for (const std::string& spec : DefaultIndexSpecs(IndexFamily::kLcr)) {
+    for (const LabeledDigraph* g : {&fig, &rnd}) {
+      MadeIndex made = MakeIndex(spec);
+      ASSERT_TRUE(made) << spec;
+      made.lcr->Build(*g);
+      std::stringstream buffer;
+      if (!made.caps.serializable) {
+        EXPECT_FALSE(made.lcr->Save(buffer)) << spec;
+        const LoadResult result = made.lcr->Load(buffer);
+        EXPECT_EQ(result.status, LoadStatus::kUnsupported) << spec;
+        continue;
+      }
+      ASSERT_TRUE(made.lcr->Save(buffer)) << spec;
+      MadeIndex fresh = MakeIndex(spec);
+      const LoadResult result = fresh.lcr->Load(buffer);
+      ASSERT_TRUE(result) << spec << ": "
+                          << LoadStatusMessage(result.status);
+      for (VertexId s = 0; s < g->NumVertices(); ++s) {
+        for (VertexId t = 0; t < g->NumVertices(); ++t) {
+          for (const LabelSet& ls : label_sets) {
+            ASSERT_EQ(fresh.lcr->Query(s, t, ls), made.lcr->Query(s, t, ls))
+                << spec << ": " << s << "->" << t;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SerializationEnvelopeTest, VersionMismatchIsRejectedWithTypedStatus) {
+  const Digraph g = Chain(8);
+  PrunedTwoHop index;
+  index.Build(g);
+  std::stringstream saved;
+  ASSERT_TRUE(index.Save(saved));
+  // Re-wrap the payload in an envelope from a future format revision.
+  const std::string bytes = saved.str();
+  const size_t envelope_size = 3 * sizeof(uint32_t) + index.Name().size();
+  std::stringstream tampered;
+  ASSERT_TRUE(WriteEnvelope(tampered, index.Name(), kEnvelopeVersion + 1));
+  tampered << bytes.substr(envelope_size);
+  PrunedTwoHop loaded;
+  const LoadResult result = loaded.Load(tampered);
+  EXPECT_EQ(result.status, LoadStatus::kBadVersion);
+}
+
+TEST(SerializationEnvelopeTest, WrongIndexNameIsRejected) {
+  const Digraph g = Chain(8);
+  PrunedTwoHop degree_order;  // envelope name "pll"
+  degree_order.Build(g);
+  std::stringstream buffer;
+  ASSERT_TRUE(degree_order.Save(buffer));
+  // The labeled 2-hop (format "p2h") must refuse the "pll" stream.
+  MadeIndex other = MakeIndex("lcr:pll");
+  ASSERT_TRUE(other);
+  const LoadResult result = other.lcr->Load(buffer);
+  EXPECT_EQ(result.status, LoadStatus::kWrongIndex);
+  EXPECT_EQ(result.detail, "pll");
+}
+
+TEST(SerializationEnvelopeTest, BadMagicIsTyped) {
+  std::stringstream buffer;
+  buffer << "not an index stream";
+  PrunedTwoHop loaded;
+  const LoadResult result = loaded.Load(buffer);
+  EXPECT_EQ(result.status, LoadStatus::kBadMagic);
 }
 
 TEST(SerializationTest, EmptyGraphRoundTrip) {

@@ -1,0 +1,360 @@
+// Concurrent serving-engine suite (src/serve/). The headline test is the
+// acceptance differential: eight reader threads and one writer sustain
+// queries across several background snapshot swaps while every answer is
+// checked against an independent BFS oracle via an insertion-log
+// watermark protocol. The whole binary runs under TSan in CI.
+
+#include "serve/reach_service.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/figure1.h"
+#include "graph/generators.h"
+#include "graph/rng.h"
+#include "obs/metrics_exporter.h"
+#include "obs/metrics_registry.h"
+#include "obs/query_probe.h"
+
+namespace reach {
+namespace {
+
+// Independent oracle: plain BFS over the base graph plus the first
+// `watermark` entries of the insertion log. Deliberately shares no code
+// with the service's own traversal paths.
+bool OracleReachable(const Digraph& base, const std::vector<Edge>& log,
+                     size_t watermark, VertexId s, VertexId t) {
+  std::vector<std::vector<VertexId>> extra(base.NumVertices());
+  for (size_t i = 0; i < watermark; ++i) {
+    extra[log[i].source].push_back(log[i].target);
+  }
+  std::vector<uint8_t> seen(base.NumVertices(), 0);
+  std::vector<VertexId> queue = {s};
+  seen[s] = 1;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId v = queue[head];
+    if (v == t) return true;
+    for (VertexId n : base.OutNeighbors(v)) {
+      if (!seen[n]) {
+        seen[n] = 1;
+        queue.push_back(n);
+      }
+    }
+    for (VertexId n : extra[v]) {
+      if (!seen[n]) {
+        seen[n] = 1;
+        queue.push_back(n);
+      }
+    }
+  }
+  return false;
+}
+
+// The acceptance differential. Watermark protocol: the writer publishes
+// each edge into `log` *before* calling InsertEdge and bumps `inserted`
+// *after* it returns. A reader samples `inserted` before its query and
+// `published` after it:
+//   * a positive answer must be justified by base + log[0, published_after)
+//     — everything the service could possibly have seen;
+//   * an exact negative must hold over base + log[0, inserted_before)
+//     — everything definitely accepted before the query began.
+TEST(ServeDifferentialTest, ConcurrentReadersAndWriterAcrossSwaps) {
+  constexpr size_t kReaders = 8;
+  constexpr size_t kInserts = 120;
+  constexpr size_t kQueriesPerReader = 300;
+  constexpr VertexId kN = 160;
+  const Digraph base = RandomDigraph(kN, 320, 0xACE);
+
+  ServiceOptions opts;
+  opts.slots = kReaders;
+  opts.drain_threshold = 24;  // several background swaps over 120 inserts
+  ReachService service(base, opts);
+  service.Start();
+
+  std::vector<Edge> log(kInserts);
+  std::atomic<size_t> published{0};  // slots written to `log`
+  std::atomic<size_t> inserted{0};   // InsertEdge calls that returned
+  std::atomic<uint64_t> wrong_positive{0};
+  std::atomic<uint64_t> wrong_negative{0};
+  std::atomic<uint64_t> inexact{0};
+  std::atomic<uint64_t> rejected_inserts{0};
+
+  std::thread writer([&] {
+    Xoshiro256ss rng(0x5EED);
+    for (size_t i = 0; i < kInserts; ++i) {
+      const Edge e{static_cast<VertexId>(rng.NextBounded(kN)),
+                   static_cast<VertexId>(rng.NextBounded(kN))};
+      log[i] = e;
+      published.store(i + 1, std::memory_order_release);
+      if (!service.InsertEdge(e.source, e.target)) ++rejected_inserts;
+      inserted.store(i + 1, std::memory_order_release);
+      if ((i + 1) % 40 == 0) service.Flush();  // extra swaps mid-stream
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Xoshiro256ss rng(0x1000 + r);
+      for (size_t q = 0; q < kQueriesPerReader; ++q) {
+        const auto s = static_cast<VertexId>(rng.NextBounded(kN));
+        const auto t = static_cast<VertexId>(rng.NextBounded(kN));
+        const size_t w_before = inserted.load(std::memory_order_acquire);
+        const ServeAnswer ans = service.Query(s, t);
+        const size_t w_after = published.load(std::memory_order_acquire);
+        if (!ans.exact) ++inexact;
+        if (ans.reachable) {
+          if (!OracleReachable(base, log, w_after, s, t)) ++wrong_positive;
+        } else if (ans.exact) {
+          if (OracleReachable(base, log, w_before, s, t)) ++wrong_negative;
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+  service.Flush();
+
+  EXPECT_EQ(wrong_positive.load(), 0u);
+  EXPECT_EQ(wrong_negative.load(), 0u);
+  EXPECT_EQ(rejected_inserts.load(), 0u);
+  // The visit budget comfortably covers a 160-vertex graph, so even
+  // degraded answers are exact here.
+  EXPECT_EQ(inexact.load(), 0u);
+  EXPECT_GE(service.SnapshotVersion(), 4u);  // startup build + >= 3 swaps
+  EXPECT_EQ(service.PendingEdgeCount(), 0u);
+
+  const ServeStats& st = service.stats();
+  EXPECT_EQ(st.queries.load(), kReaders * kQueriesPerReader);
+  EXPECT_EQ(st.inserts.load(), kInserts);
+  EXPECT_GE(st.rebuilds.load(), 4u);
+  EXPECT_EQ(
+      st.index_answers.load() + st.delta_answers.load() +
+          st.fallback_answers.load(),
+      st.queries.load());
+  service.Stop();
+
+  // The serve.* admission/latency/fallback counters must be visible in
+  // the "reach.metrics.v1" export when metrics are compiled in.
+  if (kMetricsCompiled) {
+    MetricsExporter exporter;
+    exporter.SetRegistrySnapshot(MetricsRegistry::Global().Snapshot());
+    const std::string json = exporter.ToJson();
+    EXPECT_NE(json.find("reach.metrics.v1"), std::string::npos);
+    for (const char* key :
+         {"serve.queries", "serve.index_answers", "serve.fallback_bfs",
+          "serve.slot_waits", "serve.rebuilds", "serve.query_ns"}) {
+      EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+  }
+}
+
+TEST(ServeFallbackTest, AnswersExactlyBeforeStartViaBoundedBfs) {
+  const Digraph g = figure1::PlainGraph();
+  ReachService service(g);  // never started: no index is ever built
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      const ServeAnswer ans = service.Query(s, t);
+      EXPECT_EQ(ans.reachable, OracleReachable(g, {}, 0, s, t))
+          << s << "->" << t;
+      EXPECT_TRUE(ans.exact);
+      EXPECT_EQ(ans.source, AnswerSource::kFallbackBfs);
+      EXPECT_EQ(ans.snapshot_version, 0u);
+    }
+  }
+  EXPECT_EQ(service.stats().fallback_answers.load(),
+            service.stats().queries.load());
+}
+
+TEST(ServeDeltaTest, PendingEdgesAnsweredExactlyBeforeDrain) {
+  const Digraph g = Chain(10);  // 0 -> 1 -> ... -> 9
+  ServiceOptions opts;
+  opts.drain_threshold = 1000;  // no automatic drain
+  ReachService service(g, opts);
+  service.Start();
+  service.Flush();  // wait for the index over the base chain
+  ASSERT_GE(service.SnapshotVersion(), 1u);
+
+  // A pure index hit is untouched by pending edges.
+  ServeAnswer hit = service.Query(0, 9);
+  EXPECT_TRUE(hit.reachable);
+  EXPECT_EQ(hit.source, AnswerSource::kIndex);
+
+  // 9 -> 0 closes the cycle: 5 now reaches 2 through one pending edge.
+  ASSERT_TRUE(service.InsertEdge(9, 0));
+  EXPECT_EQ(service.PendingEdgeCount(), 1u);
+  ServeAnswer via_delta = service.Query(5, 2);
+  EXPECT_TRUE(via_delta.reachable);
+  EXPECT_TRUE(via_delta.exact);
+  EXPECT_EQ(via_delta.source, AnswerSource::kDelta);
+
+  // After the drain the same answer comes straight from the new index.
+  service.Flush();
+  EXPECT_EQ(service.PendingEdgeCount(), 0u);
+  ServeAnswer via_index = service.Query(5, 2);
+  EXPECT_TRUE(via_index.reachable);
+  EXPECT_EQ(via_index.source, AnswerSource::kIndex);
+  EXPECT_GT(via_index.snapshot_version, via_delta.snapshot_version);
+  service.Stop();
+}
+
+TEST(ServeDeltaTest, ChainedPendingEdgesAndExactNegatives) {
+  const Digraph g = Chain(10);
+  ServiceOptions opts;
+  opts.drain_threshold = 1000;
+  ReachService service(g, opts);
+  service.Start();
+  service.Flush();
+
+  // 8 reaches 1 only through the *two* pending edges 9->4 then 4->1.
+  ASSERT_TRUE(service.InsertEdge(9, 4));
+  ASSERT_TRUE(service.InsertEdge(4, 1));
+  ServeAnswer two_hop = service.Query(8, 1);
+  EXPECT_TRUE(two_hop.reachable);
+  EXPECT_TRUE(two_hop.exact);
+  EXPECT_EQ(two_hop.source, AnswerSource::kDelta);
+
+  // 7 -> 0 stays unreachable even with both pending edges (nothing ever
+  // enters 0); the closure walks both and proves the exact negative.
+  ServeAnswer negative = service.Query(7, 0);
+  EXPECT_FALSE(negative.reachable);
+  EXPECT_TRUE(negative.exact);
+  EXPECT_EQ(negative.source, AnswerSource::kDelta);
+  service.Stop();
+}
+
+TEST(ServeDeadlineTest, ExpiredDeadlineDegradesToBoundedBfs) {
+  const Digraph g = Chain(64);
+  ServiceOptions opts;
+  opts.drain_threshold = 1000;
+  opts.deadline = std::chrono::nanoseconds(1);  // expires instantly
+  ReachService service(g, opts);
+  service.Start();
+  service.Flush();
+
+  // Redundant forward edges whose tails 32 reaches, so the delta closure
+  // has real work queued when the (already expired) deadline is checked.
+  for (VertexId v = 40; v < 48; ++v) ASSERT_TRUE(service.InsertEdge(v, v + 1));
+  const ServeAnswer ans = service.Query(32, 0);  // backward: unreachable
+  EXPECT_FALSE(ans.reachable);
+  EXPECT_TRUE(ans.exact);  // budget covers 64 vertices
+  EXPECT_EQ(ans.source, AnswerSource::kFallbackBfs);
+  EXPECT_GE(service.stats().deadline_degraded.load(), 1u);
+  service.Stop();
+}
+
+TEST(ServeLifecycleTest, StopRejectsInsertsButKeepsServing) {
+  const Digraph g = Chain(6);
+  ReachService service(g);
+  service.Start();
+  service.Flush();
+  service.Stop();
+  service.Stop();  // idempotent
+  EXPECT_FALSE(service.InsertEdge(0, 5));
+  const ServeAnswer ans = service.Query(0, 5);
+  EXPECT_TRUE(ans.reachable);  // still served from the last snapshot
+  EXPECT_TRUE(ans.exact);
+}
+
+TEST(ServeLifecycleTest, OutOfRangeEndpointsAreRejected) {
+  const Digraph g = Chain(4);
+  ReachService service(g);
+  service.Start();
+  EXPECT_FALSE(service.InsertEdge(0, 99));
+  EXPECT_FALSE(service.InsertEdge(99, 0));
+  const ServeAnswer ans = service.Query(0, 99);
+  EXPECT_FALSE(ans.reachable);
+  EXPECT_TRUE(ans.exact);
+  service.Stop();
+}
+
+TEST(ServeLifecycleTest, UnknownSpecFallsBackToPll) {
+  const Digraph g = figure1::PlainGraph();
+  ServiceOptions opts;
+  opts.spec = "definitely-not-an-index";
+  ReachService service(g, opts);
+  service.Start();
+  service.Flush();
+  ASSERT_GE(service.SnapshotVersion(), 1u);
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      EXPECT_EQ(service.Query(s, t).reachable, OracleReachable(g, {}, 0, s, t))
+          << s << "->" << t;
+    }
+  }
+  service.Stop();
+}
+
+TEST(BoundedUnionBfsTest, RespectsVisitBudget) {
+  const Digraph g = Chain(100);
+  const BoundedBfsOutcome starved = BoundedUnionBfs(g, {}, 0, 99, 10);
+  EXPECT_FALSE(starved.reachable);
+  EXPECT_FALSE(starved.complete);
+  const BoundedBfsOutcome full = BoundedUnionBfs(g, {}, 0, 99, 200);
+  EXPECT_TRUE(full.reachable);
+  EXPECT_TRUE(full.complete);
+}
+
+TEST(BoundedUnionBfsTest, TraversesExtraEdgesAndHandlesTrivialPairs) {
+  const Digraph g = Digraph::FromEdges(3, {});
+  EXPECT_TRUE(BoundedUnionBfs(g, {{0, 1}, {1, 2}}, 0, 2, 100).reachable);
+  EXPECT_FALSE(BoundedUnionBfs(g, {{0, 1}}, 0, 2, 100).reachable);
+  const BoundedBfsOutcome self = BoundedUnionBfs(g, {}, 1, 1, 100);
+  EXPECT_TRUE(self.reachable);
+  EXPECT_TRUE(self.complete);
+}
+
+// Mutual exclusion of slot leases: with a single granted slot the pool
+// must serialize critical sections; the unsynchronized counter would be
+// torn (and flagged by TSan) otherwise.
+TEST(SlotPoolTest, SingleSlotSerializesCriticalSections) {
+  SlotPool pool;
+  pool.Reset(1);
+  uint64_t unguarded = 0;
+  constexpr size_t kThreads = 4;
+  constexpr size_t kIters = 2000;
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (size_t k = 0; k < kIters; ++k) {
+        const size_t slot = pool.Acquire();
+        ASSERT_EQ(slot, 0u);
+        ++unguarded;
+        pool.Release(slot);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(unguarded, kThreads * kIters);
+}
+
+TEST(SlotPoolTest, DistinctSlotsUntilExhausted) {
+  SlotPool pool;
+  pool.Reset(3);
+  EXPECT_EQ(pool.size(), 3u);
+  bool waited = false;
+  const size_t a = pool.Acquire(&waited);
+  const size_t b = pool.Acquire(&waited);
+  const size_t c = pool.Acquire(&waited);
+  EXPECT_FALSE(waited);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, c);
+  pool.Release(b);
+  EXPECT_EQ(pool.Acquire(&waited), b);  // the only free slot comes back
+  EXPECT_FALSE(waited);
+  pool.Release(a);
+  pool.Release(b);
+  pool.Release(c);
+}
+
+}  // namespace
+}  // namespace reach
