@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <utility>
@@ -199,6 +200,50 @@ inline void EmitBenchMetrics() {
   }
   std::fputs(exporter.ToJson().c_str(), stderr);
   std::fputc('\n', stderr);
+}
+
+/// The shared main body of every bench binary: google-benchmark
+/// initialization, optional dynamic registration, the run, and the
+/// post-run reports. When the REACH_BENCH_DIR environment variable names
+/// a directory, the full benchmark results are additionally written there
+/// as machine-readable JSON (`BENCH_<binary_name>.json` — google
+/// benchmark's own JSON schema, consumed by CI artifacts and ad-hoc
+/// tooling); an explicit --benchmark_out flag wins over the variable.
+///
+///   int main(int argc, char** argv) {
+///     return reach::bench::BenchMain(argc, argv, "bench_table1_plain",
+///                                    &reach::bench::RegisterAll);
+///   }
+inline int BenchMain(int argc, char** argv, const char* binary_name,
+                     void (*register_benchmarks)() = nullptr,
+                     void (*after_run)() = nullptr) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, format_flag;
+  bool explicit_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      explicit_out = true;
+    }
+  }
+  const char* dir = std::getenv("REACH_BENCH_DIR");
+  if (dir != nullptr && !explicit_out) {
+    out_flag = std::string("--benchmark_out=") + dir + "/BENCH_" +
+               binary_name + ".json";
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  ::benchmark::Initialize(&args_count, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  if (register_benchmarks != nullptr) register_benchmarks();
+  ::benchmark::RunSpecifiedBenchmarks();
+  if (after_run != nullptr) after_run();
+  EmitBenchMetrics();
+  ::benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace reach::bench

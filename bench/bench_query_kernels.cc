@@ -178,18 +178,22 @@ void EmitSpeedupReport(const std::vector<Workload>& workloads) {
 }  // namespace
 }  // namespace reach::bench
 
+namespace reach::bench {
+namespace {
+
+void EmitKernelReports() {
+  std::vector<Workload> workloads;
+  workloads.push_back(MakeWorkload("1:1", 1));
+  workloads.push_back(MakeWorkload("1:8", 8));
+  workloads.push_back(MakeWorkload("1:64", 64));
+  EmitSpeedupReport(workloads);
+}
+
+}  // namespace
+}  // namespace reach::bench
+
 int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  reach::bench::RegisterAll();
-  ::benchmark::RunSpecifiedBenchmarks();
-  {
-    std::vector<reach::bench::Workload> workloads;
-    workloads.push_back(reach::bench::MakeWorkload("1:1", 1));
-    workloads.push_back(reach::bench::MakeWorkload("1:8", 8));
-    workloads.push_back(reach::bench::MakeWorkload("1:64", 64));
-    reach::bench::EmitSpeedupReport(workloads);
-  }
-  reach::bench::EmitBenchMetrics();
-  ::benchmark::Shutdown();
-  return 0;
+  return reach::bench::BenchMain(argc, argv, "bench_query_kernels",
+                                 &reach::bench::RegisterAll,
+                                 &reach::bench::EmitKernelReports);
 }

@@ -116,9 +116,6 @@ void RegisterAll() {
 }  // namespace reach::bench
 
 int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  reach::bench::RegisterAll();
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  return reach::bench::BenchMain(argc, argv, "bench_rpq_general",
+                                 &reach::bench::RegisterAll);
 }

@@ -35,6 +35,10 @@ void BM_ServeQueryLatencyUnderWrites(benchmark::State& state) {
   ServiceOptions options;
   options.spec = "pll";
   options.drain_threshold = 128;
+  // A deadline plus a latency threshold exercises both slow-query capture
+  // paths; the 500µs threshold only trips on genuine tail queries.
+  options.deadline = std::chrono::milliseconds(2);
+  options.slow_query_threshold = std::chrono::microseconds(500);
   ReachService service(graph, options);
   service.Start();
   service.Flush();  // measure from the first indexed snapshot
@@ -78,6 +82,17 @@ void BM_ServeQueryLatencyUnderWrites(benchmark::State& state) {
       static_cast<double>(stats.delta_answers.load());
   state.counters["fallback_answers"] =
       static_cast<double>(stats.fallback_answers.load());
+  // The serve tail, printed alongside p50/p99: queries that blew their
+  // deadline (degraded to the bounded BFS), answers the service could not
+  // verify, and slow-query-log activity ("serve.slow.*" in metrics).
+  state.counters["deadline_degraded"] =
+      static_cast<double>(stats.deadline_degraded.load());
+  state.counters["inexact_answers"] =
+      static_cast<double>(stats.inexact_answers.load());
+  state.counters["slow_captured"] =
+      static_cast<double>(stats.slow_captured.load());
+  state.counters["slow_dropped"] =
+      static_cast<double>(stats.slow_dropped.load());
   state.SetItemsProcessed(state.iterations());
 }
 
@@ -146,10 +161,5 @@ BENCHMARK(BM_ServeReadThroughput)
 }  // namespace reach::bench
 
 int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  reach::bench::EmitBenchMetrics();
-  ::benchmark::Shutdown();
-  return 0;
+  return reach::bench::BenchMain(argc, argv, "bench_serve");
 }

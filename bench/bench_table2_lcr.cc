@@ -101,10 +101,6 @@ void RegisterAll() {
 }  // namespace reach::bench
 
 int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  reach::bench::RegisterAll();
-  ::benchmark::RunSpecifiedBenchmarks();
-  reach::bench::EmitBenchMetrics();
-  ::benchmark::Shutdown();
-  return 0;
+  return reach::bench::BenchMain(argc, argv, "bench_table2_lcr",
+                                 &reach::bench::RegisterAll);
 }

@@ -5,19 +5,29 @@
 // observability layer (--metrics).
 //
 // Usage:
-//   reach_cli [--metrics] [--threads N] [--reorder=deg|bfs|none]
-//             <edge-list-file> [index-spec]
+//   reach_cli [--metrics] [--threads N] [--trace=FILE]
+//             [--reorder=deg|bfs|none] <edge-list-file> [index-spec]
 //   reach_cli [--metrics] [--threads N] --labeled <edge-list-file>
 //   reach_cli [--metrics] [--threads N] [--reorder=deg|bfs|none]
 //             --demo [index-spec]
-//   reach_cli [--metrics] [--threads N] --serve (<edge-list-file> | --demo)
-//             [index-spec]
+//   reach_cli [--metrics] [--threads N] [--trace=FILE] [--slow-ms=N]
+//             --serve (<edge-list-file> | --demo) [index-spec]
 //
 // --serve runs the snapshot-serving engine (src/serve/) instead of a
 // one-shot index: queries are answered from an immutable snapshot while
 // `+ <s> <t>` inserts stream into a write buffer that background rebuilds
 // absorb. Each answer reports how it was produced (index, delta closure,
 // or bounded BFS) and by which snapshot generation.
+//
+// --trace=FILE enables the span recorder (src/obs/trace.h) for the whole
+// run and writes a Chrome-trace/Perfetto-compatible JSON timeline to FILE
+// at exit: build phases, pool-worker task activity, and — under --serve —
+// per-query stage spans and snapshot swaps (docs/TRACING.md).
+//
+// --slow-ms=N (--serve only) captures any query slower than N
+// milliseconds into the bounded slow-query log; retained records (stage
+// breakdown + probe counters) are dumped to stderr at shutdown.
+// Deadline-degraded queries are captured regardless of N.
 //
 // --threads N sets the process-wide default parallelism (the shared
 // thread pool that parallel index builds draw from); without it the pool
@@ -38,6 +48,8 @@
 // printed to stdout after stdin is exhausted: per-phase build timings,
 // index size, peak build RSS, and the accumulated query probe counters.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -55,6 +67,7 @@
 #include "lcr/label_set.h"
 #include "lcr/pruned_labeled_two_hop.h"
 #include "obs/metrics_exporter.h"
+#include "obs/trace.h"
 #include "par/thread_pool.h"
 #include "plain/pruned_two_hop.h"
 #include "core/index_factory.h"
@@ -187,11 +200,48 @@ const char* SourceName(reach::AnswerSource source) {
   return "?";
 }
 
+// Dumps the retained slow queries, one line per record, to stderr.
+void DumpSlowQueries(const reach::ReachService& service) {
+  const std::vector<reach::SlowQueryRecord> slow = service.SlowQueries();
+  if (slow.empty()) return;
+  std::fprintf(stderr, "slow-query log (%zu retained):\n", slow.size());
+  for (const reach::SlowQueryRecord& rec : slow) {
+    std::string stages;
+    for (size_t i = 0; i < reach::kNumServeStages; ++i) {
+      if (rec.stage_ns[i] == 0) continue;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " %s=%.3fms", reach::ServeStageName(i),
+                    rec.stage_ns[i] / 1e6);
+      stages += buf;
+    }
+    std::fprintf(stderr,
+                 "  %u -> %u: %.3fms %s%s v%llu%s%s probes=%llu "
+                 "pending=%llu bfs_visits=%llu |%s\n",
+                 rec.s, rec.t, rec.total_ns / 1e6,
+                 rec.reachable ? "true" : "false", rec.exact ? "" : "?",
+                 static_cast<unsigned long long>(rec.snapshot_version),
+                 rec.deadline_degraded ? " deadline_degraded" : "",
+                 rec.slot_waited ? " slot_waited" : "",
+                 static_cast<unsigned long long>(rec.index_probes),
+                 static_cast<unsigned long long>(rec.pending_edges),
+                 static_cast<unsigned long long>(rec.bfs_visits),
+                 stages.c_str());
+  }
+}
+
 int RunServe(const reach::Digraph& graph, const std::string& spec,
-             bool metrics) {
+             bool metrics, double slow_ms) {
   using namespace reach;
   ServiceOptions options;
   options.spec = spec;
+  if (slow_ms >= 0) {
+    // Clamp to 1ns: --slow-ms=0 means "capture every query", and a 0ns
+    // threshold would disable capture instead.
+    options.slow_query_threshold =
+        std::max(std::chrono::nanoseconds(1),
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::duration<double, std::milli>(slow_ms)));
+  }
   ReachService service(graph, options);
   service.Start();
   std::fprintf(stderr,
@@ -243,13 +293,18 @@ int RunServe(const reach::Digraph& graph, const std::string& spec,
   const ServeStats& stats = service.stats();
   std::fprintf(stderr,
                "served %llu queries (%llu index, %llu delta, %llu bfs), "
-               "%llu inserts, %llu snapshots\n",
+               "%llu inserts, %llu snapshots\n"
+               "  %llu deadline_degraded, %llu slow captured (%llu evicted)\n",
                static_cast<unsigned long long>(stats.queries.load()),
                static_cast<unsigned long long>(stats.index_answers.load()),
                static_cast<unsigned long long>(stats.delta_answers.load()),
                static_cast<unsigned long long>(stats.fallback_answers.load()),
                static_cast<unsigned long long>(stats.inserts.load()),
-               static_cast<unsigned long long>(stats.rebuilds.load()));
+               static_cast<unsigned long long>(stats.rebuilds.load()),
+               static_cast<unsigned long long>(stats.deadline_degraded.load()),
+               static_cast<unsigned long long>(stats.slow_captured.load()),
+               static_cast<unsigned long long>(stats.slow_dropped.load()));
+  DumpSlowQueries(service);
   if (metrics) {
     MetricsExporter exporter;
     exporter.SetRegistrySnapshot(MetricsRegistry::Global().Snapshot());
@@ -265,6 +320,8 @@ int main(int argc, char** argv) {
   using namespace reach;
   bool metrics = false;
   bool serve = false;
+  std::string trace_path;
+  double slow_ms = -1;
   ReorderStrategy reorder = ReorderStrategy::kNone;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
@@ -272,6 +329,23 @@ int main(int argc, char** argv) {
       metrics = true;
     } else if (std::strcmp(argv[i], "--serve") == 0) {
       serve = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+      if (trace_path.empty()) {
+        std::fprintf(stderr, "error: --trace needs a file path\n");
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--slow-ms=", 10) == 0) {
+      try {
+        slow_ms = std::stod(argv[i] + 10);
+      } catch (...) {
+        slow_ms = -1;
+      }
+      if (slow_ms < 0) {
+        std::fprintf(stderr,
+                     "error: --slow-ms needs a non-negative number\n");
+        return 1;
+      }
     } else if (std::strncmp(argv[i], "--reorder=", 10) == 0) {
       const auto parsed = ParseReorderStrategy(argv[i] + 10);
       if (!parsed) {
@@ -296,39 +370,71 @@ int main(int argc, char** argv) {
       args.push_back(argv[i]);
     }
   }
-  if (!args.empty() && std::strcmp(args[0], "--demo") == 0) {
-    const std::string spec = args.size() > 1 ? args[1] : "pll";
-    if (serve) return RunServe(ScaleFreeDag(10000, 3, 1), spec, metrics);
-    return RunPlain(ScaleFreeDag(10000, 3, 1), spec, metrics, reorder);
-  }
-  if (args.size() >= 2 && std::strcmp(args[0], "--labeled") == 0) {
-    std::string error;
-    auto graph = ReadLabeledEdgeListFile(args[1], &error);
-    if (!graph) {
-      std::fprintf(stderr, "error: %s\n", error.c_str());
-      return 1;
+  if (!trace_path.empty()) {
+    if (!kMetricsCompiled) {
+      std::fprintf(stderr,
+                   "warning: built with REACH_METRICS=OFF — the trace will "
+                   "contain no spans\n");
     }
-    return RunLabeled(*graph, metrics);
+    TraceRecorder::Global().set_enabled(true);
+    TraceRecorder::Global().SetCurrentThreadName("main");
   }
-  if (!args.empty()) {
-    std::string error;
-    auto graph = ReadEdgeListFile(args[0], &error);
-    if (!graph) {
-      std::fprintf(stderr, "error: %s\n", error.c_str());
-      return 1;
+
+  // Dispatch through a lambda so the trace file is written on every exit
+  // path (after the serve engine has stopped and workers have quiesced).
+  const int rc = [&]() -> int {
+    if (!args.empty() && std::strcmp(args[0], "--demo") == 0) {
+      const std::string spec = args.size() > 1 ? args[1] : "pll";
+      if (serve) {
+        return RunServe(ScaleFreeDag(10000, 3, 1), spec, metrics, slow_ms);
+      }
+      return RunPlain(ScaleFreeDag(10000, 3, 1), spec, metrics, reorder);
     }
-    const std::string spec = args.size() > 1 ? args[1] : "pll";
-    if (serve) return RunServe(*graph, spec, metrics);
-    return RunPlain(*graph, spec, metrics, reorder);
+    if (args.size() >= 2 && std::strcmp(args[0], "--labeled") == 0) {
+      std::string error;
+      auto graph = ReadLabeledEdgeListFile(args[1], &error);
+      if (!graph) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+      }
+      return RunLabeled(*graph, metrics);
+    }
+    if (!args.empty()) {
+      std::string error;
+      auto graph = ReadEdgeListFile(args[0], &error);
+      if (!graph) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+      }
+      const std::string spec = args.size() > 1 ? args[1] : "pll";
+      if (serve) return RunServe(*graph, spec, metrics, slow_ms);
+      return RunPlain(*graph, spec, metrics, reorder);
+    }
+    std::fprintf(
+        stderr,
+        "usage: reach_cli [--metrics] [--threads N] [--trace=FILE] "
+        "[--reorder=deg|bfs|none] <edge-list> [index-spec]\n"
+        "       reach_cli [--metrics] [--threads N] --labeled <edge-list>\n"
+        "       reach_cli [--metrics] [--threads N] [--reorder=deg|bfs|none] "
+        "--demo [index-spec]\n"
+        "       reach_cli [--metrics] [--threads N] [--trace=FILE] "
+        "[--slow-ms=N] --serve (<edge-list> | --demo) [index-spec]\n");
+    return 1;
+  }();
+
+  if (!trace_path.empty()) {
+    // A task's completion signal can unblock us before its worker leaves
+    // the task scope (where the pool.task span records) — drain the pool
+    // so the export never misses the tail of the timeline.
+    ThreadPool::Global().Quiesce();
+    TraceExporter exporter;
+    if (exporter.WriteChromeJsonFile(trace_path)) {
+      std::fprintf(stderr, "trace written to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write trace to %s\n",
+                   trace_path.c_str());
+      return rc == 0 ? 1 : rc;
+    }
   }
-  std::fprintf(
-      stderr,
-      "usage: reach_cli [--metrics] [--threads N] [--reorder=deg|bfs|none] "
-      "<edge-list> [index-spec]\n"
-      "       reach_cli [--metrics] [--threads N] --labeled <edge-list>\n"
-      "       reach_cli [--metrics] [--threads N] [--reorder=deg|bfs|none] "
-      "--demo [index-spec]\n"
-      "       reach_cli [--metrics] [--threads N] --serve "
-      "(<edge-list> | --demo) [index-spec]\n");
-  return 1;
+  return rc;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/query_probe.h"  // for REACH_METRICS
+#include "obs/trace.h"
 
 namespace reach {
 
@@ -51,9 +52,13 @@ class BuildPhaseTimer {
   void Stop() {
 #if REACH_METRICS
     if (phases_ == nullptr) return;
+    const auto end = std::chrono::steady_clock::now();
+    // Mirror the phase onto the trace timeline (no-op while tracing is
+    // disabled), so build breakdowns line up with pool-worker spans.
+    TraceRecorder::Global().RecordTimed("build." + name_, start_, end);
     phases_->push_back(
         {std::move(name_), std::chrono::duration_cast<std::chrono::nanoseconds>(
-                               std::chrono::steady_clock::now() - start_)});
+                               end - start_)});
     phases_ = nullptr;
 #endif
   }

@@ -187,6 +187,18 @@ std::string MetricsExporter::ToJson() const {
         if (b > 0) out += ", ";
         out += std::to_string(hist.buckets[b]);
       }
+      // One [lo, hi] value range per emitted bucket (power-of-two bounds;
+      // see Histogram::BucketLowerBound). The final histogram bucket is
+      // unbounded above, exported as null.
+      out += "], \"bucket_bounds\": [";
+      for (size_t b = 0; b < hist.buckets.size(); ++b) {
+        if (b > 0) out += ", ";
+        out += "[" + std::to_string(Histogram::BucketLowerBound(b)) + ", ";
+        out += b + 1 >= Histogram::kNumBuckets
+                   ? "null"
+                   : std::to_string(Histogram::BucketUpperBound(b));
+        out += "]";
+      }
       out += "]}";
     }
     if (!registry_.histograms.empty()) {

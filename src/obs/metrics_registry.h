@@ -73,6 +73,16 @@ class Histogram {
   void Record(uint64_t value);
   const std::string& name() const { return name_; }
 
+  /// Smallest value landing in bucket `b`: 2^b - 1 (0, 1, 3, 7, 15, ...).
+  static constexpr uint64_t BucketLowerBound(size_t b) {
+    return (uint64_t{1} << b) - 1;
+  }
+  /// Largest value landing in bucket `b`: 2^(b+1) - 2 — except the last
+  /// bucket, which absorbs everything above it (Record clamps).
+  static constexpr uint64_t BucketUpperBound(size_t b) {
+    return b + 1 >= kNumBuckets ? UINT64_MAX : (uint64_t{1} << (b + 1)) - 2;
+  }
+
  private:
   friend class MetricsRegistry;
   Histogram(std::string name, const bool* enabled)

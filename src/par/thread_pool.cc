@@ -3,7 +3,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <utility>
+
+#include "obs/trace.h"
 
 namespace reach {
 
@@ -90,6 +93,11 @@ void ThreadPool::Submit(std::function<void()> task) {
   idle_cv_.notify_one();
 }
 
+void ThreadPool::Quiesce() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  quiesce_cv_.wait(lock, [this]() { return pending_ == 0 && active_ == 0; });
+}
+
 bool ThreadPool::PopOrSteal(size_t self, std::function<void()>* task) {
   {
     WorkQueue& own = *queues_[self];
@@ -114,15 +122,31 @@ bool ThreadPool::PopOrSteal(size_t self, std::function<void()>* task) {
 
 void ThreadPool::WorkerLoop(size_t index) {
   tls_worker_index = static_cast<int>(index);
+#if REACH_METRICS
+  TraceRecorder::Global().SetCurrentThreadName("pool-worker-" +
+                                               std::to_string(index));
+#endif
   std::function<void()> task;
   for (;;) {
     if (PopOrSteal(index, &task)) {
       {
         std::lock_guard<std::mutex> lock(idle_mutex_);
         --pending_;
+        ++active_;
       }
-      task();
+      {
+        // One span per executed task: parallel-build imbalance and idle
+        // gaps become visible on the trace timeline (docs/TRACING.md).
+        REACH_TRACE_SPAN("pool.task");
+        task();
+      }
+      // The span above is recorded before `active_` drops, so a
+      // `Quiesce`-then-scrape sees every completed task's span.
       task = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(idle_mutex_);
+        if (--active_ == 0 && pending_ == 0) quiesce_cv_.notify_all();
+      }
       continue;
     }
     std::unique_lock<std::mutex> lock(idle_mutex_);

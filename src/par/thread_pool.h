@@ -45,6 +45,17 @@ class ThreadPool {
   /// from a worker for exactly this reason).
   void Submit(std::function<void()> task);
 
+  /// Blocks until every task queued so far has finished *executing* —
+  /// including instrumentation that runs as the task scope unwinds, such
+  /// as the worker's `pool.task` trace span. A completion signal inside a
+  /// task (a condition variable, a future) can unblock its waiter before
+  /// the worker leaves the task scope; callers that scrape per-worker
+  /// state afterwards (e.g. `TraceExporter`) use this to close that
+  /// window. Point-in-time only: tasks submitted concurrently with the
+  /// wait may or may not be covered. Must not be called from a pool
+  /// worker.
+  void Quiesce();
+
   /// The process-global pool, created on first use with `DefaultThreads()`
   /// workers. Call `SetDefaultThreads()` before first use to size it.
   static ThreadPool& Global();
@@ -69,7 +80,11 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
+  // `Quiesce` waiters sleep on their own cv so `Submit`'s notify_one can
+  // only ever wake a worker.
+  std::condition_variable quiesce_cv_;
   size_t pending_ = 0;  // queued-but-unclaimed tasks, guarded by idle_mutex_
+  size_t active_ = 0;   // tasks mid-execution, guarded by idle_mutex_
   bool stop_ = false;   // guarded by idle_mutex_
   // Round-robin cursor for external submissions.
   std::atomic<size_t> next_queue_{0};

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "core/index_factory.h"
 #include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "par/thread_pool.h"
 
 namespace reach {
@@ -18,7 +20,63 @@ std::string ValidatedSpec(const std::string& spec) {
   return MakeIndex(spec).plain != nullptr ? spec : std::string("pll");
 }
 
+uint64_t ElapsedNs(Clock::time_point begin, Clock::time_point end) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+          .count());
+}
+
+// Trace-span name id of each serve stage (interned once per process).
+uint32_t StageTraceId(ServeStage stage) {
+  static const uint32_t ids[kNumServeStages] = {
+      TraceRecorder::Global().Intern("serve.slot_acquire"),
+      TraceRecorder::Global().Intern("serve.index_probe"),
+      TraceRecorder::Global().Intern("serve.delta_closure"),
+      TraceRecorder::Global().Intern("serve.fallback_bfs"),
+  };
+  return ids[static_cast<size_t>(stage)];
+}
+
+/// Times one pipeline stage into both the trace timeline (a span, no-op
+/// while tracing is disabled or compiled out) and the slow-query record
+/// (when one is being kept for this query).
+class StageScope {
+ public:
+  StageScope(SlowQueryRecord* rec, ServeStage stage)
+      : span_(StageTraceId(stage)), rec_(rec), stage_(stage) {
+    if (rec_ != nullptr) start_ = Clock::now();
+  }
+  ~StageScope() {
+    if (rec_ != nullptr) {
+      rec_->stage_ns[static_cast<size_t>(stage_)] +=
+          ElapsedNs(start_, Clock::now());
+    }
+  }
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  TraceSpan span_;
+  SlowQueryRecord* rec_;
+  ServeStage stage_;
+  Clock::time_point start_;
+};
+
 }  // namespace
+
+const char* ServeStageName(size_t stage) {
+  switch (static_cast<ServeStage>(stage)) {
+    case ServeStage::kSlotAcquire:
+      return "slot_acquire";
+    case ServeStage::kIndexProbe:
+      return "index_probe";
+    case ServeStage::kDeltaClosure:
+      return "delta_closure";
+    case ServeStage::kFallbackBfs:
+      return "fallback_bfs";
+  }
+  return "?";
+}
 
 /// RAII lease of one concurrent-query slot from a pinned snapshot.
 class ReachService::SlotLease {
@@ -57,6 +115,8 @@ ReachService::ReachService(Digraph base, ServiceOptions options)
   inexact_counter_ = &reg.GetCounter("serve.inexact_answers");
   insert_counter_ = &reg.GetCounter("serve.inserts");
   rebuild_counter_ = &reg.GetCounter("serve.rebuilds");
+  slow_captured_counter_ = &reg.GetCounter("serve.slow.captured");
+  slow_dropped_counter_ = &reg.GetCounter("serve.slow.dropped");
   version_gauge_ = &reg.GetGauge("serve.snapshot_version");
   pending_gauge_ = &reg.GetGauge("serve.pending_edges");
   latency_hist_ = &reg.GetHistogram("serve.query_ns");
@@ -130,6 +190,7 @@ void ReachService::ScheduleLocked() {
 
 void ReachService::RebuildLoop() {
   for (;;) {
+    REACH_TRACE_SPAN("serve.rebuild");
     // Everything pending *now* goes into this generation; inserts racing
     // past this load stay pending (the list only ever grows by append,
     // so the drained list is a prefix of every later list).
@@ -141,15 +202,19 @@ void ReachService::RebuildLoop() {
 
     auto snap = std::make_shared<ServeSnapshot>();
     {
+      REACH_TRACE_SPAN("serve.rebuild.graph");
       std::vector<Edge> edges = base_edges_;
       edges.insert(edges.end(), drained->begin(), drained->end());
       snap->graph = Digraph::FromEdges(static_cast<VertexId>(num_vertices_),
                                        std::move(edges));
     }
-    // The index must be built against the graph at its final address —
-    // partial indexes keep a pointer into it for guided traversal.
-    snap->index = MakeIndex(spec_).plain;
-    snap->index->Build(snap->graph);
+    {
+      // The index must be built against the graph at its final address —
+      // partial indexes keep a pointer into it for guided traversal.
+      REACH_TRACE_SPAN("serve.rebuild.index");
+      snap->index = MakeIndex(spec_).plain;
+      snap->index->Build(snap->graph);
+    }
     const size_t granted = snap->index->PrepareConcurrentQueries(
         ResolveThreads(options_.slots));
     snap->slots.Reset(granted);
@@ -162,6 +227,7 @@ void ReachService::RebuildLoop() {
     // the new snapshot with a stale (longer) pending list — harmless
     // double-counting, never a lost edge.
     snapshot_.Store(std::move(snap));
+    REACH_TRACE_INSTANT("serve.snapshot_swap");
     version_gauge_->Set(static_cast<double>(published_version));
     size_t left = 0;
     {
@@ -191,29 +257,47 @@ void ReachService::RebuildLoop() {
 }
 
 ServeAnswer ReachService::Query(VertexId s, VertexId t) const {
+  REACH_TRACE_SPAN("serve.query");
   const Clock::time_point start = Clock::now();
   stats_.queries.fetch_add(1, std::memory_order_relaxed);
   queries_counter_->Add();
+
+  // Keep a stage-by-stage record only when it could end up in the
+  // slow-query log — otherwise the extra clock reads never happen. A
+  // query can qualify by latency (threshold set) or by degrading on its
+  // deadline; with neither configured, capture is impossible.
+  SlowQueryRecord rec;
+  SlowQueryRecord* recp =
+      options_.slow_log_capacity > 0 &&
+              (options_.slow_query_threshold.count() > 0 ||
+               options_.deadline.count() > 0)
+          ? &rec
+          : nullptr;
 
   // Pin pending BEFORE the snapshot: a concurrent swap+trim between the
   // two loads then yields a newer snapshot with an already-absorbed
   // pending prefix (redundant but correct). The opposite order could
   // pair an old snapshot with a trimmed list and lose edges.
-  const auto pending = pending_.Load();
-  const auto snap = snapshot_.Load();
+  std::shared_ptr<const PendingEdges> pending;
+  std::shared_ptr<const ServeSnapshot> snap;
+  {
+    REACH_TRACE_SPAN("serve.snapshot_pin");
+    pending = pending_.Load();
+    snap = snapshot_.Load();
+  }
 
   ServeAnswer ans;
   ans.snapshot_version = snap->version;
   if (s < num_vertices_ && t < num_vertices_) {
     if (snap->index == nullptr) {
       // Startup: the first index build is still in flight.
-      ans = DegradedAnswer(*snap, *pending, s, t);
+      ans = DegradedAnswer(*snap, *pending, s, t, recp);
     } else {
       const Clock::time_point deadline =
           options_.deadline.count() > 0 ? start + options_.deadline
                                         : Clock::time_point::max();
       bool waited = false;
-      ans = AnswerWithIndex(*snap, *pending, s, t, deadline, &waited);
+      ans = AnswerWithIndex(*snap, *pending, s, t, deadline, &waited, recp);
       if (waited) {
         stats_.slot_waits.fetch_add(1, std::memory_order_relaxed);
         slot_wait_counter_->Add();
@@ -225,30 +309,81 @@ ServeAnswer ReachService::Query(VertexId s, VertexId t) const {
     stats_.inexact_answers.fetch_add(1, std::memory_order_relaxed);
     inexact_counter_->Add();
   }
-  latency_hist_->Record(static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                           start)
-          .count()));
+  const uint64_t total_ns = ElapsedNs(start, Clock::now());
+  latency_hist_->Record(total_ns);
+  if (recp != nullptr) {
+    const bool over_threshold =
+        options_.slow_query_threshold.count() > 0 &&
+        total_ns >=
+            static_cast<uint64_t>(options_.slow_query_threshold.count());
+    if (rec.deadline_degraded || over_threshold) {
+      rec.s = s;
+      rec.t = t;
+      rec.reachable = ans.reachable;
+      rec.exact = ans.exact;
+      rec.source = ans.source;
+      rec.snapshot_version = ans.snapshot_version;
+      rec.total_ns = total_ns;
+      rec.pending_edges = pending->size();
+      CaptureSlowQuery(rec);
+    }
+  }
   return ans;
+}
+
+std::vector<SlowQueryRecord> ReachService::SlowQueries() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return std::vector<SlowQueryRecord>(slow_log_.begin(), slow_log_.end());
+}
+
+void ReachService::ClearSlowQueries() {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  slow_log_.clear();
+}
+
+void ReachService::CaptureSlowQuery(SlowQueryRecord rec) const {
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    slow_log_.push_back(rec);
+    if (slow_log_.size() > options_.slow_log_capacity) {
+      slow_log_.pop_front();
+      stats_.slow_dropped.fetch_add(1, std::memory_order_relaxed);
+      slow_dropped_counter_->Add();
+    }
+  }
+  stats_.slow_captured.fetch_add(1, std::memory_order_relaxed);
+  slow_captured_counter_->Add();
 }
 
 ServeAnswer ReachService::AnswerWithIndex(
     const ServeSnapshot& snap, const PendingEdges& pending, VertexId s,
-    VertexId t, Clock::time_point deadline, bool* waited) const {
+    VertexId t, Clock::time_point deadline, bool* waited,
+    SlowQueryRecord* rec) const {
   ServeAnswer ans;
-  SlotLease lease(snap, waited);
-  const ReachabilityIndex& index = *snap.index;
-  const size_t slot = lease.slot();
-
-  if (index.QueryInSlot(s, t, slot)) {
-    // Reachability is monotone under insertion: an index hit on this
-    // snapshot stays true no matter how many edges are pending.
-    ans.reachable = true;
-    stats_.index_answers.fetch_add(1, std::memory_order_relaxed);
-    index_counter_->Add();
-    return ans;
+  std::optional<SlotLease> lease;
+  {
+    StageScope stage(rec, ServeStage::kSlotAcquire);
+    lease.emplace(snap, waited);
   }
-  if (pending.empty()) {
+  if (rec != nullptr) rec->slot_waited = *waited;
+  const ReachabilityIndex& index = *snap.index;
+  const size_t slot = lease->slot();
+  const auto probe = [&](VertexId from, VertexId to) {
+    if (rec != nullptr) ++rec->index_probes;
+    return index.QueryInSlot(from, to, slot);
+  };
+
+  {
+    StageScope stage(rec, ServeStage::kIndexProbe);
+    if (probe(s, t)) {
+      // Reachability is monotone under insertion: an index hit on this
+      // snapshot stays true no matter how many edges are pending.
+      ans.reachable = true;
+    } else if (!pending.empty()) {
+      ans.source = AnswerSource::kDelta;  // miss: must consult the delta
+    }
+  }
+  if (ans.source == AnswerSource::kIndex) {
     stats_.index_answers.fetch_add(1, std::memory_order_relaxed);
     index_counter_->Add();
     return ans;
@@ -260,55 +395,61 @@ ServeAnswer ReachService::AnswerWithIndex(
   // base-reachable from s, possibly through other usable edges) decides
   // the query with O(k²) index lookups, k = |pending| (bounded by the
   // drain threshold).
-  ans.source = AnswerSource::kDelta;
-  const size_t k = pending.size();
-  std::vector<uint8_t> usable(k, 0);
-  std::vector<size_t> work;
-  work.reserve(k);
   bool expired = false;
-  const auto now_expired = [&deadline] { return Clock::now() > deadline; };
-  for (size_t i = 0; i < k; ++i) {
-    if (index.QueryInSlot(s, pending[i].source, slot)) {
-      usable[i] = 1;
-      work.push_back(i);
-    }
-  }
-  while (!work.empty() && !expired) {
-    const size_t i = work.back();
-    work.pop_back();
-    if (index.QueryInSlot(pending[i].target, t, slot)) {
-      ans.reachable = true;
-      stats_.delta_answers.fetch_add(1, std::memory_order_relaxed);
-      delta_counter_->Add();
-      return ans;
-    }
-    for (size_t j = 0; j < k; ++j) {
-      if (usable[j] == 0 &&
-          index.QueryInSlot(pending[i].target, pending[j].source, slot)) {
-        usable[j] = 1;
-        work.push_back(j);
+  {
+    StageScope stage(rec, ServeStage::kDeltaClosure);
+    const size_t k = pending.size();
+    std::vector<uint8_t> usable(k, 0);
+    std::vector<size_t> work;
+    work.reserve(k);
+    const auto now_expired = [&deadline] { return Clock::now() > deadline; };
+    for (size_t i = 0; i < k; ++i) {
+      if (probe(s, pending[i].source)) {
+        usable[i] = 1;
+        work.push_back(i);
       }
     }
-    expired = now_expired();
+    while (!work.empty() && !expired) {
+      const size_t i = work.back();
+      work.pop_back();
+      if (probe(pending[i].target, t)) {
+        ans.reachable = true;
+        break;
+      }
+      for (size_t j = 0; j < k; ++j) {
+        if (usable[j] == 0 && probe(pending[i].target, pending[j].source)) {
+          usable[j] = 1;
+          work.push_back(j);
+        }
+      }
+      expired = now_expired();
+    }
   }
-  if (!expired) {
+  if (!expired || ans.reachable) {
     stats_.delta_answers.fetch_add(1, std::memory_order_relaxed);
     delta_counter_->Add();
-    return ans;  // exact negative: closure exhausted
+    return ans;  // exact: a witness segment chain, or closure exhausted
   }
   // Budget blown mid-closure: degrade to the bounded traversal.
   stats_.deadline_degraded.fetch_add(1, std::memory_order_relaxed);
   deadline_counter_->Add();
-  return DegradedAnswer(snap, pending, s, t);
+  if (rec != nullptr) rec->deadline_degraded = true;
+  return DegradedAnswer(snap, pending, s, t, rec);
 }
 
 ServeAnswer ReachService::DegradedAnswer(const ServeSnapshot& snap,
                                          const PendingEdges& pending,
-                                         VertexId s, VertexId t) const {
+                                         VertexId s, VertexId t,
+                                         SlowQueryRecord* rec) const {
   ServeAnswer ans;
   ans.source = AnswerSource::kFallbackBfs;
-  const BoundedBfsOutcome out = BoundedUnionBfs(
-      snap.graph, pending, s, t, options_.fallback_visit_budget);
+  BoundedBfsOutcome out;
+  {
+    StageScope stage(rec, ServeStage::kFallbackBfs);
+    out = BoundedUnionBfs(snap.graph, pending, s, t,
+                          options_.fallback_visit_budget);
+  }
+  if (rec != nullptr) rec->bfs_visits = out.visits;
   ans.reachable = out.reachable;
   // A found path is a witness; only unverified negatives are inexact.
   ans.exact = out.reachable || out.complete;
@@ -331,12 +472,12 @@ BoundedBfsOutcome BoundedUnionBfs(const Digraph& graph,
   std::vector<VertexId> queue;
   queue.push_back(s);
   visited[s] = 1;
-  size_t visits = 0;
   for (size_t head = 0; head < queue.size(); ++head) {
-    if (visits++ >= max_visits) {
+    if (out.visits >= max_visits) {
       out.complete = false;
       return out;
     }
+    ++out.visits;
     const VertexId v = queue[head];
     const auto enqueue = [&](VertexId n) {
       if (visited[n] == 0) {

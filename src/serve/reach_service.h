@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -37,6 +38,14 @@ struct ServiceOptions {
   /// Vertex-visit cap of the degraded bounded BFS. Exhausting it yields
   /// an inexact negative answer (`ServeAnswer::exact == false`).
   size_t fallback_visit_budget = 1 << 16;
+  /// End-to-end latency above which a query's stage breakdown is retained
+  /// in the slow-query log. 0 = no latency criterion (deadline-degraded
+  /// queries are still captured — they are slow by definition).
+  std::chrono::nanoseconds slow_query_threshold{0};
+  /// Bound of the slow-query log; once full, the oldest record is evicted
+  /// (and counted in `ServeStats::slow_dropped`). 0 disables capture and
+  /// the per-stage stopwatches entirely.
+  size_t slow_log_capacity = 64;
 };
 
 /// How a query was answered.
@@ -58,6 +67,45 @@ struct ServeAnswer {
   uint64_t snapshot_version = 0;
 };
 
+/// The stages of one served query, in pipeline order; indexes into
+/// `SlowQueryRecord::stage_ns`. A query touches a prefix of these (an
+/// index hit never runs the closure; the fallback only runs after a
+/// missing index or a blown deadline).
+enum class ServeStage : uint8_t {
+  kSlotAcquire = 0,   // admission: leasing a concurrent-query slot
+  kIndexProbe = 1,    // the pinned snapshot's index lookup(s)
+  kDeltaClosure = 2,  // pending-edge closure over index lookups
+  kFallbackBfs = 3,   // degraded bounded union BFS
+};
+inline constexpr size_t kNumServeStages = 4;
+
+/// Stage name for table/log output ("slot_acquire", ...).
+const char* ServeStageName(size_t stage);
+
+/// One retained slow query: identity, outcome, per-stage latency
+/// breakdown, and probe-style counters — everything needed to explain
+/// where the time went without replaying the query.
+struct SlowQueryRecord {
+  VertexId s = 0;
+  VertexId t = 0;
+  bool reachable = false;
+  bool exact = true;
+  bool deadline_degraded = false;
+  bool slot_waited = false;
+  AnswerSource source = AnswerSource::kIndex;
+  uint64_t snapshot_version = 0;
+  uint64_t total_ns = 0;
+  /// Nanoseconds spent per `ServeStage` (0 = stage not reached).
+  uint64_t stage_ns[kNumServeStages] = {};
+  /// `QueryInSlot` calls issued (1 for a pure hit/miss; the delta closure
+  /// issues O(k²) of them).
+  uint64_t index_probes = 0;
+  /// Pending-edge buffer size observed by the query.
+  uint64_t pending_edges = 0;
+  /// Vertices expanded by the bounded BFS (0 when it did not run).
+  uint64_t bfs_visits = 0;
+};
+
 /// Always-on service counters (independent of REACH_METRICS); the same
 /// values are mirrored into `MetricsRegistry::Global()` under "serve.*"
 /// when metrics are compiled in.
@@ -71,6 +119,10 @@ struct ServeStats {
   std::atomic<uint64_t> inexact_answers{0};
   std::atomic<uint64_t> inserts{0};
   std::atomic<uint64_t> rebuilds{0};
+  /// Queries captured into the slow-query log (including records evicted
+  /// later) and records evicted because the log was full.
+  std::atomic<uint64_t> slow_captured{0};
+  std::atomic<uint64_t> slow_dropped{0};
 };
 
 /// An embeddable concurrent reachability-serving engine — the §5
@@ -139,6 +191,13 @@ class ReachService {
   const ServeStats& stats() const { return stats_; }
   const ServiceOptions& options() const { return options_; }
 
+  /// The slow-query log, oldest first: every query that exceeded
+  /// `slow_query_threshold` or degraded on its deadline, up to
+  /// `slow_log_capacity` retained records. Thread-safe.
+  std::vector<SlowQueryRecord> SlowQueries() const;
+  /// Empties the slow-query log (captured/dropped totals are kept).
+  void ClearSlowQueries();
+
  private:
   class SlotLease;
 
@@ -148,10 +207,11 @@ class ReachService {
                               const PendingEdges& pending, VertexId s,
                               VertexId t,
                               std::chrono::steady_clock::time_point deadline,
-                              bool* waited) const;
+                              bool* waited, SlowQueryRecord* rec) const;
   ServeAnswer DegradedAnswer(const ServeSnapshot& snap,
                              const PendingEdges& pending, VertexId s,
-                             VertexId t) const;
+                             VertexId t, SlowQueryRecord* rec) const;
+  void CaptureSlowQuery(SlowQueryRecord rec) const;
 
   const ServiceOptions options_;
   const size_t num_vertices_;
@@ -178,6 +238,10 @@ class ReachService {
   bool started_ = false;
 
   mutable ServeStats stats_;
+  // Slow-query log: bounded, oldest-evicted (see ServiceOptions).
+  mutable std::mutex slow_mu_;
+  mutable std::deque<SlowQueryRecord> slow_log_;
+
   // Cached obs-registry instruments mirroring ServeStats ("serve.*").
   Counter* queries_counter_;
   Counter* index_counter_;
@@ -188,6 +252,8 @@ class ReachService {
   Counter* inexact_counter_;
   Counter* insert_counter_;
   Counter* rebuild_counter_;
+  Counter* slow_captured_counter_;
+  Counter* slow_dropped_counter_;
   Gauge* version_gauge_;
   Gauge* pending_gauge_;
   Histogram* latency_hist_;
@@ -200,6 +266,8 @@ struct BoundedBfsOutcome {
   /// found) within the visit budget; a negative answer with
   /// `complete == false` is unverified.
   bool complete = true;
+  /// Vertices expanded before the search ended.
+  size_t visits = 0;
 };
 
 /// Breadth-first search over `graph` plus the extra edges, giving up

@@ -92,6 +92,25 @@ TEST(HistogramTest, Log2BucketMapping) {
   EXPECT_DOUBLE_EQ(hs.Mean(), 12.0 / 5.0);
 }
 
+TEST(HistogramTest, BucketBoundsMatchTheRecordMapping) {
+  // Bucket b covers [2^b - 1, 2^(b+1) - 2]; bounds must agree with where
+  // Record actually lands values.
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 2u);
+  EXPECT_EQ(Histogram::BucketLowerBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 6u);
+  // Adjacent buckets tile the value space with no gaps.
+  for (size_t b = 0; b + 1 < Histogram::kNumBuckets; ++b) {
+    EXPECT_EQ(Histogram::BucketUpperBound(b) + 1,
+              Histogram::BucketLowerBound(b + 1));
+  }
+  // The last bucket absorbs everything above it.
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1),
+            UINT64_MAX);
+}
+
 TEST(MetricsRegistryTest, SnapshotIsSortedAndResetZeroes) {
   MetricsRegistry registry;
   registry.GetCounter("b").Add(2);
@@ -226,6 +245,21 @@ TEST(MetricsExporterTest, JsonContainsEveryFieldAndEscapes) {
             std::count(json.begin(), json.end(), '}'));
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(MetricsExporterTest, HistogramsCarryBucketBounds) {
+  MetricsExporter exporter;
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("h");
+  h.Record(0);  // bucket 0: [0, 0]
+  h.Record(4);  // bucket 2: [3, 6]
+  exporter.SetRegistrySnapshot(registry.Snapshot());
+  const std::string json = exporter.ToJson();
+  // One [lo, hi] pair per emitted bucket, aligned with "buckets".
+  EXPECT_NE(json.find("\"buckets\": [1, 0, 1]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bucket_bounds\": [[0, 0], [1, 2], [3, 6]]"),
+            std::string::npos)
+      << json;
 }
 
 TEST(MetricsExporterTest, JsonIsDeterministic) {
