@@ -22,6 +22,7 @@
 #include "graph/digraph.h"
 #include "graph/generators.h"
 #include "graph/labeled_digraph.h"
+#include "graph/rng.h"
 #include "obs/metrics_exporter.h"
 #include "par/thread_pool.h"
 
@@ -58,6 +59,29 @@ inline PlainWorkload MakePlainWorkload(const Digraph& g, size_t count) {
   return {RandomPairs(g, count, kSeed + 10),
           ReachablePairs(g, count, kSeed + 11),
           UnreachablePairs(g, count, kSeed + 12)};
+}
+
+/// A 90/10 answer-class-biased workload: `count` pairs, 90% unreachable
+/// (`unreachable_biased`) or 90% reachable, deterministically shuffled.
+/// The unreachable-biased mix is the regime §5 highlights (sparse
+/// real-world workloads are negative-dominated) and the one the fast-path
+/// layer and negative-result cache target.
+inline std::vector<QueryPair> BiasedPairs(const Digraph& g,
+                                          bool unreachable_biased,
+                                          size_t count, uint64_t seed) {
+  const size_t major_count = count * 9 / 10;
+  std::vector<QueryPair> pairs =
+      unreachable_biased ? UnreachablePairs(g, major_count, seed)
+                         : ReachablePairs(g, major_count, seed);
+  const std::vector<QueryPair> minor =
+      unreachable_biased ? ReachablePairs(g, count - major_count, seed + 1)
+                         : UnreachablePairs(g, count - major_count, seed + 1);
+  pairs.insert(pairs.end(), minor.begin(), minor.end());
+  Xoshiro256ss rng(seed + 2);
+  for (size_t i = pairs.size(); i > 1; --i) {
+    std::swap(pairs[i - 1], pairs[rng.NextBounded(i)]);
+  }
+  return pairs;
 }
 
 /// Labeled roster for the Table 2 benches.
@@ -188,8 +212,14 @@ void CollectIndexReport(const std::string& graph_name, const Index& index) {
 /// file named by REACH_METRICS_JSON when set, to stderr otherwise.
 inline void EmitBenchMetrics() {
   MetricsExporter& exporter = BenchExporter();
-  if (exporter.reports().empty()) return;
-  exporter.SetRegistrySnapshot(MetricsRegistry::Global().Snapshot());
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  // Emit whenever there is anything to say: some binaries (bench_serve)
+  // publish only registry instruments, never per-index reports.
+  if (exporter.reports().empty() && snapshot.counters.empty() &&
+      snapshot.gauges.empty() && snapshot.histograms.empty()) {
+    return;
+  }
+  exporter.SetRegistrySnapshot(std::move(snapshot));
   if (const char* path = std::getenv("REACH_METRICS_JSON")) {
     if (exporter.WriteJsonFile(path)) {
       std::fprintf(stderr, "metrics: JSON report written to %s\n", path);

@@ -7,11 +7,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "graph/rng.h"
+#include "obs/metrics_registry.h"
 #include "serve/reach_service.h"
 
 namespace reach::bench {
@@ -23,17 +25,40 @@ double Percentile(std::vector<double>& sorted_ns, double p) {
   return sorted_ns[idx];
 }
 
+// Query-mix knob: the answer-class bias of the measured workload. The
+// biased mixes are 90/10 — the unreachable-biased one is the regime the
+// fast-path layer and the negative-result cache target (paper §5: sparse
+// real workloads are negative-dominated).
+enum QueryMix : int64_t { kUniform = 0, kUnreachableBiased = 1, kReachableBiased = 2 };
+
+const char* MixName(int64_t mix) {
+  switch (mix) {
+    case kUnreachableBiased: return "neg90";
+    case kReachableBiased: return "pos90";
+    default: return "uniform";
+  }
+}
+
+std::vector<QueryPair> MixedPairs(const Digraph& g, int64_t mix,
+                                  size_t count) {
+  if (mix == kUniform) return RandomPairs(g, count, kSeed + 7);
+  return BiasedPairs(g, mix == kUnreachableBiased, count, kSeed + 8);
+}
+
 // One reader measuring per-query latency while `writers` background
 // threads stream inserts. The drain threshold keeps several snapshot
 // rebuilds in flight over the run, so the measured distribution includes
-// queries served mid-swap (delta closure and fallback paths).
+// queries served mid-swap (delta closure and fallback paths). Args:
+// {writers, mix (0 uniform / 1 neg90 / 2 pos90), fastpath on/off}.
 void BM_ServeQueryLatencyUnderWrites(benchmark::State& state) {
   const auto writers = static_cast<size_t>(state.range(0));
+  const int64_t mix = state.range(1);
+  const bool fastpath = state.range(2) != 0;
   const VertexId n = 1 << 14;
   const Digraph graph = ScaleFreeDag(n, 3, kSeed);
 
   ServiceOptions options;
-  options.spec = "pll";
+  options.spec = fastpath ? "pll:fastpath=1" : "pll";
   options.drain_threshold = 128;
   // A deadline plus a latency threshold exercises both slow-query capture
   // paths; the 500µs threshold only trips on genuine tail queries.
@@ -56,13 +81,20 @@ void BM_ServeQueryLatencyUnderWrites(benchmark::State& state) {
     });
   }
 
-  Xoshiro256ss rng(kSeed + 7);
+  // Small enough that the run revisits each pair several times — repeated
+  // queries are what the negative-result cache converts into O(1) hits.
+  const std::vector<QueryPair> pool = MixedPairs(graph, mix, 1 << 12);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const uint64_t fp_pos0 = registry.GetCounter("fastpath.hit.pos").Value();
+  const uint64_t fp_neg0 = registry.GetCounter("fastpath.hit.neg").Value();
+  const uint64_t fp_und0 = registry.GetCounter("fastpath.undecided").Value();
+
+  size_t cursor = 0;
   std::vector<double> latencies_ns;
   for (auto _ : state) {
-    const auto s = static_cast<VertexId>(rng.NextBounded(n));
-    const auto t = static_cast<VertexId>(rng.NextBounded(n));
+    const QueryPair q = pool[cursor++ % pool.size()];
     const auto begin = std::chrono::steady_clock::now();
-    ServeAnswer answer = service.Query(s, t);
+    ServeAnswer answer = service.Query(q.source, q.target);
     const auto end = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(answer);
     latencies_ns.push_back(
@@ -74,9 +106,39 @@ void BM_ServeQueryLatencyUnderWrites(benchmark::State& state) {
   service.Stop();
 
   std::sort(latencies_ns.begin(), latencies_ns.end());
-  state.counters["p50_ns"] = Percentile(latencies_ns, 0.50);
-  state.counters["p99_ns"] = Percentile(latencies_ns, 0.99);
+  const double p50 = Percentile(latencies_ns, 0.50);
+  const double p99 = Percentile(latencies_ns, 0.99);
+  state.counters["p50_ns"] = p50;
+  state.counters["p99_ns"] = p99;
   const ServeStats& stats = service.stats();
+  const double queries =
+      std::max<double>(1.0, static_cast<double>(stats.queries.load()));
+  // Fast-path hit rate is hits / total verdicts from the registry deltas
+  // (the denominator includes internal probes the service makes during
+  // delta closure, not just top-level queries; counts flush in batches of
+  // 64 per slot, so this is a slight undercount). Negcache hits come from
+  // the service stats, per top-level query.
+  const double fp_hits = static_cast<double>(
+      (registry.GetCounter("fastpath.hit.pos").Value() - fp_pos0) +
+      (registry.GetCounter("fastpath.hit.neg").Value() - fp_neg0));
+  const double fp_total =
+      fp_hits + static_cast<double>(
+                    registry.GetCounter("fastpath.undecided").Value() -
+                    fp_und0);
+  const double negcache_rate =
+      static_cast<double>(stats.negcache_hits.load()) / queries;
+  state.counters["fastpath_hit_rate"] =
+      fp_hits / std::max(1.0, fp_total);
+  state.counters["negcache_hit_rate"] = negcache_rate;
+  // Mirror the headline numbers into the registry so the run's
+  // "reach.metrics.v1" report carries the per-mix comparison.
+  const std::string prefix = std::string("bench.serve.") + MixName(mix) +
+                             (fastpath ? ".fastpath" : ".base");
+  registry.GetGauge(prefix + ".p50_ns").Set(p50);
+  registry.GetGauge(prefix + ".p99_ns").Set(p99);
+  registry.GetGauge(prefix + ".fastpath_hit_rate")
+      .Set(fp_hits / std::max(1.0, fp_total));
+  registry.GetGauge(prefix + ".negcache_hit_rate").Set(negcache_rate);
   state.counters["snapshots"] = static_cast<double>(stats.rebuilds.load());
   state.counters["delta_answers"] =
       static_cast<double>(stats.delta_answers.load());
@@ -97,9 +159,22 @@ void BM_ServeQueryLatencyUnderWrites(benchmark::State& state) {
 }
 
 BENCHMARK(BM_ServeQueryLatencyUnderWrites)
-    ->Arg(0)  // read-only baseline: every answer is an index hit
-    ->Arg(1)
-    ->Arg(4)
+    // {writers, mix, fastpath}: writer sweep on the uniform mix...
+    ->Args({0, kUniform, 0})  // read-only baseline: index hits only
+    ->Args({1, kUniform, 0})
+    ->Args({4, kUniform, 0})
+    // ...then the fastpath on/off comparison per answer-class mix, with
+    // no writer so the percentiles isolate the query path (the neg90 pair
+    // is the headline: unreachable-biased p50/p99, fastpath on vs off).
+    ->Args({0, kUnreachableBiased, 0})
+    ->Args({0, kUnreachableBiased, 1})
+    ->Args({0, kReachableBiased, 0})
+    ->Args({0, kReachableBiased, 1})
+    ->Args({0, kUniform, 1})
+    // ...and the unreachable-biased mix under write pressure, where every
+    // insert invalidates the negcache but order filters keep deciding.
+    ->Args({1, kUnreachableBiased, 0})
+    ->Args({1, kUnreachableBiased, 1})
     ->Iterations(20000)
     ->Unit(benchmark::kMicrosecond);
 

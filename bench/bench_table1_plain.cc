@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "core/fastpath_index.h"
 #include "core/index_factory.h"
 
 namespace reach::bench {
@@ -20,6 +21,18 @@ struct BuiltIndex {
   const Digraph* graph;
 };
 
+// Verdict stats for either fast-path wrapper instantiation; zeros for
+// unwrapped indexes.
+FastPathVerdictStats FastPathStatsOf(const ReachabilityIndex& index) {
+  if (const auto* f = dynamic_cast<const FastPathIndex*>(&index)) {
+    return f->VerdictStats();
+  }
+  if (const auto* f = dynamic_cast<const DynamicFastPathIndex*>(&index)) {
+    return f->VerdictStats();
+  }
+  return {};
+}
+
 VertexId BenchN() {
   if (const char* env = std::getenv("REACH_BENCH_N")) {
     return static_cast<VertexId>(std::strtoul(env, nullptr, 10));
@@ -27,18 +40,37 @@ VertexId BenchN() {
   return 2048;
 }
 
+// The 90/10 answer-class-biased workloads of one graph.
+struct BiasedWorkload {
+  std::vector<QueryPair> neg90;
+  std::vector<QueryPair> pos90;
+};
+
 void RegisterAll() {
   const VertexId n = BenchN();
   auto* graphs = new std::vector<GraphCase>(PlainBenchGraphs(n));
   auto* workloads = new std::vector<PlainWorkload>();
+  auto* biased = new std::vector<BiasedWorkload>();
   for (const GraphCase& gc : *graphs) {
     workloads->push_back(MakePlainWorkload(gc.graph, 1000));
+    biased->push_back(
+        {BiasedPairs(gc.graph, /*unreachable_biased=*/true, 1000, kSeed + 30),
+         BiasedPairs(gc.graph, /*unreachable_biased=*/false, 1000,
+                     kSeed + 40)});
   }
+
+  // The full roster plus fast-path-wrapped entries, so every table carries
+  // a same-binary wrapped-vs-bare comparison for a 2-hop labeling and an
+  // interval index.
+  std::vector<std::string> specs = DefaultIndexSpecs(IndexFamily::kPlain);
+  specs.push_back("pll:fastpath=1");
+  specs.push_back("grail:fastpath=1");
 
   for (size_t gi = 0; gi < graphs->size(); ++gi) {
     const GraphCase& gc = (*graphs)[gi];
     const PlainWorkload& wl = (*workloads)[gi];
-    for (const std::string& spec : DefaultIndexSpecs(IndexFamily::kPlain)) {
+    const BiasedWorkload& bw = (*biased)[gi];
+    for (const std::string& spec : specs) {
       // Dual labeling is designed for graphs with very few non-tree edges
       // (§3.1); on dense random inputs its O(t^2) link closure is the
       // documented anti-pattern, so benchmark it only where it is meant
@@ -92,6 +124,8 @@ void RegisterAll() {
         bool collect_report;  // last phase folds the index into the JSON
       } phases[] = {{"query_pos", &wl.positive, false},
                     {"query_neg", &wl.negative, false},
+                    {"query_neg90", &bw.neg90, false},
+                    {"query_pos90", &bw.pos90, false},
                     {"query_rand", &wl.random, true}};
       for (const auto& phase : phases) {
         ::benchmark::RegisterBenchmark(
@@ -100,10 +134,22 @@ void RegisterAll() {
              collect = phase.collect_report](::benchmark::State& state) {
               ensure_built();
               const QueryProbe before = built->index->Probe();
+              const FastPathVerdictStats fp_before =
+                  FastPathStatsOf(*built->index);
               RunQueryLoop(state, *queries, [&](const QueryPair& q) {
                 return built->index->Query(q.source, q.target);
               });
               ReportProbeDelta(state, before, built->index->Probe());
+              const FastPathVerdictStats fp_after =
+                  FastPathStatsOf(*built->index);
+              const double fp_total = static_cast<double>(
+                  fp_after.Total() - fp_before.Total());
+              if (fp_total > 0) {
+                state.counters["fastpath_hit_rate"] =
+                    static_cast<double>(fp_after.Decided() -
+                                        fp_before.Decided()) /
+                    fp_total;
+              }
               if (collect) CollectIndexReport(gc.name, *built->index);
             })
             ->Iterations(2)

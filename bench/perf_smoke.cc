@@ -95,6 +95,7 @@ std::vector<SmokeCase> Roster(VertexId n) {
   Digraph er = reach::RandomDigraph(n, 4 * static_cast<size_t>(n), kSeed);
   Digraph dag = reach::RandomDag(n, 4 * static_cast<size_t>(n), kSeed + 1);
   cases.push_back({"er-cyclic-avg4", er, "pll"});
+  cases.push_back({"er-cyclic-avg4", er, "pll:fastpath=1"});
   cases.push_back({"er-cyclic-avg4", std::move(er), "grail"});
   cases.push_back({"dag-avg4", dag, "pll"});
   cases.push_back({"dag-avg4", std::move(dag), "grail"});

@@ -5,13 +5,19 @@
 // observability layer (--metrics).
 //
 // Usage:
-//   reach_cli [--metrics] [--threads N] [--trace=FILE]
+//   reach_cli [--metrics] [--threads N] [--trace=FILE] [--fastpath]
 //             [--reorder=deg|bfs|none] <edge-list-file> [index-spec]
 //   reach_cli [--metrics] [--threads N] --labeled <edge-list-file>
 //   reach_cli [--metrics] [--threads N] [--reorder=deg|bfs|none]
 //             --demo [index-spec]
 //   reach_cli [--metrics] [--threads N] [--trace=FILE] [--slow-ms=N]
 //             --serve (<edge-list-file> | --demo) [index-spec]
+//   reach_cli --help     (lists every index spec with its Param knobs)
+//
+// --fastpath wraps the chosen index in the constant-time FastPathIndex
+// layer (docs/FASTPATH.md) — equivalent to appending ":fastpath=1" to the
+// index spec. With --metrics the fastpath.hit.{pos,neg} / fastpath.undecided
+// counters show how many queries the observation stack short-circuited.
 //
 // --serve runs the snapshot-serving engine (src/serve/) instead of a
 // one-shot index: queries are answered from an immutable snapshot while
@@ -74,6 +80,40 @@
 #include "serve/reach_service.h"
 
 namespace {
+
+// Prints the usage banner; with `roster` also lists every index spec the
+// MakeIndex factory accepts together with its Param knobs.
+void PrintUsage(FILE* out, bool roster) {
+  std::fprintf(
+      out,
+      "usage: reach_cli [--metrics] [--threads N] [--trace=FILE] "
+      "[--fastpath] [--reorder=deg|bfs|none] <edge-list> [index-spec]\n"
+      "       reach_cli [--metrics] [--threads N] --labeled <edge-list>\n"
+      "       reach_cli [--metrics] [--threads N] [--reorder=deg|bfs|none] "
+      "--demo [index-spec]\n"
+      "       reach_cli [--metrics] [--threads N] [--trace=FILE] "
+      "[--slow-ms=N] --serve (<edge-list> | --demo) [index-spec]\n"
+      "       reach_cli --help\n");
+  if (!roster) return;
+  std::fprintf(out,
+               "\nindex specs (append :param=value to tune; defaults in "
+               "parentheses):\n");
+  for (const reach::SpecDoc& doc :
+       reach::DescribeIndexSpecs(reach::IndexFamily::kPlain)) {
+    std::fprintf(out, "  %-18s %s\n", doc.spec.c_str(), doc.summary.c_str());
+    if (!doc.params.empty()) {
+      std::fprintf(out, "  %-18s params: %s\n", "", doc.params.c_str());
+    }
+  }
+  std::fprintf(out, "\nlabel-constrained specs (--labeled graphs):\n");
+  for (const reach::SpecDoc& doc :
+       reach::DescribeIndexSpecs(reach::IndexFamily::kLcr)) {
+    std::fprintf(out, "  %-18s %s\n", doc.spec.c_str(), doc.summary.c_str());
+    if (!doc.params.empty()) {
+      std::fprintf(out, "  %-18s params: %s\n", "", doc.params.c_str());
+    }
+  }
+}
 
 // Emits the JSON metrics report for `index` on stdout.
 template <typename Index>
@@ -196,6 +236,8 @@ const char* SourceName(reach::AnswerSource source) {
       return "delta";
     case reach::AnswerSource::kFallbackBfs:
       return "bfs";
+    case reach::AnswerSource::kNegCache:
+      return "negcache";
   }
   return "?";
 }
@@ -291,19 +333,25 @@ int RunServe(const reach::Digraph& graph, const std::string& spec,
   }
   service.Stop();
   const ServeStats& stats = service.stats();
-  std::fprintf(stderr,
-               "served %llu queries (%llu index, %llu delta, %llu bfs), "
-               "%llu inserts, %llu snapshots\n"
-               "  %llu deadline_degraded, %llu slow captured (%llu evicted)\n",
-               static_cast<unsigned long long>(stats.queries.load()),
-               static_cast<unsigned long long>(stats.index_answers.load()),
-               static_cast<unsigned long long>(stats.delta_answers.load()),
-               static_cast<unsigned long long>(stats.fallback_answers.load()),
-               static_cast<unsigned long long>(stats.inserts.load()),
-               static_cast<unsigned long long>(stats.rebuilds.load()),
-               static_cast<unsigned long long>(stats.deadline_degraded.load()),
-               static_cast<unsigned long long>(stats.slow_captured.load()),
-               static_cast<unsigned long long>(stats.slow_dropped.load()));
+  std::fprintf(
+      stderr,
+      "served %llu queries (%llu index, %llu delta, %llu bfs, "
+      "%llu negcache), %llu inserts, %llu snapshots\n"
+      "  %llu deadline_degraded, %llu slow captured (%llu evicted), "
+      "negcache %llu miss / %llu evict / %llu invalidate\n",
+      static_cast<unsigned long long>(stats.queries.load()),
+      static_cast<unsigned long long>(stats.index_answers.load()),
+      static_cast<unsigned long long>(stats.delta_answers.load()),
+      static_cast<unsigned long long>(stats.fallback_answers.load()),
+      static_cast<unsigned long long>(stats.negcache_hits.load()),
+      static_cast<unsigned long long>(stats.inserts.load()),
+      static_cast<unsigned long long>(stats.rebuilds.load()),
+      static_cast<unsigned long long>(stats.deadline_degraded.load()),
+      static_cast<unsigned long long>(stats.slow_captured.load()),
+      static_cast<unsigned long long>(stats.slow_dropped.load()),
+      static_cast<unsigned long long>(stats.negcache_misses.load()),
+      static_cast<unsigned long long>(stats.negcache_evictions.load()),
+      static_cast<unsigned long long>(stats.negcache_invalidations.load()));
   DumpSlowQueries(service);
   if (metrics) {
     MetricsExporter exporter;
@@ -320,6 +368,7 @@ int main(int argc, char** argv) {
   using namespace reach;
   bool metrics = false;
   bool serve = false;
+  bool fastpath = false;
   std::string trace_path;
   double slow_ms = -1;
   ReorderStrategy reorder = ReorderStrategy::kNone;
@@ -329,6 +378,12 @@ int main(int argc, char** argv) {
       metrics = true;
     } else if (std::strcmp(argv[i], "--serve") == 0) {
       serve = true;
+    } else if (std::strcmp(argv[i], "--fastpath") == 0) {
+      fastpath = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage(stdout, /*roster=*/true);
+      return 0;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
       if (trace_path.empty()) {
@@ -383,14 +438,28 @@ int main(int argc, char** argv) {
   // Dispatch through a lambda so the trace file is written on every exit
   // path (after the serve engine has stopped and workers have quiesced).
   const int rc = [&]() -> int {
+    // --fastpath is sugar for the factory's :fastpath=1 spec param; a spec
+    // that already asks for it explicitly is left alone.
+    const auto with_fastpath = [&](std::string spec) {
+      if (fastpath && spec.find("fastpath") == std::string::npos) {
+        spec += ":fastpath=1";
+      }
+      return spec;
+    };
     if (!args.empty() && std::strcmp(args[0], "--demo") == 0) {
-      const std::string spec = args.size() > 1 ? args[1] : "pll";
+      const std::string spec =
+          with_fastpath(args.size() > 1 ? args[1] : "pll");
       if (serve) {
         return RunServe(ScaleFreeDag(10000, 3, 1), spec, metrics, slow_ms);
       }
       return RunPlain(ScaleFreeDag(10000, 3, 1), spec, metrics, reorder);
     }
     if (args.size() >= 2 && std::strcmp(args[0], "--labeled") == 0) {
+      if (fastpath) {
+        std::fprintf(stderr,
+                     "warning: --fastpath only applies to plain reachability "
+                     "specs; ignored under --labeled\n");
+      }
       std::string error;
       auto graph = ReadLabeledEdgeListFile(args[1], &error);
       if (!graph) {
@@ -406,19 +475,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: %s\n", error.c_str());
         return 1;
       }
-      const std::string spec = args.size() > 1 ? args[1] : "pll";
+      const std::string spec =
+          with_fastpath(args.size() > 1 ? args[1] : "pll");
       if (serve) return RunServe(*graph, spec, metrics, slow_ms);
       return RunPlain(*graph, spec, metrics, reorder);
     }
-    std::fprintf(
-        stderr,
-        "usage: reach_cli [--metrics] [--threads N] [--trace=FILE] "
-        "[--reorder=deg|bfs|none] <edge-list> [index-spec]\n"
-        "       reach_cli [--metrics] [--threads N] --labeled <edge-list>\n"
-        "       reach_cli [--metrics] [--threads N] [--reorder=deg|bfs|none] "
-        "--demo [index-spec]\n"
-        "       reach_cli [--metrics] [--threads N] [--trace=FILE] "
-        "[--slow-ms=N] --serve (<edge-list> | --demo) [index-spec]\n");
+    PrintUsage(stderr, /*roster=*/false);
     return 1;
   }();
 

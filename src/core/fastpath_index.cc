@@ -1,0 +1,184 @@
+#include "core/fastpath_index.h"
+
+#include <cassert>
+
+#include "obs/metrics_registry.h"
+
+namespace reach {
+
+namespace {
+
+// Verdict counts are buffered per slot and pushed into the shared
+// registry counters in batches, so the query path never touches the
+// registry's thread-local cell lookup.
+constexpr uint64_t kFlushBatch = 64;
+
+}  // namespace
+
+template <typename Base>
+BasicFastPathIndex<Base>::BasicFastPathIndex(
+    std::unique_ptr<ReachabilityIndex> inner, ObservationStack::Options options)
+    : inner_(std::move(inner)),
+      stack_(options),
+      hit_pos_counter_(&MetricsRegistry::Global().GetCounter("fastpath.hit.pos")),
+      hit_neg_counter_(&MetricsRegistry::Global().GetCounter("fastpath.hit.neg")),
+      undecided_counter_(
+          &MetricsRegistry::Global().GetCounter("fastpath.undecided")) {
+  assert(inner_ != nullptr);
+  inner_dynamic_ = dynamic_cast<DynamicReachabilityIndex*>(inner_.get());
+  if constexpr (std::is_same_v<Base, DynamicReachabilityIndex>) {
+    assert(inner_dynamic_ != nullptr &&
+           "DynamicFastPathIndex requires a dynamic inner index");
+  }
+  cells_.emplace_back();  // slot 0 always exists
+}
+
+template <typename Base>
+BasicFastPathIndex<Base>::~BasicFastPathIndex() {
+  FlushAllCells();
+}
+
+template <typename Base>
+void BasicFastPathIndex<Base>::Build(const Digraph& graph) {
+  BuildStatsScope build(&this->build_stats_);
+  {
+    BuildPhaseTimer timer(&this->build_stats_.phases, "observations");
+    stack_.Build(graph);
+  }
+  inner_->Build(graph);
+  // Absorb the wrapped build's breakdown so `Stats()` shows the whole
+  // pipeline (observations -> inner phases), as SccCondensingIndex does.
+  const IndexStats& inner_stats = inner_->Stats();
+  this->build_stats_.phases.insert(this->build_stats_.phases.end(),
+                                   inner_stats.phases.begin(),
+                                   inner_stats.phases.end());
+  this->build_stats_.size_bytes = IndexSizeBytes();
+  this->build_stats_.num_entries = inner_stats.num_entries;
+  inserted_ = false;
+  FlushAllCells();
+  for (Cell& cell : cells_) cell = Cell{};
+}
+
+template <typename Base>
+size_t BasicFastPathIndex<Base>::PrepareConcurrentQueries(size_t slots) const {
+  const size_t granted = inner_->PrepareConcurrentQueries(slots);
+  while (cells_.size() < granted) cells_.emplace_back();
+  return granted;
+}
+
+template <typename Base>
+bool BasicFastPathIndex<Base>::QueryInSlot(VertexId s, VertexId t,
+                                           size_t slot) const {
+  Cell& cell = cells_[slot];
+  [[maybe_unused]] QueryProbe& probe = cell.probe;
+  REACH_PROBE_INC(probe, queries);
+  REACH_PROBE_ADD(probe, labels_scanned, 1);  // the observation lookup
+  int verdict = stack_.Verdict(s, t);
+  // After an InsertEdge the precomputed orders may order the new edge
+  // backwards, so negative verdicts are unsound; positives only ever
+  // become "more true" (reachability is monotone under insertion).
+  if (verdict < 0 && inserted_) verdict = 0;
+  // VerdictStats() stays exact in every build mode (like
+  // ReachService::stats()); only the registry mirroring is gated.
+  if (verdict != 0) {
+    if (verdict > 0) {
+      ++cell.stats.hit_pos;
+      REACH_PROBE_INC(probe, positives);
+    } else {
+      ++cell.stats.hit_neg;
+      REACH_PROBE_INC(probe, label_rejections);
+    }
+    if constexpr (kMetricsCompiled) {
+      if (verdict > 0) {
+        ++cell.unflushed_pos;
+      } else {
+        ++cell.unflushed_neg;
+      }
+      if (cell.unflushed_pos + cell.unflushed_neg + cell.unflushed_undecided >=
+          kFlushBatch) {
+        FlushCell(cell);
+      }
+    }
+    return verdict > 0;
+  }
+  ++cell.stats.undecided;
+  REACH_PROBE_INC(probe, fallbacks);
+  if constexpr (kMetricsCompiled) {
+    ++cell.unflushed_undecided;
+    if (cell.unflushed_pos + cell.unflushed_neg + cell.unflushed_undecided >=
+        kFlushBatch) {
+      FlushCell(cell);
+    }
+  }
+  const bool reachable = inner_->QueryInSlot(s, t, slot);
+  if (reachable) REACH_PROBE_INC(probe, positives);
+  return reachable;
+}
+
+template <typename Base>
+size_t BasicFastPathIndex<Base>::IndexSizeBytes() const {
+  return stack_.SizeBytes() + inner_->IndexSizeBytes();
+}
+
+template <typename Base>
+QueryProbe BasicFastPathIndex<Base>::Probe() const {
+  FlushAllCells();
+  QueryProbe own;
+  for (const Cell& cell : cells_) own.MergeFrom(cell.probe);
+  // Same convention as SccCondensingIndex: queries/positives are counted
+  // at the wrapper (decided queries never reach the inner index); scan
+  // and rejection work is additive across the layers.
+  QueryProbe merged = inner_->Probe();
+  merged.queries = own.queries;
+  merged.positives = own.positives;
+  merged.labels_scanned += own.labels_scanned;
+  merged.label_rejections += own.label_rejections;
+  merged.fallbacks += own.fallbacks;
+  return merged;
+}
+
+template <typename Base>
+void BasicFastPathIndex<Base>::ResetProbe() const {
+  FlushAllCells();
+  for (Cell& cell : cells_) cell = Cell{};
+  inner_->ResetProbe();
+}
+
+template <typename Base>
+void BasicFastPathIndex<Base>::InsertEdge(VertexId s, VertexId t) {
+  assert(inner_dynamic_ != nullptr);
+  inner_dynamic_->InsertEdge(s, t);
+  inserted_ = true;
+}
+
+template <typename Base>
+FastPathVerdictStats BasicFastPathIndex<Base>::VerdictStats() const {
+  FastPathVerdictStats total;
+  for (const Cell& cell : cells_) {
+    total.hit_pos += cell.stats.hit_pos;
+    total.hit_neg += cell.stats.hit_neg;
+    total.undecided += cell.stats.undecided;
+  }
+  return total;
+}
+
+template <typename Base>
+void BasicFastPathIndex<Base>::FlushCell(Cell& cell) const {
+  if (cell.unflushed_pos != 0) hit_pos_counter_->Add(cell.unflushed_pos);
+  if (cell.unflushed_neg != 0) hit_neg_counter_->Add(cell.unflushed_neg);
+  if (cell.unflushed_undecided != 0)
+    undecided_counter_->Add(cell.unflushed_undecided);
+  cell.unflushed_pos = 0;
+  cell.unflushed_neg = 0;
+  cell.unflushed_undecided = 0;
+}
+
+template <typename Base>
+void BasicFastPathIndex<Base>::FlushAllCells() const {
+  for (Cell& cell : cells_) FlushCell(cell);
+}
+
+template class BasicFastPathIndex<ReachabilityIndex>;
+template class BasicFastPathIndex<DynamicReachabilityIndex>;
+
+}  // namespace reach

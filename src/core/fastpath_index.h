@@ -1,0 +1,126 @@
+#ifndef REACH_CORE_FASTPATH_INDEX_H_
+#define REACH_CORE_FASTPATH_INDEX_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/observation_stack.h"
+#include "core/reachability_index.h"
+
+namespace reach {
+
+class Counter;
+
+/// Aggregated three-way verdict counts of a `FastPathIndex`: how many
+/// queries the observation stack settled positively / negatively, and how
+/// many fell through to the wrapped index. The same values are exported
+/// as the `fastpath.hit.pos` / `fastpath.hit.neg` / `fastpath.undecided`
+/// registry counters (docs/OBSERVABILITY.md).
+struct FastPathVerdictStats {
+  uint64_t hit_pos = 0;
+  uint64_t hit_neg = 0;
+  uint64_t undecided = 0;
+
+  uint64_t Decided() const { return hit_pos + hit_neg; }
+  uint64_t Total() const { return Decided() + undecided; }
+};
+
+/// Layers the O'Reach observation stack (core/observation_stack.h) in
+/// front of *any* reachability index — the composable sibling of
+/// `SccCondensingIndex`, and ROADMAP item 3 made concrete: a three-way
+/// constant-time `Verdict` settles the bulk of both reachable- and
+/// unreachable-biased workloads before the wrapped index is consulted;
+/// only undecided queries delegate.
+///
+/// Constructed by the factory for any plain spec carrying `:fastpath=1`
+/// (e.g. "pll:fastpath=1", "grail:k=5:fastpath=1"); capability
+/// propagation: `complete` and `dynamic` follow the wrapped index,
+/// `serializable` is dropped (the observation stack is rebuilt from the
+/// graph, never persisted).
+///
+/// Concurrency mirrors the wrapped index: `PrepareConcurrentQueries`
+/// grants what the inner index grants and sizes one verdict-counter cell
+/// per slot, so concurrent `QueryInSlot` streams never share counters.
+/// The observation stack itself is immutable after `Build`.
+///
+/// Dynamic wrapping (`DynamicFastPathIndex`): reachability only grows
+/// under insertion, so positive verdicts (same-SCC, DFS containment,
+/// common observation vertex) stay valid after `InsertEdge`; negative
+/// verdicts rely on orders that an inserted edge can falsify, so they
+/// are suppressed — demoted to undecided — from the first insertion
+/// until the next `Build`.
+template <typename Base>
+class BasicFastPathIndex : public Base {
+ public:
+  /// Takes ownership of the index to wrap. For the dynamic instantiation
+  /// the inner index must be a `DynamicReachabilityIndex`.
+  explicit BasicFastPathIndex(std::unique_ptr<ReachabilityIndex> inner,
+                              ObservationStack::Options options = {});
+  ~BasicFastPathIndex() override;
+
+  void Build(const Digraph& graph) override;
+  bool Query(VertexId s, VertexId t) const override {
+    return QueryInSlot(s, t, 0);
+  }
+  size_t PrepareConcurrentQueries(size_t slots) const override;
+  bool QueryInSlot(VertexId s, VertexId t, size_t slot) const override;
+  size_t IndexSizeBytes() const override;
+  bool IsComplete() const override { return inner_->IsComplete(); }
+  std::string Name() const override { return "fastpath+" + inner_->Name(); }
+  QueryProbe Probe() const override;
+  void ResetProbe() const override;
+
+  /// Inserts edge s -> t into the wrapped index and switches the
+  /// observation stack to insert mode (negative verdicts suppressed).
+  /// Overrides `DynamicReachabilityIndex::InsertEdge` in the dynamic
+  /// instantiation; must not be called on a non-dynamic inner index.
+  void InsertEdge(VertexId s, VertexId t);
+
+  /// Verdict counts accumulated since `Build` / `ResetProbe`, summed
+  /// across slots. Exact in every build mode, including REACH_METRICS=0
+  /// (only the registry mirroring is compiled out).
+  FastPathVerdictStats VerdictStats() const;
+
+  /// The precomputed observation stack (e.g. to size or probe it).
+  const ObservationStack& observations() const { return stack_; }
+
+  /// The wrapped index.
+  const ReachabilityIndex& inner() const { return *inner_; }
+
+ private:
+  // Per-slot verdict counters: `stats` accumulates since Build/Reset;
+  // `unflushed_*` buffers increments until a batch is pushed into the
+  // shared registry counters, keeping the per-query cost to plain adds.
+  struct Cell {
+    FastPathVerdictStats stats;
+    QueryProbe probe;
+    uint64_t unflushed_pos = 0;
+    uint64_t unflushed_neg = 0;
+    uint64_t unflushed_undecided = 0;
+  };
+
+  void FlushCell(Cell& cell) const;
+  void FlushAllCells() const;
+
+  std::unique_ptr<ReachabilityIndex> inner_;
+  DynamicReachabilityIndex* inner_dynamic_ = nullptr;  // null if static
+  ObservationStack stack_;
+  // Set by InsertEdge, cleared by Build. Plain bool: like every dynamic
+  // index in the library, InsertEdge is not thread-safe with queries.
+  bool inserted_ = false;
+  mutable std::deque<Cell> cells_;  // slot-indexed; deque: stable refs
+  // Shared registry counters ("fastpath.*", created once per process).
+  Counter* hit_pos_counter_;
+  Counter* hit_neg_counter_;
+  Counter* undecided_counter_;
+};
+
+using FastPathIndex = BasicFastPathIndex<ReachabilityIndex>;
+using DynamicFastPathIndex = BasicFastPathIndex<DynamicReachabilityIndex>;
+
+}  // namespace reach
+
+#endif  // REACH_CORE_FASTPATH_INDEX_H_

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "core/fastpath_index.h"
 #include "core/scc_condensing_index.h"
 #include "lcr/gtc_index.h"
 #include "lcr/landmark_index.h"
@@ -131,6 +132,23 @@ MadeIndex MakeIndex(const IndexSpec& spec) {
   // AutoIndex only knows its completeness after Build picks a technique.
   made.caps.complete = spec.base != "auto" && made.plain->IsComplete();
   made.caps.serializable = made.plain->SupportsSerialization();
+  if (spec.Param("fastpath", 0) != 0) {
+    ObservationStack::Options options;
+    options.num_supports = spec.Param("supports", options.num_supports);
+    options.num_anti = spec.Param("anti", options.num_anti);
+    // The dynamic instantiation keeps `InsertEdge` (and thereby
+    // `caps.dynamic`) reachable through the wrapper; `complete` follows
+    // the inner index; serialization is dropped — the observation stack
+    // is rebuilt from the graph, never persisted.
+    if (made.caps.dynamic) {
+      made.plain = std::make_unique<DynamicFastPathIndex>(
+          std::move(made.plain), options);
+    } else {
+      made.plain =
+          std::make_unique<FastPathIndex>(std::move(made.plain), options);
+    }
+    made.caps.serializable = false;
+  }
   return made;
 }
 
@@ -142,6 +160,48 @@ std::vector<std::string> DefaultIndexSpecs(IndexFamily family) {
           "chaincover", "gripp", "grail",  "ferrari", "pll",      "tfl",
           "tol-random", "dbl",   "dagger", "oreach",  "ip",       "bfl",
           "feline",     "preach"};
+}
+
+std::vector<SpecDoc> DescribeIndexSpecs(IndexFamily family) {
+  if (family == IndexFamily::kLcr) {
+    return {
+        {"lcr:bfs", "", "label-constrained online BFS baseline"},
+        {"lcr:gtc", "", "generalized transitive closure"},
+        {"lcr:tree", "", "tree-based LCR index (Jin et al.)"},
+        {"lcr:landmark", "k=<n> landmarks (16), b=<n> budget (2)",
+         "landmark index"},
+        {"lcr:pll", "", "label-constrained pruned 2-hop (P2H+)"},
+    };
+  }
+  return {
+      {"bfs", "", "online breadth-first search (no index)"},
+      {"dfs", "", "online depth-first search (no index)"},
+      {"bibfs", "", "online bidirectional BFS (no index)"},
+      {"tc", "", "full transitive closure bitmap"},
+      {"treecover", "", "Agrawal et al. optimal tree cover"},
+      {"dual", "", "dual labeling (tree + non-tree t-links)"},
+      {"chaincover", "", "chain cover (Jagadish)"},
+      {"gripp", "", "GRIPP interval traversal"},
+      {"grail", "k=<n> interval labelings (3)", "GRAIL randomized intervals"},
+      {"ferrari", "k=<n> intervals per vertex (4)",
+       "FERRARI adaptive exact/approximate intervals"},
+      {"pll", "", "pruned 2-hop labeling, degree order"},
+      {"tfl", "", "pruned 2-hop labeling, topological order"},
+      {"tol-random", "", "pruned 2-hop labeling, random order"},
+      {"tol-revdeg", "", "pruned 2-hop labeling, reverse-degree order"},
+      {"dbl", "", "dual Bloom labels"},
+      {"dagger", "k=<n> interval labelings (3)", "dynamic DAGGER intervals"},
+      {"oreach", "k=<n> supportive vertices (32)",
+       "O'Reach observation stack + guided bidirectional BFS"},
+      {"ip", "k=<n> label entries per side (4)",
+       "IP independent-permutation labels"},
+      {"bfl", "bits=<n> Bloom-filter width (256)", "Bloom-filter labeling"},
+      {"feline", "", "FELINE planar-dominance coordinates"},
+      {"preach", "", "PReaCH pruned contraction-hierarchy search"},
+      {"auto", "", "Table 1 advisor: picks a technique per graph"},
+      {"<any>:fastpath=1", "supports=<n> (32), anti=<n> (32)",
+       "wrap any plain spec in the O(1) observation-stack fast path"},
+  };
 }
 
 }  // namespace reach

@@ -76,6 +76,12 @@ struct MadeIndex {
 /// "oreach[:k=<n>]", "ip[:k=<n>]", "bfl[:bits=<n>]", "feline", "preach",
 /// and "auto" (Table 1 advisor, plain/auto_index.h).
 ///
+/// Every plain spec additionally accepts
+/// `:fastpath=1[:supports=<n>][:anti=<n>]`, which layers the O(1)
+/// observation-stack fast path (core/fastpath_index.h, docs/FASTPATH.md)
+/// in front of the constructed index. Capability propagation: `complete`
+/// and `dynamic` follow the wrapped index, `serializable` becomes false.
+///
 /// LCR specs (all "lcr:"-prefixed): "lcr:bfs", "lcr:gtc", "lcr:tree",
 /// "lcr:landmark[:k=<n>][:b=<n>]", "lcr:pll"; the historical technique
 /// names "lcr:lcr-bfs", "lcr:jin-tree", and "lcr:p2h" are accepted as
@@ -90,6 +96,21 @@ enum class IndexFamily { kPlain, kLcr };
 /// The default benchmark/conformance roster for a family: one spec per
 /// implemented Table 1 / Table 2 row plus the online baselines.
 std::vector<std::string> DefaultIndexSpecs(IndexFamily family);
+
+/// One roster entry's documentation line: the spec name, the `Param`
+/// knobs it accepts with their defaults (empty when the technique takes
+/// none), and a one-line summary. Used by `reach_cli --help` so the
+/// printed roster documents every accepted `:key=value` knob.
+struct SpecDoc {
+  std::string spec;
+  std::string params;
+  std::string summary;
+};
+
+/// Documentation for every spec `MakeIndex` accepts in `family`, in
+/// `DefaultIndexSpecs` order (plus specs, like "auto" and "tol-revdeg",
+/// that are constructible but not on the default roster).
+std::vector<SpecDoc> DescribeIndexSpecs(IndexFamily family);
 
 }  // namespace reach
 

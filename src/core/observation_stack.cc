@@ -1,0 +1,143 @@
+#include "core/observation_stack.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/condensation.h"
+#include "graph/topological.h"
+
+namespace reach {
+
+namespace {
+
+constexpr size_t kMaxObservers = 64;
+
+// Forward (over OutNeighbors) or backward (over InNeighbors) BFS from
+// `root`, OR-ing `bit` into `sig` of every vertex reached.
+void SweepSignature(const Digraph& dag, VertexId root, uint64_t bit,
+                    bool forward, std::vector<uint64_t>* sig,
+                    std::vector<uint32_t>* stamp, uint32_t epoch,
+                    std::vector<VertexId>* queue) {
+  queue->clear();
+  queue->push_back(root);
+  (*stamp)[root] = epoch;
+  (*sig)[root] |= bit;
+  for (size_t head = 0; head < queue->size(); ++head) {
+    const VertexId v = (*queue)[head];
+    for (const VertexId w :
+         forward ? dag.OutNeighbors(v) : dag.InNeighbors(v)) {
+      if ((*stamp)[w] == epoch) continue;
+      (*stamp)[w] = epoch;
+      (*sig)[w] |= bit;
+      queue->push_back(w);
+    }
+  }
+}
+
+}  // namespace
+
+void ObservationStack::Build(const Digraph& graph) {
+  // Condense unconditionally: on a DAG the decomposition is the identity
+  // up to renumbering, and one code path keeps every observation valid on
+  // general digraphs.
+  const Condensation cond = Condense(graph);
+  const Digraph& dag = cond.dag;
+  const size_t n = dag.NumVertices();
+  component_of_ = cond.scc.component_of;
+
+  const std::vector<VertexId> order = *TopologicalOrder(dag);
+  topo_a_ = RankOf(order);
+  topo_b_ = RankOf(*TopologicalOrderReverseTies(dag));
+  fwd_level_ = ForwardLevels(dag);
+  bwd_level_ = BackwardLevels(dag);
+
+  // DFS spanning forest over real edges, roots taken in topological order
+  // so every tree path is a directed path: pre/post interval containment
+  // is a positive witness. Iterative, with an explicit child cursor.
+  dfs_pre_.assign(n, 0);
+  dfs_post_.assign(n, 0);
+  {
+    std::vector<uint8_t> visited(n, 0);
+    std::vector<std::pair<VertexId, size_t>> stack;  // (vertex, next child)
+    uint32_t clock = 0;
+    for (const VertexId root : order) {
+      if (visited[root]) continue;
+      visited[root] = 1;
+      dfs_pre_[root] = clock++;
+      stack.emplace_back(root, 0);
+      while (!stack.empty()) {
+        auto& [v, cursor] = stack.back();
+        const auto out = dag.OutNeighbors(v);
+        bool descended = false;
+        while (cursor < out.size()) {
+          const VertexId w = out[cursor++];
+          if (visited[w]) continue;
+          visited[w] = 1;
+          dfs_pre_[w] = clock++;
+          stack.emplace_back(w, 0);
+          descended = true;
+          break;
+        }
+        if (!descended) {
+          dfs_post_[v] = clock++;
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  // Observation-vertex selection. Supportive: highest-degree DAG vertices
+  // (stable order, matching the historical O'Reach support choice). Anti:
+  // stratified across the topological order, skipping vertices already
+  // supportive, so their reachable sets band the DAG.
+  const size_t want_supports = std::min(options_.num_supports, kMaxObservers);
+  const size_t want_anti =
+      std::min(options_.num_anti, kMaxObservers - want_supports);
+  std::vector<VertexId> observers;
+  std::vector<uint8_t> chosen(n, 0);
+  {
+    std::vector<VertexId> by_degree(n);
+    std::iota(by_degree.begin(), by_degree.end(), 0);
+    std::stable_sort(by_degree.begin(), by_degree.end(),
+                     [&](VertexId a, VertexId b) {
+                       return dag.Degree(a) > dag.Degree(b);
+                     });
+    for (size_t i = 0; i < n && observers.size() < want_supports; ++i) {
+      observers.push_back(by_degree[i]);
+      chosen[by_degree[i]] = 1;
+    }
+  }
+  for (size_t i = 0; i < want_anti && n > 0; ++i) {
+    // Evenly spaced positions in the topological order; duplicates and
+    // already-supportive vertices advance to the next free position.
+    size_t pos = (i * n) / want_anti + n / (2 * want_anti);
+    if (pos >= n) pos = n - 1;
+    for (size_t step = 0; step < n; ++step) {
+      const VertexId candidate = order[(pos + step) % n];
+      if (!chosen[candidate]) {
+        chosen[candidate] = 1;
+        observers.push_back(candidate);
+        break;
+      }
+    }
+  }
+  num_observers_ = observers.size();
+
+  // One forward + one backward sweep per observation vertex fills both
+  // signatures: bit h of fwd_sig(v) iff v reaches observer h, bit h of
+  // bwd_sig(v) iff observer h reaches v.
+  fwd_sig_.assign(n, 0);
+  bwd_sig_.assign(n, 0);
+  std::vector<uint32_t> stamp(n, 0);
+  std::vector<VertexId> queue;
+  uint32_t epoch = 0;
+  for (size_t h = 0; h < observers.size(); ++h) {
+    const uint64_t bit = uint64_t{1} << h;
+    SweepSignature(dag, observers[h], bit, /*forward=*/true, &bwd_sig_,
+                   &stamp, ++epoch, &queue);
+    SweepSignature(dag, observers[h], bit, /*forward=*/false, &fwd_sig_,
+                   &stamp, ++epoch, &queue);
+  }
+}
+
+}  // namespace reach

@@ -1,0 +1,126 @@
+#ifndef REACH_CORE_OBSERVATION_STACK_H_
+#define REACH_CORE_OBSERVATION_STACK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/types.h"
+
+namespace reach {
+
+/// The O'Reach-style constant-time observation stack (paper §3.2;
+/// PAPERS.md: "O'Reach: Even Faster Reachability in Large Graphs"): a
+/// small bundle of precomputed per-vertex observations that settles most
+/// reachability queries — in both the reachable- and unreachable-biased
+/// regimes — with a handful of array lookups, before any index is
+/// consulted. Shared by `OReach` (whose filters it *is*) and
+/// `FastPathIndex` (which layers it in front of any wrapped index).
+///
+/// Observations, in evaluation order of `Verdict`:
+///  * same-SCC: s and t in one strongly connected component — positive.
+///    General digraphs are handled by condensing internally; every other
+///    observation is evaluated on the SCC DAG.
+///  * extended topological orders: two topological ranks (min- and
+///    max-tie Kahn) plus forward/backward longest-path levels; any order
+///    decreasing from s to t proves unreachability.
+///  * DFS-interval containment: [pre, post) intervals of one DFS spanning
+///    forest whose tree edges are real edges, so t inside s's interval is
+///    a tree-path witness — positive.
+///  * supportive/anti vertex signatures: for up to 64 observation
+///    vertices h, bit h of fwd_sig(v) iff v reaches h and bit h of
+///    bwd_sig(v) iff h reaches v. A shared bit is a 2-hop witness
+///    (positive); s -> t implies fwd_sig(t) ⊆ fwd_sig(s) and
+///    bwd_sig(s) ⊆ bwd_sig(t), so either containment violation proves
+///    unreachability. *Supportive* bits go to high-degree vertices (they
+///    sit on many paths, maximizing positive hits); *anti* bits are
+///    stratified across the topological order (their reachable sets
+///    slice the DAG into bands, maximizing containment violations on
+///    unreachable-biased workloads).
+///
+/// `Verdict` never traverses and never allocates: it is O(1) per query
+/// and safe to call concurrently from any number of threads after
+/// `Build` (all state is immutable).
+class ObservationStack {
+ public:
+  struct Options {
+    /// Observation vertices picked by descending degree (≤ 64 total with
+    /// `num_anti`).
+    size_t num_supports = 32;
+    /// Observation vertices stratified across the topological order.
+    size_t num_anti = 32;
+  };
+
+  ObservationStack() = default;
+  explicit ObservationStack(Options options) : options_(options) {}
+
+  /// Precomputes every observation for `graph` (general digraphs are
+  /// condensed internally). Cost: O((k + 6)(V + E)) for k observation
+  /// vertices — a handful of BFS/DFS sweeps.
+  void Build(const Digraph& graph);
+
+  /// Three-way constant-time verdict: +1 reachable, -1 unreachable,
+  /// 0 undecided. Exact in both decided directions — an undecided query
+  /// must be answered by an index or traversal.
+  int Verdict(VertexId s, VertexId t) const {
+    if (s == t) return 1;
+    const VertexId cs = component_of_[s];
+    const VertexId ct = component_of_[t];
+    if (cs == ct) return 1;  // same SCC
+    // Extended topological observations: every order must agree with
+    // s -> t, otherwise the pair is unreachable.
+    if (topo_a_[cs] >= topo_a_[ct] || topo_b_[cs] >= topo_b_[ct] ||
+        fwd_level_[cs] >= fwd_level_[ct] || bwd_level_[cs] <= bwd_level_[ct]) {
+      return -1;
+    }
+    // DFS spanning-forest containment: t a tree descendant of s.
+    if (dfs_pre_[cs] < dfs_pre_[ct] && dfs_post_[ct] <= dfs_post_[cs]) {
+      return 1;
+    }
+    // Observation-vertex signatures.
+    const uint64_t fs = fwd_sig_[cs], ft = fwd_sig_[ct];
+    const uint64_t bs = bwd_sig_[cs], bt = bwd_sig_[ct];
+    if ((fs & bt) != 0) return 1;   // common observation vertex
+    if ((ft & ~fs) != 0) return -1;  // containment contrapositive
+    if ((bs & ~bt) != 0) return -1;
+    return 0;
+  }
+
+  /// True once `Build` ran.
+  bool built() const { return !component_of_.empty(); }
+
+  /// Precomputed-observation footprint in bytes.
+  size_t SizeBytes() const {
+    return component_of_.size() * sizeof(VertexId) +
+           (topo_a_.size() + topo_b_.size() + fwd_level_.size() +
+            bwd_level_.size() + dfs_pre_.size() + dfs_post_.size()) *
+               sizeof(uint32_t) +
+           (fwd_sig_.size() + bwd_sig_.size()) * sizeof(uint64_t);
+  }
+
+  /// Number of observation (supportive + anti) vertices actually chosen.
+  size_t NumObservationVertices() const { return num_observers_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  size_t num_observers_ = 0;
+  // Everything below is indexed by SCC-DAG vertex except `component_of_`
+  // (original vertex -> DAG vertex). On a DAG the map is a bijection.
+  std::vector<VertexId> component_of_;
+  std::vector<uint32_t> topo_a_;     // rank in min-tie topological order
+  std::vector<uint32_t> topo_b_;     // rank in max-tie topological order
+  std::vector<uint32_t> fwd_level_;  // longest path from any source
+  std::vector<uint32_t> bwd_level_;  // longest path to any sink
+  std::vector<uint32_t> dfs_pre_;    // DFS spanning-forest entry time
+  std::vector<uint32_t> dfs_post_;   // DFS spanning-forest exit time
+  std::vector<uint64_t> fwd_sig_;    // observation vertices v reaches
+  std::vector<uint64_t> bwd_sig_;    // observation vertices reaching v
+};
+
+}  // namespace reach
+
+#endif  // REACH_CORE_OBSERVATION_STACK_H_

@@ -127,6 +127,40 @@ Digraph Chain(VertexId num_vertices) {
   return Digraph::FromEdges(num_vertices, std::move(edges));
 }
 
+Digraph ChainWithShortcuts(VertexId num_vertices, size_t num_shortcuts,
+                           uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve((num_vertices > 0 ? num_vertices - 1 : 0) + num_shortcuts);
+  for (VertexId v = 0; v + 1 < num_vertices; ++v) edges.push_back({v, v + 1});
+  std::set<std::pair<VertexId, VertexId>> seen;
+  size_t attempts = 0;
+  const size_t max_attempts = 64 * num_shortcuts + 1024;
+  while (seen.size() < num_shortcuts && attempts < max_attempts &&
+         num_vertices > 2) {
+    ++attempts;
+    VertexId u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    if (u > v) std::swap(u, v);
+    if (v - u < 2) continue;  // chain edges and self-loops are not shortcuts
+    if (!seen.insert({u, v}).second) continue;
+    edges.push_back({u, v});
+  }
+  return Digraph::FromEdges(num_vertices, std::move(edges));
+}
+
+Digraph DenseBipartiteDag(VertexId left, VertexId right, double density,
+                          uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < left; ++u) {
+    for (VertexId v = 0; v < right; ++v) {
+      if (rng.NextDouble() < density) edges.push_back({u, left + v});
+    }
+  }
+  return Digraph::FromEdges(left + right, std::move(edges));
+}
+
 Digraph Cycle(VertexId num_vertices) {
   std::vector<Edge> edges;
   for (VertexId v = 0; v + 1 < num_vertices; ++v) edges.push_back({v, v + 1});

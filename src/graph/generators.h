@@ -46,6 +46,22 @@ Digraph LayeredDag(VertexId layers, VertexId width, size_t out_degree,
 /// Simple directed path 0 -> 1 -> ... -> n-1.
 Digraph Chain(VertexId num_vertices);
 
+/// Deep chain 0 -> 1 -> ... -> n-1 plus `num_shortcuts` random forward
+/// shortcut edges (u -> v with u < v). Adversarial for level/topo-rank
+/// pruning: every pair (u, v) with u < v is reachable, so order-based
+/// negative filters never fire and positive certificates must carry the
+/// load.
+Digraph ChainWithShortcuts(VertexId num_vertices, size_t num_shortcuts,
+                           uint64_t seed);
+
+/// Dense bipartite DAG: `left` sources, `right` sinks, each left->right
+/// edge present independently with probability `density`. Adversarial for
+/// transitive indexes: reachability has no transitivity to exploit (every
+/// reachable pair is a direct edge) and the reachable/unreachable mix is
+/// controlled exactly by `density`.
+Digraph DenseBipartiteDag(VertexId left, VertexId right, double density,
+                          uint64_t seed);
+
 /// Simple directed cycle 0 -> 1 -> ... -> n-1 -> 0.
 Digraph Cycle(VertexId num_vertices);
 

@@ -1,86 +1,19 @@
 #include "plain/oreach.h"
 
-#include <algorithm>
-#include <numeric>
-
-#include "graph/topological.h"
-
 namespace reach {
 
 void OReach::Build(const Digraph& graph) {
   graph_ = &graph;
-  const size_t n = graph.NumVertices();
-  fwd_mask_.assign(n, 0);
-  bwd_mask_.assign(n, 0);
-
-  // Supports: highest-degree vertices.
-  std::vector<VertexId> by_degree(n);
-  std::iota(by_degree.begin(), by_degree.end(), 0);
-  std::stable_sort(by_degree.begin(), by_degree.end(),
-                   [&](VertexId a, VertexId b) {
-                     return graph.Degree(a) > graph.Degree(b);
-                   });
-  const size_t k = std::min(num_supports_, n);
-
-  // One backward + one forward BFS per support fills the masks.
-  SearchWorkspace ws;
-  for (size_t h = 0; h < k; ++h) {
-    const VertexId support = by_degree[h];
-    const uint64_t bit = uint64_t{1} << h;
-    ws.Prepare(n);
-    auto& queue = ws.queue();
-    queue.clear();
-    queue.push_back(support);
-    ws.MarkForward(support);
-    fwd_mask_[support] |= bit;  // support reaches itself
-    for (size_t head = 0; head < queue.size(); ++head) {
-      for (VertexId w : graph.InNeighbors(queue[head])) {
-        if (ws.MarkForward(w)) {
-          fwd_mask_[w] |= bit;
-          queue.push_back(w);
-        }
-      }
-    }
-    ws.Prepare(n);
-    queue.clear();
-    queue.push_back(support);
-    ws.MarkForward(support);
-    bwd_mask_[support] |= bit;
-    for (size_t head = 0; head < queue.size(); ++head) {
-      for (VertexId w : graph.OutNeighbors(queue[head])) {
-        if (ws.MarkForward(w)) {
-          bwd_mask_[w] |= bit;
-          queue.push_back(w);
-        }
-      }
-    }
-  }
-
-  topo_a_ = RankOf(*TopologicalOrder(graph));
-  topo_b_ = RankOf(*TopologicalOrderReverseTies(graph));
-  fwd_level_ = ForwardLevels(graph);
-  bwd_level_ = BackwardLevels(graph);
-}
-
-int OReach::FilterVerdict(VertexId s, VertexId t) const {
-  if (s == t) return 1;
-  // Extended topological observations: all four orders must agree with
-  // s -> t, otherwise it is impossible.
-  if (topo_a_[s] >= topo_a_[t] || topo_b_[s] >= topo_b_[t] ||
-      fwd_level_[s] >= fwd_level_[t] || bwd_level_[s] <= bwd_level_[t]) {
-    return -1;
-  }
-  if ((fwd_mask_[s] & bwd_mask_[t]) != 0) return 1;  // common support
-  // Support-containment contrapositive.
-  if ((fwd_mask_[t] & ~fwd_mask_[s]) != 0) return -1;
-  if ((bwd_mask_[s] & ~bwd_mask_[t]) != 0) return -1;
-  return 0;
+  stack_.Build(graph);
 }
 
 bool OReach::Query(VertexId s, VertexId t) const {
-  const int verdict = FilterVerdict(s, t);
+  const int verdict = stack_.Verdict(s, t);
   if (verdict != 0) return verdict > 0;
 
+  // Bidirectional BFS over the undecided band: a candidate the stack
+  // settles positively ends the search, a negatively settled one is
+  // pruned, and only genuinely undecided vertices join the front.
   ws_.Prepare(graph_->NumVertices());
   auto& fwd = ws_.queue();
   auto& bwd = ws_.backward_queue();
@@ -99,7 +32,7 @@ bool OReach::Query(VertexId s, VertexId t) const {
         for (VertexId w : graph_->OutNeighbors(fwd[fwd_head])) {
           if (ws_.IsBackwardMarked(w)) return true;
           if (ws_.IsForwardMarked(w)) continue;
-          const int wv = FilterVerdict(w, t);
+          const int wv = stack_.Verdict(w, t);
           if (wv > 0) {
             hit = true;
             break;
@@ -117,7 +50,7 @@ bool OReach::Query(VertexId s, VertexId t) const {
         for (VertexId w : graph_->InNeighbors(bwd[bwd_head])) {
           if (ws_.IsForwardMarked(w)) return true;
           if (ws_.IsBackwardMarked(w)) continue;
-          const int wv = FilterVerdict(s, w);
+          const int wv = stack_.Verdict(s, w);
           if (wv > 0) {
             hit = true;
             break;
@@ -131,13 +64,6 @@ bool OReach::Query(VertexId s, VertexId t) const {
     }
   }
   return false;
-}
-
-size_t OReach::IndexSizeBytes() const {
-  return (fwd_mask_.size() + bwd_mask_.size()) * sizeof(uint64_t) +
-         (topo_a_.size() + topo_b_.size() + fwd_level_.size() +
-          bwd_level_.size()) *
-             sizeof(uint32_t);
 }
 
 }  // namespace reach

@@ -1,10 +1,9 @@
 #ifndef REACH_PLAIN_OREACH_H_
 #define REACH_PLAIN_OREACH_H_
 
-#include <cstdint>
 #include <string>
-#include <vector>
 
+#include "core/observation_stack.h"
 #include "core/reachability_index.h"
 #include "core/search_workspace.h"
 #include "graph/digraph.h"
@@ -14,44 +13,42 @@ namespace reach {
 /// O'Reach [18] (paper §3.2): a *partial* 2-hop-style index built from k
 /// selected "supportive" vertices plus topological-order observations.
 ///
-/// For the k <= 64 highest-degree supports we store two bitmasks per
-/// vertex: bit h of fwd_mask(v) iff v reaches support h, and bit h of
-/// bwd_mask(v) iff support h reaches v (a partial 2-hop labeling whose hop
-/// universe is the support set). Per query:
-///  * positive: fwd_mask(s) & bwd_mask(t) != 0 — a common support is a
-///    2-hop witness;
-///  * negative: s -> t implies fwd_mask(t) ⊆ fwd_mask(s) and
-///    bwd_mask(s) ⊆ bwd_mask(t); any violation proves unreachability;
-///  * negative: two topological ranks and forward/backward levels must all
-///    increase from s to t (the extended-topological-order observations).
-/// Undecided queries fall back to a filter-pruned bidirectional BFS.
+/// The constant-time filters — supportive-vertex signatures, two
+/// topological ranks, forward/backward levels, and DFS-interval
+/// containment — are the shared `ObservationStack`
+/// (core/observation_stack.h), configured with k supportive vertices and
+/// no anti vertices to match the historical O'Reach support selection.
+/// Undecided queries fall back to a filter-pruned bidirectional BFS: every
+/// traversal candidate is re-screened through the stack's verdict, so the
+/// search front stays inside the undecided band.
 ///
-/// Input must be a DAG (wrap in `SccCondensingIndex`).
+/// Input must be a DAG (wrap in `SccCondensingIndex`; the stack itself
+/// condenses internally, but the guided BFS walks the input graph).
 class OReach : public ReachabilityIndex {
  public:
   explicit OReach(size_t num_supports = 32)
-      : num_supports_(num_supports > 64 ? 64 : num_supports) {}
+      : num_supports_(num_supports > 64 ? 64 : num_supports),
+        stack_(ObservationStack::Options{
+            /*.num_supports =*/num_supports > 64 ? 64 : num_supports,
+            /*.num_anti =*/0}) {}
 
   void Build(const Digraph& graph) override;
   bool Query(VertexId s, VertexId t) const override;
-  size_t IndexSizeBytes() const override;
+  size_t IndexSizeBytes() const override { return stack_.SizeBytes(); }
   bool IsComplete() const override { return false; }
   std::string Name() const override {
     return "oreach(k=" + std::to_string(num_supports_) + ")";
   }
 
   /// Pure-filter verdict: +1 reachable, -1 unreachable, 0 undecided.
-  int FilterVerdict(VertexId s, VertexId t) const;
+  int FilterVerdict(VertexId s, VertexId t) const {
+    return stack_.Verdict(s, t);
+  }
 
  private:
   size_t num_supports_;
   const Digraph* graph_ = nullptr;
-  std::vector<uint64_t> fwd_mask_;  // supports reachable from v
-  std::vector<uint64_t> bwd_mask_;  // supports reaching v
-  std::vector<uint32_t> topo_a_;    // two topological ranks
-  std::vector<uint32_t> topo_b_;
-  std::vector<uint32_t> fwd_level_;
-  std::vector<uint32_t> bwd_level_;
+  ObservationStack stack_;
   mutable SearchWorkspace ws_;
 };
 

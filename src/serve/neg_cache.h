@@ -1,0 +1,190 @@
+#ifndef REACH_SERVE_NEG_CACHE_H_
+#define REACH_SERVE_NEG_CACHE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "graph/types.h"
+
+namespace reach {
+
+/// A sharded, bounded cache of *verified-negative* (s, t) pairs for the
+/// serve hot path: repeated unreachable queries — the dominant mix in
+/// many serving workloads (paper §5) — short-circuit before the snapshot
+/// is even pinned. Only negatives are cached: a positive is already final
+/// under edge insertion, while a negative is exactly the answer the
+/// service spends delta-closure/BFS work re-verifying.
+///
+/// Layout: `num_shards` cache-line-aligned stripes, each a small
+/// open-addressing table of packed (s, t) words probed over a fixed
+/// window. Readers are lock-free; writers take the stripe lock (one
+/// writer per stripe at a time, never blocking readers).
+///
+/// Invalidation is by epoch, not by sweeping: `Invalidate()` (called by
+/// the service on `InsertEdge` and on snapshot swap) bumps the global
+/// epoch; each stripe carries the epoch of its contents and is lazily
+/// cleared by the next writer that reaches it. A reader samples
+/// `Epoch()` *before* pinning the service state it will verify against
+/// and passes it to both `Lookup` and `Insert`, which gives the two
+/// invariants that make stale answers impossible:
+///
+///  * `Lookup(s, t, e)` only returns true when the stripe's contents
+///    were verified at epoch >= e. The edge set only ever grows, so a
+///    pair verified unreachable at a later epoch is unreachable at every
+///    earlier one — while anything verified *before* e (the stripe epoch
+///    lagging the caller) misses.
+///  * `Insert(s, t, e)` refuses stale writes: a negative verified at
+///    epoch e must not enter a stripe already cleared for a newer epoch
+///    (edges inserted since could have made the pair reachable).
+///
+/// Entry loads/stores are single 64-bit atomics (no torn pairs), and the
+/// stripe epoch is release-published only after the stripe is cleared,
+/// so the whole structure is data-race-free under TSan with concurrent
+/// readers, writers, and invalidators.
+class NegativeResultCache {
+ public:
+  /// Insert outcome, for the service's eviction accounting.
+  enum class InsertOutcome : uint8_t {
+    kStored,   // written into a free slot
+    kPresent,  // already cached
+    kEvicted,  // written over a live entry (probe window full)
+    kStale,    // dropped: verified against an already-invalidated epoch
+  };
+
+  /// Both counts are rounded up to powers of two; `total_entries` is
+  /// split evenly across shards (at least one probe window per shard).
+  NegativeResultCache(size_t num_shards, size_t total_entries)
+      : shard_mask_(RoundUpPow2(num_shards) - 1),
+        entries_per_shard_(RoundUpPow2(
+            std::max(kProbeWindow, RoundUpPow2(total_entries) /
+                                       RoundUpPow2(num_shards)))),
+        shards_(new Shard[shard_mask_ + 1]) {
+    for (size_t i = 0; i <= shard_mask_; ++i) {
+      shards_[i].slots.reset(new std::atomic<uint64_t>[entries_per_shard_]);
+      for (size_t j = 0; j < entries_per_shard_; ++j) {
+        shards_[i].slots[j].store(kEmpty, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  NegativeResultCache(const NegativeResultCache&) = delete;
+  NegativeResultCache& operator=(const NegativeResultCache&) = delete;
+
+  /// The current global epoch. Sample it BEFORE pinning the state a
+  /// negative answer will be verified against.
+  uint64_t Epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Invalidates every cached entry (lazily: stripes are cleared by
+  /// their next writer). Call after publishing any state change that
+  /// could create new reachable pairs.
+  void Invalidate() { epoch_.fetch_add(1, std::memory_order_release); }
+
+  /// True iff (s, t) is cached as verified-unreachable at an epoch >= the
+  /// caller's. Lock-free; safe from any thread.
+  bool Lookup(VertexId s, VertexId t, uint64_t epoch) const {
+    const uint64_t pair = Pack(s, t);
+    const uint64_t hash = Mix(pair);
+    const Shard& shard = shards_[hash & shard_mask_];
+    // Acquire pairs with the writer's release epoch store: a matching
+    // (or newer) epoch guarantees every entry load below sees the
+    // cleared-or-later contents, never a pre-clear leftover.
+    if (shard.epoch.load(std::memory_order_acquire) < epoch) return false;
+    const size_t base = (hash >> 32) & (entries_per_shard_ - 1);
+    for (size_t i = 0; i < kProbeWindow; ++i) {
+      const size_t slot = (base + i) & (entries_per_shard_ - 1);
+      if (shard.slots[slot].load(std::memory_order_relaxed) == pair) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Records (s, t) as verified-unreachable at `epoch`. Takes the stripe
+  /// lock; lazily clears the stripe when its contents predate `epoch`.
+  InsertOutcome Insert(VertexId s, VertexId t, uint64_t epoch) {
+    const uint64_t pair = Pack(s, t);
+    if (pair == kEmpty) return InsertOutcome::kStale;  // s == t, never cached
+    // The global epoch (not just the lazily-cleared stripe epoch) decides
+    // staleness: once an invalidation has moved past `epoch`, every future
+    // reader samples a newer epoch, so this entry could never be hit —
+    // don't let it occupy or evict a slot.
+    if (epoch_.load(std::memory_order_relaxed) > epoch) {
+      return InsertOutcome::kStale;
+    }
+    const uint64_t hash = Mix(pair);
+    Shard& shard = shards_[hash & shard_mask_];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const uint64_t current = shard.epoch.load(std::memory_order_relaxed);
+    if (current > epoch) return InsertOutcome::kStale;
+    if (current < epoch) {
+      for (size_t j = 0; j < entries_per_shard_; ++j) {
+        shard.slots[j].store(kEmpty, std::memory_order_relaxed);
+      }
+      // Publish the epoch only after the clear: see Lookup.
+      shard.epoch.store(epoch, std::memory_order_release);
+    }
+    const size_t base = (hash >> 32) & (entries_per_shard_ - 1);
+    size_t free_slot = entries_per_shard_;
+    for (size_t i = 0; i < kProbeWindow; ++i) {
+      const size_t slot = (base + i) & (entries_per_shard_ - 1);
+      const uint64_t entry = shard.slots[slot].load(std::memory_order_relaxed);
+      if (entry == pair) return InsertOutcome::kPresent;
+      if (entry == kEmpty && free_slot == entries_per_shard_) free_slot = slot;
+    }
+    if (free_slot != entries_per_shard_) {
+      shard.slots[free_slot].store(pair, std::memory_order_relaxed);
+      return InsertOutcome::kStored;
+    }
+    // Probe window full of live entries: round-robin replacement.
+    const size_t victim = (base + shard.victim_cursor++ % kProbeWindow) &
+                          (entries_per_shard_ - 1);
+    shard.slots[victim].store(pair, std::memory_order_relaxed);
+    return InsertOutcome::kEvicted;
+  }
+
+  size_t NumShards() const { return shard_mask_ + 1; }
+  size_t EntriesPerShard() const { return entries_per_shard_; }
+
+ private:
+  static constexpr size_t kProbeWindow = 8;
+  // (s, t) with s == t == kInvalidVertex; such a pair is never cached
+  // (reachability is reflexive), so it doubles as the empty sentinel.
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+
+  static constexpr uint64_t Pack(VertexId s, VertexId t) {
+    return (uint64_t{s} << 32) | uint64_t{t};
+  }
+
+  // splitmix64 finalizer: low bits pick the shard, high bits the slot.
+  static constexpr uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  static constexpr size_t RoundUpPow2(size_t x) {
+    size_t p = 1;
+    while (p < x) p <<= 1;
+    return p;
+  }
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> epoch{0};
+    std::mutex mu;  // writers only; readers never block
+    uint64_t victim_cursor = 0;
+    std::unique_ptr<std::atomic<uint64_t>[]> slots;
+  };
+
+  std::atomic<uint64_t> epoch_{0};
+  const size_t shard_mask_;
+  const size_t entries_per_shard_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace reach
+
+#endif  // REACH_SERVE_NEG_CACHE_H_

@@ -29,6 +29,7 @@ uint64_t ElapsedNs(Clock::time_point begin, Clock::time_point end) {
 // Trace-span name id of each serve stage (interned once per process).
 uint32_t StageTraceId(ServeStage stage) {
   static const uint32_t ids[kNumServeStages] = {
+      TraceRecorder::Global().Intern("serve.negcache_probe"),
       TraceRecorder::Global().Intern("serve.slot_acquire"),
       TraceRecorder::Global().Intern("serve.index_probe"),
       TraceRecorder::Global().Intern("serve.delta_closure"),
@@ -66,6 +67,8 @@ class StageScope {
 
 const char* ServeStageName(size_t stage) {
   switch (static_cast<ServeStage>(stage)) {
+    case ServeStage::kNegCacheProbe:
+      return "negcache_probe";
     case ServeStage::kSlotAcquire:
       return "slot_acquire";
     case ServeStage::kIndexProbe:
@@ -98,6 +101,10 @@ ReachService::ReachService(Digraph base, ServiceOptions options)
     : options_(std::move(options)),
       num_vertices_(base.NumVertices()),
       spec_(ValidatedSpec(options_.spec)),
+      negcache_(options_.negcache_capacity > 0
+                    ? std::make_unique<NegativeResultCache>(
+                          options_.negcache_shards, options_.negcache_capacity)
+                    : nullptr),
       base_edges_(base.Edges()) {
   auto snap = std::make_shared<ServeSnapshot>();
   snap->version = 0;
@@ -117,6 +124,10 @@ ReachService::ReachService(Digraph base, ServiceOptions options)
   rebuild_counter_ = &reg.GetCounter("serve.rebuilds");
   slow_captured_counter_ = &reg.GetCounter("serve.slow.captured");
   slow_dropped_counter_ = &reg.GetCounter("serve.slow.dropped");
+  negcache_hit_counter_ = &reg.GetCounter("serve.negcache.hit");
+  negcache_miss_counter_ = &reg.GetCounter("serve.negcache.miss");
+  negcache_evict_counter_ = &reg.GetCounter("serve.negcache.evict");
+  negcache_invalidate_counter_ = &reg.GetCounter("serve.negcache.invalidate");
   version_gauge_ = &reg.GetGauge("serve.snapshot_version");
   pending_gauge_ = &reg.GetGauge("serve.pending_edges");
   latency_hist_ = &reg.GetHistogram("serve.query_ns");
@@ -154,6 +165,14 @@ bool ReachService::InsertEdge(VertexId s, VertexId t) {
   stats_.inserts.fetch_add(1, std::memory_order_relaxed);
   insert_counter_->Add();
   pending_gauge_->Set(static_cast<double>(pending_count));
+  if (negcache_ != nullptr) {
+    // After the pending publish: a query sampling the new epoch is
+    // guaranteed to pin a pending list containing this edge, so every
+    // negative it verifies (and caches) accounts for it.
+    negcache_->Invalidate();
+    stats_.negcache_invalidations.fetch_add(1, std::memory_order_relaxed);
+    negcache_invalidate_counter_->Add();
+  }
   if (pending_count >= options_.drain_threshold) {
     std::lock_guard<std::mutex> lock(rebuild_mu_);
     ScheduleLocked();
@@ -229,6 +248,15 @@ void ReachService::RebuildLoop() {
     snapshot_.Store(std::move(snap));
     REACH_TRACE_INSTANT("serve.snapshot_swap");
     version_gauge_->Set(static_cast<double>(published_version));
+    if (negcache_ != nullptr) {
+      // The swap adds no edges (it only absorbs pending ones), so this
+      // bump is defense in depth: entries verified against the previous
+      // snapshot+pending union stay unreachable, but tying cache
+      // lifetime to the generation keeps the invariant local.
+      negcache_->Invalidate();
+      stats_.negcache_invalidations.fetch_add(1, std::memory_order_relaxed);
+      negcache_invalidate_counter_->Add();
+    }
     size_t left = 0;
     {
       std::lock_guard<std::mutex> lock(write_mu_);
@@ -274,6 +302,30 @@ ServeAnswer ReachService::Query(VertexId s, VertexId t) const {
           ? &rec
           : nullptr;
 
+  // Sample the negcache epoch BEFORE pinning: the pinned pending list
+  // then contains every edge counted in the sampled epoch, so a negative
+  // verified against it may be cached at that epoch. (An insert racing
+  // between the sample and the pin only makes the verified edge set
+  // larger — a negative on a superset is valid for the subset.)
+  const uint64_t negcache_epoch =
+      negcache_ != nullptr ? negcache_->Epoch() : 0;
+  const bool cacheable = negcache_ != nullptr && s < num_vertices_ &&
+                         t < num_vertices_ && s != t;
+  if (cacheable) {
+    StageScope stage(recp, ServeStage::kNegCacheProbe);
+    if (negcache_->Lookup(s, t, negcache_epoch)) {
+      stats_.negcache_hits.fetch_add(1, std::memory_order_relaxed);
+      negcache_hit_counter_->Add();
+      ServeAnswer ans;
+      ans.reachable = false;
+      ans.exact = true;
+      ans.source = AnswerSource::kNegCache;
+      ans.snapshot_version = snapshot_.Load()->version;
+      latency_hist_->Record(ElapsedNs(start, Clock::now()));
+      return ans;
+    }
+  }
+
   // Pin pending BEFORE the snapshot: a concurrent swap+trim between the
   // two loads then yields a newer snapshot with an already-absorbed
   // pending prefix (redundant but correct). The opposite order could
@@ -304,6 +356,19 @@ ServeAnswer ReachService::Query(VertexId s, VertexId t) const {
       }
     }
     ans.snapshot_version = snap->version;
+  }
+  if (cacheable) {
+    stats_.negcache_misses.fetch_add(1, std::memory_order_relaxed);
+    negcache_miss_counter_->Add();
+    if (!ans.reachable && ans.exact) {
+      // Verified unreachable against the pinned pending+snapshot union,
+      // which covers everything counted in the sampled epoch.
+      const auto outcome = negcache_->Insert(s, t, negcache_epoch);
+      if (outcome == NegativeResultCache::InsertOutcome::kEvicted) {
+        stats_.negcache_evictions.fetch_add(1, std::memory_order_relaxed);
+        negcache_evict_counter_->Add();
+      }
+    }
   }
   if (!ans.exact) {
     stats_.inexact_answers.fetch_add(1, std::memory_order_relaxed);

@@ -13,6 +13,7 @@
 
 #include "graph/digraph.h"
 #include "graph/types.h"
+#include "serve/neg_cache.h"
 #include "serve/serve_snapshot.h"
 
 namespace reach {
@@ -46,6 +47,15 @@ struct ServiceOptions {
   /// (and counted in `ServeStats::slow_dropped`). 0 disables capture and
   /// the per-stage stopwatches entirely.
   size_t slow_log_capacity = 64;
+  /// Total entry bound of the negative-result cache (serve/neg_cache.h)
+  /// consulted ahead of the index probe; repeated verified-unreachable
+  /// pairs short-circuit in O(1). Epoch-invalidated on `InsertEdge` and
+  /// on every snapshot swap, so a stale negative is never served.
+  /// 0 disables the cache.
+  size_t negcache_capacity = 1 << 14;
+  /// Lock stripes of the negative-result cache (rounded to a power of
+  /// two). More stripes = less writer contention.
+  size_t negcache_shards = 16;
 };
 
 /// How a query was answered.
@@ -53,6 +63,7 @@ enum class AnswerSource : uint8_t {
   kIndex,        // snapshot index alone
   kDelta,        // index plus the pending-edge closure
   kFallbackBfs,  // bounded online BFS (no index yet, or budget exceeded)
+  kNegCache,     // negative-result cache hit (verified this epoch)
 };
 
 /// The result of one `ReachService::Query`.
@@ -72,12 +83,13 @@ struct ServeAnswer {
 /// index hit never runs the closure; the fallback only runs after a
 /// missing index or a blown deadline).
 enum class ServeStage : uint8_t {
-  kSlotAcquire = 0,   // admission: leasing a concurrent-query slot
-  kIndexProbe = 1,    // the pinned snapshot's index lookup(s)
-  kDeltaClosure = 2,  // pending-edge closure over index lookups
-  kFallbackBfs = 3,   // degraded bounded union BFS
+  kNegCacheProbe = 0,  // negative-result cache lookup
+  kSlotAcquire = 1,    // admission: leasing a concurrent-query slot
+  kIndexProbe = 2,     // the pinned snapshot's index lookup(s)
+  kDeltaClosure = 3,   // pending-edge closure over index lookups
+  kFallbackBfs = 4,    // degraded bounded union BFS
 };
-inline constexpr size_t kNumServeStages = 4;
+inline constexpr size_t kNumServeStages = 5;
 
 /// Stage name for table/log output ("slot_acquire", ...).
 const char* ServeStageName(size_t stage);
@@ -119,6 +131,12 @@ struct ServeStats {
   std::atomic<uint64_t> inexact_answers{0};
   std::atomic<uint64_t> inserts{0};
   std::atomic<uint64_t> rebuilds{0};
+  /// Negative-result cache outcomes (misses count every cache-enabled
+  /// query that had to fall through to the index pipeline).
+  std::atomic<uint64_t> negcache_hits{0};
+  std::atomic<uint64_t> negcache_misses{0};
+  std::atomic<uint64_t> negcache_evictions{0};
+  std::atomic<uint64_t> negcache_invalidations{0};
   /// Queries captured into the slow-query log (including records evicted
   /// later) and records evicted because the log was full.
   std::atomic<uint64_t> slow_captured{0};
@@ -220,6 +238,10 @@ class ReachService {
 
   AtomicSharedPtr<const ServeSnapshot> snapshot_;
   AtomicSharedPtr<const PendingEdges> pending_;
+  // Verified-unreachable pairs, consulted before the snapshot is pinned;
+  // null when `negcache_capacity == 0`. Epoch-bumped after every pending
+  // publish and snapshot swap (see Query for the sampling order).
+  const std::unique_ptr<NegativeResultCache> negcache_;
 
   // Serializes writers mutating the pending buffer (readers are
   // lock-free via the COW shared_ptr).
@@ -254,6 +276,10 @@ class ReachService {
   Counter* rebuild_counter_;
   Counter* slow_captured_counter_;
   Counter* slow_dropped_counter_;
+  Counter* negcache_hit_counter_;
+  Counter* negcache_miss_counter_;
+  Counter* negcache_evict_counter_;
+  Counter* negcache_invalidate_counter_;
   Gauge* version_gauge_;
   Gauge* pending_gauge_;
   Histogram* latency_hist_;

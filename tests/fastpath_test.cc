@@ -1,0 +1,255 @@
+// Differential suite for the composable fast-path layer
+// (core/fastpath_index.h): for EVERY plain index X on the factory roster,
+// FastPathIndex(X) must be query-equivalent to bare X and to the
+// transitive-closure oracle — on random cyclic digraphs, the adversarial
+// deep-chain-with-shortcuts family (order filters never fire), and dense
+// bipartite DAGs (no transitivity, controlled negative mix) — plus
+// observation-stack soundness, dynamic-insert semantics, and factory
+// capability propagation.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fastpath_index.h"
+#include "core/index_factory.h"
+#include "core/observation_stack.h"
+#include "graph/generators.h"
+#include "graph/rng.h"
+#include "traversal/transitive_closure.h"
+
+namespace reach {
+namespace {
+
+constexpr size_t kPairsPerGraph = 10000;
+
+struct TestGraph {
+  const char* name;
+  Digraph graph;
+};
+
+std::vector<TestGraph> DifferentialGraphs(uint64_t seed) {
+  std::vector<TestGraph> graphs;
+  graphs.push_back({"cyclic-random", RandomDigraph(150, 450, seed)});
+  graphs.push_back({"deep-chain", ChainWithShortcuts(300, 50, seed)});
+  graphs.push_back({"dense-bipartite", DenseBipartiteDag(32, 32, 0.2, seed)});
+  return graphs;
+}
+
+// FastPathIndex(X) vs bare X vs oracle on 10k random pairs per family.
+class FastPathDifferentialTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FastPathDifferentialTest, AgreesWithBareIndexAndOracle) {
+  const std::string& spec = GetParam();
+  auto wrapped = MakeIndex(spec + ":fastpath=1").plain;
+  auto bare = MakeIndex(spec).plain;
+  ASSERT_NE(wrapped, nullptr) << spec;
+  ASSERT_NE(bare, nullptr) << spec;
+
+  for (const TestGraph& tg : DifferentialGraphs(/*seed=*/7)) {
+    TransitiveClosure oracle;
+    oracle.Build(tg.graph);
+    wrapped->Build(tg.graph);
+    bare->Build(tg.graph);
+    const VertexId n = static_cast<VertexId>(tg.graph.NumVertices());
+    Xoshiro256ss rng(0xFA57 + n);
+    for (size_t i = 0; i < kPairsPerGraph; ++i) {
+      const VertexId s = static_cast<VertexId>(rng.NextBounded(n));
+      const VertexId t = static_cast<VertexId>(rng.NextBounded(n));
+      const bool expected = oracle.Query(s, t);
+      ASSERT_EQ(bare->Query(s, t), expected)
+          << tg.name << ": " << bare->Name() << " vs oracle on " << s
+          << " -> " << t;
+      ASSERT_EQ(wrapped->Query(s, t), expected)
+          << tg.name << ": " << wrapped->Name() << " vs oracle on " << s
+          << " -> " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, FastPathDifferentialTest,
+    ::testing::ValuesIn(DefaultIndexSpecs(IndexFamily::kPlain)),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------
+// Observation-stack soundness: a decided verdict must match the oracle.
+
+TEST(ObservationStackTest, VerdictsAreSoundOnAllFamilies) {
+  const std::vector<TestGraph> graphs = {
+      {"cyclic", RandomDigraph(80, 240, 11)},
+      {"dag", RandomDag(80, 200, 12)},
+      {"chain", ChainWithShortcuts(120, 20, 13)},
+      {"bipartite", DenseBipartiteDag(20, 20, 0.3, 14)},
+      {"edgeless", Digraph::FromEdges(6, {})},
+  };
+  for (const TestGraph& tg : graphs) {
+    TransitiveClosure oracle;
+    oracle.Build(tg.graph);
+    ObservationStack stack;
+    stack.Build(tg.graph);
+    size_t decided = 0;
+    for (VertexId s = 0; s < tg.graph.NumVertices(); ++s) {
+      for (VertexId t = 0; t < tg.graph.NumVertices(); ++t) {
+        const int verdict = stack.Verdict(s, t);
+        if (verdict > 0) {
+          EXPECT_TRUE(oracle.Query(s, t))
+              << tg.name << ": false positive on " << s << " -> " << t;
+        } else if (verdict < 0) {
+          EXPECT_FALSE(oracle.Query(s, t))
+              << tg.name << ": false negative on " << s << " -> " << t;
+        }
+        decided += verdict != 0;
+      }
+    }
+    if (tg.graph.NumEdges() > 0) {
+      EXPECT_GT(decided, 0u) << tg.name;
+    }
+  }
+}
+
+TEST(ObservationStackTest, ObserverBudgetIsClamped) {
+  ObservationStack::Options options;
+  options.num_supports = 200;  // together far past the 64-bit signature
+  options.num_anti = 200;
+  ObservationStack stack(options);
+  stack.Build(RandomDag(60, 150, 5));
+  EXPECT_LE(stack.NumObservationVertices(), 64u);
+  EXPECT_GT(stack.SizeBytes(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Verdict accounting and the decided fraction on a favourable workload.
+
+TEST(FastPathIndexTest, VerdictStatsAccountForEveryQuery) {
+  auto made = MakeIndex("pll:fastpath=1");  // pll is dynamic in this repo
+  auto* fast = dynamic_cast<DynamicFastPathIndex*>(made.plain.get());
+  ASSERT_NE(fast, nullptr);
+  const Digraph g = RandomDag(100, 250, 21);
+  fast->Build(g);
+  TransitiveClosure oracle;
+  oracle.Build(g);
+  Xoshiro256ss rng(22);
+  const size_t kQueries = 2000;
+  for (size_t i = 0; i < kQueries; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(100));
+    const VertexId t = static_cast<VertexId>(rng.NextBounded(100));
+    EXPECT_EQ(fast->Query(s, t), oracle.Query(s, t));
+  }
+  const FastPathVerdictStats stats = fast->VerdictStats();
+  EXPECT_EQ(stats.Total(), kQueries);
+  // Sparse random DAGs are negative-dominated; the order filters alone
+  // should decide well over half of the pairs (the ISSUE's hit-rate bar).
+  EXPECT_GT(stats.Decided(), kQueries / 2);
+}
+
+// ---------------------------------------------------------------------
+// Dynamic composition: InsertEdge must flow through, and cached negative
+// observations must stop firing (they are stale until the next Build).
+
+TEST(FastPathIndexTest, InsertEdgeSuppressesStaleNegativeVerdicts) {
+  auto made = MakeIndex("dagger:fastpath=1");
+  ASSERT_TRUE(made.caps.dynamic);
+  auto* fast = dynamic_cast<DynamicFastPathIndex*>(made.plain.get());
+  ASSERT_NE(fast, nullptr);
+  const Digraph g = Chain(6);  // 0 -> 1 -> ... -> 5
+  fast->Build(g);
+  EXPECT_TRUE(fast->Query(0, 5));
+  EXPECT_FALSE(fast->Query(5, 0));  // order filter decides this negatively
+  fast->InsertEdge(5, 0);           // now 5 -> 0 closes a cycle
+  EXPECT_TRUE(fast->Query(5, 0));
+  EXPECT_TRUE(fast->Query(3, 2));
+  // A rebuild restores fast-path negatives over the new edge set.
+  Digraph g2 = Digraph::FromEdges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5},
+                                      {5, 0}});
+  fast->Build(g2);
+  EXPECT_TRUE(fast->Query(5, 0));
+}
+
+TEST(FastPathIndexTest, DynamicWrapperStaysConformantUnderInserts) {
+  auto made = MakeIndex("dagger:fastpath=1");
+  auto* fast = dynamic_cast<DynamicFastPathIndex*>(made.plain.get());
+  ASSERT_NE(fast, nullptr);
+  Digraph g = RandomDag(40, 80, 31);
+  fast->Build(g);
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId w : g.OutNeighbors(v)) edges.push_back({v, w});
+  }
+  Xoshiro256ss rng(32);
+  for (int round = 0; round < 20; ++round) {
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(40));
+    const VertexId t = static_cast<VertexId>(rng.NextBounded(40));
+    if (s == t) continue;
+    fast->InsertEdge(s, t);
+    edges.push_back({s, t});
+    TransitiveClosure oracle;
+    oracle.Build(Digraph::FromEdges(40, edges));
+    for (VertexId a = 0; a < 40; ++a) {
+      for (VertexId b = 0; b < 40; ++b) {
+        ASSERT_EQ(fast->Query(a, b), oracle.Query(a, b))
+            << "after inserting " << s << " -> " << t << ": " << a << " -> "
+            << b;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Factory wiring: capability propagation and the spec params.
+
+TEST(FastPathFactoryTest, CapabilityPropagation) {
+  const auto static_made = MakeIndex("grail:fastpath=1");
+  ASSERT_NE(static_made.plain, nullptr);
+  // `complete` follows the inner index — grail is registered incomplete,
+  // and wrapping it must not launder that away.
+  EXPECT_EQ(static_made.caps.complete, MakeIndex("grail").caps.complete);
+  EXPECT_FALSE(static_made.caps.dynamic);
+  EXPECT_FALSE(static_made.caps.serializable);  // stack is never persisted
+  EXPECT_NE(dynamic_cast<FastPathIndex*>(static_made.plain.get()), nullptr);
+  EXPECT_EQ(static_made.plain->Name().rfind("fastpath+", 0), 0u);
+
+  // pll is dynamic here (PrunedTwoHop supports InsertEdge), so the factory
+  // must pick the dynamic wrapper and keep InsertEdge reachable.
+  const auto dynamic_made = MakeIndex("pll:fastpath=1");
+  ASSERT_NE(dynamic_made.plain, nullptr);
+  EXPECT_TRUE(dynamic_made.caps.dynamic);
+  EXPECT_TRUE(dynamic_made.caps.complete);
+  EXPECT_FALSE(dynamic_made.caps.serializable);
+  EXPECT_EQ(dynamic_made.plain->Name(), "fastpath+pll");
+  EXPECT_NE(dynamic_cast<DynamicFastPathIndex*>(dynamic_made.plain.get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<DynamicReachabilityIndex*>(dynamic_made.plain.get()),
+            nullptr);
+
+  // Signature budget params flow through to the stack.
+  const auto tuned = MakeIndex("grail:fastpath=1:supports=8:anti=4");
+  auto* fast = dynamic_cast<FastPathIndex*>(tuned.plain.get());
+  ASSERT_NE(fast, nullptr);
+  fast->Build(RandomDag(50, 120, 41));
+  EXPECT_LE(fast->observations().NumObservationVertices(), 12u);
+}
+
+TEST(FastPathFactoryTest, RosterDocsMentionFastPathParams) {
+  bool found = false;
+  for (const SpecDoc& doc : DescribeIndexSpecs(IndexFamily::kPlain)) {
+    if (doc.spec.find("fastpath") != std::string::npos) {
+      found = true;
+      EXPECT_NE(doc.params.find("supports"), std::string::npos);
+      EXPECT_NE(doc.params.find("anti"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace reach

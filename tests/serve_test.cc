@@ -9,8 +9,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -138,8 +140,10 @@ TEST(ServeDifferentialTest, ConcurrentReadersAndWriterAcrossSwaps) {
   EXPECT_GE(st.rebuilds.load(), 4u);
   EXPECT_EQ(
       st.index_answers.load() + st.delta_answers.load() +
-          st.fallback_answers.load(),
+          st.fallback_answers.load() + st.negcache_hits.load(),
       st.queries.load());
+  // Every insert (and every swap) must have bumped the negcache epoch.
+  EXPECT_GE(st.negcache_invalidations.load(), st.inserts.load());
   service.Stop();
 
   // The serve.* admission/latency/fallback counters must be visible in
@@ -310,6 +314,154 @@ TEST(BoundedUnionBfsTest, TraversesExtraEdgesAndHandlesTrivialPairs) {
   const BoundedBfsOutcome self = BoundedUnionBfs(g, {}, 1, 1, 100);
   EXPECT_TRUE(self.reachable);
   EXPECT_TRUE(self.complete);
+}
+
+// ---------------------------------------------------------------------
+// Negative-result cache (serve/neg_cache.h).
+
+TEST(NegCacheTest, StoresLooksUpAndInvalidatesByEpoch) {
+  NegativeResultCache cache(4, 256);
+  EXPECT_EQ(cache.Epoch(), 0u);
+  EXPECT_FALSE(cache.Lookup(1, 2, 0));
+  EXPECT_EQ(cache.Insert(1, 2, 0), NegativeResultCache::InsertOutcome::kStored);
+  EXPECT_EQ(cache.Insert(1, 2, 0),
+            NegativeResultCache::InsertOutcome::kPresent);
+  EXPECT_TRUE(cache.Lookup(1, 2, 0));
+  EXPECT_FALSE(cache.Lookup(2, 1, 0));  // direction matters
+
+  cache.Invalidate();
+  EXPECT_EQ(cache.Epoch(), 1u);
+  // The old entry must not satisfy a reader at the new epoch...
+  EXPECT_FALSE(cache.Lookup(1, 2, 1));
+  // ...and a verification from before the invalidation must not land.
+  EXPECT_EQ(cache.Insert(3, 4, 0), NegativeResultCache::InsertOutcome::kStale);
+  EXPECT_FALSE(cache.Lookup(3, 4, 0));
+  EXPECT_FALSE(cache.Lookup(3, 4, 1));
+  // A fresh verification at the new epoch works (and lazily clears).
+  EXPECT_EQ(cache.Insert(1, 2, 1), NegativeResultCache::InsertOutcome::kStored);
+  EXPECT_TRUE(cache.Lookup(1, 2, 1));
+  // An entry verified at a *newer* epoch stays valid for older readers:
+  // the edge set only grows, so unreachable-later implies
+  // unreachable-earlier.
+  EXPECT_TRUE(cache.Lookup(1, 2, 0));
+}
+
+TEST(NegCacheTest, BoundedEvictionInsteadOfGrowth) {
+  NegativeResultCache cache(1, 8);  // one shard, eight slots
+  size_t evictions = 0;
+  for (VertexId t = 0; t < 4096; ++t) {
+    evictions +=
+        cache.Insert(7, t, 0) == NegativeResultCache::InsertOutcome::kEvicted;
+  }
+  EXPECT_GT(evictions, 0u);  // far more pairs than slots: must evict
+  // The cache stayed bounded and the surviving entries remain queryable.
+  size_t survivors = 0;
+  for (VertexId t = 0; t < 4096; ++t) survivors += cache.Lookup(7, t, 0);
+  EXPECT_GT(survivors, 0u);
+  EXPECT_LE(survivors, cache.NumShards() * cache.EntriesPerShard());
+}
+
+// Negative-result-cache differential under concurrency: an
+// unreachable-biased repeated-query mix across live inserts and
+// background snapshot swaps. Every exact negative — cached or not — is
+// checked against the insertion-log watermark oracle, so a stale cached
+// negative surfaces as `wrong_negative`. The binary runs under TSan in
+// CI, which additionally vets the lock-free reader protocol.
+TEST(NegCacheTest, InvalidationAcrossSwapsNeverServesStaleAnswers) {
+  constexpr size_t kReaders = 4;
+  constexpr size_t kInserts = 60;
+  constexpr size_t kQueriesPerReader = 800;
+  constexpr VertexId kN = 48;
+  // Sparse: most pairs are unreachable, the regime the cache serves.
+  const Digraph base = RandomDigraph(kN, 60, 0xBEEF);
+
+  ServiceOptions opts;
+  opts.slots = kReaders;
+  opts.drain_threshold = 12;  // several swaps over 60 inserts
+  ReachService service(base, opts);
+  service.Start();
+
+  std::vector<Edge> log(kInserts);
+  std::atomic<size_t> published{0};
+  std::atomic<size_t> inserted{0};
+  std::atomic<uint64_t> wrong_positive{0};
+  std::atomic<uint64_t> wrong_negative{0};
+
+  std::thread writer([&] {
+    Xoshiro256ss rng(0xCAFE);
+    for (size_t i = 0; i < kInserts; ++i) {
+      const Edge e{static_cast<VertexId>(rng.NextBounded(kN)),
+                   static_cast<VertexId>(rng.NextBounded(kN))};
+      log[i] = e;
+      published.store(i + 1, std::memory_order_release);
+      ASSERT_TRUE(service.InsertEdge(e.source, e.target));
+      inserted.store(i + 1, std::memory_order_release);
+      if ((i + 1) % 20 == 0) service.Flush();
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Xoshiro256ss rng(0x2000 + r);
+      for (size_t q = 0; q < kQueriesPerReader; ++q) {
+        // Small pair space: repeats (and therefore cache hits) are common
+        // within each invalidation epoch.
+        const auto s = static_cast<VertexId>(rng.NextBounded(kN));
+        const auto t = static_cast<VertexId>(rng.NextBounded(kN));
+        const size_t w_before = inserted.load(std::memory_order_acquire);
+        const ServeAnswer ans = service.Query(s, t);
+        const size_t w_after = published.load(std::memory_order_acquire);
+        if (ans.reachable) {
+          if (!OracleReachable(base, log, w_after, s, t)) ++wrong_positive;
+        } else if (ans.exact) {
+          if (OracleReachable(base, log, w_before, s, t)) ++wrong_negative;
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+  service.Flush();
+
+  EXPECT_EQ(wrong_positive.load(), 0u);
+  EXPECT_EQ(wrong_negative.load(), 0u);
+  EXPECT_GE(service.stats().negcache_invalidations.load(), kInserts);
+
+  // Deterministic hit check once the edge set is quiescent: a verified
+  // negative must short-circuit its repeat from the cache.
+  std::optional<std::pair<VertexId, VertexId>> unreachable_pair;
+  for (VertexId s = 0; s < kN && !unreachable_pair; ++s) {
+    for (VertexId t = 0; t < kN && !unreachable_pair; ++t) {
+      if (s != t && !OracleReachable(base, log, kInserts, s, t)) {
+        unreachable_pair = {s, t};
+      }
+    }
+  }
+  ASSERT_TRUE(unreachable_pair.has_value());  // sparse graph: must exist
+  const auto [us, ut] = *unreachable_pair;
+  const ServeAnswer first = service.Query(us, ut);
+  EXPECT_FALSE(first.reachable);
+  EXPECT_TRUE(first.exact);
+  const ServeAnswer repeat = service.Query(us, ut);
+  EXPECT_FALSE(repeat.reachable);
+  EXPECT_TRUE(repeat.exact);
+  EXPECT_EQ(repeat.source, AnswerSource::kNegCache);
+  EXPECT_GT(service.stats().negcache_hits.load(), 0u);
+  service.Stop();
+
+  if (kMetricsCompiled) {
+    MetricsExporter exporter;
+    exporter.SetRegistrySnapshot(MetricsRegistry::Global().Snapshot());
+    const std::string json = exporter.ToJson();
+    for (const char* key :
+         {"serve.negcache.hit", "serve.negcache.miss", "serve.negcache.evict",
+          "serve.negcache.invalidate"}) {
+      EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+  }
 }
 
 // Mutual exclusion of slot leases: with a single granted slot the pool

@@ -230,6 +230,10 @@ TEST(SlowQueryLogTest, DeadlineDegradedQueriesAreAlwaysCaptured) {
   ServiceOptions options;
   options.deadline = std::chrono::nanoseconds(1);
   options.drain_threshold = 100;  // keep the inserted edge pending
+  // The test repeats one identical negative query; the negative-result
+  // cache would answer repeats in O(1) and skip the degradation under
+  // test, so it is disabled here.
+  options.negcache_capacity = 0;
   ReachService service(ChainWithTail(), options);
   service.Start();
   service.Flush();  // first indexed snapshot
