@@ -7,6 +7,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "bench_common.h"
 #include "graph/rng.h"
 #include "obs/metrics_registry.h"
+#include "plain/pruned_two_hop.h"
 #include "serve/reach_service.h"
 
 namespace reach::bench {
@@ -177,6 +180,91 @@ BENCHMARK(BM_ServeQueryLatencyUnderWrites)
     ->Args({1, kUnreachableBiased, 1})
     ->Iterations(20000)
     ->Unit(benchmark::kMicrosecond);
+
+// Snapshot startup (docs/SNAPSHOTS.md): one iteration restores the same
+// labeling twice — element-by-element from the RCHX v1 stream, then
+// zero-copy from the mmap'd v2 snapshot file — so the reported speedup is
+// a same-run, same-file-cache comparison. The registry gauges
+// (bench.snapshot.load_stream_ns / load_mmap_ns / load_speedup) are the
+// failover-readiness numbers the acceptance criteria gate on. Arg:
+// compressed storage on/off.
+void BM_SnapshotStartupLoad(benchmark::State& state) {
+  const bool compress = state.range(0) != 0;
+  const VertexId n = 1 << 15;
+  const Digraph graph = ScaleFreeDag(n, 3, kSeed);
+  TwoHopStorageOptions storage;
+  storage.compress = compress;
+  PrunedTwoHop built(VertexOrder::kDegree, 0x70'6c'6cULL, 0, storage);
+  built.Build(graph);
+
+  const std::string mode = compress ? "compressed" : "flat";
+  const std::string stream_path =
+      "/tmp/reach_bench_snap_" + mode + ".v1.rchx";
+  const std::string snap_path = "/tmp/reach_bench_snap_" + mode + ".rchx";
+  uint64_t snapshot_bytes = 0;
+  {
+    std::ofstream out(stream_path, std::ios::binary | std::ios::trunc);
+    if (!built.Save(out)) state.SkipWithError("stream save failed");
+  }
+  {
+    std::ofstream out(snap_path, std::ios::binary | std::ios::trunc);
+    if (!built.SaveSnapshot(out)) state.SkipWithError("snapshot save failed");
+    snapshot_bytes = static_cast<uint64_t>(out.tellp());
+  }
+
+  double stream_ns = 0;
+  double mmap_ns = 0;
+  size_t iterations = 0;
+  for (auto _ : state) {
+    {
+      PrunedTwoHop loaded;
+      std::ifstream in(stream_path, std::ios::binary);
+      const auto begin = std::chrono::steady_clock::now();
+      if (!loaded.Load(in)) state.SkipWithError("stream load failed");
+      stream_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - begin)
+                       .count();
+      benchmark::DoNotOptimize(loaded);
+    }
+    {
+      PrunedTwoHop loaded;
+      const auto begin = std::chrono::steady_clock::now();
+      if (!loaded.LoadSnapshot(snap_path)) {
+        state.SkipWithError("snapshot load failed");
+      }
+      mmap_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - begin)
+                     .count();
+      benchmark::DoNotOptimize(loaded);
+    }
+    ++iterations;
+  }
+  if (iterations == 0) return;
+  stream_ns /= static_cast<double>(iterations);
+  mmap_ns /= static_cast<double>(iterations);
+  state.counters["load_stream_ns"] = stream_ns;
+  state.counters["load_mmap_ns"] = mmap_ns;
+  state.counters["load_speedup"] = stream_ns / std::max(1.0, mmap_ns);
+  state.counters["snapshot_bytes_per_vertex"] =
+      static_cast<double>(snapshot_bytes) / static_cast<double>(n);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const std::string prefix = "bench.snapshot." + mode;
+  registry.GetGauge(prefix + ".load_stream_ns").Set(stream_ns);
+  registry.GetGauge(prefix + ".load_mmap_ns").Set(mmap_ns);
+  registry.GetGauge(prefix + ".load_speedup")
+      .Set(stream_ns / std::max(1.0, mmap_ns));
+  registry.GetGauge(prefix + ".bytes_per_vertex")
+      .Set(static_cast<double>(snapshot_bytes) / static_cast<double>(n));
+  std::remove(stream_path.c_str());
+  std::remove(snap_path.c_str());
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_SnapshotStartupLoad)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(20)
+    ->Unit(benchmark::kMillisecond);
 
 // Aggregate read throughput: `threads` benchmark reader threads share one
 // service while a single background writer streams inserts.

@@ -12,6 +12,7 @@
 #include "bench_common.h"
 #include "core/fastpath_index.h"
 #include "core/index_factory.h"
+#include "obs/metrics_registry.h"
 
 namespace reach::bench {
 namespace {
@@ -65,6 +66,10 @@ void RegisterAll() {
   std::vector<std::string> specs = DefaultIndexSpecs(IndexFamily::kPlain);
   specs.push_back("pll:fastpath=1");
   specs.push_back("grail:fastpath=1");
+  // Block-compressed label storage (docs/SNAPSHOTS.md): same labeling as
+  // the bare "pll" row, so the table carries the size-vs-latency tradeoff
+  // per graph family.
+  specs.push_back("pll:compress=1");
 
   for (size_t gi = 0; gi < graphs->size(); ++gi) {
     const GraphCase& gc = (*graphs)[gi];
@@ -104,6 +109,23 @@ void RegisterAll() {
                 gc.graph.NumVertices());
             state.counters["edges"] =
                 static_cast<double>(gc.graph.NumEdges());
+            const double bytes_per_vertex =
+                static_cast<double>(bytes) /
+                static_cast<double>(gc.graph.NumVertices());
+            state.counters["bytes_per_vertex"] = bytes_per_vertex;
+            MetricsRegistry& registry = MetricsRegistry::Global();
+            const std::string row =
+                "bench.table1." + gc.name + "." + spec;
+            registry.GetGauge(row + ".bytes_per_vertex")
+                .Set(bytes_per_vertex);
+            if (spec.find("compress=1") != std::string::npos) {
+              // PublishStorageGauges ran during this Build, so the global
+              // gauge is this index's flat-equivalent / compressed ratio.
+              const double ratio =
+                  registry.GetGauge("index.compression_ratio").Value();
+              state.counters["compression_ratio"] = ratio;
+              registry.GetGauge(row + ".compression_ratio").Set(ratio);
+            }
           })
           ->Iterations(1)
           ->UseManualTime()

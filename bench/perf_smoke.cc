@@ -98,6 +98,7 @@ std::vector<SmokeCase> Roster(VertexId n) {
   cases.push_back({"er-cyclic-avg4", er, "pll:fastpath=1"});
   cases.push_back({"er-cyclic-avg4", std::move(er), "grail"});
   cases.push_back({"dag-avg4", dag, "pll"});
+  cases.push_back({"dag-avg4", dag, "pll:compress=1"});
   cases.push_back({"dag-avg4", std::move(dag), "grail"});
   return cases;
 }

@@ -11,7 +11,7 @@
 //   reach_cli [--metrics] [--threads N] [--reorder=deg|bfs|none]
 //             --demo [index-spec]
 //   reach_cli [--metrics] [--threads N] [--trace=FILE] [--slow-ms=N]
-//             --serve (<edge-list-file> | --demo) [index-spec]
+//             [--load=FILE] --serve (<edge-list-file> | --demo) [index-spec]
 //   reach_cli --help     (lists every index spec with its Param knobs)
 //
 // --fastpath wraps the chosen index in the constant-time FastPathIndex
@@ -24,6 +24,11 @@
 // `+ <s> <t>` inserts stream into a write buffer that background rebuilds
 // absorb. Each answer reports how it was produced (index, delta closure,
 // or bounded BFS) and by which snapshot generation.
+//
+// --load=FILE (--serve only) skips the startup build: the RCHX v2
+// snapshot file (written by `snapsave`, docs/SNAPSHOTS.md) is mmap'd and
+// published as the first indexed snapshot — near-instant failover, with
+// queries index-backed from the first line of input.
 //
 // --trace=FILE enables the span recorder (src/obs/trace.h) for the whole
 // run and writes a Chrome-trace/Perfetto-compatible JSON timeline to FILE
@@ -48,6 +53,8 @@
 //   <s> <t>              plain reachability Qr(s, t)
 //   <s> <t> <l0,l1,...>  LCR query (labeled mode): labels allowed
 //   save <file> / load <file>   persist / restore (pll indexes only)
+//   snapsave <file> / snapload <file>   RCHX v2 snapshot write / zero-copy
+//                        mmap restore (pll indexes only, docs/SNAPSHOTS.md)
 //   + <s> <t> / flush    insert an edge / force a snapshot (--serve only)
 //
 // With --metrics, a JSON metrics report (schema "reach.metrics.v1") is
@@ -92,7 +99,8 @@ void PrintUsage(FILE* out, bool roster) {
       "       reach_cli [--metrics] [--threads N] [--reorder=deg|bfs|none] "
       "--demo [index-spec]\n"
       "       reach_cli [--metrics] [--threads N] [--trace=FILE] "
-      "[--slow-ms=N] --serve (<edge-list> | --demo) [index-spec]\n"
+      "[--slow-ms=N] [--load=SNAPSHOT] --serve (<edge-list> | --demo) "
+      "[index-spec]\n"
       "       reach_cli --help\n");
   if (!roster) return;
   std::fprintf(out,
@@ -149,21 +157,37 @@ int RunPlain(const reach::Digraph& graph, const std::string& spec,
     std::istringstream fields(line);
     std::string first;
     if (!(fields >> first)) continue;
-    if (first == "save" || first == "load") {
+    if (first == "save" || first == "load" || first == "snapsave" ||
+        first == "snapload") {
       auto* pll = dynamic_cast<PrunedTwoHop*>(index.get());
       std::string path;
       if (pll == nullptr || !(fields >> path)) {
-        std::printf("error: save/load needs a pll index and a path\n");
+        std::printf("error: %s needs a pll index and a path\n",
+                    first.c_str());
         continue;
       }
       if (first == "save") {
         std::ofstream out(path, std::ios::binary);
         std::printf(pll->Save(out) ? "saved %s\n" : "error saving %s\n",
                     path.c_str());
-      } else {
+      } else if (first == "load") {
         std::ifstream in(path, std::ios::binary);
         std::printf(pll->Load(in) ? "loaded %s\n" : "error loading %s\n",
                     path.c_str());
+      } else if (first == "snapsave") {
+        std::ofstream out(path, std::ios::binary);
+        std::printf(pll->SaveSnapshot(out) ? "snapshot saved %s\n"
+                                           : "error saving %s\n",
+                    path.c_str());
+      } else {
+        const LoadResult result = pll->LoadSnapshot(path);
+        if (result) {
+          std::printf("snapshot mapped %s (%s storage)\n", path.c_str(),
+                      pll->CompressedStorage() ? "compressed" : "flat");
+        } else {
+          std::printf("error loading %s: %s\n", path.c_str(),
+                      LoadStatusMessage(result).c_str());
+        }
       }
       continue;
     }
@@ -272,7 +296,7 @@ void DumpSlowQueries(const reach::ReachService& service) {
 }
 
 int RunServe(const reach::Digraph& graph, const std::string& spec,
-             bool metrics, double slow_ms) {
+             bool metrics, double slow_ms, const std::string& load_path) {
   using namespace reach;
   ServiceOptions options;
   options.spec = spec;
@@ -285,7 +309,18 @@ int RunServe(const reach::Digraph& graph, const std::string& spec,
                      std::chrono::duration<double, std::milli>(slow_ms)));
   }
   ReachService service(graph, options);
-  service.Start();
+  if (!load_path.empty()) {
+    const LoadResult result = service.StartWithSnapshot(load_path);
+    if (!result) {
+      std::fprintf(stderr, "error: cannot serve snapshot %s: %s\n",
+                   load_path.c_str(), LoadStatusMessage(result).c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "mapped snapshot %s as v%llu\n", load_path.c_str(),
+                 static_cast<unsigned long long>(service.SnapshotVersion()));
+  } else {
+    service.Start();
+  }
   std::fprintf(stderr,
                "serving %zu vertices / %zu edges with '%s'; commands:\n"
                "  <s> <t>    query  (prints: <answer> <source> v<snapshot>)\n"
@@ -370,6 +405,7 @@ int main(int argc, char** argv) {
   bool serve = false;
   bool fastpath = false;
   std::string trace_path;
+  std::string load_path;
   double slow_ms = -1;
   ReorderStrategy reorder = ReorderStrategy::kNone;
   std::vector<const char*> args;
@@ -388,6 +424,12 @@ int main(int argc, char** argv) {
       trace_path = argv[i] + 8;
       if (trace_path.empty()) {
         std::fprintf(stderr, "error: --trace needs a file path\n");
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--load=", 7) == 0) {
+      load_path = argv[i] + 7;
+      if (load_path.empty()) {
+        std::fprintf(stderr, "error: --load needs a snapshot file path\n");
         return 1;
       }
     } else if (std::strncmp(argv[i], "--slow-ms=", 10) == 0) {
@@ -425,6 +467,10 @@ int main(int argc, char** argv) {
       args.push_back(argv[i]);
     }
   }
+  if (!load_path.empty() && !serve) {
+    std::fprintf(stderr, "error: --load only applies with --serve\n");
+    return 1;
+  }
   if (!trace_path.empty()) {
     if (!kMetricsCompiled) {
       std::fprintf(stderr,
@@ -450,7 +496,8 @@ int main(int argc, char** argv) {
       const std::string spec =
           with_fastpath(args.size() > 1 ? args[1] : "pll");
       if (serve) {
-        return RunServe(ScaleFreeDag(10000, 3, 1), spec, metrics, slow_ms);
+        return RunServe(ScaleFreeDag(10000, 3, 1), spec, metrics, slow_ms,
+                        load_path);
       }
       return RunPlain(ScaleFreeDag(10000, 3, 1), spec, metrics, reorder);
     }
@@ -477,7 +524,9 @@ int main(int argc, char** argv) {
       }
       const std::string spec =
           with_fastpath(args.size() > 1 ? args[1] : "pll");
-      if (serve) return RunServe(*graph, spec, metrics, slow_ms);
+      if (serve) {
+        return RunServe(*graph, spec, metrics, slow_ms, load_path);
+      }
       return RunPlain(*graph, spec, metrics, reorder);
     }
     PrintUsage(stderr, /*roster=*/false);

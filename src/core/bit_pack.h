@@ -1,0 +1,104 @@
+#ifndef REACH_CORE_BIT_PACK_H_
+#define REACH_CORE_BIT_PACK_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace reach {
+
+/// LSB-first bit-packing primitives for the block-compressed label pools
+/// (docs/SNAPSHOTS.md). Values are written fixed-width into a byte
+/// stream through a 64-bit accumulator; the reader is bounds-safe by
+/// construction — exhausting the underlying bytes yields zero bits, it
+/// never reads past `end`.
+
+/// Bits needed to represent `v` (0 for v == 0).
+inline int PackedBitWidth(uint32_t v) {
+  return v == 0 ? 0 : std::bit_width(v);
+}
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  /// Appends the low `width` bits of `value`. `width` in [0, 32].
+  void Put(uint32_t value, int width) {
+    acc_ |= static_cast<uint64_t>(value & MaskOf(width)) << bits_;
+    bits_ += width;
+    while (bits_ >= 8) {
+      out_->push_back(static_cast<uint8_t>(acc_));
+      acc_ >>= 8;
+      bits_ -= 8;
+    }
+  }
+
+  /// Flushes the partial trailing byte (zero-padded). Call exactly once,
+  /// after the last Put.
+  void Flush() {
+    if (bits_ > 0) {
+      out_->push_back(static_cast<uint8_t>(acc_));
+      acc_ = 0;
+      bits_ = 0;
+    }
+  }
+
+  static constexpr uint64_t MaskOf(int width) {
+    return width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+  uint64_t acc_ = 0;
+  int bits_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const uint8_t* begin, const uint8_t* end)
+      : p_(begin), end_(end) {}
+
+  /// Reads the next `width` bits (LSB-first). Bits past the end of the
+  /// byte range read as zero, so a corrupted length can never walk off
+  /// the buffer. `width` in [0, 32].
+  uint32_t Get(int width) {
+    if (bits_ < width) Refill();
+    const uint32_t value =
+        static_cast<uint32_t>(acc_ & BitWriter::MaskOf(width));
+    acc_ >>= width;
+    bits_ = bits_ >= width ? bits_ - width : 0;
+    return value;
+  }
+
+ private:
+  /// Tops the accumulator up to >= 56 bits (or to end-of-bytes): one
+  /// unaligned 64-bit load on the hot path, a byte loop on the last few
+  /// bytes. Refilled once, the accumulator covers any `width` <= 32, so
+  /// consecutive Gets run branch-free on shifts alone.
+  void Refill() {
+    if (end_ - p_ >= 8) {
+      uint64_t chunk;
+      std::memcpy(&chunk, p_, sizeof(chunk));
+      const int bytes = (63 - bits_) >> 3;
+      acc_ |= (chunk & BitWriter::MaskOf(bytes * 8)) << bits_;
+      p_ += bytes;
+      bits_ += bytes * 8;
+      return;
+    }
+    while (bits_ <= 56 && p_ < end_) {
+      acc_ |= static_cast<uint64_t>(*p_++) << bits_;
+      bits_ += 8;
+    }
+  }
+
+  const uint8_t* p_;
+  const uint8_t* end_;
+  uint64_t acc_ = 0;
+  int bits_ = 0;
+};
+
+}  // namespace reach
+
+#endif  // REACH_CORE_BIT_PACK_H_

@@ -34,6 +34,16 @@ namespace {
 constexpr char kLcrPrefix[] = "lcr:";
 constexpr size_t kLcrPrefixLen = 4;
 
+// Sealed-label storage keys shared by the 2-hop families
+// (docs/SNAPSHOTS.md): `:compress=1[:block=N][:budget_mb=N]`.
+TwoHopStorageOptions StorageFromSpec(const IndexSpec& spec) {
+  TwoHopStorageOptions storage;
+  storage.compress = spec.Param("compress", 0) != 0;
+  storage.block_entries = spec.Param("block", storage.block_entries);
+  storage.budget_mb = spec.Param("budget_mb", 0);
+  return storage;
+}
+
 std::unique_ptr<ReachabilityIndex> MakePlain(const IndexSpec& spec) {
   const std::string& name = spec.base;
   if (name == "bfs") return std::make_unique<OnlineSearch>(TraversalKind::kBfs);
@@ -48,17 +58,14 @@ std::unique_ptr<ReachabilityIndex> MakePlain(const IndexSpec& spec) {
   if (name == "grail") return MakeCondensing<Grail>(spec.Param("k", 3));
   if (name == "gripp") return std::make_unique<Gripp>();
   if (name == "ferrari") return MakeCondensing<Ferrari>(spec.Param("k", 4));
-  if (name == "pll") {
-    return std::make_unique<PrunedTwoHop>(VertexOrder::kDegree);
-  }
-  if (name == "tfl") {
-    return std::make_unique<PrunedTwoHop>(VertexOrder::kTopological);
-  }
-  if (name == "tol-random") {
-    return std::make_unique<PrunedTwoHop>(VertexOrder::kRandom);
-  }
-  if (name == "tol-revdeg") {
-    return std::make_unique<PrunedTwoHop>(VertexOrder::kReverseDegree);
+  if (name == "pll" || name == "tfl" || name == "tol-random" ||
+      name == "tol-revdeg") {
+    VertexOrder order = VertexOrder::kDegree;
+    if (name == "tfl") order = VertexOrder::kTopological;
+    if (name == "tol-random") order = VertexOrder::kRandom;
+    if (name == "tol-revdeg") order = VertexOrder::kReverseDegree;
+    return std::make_unique<PrunedTwoHop>(order, 0x70'6c'6cULL, 0,
+                                          StorageFromSpec(spec));
   }
   if (name == "dbl") return std::make_unique<Dbl>();
   if (name == "dagger") return std::make_unique<Dagger>(spec.Param("k", 3));
@@ -85,7 +92,7 @@ std::unique_ptr<LcrIndex> MakeLcr(const IndexSpec& spec) {
                                            spec.Param("b", 2));
   }
   if (name == "pll" || name == "p2h") {
-    return std::make_unique<PrunedLabeledTwoHop>();
+    return std::make_unique<PrunedLabeledTwoHop>(0, StorageFromSpec(spec));
   }
   return nullptr;
 }
@@ -170,7 +177,8 @@ std::vector<SpecDoc> DescribeIndexSpecs(IndexFamily family) {
         {"lcr:tree", "", "tree-based LCR index (Jin et al.)"},
         {"lcr:landmark", "k=<n> landmarks (16), b=<n> budget (2)",
          "landmark index"},
-        {"lcr:pll", "", "label-constrained pruned 2-hop (P2H+)"},
+        {"lcr:pll", "compress=1, block=<n> (64), budget_mb=<n>",
+         "label-constrained pruned 2-hop (P2H+)"},
     };
   }
   return {
@@ -185,7 +193,8 @@ std::vector<SpecDoc> DescribeIndexSpecs(IndexFamily family) {
       {"grail", "k=<n> interval labelings (3)", "GRAIL randomized intervals"},
       {"ferrari", "k=<n> intervals per vertex (4)",
        "FERRARI adaptive exact/approximate intervals"},
-      {"pll", "", "pruned 2-hop labeling, degree order"},
+      {"pll", "compress=1, block=<n> (64), budget_mb=<n>",
+       "pruned 2-hop labeling, degree order"},
       {"tfl", "", "pruned 2-hop labeling, topological order"},
       {"tol-random", "", "pruned 2-hop labeling, random order"},
       {"tol-revdeg", "", "pruned 2-hop labeling, reverse-degree order"},

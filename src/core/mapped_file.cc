@@ -1,0 +1,87 @@
+#include "core/mapped_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define REACH_MAPPED_FILE_POSIX 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define REACH_MAPPED_FILE_POSIX 0
+#endif
+
+namespace reach {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+std::shared_ptr<MappedFile> MappedFile::Open(const std::string& path,
+                                             std::string* error) {
+  // make_shared needs a public constructor; hand-roll instead.
+  std::shared_ptr<MappedFile> file(new MappedFile());
+#if REACH_MAPPED_FILE_POSIX
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    SetError(error, path + ": " + std::strerror(errno));
+    return nullptr;
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    SetError(error, path + ": " + std::strerror(errno));
+    ::close(fd);
+    return nullptr;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return file;  // empty file: valid zero-byte view, nothing to map
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    SetError(error, path + ": mmap: " + std::strerror(errno));
+    return nullptr;
+  }
+  file->map_addr_ = addr;
+  file->data_ = static_cast<const uint8_t*>(addr);
+  file->size_ = size;
+  file->mapped_ = true;
+  return file;
+#else
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    SetError(error, path + ": cannot open");
+    return nullptr;
+  }
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  file->fallback_.resize(static_cast<size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(file->fallback_.data()), size)) {
+    SetError(error, path + ": short read");
+    return nullptr;
+  }
+  file->data_ = file->fallback_.data();
+  file->size_ = file->fallback_.size();
+  return file;
+#endif
+}
+
+MappedFile::~MappedFile() {
+#if REACH_MAPPED_FILE_POSIX
+  if (mapped_ && map_addr_ != nullptr) {
+    ::munmap(map_addr_, size_);
+  }
+#endif
+}
+
+}  // namespace reach

@@ -1,0 +1,47 @@
+#ifndef REACH_CORE_MAPPED_FILE_H_
+#define REACH_CORE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace reach {
+
+/// A read-only memory-mapped file — the backing store of zero-copy
+/// snapshot loads (docs/SNAPSHOTS.md). On POSIX the bytes come straight
+/// from `mmap(PROT_READ)`; elsewhere the file is read into an owned
+/// buffer so callers see the same interface. The mapping lives until the
+/// `MappedFile` is destroyed; anything pointing into `data()` (sealed
+/// pool views) must hold a reference to keep it alive.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Returns nullptr on failure with a short
+  /// reason in `*error` (when non-null).
+  static std::shared_ptr<MappedFile> Open(const std::string& path,
+                                          std::string* error = nullptr);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  /// True when the bytes are an actual mmap (false: buffered fallback).
+  bool IsMapped() const { return mapped_; }
+
+ private:
+  MappedFile() = default;
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  void* map_addr_ = nullptr;         // munmap target when mapped_
+  std::vector<uint8_t> fallback_;    // owned bytes otherwise
+};
+
+}  // namespace reach
+
+#endif  // REACH_CORE_MAPPED_FILE_H_

@@ -1,5 +1,6 @@
 #include "core/serialize.h"
 
+#include <cstring>
 #include <istream>
 #include <ostream>
 
@@ -10,6 +11,12 @@ namespace {
 // Cap on the envelope's format-name length: real names are a few bytes,
 // so anything larger is garbage, not an index stream.
 constexpr uint32_t kMaxFormatNameLen = 64;
+
+uint64_t AlignUp(uint64_t value, uint64_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+bool IsPow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
 }  // namespace
 
@@ -29,6 +36,21 @@ const char* LoadStatusMessage(LoadStatus status) {
       return "index type does not support serialization";
   }
   return "unknown load status";
+}
+
+std::string LoadStatusMessage(const LoadResult& result) {
+  std::string message = LoadStatusMessage(result.status);
+  if (!result.detail.empty()) {
+    message += " (";
+    message += result.detail;
+    message += ")";
+  }
+  return message;
+}
+
+LoadResult CorruptAt(std::string_view section, uint64_t offset) {
+  return {LoadStatus::kCorrupt,
+          std::string(section) + " at byte " + std::to_string(offset)};
 }
 
 bool WriteEnvelope(std::ostream& out, std::string_view format_name,
@@ -64,6 +86,137 @@ LoadResult ReadEnvelope(std::istream& in,
     return {LoadStatus::kWrongIndex, name};
   }
   return {LoadStatus::kOk, {}};
+}
+
+void SnapshotWriter::AddSection(uint32_t kind, const void* data,
+                                uint64_t size) {
+  sections_.push_back({kind, data, size});
+}
+
+bool SnapshotWriter::WriteTo(std::ostream& out) const {
+  using serialize_detail::WriteBytes;
+  using serialize_detail::WritePod;
+  // Lay out: prelude, 8-aligned table, then page-aligned payloads.
+  const uint64_t prelude = 4 * sizeof(uint32_t) + name_.size();
+  const uint64_t table_offset = AlignUp(prelude, 8);
+  uint64_t cursor =
+      table_offset + sections_.size() * sizeof(SnapshotSectionRecord);
+  std::vector<SnapshotSectionRecord> table;
+  table.reserve(sections_.size());
+  for (const PendingSection& s : sections_) {
+    cursor = AlignUp(cursor, kSnapshotPageAlign);
+    table.push_back({cursor, s.size, s.kind,
+                     static_cast<uint32_t>(kSnapshotPageAlign)});
+    cursor += s.size;
+  }
+
+  WritePod(out, kEnvelopeMagic);
+  WritePod(out, kSnapshotVersion);
+  WritePod(out, static_cast<uint32_t>(name_.size()));
+  WriteBytes(out, name_.data(), name_.size());
+  WritePod(out, static_cast<uint32_t>(sections_.size()));
+  static constexpr char kZeros[kSnapshotPageAlign] = {};
+  WriteBytes(out, kZeros, table_offset - prelude);
+  if (!table.empty()) {
+    WriteBytes(out, table.data(),
+               table.size() * sizeof(SnapshotSectionRecord));
+  }
+  uint64_t written =
+      table_offset + table.size() * sizeof(SnapshotSectionRecord);
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    WriteBytes(out, kZeros, table[i].offset - written);
+    if (sections_[i].size != 0) {
+      WriteBytes(out, sections_[i].data, sections_[i].size);
+    }
+    written = table[i].offset + sections_[i].size;
+  }
+  return static_cast<bool>(out);
+}
+
+LoadResult SnapshotView::Parse(const uint8_t* data, size_t size,
+                               std::string_view expected_format_name) {
+  base_ = nullptr;
+  table_.clear();
+  uint32_t header[3];  // magic, version, name length
+  if (size < sizeof(header)) {
+    return {LoadStatus::kBadMagic, "file shorter than snapshot header"};
+  }
+  std::memcpy(header, data, sizeof(header));
+  if (header[0] != kEnvelopeMagic) return {LoadStatus::kBadMagic, {}};
+  if (header[1] != kSnapshotVersion) {
+    return {LoadStatus::kBadVersion, std::to_string(header[1])};
+  }
+  const uint32_t name_len = header[2];
+  if (name_len > kMaxFormatNameLen ||
+      size < sizeof(header) + name_len + sizeof(uint32_t)) {
+    return CorruptAt("format name", sizeof(header));
+  }
+  const std::string name(reinterpret_cast<const char*>(data) +
+                             sizeof(header),
+                         name_len);
+  if (name != expected_format_name) {
+    return {LoadStatus::kWrongIndex, name};
+  }
+  uint32_t section_count = 0;
+  std::memcpy(&section_count, data + sizeof(header) + name_len,
+              sizeof(section_count));
+  if (section_count > kMaxSnapshotSections) {
+    return CorruptAt("section count", sizeof(header) + name_len);
+  }
+  const uint64_t table_offset =
+      AlignUp(4 * sizeof(uint32_t) + name_len, 8);
+  const uint64_t table_bytes =
+      uint64_t{section_count} * sizeof(SnapshotSectionRecord);
+  if (table_offset > size || table_bytes > size - table_offset) {
+    return CorruptAt("section table", table_offset);
+  }
+  // Validate the whole table before any payload byte is trusted:
+  // alignment, bounds, and kind uniqueness.
+  table_.resize(section_count);
+  std::memcpy(table_.data(), data + table_offset, table_bytes);
+  for (size_t i = 0; i < table_.size(); ++i) {
+    const SnapshotSectionRecord& rec = table_[i];
+    const std::string label = "section " + std::to_string(rec.kind);
+    if (!IsPow2(rec.align) || rec.align < 8 ||
+        rec.align > kSnapshotPageAlign || rec.offset % rec.align != 0) {
+      table_.clear();
+      return {LoadStatus::kCorrupt,
+              label + " at byte " + std::to_string(rec.offset) +
+                  ": misaligned (align " + std::to_string(rec.align) +
+                  ")"};
+    }
+    if (rec.offset > size || rec.size > size - rec.offset) {
+      table_.clear();
+      return {LoadStatus::kCorrupt,
+              label + " at byte " + std::to_string(rec.offset) +
+                  ": extends past end of file"};
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (table_[j].kind == rec.kind) {
+        table_.clear();
+        return {LoadStatus::kCorrupt, "duplicate " + label};
+      }
+    }
+  }
+  base_ = data;
+  return {LoadStatus::kOk, {}};
+}
+
+bool SnapshotView::Has(uint32_t kind) const {
+  for (const SnapshotSectionRecord& rec : table_) {
+    if (rec.kind == kind) return true;
+  }
+  return false;
+}
+
+std::span<const uint8_t> SnapshotView::Section(uint32_t kind) const {
+  for (const SnapshotSectionRecord& rec : table_) {
+    if (rec.kind == kind) {
+      if (rec.size == 0) return {};
+      return {base_ + rec.offset, static_cast<size_t>(rec.size)};
+    }
+  }
+  return {};
 }
 
 namespace serialize_detail {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -49,13 +50,22 @@ const char* LoadStatusMessage(LoadStatus status);
 
 /// Outcome of a `Load`: tests `true` iff the index was restored. On
 /// failure `detail` carries the offending value (observed name or
-/// version) when one is available.
+/// version) or — for corrupt payloads — the failing section and byte
+/// offset, when one is available.
 struct LoadResult {
   LoadStatus status = LoadStatus::kOk;
   std::string detail;
 
   explicit operator bool() const { return status == LoadStatus::kOk; }
 };
+
+/// Full one-line failure description: the status message plus the
+/// result's detail (failing section / byte offset / observed value).
+std::string LoadStatusMessage(const LoadResult& result);
+
+/// A `kCorrupt` result pinned to a payload location, e.g.
+/// `CorruptAt("rank table", 24)` -> detail "rank table at byte 24".
+LoadResult CorruptAt(std::string_view section, uint64_t offset);
 
 /// Writes the envelope for `format_name`. `version` is overridable only
 /// so tests can produce version-mismatch streams.
@@ -67,6 +77,90 @@ bool WriteEnvelope(std::ostream& out, std::string_view format_name,
 /// status says which check failed first (magic, then version, then name).
 LoadResult ReadEnvelope(std::istream& in,
                         std::string_view expected_format_name);
+
+/// --- RCHX v2 snapshot files (docs/SNAPSHOTS.md) -------------------------
+///
+/// The v1 envelope above frames *streams*: payload bytes are decoded
+/// element by element into freshly allocated structures. Snapshot files
+/// are the zero-copy alternative: the same magic, version 2, followed by
+/// an aligned-section table, with every payload section written
+/// page-aligned so `Load` can mmap the file and point sealed
+/// `FlatLabelPool` views directly at the mapping — no copy, no reseal.
+///
+/// Layout, little-endian:
+///
+///   u32 magic          kEnvelopeMagic ("RCHX")
+///   u32 version        kSnapshotVersion (2)
+///   u32 len            length of the format name
+///   u8[len]            format name, e.g. "pll"
+///   u32 section_count
+///   (zero pad to 8-byte boundary)
+///   SnapshotSectionRecord[section_count]
+///   (zero pad; payloads at their recorded page-aligned offsets)
+///
+/// Section kinds are format-private integers; the table is validated —
+/// alignment, bounds, duplicates — before any payload byte is touched.
+/// A v2 file handed to a v1 stream `Load` fails closed as kBadVersion.
+inline constexpr uint32_t kSnapshotVersion = 2;
+inline constexpr uint64_t kSnapshotPageAlign = 4096;
+inline constexpr uint32_t kMaxSnapshotSections = 64;
+
+struct SnapshotSectionRecord {
+  uint64_t offset;  // absolute file offset, multiple of `align`
+  uint64_t size;    // payload bytes (padding excluded)
+  uint32_t kind;    // format-private section id, unique per file
+  uint32_t align;   // power of two; kSnapshotPageAlign as written
+};
+static_assert(sizeof(SnapshotSectionRecord) == 24);
+
+/// Accumulates sections, then writes the whole snapshot file. Section
+/// payload pointers must stay valid until `WriteTo` returns.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(std::string format_name)
+      : name_(std::move(format_name)) {}
+
+  void AddSection(uint32_t kind, const void* data, uint64_t size);
+
+  bool WriteTo(std::ostream& out) const;
+
+ private:
+  struct PendingSection {
+    uint32_t kind;
+    const void* data;
+    uint64_t size;
+  };
+  std::string name_;
+  std::vector<PendingSection> sections_;
+};
+
+/// Validated view over snapshot-file bytes (typically a `MappedFile`
+/// mapping). `Parse` checks the header and the entire section table —
+/// misaligned or out-of-bounds tables are rejected before any payload
+/// byte is read; failures carry the section kind and byte offset in
+/// `LoadResult::detail`.
+class SnapshotView {
+ public:
+  LoadResult Parse(const uint8_t* data, size_t size,
+                   std::string_view expected_format_name);
+
+  bool Has(uint32_t kind) const;
+  /// Payload bytes of section `kind` (empty span when absent).
+  std::span<const uint8_t> Section(uint32_t kind) const;
+  /// Typed view of a section; empty when absent or when the byte size is
+  /// not a multiple of sizeof(T) (the caller sees a size mismatch, never
+  /// a partial element).
+  template <typename T>
+  std::span<const T> TypedSection(uint32_t kind) const {
+    const std::span<const uint8_t> raw = Section(kind);
+    if (raw.empty() || raw.size() % sizeof(T) != 0) return {};
+    return {reinterpret_cast<const T*>(raw.data()), raw.size() / sizeof(T)};
+  }
+
+ private:
+  const uint8_t* base_ = nullptr;
+  std::vector<SnapshotSectionRecord> table_;
+};
 
 namespace serialize_detail {
 

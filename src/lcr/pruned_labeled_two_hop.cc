@@ -10,6 +10,7 @@
 
 #include "core/label_kernels.h"
 #include "core/serialize.h"
+#include "obs/metrics_registry.h"
 #include "par/parallel_for.h"
 #include "par/thread_pool.h"
 
@@ -180,9 +181,94 @@ bool PrunedLabeledTwoHop::LabelQuery(VertexId s, VertexId t,
   return IntersectEntryRanges(lout_[s], lin_[t], allowed);
 }
 
+bool PrunedLabeledTwoHop::CoveredInPool(const CompressedEntryPool<Entry>& pool,
+                                        VertexId v, uint32_t rank,
+                                        LabelSet allowed) {
+  const size_t end = pool.BlockEnd(v);
+  const size_t b = pool.LowerBoundBlock(pool.BlockBegin(v), end, rank);
+  if (b == end || pool.Skip(b).first > rank) return false;
+  // Rank groups are never split across blocks, so the whole group of
+  // `rank` — if present — lives in this one block.
+  Entry buf[CompressedEntryPool<Entry>::kMaxBlockEntries];
+  const size_t count = pool.DecodeBlock(b, buf);
+  return HasCoveredEntry({buf, count}, rank, allowed);
+}
+
+bool PrunedLabeledTwoHop::IntersectPools(
+    const CompressedEntryPool<Entry>& out_pool, VertexId s,
+    const CompressedEntryPool<Entry>& in_pool, VertexId t, LabelSet allowed) {
+  size_t i = out_pool.BlockBegin(s), j = in_pool.BlockBegin(t);
+  const size_t i_end = out_pool.BlockEnd(s), j_end = in_pool.BlockEnd(t);
+  if (i == i_end || j == j_end) return false;
+  // Whole-list prefilter straight off the skip entries.
+  if (out_pool.Skip(i_end - 1).last < in_pool.Skip(j).first ||
+      in_pool.Skip(j_end - 1).last < out_pool.Skip(i).first) {
+    return false;
+  }
+  constexpr size_t kCap = CompressedEntryPool<Entry>::kMaxBlockEntries;
+  Entry buf_out[kCap], buf_in[kCap];
+  size_t decoded_out = SIZE_MAX, decoded_in = SIZE_MAX;
+  size_t count_out = 0, count_in = 0;
+  while (i != i_end && j != j_end) {
+    const auto& so = out_pool.Skip(i);
+    const auto& si = in_pool.Skip(j);
+    if (so.last < si.first) {
+      i = out_pool.LowerBoundBlock(i + 1, i_end, si.first);
+      continue;
+    }
+    if (si.last < so.first) {
+      j = in_pool.LowerBoundBlock(j + 1, j_end, so.first);
+      continue;
+    }
+    if (decoded_out != i) {
+      count_out = out_pool.DecodeBlock(i, buf_out);
+      decoded_out = i;
+    }
+    if (decoded_in != j) {
+      count_in = in_pool.DecodeBlock(j, buf_in);
+      decoded_in = j;
+    }
+    if (IntersectEntryRanges({buf_out, count_out}, {buf_in, count_in},
+                             allowed)) {
+      return true;
+    }
+    // Equal-last advance-both is sound: blocks end at whole rank groups,
+    // so the shared last group was fully checked by this pair.
+    const bool advance_out = so.last <= si.last;
+    const bool advance_in = si.last <= so.last;
+    if (advance_out) ++i;
+    if (advance_in) ++j;
+  }
+  return false;
+}
+
+bool PrunedLabeledTwoHop::IntersectPoolWithSpan(
+    const CompressedEntryPool<Entry>& pool, VertexId v,
+    std::span<const Entry> other, LabelSet allowed) {
+  if (other.empty()) return false;
+  const size_t end = pool.BlockEnd(v);
+  size_t b = pool.LowerBoundBlock(pool.BlockBegin(v), end,
+                                  other.front().rank);
+  Entry buf[CompressedEntryPool<Entry>::kMaxBlockEntries];
+  for (; b != end && pool.Skip(b).first <= other.back().rank; ++b) {
+    const size_t count = pool.DecodeBlock(b, buf);
+    if (IntersectEntryRanges({buf, count}, other, allowed)) return true;
+  }
+  return false;
+}
+
 bool PrunedLabeledTwoHop::AnswerQuery(VertexId s, VertexId t,
                                       LabelSet allowed) const {
   if (s == t) return true;
+  if (compressed_) {
+    if (CoveredInPool(lin_cpool_, t, rank_[s], allowed)) return true;
+    if (CoveredInPool(lout_cpool_, s, rank_[t], allowed)) return true;
+    if (IntersectPools(lout_cpool_, s, lin_cpool_, t, allowed)) return true;
+    if (!has_delta_) return false;
+    const std::span<const Entry> delta{delta_lin_[t]};
+    if (HasCoveredEntry(delta, rank_[s], allowed)) return true;
+    return IntersectPoolWithSpan(lout_cpool_, s, delta, allowed);
+  }
   const std::span<const Entry> out = lout_pool_.Slice(s);
   const std::span<const Entry> in = lin_pool_.Slice(t);
   if (HasCoveredEntry(in, rank_[s], allowed)) return true;
@@ -203,7 +289,10 @@ bool PrunedLabeledTwoHop::Query(VertexId s, VertexId t,
   // (The build-time oracle is unprobed — the pruning tests would
   // otherwise swamp the counts.)
   REACH_PROBE_ADD(probe_, labels_scanned,
-                  lout_pool_.Slice(s).size() + lin_pool_.Slice(t).size() +
+                  (compressed_ ? lout_cpool_.ListEntries(s) +
+                                     lin_cpool_.ListEntries(t)
+                               : lout_pool_.Slice(s).size() +
+                                     lin_pool_.Slice(t).size()) +
                       (has_delta_ ? delta_lin_[t].size() : 0));
   const bool reachable = AnswerQuery(s, t, allowed);
   if (reachable) {
@@ -222,6 +311,9 @@ void PrunedLabeledTwoHop::Build(const LabeledDigraph& graph) {
   extra_in_.clear();
   lin_pool_.Clear();
   lout_pool_.Clear();
+  lin_cpool_.Clear();
+  lout_cpool_.Clear();
+  compressed_ = false;
   delta_lin_.clear();
   has_delta_ = false;
   const size_t n = graph.NumVertices();
@@ -249,12 +341,78 @@ void PrunedLabeledTwoHop::Build(const LabeledDigraph& graph) {
 }
 
 void PrunedLabeledTwoHop::SealLabels() {
-  lin_pool_.Seal(std::move(lin_));
-  lout_pool_.Seal(std::move(lout_));
-  lin_.clear();
-  lout_.clear();
+  lin_pool_.Clear();
+  lout_pool_.Clear();
+  lin_cpool_.Clear();
+  lout_cpool_.Clear();
+  compressed_ = false;
+  budget_exceeded_ = false;
+  const size_t n = lin_.size();
+  size_t total_entries = 0;
+  for (size_t v = 0; v < n; ++v) {
+    total_entries += lin_[v].size() + lout_[v].size();
+  }
+  const size_t flat_bytes =
+      2 * (n + 1) * sizeof(uint64_t) + total_entries * sizeof(Entry);
+  const size_t budget = storage_.budget_mb * (size_t{1} << 20);
+  if (storage_.compress || (budget != 0 && flat_bytes > budget)) {
+    size_t block = std::clamp(storage_.block_entries,
+                              CompressedEntryPool<Entry>::kMinBlockEntries,
+                              CompressedEntryPool<Entry>::kMaxBlockEntries);
+    for (;;) {
+      if (!lin_cpool_.Seal(lin_, block) || !lout_cpool_.Seal(lout_, block)) {
+        // An oversized rank group refuses compression: stay flat.
+        lin_cpool_.Clear();
+        lout_cpool_.Clear();
+        break;
+      }
+      const size_t bytes =
+          lin_cpool_.MemoryBytes() + lout_cpool_.MemoryBytes();
+      if (budget != 0 && bytes > budget &&
+          block < CompressedEntryPool<Entry>::kMaxBlockEntries) {
+        block *= 2;
+        continue;
+      }
+      compressed_ = true;
+      budget_exceeded_ = budget != 0 && bytes > budget;
+      break;
+    }
+  }
+  if (compressed_) {
+    std::vector<std::vector<Entry>>().swap(lin_);
+    std::vector<std::vector<Entry>>().swap(lout_);
+  } else {
+    budget_exceeded_ = budget != 0 && flat_bytes > budget;
+    lin_pool_.Seal(std::move(lin_));
+    lout_pool_.Seal(std::move(lout_));
+    lin_.clear();
+    lout_.clear();
+  }
   delta_lin_.clear();
   has_delta_ = false;
+  PublishStorageGauges(flat_bytes);
+}
+
+void PrunedLabeledTwoHop::PublishStorageGauges(
+    size_t flat_equivalent_bytes) const {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const size_t n = rank_.size();
+  const size_t bytes =
+      compressed_ ? lin_cpool_.MemoryBytes() + lout_cpool_.MemoryBytes()
+                  : lin_pool_.MemoryBytes() + lout_pool_.MemoryBytes();
+  reg.GetGauge("index.bytes").Set(static_cast<double>(bytes));
+  reg.GetGauge("index.bytes_per_vertex")
+      .Set(n == 0 ? 0.0
+                  : static_cast<double>(bytes) / static_cast<double>(n));
+  if (compressed_) {
+    reg.GetGauge("index.compression_ratio")
+        .Set(bytes == 0 ? 1.0
+                        : static_cast<double>(flat_equivalent_bytes) /
+                              static_cast<double>(bytes));
+  }
+  if (storage_.budget_mb != 0) {
+    reg.GetGauge("index.budget_exceeded").Set(budget_exceeded_ ? 1 : 0);
+  }
 }
 
 void PrunedLabeledTwoHop::BuildLabels(const LabeledDigraph& graph,
@@ -491,13 +649,9 @@ void PrunedLabeledTwoHop::InsertEdge(VertexId s, VertexId t, Label label) {
   // minimality is traded for correctness (see header).
   if (delta_lin_.empty()) delta_lin_.resize(graph_->NumVertices());
   has_delta_ = true;
-  const std::span<const Entry> sealed_in = lin_pool_.Slice(s);
-  std::vector<Entry> hops(sealed_in.begin(), sealed_in.end());
-  hops.insert(hops.end(), delta_lin_[s].begin(), delta_lin_[s].end());
-  std::stable_sort(hops.begin(), hops.end(),
-                   [](const Entry& a, const Entry& b) {
-                     return a.rank < b.rank;
-                   });
+  // InEntries merges the sealed slice (flat or decoded from the
+  // compressed pool) with the delta overlay, rank-sorted.
+  std::vector<Entry> hops = InEntries(s);
   hops.push_back({rank_[s], 0});
 
   BucketQueue queue;
@@ -511,9 +665,13 @@ void PrunedLabeledTwoHop::InsertEdge(VertexId s, VertexId t, Label label) {
     seen.Add(t, start);
     queue.Push({start, t});
     while (queue.Pop(&state)) {
-      if (state.vertex != hop &&
-          !HasCoveredEntry(lin_pool_.Slice(state.vertex), hop_entry.rank,
-                           state.mask) &&
+      const bool sealed_covered =
+          compressed_
+              ? CoveredInPool(lin_cpool_, state.vertex, hop_entry.rank,
+                              state.mask)
+              : HasCoveredEntry(lin_pool_.Slice(state.vertex),
+                                hop_entry.rank, state.mask);
+      if (state.vertex != hop && !sealed_covered &&
           !HasCoveredEntry(delta_lin_[state.vertex], hop_entry.rank,
                            state.mask)) {
         // Insert keeping rank-group ordering within the overlay.
@@ -551,7 +709,9 @@ void PrunedLabeledTwoHop::RemoveEdgeAndRebuild(VertexId s, VertexId t,
 }
 
 size_t PrunedLabeledTwoHop::TotalEntries() const {
-  size_t total = lin_pool_.NumEntries() + lout_pool_.NumEntries();
+  size_t total =
+      compressed_ ? lin_cpool_.NumEntries() + lout_cpool_.NumEntries()
+                  : lin_pool_.NumEntries() + lout_pool_.NumEntries();
   for (const auto& e : delta_lin_) total += e.size();
   return total;
 }
@@ -562,14 +722,22 @@ size_t PrunedLabeledTwoHop::IndexSizeBytes() const {
     delta_bytes = delta_lin_.size() * sizeof(std::vector<Entry>);
     for (const auto& d : delta_lin_) delta_bytes += d.capacity() * sizeof(Entry);
   }
-  return lin_pool_.MemoryBytes() + lout_pool_.MemoryBytes() +
+  const size_t pool_bytes =
+      compressed_ ? lin_cpool_.MemoryBytes() + lout_cpool_.MemoryBytes()
+                  : lin_pool_.MemoryBytes() + lout_pool_.MemoryBytes();
+  return pool_bytes +
          (rank_.size() + by_rank_.size()) * sizeof(uint32_t) + delta_bytes;
 }
 
 std::vector<PrunedLabeledTwoHop::Entry> PrunedLabeledTwoHop::InEntries(
     VertexId v) const {
-  const std::span<const Entry> sealed = lin_pool_.Slice(v);
-  std::vector<Entry> merged(sealed.begin(), sealed.end());
+  std::vector<Entry> merged;
+  if (compressed_) {
+    lin_cpool_.Decode(v, &merged);
+  } else {
+    const std::span<const Entry> sealed = lin_pool_.Slice(v);
+    merged.assign(sealed.begin(), sealed.end());
+  }
   if (has_delta_ && !delta_lin_[v].empty()) {
     const std::vector<Entry>& delta = delta_lin_[v];
     std::vector<Entry> out(merged.size() + delta.size());
@@ -583,6 +751,11 @@ std::vector<PrunedLabeledTwoHop::Entry> PrunedLabeledTwoHop::InEntries(
 
 std::vector<PrunedLabeledTwoHop::Entry> PrunedLabeledTwoHop::OutEntries(
     VertexId v) const {
+  if (compressed_) {
+    std::vector<Entry> out;
+    lout_cpool_.Decode(v, &out);
+    return out;
+  }
   const std::span<const Entry> sealed = lout_pool_.Slice(v);
   return {sealed.begin(), sealed.end()};
 }

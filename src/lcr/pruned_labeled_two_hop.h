@@ -41,8 +41,9 @@ class PrunedLabeledTwoHop : public LcrIndex {
   /// serial pruning oracle sees in-sweep insertions). The labeling is
   /// bit-identical to a serial build for any thread count
   /// (docs/PARALLELISM.md). 0 = `DefaultThreads()`, 1 = serial.
-  explicit PrunedLabeledTwoHop(size_t num_threads = 0)
-      : num_threads_(num_threads) {}
+  explicit PrunedLabeledTwoHop(size_t num_threads = 0,
+                               TwoHopStorageOptions storage = {})
+      : num_threads_(num_threads), storage_(storage) {}
 
   void Build(const LabeledDigraph& graph) override;
   bool Query(VertexId s, VertexId t, LabelSet allowed) const override;
@@ -73,6 +74,13 @@ class PrunedLabeledTwoHop : public LcrIndex {
   /// Total number of (hop, SPLS) entries across all vertices.
   size_t TotalEntries() const;
 
+  /// True when the sealed entries live in block-compressed pools.
+  bool CompressedStorage() const { return compressed_; }
+  /// True when a `budget_mb` bound was requested but even the coarsest
+  /// storage tier exceeds it (or a rank group forced the flat fallback).
+  bool BudgetExceeded() const { return budget_exceeded_; }
+  const TwoHopStorageOptions& Storage() const { return storage_; }
+
  private:
   struct Entry {
     uint32_t rank;
@@ -98,6 +106,21 @@ class PrunedLabeledTwoHop : public LcrIndex {
   static bool IntersectEntryRanges(std::span<const Entry> out,
                                    std::span<const Entry> in,
                                    LabelSet allowed);
+  // Compressed-pool analogues: a rank group is never split across blocks,
+  // so the covered test decodes exactly one block and the intersection is
+  // a skip-table block-merge calling `IntersectEntryRanges` on decoded
+  // block pairs (docs/SNAPSHOTS.md).
+  static bool CoveredInPool(const CompressedEntryPool<Entry>& pool,
+                            VertexId v, uint32_t rank, LabelSet allowed);
+  static bool IntersectPools(const CompressedEntryPool<Entry>& out_pool,
+                             VertexId s,
+                             const CompressedEntryPool<Entry>& in_pool,
+                             VertexId t, LabelSet allowed);
+  static bool IntersectPoolWithSpan(const CompressedEntryPool<Entry>& pool,
+                                    VertexId v, std::span<const Entry> other,
+                                    LabelSet allowed);
+  // Publishes the index.bytes / compression gauges after a (re)seal.
+  void PublishStorageGauges(size_t flat_equivalent_bytes) const;
   template <typename ArcFn>
   void ArcsOut(VertexId v, ArcFn&& fn) const;
   template <typename ArcFn>
@@ -112,8 +135,16 @@ class PrunedLabeledTwoHop : public LcrIndex {
   // moves them into the flat pools and leaves them empty.
   std::vector<std::vector<Entry>> lin_;
   std::vector<std::vector<Entry>> lout_;
+  // Sealed query-path layout: exactly one representation is live after
+  // SealLabels — the flat pools, or (when `storage_` asks for compression
+  // or the budget forces it) the block-compressed pools.
   FlatLabelPool<Entry> lin_pool_;
   FlatLabelPool<Entry> lout_pool_;
+  CompressedEntryPool<Entry> lin_cpool_;
+  CompressedEntryPool<Entry> lout_cpool_;
+  TwoHopStorageOptions storage_;
+  bool compressed_ = false;
+  bool budget_exceeded_ = false;
   // Unsealed delta overlay: Lin entries added by InsertEdge after sealing
   // (rank-ordered). Empty until the first insert.
   std::vector<std::vector<Entry>> delta_lin_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <istream>
 #include <numeric>
 #include <ostream>
@@ -11,6 +12,7 @@
 #include "core/serialize.h"
 #include "graph/condensation.h"
 #include "graph/rng.h"
+#include "obs/metrics_registry.h"
 #include "par/parallel_for.h"
 #include "par/thread_pool.h"
 
@@ -318,6 +320,10 @@ void PrunedTwoHop::Build(const Digraph& graph) {
   extra_in_.clear();
   lin_pool_.Clear();
   lout_pool_.Clear();
+  lin_cpool_.Clear();
+  lout_cpool_.Clear();
+  compressed_ = false;
+  mapping_.reset();
   delta_lin_.clear();
   has_delta_ = false;
   {
@@ -342,12 +348,75 @@ void PrunedTwoHop::Build(const Digraph& graph) {
 }
 
 void PrunedTwoHop::SealLabels() {
-  lin_pool_.Seal(std::move(lin_));
-  lout_pool_.Seal(std::move(lout_));
-  lin_.clear();
-  lout_.clear();
+  lin_pool_.Clear();
+  lout_pool_.Clear();
+  lin_cpool_.Clear();
+  lout_cpool_.Clear();
+  compressed_ = false;
+  budget_exceeded_ = false;
+  mapping_.reset();
+
+  // Flat-equivalent footprint, for the budget decision and the
+  // compression-ratio gauge.
+  const size_t n = lin_.size();
+  size_t entries = 0;
+  for (const auto& l : lin_) entries += l.size();
+  for (const auto& l : lout_) entries += l.size();
+  const size_t flat_bytes =
+      2 * (n + 1) * sizeof(uint64_t) + entries * sizeof(uint32_t);
+
+  const size_t budget = storage_.budget_mb * size_t{1024} * 1024;
+  const bool over_budget = budget != 0 && flat_bytes > budget;
+  if (!storage_.compress && !over_budget) {
+    lin_pool_.Seal(std::move(lin_));
+    lout_pool_.Seal(std::move(lout_));
+  } else {
+    // Compressed tiers: requested block size first; when a budget is set
+    // and still exceeded, fall back to coarser blocks (fewer skip
+    // entries) instead of failing.
+    size_t block = CompressedRankPool::ClampBlockEntries(
+        storage_.block_entries);
+    for (;;) {
+      lin_cpool_.Seal(lin_, block);
+      lout_cpool_.Seal(lout_, block);
+      const size_t bytes =
+          lin_cpool_.MemoryBytes() + lout_cpool_.MemoryBytes();
+      if (budget == 0 || bytes <= budget ||
+          block >= CompressedRankPool::kMaxBlockEntries) {
+        budget_exceeded_ = budget != 0 && bytes > budget;
+        break;
+      }
+      block *= 2;
+    }
+    compressed_ = true;
+  }
+  std::vector<std::vector<uint32_t>>().swap(lin_);
+  std::vector<std::vector<uint32_t>>().swap(lout_);
   delta_lin_.clear();
   has_delta_ = false;
+  PublishStorageGauges(flat_bytes);
+}
+
+void PrunedTwoHop::PublishStorageGauges(
+    size_t flat_equivalent_bytes) const {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const size_t n = rank_.size();
+  const size_t bytes =
+      compressed_ ? lin_cpool_.MemoryBytes() + lout_cpool_.MemoryBytes()
+                  : lin_pool_.MemoryBytes() + lout_pool_.MemoryBytes();
+  reg.GetGauge("index.bytes").Set(static_cast<double>(bytes));
+  reg.GetGauge("index.bytes_per_vertex")
+      .Set(n == 0 ? 0.0
+                  : static_cast<double>(bytes) / static_cast<double>(n));
+  if (compressed_) {
+    reg.GetGauge("index.compression_ratio")
+        .Set(bytes == 0 ? 1.0
+                        : static_cast<double>(flat_equivalent_bytes) /
+                              static_cast<double>(bytes));
+  }
+  if (storage_.budget_mb != 0) {
+    reg.GetGauge("index.budget_exceeded").Set(budget_exceeded_ ? 1 : 0);
+  }
 }
 
 bool PrunedTwoHop::LabelQuery(VertexId s, VertexId t) const {
@@ -364,6 +433,22 @@ bool PrunedTwoHop::LabelQuery(VertexId s, VertexId t) const {
 
 bool PrunedTwoHop::AnswerQuery(VertexId s, VertexId t) const {
   if (s == t) return true;
+  if (compressed_) {
+    // Same three-case test, on the skip tables: membership decodes at
+    // most one block, the intersection only blocks that can overlap.
+    if (lin_cpool_.Contains(t, rank_[s])) return true;
+    if (lout_cpool_.Contains(s, rank_[t])) return true;
+    if (CompressedRankPool::Intersect(lout_cpool_, s, lin_cpool_, t)) {
+      return true;
+    }
+    if (!has_delta_) return false;
+    const std::vector<uint32_t>& delta_t = delta_lin_[t];
+    if (std::binary_search(delta_t.begin(), delta_t.end(), rank_[s])) {
+      return true;
+    }
+    return lout_cpool_.IntersectWithSorted(s, delta_t.data(),
+                                           delta_t.size());
+  }
   const std::span<const uint32_t> lout_s = lout_pool_.Slice(s);
   const std::span<const uint32_t> lin_t = lin_pool_.Slice(t);
   if (std::binary_search(lin_t.begin(), lin_t.end(), rank_[s])) return true;
@@ -394,7 +479,10 @@ bool PrunedTwoHop::QueryInSlot(VertexId s, VertexId t, size_t slot) const {
   // both lists end to end. (The build-time oracle is left unprobed — the
   // pruning tests would otherwise swamp the counts.)
   REACH_PROBE_ADD(probe, labels_scanned,
-                  lout_pool_.Slice(s).size() + lin_pool_.Slice(t).size() +
+                  (compressed_ ? lout_cpool_.ListEntries(s) +
+                                     lin_cpool_.ListEntries(t)
+                               : lout_pool_.Slice(s).size() +
+                                     lin_pool_.Slice(t).size()) +
                       (has_delta_ ? delta_lin_[t].size() : 0));
   const bool reachable = AnswerQuery(s, t);
   if (reachable) {
@@ -448,8 +536,12 @@ void PrunedTwoHop::InsertEdge(VertexId s, VertexId t) {
     const VertexId hop = by_rank_[h];
     for (VertexId x : queue) {
       if (x == hop) continue;
-      const std::span<const uint32_t> sealed = lin_pool_.Slice(x);
-      if (std::binary_search(sealed.begin(), sealed.end(), h)) continue;
+      if (compressed_) {
+        if (lin_cpool_.Contains(x, h)) continue;
+      } else {
+        const std::span<const uint32_t> sealed = lin_pool_.Slice(x);
+        if (std::binary_search(sealed.begin(), sealed.end(), h)) continue;
+      }
       SortedInsert(delta_lin_[x], h);
     }
   }
@@ -484,6 +576,37 @@ using serialize_detail::ReadU32Vec;
 using serialize_detail::WritePod;
 using serialize_detail::WriteU32Vec;
 
+// RCHX v2 snapshot-file section kinds (private to the "pll" format).
+enum SnapshotSectionKind : uint32_t {
+  kSecMeta = 1,
+  kSecRank = 2,
+  kSecByRank = 3,
+  // Flat storage.
+  kSecLinOffsets = 4,
+  kSecLinEntries = 5,
+  kSecLoutOffsets = 6,
+  kSecLoutEntries = 7,
+  // Compressed storage.
+  kSecLinVertexBlocks = 8,
+  kSecLinSkip = 9,
+  kSecLinData = 10,
+  kSecLoutVertexBlocks = 11,
+  kSecLoutSkip = 12,
+  kSecLoutData = 13,
+};
+
+// Fixed-layout snapshot metadata (kSecMeta).
+struct SnapshotMeta {
+  uint64_t payload_magic;  // kMagic
+  uint64_t num_vertices;
+  uint64_t lin_entries;
+  uint64_t lout_entries;
+  uint32_t storage;  // 0 = flat pools, 1 = block-compressed pools
+  uint32_t block_entries;
+};
+static_assert(sizeof(SnapshotMeta) == 40);
+static_assert(std::is_trivially_copyable_v<SnapshotMeta>);
+
 }  // namespace
 
 bool PrunedTwoHop::Save(std::ostream& out) const {
@@ -505,39 +628,61 @@ bool PrunedTwoHop::Save(std::ostream& out) const {
 LoadResult PrunedTwoHop::Load(std::istream& in) {
   LoadResult envelope = ReadEnvelope(in, kFormatName);
   if (!envelope) return envelope;
-  const LoadResult corrupt{LoadStatus::kCorrupt, std::string(kFormatName)};
+  // Corrupt payloads name the failing section and its starting byte
+  // offset, so a truncated or smashed stream is diagnosable.
+  const auto offset = [&in]() -> uint64_t {
+    const std::streampos pos = in.tellg();
+    return pos < 0 ? 0 : static_cast<uint64_t>(pos);
+  };
+  uint64_t at = offset();
   uint64_t magic = 0, n = 0;
-  if (!ReadPod(in, &magic) || magic != kMagic) return corrupt;
-  if (!ReadPod(in, &n)) return corrupt;
+  if (!ReadPod(in, &magic) || magic != kMagic) {
+    return CorruptAt("payload magic", at);
+  }
+  at = offset();
+  if (!ReadPod(in, &n)) return CorruptAt("vertex count", at);
   // Hard sanity cap: label vectors can never exceed n entries.
-  if (!ReadU32Vec(in, &rank_, n)) return corrupt;
+  at = offset();
+  if (!ReadU32Vec(in, &rank_, n) || rank_.size() != n) {
+    return CorruptAt("rank table", at);
+  }
+  at = offset();
   std::vector<uint32_t> by_rank;
-  if (!ReadU32Vec(in, &by_rank, n)) return corrupt;
+  if (!ReadU32Vec(in, &by_rank, n) || by_rank.size() != n) {
+    return CorruptAt("by-rank table", at);
+  }
   by_rank_.assign(by_rank.begin(), by_rank.end());
-  if (rank_.size() != n || by_rank_.size() != n) return corrupt;
   lin_.assign(n, {});
   lout_.assign(n, {});
-  for (auto& labels : lin_) {
-    if (!ReadU32Vec(in, &labels, n)) return corrupt;
+  for (size_t v = 0; v < n; ++v) {
+    at = offset();
+    if (!ReadU32Vec(in, &lin_[v], n)) {
+      return CorruptAt("Lin[" + std::to_string(v) + "]", at);
+    }
   }
-  for (auto& labels : lout_) {
-    if (!ReadU32Vec(in, &labels, n)) return corrupt;
+  for (size_t v = 0; v < n; ++v) {
+    at = offset();
+    if (!ReadU32Vec(in, &lout_[v], n)) {
+      return CorruptAt("Lout[" + std::to_string(v) + "]", at);
+    }
   }
   // Validate ranges so a corrupted stream cannot cause out-of-bounds use.
   for (uint32_t r : rank_) {
-    if (r >= n) return corrupt;
+    if (r >= n) return {LoadStatus::kCorrupt, "rank table: rank out of range"};
   }
   for (VertexId v : by_rank_) {
-    if (v >= n) return corrupt;
+    if (v >= n) {
+      return {LoadStatus::kCorrupt, "by-rank table: vertex out of range"};
+    }
   }
   for (const auto& labels : lin_) {
     for (uint32_t r : labels) {
-      if (r >= n) return corrupt;
+      if (r >= n) return {LoadStatus::kCorrupt, "Lin labels: rank out of range"};
     }
   }
   for (const auto& labels : lout_) {
     for (uint32_t r : labels) {
-      if (r >= n) return corrupt;
+      if (r >= n) return {LoadStatus::kCorrupt, "Lout labels: rank out of range"};
     }
   }
   graph_ = nullptr;
@@ -555,19 +700,29 @@ size_t PrunedTwoHop::IndexSizeBytes() const {
     delta_bytes = delta_lin_.size() * sizeof(std::vector<uint32_t>);
     for (const auto& d : delta_lin_) delta_bytes += d.capacity() * sizeof(uint32_t);
   }
-  return lin_pool_.MemoryBytes() + lout_pool_.MemoryBytes() +
+  const size_t pool_bytes =
+      compressed_ ? lin_cpool_.MemoryBytes() + lout_cpool_.MemoryBytes()
+                  : lin_pool_.MemoryBytes() + lout_pool_.MemoryBytes();
+  return pool_bytes +
          (rank_.size() + by_rank_.size()) * sizeof(uint32_t) + delta_bytes;
 }
 
 size_t PrunedTwoHop::TotalLabelEntries() const {
-  size_t entries = lin_pool_.NumEntries() + lout_pool_.NumEntries();
+  size_t entries =
+      compressed_ ? lin_cpool_.NumEntries() + lout_cpool_.NumEntries()
+                  : lin_pool_.NumEntries() + lout_pool_.NumEntries();
   for (const auto& d : delta_lin_) entries += d.size();
   return entries;
 }
 
 std::vector<uint32_t> PrunedTwoHop::InLabels(VertexId v) const {
-  const std::span<const uint32_t> sealed = lin_pool_.Slice(v);
-  std::vector<uint32_t> merged(sealed.begin(), sealed.end());
+  std::vector<uint32_t> merged;
+  if (compressed_) {
+    lin_cpool_.Decode(v, &merged);
+  } else {
+    const std::span<const uint32_t> sealed = lin_pool_.Slice(v);
+    merged.assign(sealed.begin(), sealed.end());
+  }
   if (has_delta_ && !delta_lin_[v].empty()) {
     const std::vector<uint32_t>& delta = delta_lin_[v];
     std::vector<uint32_t> out(merged.size() + delta.size());
@@ -579,8 +734,190 @@ std::vector<uint32_t> PrunedTwoHop::InLabels(VertexId v) const {
 }
 
 std::vector<uint32_t> PrunedTwoHop::OutLabels(VertexId v) const {
+  if (compressed_) {
+    std::vector<uint32_t> out;
+    lout_cpool_.Decode(v, &out);
+    return out;
+  }
   const std::span<const uint32_t> sealed = lout_pool_.Slice(v);
   return {sealed.begin(), sealed.end()};
+}
+
+bool PrunedTwoHop::SaveSnapshot(std::ostream& out) const {
+  const size_t n = rank_.size();
+  // A post-build delta overlay is folded into temporary pools so the
+  // snapshot always holds one sealed, delta-free labeling. The
+  // temporaries must outlive WriteTo (sections point into them).
+  FlatLabelPool<uint32_t> merged_flat;
+  CompressedRankPool merged_compressed;
+  const FlatLabelPool<uint32_t>* lin_flat = &lin_pool_;
+  const CompressedRankPool* lin_c = &lin_cpool_;
+  if (has_delta_) {
+    std::vector<std::vector<uint32_t>> merged(n);
+    for (VertexId v = 0; v < n; ++v) merged[v] = InLabels(v);
+    if (compressed_) {
+      merged_compressed.Seal(merged, lin_cpool_.BlockEntries());
+      lin_c = &merged_compressed;
+    } else {
+      merged_flat.Seal(std::move(merged));
+      lin_flat = &merged_flat;
+    }
+  }
+
+  SnapshotWriter writer{std::string(kFormatName)};
+  SnapshotMeta meta{};
+  meta.payload_magic = kMagic;
+  meta.num_vertices = n;
+  meta.storage = compressed_ ? 1 : 0;
+  if (compressed_) {
+    meta.lin_entries = lin_c->NumEntries();
+    meta.lout_entries = lout_cpool_.NumEntries();
+    meta.block_entries = static_cast<uint32_t>(lin_c->BlockEntries());
+  } else {
+    meta.lin_entries = lin_flat->NumEntries();
+    meta.lout_entries = lout_pool_.NumEntries();
+  }
+  writer.AddSection(kSecMeta, &meta, sizeof(meta));
+  writer.AddSection(kSecRank, rank_.data(),
+                    rank_.size() * sizeof(uint32_t));
+  writer.AddSection(kSecByRank, by_rank_.data(),
+                    by_rank_.size() * sizeof(VertexId));
+  if (compressed_) {
+    const auto add_pool = [&writer](uint32_t blocks_kind,
+                                    uint32_t skip_kind, uint32_t data_kind,
+                                    const CompressedRankPool& pool) {
+      writer.AddSection(blocks_kind, pool.VertexBlocksRaw().data(),
+                        pool.VertexBlocksRaw().size_bytes());
+      writer.AddSection(skip_kind, pool.SkipRaw().data(),
+                        pool.SkipRaw().size_bytes());
+      writer.AddSection(data_kind, pool.DataRaw().data(),
+                        pool.DataRaw().size_bytes());
+    };
+    add_pool(kSecLinVertexBlocks, kSecLinSkip, kSecLinData, *lin_c);
+    add_pool(kSecLoutVertexBlocks, kSecLoutSkip, kSecLoutData,
+             lout_cpool_);
+  } else {
+    writer.AddSection(kSecLinOffsets, lin_flat->OffsetsRaw().data(),
+                      lin_flat->OffsetsRaw().size_bytes());
+    writer.AddSection(kSecLinEntries, lin_flat->EntriesRaw().data(),
+                      lin_flat->EntriesRaw().size_bytes());
+    writer.AddSection(kSecLoutOffsets, lout_pool_.OffsetsRaw().data(),
+                      lout_pool_.OffsetsRaw().size_bytes());
+    writer.AddSection(kSecLoutEntries, lout_pool_.EntriesRaw().data(),
+                      lout_pool_.EntriesRaw().size_bytes());
+  }
+  return writer.WriteTo(out);
+}
+
+LoadResult PrunedTwoHop::LoadSnapshot(const std::string& path) {
+  std::string error;
+  std::shared_ptr<MappedFile> file = MappedFile::Open(path, &error);
+  if (file == nullptr) return {LoadStatus::kCorrupt, error};
+  return LoadSnapshot(std::move(file));
+}
+
+LoadResult PrunedTwoHop::LoadSnapshot(std::shared_ptr<MappedFile> file) {
+  SnapshotView view;
+  LoadResult parsed = view.Parse(file->data(), file->size(), kFormatName);
+  if (!parsed) return parsed;
+  const std::span<const uint8_t> meta_bytes = view.Section(kSecMeta);
+  if (meta_bytes.size() != sizeof(SnapshotMeta)) {
+    return {LoadStatus::kCorrupt, "meta section: wrong size"};
+  }
+  SnapshotMeta meta;
+  std::memcpy(&meta, meta_bytes.data(), sizeof(meta));
+  if (meta.payload_magic != kMagic) {
+    return {LoadStatus::kCorrupt, "meta section: bad payload magic"};
+  }
+  if (meta.storage > 1) {
+    return {LoadStatus::kCorrupt, "meta section: unknown storage mode"};
+  }
+  const uint64_t n = meta.num_vertices;
+  if (n > UINT32_MAX) {
+    return {LoadStatus::kCorrupt, "meta section: vertex count overflow"};
+  }
+  const std::span<const uint32_t> rank =
+      view.TypedSection<uint32_t>(kSecRank);
+  const std::span<const uint32_t> by_rank =
+      view.TypedSection<uint32_t>(kSecByRank);
+  if (rank.size() != n) {
+    return {LoadStatus::kCorrupt, "rank section: size mismatch"};
+  }
+  if (by_rank.size() != n) {
+    return {LoadStatus::kCorrupt, "by-rank section: size mismatch"};
+  }
+  for (uint32_t r : rank) {
+    if (r >= n) {
+      return {LoadStatus::kCorrupt, "rank section: rank out of range"};
+    }
+  }
+  for (uint32_t v : by_rank) {
+    if (v >= n) {
+      return {LoadStatus::kCorrupt, "by-rank section: vertex out of range"};
+    }
+  }
+
+  // All header-level checks passed: reset storage, then point the pools
+  // at the mapping. SealFromView validates the pool structure (CSR
+  // monotonicity / block tables) before the pool goes live.
+  lin_pool_.Clear();
+  lout_pool_.Clear();
+  lin_cpool_.Clear();
+  lout_cpool_.Clear();
+  compressed_ = meta.storage == 1;
+  if (compressed_) {
+    if (!lin_cpool_.SealFromView(
+            view.TypedSection<uint32_t>(kSecLinVertexBlocks),
+            view.TypedSection<CompressedRankPool::SkipEntry>(kSecLinSkip),
+            view.Section(kSecLinData), meta.lin_entries,
+            meta.block_entries) ||
+        lin_cpool_.NumVertices() != n) {
+      return {LoadStatus::kCorrupt, "Lin block sections: malformed"};
+    }
+    if (!lout_cpool_.SealFromView(
+            view.TypedSection<uint32_t>(kSecLoutVertexBlocks),
+            view.TypedSection<CompressedRankPool::SkipEntry>(kSecLoutSkip),
+            view.Section(kSecLoutData), meta.lout_entries,
+            meta.block_entries) ||
+        lout_cpool_.NumVertices() != n) {
+      return {LoadStatus::kCorrupt, "Lout block sections: malformed"};
+    }
+  } else {
+    const std::span<const uint32_t> lin_entries =
+        view.TypedSection<uint32_t>(kSecLinEntries);
+    const std::span<const uint32_t> lout_entries =
+        view.TypedSection<uint32_t>(kSecLoutEntries);
+    if (lin_entries.size() != meta.lin_entries ||
+        lout_entries.size() != meta.lout_entries) {
+      return {LoadStatus::kCorrupt, "entry sections: size mismatch"};
+    }
+    if (!lin_pool_.SealFromView(view.TypedSection<uint64_t>(kSecLinOffsets),
+                                lin_entries) ||
+        lin_pool_.NumVertices() != n) {
+      return {LoadStatus::kCorrupt, "Lin offsets: malformed CSR"};
+    }
+    if (!lout_pool_.SealFromView(
+            view.TypedSection<uint64_t>(kSecLoutOffsets), lout_entries) ||
+        lout_pool_.NumVertices() != n) {
+      return {LoadStatus::kCorrupt, "Lout offsets: malformed CSR"};
+    }
+  }
+
+  rank_.assign(rank.begin(), rank.end());
+  by_rank_.assign(by_rank.begin(), by_rank.end());
+  graph_ = nullptr;
+  extra_out_.clear();
+  extra_in_.clear();
+  delta_lin_.clear();
+  has_delta_ = false;
+  budget_exceeded_ = false;
+  mapping_ = std::move(file);  // pool views point into this mapping
+  const size_t flat_equivalent =
+      2 * (static_cast<size_t>(n) + 1) * sizeof(uint64_t) +
+      static_cast<size_t>(meta.lin_entries + meta.lout_entries) *
+          sizeof(uint32_t);
+  PublishStorageGauges(flat_equivalent);
+  return LoadResult{};
 }
 
 std::string PrunedTwoHop::Name() const {

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/label_pool.h"
+#include "core/mapped_file.h"
 #include "core/reachability_index.h"
 #include "core/search_workspace.h"
 #include "core/workspace_pool.h"
@@ -62,8 +64,12 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
   /// count (docs/PARALLELISM.md has the argument). 0 = `DefaultThreads()`,
   /// 1 = serial.
   explicit PrunedTwoHop(VertexOrder order = VertexOrder::kDegree,
-                        uint64_t seed = 0x70'6c'6cULL, size_t num_threads = 0)
-      : order_(order), seed_(seed), num_threads_(num_threads) {}
+                        uint64_t seed = 0x70'6c'6cULL, size_t num_threads = 0,
+                        TwoHopStorageOptions storage = {})
+      : order_(order),
+        seed_(seed),
+        num_threads_(num_threads),
+        storage_(storage) {}
 
   void Build(const Digraph& graph) override;
   bool Query(VertexId s, VertexId t) const override;
@@ -99,9 +105,35 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
   /// typed error on malformed input, leaving the index unspecified.
   LoadResult Load(std::istream& in) override;
 
+  /// Writes an RCHX v2 *snapshot file* (docs/SNAPSHOTS.md): the sealed
+  /// pool arrays — flat or compressed, any post-build delta folded in —
+  /// laid out page-aligned behind a section table, so `LoadSnapshot` can
+  /// mmap the file and serve queries straight off the mapping. Unlike
+  /// `Save`, the bytes depend on the storage mode.
+  bool SaveSnapshot(std::ostream& out) const;
+
+  /// Zero-copy restore of a snapshot written by `SaveSnapshot`: the file
+  /// is mmap'd, the section table and pool structure are validated, and
+  /// the sealed pools are pointed directly at the mapping — no copy, no
+  /// reseal. The mapping is held by the index (and released on the next
+  /// `Build`/`Load`/destruction). On failure the result names the
+  /// failing section and byte offset; the index is left unspecified.
+  LoadResult LoadSnapshot(const std::string& path);
+  LoadResult LoadSnapshot(std::shared_ptr<MappedFile> file);
+
   /// Total number of label entries sum |Lin| + |Lout| — the index-size
   /// measure of §3.2.
   size_t TotalLabelEntries() const;
+
+  /// Number of vertices covered by the (built or loaded) labeling.
+  size_t NumIndexedVertices() const { return rank_.size(); }
+
+  /// True when the sealed labels live in block-compressed pools.
+  bool CompressedStorage() const { return compressed_; }
+  /// True when a `budget_mb` bound was requested but even the coarsest
+  /// storage tier exceeds it.
+  bool BudgetExceeded() const { return budget_exceeded_; }
+  const TwoHopStorageOptions& Storage() const { return storage_; }
 
   /// The hop ranks labeling `v` (ascending), for tests / ablation benches:
   /// the sealed pool slice merged with any post-build delta entries.
@@ -124,9 +156,13 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
   // wrapper indexes calling either) routes through.
   bool AnswerQuery(VertexId s, VertexId t) const;
 
+  // Publishes the index.bytes / compression gauges after a (re)seal.
+  void PublishStorageGauges(size_t flat_equivalent_bytes) const;
+
   VertexOrder order_;
   uint64_t seed_;
   size_t num_threads_;
+  TwoHopStorageOptions storage_;
   const Digraph* graph_ = nullptr;
   Digraph owned_graph_;  // used after RemoveEdgeAndRebuild
   std::vector<uint32_t> rank_;       // rank_[v] = order position (0 = first)
@@ -135,9 +171,19 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
   // them into the flat pools and leaves them empty.
   std::vector<std::vector<uint32_t>> lin_;
   std::vector<std::vector<uint32_t>> lout_;
-  // Sealed query-path layout (docs/QUERY_ENGINE.md).
+  // Sealed query-path layout (docs/QUERY_ENGINE.md). Exactly one of the
+  // two representations is live after SealLabels: the flat pools, or —
+  // when `storage_` asks for compression (or the budget forces it) — the
+  // block-compressed pools (`compressed_` says which).
   FlatLabelPool<uint32_t> lin_pool_;
   FlatLabelPool<uint32_t> lout_pool_;
+  CompressedRankPool lin_cpool_;
+  CompressedRankPool lout_cpool_;
+  bool compressed_ = false;
+  bool budget_exceeded_ = false;
+  // Keeps a zero-copy snapshot mapping alive while pool views point
+  // into it (docs/SNAPSHOTS.md lifetime rules).
+  std::shared_ptr<MappedFile> mapping_;
   // Unsealed delta overlay: Lin entries added by InsertEdge after sealing
   // (sorted, disjoint from the pool slice). Empty until the first insert.
   std::vector<std::vector<uint32_t>> delta_lin_;

@@ -148,6 +148,14 @@ class NegativeResultCache {
   size_t NumShards() const { return shard_mask_ + 1; }
   size_t EntriesPerShard() const { return entries_per_shard_; }
 
+  /// Resident bytes of the whole structure (shard headers + slot
+  /// arrays) — the `serve.negcache.bytes` gauge.
+  size_t MemoryBytes() const {
+    return sizeof(*this) +
+           NumShards() * (sizeof(Shard) +
+                          entries_per_shard_ * sizeof(std::atomic<uint64_t>));
+  }
+
  private:
   static constexpr size_t kProbeWindow = 8;
   // (s, t) with s == t == kInvalidVertex; such a pair is never cached

@@ -9,6 +9,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "par/thread_pool.h"
+#include "plain/pruned_two_hop.h"
 
 namespace reach {
 
@@ -131,6 +132,10 @@ ReachService::ReachService(Digraph base, ServiceOptions options)
   version_gauge_ = &reg.GetGauge("serve.snapshot_version");
   pending_gauge_ = &reg.GetGauge("serve.pending_edges");
   latency_hist_ = &reg.GetHistogram("serve.query_ns");
+  reg.GetGauge("serve.negcache.bytes")
+      .Set(negcache_ != nullptr
+               ? static_cast<double>(negcache_->MemoryBytes())
+               : 0.0);
 }
 
 ReachService::~ReachService() { Stop(); }
@@ -140,6 +145,39 @@ void ReachService::Start() {
   if (started_) return;
   started_ = true;
   ScheduleLocked();
+}
+
+LoadResult ReachService::StartWithSnapshot(const std::string& path) {
+  std::lock_guard<std::mutex> lock(rebuild_mu_);
+  if (started_) {
+    return {LoadStatus::kUnsupported, "service already started"};
+  }
+  auto index = MakeIndex(spec_).plain;
+  auto* two_hop = dynamic_cast<PrunedTwoHop*>(index.get());
+  if (two_hop == nullptr) {
+    return {LoadStatus::kUnsupported,
+            "spec '" + spec_ + "' has no snapshot support"};
+  }
+  LoadResult result = two_hop->LoadSnapshot(path);
+  if (!result) return result;
+  if (two_hop->NumIndexedVertices() != num_vertices_) {
+    return {LoadStatus::kWrongIndex,
+            "snapshot covers " +
+                std::to_string(two_hop->NumIndexedVertices()) +
+                " vertices, service has " + std::to_string(num_vertices_)};
+  }
+  auto snap = std::make_shared<ServeSnapshot>();
+  snap->graph = snapshot_.Load()->graph;  // the base graph from the ctor
+  snap->index = std::move(index);
+  const size_t granted = snap->index->PrepareConcurrentQueries(
+      ResolveThreads(options_.slots));
+  snap->slots.Reset(granted);
+  snap->version = next_version_++;
+  const uint64_t published_version = snap->version;
+  snapshot_.Store(std::move(snap));
+  version_gauge_->Set(static_cast<double>(published_version));
+  started_ = true;  // rebuilds are insert-driven from here on
+  return LoadResult{};
 }
 
 void ReachService::Stop() {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/serialize.h"
 #include "graph/digraph.h"
 #include "graph/types.h"
 #include "serve/neg_cache.h"
@@ -181,6 +182,17 @@ class ReachService {
   /// Publishes the startup snapshot (graph only — queries degrade to the
   /// bounded BFS) and schedules the first index build in the background.
   void Start();
+
+  /// Near-instant startup/failover: mmap-loads an RCHX v2 snapshot file
+  /// (docs/SNAPSHOTS.md) written by `PrunedTwoHop::SaveSnapshot` for the
+  /// service's base graph and publishes it as the first indexed snapshot
+  /// — no build, queries are index-backed immediately. The spec must be
+  /// a bare 2-hop spec (`pll`/`tfl`/`tol-*`, no `fastpath` wrapper) and
+  /// the snapshot's vertex count must match the service's; otherwise a
+  /// typed error is returned and the service is left unstarted (a plain
+  /// `Start()` still works). No background rebuild is scheduled until
+  /// inserts accumulate. Not thread-safe with `Start`/`Stop`.
+  LoadResult StartWithSnapshot(const std::string& path);
 
   /// Blocks until the in-flight rebuild (if any) finishes and stops
   /// scheduling new ones. Queries keep working against the last

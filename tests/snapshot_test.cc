@@ -1,0 +1,343 @@
+// RCHX v2 snapshot files (core/serialize.h, docs/SNAPSHOTS.md): zero-copy
+// round-trips on flat and compressed storage, truncation/corruption
+// robustness with section-level diagnostics, and the ReachService
+// mmap-startup path.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mapped_file.h"
+#include "core/serialize.h"
+#include "graph/generators.h"
+#include "plain/pruned_two_hop.h"
+#include "serve/reach_service.h"
+
+namespace reach {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string SnapshotBytes(const PrunedTwoHop& index) {
+  std::ostringstream out(std::ios::binary);
+  EXPECT_TRUE(index.SaveSnapshot(out));
+  return out.str();
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open());
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+void ExpectSameAnswers(const PrunedTwoHop& got, const PrunedTwoHop& want,
+                       VertexId n) {
+  for (VertexId s = 0; s < n; ++s) {
+    for (VertexId t = 0; t < n; ++t) {
+      ASSERT_EQ(got.Query(s, t), want.Query(s, t)) << s << "->" << t;
+    }
+  }
+}
+
+TEST(SnapshotTest, FlatRoundTripPreservesAllAnswers) {
+  const Digraph g = RandomDigraph(70, 300, 3);
+  PrunedTwoHop index;
+  index.Build(g);
+  const std::string path = TempPath("snap_flat.rchx");
+  WriteFile(path, SnapshotBytes(index));
+
+  PrunedTwoHop loaded;
+  const LoadResult result = loaded.LoadSnapshot(path);
+  ASSERT_TRUE(result) << LoadStatusMessage(result);
+  EXPECT_EQ(loaded.NumIndexedVertices(), g.NumVertices());
+  EXPECT_FALSE(loaded.CompressedStorage());
+  EXPECT_EQ(loaded.TotalLabelEntries(), index.TotalLabelEntries());
+  ExpectSameAnswers(loaded, index, g.NumVertices());
+}
+
+TEST(SnapshotTest, CompressedRoundTripPreservesAllAnswers) {
+  const Digraph g = ScaleFreeDag(90, 4, 5);
+  TwoHopStorageOptions storage;
+  storage.compress = true;
+  storage.block_entries = 16;
+  PrunedTwoHop index(VertexOrder::kDegree, 0x70'6c'6cULL, 0, storage);
+  index.Build(g);
+  ASSERT_TRUE(index.CompressedStorage());
+  const std::string path = TempPath("snap_compressed.rchx");
+  WriteFile(path, SnapshotBytes(index));
+
+  PrunedTwoHop loaded;
+  const LoadResult result = loaded.LoadSnapshot(path);
+  ASSERT_TRUE(result) << LoadStatusMessage(result);
+  EXPECT_TRUE(loaded.CompressedStorage());
+  EXPECT_EQ(loaded.TotalLabelEntries(), index.TotalLabelEntries());
+  ExpectSameAnswers(loaded, index, g.NumVertices());
+}
+
+TEST(SnapshotTest, RoundTripFoldsInInsertedEdges) {
+  const Digraph g = RandomDag(60, 200, 7);
+  PrunedTwoHop index;
+  index.Build(g);
+  index.InsertEdge(3, 57);
+  index.InsertEdge(41, 8);
+  const std::string path = TempPath("snap_delta.rchx");
+  WriteFile(path, SnapshotBytes(index));
+
+  PrunedTwoHop loaded;
+  ASSERT_TRUE(loaded.LoadSnapshot(path));
+  // The snapshot captures the post-insert labeling.
+  ExpectSameAnswers(loaded, index, g.NumVertices());
+}
+
+TEST(SnapshotTest, LoadedMappingSurvivesSourceFileHandle) {
+  // The index keeps the mapping alive itself: querying after the loading
+  // scope closed every other handle must still work.
+  const Digraph g = RandomDigraph(40, 150, 11);
+  PrunedTwoHop index;
+  index.Build(g);
+  const std::string path = TempPath("snap_lifetime.rchx");
+  WriteFile(path, SnapshotBytes(index));
+
+  PrunedTwoHop loaded;
+  {
+    std::string error;
+    auto file = MappedFile::Open(path, &error);
+    ASSERT_NE(file, nullptr) << error;
+    ASSERT_TRUE(loaded.LoadSnapshot(std::move(file)));
+  }
+  ExpectSameAnswers(loaded, index, g.NumVertices());
+}
+
+TEST(SnapshotTest, EveryTruncationFailsCleanly) {
+  const Digraph g = RandomDigraph(30, 100, 13);
+  PrunedTwoHop index;
+  index.Build(g);
+  const std::string bytes = SnapshotBytes(index);
+  ASSERT_GT(bytes.size(), 4096u);
+
+  // Exhaustive over the header/table region, sampled over the payload.
+  std::vector<size_t> cuts;
+  for (size_t i = 0; i < 256 && i < bytes.size(); ++i) cuts.push_back(i);
+  for (size_t i = 256; i < bytes.size(); i += 97) cuts.push_back(i);
+  const std::string path = TempPath("snap_truncated.rchx");
+  for (const size_t cut : cuts) {
+    WriteFile(path, bytes.substr(0, cut));
+    PrunedTwoHop loaded;
+    const LoadResult result = loaded.LoadSnapshot(path);
+    EXPECT_FALSE(result) << "prefix of " << cut << " bytes loaded";
+    EXPECT_NE(result.status, LoadStatus::kOk);
+  }
+}
+
+TEST(SnapshotTest, MisalignedSectionTableIsRejectedWithDiagnostics) {
+  const Digraph g = RandomDigraph(30, 100, 17);
+  PrunedTwoHop index;
+  index.Build(g);
+  std::string bytes = SnapshotBytes(index);
+  // Name "pll" -> prelude ends at byte 19, table starts at 24; the first
+  // record's u64 offset lives at bytes [24, 32). Knocking it off its
+  // alignment must be caught by table validation, before any payload use.
+  ASSERT_GT(bytes.size(), 32u);
+  bytes[24] = static_cast<char>(static_cast<uint8_t>(bytes[24]) ^ 0x1);
+  const std::string path = TempPath("snap_misaligned.rchx");
+  WriteFile(path, bytes);
+
+  PrunedTwoHop loaded;
+  const LoadResult result = loaded.LoadSnapshot(path);
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.status, LoadStatus::kCorrupt);
+  EXPECT_NE(result.detail.find("misaligned"), std::string::npos)
+      << result.detail;
+  EXPECT_NE(result.detail.find("at byte"), std::string::npos) << result.detail;
+}
+
+TEST(SnapshotTest, FailureNamesSectionAndOffset) {
+  const Digraph g = RandomDigraph(30, 100, 19);
+  PrunedTwoHop index;
+  index.Build(g);
+  std::string bytes = SnapshotBytes(index);
+  // Shrink the last section by chopping the file tail: the table still
+  // parses, the section bounds check fails with a located diagnostic.
+  const std::string path = TempPath("snap_short_section.rchx");
+  WriteFile(path, bytes.substr(0, bytes.size() - 1));
+
+  PrunedTwoHop loaded;
+  const LoadResult result = loaded.LoadSnapshot(path);
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.status, LoadStatus::kCorrupt);
+  EXPECT_FALSE(result.detail.empty());
+  // The full message is render-ready for logs/CLI.
+  EXPECT_NE(LoadStatusMessage(result).find(LoadStatusMessage(result.status)),
+            std::string::npos);
+}
+
+TEST(SnapshotTest, SnapshotFileHandedToStreamLoadFailsAsBadVersion) {
+  const Digraph g = RandomDigraph(25, 80, 23);
+  PrunedTwoHop index;
+  index.Build(g);
+  std::istringstream in(SnapshotBytes(index), std::ios::binary);
+  PrunedTwoHop loaded;
+  const LoadResult result = loaded.Load(in);
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.status, LoadStatus::kBadVersion);
+}
+
+TEST(SnapshotTest, StreamFileHandedToSnapshotLoadFailsAsBadVersion) {
+  const Digraph g = RandomDigraph(25, 80, 27);
+  PrunedTwoHop index;
+  index.Build(g);
+  std::ostringstream out(std::ios::binary);
+  ASSERT_TRUE(index.Save(out));
+  const std::string path = TempPath("snap_v1_stream.rchx");
+  WriteFile(path, out.str());
+
+  PrunedTwoHop loaded;
+  const LoadResult result = loaded.LoadSnapshot(path);
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.status, LoadStatus::kBadVersion);
+}
+
+TEST(SnapshotTest, WrongFormatNameIsRejected) {
+  SnapshotWriter writer("zzz");
+  const uint32_t payload[] = {1, 2, 3};
+  writer.AddSection(1, payload, sizeof(payload));
+  std::ostringstream out(std::ios::binary);
+  ASSERT_TRUE(writer.WriteTo(out));
+  const std::string bytes = out.str();
+
+  SnapshotView view;
+  const LoadResult result = view.Parse(
+      reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size(), "pll");
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.status, LoadStatus::kWrongIndex);
+  EXPECT_EQ(result.detail, "zzz");
+}
+
+TEST(SnapshotTest, ViewRejectsDuplicateSectionKinds) {
+  SnapshotWriter writer("pll");
+  const uint32_t payload[] = {1, 2, 3};
+  writer.AddSection(7, payload, sizeof(payload));
+  writer.AddSection(7, payload, sizeof(payload));
+  std::ostringstream out(std::ios::binary);
+  ASSERT_TRUE(writer.WriteTo(out));
+  const std::string bytes = out.str();
+
+  SnapshotView view;
+  const LoadResult result = view.Parse(
+      reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size(), "pll");
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.status, LoadStatus::kCorrupt);
+}
+
+TEST(SnapshotTest, SectionsArePageAligned) {
+  SnapshotWriter writer("pll");
+  const uint8_t a[3] = {1, 2, 3};
+  const uint64_t b[5] = {4, 5, 6, 7, 8};
+  writer.AddSection(1, a, sizeof(a));
+  writer.AddSection(2, b, sizeof(b));
+  std::ostringstream out(std::ios::binary);
+  ASSERT_TRUE(writer.WriteTo(out));
+  const std::string bytes = out.str();
+
+  SnapshotView view;
+  ASSERT_TRUE(view.Parse(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size(), "pll"));
+  ASSERT_TRUE(view.Has(1));
+  ASSERT_TRUE(view.Has(2));
+  EXPECT_FALSE(view.Has(3));
+  const auto sec1 = view.Section(1);
+  const auto sec2 = view.Section(2);
+  EXPECT_EQ(
+      (reinterpret_cast<uintptr_t>(sec1.data()) -
+       reinterpret_cast<uintptr_t>(bytes.data())) % kSnapshotPageAlign, 0u);
+  EXPECT_EQ(sec1.size(), sizeof(a));
+  EXPECT_EQ(std::memcmp(sec1.data(), a, sizeof(a)), 0);
+  const auto typed = view.TypedSection<uint64_t>(2);
+  ASSERT_EQ(typed.size(), 5u);
+  EXPECT_EQ(typed[4], 8u);
+  // Size not a multiple of the element type -> empty typed view.
+  EXPECT_TRUE(view.TypedSection<uint64_t>(1).empty());
+}
+
+TEST(ServeSnapshotTest, StartWithSnapshotServesIndexBackedAnswers) {
+  const Digraph g = RandomDigraph(50, 220, 29);
+  PrunedTwoHop oracle;
+  oracle.Build(g);
+  const std::string path = TempPath("snap_serve.rchx");
+  WriteFile(path, SnapshotBytes(oracle));
+
+  ReachService service(g);
+  const LoadResult result = service.StartWithSnapshot(path);
+  ASSERT_TRUE(result) << LoadStatusMessage(result);
+  EXPECT_GT(service.SnapshotVersion(), 0u);
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      const ServeAnswer answer = service.Query(s, t);
+      ASSERT_EQ(answer.reachable, oracle.Query(s, t)) << s << "->" << t;
+      ASSERT_TRUE(answer.exact);
+    }
+  }
+  // No fallback BFS: every answer was index-backed (or negative-cached).
+  EXPECT_EQ(service.stats().fallback_answers.load(), 0u);
+  service.Stop();
+}
+
+TEST(ServeSnapshotTest, StartWithSnapshotAcceptsSubsequentInserts) {
+  const Digraph g = LayeredDag(8, 5, 2, 31);
+  PrunedTwoHop built;
+  built.Build(g);
+  const std::string path = TempPath("snap_serve_insert.rchx");
+  WriteFile(path, SnapshotBytes(built));
+
+  ReachService service(g);
+  ASSERT_TRUE(service.StartWithSnapshot(path));
+  ASSERT_TRUE(service.InsertEdge(1, 0));
+  const ServeAnswer answer = service.Query(1, 0);
+  EXPECT_TRUE(answer.reachable);
+  EXPECT_TRUE(answer.exact);
+  service.Flush();
+  EXPECT_TRUE(service.Query(1, 0).reachable);
+  service.Stop();
+}
+
+TEST(ServeSnapshotTest, VertexCountMismatchIsWrongIndex) {
+  const Digraph small = RandomDigraph(20, 60, 37);
+  PrunedTwoHop index;
+  index.Build(small);
+  const std::string path = TempPath("snap_serve_mismatch.rchx");
+  WriteFile(path, SnapshotBytes(index));
+
+  ReachService service(RandomDigraph(21, 60, 37));
+  const LoadResult result = service.StartWithSnapshot(path);
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.status, LoadStatus::kWrongIndex);
+  EXPECT_NE(result.detail.find("20"), std::string::npos) << result.detail;
+  EXPECT_NE(result.detail.find("21"), std::string::npos) << result.detail;
+  // The failure leaves the service startable the ordinary way.
+  service.Start();
+  service.Flush();
+  EXPECT_EQ(service.Query(0, 0).reachable, true);
+  service.Stop();
+}
+
+TEST(ServeSnapshotTest, MissingFileFailsWithoutStartingService) {
+  ReachService service(Chain(10));
+  const LoadResult result =
+      service.StartWithSnapshot(TempPath("snap_does_not_exist.rchx"));
+  ASSERT_FALSE(result);
+  service.Start();
+  service.Flush();
+  EXPECT_TRUE(service.Query(0, 9).reachable);
+  service.Stop();
+}
+
+}  // namespace
+}  // namespace reach
