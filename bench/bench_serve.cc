@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -318,6 +319,136 @@ void BM_ServeReadThroughput(benchmark::State& state) {
 BENCHMARK(BM_ServeReadThroughput)
     ->ThreadRange(1, 8)
     ->Iterations(20000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Overload mix (docs/ROBUSTNESS.md): reader threads hammer a service
+// whose write stream keeps a fat pending buffer (so admitted full-tier
+// queries pay real delta-closure work), with the admission gate off
+// (Arg 0) vs on (Arg N = max_inflight). The headline counters are the
+// latency percentiles *of admitted queries only*: with the gate on,
+// overload shows up as shed/degraded answers instead of a collapsing
+// p99 — the acceptance criterion is p99_admitted(gated) staying within
+// ~2x of the single-reader unloaded baseline, where the ungated run
+// tails off far worse.
+ReachService* g_ov_service = nullptr;
+std::atomic<bool>* g_ov_stop = nullptr;
+std::thread* g_ov_writer = nullptr;
+std::mutex g_ov_mu;
+std::vector<double> g_ov_latencies;         // admitted queries, merged
+std::atomic<uint64_t> g_ov_answered{0};     // non-shed answers seen
+std::atomic<uint64_t> g_ov_shed{0};
+std::atomic<int> g_ov_pending_merges{0};
+
+void BM_ServeOverloadMix(benchmark::State& state) {
+  constexpr VertexId kN = 1 << 12;
+  const auto max_inflight = static_cast<size_t>(state.range(0));
+  if (state.thread_index() == 0) {
+    ServiceOptions options;
+    options.spec = "pll";
+    options.slots = static_cast<size_t>(state.threads());
+    options.drain_threshold = 64;  // fat enough deltas to cost real work
+    options.max_inflight_queries = max_inflight;
+    g_ov_service = new ReachService(ScaleFreeDag(kN, 3, kSeed), options);
+    g_ov_service->Start();
+    g_ov_service->Flush();
+    g_ov_latencies.clear();
+    g_ov_answered.store(0);
+    g_ov_shed.store(0);
+    g_ov_pending_merges.store(state.threads());
+    g_ov_stop = new std::atomic<bool>{false};
+    g_ov_writer = new std::thread([stop = g_ov_stop, svc = g_ov_service] {
+      Xoshiro256ss rng(kSeed + 4242);
+      while (!stop->load(std::memory_order_relaxed)) {
+        svc->InsertEdge(static_cast<VertexId>(rng.NextBounded(kN)),
+                        static_cast<VertexId>(rng.NextBounded(kN)));
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    });
+  }
+  Xoshiro256ss rng(kSeed + 31 * (state.thread_index() + 1));
+  std::vector<double> local_ns;
+  for (auto _ : state) {
+    const auto s = static_cast<VertexId>(rng.NextBounded(kN));
+    const auto t = static_cast<VertexId>(rng.NextBounded(kN));
+    const auto begin = std::chrono::steady_clock::now();
+    const ServeAnswer answer = g_ov_service->Query(s, t);
+    const auto end = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(answer);
+    if (answer.source == AnswerSource::kShedded) {
+      g_ov_shed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      g_ov_answered.fetch_add(1, std::memory_order_relaxed);
+      local_ns.push_back(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+              .count());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(g_ov_mu);
+    g_ov_latencies.insert(g_ov_latencies.end(), local_ns.begin(),
+                          local_ns.end());
+  }
+  g_ov_pending_merges.fetch_sub(1, std::memory_order_acq_rel);
+  if (state.thread_index() == 0) {
+    // Post-loop code runs per thread with no barrier: wait for every
+    // reader to merge its latencies before computing the percentiles.
+    while (g_ov_pending_merges.load(std::memory_order_acquire) > 0) {
+      std::this_thread::yield();
+    }
+    g_ov_stop->store(true, std::memory_order_relaxed);
+    g_ov_writer->join();
+    g_ov_service->Stop();
+
+    std::sort(g_ov_latencies.begin(), g_ov_latencies.end());
+    const double p50 = Percentile(g_ov_latencies, 0.50);
+    const double p99 = Percentile(g_ov_latencies, 0.99);
+    const double answered =
+        std::max<double>(1.0, static_cast<double>(g_ov_answered.load()));
+    const double shed = static_cast<double>(g_ov_shed.load());
+    const ServeStats& stats = g_ov_service->stats();
+    const double degraded =
+        static_cast<double>(stats.admission_cache_only.load() +
+                            stats.admission_bfs_only.load());
+    state.counters["p50_admitted_ns"] = p50;
+    state.counters["p99_admitted_ns"] = p99;
+    state.counters["shed_rate"] = shed / (answered + shed);
+    state.counters["degraded_rate"] = degraded / answered;
+    state.counters["snapshots"] =
+        static_cast<double>(stats.rebuilds.load());
+
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    const std::string prefix =
+        std::string("bench.serve.overload.") +
+        (state.threads() == 1
+             ? "baseline"
+             : (max_inflight == 0 ? "ungated" : "gated"));
+    registry.GetGauge(prefix + ".p50_admitted_ns").Set(p50);
+    registry.GetGauge(prefix + ".p99_admitted_ns").Set(p99);
+    registry.GetGauge(prefix + ".shed_rate").Set(shed / (answered + shed));
+    registry.GetGauge(prefix + ".degraded_rate").Set(degraded / answered);
+
+    delete g_ov_writer;
+    delete g_ov_stop;
+    delete g_ov_service;
+    g_ov_writer = nullptr;
+    g_ov_stop = nullptr;
+    g_ov_service = nullptr;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// The single-reader unloaded reference first, then the 8-reader overload
+// pair: admission gate off vs capped at 4.
+BENCHMARK(BM_ServeOverloadMix)
+    ->Arg(0)
+    ->Threads(1)
+    ->Iterations(2000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ServeOverloadMix)
+    ->Arg(0)
+    ->Arg(4)
+    ->Threads(8)
+    ->Iterations(2000)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

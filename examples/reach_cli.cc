@@ -11,7 +11,8 @@
 //   reach_cli [--metrics] [--threads N] [--reorder=deg|bfs|none]
 //             --demo [index-spec]
 //   reach_cli [--metrics] [--threads N] [--trace=FILE] [--slow-ms=N]
-//             [--load=FILE] --serve (<edge-list-file> | --demo) [index-spec]
+//             [--load=FILE] [--max-inflight=N] [--max-pending=N]
+//             --serve (<edge-list-file> | --demo) [index-spec]
 //   reach_cli --help     (lists every index spec with its Param knobs)
 //
 // --fastpath wraps the chosen index in the constant-time FastPathIndex
@@ -40,6 +41,13 @@
 // breakdown + probe counters) are dumped to stderr at shutdown.
 // Deadline-degraded queries are captured regardless of N.
 //
+// --max-inflight=N / --max-pending=N (--serve only) arm the overload
+// gates (docs/ROBUSTNESS.md): queries degrade tier by tier and shed once
+// N are in flight; inserts block at N pending edges until a drain makes
+// room. The `health` REPL command prints the readiness snapshot. Under
+// --serve, SIGINT/SIGTERM shut down gracefully: in-flight queries drain
+// and the usual shutdown reports (metrics, trace, slow log) are emitted.
+//
 // --threads N sets the process-wide default parallelism (the shared
 // thread pool that parallel index builds draw from); without it the pool
 // follows REACH_THREADS or the hardware concurrency.
@@ -62,7 +70,9 @@
 // index size, peak build RSS, and the accumulated query probe counters.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -71,6 +81,12 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define REACH_CLI_POSIX 1
+#else
+#define REACH_CLI_POSIX 0
+#endif
 
 #include "core/index_stats.h"
 #include "core/reordering_index.h"
@@ -99,8 +115,8 @@ void PrintUsage(FILE* out, bool roster) {
       "       reach_cli [--metrics] [--threads N] [--reorder=deg|bfs|none] "
       "--demo [index-spec]\n"
       "       reach_cli [--metrics] [--threads N] [--trace=FILE] "
-      "[--slow-ms=N] [--load=SNAPSHOT] --serve (<edge-list> | --demo) "
-      "[index-spec]\n"
+      "[--slow-ms=N] [--load=SNAPSHOT] [--max-inflight=N] "
+      "[--max-pending=N] --serve (<edge-list> | --demo) [index-spec]\n"
       "       reach_cli --help\n");
   if (!roster) return;
   std::fprintf(out,
@@ -175,10 +191,15 @@ int RunPlain(const reach::Digraph& graph, const std::string& spec,
         std::printf(pll->Load(in) ? "loaded %s\n" : "error loading %s\n",
                     path.c_str());
       } else if (first == "snapsave") {
-        std::ofstream out(path, std::ios::binary);
-        std::printf(pll->SaveSnapshot(out) ? "snapshot saved %s\n"
-                                           : "error saving %s\n",
-                    path.c_str());
+        // Atomic path variant: temp file + fsync + rename, so a crash
+        // mid-save never corrupts an existing snapshot at `path`.
+        std::string save_error;
+        if (pll->SaveSnapshot(path, &save_error)) {
+          std::printf("snapshot saved %s\n", path.c_str());
+        } else {
+          std::printf("error saving %s: %s\n", path.c_str(),
+                      save_error.c_str());
+        }
       } else {
         const LoadResult result = pll->LoadSnapshot(path);
         if (result) {
@@ -262,8 +283,73 @@ const char* SourceName(reach::AnswerSource source) {
       return "bfs";
     case reach::AnswerSource::kNegCache:
       return "negcache";
+    case reach::AnswerSource::kShedded:
+      return "shed";
   }
   return "?";
+}
+
+// Last shutdown signal caught by the --serve loop (0 = none). The handler
+// only stores; the read loop notices because the interrupted read makes
+// getline fail (handlers are installed without SA_RESTART).
+std::atomic<int> g_shutdown_signal{0};
+
+extern "C" void HandleShutdownSignal(int sig) {
+  g_shutdown_signal.store(sig, std::memory_order_relaxed);
+}
+
+/// RAII install/restore of SIGINT+SIGTERM graceful-shutdown handlers
+/// around the --serve REPL. On non-POSIX builds this is a no-op (the
+/// default abrupt exit remains).
+class ShutdownSignalScope {
+ public:
+  ShutdownSignalScope() {
+#if REACH_CLI_POSIX
+    struct sigaction action = {};
+    action.sa_handler = HandleShutdownSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // no SA_RESTART: blocked reads must EINTR out
+    ::sigaction(SIGINT, &action, &old_int_);
+    ::sigaction(SIGTERM, &action, &old_term_);
+#endif
+  }
+  ~ShutdownSignalScope() {
+#if REACH_CLI_POSIX
+    ::sigaction(SIGINT, &old_int_, nullptr);
+    ::sigaction(SIGTERM, &old_term_, nullptr);
+#endif
+  }
+  ShutdownSignalScope(const ShutdownSignalScope&) = delete;
+  ShutdownSignalScope& operator=(const ShutdownSignalScope&) = delete;
+
+ private:
+#if REACH_CLI_POSIX
+  struct sigaction old_int_ = {};
+  struct sigaction old_term_ = {};
+#endif
+};
+
+// Prints the service health/readiness snapshot, one field per line.
+void PrintHealth(const reach::ReachService& service) {
+  const reach::ServiceHealth h = service.Health();
+  std::printf(
+      "ready=%s accepting_writes=%s snapshot=v%llu\n"
+      "pending=%zu/%zu (%.0f%%) inflight=%zu/%zu (%.0f%%)\n"
+      "rebuild=%s consecutive_failures=%llu retries=%llu failures=%llu "
+      "watchdog=%llu shed=%llu\n",
+      h.ready ? "true" : "false", h.accepting_writes ? "true" : "false",
+      static_cast<unsigned long long>(h.snapshot_version), h.pending_edges,
+      h.max_pending_edges, h.pending_fill * 100.0, h.inflight_queries,
+      h.max_inflight_queries, h.inflight_fill * 100.0,
+      reach::RebuildStateName(h.rebuild),
+      static_cast<unsigned long long>(h.rebuild_consecutive_failures),
+      static_cast<unsigned long long>(h.rebuild_retries),
+      static_cast<unsigned long long>(h.rebuild_failures),
+      static_cast<unsigned long long>(h.watchdog_fired),
+      static_cast<unsigned long long>(h.shed));
+  if (!h.last_rebuild_error.empty()) {
+    std::printf("last_rebuild_error=%s\n", h.last_rebuild_error.c_str());
+  }
 }
 
 // Dumps the retained slow queries, one line per record, to stderr.
@@ -296,10 +382,13 @@ void DumpSlowQueries(const reach::ReachService& service) {
 }
 
 int RunServe(const reach::Digraph& graph, const std::string& spec,
-             bool metrics, double slow_ms, const std::string& load_path) {
+             bool metrics, double slow_ms, const std::string& load_path,
+             size_t max_inflight, size_t max_pending) {
   using namespace reach;
   ServiceOptions options;
   options.spec = spec;
+  options.max_inflight_queries = max_inflight;
+  options.max_pending_edges = max_pending;
   if (slow_ms >= 0) {
     // Clamp to 1ns: --slow-ms=0 means "capture every query", and a 0ns
     // threshold would disable capture instead.
@@ -325,14 +414,25 @@ int RunServe(const reach::Digraph& graph, const std::string& spec,
                "serving %zu vertices / %zu edges with '%s'; commands:\n"
                "  <s> <t>    query  (prints: <answer> <source> v<snapshot>)\n"
                "  + <s> <t>  insert edge\n"
-               "  flush      absorb pending inserts into a new snapshot\n",
+               "  flush      absorb pending inserts into a new snapshot\n"
+               "  health     print the readiness/health snapshot\n",
                graph.NumVertices(), graph.NumEdges(), spec.c_str());
 
+  // Graceful SIGINT/SIGTERM: the handler interrupts the blocked getline,
+  // the loop exits, and the normal shutdown path below still runs —
+  // queries drain, the rebuild loop stops, and every report (metrics,
+  // trace, slow-query log) is emitted as on EOF.
+  ShutdownSignalScope signal_scope;
   std::string line;
-  while (std::getline(std::cin, line)) {
+  while (g_shutdown_signal.load(std::memory_order_relaxed) == 0 &&
+         std::getline(std::cin, line)) {
     std::istringstream fields(line);
     std::string first;
     if (!(fields >> first)) continue;
+    if (first == "health") {
+      PrintHealth(service);
+      continue;
+    }
     if (first == "flush") {
       service.Flush();
       std::printf("flushed; snapshot v%llu\n",
@@ -365,6 +465,11 @@ int RunServe(const reach::Digraph& graph, const std::string& spec,
     std::printf("%s%s %s v%llu\n", answer.reachable ? "true" : "false",
                 answer.exact ? "" : "?", SourceName(answer.source),
                 static_cast<unsigned long long>(answer.snapshot_version));
+  }
+  const int caught = g_shutdown_signal.load(std::memory_order_relaxed);
+  if (caught != 0) {
+    std::fprintf(stderr, "caught %s, shutting down gracefully\n",
+                 caught == SIGINT ? "SIGINT" : "SIGTERM");
   }
   service.Stop();
   const ServeStats& stats = service.stats();
@@ -407,6 +512,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string load_path;
   double slow_ms = -1;
+  size_t max_inflight = 0;
+  size_t max_pending = 0;
   ReorderStrategy reorder = ReorderStrategy::kNone;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
@@ -443,6 +550,28 @@ int main(int argc, char** argv) {
                      "error: --slow-ms needs a non-negative number\n");
         return 1;
       }
+    } else if (std::strncmp(argv[i], "--max-inflight=", 15) == 0) {
+      try {
+        max_inflight = std::stoul(argv[i] + 15);
+      } catch (...) {
+        max_inflight = 0;
+      }
+      if (max_inflight == 0) {
+        std::fprintf(stderr,
+                     "error: --max-inflight needs a positive integer\n");
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--max-pending=", 14) == 0) {
+      try {
+        max_pending = std::stoul(argv[i] + 14);
+      } catch (...) {
+        max_pending = 0;
+      }
+      if (max_pending == 0) {
+        std::fprintf(stderr,
+                     "error: --max-pending needs a positive integer\n");
+        return 1;
+      }
     } else if (std::strncmp(argv[i], "--reorder=", 10) == 0) {
       const auto parsed = ParseReorderStrategy(argv[i] + 10);
       if (!parsed) {
@@ -471,6 +600,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --load only applies with --serve\n");
     return 1;
   }
+  if ((max_inflight > 0 || max_pending > 0) && !serve) {
+    std::fprintf(stderr,
+                 "error: --max-inflight/--max-pending only apply with "
+                 "--serve\n");
+    return 1;
+  }
   if (!trace_path.empty()) {
     if (!kMetricsCompiled) {
       std::fprintf(stderr,
@@ -497,7 +632,7 @@ int main(int argc, char** argv) {
           with_fastpath(args.size() > 1 ? args[1] : "pll");
       if (serve) {
         return RunServe(ScaleFreeDag(10000, 3, 1), spec, metrics, slow_ms,
-                        load_path);
+                        load_path, max_inflight, max_pending);
       }
       return RunPlain(ScaleFreeDag(10000, 3, 1), spec, metrics, reorder);
     }
@@ -525,7 +660,8 @@ int main(int argc, char** argv) {
       const std::string spec =
           with_fastpath(args.size() > 1 ? args[1] : "pll");
       if (serve) {
-        return RunServe(*graph, spec, metrics, slow_ms, load_path);
+        return RunServe(*graph, spec, metrics, slow_ms, load_path,
+                        max_inflight, max_pending);
       }
       return RunPlain(*graph, spec, metrics, reorder);
     }

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "core/failpoint.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define REACH_MAPPED_FILE_POSIX 1
 #include <fcntl.h>
@@ -22,12 +24,67 @@ void SetError(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
 }
 
+#if REACH_MAPPED_FILE_POSIX
+// Fills `dest` from `fd`, retrying interrupted syscalls and accumulating
+// short reads — ::read may legally return fewer bytes than asked on
+// signals, pipes-backed mounts, or large requests. Chaos builds inject
+// EINTR / short reads / hard errors through "mapped_file.read". Returns
+// false with errno-style detail in `*error` on a real failure or when the
+// file ends before `size` bytes (it shrank between fstat and here).
+bool ReadFully(int fd, uint8_t* dest, size_t size, const std::string& path,
+               std::string* error) {
+  size_t off = 0;
+  while (off < size) {
+    size_t want = size - off;
+    bool injected_eintr = false;
+    if (const FailpointHit fault = REACH_FAILPOINT("mapped_file.read")) {
+      if (fault.action == FailpointAction::kError) {
+        SetError(error, path + ": read: injected failure");
+        return false;
+      }
+      if (fault.action == FailpointAction::kEintr) {
+        injected_eintr = true;
+      } else if (fault.action == FailpointAction::kPartial &&
+                 fault.arg > 0 && fault.arg < want) {
+        want = fault.arg;  // force the short-read accumulation loop
+      }
+    }
+    ssize_t n;
+    if (injected_eintr) {
+      errno = EINTR;
+      n = -1;
+    } else {
+      n = ::read(fd, dest + off, want);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted: retry the same range
+      SetError(error, path + ": read: " + std::strerror(errno));
+      return false;
+    }
+    if (n == 0) {
+      SetError(error, path + ": short read (file truncated mid-open, " +
+                          std::to_string(off) + " of " +
+                          std::to_string(size) + " bytes)");
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+#endif
+
 }  // namespace
 
 std::shared_ptr<MappedFile> MappedFile::Open(const std::string& path,
-                                             std::string* error) {
+                                             std::string* error,
+                                             Mode mode) {
   // make_shared needs a public constructor; hand-roll instead.
   std::shared_ptr<MappedFile> file(new MappedFile());
+  if (REACH_FAILPOINT("mapped_file.open").action ==
+      FailpointAction::kError) {
+    SetError(error, path + ": open: injected failure");
+    return nullptr;
+  }
 #if REACH_MAPPED_FILE_POSIX
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
@@ -45,18 +102,35 @@ std::shared_ptr<MappedFile> MappedFile::Open(const std::string& path,
     ::close(fd);
     return file;  // empty file: valid zero-byte view, nothing to map
   }
-  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-  ::close(fd);
-  if (addr == MAP_FAILED) {
-    SetError(error, path + ": mmap: " + std::strerror(errno));
+  bool try_mmap = mode == Mode::kAuto;
+  if (try_mmap && REACH_FAILPOINT("mapped_file.mmap").action ==
+                      FailpointAction::kError) {
+    try_mmap = false;  // injected mmap failure: exercise the fallback
+  }
+  if (try_mmap) {
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr != MAP_FAILED) {
+      ::close(fd);
+      file->map_addr_ = addr;
+      file->data_ = static_cast<const uint8_t*>(addr);
+      file->size_ = size;
+      file->mapped_ = true;
+      return file;
+    }
+    // Real mmap failure: fall through to the buffered read below — the
+    // caller still gets a byte-identical view, just not zero-copy.
+  }
+  file->fallback_.resize(size);
+  if (!ReadFully(fd, file->fallback_.data(), size, path, error)) {
+    ::close(fd);
     return nullptr;
   }
-  file->map_addr_ = addr;
-  file->data_ = static_cast<const uint8_t*>(addr);
-  file->size_ = size;
-  file->mapped_ = true;
+  ::close(fd);
+  file->data_ = file->fallback_.data();
+  file->size_ = file->fallback_.size();
   return file;
 #else
+  (void)mode;  // no mmap here: every open is the buffered path already
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
     SetError(error, path + ": cannot open");

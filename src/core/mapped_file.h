@@ -17,10 +17,25 @@ namespace reach {
 /// pool views) must hold a reference to keep it alive.
 class MappedFile {
  public:
+  /// How `Open` produces the bytes.
+  enum class Mode : uint8_t {
+    /// mmap the file; if mmap itself fails (filesystem without mmap
+    /// support, address-space pressure), fall back to the buffered read
+    /// path transparently.
+    kAuto,
+    /// Skip mmap entirely and read the file into an owned buffer — the
+    /// fallback path, forced. Used by tests and odd filesystems; callers
+    /// see the identical interface, `IsMapped()` reports false.
+    kRead,
+  };
+
   /// Maps `path` read-only. Returns nullptr on failure with a short
-  /// reason in `*error` (when non-null).
+  /// reason in `*error` (when non-null). The buffered-read path retries
+  /// interrupted reads (EINTR) and accumulates short reads; a file that
+  /// shrinks mid-read fails cleanly instead of returning torn bytes.
   static std::shared_ptr<MappedFile> Open(const std::string& path,
-                                          std::string* error = nullptr);
+                                          std::string* error = nullptr,
+                                          Mode mode = Mode::kAuto);
 
   ~MappedFile();
   MappedFile(const MappedFile&) = delete;

@@ -1,8 +1,21 @@
 #include "core/serialize.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <istream>
 #include <ostream>
+
+#include "core/failpoint.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define REACH_SERIALIZE_POSIX 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define REACH_SERIALIZE_POSIX 0
+#endif
 
 namespace reach {
 
@@ -123,14 +136,90 @@ bool SnapshotWriter::WriteTo(std::ostream& out) const {
   }
   uint64_t written =
       table_offset + table.size() * sizeof(SnapshotSectionRecord);
+  // Fault injection (chaos builds only): evaluated after the header and
+  // table are out, so an injected error/truncation/stall produces exactly
+  // the torn-payload shape a crash mid-write would — the shape
+  // WriteFileAtomic must keep away from the target path and the validated
+  // reader must reject.
+  const FailpointHit fault = REACH_FAILPOINT("snapshot.write");
+  if (fault.action == FailpointAction::kError) {
+    out.setstate(std::ios_base::failbit);
+    return false;
+  }
+  uint64_t budget = fault.action == FailpointAction::kPartial
+                        ? fault.arg
+                        : UINT64_MAX;
+  const auto put = [&](const void* data, uint64_t bytes) {
+    if (bytes > budget) {  // injected short write: truncate and fail
+      WriteBytes(out, data, budget);
+      budget = 0;
+      out.setstate(std::ios_base::failbit);
+      return false;
+    }
+    budget -= bytes;
+    WriteBytes(out, data, bytes);
+    return static_cast<bool>(out);
+  };
   for (size_t i = 0; i < sections_.size(); ++i) {
-    WriteBytes(out, kZeros, table[i].offset - written);
-    if (sections_[i].size != 0) {
-      WriteBytes(out, sections_[i].data, sections_[i].size);
+    if (!put(kZeros, table[i].offset - written)) return false;
+    if (sections_[i].size != 0 &&
+        !put(sections_[i].data, sections_[i].size)) {
+      return false;
     }
     written = table[i].offset + sections_[i].size;
   }
   return static_cast<bool>(out);
+}
+
+bool WriteFileAtomic(const std::string& path,
+                     const std::function<bool(std::ostream&)>& write,
+                     std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = path + ": " + message;
+    return false;
+  };
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return fail("cannot open temp file " + tmp);
+    if (!write(out) || !out.flush()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return fail("write failed (target untouched)");
+    }
+  }
+#if REACH_SERIALIZE_POSIX
+  // Durability order: data to disk, then the rename, then the directory
+  // entry — a crash between any two steps leaves old-or-new, never torn.
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd < 0 || ::fsync(fd) != 0) {
+    if (fd >= 0) ::close(fd);
+    std::remove(tmp.c_str());
+    return fail("fsync failed: " + std::string(std::strerror(errno)));
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return fail("rename failed: " + std::string(std::strerror(errno)));
+  }
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY);
+  if (dir_fd >= 0) {  // best-effort: some filesystems refuse dir fsync
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return true;
+#else
+  std::remove(path.c_str());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return fail("rename failed");
+  }
+  return true;
+#endif
 }
 
 LoadResult SnapshotView::Parse(const uint8_t* data, size_t size,

@@ -2,6 +2,7 @@
 #define REACH_CORE_SERIALIZE_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <span>
 #include <string>
@@ -161,6 +162,18 @@ class SnapshotView {
   const uint8_t* base_ = nullptr;
   std::vector<SnapshotSectionRecord> table_;
 };
+
+/// Crash-safe file replacement: streams `write` into `path + ".tmp"`,
+/// flushes and fsyncs the temp file, atomically renames it over `path`,
+/// then fsyncs the parent directory. A crash (or injected failure) at any
+/// point leaves `path` either untouched or fully replaced — readers can
+/// never observe a torn file, which is what lets the validated snapshot
+/// reader trust whatever it mmaps (docs/ROBUSTNESS.md). On failure the
+/// temp file is removed best-effort and `path` keeps its old bytes.
+/// Non-POSIX builds fall back to plain rename (atomicity best-effort).
+bool WriteFileAtomic(const std::string& path,
+                     const std::function<bool(std::ostream&)>& write,
+                     std::string* error = nullptr);
 
 namespace serialize_detail {
 

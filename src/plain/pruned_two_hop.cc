@@ -809,6 +809,12 @@ bool PrunedTwoHop::SaveSnapshot(std::ostream& out) const {
   return writer.WriteTo(out);
 }
 
+bool PrunedTwoHop::SaveSnapshot(const std::string& path,
+                                std::string* error) const {
+  return WriteFileAtomic(
+      path, [this](std::ostream& out) { return SaveSnapshot(out); }, error);
+}
+
 LoadResult PrunedTwoHop::LoadSnapshot(const std::string& path) {
   std::string error;
   std::shared_ptr<MappedFile> file = MappedFile::Open(path, &error);

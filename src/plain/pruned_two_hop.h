@@ -112,6 +112,13 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
   /// `Save`, the bytes depend on the storage mode.
   bool SaveSnapshot(std::ostream& out) const;
 
+  /// Crash-safe snapshot write to a file: the stream form above routed
+  /// through `WriteFileAtomic` (temp file + fsync + atomic rename), so a
+  /// crash or failure mid-write can never tear an existing snapshot at
+  /// `path` — it keeps its old bytes until the new ones are durable.
+  bool SaveSnapshot(const std::string& path,
+                    std::string* error = nullptr) const;
+
   /// Zero-copy restore of a snapshot written by `SaveSnapshot`: the file
   /// is mmap'd, the section table and pool structure are validated, and
   /// the sealed pools are pointed directly at the mapping — no copy, no

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 #include <optional>
 #include <utility>
 
+#include "core/failpoint.h"
 #include "core/index_factory.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
@@ -65,6 +67,32 @@ class StageScope {
 };
 
 }  // namespace
+
+const char* BackpressurePolicyName(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock:
+      return "block";
+    case BackpressurePolicy::kReject:
+      return "reject";
+    case BackpressurePolicy::kForceRebuild:
+      return "force_rebuild";
+  }
+  return "?";
+}
+
+const char* RebuildStateName(RebuildState state) {
+  switch (state) {
+    case RebuildState::kIdle:
+      return "idle";
+    case RebuildState::kRunning:
+      return "running";
+    case RebuildState::kBackoff:
+      return "backoff";
+    case RebuildState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
 
 const char* ServeStageName(size_t stage) {
   switch (static_cast<ServeStage>(stage)) {
@@ -129,8 +157,21 @@ ReachService::ReachService(Digraph base, ServiceOptions options)
   negcache_miss_counter_ = &reg.GetCounter("serve.negcache.miss");
   negcache_evict_counter_ = &reg.GetCounter("serve.negcache.evict");
   negcache_invalidate_counter_ = &reg.GetCounter("serve.negcache.invalidate");
+  shed_counter_ = &reg.GetCounter("serve.shed");
+  admission_cache_counter_ = &reg.GetCounter("serve.admission.cache_only");
+  admission_bfs_counter_ = &reg.GetCounter("serve.admission.bfs_only");
+  bp_blocked_counter_ = &reg.GetCounter("serve.backpressure.blocked");
+  bp_rejected_counter_ = &reg.GetCounter("serve.backpressure.rejected");
+  bp_forced_counter_ = &reg.GetCounter("serve.backpressure.forced");
+  rebuild_failure_counter_ = &reg.GetCounter("serve.rebuild.failures");
+  rebuild_retry_counter_ = &reg.GetCounter("serve.rebuild.retries");
+  watchdog_counter_ = &reg.GetCounter("serve.rebuild.watchdog_fired");
   version_gauge_ = &reg.GetGauge("serve.snapshot_version");
   pending_gauge_ = &reg.GetGauge("serve.pending_edges");
+  health_ready_gauge_ = &reg.GetGauge("serve.health.ready");
+  health_state_gauge_ = &reg.GetGauge("serve.health.rebuild_state");
+  health_pending_fill_gauge_ = &reg.GetGauge("serve.health.pending_fill");
+  health_inflight_fill_gauge_ = &reg.GetGauge("serve.health.inflight_fill");
   latency_hist_ = &reg.GetHistogram("serve.query_ns");
   reg.GetGauge("serve.negcache.bytes")
       .Set(negcache_ != nullptr
@@ -182,7 +223,14 @@ LoadResult ReachService::StartWithSnapshot(const std::string& path) {
 
 void ReachService::Stop() {
   stopped_.store(true, std::memory_order_seq_cst);
+  {
+    // Holding write_mu_ for the notify closes the race with a kBlock
+    // writer between its predicate check and its wait.
+    std::lock_guard<std::mutex> wl(write_mu_);
+    backpressure_cv_.notify_all();
+  }
   std::unique_lock<std::mutex> lock(rebuild_mu_);
+  rebuild_cv_.notify_all();  // wake a backoff sleeper so it exits early
   rebuild_cv_.wait(lock, [&] { return !rebuild_inflight_; });
 }
 
@@ -190,8 +238,44 @@ bool ReachService::InsertEdge(VertexId s, VertexId t) {
   if (s >= num_vertices_ || t >= num_vertices_) return false;
   if (stopped_.load(std::memory_order_relaxed)) return false;
   size_t pending_count = 0;
+  bool force_schedule = false;
   {
-    std::lock_guard<std::mutex> lock(write_mu_);
+    std::unique_lock<std::mutex> lock(write_mu_);
+    const size_t cap = options_.max_pending_edges;
+    if (cap > 0 && pending_.Load()->size() >= cap) {
+      switch (options_.backpressure) {
+        case BackpressurePolicy::kReject:
+          stats_.backpressure_rejected.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          bp_rejected_counter_->Add();
+          return false;
+        case BackpressurePolicy::kForceRebuild:
+          // Accept past the cap; the forced drain pulls it back under.
+          stats_.backpressure_forced.fetch_add(1, std::memory_order_relaxed);
+          bp_forced_counter_->Add();
+          force_schedule = true;
+          break;
+        case BackpressurePolicy::kBlock: {
+          stats_.backpressure_blocked.fetch_add(1,
+                                                std::memory_order_relaxed);
+          bp_blocked_counter_->Add();
+          // Re-schedule on every wakeup that still finds the buffer full:
+          // the drain that made room may have stopped before racing
+          // writers refilled it. (write_mu_ -> rebuild_mu_ is the
+          // established lock order; the reverse never happens.)
+          while (!stopped_.load(std::memory_order_relaxed) &&
+                 pending_.Load()->size() >= cap) {
+            {
+              std::lock_guard<std::mutex> rl(rebuild_mu_);
+              ScheduleLocked();
+            }
+            backpressure_cv_.wait(lock);
+          }
+          if (stopped_.load(std::memory_order_relaxed)) return false;
+          break;
+        }
+      }
+    }
     const auto cur = pending_.Load();
     auto next = std::make_shared<PendingEdges>();
     next->reserve(cur->size() + 1);
@@ -211,7 +295,7 @@ bool ReachService::InsertEdge(VertexId s, VertexId t) {
     stats_.negcache_invalidations.fetch_add(1, std::memory_order_relaxed);
     negcache_invalidate_counter_->Add();
   }
-  if (pending_count >= options_.drain_threshold) {
+  if (force_schedule || pending_count >= options_.drain_threshold) {
     std::lock_guard<std::mutex> lock(rebuild_mu_);
     ScheduleLocked();
   }
@@ -246,32 +330,128 @@ void ReachService::ScheduleLocked() {
 }
 
 void ReachService::RebuildLoop() {
+  size_t consecutive_failures = 0;
   for (;;) {
     REACH_TRACE_SPAN("serve.rebuild");
+    SetRebuildState(RebuildState::kRunning);
     // Everything pending *now* goes into this generation; inserts racing
     // past this load stay pending (the list only ever grows by append,
-    // so the drained list is a prefix of every later list).
+    // so the drained list is a prefix of every later list). A retry
+    // re-loads here, so a re-queued drain picks up newly arrived edges.
     const auto drained = pending_.Load();
     {
       std::lock_guard<std::mutex> lock(rebuild_mu_);
       flush_requested_ = false;
     }
 
+    const Clock::time_point attempt_start = Clock::now();
+    const bool watchdog_on = options_.rebuild_watchdog.count() > 0;
     auto snap = std::make_shared<ServeSnapshot>();
-    {
-      REACH_TRACE_SPAN("serve.rebuild.graph");
-      std::vector<Edge> edges = base_edges_;
-      edges.insert(edges.end(), drained->begin(), drained->end());
-      snap->graph = Digraph::FromEdges(static_cast<VertexId>(num_vertices_),
-                                       std::move(edges));
+    bool failed = false;
+    bool stalled = false;
+    std::string error;
+    try {
+      // Chaos site: `error` simulates an organic build failure (OOM, bad
+      // allocator, index bug); `delay` stalls the attempt so the
+      // watchdog path is reachable deterministically.
+      if (REACH_FAILPOINT("serve.rebuild").action ==
+          FailpointAction::kError) {
+        throw FailpointError("failpoint serve.rebuild");
+      }
+      {
+        REACH_TRACE_SPAN("serve.rebuild.graph");
+        std::vector<Edge> edges = base_edges_;
+        edges.insert(edges.end(), drained->begin(), drained->end());
+        snap->graph = Digraph::FromEdges(
+            static_cast<VertexId>(num_vertices_), std::move(edges));
+      }
+      // Cooperative watchdog checkpoint, placed where abandoning still
+      // saves real work (the index build dominates): an attempt already
+      // past its deadline is re-queued instead of building on. Once the
+      // index build starts it runs to completion — a finished index is
+      // published even if late, since discarding it helps nobody.
+      if (watchdog_on &&
+          Clock::now() - attempt_start > options_.rebuild_watchdog) {
+        stalled = true;
+      } else {
+        // The index must be built against the graph at its final address
+        // — partial indexes keep a pointer into it for guided traversal.
+        REACH_TRACE_SPAN("serve.rebuild.index");
+        snap->index = MakeIndex(spec_).plain;
+        snap->index->Build(snap->graph);
+      }
+    } catch (const std::exception& e) {
+      failed = true;
+      error = e.what();
+    } catch (...) {
+      failed = true;
+      error = "unknown rebuild exception";
     }
-    {
-      // The index must be built against the graph at its final address —
-      // partial indexes keep a pointer into it for guided traversal.
-      REACH_TRACE_SPAN("serve.rebuild.index");
-      snap->index = MakeIndex(spec_).plain;
-      snap->index->Build(snap->graph);
+    if (stalled) {
+      failed = true;
+      error = "watchdog: drain attempt exceeded deadline, re-queued";
+      stats_.watchdog_fired.fetch_add(1, std::memory_order_relaxed);
+      watchdog_counter_->Add();
     }
+    if (failed) {
+      snap.reset();  // the last good snapshot keeps serving, untouched
+      ++consecutive_failures;
+      NoteRebuildFailure(error, consecutive_failures);
+      if (consecutive_failures > options_.rebuild_max_retries) {
+        // Retries exhausted: abandon the drain. Pending edges stay put —
+        // queries still answer them exactly via the delta closure — and
+        // the next InsertEdge/Flush schedules a fresh loop.
+        SetRebuildState(RebuildState::kFailed);
+        // Exit handshake. A writer parked on kBlock backpressure may
+        // have no-op'd its ScheduleLocked against this (then in-flight)
+        // drain; wake it under write_mu_ (taken before rebuild_mu_, the
+        // established order) so the notify can't land between its no-op
+        // and its wait, and so that when it re-runs ScheduleLocked the
+        // in-flight flag is already down. Clearing the flag is the LAST
+        // touch of `this`: the instant a Stop()/join()er observes it,
+        // the service may be destroyed, so nothing below may follow the
+        // final unlock.
+        std::unique_lock<std::mutex> wl(write_mu_);
+        std::unique_lock<std::mutex> rl(rebuild_mu_);
+        backpressure_cv_.notify_all();
+        wl.unlock();
+        rebuild_inflight_ = false;
+        rebuild_cv_.notify_all();
+        rl.unlock();
+        return;
+      }
+      SetRebuildState(RebuildState::kBackoff);
+      // Exponential backoff, capped, with ±50% deterministic jitter so
+      // co-located services don't retry in lockstep. Interruptible by
+      // Stop().
+      Clock::duration backoff = options_.rebuild_backoff_initial;
+      for (size_t i = 1; i < consecutive_failures &&
+                         backoff < options_.rebuild_backoff_max;
+           ++i) {
+        backoff *= 2;
+      }
+      backoff = std::min<Clock::duration>(backoff,
+                                          options_.rebuild_backoff_max);
+      backoff = std::chrono::duration_cast<Clock::duration>(
+          backoff * (0.5 + backoff_rng_.NextDouble()));
+      {
+        std::unique_lock<std::mutex> lock(rebuild_mu_);
+        rebuild_cv_.wait_for(lock, backoff, [&] {
+          return stopped_.load(std::memory_order_relaxed);
+        });
+        if (stopped_.load(std::memory_order_relaxed)) {
+          SetRebuildState(RebuildState::kIdle);
+          rebuild_inflight_ = false;
+          rebuild_cv_.notify_all();
+          return;
+        }
+      }
+      stats_.rebuild_retries.fetch_add(1, std::memory_order_relaxed);
+      rebuild_retry_counter_->Add();
+      continue;
+    }
+    consecutive_failures = 0;
+    rebuild_consecutive_failures_.store(0, std::memory_order_relaxed);
     const size_t granted = snap->index->PrepareConcurrentQueries(
         ResolveThreads(options_.slots));
     snap->slots.Reset(granted);
@@ -303,30 +483,90 @@ void ReachService::RebuildLoop() {
           cur->begin() + static_cast<ptrdiff_t>(drained->size()), cur->end());
       left = next->size();
       pending_.Store(std::move(next));
+      // Room just opened: release writers parked on kBlock backpressure.
+      backpressure_cv_.notify_all();
     }
     pending_gauge_->Set(static_cast<double>(left));
+    health_ready_gauge_->Set(1.0);
     stats_.rebuilds.fetch_add(1, std::memory_order_relaxed);
     rebuild_counter_->Add();
 
     {
-      std::lock_guard<std::mutex> lock(rebuild_mu_);
+      // Exit handshake, same shape as the retries-exhausted one above: a
+      // writer that refilled the buffer right after the trim saw this
+      // drain still in flight, skipped scheduling, and parked — wake it
+      // under write_mu_ (before rebuild_mu_, the established order) so
+      // its re-run ScheduleLocked finds the in-flight flag already down.
+      // Clearing the flag must be the LAST touch of `this`: a
+      // Stop()/join()er that observes it may destroy the service.
+      std::unique_lock<std::mutex> wl(write_mu_);
+      std::unique_lock<std::mutex> rl(rebuild_mu_);
       const bool more = !stopped_.load(std::memory_order_relaxed) &&
                         (left >= options_.drain_threshold ||
                          (flush_requested_ && left > 0));
-      if (!more) {
-        rebuild_inflight_ = false;
-        rebuild_cv_.notify_all();
-        return;
-      }
+      if (more) continue;
+      SetRebuildState(RebuildState::kIdle);
+      backpressure_cv_.notify_all();
+      wl.unlock();
+      rebuild_inflight_ = false;
+      rebuild_cv_.notify_all();
+      rl.unlock();
+      return;
     }
   }
 }
+
+/// RAII registration in the in-flight count that AdmitTier reads. The
+/// count includes this query — the first query under cap m sees 1.
+class ReachService::InflightGuard {
+ public:
+  explicit InflightGuard(const ReachService& service) : service_(service) {
+    now_ = service_.inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  ~InflightGuard() {
+    service_.inflight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+  size_t now() const { return now_; }
+
+ private:
+  const ReachService& service_;
+  size_t now_;
+};
 
 ServeAnswer ReachService::Query(VertexId s, VertexId t) const {
   REACH_TRACE_SPAN("serve.query");
   const Clock::time_point start = Clock::now();
   stats_.queries.fetch_add(1, std::memory_order_relaxed);
   queries_counter_->Add();
+
+  InflightGuard inflight(*this);
+  // Chaos site, inside the in-flight window on purpose: `delay(ms=N)`
+  // stretches every query to simulate slow readers, which is how tests
+  // push the admission gate into degradation and shedding.
+  REACH_FAILPOINT("serve.query");
+  const AdmissionTier tier = AdmitTier(inflight.now());
+  if (tier == AdmissionTier::kShed) {
+    // Over capacity: answer nothing rather than queue into collapse. The
+    // shed reply is O(1), explicitly inexact, and never cached.
+    stats_.shed.fetch_add(1, std::memory_order_relaxed);
+    shed_counter_->Add();
+    ServeAnswer ans;
+    ans.reachable = false;
+    ans.exact = false;
+    ans.source = AnswerSource::kShedded;
+    ans.snapshot_version = snapshot_.Load()->version;
+    return ans;
+  }
+  if (tier == AdmissionTier::kCacheOnly) {
+    stats_.admission_cache_only.fetch_add(1, std::memory_order_relaxed);
+    admission_cache_counter_->Add();
+  } else if (tier == AdmissionTier::kBfsOnly) {
+    stats_.admission_bfs_only.fetch_add(1, std::memory_order_relaxed);
+    admission_bfs_counter_->Add();
+  }
 
   // Keep a stage-by-stage record only when it could end up in the
   // slow-query log — otherwise the extra clock reads never happen. A
@@ -379,15 +619,23 @@ ServeAnswer ReachService::Query(VertexId s, VertexId t) const {
   ServeAnswer ans;
   ans.snapshot_version = snap->version;
   if (s < num_vertices_ && t < num_vertices_) {
-    if (snap->index == nullptr) {
+    if (tier == AdmissionTier::kBfsOnly) {
+      // Heavy load: skip slot acquisition and the delta closure entirely;
+      // one bounded traversal with a tighter budget bounds the cost.
+      ans = DegradedAnswer(*snap, *pending, s, t,
+                           options_.degraded_visit_budget, recp);
+    } else if (snap->index == nullptr) {
       // Startup: the first index build is still in flight.
-      ans = DegradedAnswer(*snap, *pending, s, t, recp);
+      ans = DegradedAnswer(*snap, *pending, s, t,
+                           options_.fallback_visit_budget, recp);
     } else {
       const Clock::time_point deadline =
           options_.deadline.count() > 0 ? start + options_.deadline
                                         : Clock::time_point::max();
       bool waited = false;
-      ans = AnswerWithIndex(*snap, *pending, s, t, deadline, &waited, recp);
+      ans = AnswerWithIndex(*snap, *pending, s, t, deadline,
+                            /*allow_delta=*/tier == AdmissionTier::kFull,
+                            &waited, recp);
       if (waited) {
         stats_.slot_waits.fetch_add(1, std::memory_order_relaxed);
         slot_wait_counter_->Add();
@@ -460,7 +708,7 @@ void ReachService::CaptureSlowQuery(SlowQueryRecord rec) const {
 
 ServeAnswer ReachService::AnswerWithIndex(
     const ServeSnapshot& snap, const PendingEdges& pending, VertexId s,
-    VertexId t, Clock::time_point deadline, bool* waited,
+    VertexId t, Clock::time_point deadline, bool allow_delta, bool* waited,
     SlowQueryRecord* rec) const {
   ServeAnswer ans;
   std::optional<SlotLease> lease;
@@ -483,7 +731,13 @@ ServeAnswer ReachService::AnswerWithIndex(
       // snapshot stays true no matter how many edges are pending.
       ans.reachable = true;
     } else if (!pending.empty()) {
-      ans.source = AnswerSource::kDelta;  // miss: must consult the delta
+      if (allow_delta) {
+        ans.source = AnswerSource::kDelta;  // miss: must consult the delta
+      } else {
+        // Admission gate disallowed the O(k²) closure: the pending edges
+        // are unaccounted for, so this negative is only approximate.
+        ans.exact = false;
+      }
     }
   }
   if (ans.source == AnswerSource::kIndex) {
@@ -537,20 +791,21 @@ ServeAnswer ReachService::AnswerWithIndex(
   stats_.deadline_degraded.fetch_add(1, std::memory_order_relaxed);
   deadline_counter_->Add();
   if (rec != nullptr) rec->deadline_degraded = true;
-  return DegradedAnswer(snap, pending, s, t, rec);
+  return DegradedAnswer(snap, pending, s, t, options_.fallback_visit_budget,
+                        rec);
 }
 
 ServeAnswer ReachService::DegradedAnswer(const ServeSnapshot& snap,
                                          const PendingEdges& pending,
                                          VertexId s, VertexId t,
+                                         size_t visit_budget,
                                          SlowQueryRecord* rec) const {
   ServeAnswer ans;
   ans.source = AnswerSource::kFallbackBfs;
   BoundedBfsOutcome out;
   {
     StageScope stage(rec, ServeStage::kFallbackBfs);
-    out = BoundedUnionBfs(snap.graph, pending, s, t,
-                          options_.fallback_visit_budget);
+    out = BoundedUnionBfs(snap.graph, pending, s, t, visit_budget);
   }
   if (rec != nullptr) rec->bfs_visits = out.visits;
   ans.reachable = out.reachable;
@@ -559,6 +814,77 @@ ServeAnswer ReachService::DegradedAnswer(const ServeSnapshot& snap,
   stats_.fallback_answers.fetch_add(1, std::memory_order_relaxed);
   fallback_counter_->Add();
   return ans;
+}
+
+ReachService::AdmissionTier ReachService::AdmitTier(
+    size_t inflight_now) const {
+  const size_t m = options_.max_inflight_queries;
+  if (m == 0) return AdmissionTier::kFull;  // gate disabled
+  const size_t c = inflight_now;
+  if (c > m) return AdmissionTier::kShed;
+  if (c * 4 > m * 3) return AdmissionTier::kBfsOnly;   // >75% full
+  if (c * 2 > m) return AdmissionTier::kCacheOnly;     // >50% full
+  return AdmissionTier::kFull;
+}
+
+void ReachService::SetRebuildState(RebuildState state) {
+  rebuild_state_.store(static_cast<uint8_t>(state),
+                       std::memory_order_relaxed);
+  health_state_gauge_->Set(static_cast<double>(static_cast<uint8_t>(state)));
+}
+
+void ReachService::NoteRebuildFailure(const std::string& error,
+                                      size_t consecutive) {
+  rebuild_consecutive_failures_.store(consecutive, std::memory_order_relaxed);
+  stats_.rebuild_failures.fetch_add(1, std::memory_order_relaxed);
+  rebuild_failure_counter_->Add();
+  std::lock_guard<std::mutex> lock(health_mu_);
+  last_rebuild_error_ = error;
+}
+
+ServiceHealth ReachService::Health() const {
+  ServiceHealth health;
+  const auto snap = snapshot_.Load();
+  health.ready = snap->index != nullptr;
+  health.accepting_writes = !stopped_.load(std::memory_order_relaxed);
+  health.snapshot_version = snap->version;
+  health.pending_edges = pending_.Load()->size();
+  health.max_pending_edges = options_.max_pending_edges;
+  health.pending_fill =
+      health.max_pending_edges > 0
+          ? static_cast<double>(health.pending_edges) /
+                static_cast<double>(health.max_pending_edges)
+          : 0.0;
+  health.inflight_queries = inflight_.load(std::memory_order_relaxed);
+  health.max_inflight_queries = options_.max_inflight_queries;
+  health.inflight_fill =
+      health.max_inflight_queries > 0
+          ? static_cast<double>(health.inflight_queries) /
+                static_cast<double>(health.max_inflight_queries)
+          : 0.0;
+  health.rebuild = static_cast<RebuildState>(
+      rebuild_state_.load(std::memory_order_relaxed));
+  health.rebuild_consecutive_failures =
+      rebuild_consecutive_failures_.load(std::memory_order_relaxed);
+  health.rebuild_retries =
+      stats_.rebuild_retries.load(std::memory_order_relaxed);
+  health.rebuild_failures =
+      stats_.rebuild_failures.load(std::memory_order_relaxed);
+  health.watchdog_fired =
+      stats_.watchdog_fired.load(std::memory_order_relaxed);
+  health.shed = stats_.shed.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health.last_rebuild_error = last_rebuild_error_;
+  }
+  // Readiness snapshot doubles as the metrics push for the health gauges
+  // (state is also pushed eagerly on every transition).
+  health_ready_gauge_->Set(health.ready ? 1.0 : 0.0);
+  health_state_gauge_->Set(
+      static_cast<double>(static_cast<uint8_t>(health.rebuild)));
+  health_pending_fill_gauge_->Set(health.pending_fill);
+  health_inflight_fill_gauge_->Set(health.inflight_fill);
+  return health;
 }
 
 BoundedBfsOutcome BoundedUnionBfs(const Digraph& graph,

@@ -13,6 +13,7 @@
 
 #include "core/serialize.h"
 #include "graph/digraph.h"
+#include "graph/rng.h"
 #include "graph/types.h"
 #include "serve/neg_cache.h"
 #include "serve/serve_snapshot.h"
@@ -22,6 +23,24 @@ namespace reach {
 class Counter;
 class Gauge;
 class Histogram;
+
+/// What `InsertEdge` does when the pending-edge buffer is at
+/// `ServiceOptions::max_pending_edges` (docs/ROBUSTNESS.md).
+enum class BackpressurePolicy : uint8_t {
+  /// Block the writer until a background drain makes room (a rebuild is
+  /// force-scheduled so the wait always terminates; `Stop` unblocks with
+  /// a rejected insert).
+  kBlock,
+  /// Reject the insert immediately (`InsertEdge` returns false); the
+  /// caller owns retry policy.
+  kReject,
+  /// Accept the edge past the cap and force an immediate drain — the
+  /// buffer transiently exceeds the cap but converges back under it.
+  kForceRebuild,
+};
+
+/// Stable policy name ("block", "reject", "force_rebuild").
+const char* BackpressurePolicyName(BackpressurePolicy policy);
 
 /// Configuration of a `ReachService`.
 struct ServiceOptions {
@@ -57,6 +76,42 @@ struct ServiceOptions {
   /// Lock stripes of the negative-result cache (rounded to a power of
   /// two). More stripes = less writer contention.
   size_t negcache_shards = 16;
+
+  /// --- Overload / fault hardening (docs/ROBUSTNESS.md) ---------------
+
+  /// Admission control: maximum concurrently admitted queries. As the
+  /// in-flight count approaches the cap the pipeline degrades tier by
+  /// tier — ≤50% full pipeline, ≤75% cache+index probe only (the delta
+  /// closure is skipped, so a negative with pending edges is inexact),
+  /// ≤100% a small bounded BFS, and above the cap the query is shed
+  /// (`AnswerSource::kShedded`, `exact == false`, O(1)). 0 = no gate.
+  size_t max_inflight_queries = 0;
+  /// Vertex-visit cap of the tier-2 (bfs-only) degraded answer path —
+  /// deliberately far below `fallback_visit_budget`.
+  size_t degraded_visit_budget = 2048;
+
+  /// Write backpressure: cap on the pending-edge buffer; `backpressure`
+  /// picks what `InsertEdge` does at the cap. 0 = unbounded (no gate).
+  size_t max_pending_edges = 0;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+
+  /// Rebuild resilience: a failed or watchdog-abandoned drain retries
+  /// with exponential backoff (initial doubled per consecutive failure,
+  /// capped at max, ±50% deterministic jitter) up to `rebuild_max_retries`
+  /// re-attempts; after that the drain is abandoned (health reports
+  /// kFailed) until the next insert/Flush schedules a fresh one. The
+  /// last good snapshot keeps serving throughout — failures never
+  /// unpublish anything.
+  size_t rebuild_max_retries = 5;
+  std::chrono::nanoseconds rebuild_backoff_initial{
+      std::chrono::milliseconds(10)};
+  std::chrono::nanoseconds rebuild_backoff_max{std::chrono::seconds(2)};
+  /// Cooperative watchdog deadline per drain attempt, checked at phase
+  /// boundaries (after the graph merge, before the index build): an
+  /// attempt already past the deadline is abandoned — not published —
+  /// counted in `watchdog_fired`, and re-queued with backoff, picking up
+  /// any edges that accumulated meanwhile. 0 = no deadline.
+  std::chrono::nanoseconds rebuild_watchdog{0};
 };
 
 /// How a query was answered.
@@ -65,6 +120,7 @@ enum class AnswerSource : uint8_t {
   kDelta,        // index plus the pending-edge closure
   kFallbackBfs,  // bounded online BFS (no index yet, or budget exceeded)
   kNegCache,     // negative-result cache hit (verified this epoch)
+  kShedded,      // admission gate full: not answered (always inexact)
 };
 
 /// The result of one `ReachService::Query`.
@@ -142,6 +198,60 @@ struct ServeStats {
   /// later) and records evicted because the log was full.
   std::atomic<uint64_t> slow_captured{0};
   std::atomic<uint64_t> slow_dropped{0};
+  /// Admission-control outcomes: queries shed outright and queries
+  /// answered on a degraded tier (docs/ROBUSTNESS.md).
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> admission_cache_only{0};
+  std::atomic<uint64_t> admission_bfs_only{0};
+  /// Backpressure outcomes of `InsertEdge` at the pending-buffer cap.
+  std::atomic<uint64_t> backpressure_blocked{0};
+  std::atomic<uint64_t> backpressure_rejected{0};
+  std::atomic<uint64_t> backpressure_forced{0};
+  /// Rebuild-resilience outcomes: failed drain attempts (exceptions and
+  /// watchdog abandons), scheduled re-attempts, and watchdog fires.
+  std::atomic<uint64_t> rebuild_failures{0};
+  std::atomic<uint64_t> rebuild_retries{0};
+  std::atomic<uint64_t> watchdog_fired{0};
+};
+
+/// Coarse state of the background drain machinery, for health reporting.
+enum class RebuildState : uint8_t {
+  kIdle = 0,     // no drain in flight
+  kRunning = 1,  // a drain attempt is building
+  kBackoff = 2,  // last attempt failed; waiting to retry
+  kFailed = 3,   // retries exhausted; awaiting a new insert/Flush
+};
+
+/// Stable state name ("idle", "running", "backoff", "failed").
+const char* RebuildStateName(RebuildState state);
+
+/// Point-in-time readiness/health snapshot of a `ReachService`, also
+/// mirrored into `reach.metrics.v1` as the `serve.health.*` gauges every
+/// time `Health()` runs (docs/ROBUSTNESS.md).
+struct ServiceHealth {
+  /// An indexed snapshot is published (startup build or snapshot load
+  /// done) — the readiness bit a load balancer would gate on.
+  bool ready = false;
+  /// False once `Stop()` ran: queries still work, writes are rejected.
+  bool accepting_writes = false;
+  uint64_t snapshot_version = 0;
+  size_t pending_edges = 0;
+  size_t max_pending_edges = 0;  // 0 = unbounded
+  /// Buffer occupancy in [0,1]; 0 when unbounded.
+  double pending_fill = 0.0;
+  size_t inflight_queries = 0;
+  size_t max_inflight_queries = 0;  // 0 = no admission gate
+  /// Admission occupancy in [0,1]; 0 when ungated.
+  double inflight_fill = 0.0;
+  RebuildState rebuild = RebuildState::kIdle;
+  /// Consecutive failed drain attempts (0 after any success).
+  uint64_t rebuild_consecutive_failures = 0;
+  uint64_t rebuild_retries = 0;
+  uint64_t rebuild_failures = 0;
+  uint64_t watchdog_fired = 0;
+  uint64_t shed = 0;
+  /// What the most recent failed drain attempt reported ("" = none yet).
+  std::string last_rebuild_error;
 };
 
 /// An embeddable concurrent reachability-serving engine — the §5
@@ -218,8 +328,18 @@ class ReachService {
   uint64_t SnapshotVersion() const { return snapshot_.Load()->version; }
   /// Inserts not yet absorbed into a snapshot.
   size_t PendingEdgeCount() const { return pending_.Load()->size(); }
+  /// Queries currently inside `Query` (admitted or about to be triaged).
+  size_t InflightQueries() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
   const ServeStats& stats() const { return stats_; }
   const ServiceOptions& options() const { return options_; }
+
+  /// Snapshot of readiness, backlog, admission load, and rebuild state;
+  /// refreshes the `serve.health.*` gauges as a side effect so a metrics
+  /// scrape after any `Health()` call carries the same picture.
+  /// Thread-safe, O(1).
+  ServiceHealth Health() const;
 
   /// The slow-query log, oldest first: every query that exceeded
   /// `slow_query_threshold` or degraded on its deadline, up to
@@ -230,17 +350,31 @@ class ReachService {
 
  private:
   class SlotLease;
+  class InflightGuard;
+
+  /// Load tier assigned to a query at admission (docs/ROBUSTNESS.md).
+  enum class AdmissionTier : uint8_t {
+    kFull,       // whole pipeline
+    kCacheOnly,  // negcache + index probe; delta closure skipped
+    kBfsOnly,    // small bounded BFS, no slot/index
+    kShed,       // not answered
+  };
 
   void ScheduleLocked();
   void RebuildLoop();
+  AdmissionTier AdmitTier(size_t inflight_now) const;
+  void SetRebuildState(RebuildState state);
+  void NoteRebuildFailure(const std::string& error, size_t consecutive);
   ServeAnswer AnswerWithIndex(const ServeSnapshot& snap,
                               const PendingEdges& pending, VertexId s,
                               VertexId t,
                               std::chrono::steady_clock::time_point deadline,
-                              bool* waited, SlowQueryRecord* rec) const;
+                              bool allow_delta, bool* waited,
+                              SlowQueryRecord* rec) const;
   ServeAnswer DegradedAnswer(const ServeSnapshot& snap,
                              const PendingEdges& pending, VertexId s,
-                             VertexId t, SlowQueryRecord* rec) const;
+                             VertexId t, size_t visit_budget,
+                             SlowQueryRecord* rec) const;
   void CaptureSlowQuery(SlowQueryRecord rec) const;
 
   const ServiceOptions options_;
@@ -258,6 +392,9 @@ class ReachService {
   // Serializes writers mutating the pending buffer (readers are
   // lock-free via the COW shared_ptr).
   mutable std::mutex write_mu_;
+  // Wakes kBlock writers when a drain trims the pending buffer (and on
+  // Stop). Guarded by write_mu_.
+  std::condition_variable backpressure_cv_;
   // Every edge already absorbed into the published snapshot's graph.
   // Touched only by the (single) in-flight rebuild task and Start().
   std::vector<Edge> base_edges_;
@@ -276,6 +413,17 @@ class ReachService {
   mutable std::mutex slow_mu_;
   mutable std::deque<SlowQueryRecord> slow_log_;
 
+  // Admission gate: queries currently inside Query (RAII-maintained).
+  mutable std::atomic<size_t> inflight_{0};
+  // Health state of the drain machinery (RebuildState values).
+  std::atomic<uint8_t> rebuild_state_{0};
+  std::atomic<uint64_t> rebuild_consecutive_failures_{0};
+  mutable std::mutex health_mu_;
+  std::string last_rebuild_error_;
+  // Backoff jitter source — only the single in-flight rebuild task ever
+  // touches it, so no lock; fixed seed keeps chaos runs reproducible.
+  Xoshiro256ss backoff_rng_{0xFA11};
+
   // Cached obs-registry instruments mirroring ServeStats ("serve.*").
   Counter* queries_counter_;
   Counter* index_counter_;
@@ -292,8 +440,21 @@ class ReachService {
   Counter* negcache_miss_counter_;
   Counter* negcache_evict_counter_;
   Counter* negcache_invalidate_counter_;
+  Counter* shed_counter_;
+  Counter* admission_cache_counter_;
+  Counter* admission_bfs_counter_;
+  Counter* bp_blocked_counter_;
+  Counter* bp_rejected_counter_;
+  Counter* bp_forced_counter_;
+  Counter* rebuild_failure_counter_;
+  Counter* rebuild_retry_counter_;
+  Counter* watchdog_counter_;
   Gauge* version_gauge_;
   Gauge* pending_gauge_;
+  Gauge* health_ready_gauge_;
+  Gauge* health_state_gauge_;
+  Gauge* health_pending_fill_gauge_;
+  Gauge* health_inflight_fill_gauge_;
   Histogram* latency_hist_;
 };
 

@@ -1,0 +1,534 @@
+// Chaos suite for the hardened serve path (docs/ROBUSTNESS.md): overload
+// shedding, write backpressure, rebuild retry/backoff/watchdog, crash-safe
+// snapshot writes, and health reporting — all driven by the failpoint
+// framework (core/failpoint.h) where fault injection is needed. The
+// invariant throughout: faults may cost availability (shed queries,
+// blocked writers, delayed drains) but never correctness — every exact
+// answer is checked against an independent BFS oracle. Tests that need
+// the REACH_FAILPOINT macro sites skip themselves unless the binary was
+// built with -DREACH_FAILPOINTS=ON.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/failpoint.h"
+#include "graph/generators.h"
+#include "graph/rng.h"
+#include "plain/pruned_two_hop.h"
+#include "serve/reach_service.h"
+
+namespace reach {
+namespace {
+
+// Independent oracle: plain BFS over the base graph plus the first
+// `watermark` entries of the insertion log (same protocol as
+// serve_test.cc; shares no code with the service's traversals).
+bool OracleReachable(const Digraph& base, const std::vector<Edge>& log,
+                     size_t watermark, VertexId s, VertexId t) {
+  std::vector<std::vector<VertexId>> extra(base.NumVertices());
+  for (size_t i = 0; i < watermark; ++i) {
+    extra[log[i].source].push_back(log[i].target);
+  }
+  std::vector<uint8_t> seen(base.NumVertices(), 0);
+  std::vector<VertexId> queue = {s};
+  seen[s] = 1;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId v = queue[head];
+    if (v == t) return true;
+    for (VertexId n : base.OutNeighbors(v)) {
+      if (!seen[n]) {
+        seen[n] = 1;
+        queue.push_back(n);
+      }
+    }
+    for (VertexId n : extra[v]) {
+      if (!seen[n]) {
+        seen[n] = 1;
+        queue.push_back(n);
+      }
+    }
+  }
+  return false;
+}
+
+// Spins until `pred` holds or ~5s pass; returns whether it held.
+template <typename Pred>
+bool WaitFor(Pred pred) {
+  for (int i = 0; i < 500; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Global().DisarmAll(); }
+};
+
+// ---------------------------------------------------------------------
+// Admission control / overload shedding.
+
+TEST_F(ChaosTest, OverloadShedsInsteadOfQueueingAndNeverLies) {
+  if (!kFailpointsCompiled) GTEST_SKIP() << "REACH_FAILPOINTS is OFF";
+  constexpr VertexId kN = 32;
+  const Digraph base = Chain(kN);  // reachable iff s <= t
+  ServiceOptions opts;
+  opts.max_inflight_queries = 2;
+  opts.slots = 8;
+  ReachService service(base, opts);
+  service.Start();
+  service.Flush();
+
+  // Every query dwells 3ms inside the admission window, so 8 concurrent
+  // readers hold 8 in-flight slots against a cap of 2: the gate must
+  // degrade and shed.
+  std::string error;
+  ASSERT_TRUE(FailpointRegistry::Global().Arm("serve.query", "delay(ms=3)",
+                                              &error))
+      << error;
+  std::atomic<uint64_t> wrong{0};
+  std::atomic<uint64_t> shed_seen{0};
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < 8; ++r) {
+    readers.emplace_back([&, r] {
+      Xoshiro256ss rng(0x900D + r);
+      for (int q = 0; q < 30; ++q) {
+        const auto s = static_cast<VertexId>(rng.NextBounded(kN));
+        const auto t = static_cast<VertexId>(rng.NextBounded(kN));
+        const ServeAnswer ans = service.Query(s, t);
+        if (ans.source == AnswerSource::kShedded) {
+          ++shed_seen;
+          if (ans.exact) ++wrong;  // a shed answer must never claim truth
+          continue;
+        }
+        // Admitted tiers may degrade but stay sound: positives always,
+        // negatives whenever marked exact.
+        if (ans.reachable && s > t) ++wrong;
+        if (!ans.reachable && ans.exact && s <= t) ++wrong;
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  FailpointRegistry::Global().DisarmAll();
+
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_GT(shed_seen.load(), 0u);
+  const ServeStats& st = service.stats();
+  EXPECT_EQ(st.shed.load(), shed_seen.load());
+  // The middle tiers fired on the way up to the cap.
+  EXPECT_GT(st.admission_cache_only.load() + st.admission_bfs_only.load(),
+            0u);
+  EXPECT_EQ(service.InflightQueries(), 0u);  // RAII: the gate drained
+  // Ungated again, queries are full-pipeline and exact.
+  const ServeAnswer calm = service.Query(0, kN - 1);
+  EXPECT_TRUE(calm.reachable);
+  EXPECT_TRUE(calm.exact);
+  service.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Write backpressure.
+
+TEST_F(ChaosTest, RejectPolicyBouncesWritesAtTheCap) {
+  const Digraph base = Chain(16);
+  ServiceOptions opts;
+  opts.max_pending_edges = 4;
+  opts.backpressure = BackpressurePolicy::kReject;
+  opts.drain_threshold = 1000;  // no automatic drain: the cap must act
+  ReachService service(base, opts);
+  service.Start();
+  service.Flush();
+
+  for (VertexId i = 0; i < 4; ++i) {
+    EXPECT_TRUE(service.InsertEdge(i + 1, i));
+  }
+  EXPECT_FALSE(service.InsertEdge(9, 3));  // buffer full: bounced
+  EXPECT_FALSE(service.InsertEdge(9, 4));
+  EXPECT_EQ(service.stats().backpressure_rejected.load(), 2u);
+  EXPECT_EQ(service.PendingEdgeCount(), 4u);
+
+  service.Flush();  // drain makes room again
+  EXPECT_TRUE(service.InsertEdge(9, 3));
+  service.Stop();
+}
+
+TEST_F(ChaosTest, BlockPolicyStallsWritersUntilADrainMakesRoom) {
+  const Digraph base = Chain(16);
+  ServiceOptions opts;
+  opts.max_pending_edges = 3;
+  opts.backpressure = BackpressurePolicy::kBlock;
+  opts.drain_threshold = 1000;  // only backpressure ever schedules drains
+  ReachService service(base, opts);
+  service.Start();
+  service.Flush();
+
+  // 12 inserts through a cap of 3: the writer must block at least once,
+  // each block force-schedules the drain that unblocks it, and every
+  // insert is eventually accepted.
+  std::thread writer([&] {
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(service.InsertEdge(static_cast<VertexId>(i % 15 + 1),
+                                     static_cast<VertexId>(i % 15)));
+    }
+  });
+  writer.join();
+  EXPECT_EQ(service.stats().inserts.load(), 12u);
+  EXPECT_GT(service.stats().backpressure_blocked.load(), 0u);
+  service.Flush();
+  EXPECT_EQ(service.PendingEdgeCount(), 0u);
+  service.Stop();
+}
+
+TEST_F(ChaosTest, ForceRebuildPolicyAcceptsPastCapAndConverges) {
+  const Digraph base = Chain(16);
+  ServiceOptions opts;
+  opts.max_pending_edges = 3;
+  opts.backpressure = BackpressurePolicy::kForceRebuild;
+  opts.drain_threshold = 1000;
+  ReachService service(base, opts);
+  service.Start();
+  service.Flush();
+
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(service.InsertEdge(static_cast<VertexId>(i % 15 + 1),
+                                   static_cast<VertexId>(i % 15)));
+  }
+  EXPECT_EQ(service.stats().inserts.load(), 12u);  // nothing bounced
+  EXPECT_GT(service.stats().backpressure_forced.load(), 0u);
+  service.Flush();
+  EXPECT_EQ(service.PendingEdgeCount(), 0u);  // forced drains converged
+  service.Stop();
+}
+
+TEST_F(ChaosTest, StopUnblocksAParkedWriter) {
+  const Digraph base = Chain(8);
+  ServiceOptions opts;
+  opts.max_pending_edges = 1;
+  opts.backpressure = BackpressurePolicy::kBlock;
+  opts.drain_threshold = 1000;
+  ReachService service(base, opts);
+  // Never started: no drain will ever make room, so the second insert
+  // parks until Stop() sweeps it out with a rejection.
+  ASSERT_TRUE(service.InsertEdge(1, 0));
+  std::atomic<bool> second_result{true};
+  std::thread writer(
+      [&] { second_result = service.InsertEdge(2, 1); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  service.Stop();
+  writer.join();
+  EXPECT_FALSE(second_result.load());
+}
+
+// ---------------------------------------------------------------------
+// Rebuild resilience.
+
+TEST_F(ChaosTest, RebuildFailuresRetryWithBackoffAndLastGoodKeepsServing) {
+  if (!kFailpointsCompiled) GTEST_SKIP() << "REACH_FAILPOINTS is OFF";
+  const Digraph base = Chain(10);
+  ServiceOptions opts;
+  opts.drain_threshold = 1000;
+  opts.rebuild_backoff_initial = std::chrono::milliseconds(1);
+  opts.rebuild_backoff_max = std::chrono::milliseconds(8);
+  ReachService service(base, opts);
+  service.Start();
+  service.Flush();
+  const uint64_t good_version = service.SnapshotVersion();
+
+  // The next two drain attempts die; the third succeeds.
+  std::string error;
+  ASSERT_TRUE(FailpointRegistry::Global().Arm("serve.rebuild",
+                                              "error(times=2)", &error))
+      << error;
+  ASSERT_TRUE(service.InsertEdge(9, 0));
+  // Mid-retry, the last good snapshot serves and the pending edge is
+  // still answered exactly through the delta closure.
+  const ServeAnswer during = service.Query(5, 2);
+  EXPECT_TRUE(during.reachable);
+  EXPECT_TRUE(during.exact);
+  service.Flush();  // returns only once a drain finally lands
+
+  const ServeStats& st = service.stats();
+  EXPECT_EQ(st.rebuild_failures.load(), 2u);
+  EXPECT_EQ(st.rebuild_retries.load(), 2u);
+  EXPECT_GT(service.SnapshotVersion(), good_version);
+  EXPECT_EQ(service.PendingEdgeCount(), 0u);
+  const ServiceHealth health = service.Health();
+  EXPECT_EQ(health.rebuild, RebuildState::kIdle);
+  EXPECT_EQ(health.rebuild_consecutive_failures, 0u);
+  EXPECT_NE(health.last_rebuild_error.find("serve.rebuild"),
+            std::string::npos);
+  const ServeAnswer after = service.Query(5, 2);
+  EXPECT_TRUE(after.reachable);
+  EXPECT_EQ(after.source, AnswerSource::kIndex);
+  service.Stop();
+}
+
+TEST_F(ChaosTest, RetriesExhaustedReportsFailedThenRecoversOnDisarm) {
+  if (!kFailpointsCompiled) GTEST_SKIP() << "REACH_FAILPOINTS is OFF";
+  const Digraph base = Chain(10);
+  ServiceOptions opts;
+  opts.drain_threshold = 1;  // every insert schedules a drain
+  opts.rebuild_max_retries = 1;
+  opts.rebuild_backoff_initial = std::chrono::milliseconds(1);
+  opts.rebuild_backoff_max = std::chrono::milliseconds(4);
+  ReachService service(base, opts);
+  service.Start();
+  ASSERT_TRUE(WaitFor([&] { return service.SnapshotVersion() >= 1; }));
+
+  std::string error;
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Arm("serve.rebuild", "error", &error))
+      << error;
+  ASSERT_TRUE(service.InsertEdge(9, 0));
+  // Initial attempt + one retry both fail: the drain is abandoned.
+  ASSERT_TRUE(WaitFor(
+      [&] { return service.Health().rebuild == RebuildState::kFailed; }));
+  EXPECT_GE(service.stats().rebuild_failures.load(), 2u);
+  EXPECT_EQ(service.PendingEdgeCount(), 1u);  // edge kept, not lost
+  // Degraded but correct: the pending edge still answers via the delta.
+  const ServeAnswer during = service.Query(5, 2);
+  EXPECT_TRUE(during.reachable);
+  EXPECT_TRUE(during.exact);
+
+  // Fault clears; the next write schedules a fresh drain that succeeds.
+  FailpointRegistry::Global().DisarmAll();
+  ASSERT_TRUE(service.InsertEdge(8, 1));
+  service.Flush();
+  EXPECT_EQ(service.PendingEdgeCount(), 0u);
+  EXPECT_EQ(service.Health().rebuild, RebuildState::kIdle);
+  EXPECT_EQ(service.Query(5, 2).source, AnswerSource::kIndex);
+  service.Stop();
+}
+
+TEST_F(ChaosTest, WatchdogAbandonsAStalledDrainAndTheRetryLands) {
+  if (!kFailpointsCompiled) GTEST_SKIP() << "REACH_FAILPOINTS is OFF";
+  const Digraph base = Chain(10);
+  ServiceOptions opts;
+  opts.drain_threshold = 1000;
+  opts.rebuild_watchdog = std::chrono::milliseconds(10);
+  opts.rebuild_backoff_initial = std::chrono::milliseconds(1);
+  opts.rebuild_backoff_max = std::chrono::milliseconds(4);
+  ReachService service(base, opts);
+  service.Start();
+  service.Flush();
+
+  // The first drain attempt stalls 60ms >> the 10ms watchdog deadline;
+  // the re-queued attempt runs clean (times=1 spends the failpoint).
+  std::string error;
+  ASSERT_TRUE(FailpointRegistry::Global().Arm(
+      "serve.rebuild", "delay(ms=60,times=1)", &error))
+      << error;
+  ASSERT_TRUE(service.InsertEdge(9, 0));
+  service.Flush();
+  EXPECT_EQ(service.stats().watchdog_fired.load(), 1u);
+  EXPECT_GE(service.stats().rebuild_retries.load(), 1u);
+  EXPECT_EQ(service.PendingEdgeCount(), 0u);
+  EXPECT_EQ(service.Query(5, 2).source, AnswerSource::kIndex);
+  service.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Crash-safe snapshot writes.
+
+TEST_F(ChaosTest, TornSnapshotWriteLeavesTheOldFileServable) {
+  if (!kFailpointsCompiled) GTEST_SKIP() << "REACH_FAILPOINTS is OFF";
+  const Digraph g = ScaleFreeDag(300, 3, 7);
+  PrunedTwoHop index;
+  index.Build(g);
+  const std::string path = ::testing::TempDir() + "chaos_snap.rchx";
+  std::string error;
+  ASSERT_TRUE(index.SaveSnapshot(path, &error)) << error;
+
+  for (const char* fault : {"partial(bytes=256)", "error"}) {
+    ASSERT_TRUE(
+        FailpointRegistry::Global().Arm("snapshot.write", fault, &error))
+        << error;
+    std::string save_error;
+    EXPECT_FALSE(index.SaveSnapshot(path, &save_error)) << fault;
+    EXPECT_FALSE(save_error.empty());
+    FailpointRegistry::Global().DisarmAll();
+
+    // The torn write went to a temp file; the published snapshot at
+    // `path` is still the complete old one and answers identically.
+    PrunedTwoHop reloaded;
+    const LoadResult result = reloaded.LoadSnapshot(path);
+    ASSERT_TRUE(static_cast<bool>(result))
+        << fault << ": " << LoadStatusMessage(result);
+    Xoshiro256ss rng(0x7E57);
+    for (int q = 0; q < 200; ++q) {
+      const auto s = static_cast<VertexId>(rng.NextBounded(300));
+      const auto t = static_cast<VertexId>(rng.NextBounded(300));
+      ASSERT_EQ(reloaded.Query(s, t), index.Query(s, t))
+          << fault << ": " << s << "->" << t;
+    }
+  }
+}
+
+TEST_F(ChaosTest, AtomicSaveLeavesNoTempFileDebrisOnFailure) {
+  if (!kFailpointsCompiled) GTEST_SKIP() << "REACH_FAILPOINTS is OFF";
+  const Digraph g = Chain(20);
+  PrunedTwoHop index;
+  index.Build(g);
+  const std::string path = ::testing::TempDir() + "chaos_debris.rchx";
+  std::remove(path.c_str());  // a previous run may have left one behind
+  std::remove((path + ".tmp").c_str());
+  std::string error;
+  ASSERT_TRUE(FailpointRegistry::Global().Arm("snapshot.write", "error",
+                                              &error))
+      << error;
+  std::string save_error;
+  EXPECT_FALSE(index.SaveSnapshot(path, &save_error));
+  FailpointRegistry::Global().DisarmAll();
+  EXPECT_FALSE(std::ifstream(path).good());           // target never appeared
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());  // temp cleaned up
+  ASSERT_TRUE(index.SaveSnapshot(path, &save_error)) << save_error;
+  EXPECT_TRUE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+}
+
+// ---------------------------------------------------------------------
+// Health reporting.
+
+TEST_F(ChaosTest, HealthTracksLifecycle) {
+  const Digraph base = Chain(8);
+  ServiceOptions opts;
+  opts.max_inflight_queries = 4;
+  opts.max_pending_edges = 10;
+  opts.drain_threshold = 1000;
+  ReachService service(base, opts);
+
+  ServiceHealth h = service.Health();
+  EXPECT_FALSE(h.ready);  // no index yet
+  EXPECT_TRUE(h.accepting_writes);
+  EXPECT_EQ(h.rebuild, RebuildState::kIdle);
+  EXPECT_EQ(h.inflight_queries, 0u);
+  EXPECT_EQ(h.max_inflight_queries, 4u);
+
+  service.Start();
+  service.Flush();
+  ASSERT_TRUE(service.InsertEdge(7, 0));
+  h = service.Health();
+  EXPECT_TRUE(h.ready);
+  EXPECT_GE(h.snapshot_version, 1u);
+  EXPECT_EQ(h.pending_edges, 1u);
+  EXPECT_EQ(h.max_pending_edges, 10u);
+  EXPECT_DOUBLE_EQ(h.pending_fill, 0.1);
+  EXPECT_TRUE(h.last_rebuild_error.empty());
+
+  service.Stop();
+  h = service.Health();
+  EXPECT_FALSE(h.accepting_writes);
+  EXPECT_TRUE(h.ready);  // still serving the last snapshot
+}
+
+// ---------------------------------------------------------------------
+// The everything-at-once differential: concurrent readers and a writer
+// while rebuilds randomly fail and queries are randomly delayed. Faults
+// cost retries and latency, never answers.
+
+TEST_F(ChaosTest, ChaosMixDifferentialZeroWrongAnswers) {
+  if (!kFailpointsCompiled) GTEST_SKIP() << "REACH_FAILPOINTS is OFF";
+  constexpr size_t kReaders = 4;
+  constexpr size_t kInserts = 48;
+  constexpr size_t kQueriesPerReader = 250;
+  constexpr VertexId kN = 48;
+  const Digraph base = RandomDigraph(kN, 100, 0xC0DE);
+
+  ServiceOptions opts;
+  opts.slots = kReaders;
+  opts.drain_threshold = 8;
+  opts.max_inflight_queries = 16;
+  opts.rebuild_backoff_initial = std::chrono::milliseconds(1);
+  opts.rebuild_backoff_max = std::chrono::milliseconds(8);
+  ReachService service(base, opts);
+  service.Start();
+
+  std::string error;
+  ASSERT_TRUE(FailpointRegistry::Global().Configure(
+      "serve.rebuild=error(p=0.4,seed=11);"
+      "serve.query=delay(ms=1,p=0.05,seed=12)",
+      &error))
+      << error;
+
+  std::vector<Edge> log(kInserts);
+  std::atomic<size_t> published{0};
+  std::atomic<size_t> inserted{0};
+  std::atomic<uint64_t> wrong_positive{0};
+  std::atomic<uint64_t> wrong_negative{0};
+
+  std::thread writer([&] {
+    Xoshiro256ss rng(0xFEED);
+    for (size_t i = 0; i < kInserts; ++i) {
+      const Edge e{static_cast<VertexId>(rng.NextBounded(kN)),
+                   static_cast<VertexId>(rng.NextBounded(kN))};
+      log[i] = e;
+      published.store(i + 1, std::memory_order_release);
+      ASSERT_TRUE(service.InsertEdge(e.source, e.target));
+      inserted.store(i + 1, std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Xoshiro256ss rng(0x3000 + r);
+      for (size_t q = 0; q < kQueriesPerReader; ++q) {
+        const auto s = static_cast<VertexId>(rng.NextBounded(kN));
+        const auto t = static_cast<VertexId>(rng.NextBounded(kN));
+        const size_t w_before = inserted.load(std::memory_order_acquire);
+        const ServeAnswer ans = service.Query(s, t);
+        const size_t w_after = published.load(std::memory_order_acquire);
+        if (ans.source == AnswerSource::kShedded) continue;
+        if (ans.reachable) {
+          if (!OracleReachable(base, log, w_after, s, t)) ++wrong_positive;
+        } else if (ans.exact) {
+          if (OracleReachable(base, log, w_before, s, t)) ++wrong_negative;
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+
+  // Quiesce: clear the faults and drain whatever the failures piled up.
+  FailpointRegistry::Global().DisarmAll();
+  service.Flush();
+
+  EXPECT_EQ(wrong_positive.load(), 0u);
+  EXPECT_EQ(wrong_negative.load(), 0u);
+  EXPECT_EQ(service.PendingEdgeCount(), 0u);
+  EXPECT_EQ(service.stats().inserts.load(), kInserts);
+  // Deterministic coda (the p=0.4 firing pattern above depends on drain
+  // timing): force exactly one more failure and watch it absorbed.
+  ASSERT_TRUE(FailpointRegistry::Global().Arm("serve.rebuild",
+                                              "error(times=1)", &error))
+      << error;
+  ASSERT_TRUE(service.InsertEdge(0, 1));
+  service.Flush();
+  FailpointRegistry::Global().DisarmAll();
+  log.push_back(Edge{0, 1});
+  EXPECT_GT(service.stats().rebuild_failures.load(), 0u);
+
+  // Final ground-truth sweep over every pair on the quiesced service.
+  for (VertexId s = 0; s < kN; ++s) {
+    for (VertexId t = 0; t < kN; ++t) {
+      const ServeAnswer ans = service.Query(s, t);
+      ASSERT_EQ(ans.reachable, OracleReachable(base, log, log.size(), s, t))
+          << s << "->" << t;
+      ASSERT_TRUE(ans.exact);
+    }
+  }
+  service.Stop();
+}
+
+}  // namespace
+}  // namespace reach
