@@ -1,7 +1,8 @@
 // Serving-engine latency and throughput (src/serve/): query percentiles
-// under a concurrent insert stream, the scenario the §5 "integration into
-// GDBMSs" challenge describes. The p50/p99 counters are the headline —
-// mean latency hides the snapshot-swap and delta-closure tail.
+// under concurrent insert and mixed insert/delete churn streams, the
+// scenario the §5 "integration into GDBMSs" challenge describes. The
+// p50/p99 counters are the headline — mean latency hides the
+// snapshot-swap and delta-closure tail.
 
 #include <algorithm>
 #include <atomic>
@@ -78,8 +79,9 @@ void BM_ServeQueryLatencyUnderWrites(benchmark::State& state) {
     writer_threads.emplace_back([&, w] {
       Xoshiro256ss rng(kSeed + 100 + w);
       while (!stop.load(std::memory_order_relaxed)) {
-        service.InsertEdge(static_cast<VertexId>(rng.NextBounded(n)),
-                           static_cast<VertexId>(rng.NextBounded(n)));
+        service.ApplyUpdate(
+            {EdgeUpdate::Insert(static_cast<VertexId>(rng.NextBounded(n)),
+                                static_cast<VertexId>(rng.NextBounded(n)))});
         std::this_thread::sleep_for(std::chrono::microseconds(50));
       }
     });
@@ -180,6 +182,122 @@ BENCHMARK(BM_ServeQueryLatencyUnderWrites)
     ->Args({1, kUnreachableBiased, 0})
     ->Args({1, kUnreachableBiased, 1})
     ->Iterations(20000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Churn mixes (the decremental serve path): one reader measures per-query
+// latency while `writers` background threads stream mixed insert/delete
+// batches through `ApplyUpdate`. Args: {writers, delete_pct} — 30 is the
+// steady churn mix, 70 the delete-heavy one. The acceptance counters:
+// p99 stays bounded while deletes flow, and `rebuilds` tracks the drain
+// threshold, never the per-delete count (no whole-index rebuild per
+// delete anywhere on the serve path). Headlines land in the
+// bench.serve.churn.* gauges.
+void BM_ServeChurnMix(benchmark::State& state) {
+  const auto writers = static_cast<size_t>(state.range(0));
+  const auto delete_pct = static_cast<uint64_t>(state.range(1));
+  const VertexId n = 1 << 14;
+  const Digraph graph = ScaleFreeDag(n, 3, kSeed);
+
+  ServiceOptions options;
+  options.spec = "pll";
+  options.drain_threshold = 128;
+  options.deadline = std::chrono::milliseconds(2);
+  // Rebuilds at this scale are slower than the writers, so bound the
+  // pending buffer (default kBlock backpressure parks the writers until
+  // a drain catches up) — otherwise the delta closure every query scans
+  // grows without limit and read latency measures queue depth, not the
+  // serve path.
+  options.max_pending_edges = 1024;
+  ReachService service(graph, options);
+  service.Start();
+  service.Flush();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writer_threads;
+  for (size_t w = 0; w < writers; ++w) {
+    writer_threads.emplace_back([&, w] {
+      Xoshiro256ss rng(kSeed + 200 + w);
+      // Each writer deletes from its own slice of the base edge set, so
+      // delete targets mostly exist (re-deletes are ignored, not errors).
+      std::vector<Edge> live;
+      const std::vector<Edge> all = graph.Edges();
+      for (size_t i = w; i < all.size(); i += writers) {
+        live.push_back(all[i]);
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        UpdateBatch batch;
+        const size_t batch_size = 1 + rng.NextBounded(4);
+        for (size_t i = 0; i < batch_size; ++i) {
+          if (!live.empty() && rng.NextBounded(100) < delete_pct) {
+            const size_t pick = rng.NextBounded(live.size());
+            batch.push_back(
+                EdgeUpdate::Delete(live[pick].source, live[pick].target));
+            live[pick] = live.back();
+            live.pop_back();
+          } else {
+            const auto u = static_cast<VertexId>(rng.NextBounded(n));
+            const auto v = static_cast<VertexId>(rng.NextBounded(n));
+            if (u == v) continue;
+            batch.push_back(EdgeUpdate::Insert(u, v));
+            live.push_back({u, v});
+          }
+        }
+        if (!batch.empty()) service.ApplyUpdate(batch);
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    });
+  }
+
+  const std::vector<QueryPair> pool = MixedPairs(graph, kUniform, 1 << 12);
+  size_t cursor = 0;
+  std::vector<double> latencies_ns;
+  for (auto _ : state) {
+    const QueryPair q = pool[cursor++ % pool.size()];
+    const auto begin = std::chrono::steady_clock::now();
+    ServeAnswer answer = service.Query(q.source, q.target);
+    const auto end = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(answer);
+    latencies_ns.push_back(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+            .count());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : writer_threads) th.join();
+  service.Stop();
+
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  const double p50 = Percentile(latencies_ns, 0.50);
+  const double p99 = Percentile(latencies_ns, 0.99);
+  const ServeStats& stats = service.stats();
+  const double deletes =
+      std::max<double>(1.0, static_cast<double>(stats.deletes.load()));
+  const double rebuilds = static_cast<double>(stats.rebuilds.load());
+  state.counters["p50_ns"] = p50;
+  state.counters["p99_ns"] = p99;
+  state.counters["deletes"] = static_cast<double>(stats.deletes.load());
+  state.counters["delete_verifies"] =
+      static_cast<double>(stats.delete_verifies.load());
+  state.counters["snapshots"] = rebuilds;
+  state.counters["rebuilds_per_delete"] = rebuilds / deletes;
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const std::string prefix = std::string("bench.serve.churn.") +
+                             (delete_pct >= 50 ? "delheavy" : "mixed");
+  registry.GetGauge(prefix + ".p50_ns").Set(p50);
+  registry.GetGauge(prefix + ".p99_ns").Set(p99);
+  registry.GetGauge(prefix + ".deletes")
+      .Set(static_cast<double>(stats.deletes.load()));
+  registry.GetGauge(prefix + ".delete_verifies")
+      .Set(static_cast<double>(stats.delete_verifies.load()));
+  registry.GetGauge(prefix + ".rebuilds_per_delete").Set(rebuilds / deletes);
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_ServeChurnMix)
+    // {writers, delete_pct}: steady churn, then the delete-heavy mix.
+    ->Args({2, 30})
+    ->Args({2, 70})
+    ->Iterations(5000)
     ->Unit(benchmark::kMicrosecond);
 
 // Snapshot startup (docs/SNAPSHOTS.md): one iteration restores the same
@@ -287,8 +405,9 @@ void BM_ServeReadThroughput(benchmark::State& state) {
     g_writer = new std::thread([stop = g_stop, service = g_service] {
       Xoshiro256ss rng(kSeed + 99);
       while (!stop->load(std::memory_order_relaxed)) {
-        service->InsertEdge(static_cast<VertexId>(rng.NextBounded(kN)),
-                            static_cast<VertexId>(rng.NextBounded(kN)));
+        service->ApplyUpdate(
+            {EdgeUpdate::Insert(static_cast<VertexId>(rng.NextBounded(kN)),
+                                static_cast<VertexId>(rng.NextBounded(kN)))});
         std::this_thread::sleep_for(std::chrono::microseconds(100));
       }
     });
@@ -359,8 +478,9 @@ void BM_ServeOverloadMix(benchmark::State& state) {
     g_ov_writer = new std::thread([stop = g_ov_stop, svc = g_ov_service] {
       Xoshiro256ss rng(kSeed + 4242);
       while (!stop->load(std::memory_order_relaxed)) {
-        svc->InsertEdge(static_cast<VertexId>(rng.NextBounded(kN)),
-                        static_cast<VertexId>(rng.NextBounded(kN)));
+        svc->ApplyUpdate(
+            {EdgeUpdate::Insert(static_cast<VertexId>(rng.NextBounded(kN)),
+                                static_cast<VertexId>(rng.NextBounded(kN)))});
         std::this_thread::sleep_for(std::chrono::microseconds(50));
       }
     });

@@ -1,7 +1,9 @@
-// Regenerates the Dynamic column of Table 1: edge-insertion maintenance.
-// Compares TOL-style incremental insertion (PrunedTwoHop::InsertEdge) and
-// DBL's monotone label propagation against the static-index alternative
-// (full rebuild per batch), plus post-update query latency.
+// Regenerates the Dynamic column of Table 1: edge-update maintenance
+// through the batched write API. Compares TOL-style incremental insertion
+// (PrunedTwoHop::ApplyUpdate) and DBL's monotone label propagation
+// against the static-index alternative (full rebuild per batch), mixed
+// insert/delete churn on the deletion-capable indexes, plus post-update
+// query latency.
 //
 // Row naming: table1dyn/<graph>/<strategy>/<phase>.
 
@@ -43,7 +45,9 @@ void RegisterAll() {
         for (auto _ : state) {
           PrunedTwoHop index(VertexOrder::kDegree);
           index.Build(*base);
-          for (const Edge& e : *stream) index.InsertEdge(e.source, e.target);
+          for (const Edge& e : *stream) {
+            index.ApplyUpdate({EdgeUpdate::Insert(e.source, e.target)});
+          }
           state.counters["label_entries"] =
               static_cast<double>(index.TotalLabelEntries());
         }
@@ -85,7 +89,9 @@ void RegisterAll() {
         for (auto _ : state) {
           Dbl index;
           index.Build(*base);
-          for (const Edge& e : *stream) index.InsertEdge(e.source, e.target);
+          for (const Edge& e : *stream) {
+            index.ApplyUpdate({EdgeUpdate::Insert(e.source, e.target)});
+          }
         }
         state.SetItemsProcessed(state.iterations() *
                                 static_cast<int64_t>(stream->size()));
@@ -100,7 +106,9 @@ void RegisterAll() {
         for (auto _ : state) {
           Dagger index;
           index.Build(*base);
-          for (const Edge& e : *stream) index.InsertEdge(e.source, e.target);
+          for (const Edge& e : *stream) {
+            index.ApplyUpdate({EdgeUpdate::Insert(e.source, e.target)});
+          }
         }
         state.SetItemsProcessed(state.iterations() *
                                 static_cast<int64_t>(stream->size()));
@@ -108,14 +116,65 @@ void RegisterAll() {
       ->Iterations(2)
       ->Unit(::benchmark::kMillisecond);
 
+  // Mixed insert/delete churn through the batched write API on the
+  // deletion-capable indexes (the tentpole decremental path): 70/30
+  // insert/delete mix, rebuilding only when the staleness budget
+  // recommends it.
+  auto* churn = new std::vector<EdgeUpdate>([&] {
+    Xoshiro256ss rng(kSeed + 43);
+    std::vector<Edge> live = base->Edges();
+    std::vector<EdgeUpdate> updates;
+    while (updates.size() < 128) {
+      if (!live.empty() && rng.NextBounded(10) < 3) {
+        const Edge e = live[rng.NextBounded(live.size())];
+        updates.push_back(EdgeUpdate::Delete(e.source, e.target));
+        std::erase(live, e);
+      } else {
+        const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+        const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+        if (u == v) continue;
+        updates.push_back(EdgeUpdate::Insert(u, v));
+        live.push_back({u, v});
+      }
+    }
+    return updates;
+  }());
+  const auto register_churn = [&](const char* row, auto make_index) {
+    ::benchmark::RegisterBenchmark(
+        row,
+        [=](::benchmark::State& state) {
+          size_t rebuilds = 0;
+          for (auto _ : state) {
+            auto index = make_index();
+            index.Build(*base);
+            for (const EdgeUpdate& u : *churn) {
+              if (index.ApplyUpdate({u}).rebuild_recommended) {
+                index.RebuildFromUpdates();
+                ++rebuilds;
+              }
+            }
+          }
+          state.counters["rebuilds"] = static_cast<double>(rebuilds);
+          state.SetItemsProcessed(state.iterations() *
+                                  static_cast<int64_t>(churn->size()));
+        })
+        ->Iterations(2)
+        ->Unit(::benchmark::kMillisecond);
+  };
+  register_churn("table1dyn/er-avg3/tol-churn/apply_stream",
+                 [] { return PrunedTwoHop(VertexOrder::kDegree); });
+  register_churn("table1dyn/er-avg3/dagger-churn/apply_stream",
+                 [] { return Dagger(); });
+
   // Post-update query latency for both dynamic indexes.
   auto* tol_after = new PrunedTwoHop(VertexOrder::kDegree);
   auto* dbl_after = new Dbl();
   tol_after->Build(*base);
   dbl_after->Build(*base);
   for (const Edge& e : *stream) {
-    tol_after->InsertEdge(e.source, e.target);
-    dbl_after->InsertEdge(e.source, e.target);
+    const UpdateBatch batch = {EdgeUpdate::Insert(e.source, e.target)};
+    tol_after->ApplyUpdate(batch);
+    dbl_after->ApplyUpdate(batch);
   }
   ::benchmark::RegisterBenchmark(
       "table1dyn/er-avg3/tol-insert/query_rand_after",

@@ -1,6 +1,7 @@
 // Regenerates the Dynamic column of Table 2 (the DLCR row): incremental
-// labeled-edge insertion on the pruned labeled 2-hop index versus full
-// rebuilds, plus post-update query latency.
+// labeled-edge updates (inserts and a mixed insert/delete churn) on the
+// pruned labeled 2-hop index versus full rebuilds, plus post-update
+// query latency.
 //
 // Row naming: table2dyn/<graph>/<strategy>/<phase>.
 
@@ -40,7 +41,8 @@ void RegisterAll() {
           PrunedLabeledTwoHop index;
           index.Build(*base);
           for (const LabeledEdge& e : *stream) {
-            index.InsertEdge(e.source, e.target, e.label);
+            index.ApplyUpdate(
+                {LabeledEdgeUpdate::Insert(e.source, e.target, e.label)});
           }
           state.counters["entries"] =
               static_cast<double>(index.TotalEntries());
@@ -75,10 +77,49 @@ void RegisterAll() {
       ->Iterations(1)
       ->Unit(::benchmark::kMillisecond);
 
+  // Mixed labeled churn (70/30 insert/delete) through the batched API,
+  // rebuilding only on the staleness budget's recommendation.
+  ::benchmark::RegisterBenchmark(
+      "table2dyn/er-L4/dlcr-churn/apply_stream",
+      [=](::benchmark::State& state) {
+        size_t rebuilds = 0;
+        for (auto _ : state) {
+          Xoshiro256ss rng(kSeed + 73);
+          std::vector<LabeledEdge> live = base->Edges();
+          PrunedLabeledTwoHop index;
+          index.Build(*base);
+          for (size_t step = 0; step < 64; ++step) {
+            LabeledUpdateBatch batch;
+            if (!live.empty() && rng.NextBounded(10) < 3) {
+              const LabeledEdge e = live[rng.NextBounded(live.size())];
+              batch.push_back(
+                  LabeledEdgeUpdate::Delete(e.source, e.target, e.label));
+              std::erase(live, e);
+            } else {
+              const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+              const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+              if (u == v) continue;
+              const auto l = static_cast<Label>(rng.NextBounded(num_labels));
+              batch.push_back(LabeledEdgeUpdate::Insert(u, v, l));
+              live.push_back({u, v, l});
+            }
+            if (index.ApplyUpdate(batch).rebuild_recommended) {
+              index.RebuildFromUpdates();
+              ++rebuilds;
+            }
+          }
+        }
+        state.counters["rebuilds"] = static_cast<double>(rebuilds);
+        state.SetItemsProcessed(state.iterations() * 64);
+      })
+      ->Iterations(2)
+      ->Unit(::benchmark::kMillisecond);
+
   auto* after = new PrunedLabeledTwoHop();
   after->Build(*base);
   for (const LabeledEdge& e : *stream) {
-    after->InsertEdge(e.source, e.target, e.label);
+    after->ApplyUpdate(
+        {LabeledEdgeUpdate::Insert(e.source, e.target, e.label)});
   }
   ::benchmark::RegisterBenchmark(
       "table2dyn/er-L4/dlcr-insert/query_rand_after",

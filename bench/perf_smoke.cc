@@ -1,7 +1,9 @@
 // The CI perf-regression gate: a self-contained harness (no
-// google-benchmark) that measures index build time and query latency
-// percentiles on small generator graphs and compares them against a
-// committed baseline (bench/baselines/perf_smoke_seed.json).
+// google-benchmark) that measures index build time, query latency
+// percentiles, and — for the deletion-capable specs — the time to apply
+// a fixed mixed insert/delete stream through `ApplyUpdate`, on small
+// generator graphs, comparing against a committed baseline
+// (bench/baselines/perf_smoke_seed.json).
 //
 // Absolute times are useless across machines, so every metric is
 // normalized by a same-run calibration loop — a fixed amount of
@@ -37,11 +39,13 @@
 #include <string>
 #include <vector>
 
+#include "core/edge_update.h"
 #include "core/index_factory.h"
 #include "core/query_workload.h"
 #include "core/reachability_index.h"
 #include "graph/digraph.h"
 #include "graph/generators.h"
+#include "graph/rng.h"
 #include "par/thread_pool.h"
 
 namespace {
@@ -96,6 +100,7 @@ std::vector<SmokeCase> Roster(VertexId n) {
   Digraph dag = reach::RandomDag(n, 4 * static_cast<size_t>(n), kSeed + 1);
   cases.push_back({"er-cyclic-avg4", er, "pll"});
   cases.push_back({"er-cyclic-avg4", er, "pll:fastpath=1"});
+  cases.push_back({"er-cyclic-avg4", er, "dagger"});
   cases.push_back({"er-cyclic-avg4", std::move(er), "grail"});
   cases.push_back({"dag-avg4", dag, "pll"});
   cases.push_back({"dag-avg4", dag, "pll:compress=1"});
@@ -121,6 +126,35 @@ Metrics Measure(VertexId n, int repeat) {
     double best_build_ms = 1e300;
     double best_p50_ns = 1e300;
     double best_p99_ns = 1e300;
+    double best_churn_ms = 1e300;
+    bool measured_churn = false;
+
+    // A fixed mixed write stream (70/30 insert/delete over the case
+    // graph) for the deletion-capable specs; identical every run. Applied
+    // single-update like the serve drain loop applies its smallest
+    // batches, rebuilding only when the staleness budget recommends it.
+    // 64 updates keeps the whole gate in seconds — deletes dominate the
+    // cost (each damage sweep walks a transitive closure).
+    std::vector<reach::EdgeUpdate> churn;
+    {
+      reach::Xoshiro256ss rng(kSeed + 13);
+      std::vector<reach::Edge> live = c.graph.Edges();
+      while (churn.size() < 64) {
+        if (!live.empty() && rng.NextBounded(10) < 3) {
+          const size_t pick = rng.NextBounded(live.size());
+          const reach::Edge e = live[pick];
+          churn.push_back(reach::EdgeUpdate::Delete(e.source, e.target));
+          live[pick] = live.back();
+          live.pop_back();
+        } else {
+          const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+          const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+          if (u == v) continue;
+          churn.push_back(reach::EdgeUpdate::Insert(u, v));
+          live.push_back({u, v});
+        }
+      }
+    }
 
     // A mixed workload, dominated by random pairs like the surveyed
     // evaluations; regenerated identically every run (fixed seeds).
@@ -133,8 +167,8 @@ Metrics Measure(VertexId n, int repeat) {
     queries.insert(queries.end(), neg.begin(), neg.end());
 
     for (int run = 0; run < repeat; ++run) {
-      std::unique_ptr<reach::ReachabilityIndex> index =
-          reach::MakeIndex(c.spec).plain;
+      reach::MadeIndex made = reach::MakeIndex(c.spec);
+      std::unique_ptr<reach::ReachabilityIndex> index = std::move(made.plain);
       if (index == nullptr) {
         std::fprintf(stderr, "perf_smoke: unknown spec '%s'\n",
                      c.spec.c_str());
@@ -170,21 +204,41 @@ Metrics Measure(VertexId n, int repeat) {
       std::sort(batch_ns.begin(), batch_ns.end());
       best_p50_ns = std::min(best_p50_ns, PercentileNs(batch_ns, 0.50));
       best_p99_ns = std::min(best_p99_ns, PercentileNs(batch_ns, 0.99));
+
+      // Decremental churn: apply the fixed mixed stream through the
+      // batched write API. Runs after the query loop, so the query
+      // percentiles above always describe the freshly built index.
+      if (made.caps.decremental) {
+        auto* dyn = dynamic_cast<reach::DynamicReachabilityIndex*>(index.get());
+        if (dyn != nullptr) {
+          const auto churn_begin = Clock::now();
+          for (const reach::EdgeUpdate& u : churn) {
+            if (dyn->ApplyUpdate({u}).rebuild_recommended) {
+              dyn->RebuildFromUpdates();
+            }
+          }
+          best_churn_ms =
+              std::min(best_churn_ms, ElapsedMs(churn_begin, Clock::now()));
+          measured_churn = true;
+        }
+      }
     }
     metrics[key + "/build_ms"] = best_build_ms;
     metrics[key + "/query_p50_ns"] = best_p50_ns;
     // p99 is informational (too noisy at this scale to gate on; the
     // loader below skips it — see GatedMetric).
     metrics[key + "/query_p99_ns"] = best_p99_ns;
+    if (measured_churn) metrics[key + "/churn_ms"] = best_churn_ms;
   }
   return metrics;
 }
 
-// Only build time and p50 gate; p99 on a 4k-vertex graph is dominated by
-// scheduler noise and is recorded for eyeballs only.
+// Build time, p50, and churn-stream time gate; p99 on a 4k-vertex graph
+// is dominated by scheduler noise and is recorded for eyeballs only.
 bool GatedMetric(const std::string& name) {
   return name.find("/build_ms") != std::string::npos ||
-         name.find("/query_p50_ns") != std::string::npos;
+         name.find("/query_p50_ns") != std::string::npos ||
+         name.find("/churn_ms") != std::string::npos;
 }
 
 struct Report {

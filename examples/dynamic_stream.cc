@@ -39,8 +39,9 @@ int main() {
     const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
     const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
     if (u == v) continue;
-    tol.InsertEdge(u, v);
-    dbl.InsertEdge(u, v);
+    const UpdateBatch batch = {EdgeUpdate::Insert(u, v)};
+    tol.ApplyUpdate(batch);
+    dbl.ApplyUpdate(batch);
     all_edges.push_back({u, v});
 
     const VertexId s = static_cast<VertexId>(rng.NextBounded(n));
@@ -72,5 +73,30 @@ int main() {
   std::printf("post-stream validation against rebuilt oracle: %zu wrong "
               "answers out of 4000 checks\n",
               wrong);
-  return wrong == 0 ? 0 : 1;
+
+  // Decremental epilogue: reverse the last 50 transfers on the 2-hop
+  // index (dbl is insert-only — a delete batch would be rejected whole)
+  // and re-validate against an oracle over the shrunk edge set.
+  std::vector<Edge> pruned = all_edges;
+  UpdateBatch reversals;
+  for (size_t i = 0; i < 50 && pruned.size() > base.NumEdges(); ++i) {
+    const Edge e = pruned.back();
+    pruned.pop_back();
+    reversals.push_back(EdgeUpdate::Delete(e.source, e.target));
+  }
+  const UpdateResult undo = tol.ApplyUpdate(reversals);
+  OnlineSearch shrunk(TraversalKind::kBiBfs);
+  const Digraph pruned_graph = Digraph::FromEdges(n, pruned);
+  shrunk.Build(pruned_graph);
+  size_t wrong_after_deletes = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const VertexId s = static_cast<VertexId>(check_rng.NextBounded(n));
+    const VertexId t = static_cast<VertexId>(check_rng.NextBounded(n));
+    if (tol.Query(s, t) != shrunk.Query(s, t)) ++wrong_after_deletes;
+  }
+  std::printf("reversed %zu transfers incrementally (%zu applied, rebuild "
+              "recommended: %s); %zu wrong answers out of 2000 checks\n",
+              reversals.size(), undo.applied,
+              undo.rebuild_recommended ? "yes" : "no", wrong_after_deletes);
+  return wrong == 0 && wrong_after_deletes == 0 ? 0 : 1;
 }

@@ -12,8 +12,10 @@
 //             --demo [index-spec]
 //   reach_cli [--metrics] [--threads N] [--trace=FILE] [--slow-ms=N]
 //             [--load=FILE] [--max-inflight=N] [--max-pending=N]
-//             --serve (<edge-list-file> | --demo) [index-spec]
-//   reach_cli --help     (lists every index spec with its Param knobs)
+//             [--churn=N] --serve (<edge-list-file> | --demo) [index-spec]
+//   reach_cli --help     (lists every index spec with its Param knobs and
+//                         write capability: static / insert-only /
+//                         insert+delete)
 //
 // --fastpath wraps the chosen index in the constant-time FastPathIndex
 // layer (docs/FASTPATH.md) — equivalent to appending ":fastpath=1" to the
@@ -22,9 +24,15 @@
 //
 // --serve runs the snapshot-serving engine (src/serve/) instead of a
 // one-shot index: queries are answered from an immutable snapshot while
-// `+ <s> <t>` inserts stream into a write buffer that background rebuilds
-// absorb. Each answer reports how it was produced (index, delta closure,
-// or bounded BFS) and by which snapshot generation.
+// `+ <s> <t>` inserts and `del <s> <t>` deletes stream into a write
+// buffer that background rebuilds absorb. Each answer reports how it was
+// produced (index, delta closure, or bounded BFS) and by which snapshot
+// generation.
+//
+// --churn=N (--serve only) drives N random mixed insert/delete updates
+// through ApplyUpdate in small batches before the REPL starts, with a
+// query between batches — a smoke load for the decremental serve path;
+// the serve.update.* counters are summarized to stderr when it finishes.
 //
 // --load=FILE (--serve only) skips the startup build: the RCHX v2
 // snapshot file (written by `snapsave`, docs/SNAPSHOTS.md) is mmap'd and
@@ -63,7 +71,8 @@
 //   save <file> / load <file>   persist / restore (pll indexes only)
 //   snapsave <file> / snapload <file>   RCHX v2 snapshot write / zero-copy
 //                        mmap restore (pll indexes only, docs/SNAPSHOTS.md)
-//   + <s> <t> / flush    insert an edge / force a snapshot (--serve only)
+//   + <s> <t> / del <s> <t> / flush   insert / delete an edge, force a
+//                        snapshot (--serve only)
 //
 // With --metrics, a JSON metrics report (schema "reach.metrics.v1") is
 // printed to stdout after stdin is exhausted: per-phase build timings,
@@ -91,6 +100,7 @@
 #include "core/index_stats.h"
 #include "core/reordering_index.h"
 #include "graph/generators.h"
+#include "graph/rng.h"
 #include "graph/reorder.h"
 #include "graph/graph_io.h"
 #include "lcr/label_set.h"
@@ -116,27 +126,28 @@ void PrintUsage(FILE* out, bool roster) {
       "--demo [index-spec]\n"
       "       reach_cli [--metrics] [--threads N] [--trace=FILE] "
       "[--slow-ms=N] [--load=SNAPSHOT] [--max-inflight=N] "
-      "[--max-pending=N] --serve (<edge-list> | --demo) [index-spec]\n"
+      "[--max-pending=N] [--churn=N] --serve (<edge-list> | --demo) "
+      "[index-spec]\n"
       "       reach_cli --help\n");
   if (!roster) return;
+  // One roster line per spec, with its write capability ("static",
+  // "dynamic (insert-only)", "dynamic (insert+delete)") — the flag that
+  // decides whether `+`/`del` are absorbed incrementally under --serve.
+  const auto print_family = [out](reach::IndexFamily family) {
+    for (const reach::SpecDoc& doc : reach::DescribeIndexSpecs(family)) {
+      std::fprintf(out, "  %-18s %s [%s]\n", doc.spec.c_str(),
+                   doc.summary.c_str(), doc.caps.c_str());
+      if (!doc.params.empty()) {
+        std::fprintf(out, "  %-18s params: %s\n", "", doc.params.c_str());
+      }
+    }
+  };
   std::fprintf(out,
                "\nindex specs (append :param=value to tune; defaults in "
                "parentheses):\n");
-  for (const reach::SpecDoc& doc :
-       reach::DescribeIndexSpecs(reach::IndexFamily::kPlain)) {
-    std::fprintf(out, "  %-18s %s\n", doc.spec.c_str(), doc.summary.c_str());
-    if (!doc.params.empty()) {
-      std::fprintf(out, "  %-18s params: %s\n", "", doc.params.c_str());
-    }
-  }
+  print_family(reach::IndexFamily::kPlain);
   std::fprintf(out, "\nlabel-constrained specs (--labeled graphs):\n");
-  for (const reach::SpecDoc& doc :
-       reach::DescribeIndexSpecs(reach::IndexFamily::kLcr)) {
-    std::fprintf(out, "  %-18s %s\n", doc.spec.c_str(), doc.summary.c_str());
-    if (!doc.params.empty()) {
-      std::fprintf(out, "  %-18s params: %s\n", "", doc.params.c_str());
-    }
-  }
+  print_family(reach::IndexFamily::kLcr);
 }
 
 // Emits the JSON metrics report for `index` on stdout.
@@ -381,9 +392,64 @@ void DumpSlowQueries(const reach::ReachService& service) {
   }
 }
 
+// Drives `churn` random mixed insert/delete updates through
+// `ApplyUpdate` in small batches, interleaved with queries — a smoke
+// load for the decremental serve path, run before the REPL starts.
+void DriveChurn(reach::ReachService& service, const reach::Digraph& graph,
+                size_t churn) {
+  using namespace reach;
+  Xoshiro256ss rng(0xC4'52'4EULL);
+  std::vector<Edge> live = graph.Edges();
+  const VertexId n = static_cast<VertexId>(service.NumVertices());
+  size_t sent = 0;
+  while (sent < churn) {
+    UpdateBatch batch;
+    const size_t batch_size = std::min<size_t>(1 + rng.NextBounded(4),
+                                               churn - sent);
+    for (size_t i = 0; i < batch_size; ++i) {
+      if (!live.empty() && rng.NextBounded(10) < 3) {
+        const Edge e = live[rng.NextBounded(live.size())];
+        batch.push_back(EdgeUpdate::Delete(e.source, e.target));
+        std::erase(live, e);
+      } else {
+        const auto s = static_cast<VertexId>(rng.NextBounded(n));
+        const auto t = static_cast<VertexId>(rng.NextBounded(n));
+        if (s == t) continue;
+        batch.push_back(EdgeUpdate::Insert(s, t));
+        if (std::find(live.begin(), live.end(), Edge{s, t}) == live.end()) {
+          live.push_back({s, t});
+        }
+      }
+    }
+    if (batch.empty()) continue;
+    sent += batch.size();
+    const UpdateResult result = service.ApplyUpdate(batch);
+    if (!result.ok()) {
+      std::fprintf(stderr, "churn: batch rejected: %s\n",
+                   result.reason.c_str());
+      continue;
+    }
+    // A read between every write batch keeps the serve path honest while
+    // tombstones and pending inserts churn underneath it.
+    service.Query(static_cast<VertexId>(rng.NextBounded(n)),
+                  static_cast<VertexId>(rng.NextBounded(n)));
+  }
+  const ServeStats& stats = service.stats();
+  std::fprintf(
+      stderr,
+      "churn: %zu updates applied (%llu inserts, %llu deletes, %llu "
+      "batches, %llu rejected, %llu delete-verified reads), %zu pending\n",
+      sent, static_cast<unsigned long long>(stats.inserts.load()),
+      static_cast<unsigned long long>(stats.deletes.load()),
+      static_cast<unsigned long long>(stats.update_batches.load()),
+      static_cast<unsigned long long>(stats.update_rejected.load()),
+      static_cast<unsigned long long>(stats.delete_verifies.load()),
+      service.PendingEdgeCount());
+}
+
 int RunServe(const reach::Digraph& graph, const std::string& spec,
              bool metrics, double slow_ms, const std::string& load_path,
-             size_t max_inflight, size_t max_pending) {
+             size_t max_inflight, size_t max_pending, size_t churn) {
   using namespace reach;
   ServiceOptions options;
   options.spec = spec;
@@ -412,11 +478,13 @@ int RunServe(const reach::Digraph& graph, const std::string& spec,
   }
   std::fprintf(stderr,
                "serving %zu vertices / %zu edges with '%s'; commands:\n"
-               "  <s> <t>    query  (prints: <answer> <source> v<snapshot>)\n"
-               "  + <s> <t>  insert edge\n"
-               "  flush      absorb pending inserts into a new snapshot\n"
-               "  health     print the readiness/health snapshot\n",
+               "  <s> <t>      query  (prints: <answer> <source> v<snapshot>)\n"
+               "  + <s> <t>    insert edge\n"
+               "  del <s> <t>  delete edge\n"
+               "  flush        absorb pending updates into a new snapshot\n"
+               "  health       print the readiness/health snapshot\n",
                graph.NumVertices(), graph.NumEdges(), spec.c_str());
+  if (churn > 0) DriveChurn(service, graph, churn);
 
   // Graceful SIGINT/SIGTERM: the handler interrupts the blocked getline,
   // the loop exits, and the normal shutdown path below still runs —
@@ -439,13 +507,23 @@ int RunServe(const reach::Digraph& graph, const std::string& spec,
                   static_cast<unsigned long long>(service.SnapshotVersion()));
       continue;
     }
-    if (first == "+") {
+    if (first == "+" || first == "del") {
+      const bool is_delete = first == "del";
       VertexId s = 0, t = 0;
-      if (!(fields >> s >> t) || !service.InsertEdge(s, t)) {
-        std::printf("error: bad insert '%s'\n", line.c_str());
+      if (!(fields >> s >> t)) {
+        std::printf("error: bad %s '%s'\n", is_delete ? "delete" : "insert",
+                    line.c_str());
         continue;
       }
-      std::printf("inserted %u -> %u (%zu pending)\n", s, t,
+      const UpdateResult result = service.ApplyUpdate(
+          {is_delete ? EdgeUpdate::Delete(s, t) : EdgeUpdate::Insert(s, t)});
+      if (!result.ok()) {
+        std::printf("error: %s rejected: %s\n",
+                    is_delete ? "delete" : "insert", result.reason.c_str());
+        continue;
+      }
+      std::printf("%s %u -> %u (%zu pending)\n",
+                  is_delete ? "deleted" : "inserted", s, t,
                   service.PendingEdgeCount());
       continue;
     }
@@ -476,7 +554,8 @@ int RunServe(const reach::Digraph& graph, const std::string& spec,
   std::fprintf(
       stderr,
       "served %llu queries (%llu index, %llu delta, %llu bfs, "
-      "%llu negcache), %llu inserts, %llu snapshots\n"
+      "%llu negcache), %llu inserts, %llu deletes (%llu verified reads), "
+      "%llu snapshots\n"
       "  %llu deadline_degraded, %llu slow captured (%llu evicted), "
       "negcache %llu miss / %llu evict / %llu invalidate\n",
       static_cast<unsigned long long>(stats.queries.load()),
@@ -485,6 +564,8 @@ int RunServe(const reach::Digraph& graph, const std::string& spec,
       static_cast<unsigned long long>(stats.fallback_answers.load()),
       static_cast<unsigned long long>(stats.negcache_hits.load()),
       static_cast<unsigned long long>(stats.inserts.load()),
+      static_cast<unsigned long long>(stats.deletes.load()),
+      static_cast<unsigned long long>(stats.delete_verifies.load()),
       static_cast<unsigned long long>(stats.rebuilds.load()),
       static_cast<unsigned long long>(stats.deadline_degraded.load()),
       static_cast<unsigned long long>(stats.slow_captured.load()),
@@ -514,6 +595,7 @@ int main(int argc, char** argv) {
   double slow_ms = -1;
   size_t max_inflight = 0;
   size_t max_pending = 0;
+  size_t churn = 0;
   ReorderStrategy reorder = ReorderStrategy::kNone;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
@@ -561,6 +643,16 @@ int main(int argc, char** argv) {
                      "error: --max-inflight needs a positive integer\n");
         return 1;
       }
+    } else if (std::strncmp(argv[i], "--churn=", 8) == 0) {
+      try {
+        churn = std::stoul(argv[i] + 8);
+      } catch (...) {
+        churn = 0;
+      }
+      if (churn == 0) {
+        std::fprintf(stderr, "error: --churn needs a positive integer\n");
+        return 1;
+      }
     } else if (std::strncmp(argv[i], "--max-pending=", 14) == 0) {
       try {
         max_pending = std::stoul(argv[i] + 14);
@@ -606,6 +698,10 @@ int main(int argc, char** argv) {
                  "--serve\n");
     return 1;
   }
+  if (churn > 0 && !serve) {
+    std::fprintf(stderr, "error: --churn only applies with --serve\n");
+    return 1;
+  }
   if (!trace_path.empty()) {
     if (!kMetricsCompiled) {
       std::fprintf(stderr,
@@ -632,7 +728,7 @@ int main(int argc, char** argv) {
           with_fastpath(args.size() > 1 ? args[1] : "pll");
       if (serve) {
         return RunServe(ScaleFreeDag(10000, 3, 1), spec, metrics, slow_ms,
-                        load_path, max_inflight, max_pending);
+                        load_path, max_inflight, max_pending, churn);
       }
       return RunPlain(ScaleFreeDag(10000, 3, 1), spec, metrics, reorder);
     }
@@ -661,7 +757,7 @@ int main(int argc, char** argv) {
           with_fastpath(args.size() > 1 ? args[1] : "pll");
       if (serve) {
         return RunServe(*graph, spec, metrics, slow_ms, load_path,
-                        max_inflight, max_pending);
+                        max_inflight, max_pending, churn);
       }
       return RunPlain(*graph, spec, metrics, reorder);
     }

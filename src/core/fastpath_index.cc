@@ -54,7 +54,10 @@ void BasicFastPathIndex<Base>::Build(const Digraph& graph) {
                                    inner_stats.phases.end());
   this->build_stats_.size_bytes = IndexSizeBytes();
   this->build_stats_.num_entries = inner_stats.num_entries;
+  // Re-arm: a fresh stack over the new graph makes both verdict
+  // directions sound again.
   inserted_ = false;
+  deleted_ = false;
   FlushAllCells();
   for (Cell& cell : cells_) cell = Cell{};
 }
@@ -74,10 +77,14 @@ bool BasicFastPathIndex<Base>::QueryInSlot(VertexId s, VertexId t,
   REACH_PROBE_INC(probe, queries);
   REACH_PROBE_ADD(probe, labels_scanned, 1);  // the observation lookup
   int verdict = stack_.Verdict(s, t);
-  // After an InsertEdge the precomputed orders may order the new edge
+  // After an insert the precomputed orders may order the new edge
   // backwards, so negative verdicts are unsound; positives only ever
   // become "more true" (reachability is monotone under insertion).
   if (verdict < 0 && inserted_) verdict = 0;
+  // After a delete the mirror argument applies: reachability only
+  // shrinks, so negatives stay sound but a cached positive may now be a
+  // stale wrong answer — the dangerous direction.
+  if (verdict > 0 && deleted_) verdict = 0;
   // VerdictStats() stays exact in every build mode (like
   // ReachService::stats()); only the registry mirroring is gated.
   if (verdict != 0) {
@@ -145,10 +152,32 @@ void BasicFastPathIndex<Base>::ResetProbe() const {
 }
 
 template <typename Base>
-void BasicFastPathIndex<Base>::InsertEdge(VertexId s, VertexId t) {
+UpdateResult BasicFastPathIndex<Base>::ApplyUpdate(const UpdateBatch& batch) {
   assert(inner_dynamic_ != nullptr);
-  inner_dynamic_->InsertEdge(s, t);
-  inserted_ = true;
+  UpdateResult result = inner_dynamic_->ApplyUpdate(batch);
+  if (result.ok()) {
+    // Conservative: flag on batch contents, not on `applied` — a no-op
+    // update suppresses nothing new worth distinguishing.
+    for (const EdgeUpdate& update : batch) {
+      if (update.IsInsert()) {
+        inserted_ = true;
+      } else {
+        deleted_ = true;
+      }
+    }
+  }
+  return result;
+}
+
+template <typename Base>
+bool BasicFastPathIndex<Base>::SupportsDeletions() const {
+  return inner_dynamic_ != nullptr && inner_dynamic_->SupportsDeletions();
+}
+
+template <typename Base>
+bool BasicFastPathIndex<Base>::RebuildFromUpdates() {
+  if (inner_dynamic_ == nullptr) return false;
+  return inner_dynamic_->RebuildFromUpdates();
 }
 
 template <typename Base>

@@ -48,10 +48,14 @@ struct FastPathVerdictStats {
 ///
 /// Dynamic wrapping (`DynamicFastPathIndex`): reachability only grows
 /// under insertion, so positive verdicts (same-SCC, DFS containment,
-/// common observation vertex) stay valid after `InsertEdge`; negative
+/// common observation vertex) stay valid after an insert; negative
 /// verdicts rely on orders that an inserted edge can falsify, so they
 /// are suppressed — demoted to undecided — from the first insertion
-/// until the next `Build`.
+/// until the next `Build`. Deletion is the mirror image, and the
+/// dangerous direction: a delete can only *shrink* reachability, so
+/// negative verdicts stay sound but a stale *positive* would be a wrong
+/// answer — positives are suppressed from the first delete until the
+/// next `Build`. Both flags re-arm (clear) on `Build`, never before.
 template <typename Base>
 class BasicFastPathIndex : public Base {
  public:
@@ -73,11 +77,21 @@ class BasicFastPathIndex : public Base {
   QueryProbe Probe() const override;
   void ResetProbe() const override;
 
-  /// Inserts edge s -> t into the wrapped index and switches the
-  /// observation stack to insert mode (negative verdicts suppressed).
-  /// Overrides `DynamicReachabilityIndex::InsertEdge` in the dynamic
-  /// instantiation; must not be called on a non-dynamic inner index.
-  void InsertEdge(VertexId s, VertexId t);
+  /// Forwards the batch to the wrapped index and degrades the
+  /// observation stack to match: any insert in an accepted batch
+  /// suppresses negative verdicts, any delete suppresses positive ones
+  /// (class comment). Overrides `DynamicReachabilityIndex::ApplyUpdate`
+  /// in the dynamic instantiation; must not be called on a non-dynamic
+  /// inner index. A rejected batch leaves the verdict modes untouched.
+  UpdateResult ApplyUpdate(const UpdateBatch& batch);
+
+  /// Follows the wrapped index (dynamic instantiation only).
+  bool SupportsDeletions() const;
+
+  /// Forwards to the wrapped index. The observation stack is NOT rebuilt
+  /// (it has no graph to rebuild from), so verdict suppression persists
+  /// until the next `Build` even after the inner index re-minimizes.
+  bool RebuildFromUpdates();
 
   /// Verdict counts accumulated since `Build` / `ResetProbe`, summed
   /// across slots. Exact in every build mode, including REACH_METRICS=0
@@ -108,9 +122,11 @@ class BasicFastPathIndex : public Base {
   std::unique_ptr<ReachabilityIndex> inner_;
   DynamicReachabilityIndex* inner_dynamic_ = nullptr;  // null if static
   ObservationStack stack_;
-  // Set by InsertEdge, cleared by Build. Plain bool: like every dynamic
-  // index in the library, InsertEdge is not thread-safe with queries.
-  bool inserted_ = false;
+  // Set by ApplyUpdate, cleared by Build (the re-arm point). Plain
+  // bools: like every dynamic index in the library, writes are not
+  // thread-safe with queries.
+  bool inserted_ = false;  // suppress negative verdicts
+  bool deleted_ = false;   // suppress positive verdicts
   mutable std::deque<Cell> cells_;  // slot-indexed; deque: stable refs
   // Shared registry counters ("fastpath.*", created once per process).
   Counter* hit_pos_counter_;

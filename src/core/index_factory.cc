@@ -64,11 +64,16 @@ std::unique_ptr<ReachabilityIndex> MakePlain(const IndexSpec& spec) {
     if (name == "tfl") order = VertexOrder::kTopological;
     if (name == "tol-random") order = VertexOrder::kRandom;
     if (name == "tol-revdeg") order = VertexOrder::kReverseDegree;
-    return std::make_unique<PrunedTwoHop>(order, 0x70'6c'6cULL, 0,
-                                          StorageFromSpec(spec));
+    return std::make_unique<PrunedTwoHop>(
+        order, 0x70'6c'6cULL, 0, StorageFromSpec(spec),
+        spec.Param("staleness", PrunedTwoHop::kDefaultStalenessBudget));
   }
   if (name == "dbl") return std::make_unique<Dbl>();
-  if (name == "dagger") return std::make_unique<Dagger>(spec.Param("k", 3));
+  if (name == "dagger") {
+    return std::make_unique<Dagger>(
+        spec.Param("k", 3), 0x64'61'67ULL,
+        spec.Param("staleness", Dagger::kDefaultStalenessBudget));
+  }
   if (name == "oreach") return MakeCondensing<OReach>(spec.Param("k", 32));
   if (name == "ip") return MakeCondensing<IpLabel>(spec.Param("k", 4));
   if (name == "bfl") return MakeCondensing<Bfl>(spec.Param("bits", 256));
@@ -92,7 +97,10 @@ std::unique_ptr<LcrIndex> MakeLcr(const IndexSpec& spec) {
                                            spec.Param("b", 2));
   }
   if (name == "pll" || name == "p2h") {
-    return std::make_unique<PrunedLabeledTwoHop>(0, StorageFromSpec(spec));
+    return std::make_unique<PrunedLabeledTwoHop>(
+        0, StorageFromSpec(spec),
+        spec.Param("staleness",
+                   PrunedLabeledTwoHop::kDefaultStalenessBudget));
   }
   return nullptr;
 }
@@ -125,17 +133,20 @@ MadeIndex MakeIndex(const IndexSpec& spec) {
     if (!made.lcr) return made;
     made.caps.labeled = true;
     // PrunedLabeledTwoHop is the one LCR technique with incremental
-    // InsertEdge (the DLCR row of Table 2).
-    made.caps.dynamic =
-        dynamic_cast<PrunedLabeledTwoHop*>(made.lcr.get()) != nullptr;
+    // ApplyUpdate (the DLCR row of Table 2); it absorbs deletes too.
+    auto* p2h = dynamic_cast<PrunedLabeledTwoHop*>(made.lcr.get());
+    made.caps.dynamic = p2h != nullptr;
+    made.caps.decremental = p2h != nullptr && p2h->SupportsDeletions();
     made.caps.complete = made.lcr->IsComplete();
     made.caps.serializable = made.lcr->SupportsSerialization();
     return made;
   }
   made.plain = MakePlain(spec);
   if (!made.plain) return made;
-  made.caps.dynamic =
-      dynamic_cast<DynamicReachabilityIndex*>(made.plain.get()) != nullptr;
+  auto* dynamic =
+      dynamic_cast<DynamicReachabilityIndex*>(made.plain.get());
+  made.caps.dynamic = dynamic != nullptr;
+  made.caps.decremental = dynamic != nullptr && dynamic->SupportsDeletions();
   // AutoIndex only knows its completeness after Build picks a technique.
   made.caps.complete = spec.base != "auto" && made.plain->IsComplete();
   made.caps.serializable = made.plain->SupportsSerialization();
@@ -143,10 +154,11 @@ MadeIndex MakeIndex(const IndexSpec& spec) {
     ObservationStack::Options options;
     options.num_supports = spec.Param("supports", options.num_supports);
     options.num_anti = spec.Param("anti", options.num_anti);
-    // The dynamic instantiation keeps `InsertEdge` (and thereby
-    // `caps.dynamic`) reachable through the wrapper; `complete` follows
-    // the inner index; serialization is dropped — the observation stack
-    // is rebuilt from the graph, never persisted.
+    // The dynamic instantiation keeps `ApplyUpdate` (and thereby
+    // `caps.dynamic` / `caps.decremental`) reachable through the
+    // wrapper; `complete` follows the inner index; serialization is
+    // dropped — the observation stack is rebuilt from the graph, never
+    // persisted.
     if (made.caps.dynamic) {
       made.plain = std::make_unique<DynamicFastPathIndex>(
           std::move(made.plain), options);
@@ -170,46 +182,60 @@ std::vector<std::string> DefaultIndexSpecs(IndexFamily family) {
 }
 
 std::vector<SpecDoc> DescribeIndexSpecs(IndexFamily family) {
+  // Write-capability strings, kept in lockstep with what `MakeIndex`
+  // reports in `IndexCaps` (index_factory_test pins each row).
+  static const char* const kStatic = "static";
+  static const char* const kInsertOnly = "dynamic (insert-only)";
+  static const char* const kInsertDelete = "dynamic (insert+delete)";
   if (family == IndexFamily::kLcr) {
     return {
-        {"lcr:bfs", "", "label-constrained online BFS baseline"},
-        {"lcr:gtc", "", "generalized transitive closure"},
-        {"lcr:tree", "", "tree-based LCR index (Jin et al.)"},
+        {"lcr:bfs", "", "label-constrained online BFS baseline", kStatic},
+        {"lcr:gtc", "", "generalized transitive closure", kStatic},
+        {"lcr:tree", "", "tree-based LCR index (Jin et al.)", kStatic},
         {"lcr:landmark", "k=<n> landmarks (16), b=<n> budget (2)",
-         "landmark index"},
-        {"lcr:pll", "compress=1, block=<n> (64), budget_mb=<n>",
-         "label-constrained pruned 2-hop (P2H+)"},
+         "landmark index", kStatic},
+        {"lcr:pll",
+         "compress=1, block=<n> (64), budget_mb=<n>, staleness=<n> (32)",
+         "label-constrained pruned 2-hop (P2H+)", kInsertDelete},
     };
   }
   return {
-      {"bfs", "", "online breadth-first search (no index)"},
-      {"dfs", "", "online depth-first search (no index)"},
-      {"bibfs", "", "online bidirectional BFS (no index)"},
-      {"tc", "", "full transitive closure bitmap"},
-      {"treecover", "", "Agrawal et al. optimal tree cover"},
-      {"dual", "", "dual labeling (tree + non-tree t-links)"},
-      {"chaincover", "", "chain cover (Jagadish)"},
-      {"gripp", "", "GRIPP interval traversal"},
-      {"grail", "k=<n> interval labelings (3)", "GRAIL randomized intervals"},
+      {"bfs", "", "online breadth-first search (no index)", kStatic},
+      {"dfs", "", "online depth-first search (no index)", kStatic},
+      {"bibfs", "", "online bidirectional BFS (no index)", kStatic},
+      {"tc", "", "full transitive closure bitmap", kStatic},
+      {"treecover", "", "Agrawal et al. optimal tree cover", kStatic},
+      {"dual", "", "dual labeling (tree + non-tree t-links)", kStatic},
+      {"chaincover", "", "chain cover (Jagadish)", kStatic},
+      {"gripp", "", "GRIPP interval traversal", kStatic},
+      {"grail", "k=<n> interval labelings (3)", "GRAIL randomized intervals",
+       kStatic},
       {"ferrari", "k=<n> intervals per vertex (4)",
-       "FERRARI adaptive exact/approximate intervals"},
-      {"pll", "compress=1, block=<n> (64), budget_mb=<n>",
-       "pruned 2-hop labeling, degree order"},
-      {"tfl", "", "pruned 2-hop labeling, topological order"},
-      {"tol-random", "", "pruned 2-hop labeling, random order"},
-      {"tol-revdeg", "", "pruned 2-hop labeling, reverse-degree order"},
-      {"dbl", "", "dual Bloom labels"},
-      {"dagger", "k=<n> interval labelings (3)", "dynamic DAGGER intervals"},
+       "FERRARI adaptive exact/approximate intervals", kStatic},
+      {"pll",
+       "compress=1, block=<n> (64), budget_mb=<n>, staleness=<n> (32)",
+       "pruned 2-hop labeling, degree order", kInsertDelete},
+      {"tfl", "staleness=<n> (32)", "pruned 2-hop labeling, topological order",
+       kInsertDelete},
+      {"tol-random", "staleness=<n> (32)",
+       "pruned 2-hop labeling, random order", kInsertDelete},
+      {"tol-revdeg", "staleness=<n> (32)",
+       "pruned 2-hop labeling, reverse-degree order", kInsertDelete},
+      {"dbl", "", "dual Bloom labels", kInsertOnly},
+      {"dagger", "k=<n> interval labelings (3), staleness=<n> (64)",
+       "dynamic DAGGER intervals", kInsertDelete},
       {"oreach", "k=<n> supportive vertices (32)",
-       "O'Reach observation stack + guided bidirectional BFS"},
+       "O'Reach observation stack + guided bidirectional BFS", kStatic},
       {"ip", "k=<n> label entries per side (4)",
-       "IP independent-permutation labels"},
-      {"bfl", "bits=<n> Bloom-filter width (256)", "Bloom-filter labeling"},
-      {"feline", "", "FELINE planar-dominance coordinates"},
-      {"preach", "", "PReaCH pruned contraction-hierarchy search"},
-      {"auto", "", "Table 1 advisor: picks a technique per graph"},
+       "IP independent-permutation labels", kStatic},
+      {"bfl", "bits=<n> Bloom-filter width (256)", "Bloom-filter labeling",
+       kStatic},
+      {"feline", "", "FELINE planar-dominance coordinates", kStatic},
+      {"preach", "", "PReaCH pruned contraction-hierarchy search", kStatic},
+      {"auto", "", "Table 1 advisor: picks a technique per graph", kStatic},
       {"<any>:fastpath=1", "supports=<n> (32), anti=<n> (32)",
-       "wrap any plain spec in the O(1) observation-stack fast path"},
+       "wrap any plain spec in the O(1) observation-stack fast path",
+       "follows the wrapped spec"},
   };
 }
 

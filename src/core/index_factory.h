@@ -45,8 +45,11 @@ struct IndexSpec {
 struct IndexCaps {
   /// Answers label-constrained queries (`MadeIndex::lcr` is set).
   bool labeled = false;
-  /// Supports incremental `InsertEdge` after `Build`.
+  /// Supports incremental `ApplyUpdate` (at least inserts) after `Build`.
   bool dynamic = false;
+  /// `ApplyUpdate` additionally accepts `kDelete` updates — the index is
+  /// fully dynamic in the Table 1 sense, not insert-only.
+  bool decremental = false;
   /// Answers from the index alone — never falls back to traversal.
   /// (For "auto" this is unknown until `Build` picks a technique.)
   bool complete = false;
@@ -105,6 +108,10 @@ struct SpecDoc {
   std::string spec;
   std::string params;
   std::string summary;
+  /// Write capability as `MakeIndex` would report it in `IndexCaps`:
+  /// "static", "dynamic (insert-only)", or "dynamic (insert+delete)".
+  /// Pinned to the factory's actual caps by index_factory_test.
+  std::string caps;
 };
 
 /// Documentation for every spec `MakeIndex` accepts in `family`, in

@@ -45,10 +45,11 @@ struct TwoHopStorageOptions {
 /// vertices' labels are adjacent, instead of a pointer chase through
 /// ~48 bytes of vector headers per vertex.
 ///
-/// A sealed pool is immutable. Post-seal mutation (TOL-style `InsertEdge`)
-/// goes into a per-index *delta overlay* kept next to the pool by its
-/// owner; the pool itself never reallocates, so spans stay valid for the
-/// index's lifetime.
+/// A sealed pool is immutable. Post-seal mutation (TOL-style
+/// `ApplyUpdate` — inserts into a delta overlay, deletes as tombstones
+/// plus damage marks) is kept next to the pool by its owner; the pool
+/// itself never reallocates, so spans stay valid for the index's
+/// lifetime.
 ///
 /// A pool can alternatively be sealed as a *view* over externally owned
 /// memory (`SealFromView`) — the zero-copy mmap snapshot path

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/edge_update.h"
 #include "core/index_stats.h"
 #include "core/query_workload.h"
 #include "core/serialize.h"
@@ -130,14 +131,46 @@ class ReachabilityIndex {
   IndexStats build_stats_;
 };
 
-/// Interface of a plain reachability index that supports edge insertions
-/// (the Dynamic column of Table 1).
+/// Interface of a plain reachability index that supports incremental
+/// writes (the Dynamic column of Table 1).
+///
+/// The write surface is one call: `ApplyUpdate(batch)`. A batch is an
+/// ordered mix of inserts and deletes; the index either absorbs the whole
+/// batch (possibly flagging that a background rebuild is now advisable) or
+/// rejects it without side effects. Queries issued after a successful
+/// `ApplyUpdate` are exact for the updated edge set — *partial* staleness
+/// is never visible through answers, only through `UpdateResult::damage`
+/// and `IsComplete()`.
+///
+/// Deletions are optional: insert-only techniques (DBL) report
+/// `SupportsDeletions() == false` and reject any batch containing a
+/// delete. Callers branch on the capability (surfaced as the factory's
+/// `IndexCaps::decremental`), never on index names.
 class DynamicReachabilityIndex : public ReachabilityIndex {
  public:
-  /// Inserts edge s -> t and updates the index incrementally. The edge may
-  /// already exist (no-op). Queries reflect the union of the built graph
-  /// and all inserted edges.
-  virtual void InsertEdge(VertexId s, VertexId t) = 0;
+  /// Applies `batch` in order. See `UpdateResult` for the outcome
+  /// contract; on `kRejected` no state changed. Like every write in the
+  /// library, not thread-safe against concurrent queries — the serving
+  /// layer (serve/reach_service.h) provides the concurrent facade.
+  virtual UpdateResult ApplyUpdate(const UpdateBatch& batch) = 0;
+
+  /// True if `ApplyUpdate` accepts `EdgeUpdate::Kind::kDelete`.
+  virtual bool SupportsDeletions() const { return false; }
+
+  /// Folds every update applied since the last `Build()` into a fresh
+  /// build (resetting staleness/damage to zero). This is the second half
+  /// of the rebuild-threshold policy: `ApplyUpdate` returns
+  /// `kDeferredRebuild` when the budget is crossed, and the *caller*
+  /// decides when to pay for this. Returns false when the index has
+  /// nothing to fold or does not support it.
+  virtual bool RebuildFromUpdates() { return false; }
+
+  /// Deprecated single-edge insert shim, kept for one release while call
+  /// sites migrate; forwards to `ApplyUpdate`.
+  [[deprecated("use ApplyUpdate(UpdateBatch) instead")]] void InsertEdge(
+      VertexId s, VertexId t) {
+    ApplyUpdate({EdgeUpdate::Insert(s, t)});
+  }
 };
 
 }  // namespace reach

@@ -16,18 +16,27 @@ namespace reach {
 /// purely an in-memory layout optimization: answers are identical for any
 /// strategy because reachability is invariant under vertex relabeling.
 ///
+/// The write surface passes through the same translation: `ApplyUpdate`
+/// renames each update's endpoints and forwards the batch, so a dynamic
+/// inner index stays dynamic behind the wrapper (`DynamicReorderingIndex`,
+/// with capability flags following the inner index).
+///
 /// Opt-in via `reach_cli --reorder=deg|bfs|none`.
-class ReorderingIndex : public ReachabilityIndex {
+template <typename Base>
+class BasicReorderingIndex : public Base {
  public:
-  /// Takes ownership of the index to wrap.
-  ReorderingIndex(std::unique_ptr<ReachabilityIndex> inner,
-                  ReorderStrategy strategy)
-      : inner_(std::move(inner)), strategy_(strategy) {}
+  /// Takes ownership of the index to wrap. For the dynamic instantiation
+  /// the inner index must be a `DynamicReachabilityIndex`.
+  BasicReorderingIndex(std::unique_ptr<ReachabilityIndex> inner,
+                       ReorderStrategy strategy)
+      : inner_(std::move(inner)), strategy_(strategy) {
+    inner_dynamic_ = dynamic_cast<DynamicReachabilityIndex*>(inner_.get());
+  }
 
   void Build(const Digraph& graph) override {
-    BuildStatsScope build(&build_stats_);
+    BuildStatsScope build(&this->build_stats_);
     {
-      BuildPhaseTimer timer(&build_stats_.phases, "reorder");
+      BuildPhaseTimer timer(&this->build_stats_.phases, "reorder");
       perm_ = ComputeReordering(graph, strategy_);
       relabeled_ = RelabelDigraph(graph, perm_);
     }
@@ -35,11 +44,43 @@ class ReorderingIndex : public ReachabilityIndex {
     // Absorb the wrapped build's breakdown so `Stats()` shows the whole
     // pipeline (reorder -> inner phases).
     const IndexStats& inner_stats = inner_->Stats();
-    build_stats_.phases.insert(build_stats_.phases.end(),
-                               inner_stats.phases.begin(),
-                               inner_stats.phases.end());
-    build_stats_.size_bytes = IndexSizeBytes();
-    build_stats_.num_entries = inner_stats.num_entries;
+    this->build_stats_.phases.insert(this->build_stats_.phases.end(),
+                                     inner_stats.phases.begin(),
+                                     inner_stats.phases.end());
+    this->build_stats_.size_bytes = IndexSizeBytes();
+    this->build_stats_.num_entries = inner_stats.num_entries;
+  }
+
+  /// Renames each update's endpoints into the relabeled numbering and
+  /// forwards the batch. Overrides `DynamicReachabilityIndex::ApplyUpdate`
+  /// in the dynamic instantiation; must not be called on a non-dynamic
+  /// inner index.
+  UpdateResult ApplyUpdate(const UpdateBatch& batch) {
+    if (inner_dynamic_ == nullptr) {
+      return UpdateResult::Rejected("inner index is not dynamic");
+    }
+    // Out-of-range endpoints are rejected here (validate-first) because
+    // ToNew cannot translate them.
+    const VertexId n = static_cast<VertexId>(perm_.old_to_new.size());
+    UpdateBatch renamed;
+    renamed.reserve(batch.size());
+    for (const EdgeUpdate& update : batch) {
+      if (update.source >= n || update.target >= n) {
+        return UpdateResult::Rejected("endpoint out of range");
+      }
+      renamed.push_back(EdgeUpdate{update.kind, perm_.ToNew(update.source),
+                                   perm_.ToNew(update.target)});
+    }
+    return inner_dynamic_->ApplyUpdate(renamed);
+  }
+
+  /// Follows the wrapped index (dynamic instantiation only).
+  bool SupportsDeletions() const {
+    return inner_dynamic_ != nullptr && inner_dynamic_->SupportsDeletions();
+  }
+
+  bool RebuildFromUpdates() {
+    return inner_dynamic_ != nullptr && inner_dynamic_->RebuildFromUpdates();
   }
 
   bool Query(VertexId s, VertexId t) const override {
@@ -81,10 +122,14 @@ class ReorderingIndex : public ReachabilityIndex {
 
  private:
   std::unique_ptr<ReachabilityIndex> inner_;
+  DynamicReachabilityIndex* inner_dynamic_ = nullptr;  // null if static
   ReorderStrategy strategy_;
   VertexPermutation perm_;
   Digraph relabeled_;
 };
+
+using ReorderingIndex = BasicReorderingIndex<ReachabilityIndex>;
+using DynamicReorderingIndex = BasicReorderingIndex<DynamicReachabilityIndex>;
 
 }  // namespace reach
 

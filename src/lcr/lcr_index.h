@@ -3,7 +3,9 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
+#include "core/edge_update.h"
 #include "core/index_stats.h"
 #include "core/serialize.h"
 #include "graph/labeled_digraph.h"
@@ -11,6 +13,37 @@
 #include "obs/query_probe.h"
 
 namespace reach {
+
+/// A single labeled write: insert or delete of the arc
+/// `source -label-> target`. The labeled analogue of `EdgeUpdate`
+/// (core/edge_update.h) for the LCR write surface; batches share the
+/// `UpdateResult` contract.
+struct LabeledEdgeUpdate {
+  using Kind = EdgeUpdate::Kind;
+
+  Kind kind = Kind::kInsert;
+  VertexId source = 0;
+  VertexId target = 0;
+  Label label = 0;
+
+  static LabeledEdgeUpdate Insert(VertexId s, VertexId t, Label l) {
+    return {Kind::kInsert, s, t, l};
+  }
+  static LabeledEdgeUpdate Delete(VertexId s, VertexId t, Label l) {
+    return {Kind::kDelete, s, t, l};
+  }
+
+  bool IsInsert() const { return kind == Kind::kInsert; }
+  bool IsDelete() const { return kind == Kind::kDelete; }
+
+  friend bool operator==(const LabeledEdgeUpdate&,
+                         const LabeledEdgeUpdate&) = default;
+};
+
+/// An ordered batch of labeled updates, applied atomically per the
+/// `UpdateResult` contract (validate-first; later updates see earlier
+/// ones).
+using LabeledUpdateBatch = std::vector<LabeledEdgeUpdate>;
 
 /// Abstract interface of an index for alternation-based path-constrained
 /// reachability queries (label-constrained reachability, LCR — paper §4.1).

@@ -109,6 +109,52 @@ class SeenSets {
 
 template <typename ArcFn>
 void PrunedLabeledTwoHop::ArcsOut(VertexId v, ArcFn&& fn) const {
+  if (tomb_out_.empty() || tomb_out_[v].empty()) {
+    for (const auto& arc : graph_->OutArcs(v)) fn(arc);
+    if (!extra_out_.empty()) {
+      for (const auto& arc : extra_out_[v]) fn(arc);
+    }
+    return;
+  }
+  const auto& tomb = tomb_out_[v];
+  auto live = [&](const LabeledDigraph::Arc& arc) {
+    return std::find(tomb.begin(), tomb.end(), arc) == tomb.end();
+  };
+  for (const auto& arc : graph_->OutArcs(v)) {
+    if (live(arc)) fn(arc);
+  }
+  if (!extra_out_.empty()) {
+    for (const auto& arc : extra_out_[v]) {
+      if (live(arc)) fn(arc);
+    }
+  }
+}
+
+template <typename ArcFn>
+void PrunedLabeledTwoHop::ArcsIn(VertexId v, ArcFn&& fn) const {
+  if (tomb_in_.empty() || tomb_in_[v].empty()) {
+    for (const auto& arc : graph_->InArcs(v)) fn(arc);
+    if (!extra_in_.empty()) {
+      for (const auto& arc : extra_in_[v]) fn(arc);
+    }
+    return;
+  }
+  const auto& tomb = tomb_in_[v];
+  auto live = [&](const LabeledDigraph::Arc& arc) {
+    return std::find(tomb.begin(), tomb.end(), arc) == tomb.end();
+  };
+  for (const auto& arc : graph_->InArcs(v)) {
+    if (live(arc)) fn(arc);
+  }
+  if (!extra_in_.empty()) {
+    for (const auto& arc : extra_in_[v]) {
+      if (live(arc)) fn(arc);
+    }
+  }
+}
+
+template <typename ArcFn>
+void PrunedLabeledTwoHop::ArcsOutSuperset(VertexId v, ArcFn&& fn) const {
   for (const auto& arc : graph_->OutArcs(v)) fn(arc);
   if (!extra_out_.empty()) {
     for (const auto& arc : extra_out_[v]) fn(arc);
@@ -116,7 +162,7 @@ void PrunedLabeledTwoHop::ArcsOut(VertexId v, ArcFn&& fn) const {
 }
 
 template <typename ArcFn>
-void PrunedLabeledTwoHop::ArcsIn(VertexId v, ArcFn&& fn) const {
+void PrunedLabeledTwoHop::ArcsInSuperset(VertexId v, ArcFn&& fn) const {
   for (const auto& arc : graph_->InArcs(v)) fn(arc);
   if (!extra_in_.empty()) {
     for (const auto& arc : extra_in_[v]) fn(arc);
@@ -260,6 +306,13 @@ bool PrunedLabeledTwoHop::IntersectPoolWithSpan(
 bool PrunedLabeledTwoHop::AnswerQuery(VertexId s, VertexId t,
                                       LabelSet allowed) const {
   if (s == t) return true;
+  if (damage_ == 0) return SupersetAnswer(s, t, allowed);
+  return DamagedAnswer(s, t, allowed);
+}
+
+bool PrunedLabeledTwoHop::SupersetAnswer(VertexId s, VertexId t,
+                                         LabelSet allowed) const {
+  if (s == t) return true;
   if (compressed_) {
     if (CoveredInPool(lin_cpool_, t, rank_[s], allowed)) return true;
     if (CoveredInPool(lout_cpool_, s, rank_[t], allowed)) return true;
@@ -280,6 +333,103 @@ bool PrunedLabeledTwoHop::AnswerQuery(VertexId s, VertexId t,
   const std::span<const Entry> delta{delta_lin_[t]};
   if (HasCoveredEntry(delta, rank_[s], allowed)) return true;
   return IntersectEntryRanges(out, delta, allowed);
+}
+
+bool PrunedLabeledTwoHop::DamagedAnswer(VertexId s, VertexId t,
+                                        LabelSet allowed) const {
+  // Labels cover G+ ⊇ live graph, so "no covered witness" is an exact
+  // negative even while damaged. A covered witness certifies a G+ path;
+  // it is trusted — exact for the live graph — iff no damaging delete
+  // could have routed through it (its rank marks are clear). Damaged
+  // witnesses prove nothing either way: fall through to verification.
+  // The slow lane pays the merged-entry materialization (InEntries folds
+  // in the delta overlay); the damage_ == 0 hot path is untouched.
+  const std::vector<Entry> out = OutEntries(s);
+  const std::vector<Entry> in = InEntries(t);
+  bool damaged_witness = false;
+  // Case 1 — virtual hop s: (rank(s), S ⊆ allowed) ∈ Lin(t) claims
+  // "s reaches t"; stale only if s is a G+-ancestor of a cut source.
+  if (HasCoveredEntry(in, rank_[s], allowed)) {
+    if (!RankDamagedFwd(rank_[s])) return true;
+    damaged_witness = true;
+  }
+  // Case 2 — virtual hop t: stale only if t is a G+-descendant of a cut
+  // target.
+  if (HasCoveredEntry(out, rank_[t], allowed)) {
+    if (!RankDamagedBwd(rank_[t])) return true;
+    damaged_witness = true;
+  }
+  // Case 3 — real hop h: Lout(s) claims "s reaches h" (stale if h is
+  // backward-damaged), Lin(t) claims "h reaches t" (stale if h is
+  // forward-damaged); trusted iff both marks are clear. Plain rank-group
+  // two-pointer — the slow lane skips the galloping refinements.
+  size_t i = 0, j = 0;
+  while (i < out.size() && j < in.size()) {
+    if (out[i].rank < in[j].rank) {
+      ++i;
+    } else if (out[i].rank > in[j].rank) {
+      ++j;
+    } else {
+      const uint32_t rank = out[i].rank;
+      size_t i_end = i, j_end = j;
+      while (i_end < out.size() && out[i_end].rank == rank) ++i_end;
+      while (j_end < in.size() && in[j_end].rank == rank) ++j_end;
+      bool covered = false;
+      for (size_t a = i; a < i_end && !covered; ++a) {
+        if (!IsSubsetOf(out[a].mask, allowed)) continue;
+        for (size_t b = j; b < j_end; ++b) {
+          if (IsSubsetOf(in[b].mask, allowed)) {
+            covered = true;
+            break;
+          }
+        }
+      }
+      if (covered) {
+        if (!RankDamagedBwd(rank) && !RankDamagedFwd(rank)) return true;
+        damaged_witness = true;
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  if (!damaged_witness) return false;
+  return VerifyReach(s, t, allowed);
+}
+
+bool PrunedLabeledTwoHop::VerifyReach(VertexId s, VertexId t,
+                                      LabelSet allowed) const {
+  REACH_PROBE_INC(probe_, fallbacks);
+  const size_t n = graph_->NumVertices();
+  if (visit_stamp_.size() < n) visit_stamp_.assign(n, 0);
+  if (visit_epoch_ == UINT32_MAX) {
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0);
+    visit_epoch_ = 0;
+  }
+  const uint32_t epoch = ++visit_epoch_;
+  auto& queue = visit_queue_;
+  queue.clear();
+  visit_stamp_[s] = epoch;
+  queue.push_back(s);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId v = queue[head];
+    if (v == t) return true;
+    bool found = false;
+    ArcsOut(v, [&](const LabeledDigraph::Arc& arc) {
+      if (found || !IsSubsetOf(LabelBit(arc.label), allowed)) return;
+      const VertexId w = arc.vertex;
+      if (w == t) {
+        found = true;
+        return;
+      }
+      if (visit_stamp_[w] == epoch) return;
+      visit_stamp_[w] = epoch;
+      // A superset negative is final: no allowed path even in G+.
+      if (!SupersetAnswer(w, t, allowed)) return;
+      queue.push_back(w);
+    });
+    if (found) return true;
+  }
+  return false;
 }
 
 bool PrunedLabeledTwoHop::Query(VertexId s, VertexId t,
@@ -307,15 +457,12 @@ void PrunedLabeledTwoHop::Build(const LabeledDigraph& graph) {
   BuildStatsScope build(&build_stats_);
   probe_.Reset();
   graph_ = &graph;
-  extra_out_.clear();
-  extra_in_.clear();
+  ResetDynamicState();
   lin_pool_.Clear();
   lout_pool_.Clear();
   lin_cpool_.Clear();
   lout_cpool_.Clear();
   compressed_ = false;
-  delta_lin_.clear();
-  has_delta_ = false;
   const size_t n = graph.NumVertices();
 
   BuildPhaseTimer order_timer(&build_stats_.phases, "order");
@@ -626,17 +773,85 @@ void PrunedLabeledTwoHop::BuildLabels(const LabeledDigraph& graph,
   }
 }
 
-void PrunedLabeledTwoHop::InsertEdge(VertexId s, VertexId t, Label label) {
+UpdateResult PrunedLabeledTwoHop::ApplyUpdate(const LabeledUpdateBatch& batch) {
+  if (graph_ == nullptr) {
+    return UpdateResult::Rejected(
+        "no live graph: Build() before ApplyUpdate (Load'ed labelings are "
+        "read-only)");
+  }
+  // Validate-first: nothing is applied unless the whole batch is in
+  // range, so a rejection never leaves partial state behind.
+  const VertexId n = static_cast<VertexId>(graph_->NumVertices());
+  for (const LabeledEdgeUpdate& update : batch) {
+    if (update.source >= n || update.target >= n) {
+      return UpdateResult::Rejected("endpoint out of range");
+    }
+    if (update.label >= graph_->NumLabels()) {
+      return UpdateResult::Rejected("label out of range");
+    }
+  }
+  size_t applied = 0;
+  size_t ignored = 0;
+  for (const LabeledEdgeUpdate& update : batch) {
+    const bool changed =
+        update.IsInsert()
+            ? ApplyInsert(update.source, update.target, update.label)
+            : ApplyDelete(update.source, update.target, update.label);
+    if (changed) {
+      ++applied;
+    } else {
+      ++ignored;
+    }
+  }
+  return UpdateResult::Applied(applied, ignored, damage_, staleness_budget_);
+}
+
+bool PrunedLabeledTwoHop::IsTombstoned(VertexId s, VertexId t,
+                                       Label label) const {
+  if (tomb_out_.empty()) return false;
+  const auto& tomb = tomb_out_[s];
+  return std::find(tomb.begin(), tomb.end(),
+                   LabeledDigraph::Arc{t, label}) != tomb.end();
+}
+
+bool PrunedLabeledTwoHop::ApplyInsert(VertexId s, VertexId t, Label label) {
+  if (IsTombstoned(s, t, label)) {
+    // Resurrection: the arc is still in the superset the labels cover, so
+    // dropping the tombstone restores it exactly. Damage marks stay
+    // (conservative) until the next rebuild.
+    std::erase(tomb_out_[s], LabeledDigraph::Arc{t, label});
+    std::erase(tomb_in_[t], LabeledDigraph::Arc{s, label});
+    return true;
+  }
   const LabeledDigraph::Arc arc{t, label};
   bool exists = false;
   ArcsOut(s, [&](const LabeledDigraph::Arc& a) { exists |= a == arc; });
-  if (exists) return;
+  if (exists) return false;
   if (extra_out_.empty()) {
     extra_out_.resize(graph_->NumVertices());
     extra_in_.resize(graph_->NumVertices());
   }
   extra_out_[s].push_back({t, label});
   extra_in_[t].push_back({s, label});
+
+  // The damage marks are transitive closures over the superset as of each
+  // damaging delete; this insert grows the superset, so re-close them. If
+  // t already reaches a damaged tombstone source, everything reaching s
+  // now does too (a simple path from t to that source cannot revisit t, so
+  // the pre-insert closure decides the check) — symmetrically for the
+  // backward marks. Without this, a vertex wired into a damaged region
+  // *after* the delete keeps unmarked claims routed through the dead arc,
+  // and the witness-trust protocol returns a stale positive.
+  if (!damaged_fwd_.empty()) {
+    if (!fwd_all_damaged_ && damaged_fwd_[rank_[t]] != 0 &&
+        damaged_fwd_[rank_[s]] == 0) {
+      if (!DamageSweep(s, /*backward=*/true)) fwd_all_damaged_ = true;
+    }
+    if (!bwd_all_damaged_ && damaged_bwd_[rank_[s]] != 0 &&
+        damaged_bwd_[rank_[t]] == 0) {
+      if (!DamageSweep(t, /*backward=*/false)) bwd_all_damaged_ = true;
+    }
+  }
 
   // Every newly answerable pair (x, y, A) decomposes as x -> s (old paths,
   // mask M1 ⊆ A), the new edge (label ∈ A), then t -> y (old paths,
@@ -681,7 +896,11 @@ void PrunedLabeledTwoHop::InsertEdge(VertexId s, VertexId t, Label label) {
             [](uint32_t r, const Entry& e) { return r < e.rank; });
         entries.insert(it, {hop_entry.rank, state.mask});
       }
-      ArcsOut(state.vertex, [&](const LabeledDigraph::Arc& a) {
+      // Superset adjacency, not live: the delta overlay must keep
+      // describing the superset, or a later tombstone resurrection (which
+      // adds no labels) would leave pairs routed through the tombstoned
+      // arc without a witness — a wrong exact negative.
+      ArcsOutSuperset(state.vertex, [&](const LabeledDigraph::Arc& a) {
         const LabelSet next = state.mask | LabelBit(a.label);
         if (seen.Dominates(a.vertex, next)) return;
         seen.Add(a.vertex, next);
@@ -689,10 +908,118 @@ void PrunedLabeledTwoHop::InsertEdge(VertexId s, VertexId t, Label label) {
       });
     }
   }
+  return true;
 }
 
-void PrunedLabeledTwoHop::RemoveEdgeAndRebuild(VertexId s, VertexId t,
-                                               Label label) {
+bool PrunedLabeledTwoHop::ApplyDelete(VertexId s, VertexId t, Label label) {
+  const LabeledDigraph::Arc arc{t, label};
+  bool exists = false;
+  for (const auto& a : graph_->OutArcs(s)) exists |= a == arc;
+  if (!exists && !extra_out_.empty()) {
+    exists = std::find(extra_out_[s].begin(), extra_out_[s].end(), arc) !=
+             extra_out_[s].end();
+  }
+  if (!exists) return false;
+  if (IsTombstoned(s, t, label)) return false;
+  if (tomb_out_.empty()) {
+    tomb_out_.resize(graph_->NumVertices());
+    tomb_in_.resize(graph_->NumVertices());
+  }
+  // The arc stays in base/extras (the labels describe the superset graph
+  // G+, which never forgets); only the live iterators skip it.
+  tomb_out_[s].push_back({t, label});
+  tomb_in_[t].push_back({s, label});
+  // A self-loop never changes reachability (queries are reflexive).
+  if (s == t) return true;
+  if (LocallyRedundant(s, t, label)) return true;
+  MarkDamage(s, t);
+  ++damage_;
+  return true;
+}
+
+bool PrunedLabeledTwoHop::LocallyRedundant(VertexId u, VertexId v,
+                                           Label label) const {
+  // A live all-`label` detour keeps every answer: any query path through
+  // the deleted arc has `label` in its allowed mask, so splicing in the
+  // detour stays within the mask. Search only arcs labeled `label`,
+  // pruned by the superset oracle, up to the budget.
+  const size_t n = graph_->NumVertices();
+  if (visit_stamp_.size() < n) visit_stamp_.assign(n, 0);
+  if (visit_epoch_ == UINT32_MAX) {
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0);
+    visit_epoch_ = 0;
+  }
+  const uint32_t epoch = ++visit_epoch_;
+  const LabelSet mask = LabelBit(label);
+  auto& queue = visit_queue_;
+  queue.clear();
+  visit_stamp_[u] = epoch;
+  queue.push_back(u);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    bool found = false;
+    ArcsOut(queue[head], [&](const LabeledDigraph::Arc& a) {
+      if (found || a.label != label) return;
+      const VertexId w = a.vertex;
+      if (w == v) {
+        found = true;
+        return;
+      }
+      if (visit_stamp_[w] == epoch) return;
+      visit_stamp_[w] = epoch;
+      if (!SupersetAnswer(w, v, mask)) return;
+      queue.push_back(w);
+    });
+    if (found) return true;
+    if (queue.size() > kLocalSearchBudget) return false;  // give up: damage
+  }
+  return false;
+}
+
+void PrunedLabeledTwoHop::MarkDamage(VertexId u, VertexId v) {
+  const size_t n = graph_->NumVertices();
+  if (damaged_fwd_.empty()) {
+    damaged_fwd_.assign(n, 0);
+    damaged_bwd_.assign(n, 0);
+  }
+  if (visit_stamp_.size() < n) visit_stamp_.assign(n, 0);
+  // Label-ignoring sweeps over G+ — an over-approximation of every
+  // constrained ancestor/descendant set, and over the superset adjacency
+  // on purpose: a stale claim may route through since-deleted arcs.
+  if (!DamageSweep(u, /*backward=*/true)) fwd_all_damaged_ = true;
+  if (!DamageSweep(v, /*backward=*/false)) bwd_all_damaged_ = true;
+}
+
+bool PrunedLabeledTwoHop::DamageSweep(VertexId start, bool backward) {
+  if (visit_epoch_ == UINT32_MAX) {
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0);
+    visit_epoch_ = 0;
+  }
+  const uint32_t epoch = ++visit_epoch_;
+  std::vector<uint8_t>& marks = backward ? damaged_fwd_ : damaged_bwd_;
+  auto& queue = visit_queue_;
+  queue.clear();
+  visit_stamp_[start] = epoch;
+  queue.push_back(start);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId x = queue[head];
+    marks[rank_[x]] = 1;
+    auto visit = [&](const LabeledDigraph::Arc& a) {
+      if (visit_stamp_[a.vertex] == epoch) return;
+      visit_stamp_[a.vertex] = epoch;
+      queue.push_back(a.vertex);
+    };
+    if (backward) {
+      ArcsInSuperset(x, visit);
+    } else {
+      ArcsOutSuperset(x, visit);
+    }
+    if (queue.size() > kLocalSearchBudget) return false;
+  }
+  return true;
+}
+
+bool PrunedLabeledTwoHop::RebuildFromUpdates() {
+  if (graph_ == nullptr) return false;
   std::vector<LabeledEdge> edges = graph_->Edges();
   if (!extra_out_.empty()) {
     for (VertexId v = 0; v < extra_out_.size(); ++v) {
@@ -701,11 +1028,34 @@ void PrunedLabeledTwoHop::RemoveEdgeAndRebuild(VertexId s, VertexId t,
       }
     }
   }
-  std::erase(edges, LabeledEdge{s, t, label});
+  if (!tomb_out_.empty()) {
+    std::erase_if(edges, [&](const LabeledEdge& e) {
+      const auto& tomb = tomb_out_[e.source];
+      return std::find(tomb.begin(), tomb.end(),
+                       LabeledDigraph::Arc{e.target, e.label}) != tomb.end();
+    });
+  }
   owned_graph_ = LabeledDigraph::FromEdges(
       static_cast<VertexId>(graph_->NumVertices()), graph_->NumLabels(),
       std::move(edges));
+  // Build resets every overlay (tombstones, damage, delta) and
+  // re-minimizes the labeling over the live edge set.
   Build(owned_graph_);
+  return true;
+}
+
+void PrunedLabeledTwoHop::ResetDynamicState() {
+  extra_out_.clear();
+  extra_in_.clear();
+  tomb_out_.clear();
+  tomb_in_.clear();
+  delta_lin_.clear();
+  has_delta_ = false;
+  damage_ = 0;
+  damaged_fwd_.clear();
+  damaged_bwd_.clear();
+  fwd_all_damaged_ = false;
+  bwd_all_damaged_ = false;
 }
 
 size_t PrunedLabeledTwoHop::TotalEntries() const {
@@ -777,6 +1127,9 @@ using serialize_detail::WriteU32Vec;
 }  // namespace
 
 bool PrunedLabeledTwoHop::Save(std::ostream& out) const {
+  // A damaged labeling is only exact together with the live tombstone
+  // state, which the stream does not carry (header contract).
+  if (damage_ > 0) return false;
   if (!WriteEnvelope(out, kP2hFormatName)) return false;
   WritePod(out, kP2hMagic);
   WritePod(out, static_cast<uint64_t>(rank_.size()));
@@ -843,8 +1196,7 @@ LoadResult PrunedLabeledTwoHop::Load(std::istream& in) {
     if (!read_entries(&entries)) return corrupt;
   }
   graph_ = nullptr;
-  extra_out_.clear();
-  extra_in_.clear();
+  ResetDynamicState();
   SealLabels();
   return LoadResult{};
 }

@@ -28,48 +28,100 @@ namespace reach {
 /// the index built so far already answers the corresponding query — the
 /// non-redundancy guarantee of P2H+. Works on general graphs.
 ///
-/// Dynamics (the DLCR row): `InsertEdge` resumes label-BFSs through the
-/// new edge for every hop that reaches its source, keeping the index
-/// correct (possibly with redundant entries — DLCR's redundancy
-/// elimination bookkeeping is out of scope; see DESIGN.md). Deletions are
-/// handled by `RemoveEdgeAndRebuild`.
+/// Dynamics (the DLCR row), all behind `ApplyUpdate`:
+///
+///  * Inserts resume label-BFSs through the new arc for every hop that
+///    reaches its source, keeping the index correct (possibly with
+///    redundant entries — DLCR's redundancy elimination bookkeeping is
+///    out of scope; see DESIGN.md).
+///  * Deletes reuse the plain `PrunedTwoHop` decremental design,
+///    generalized to labeled arcs. Labels always describe the *superset*
+///    graph G+ (base ∪ everything ever inserted, tombstones ignored), so
+///    "no covered witness" stays an exact negative for the shrunken live
+///    graph. A deleted arc is tombstoned (live iterators skip it; the
+///    superset iterators keep it). A delete is *locally redundant* — zero
+///    damage — when a live all-`label` detour s ->* t survives within a
+///    bounded search (any query path through the arc reroutes without
+///    growing its mask). Otherwise a label-ignoring sweep over G+ marks
+///    ancestor ranks of s as forward-damaged and descendant ranks of t as
+///    backward-damaged (a sound over-approximation of the constrained
+///    ancestor/descendant sets); damaged witnesses are re-checked by a
+///    constrained traversal pruned with superset label tests, so answers
+///    stay exact at any damage level. `RebuildFromUpdates` re-minimizes
+///    and clears the damage once it crosses the staleness budget.
 class PrunedLabeledTwoHop : public LcrIndex {
  public:
+  /// Default `staleness_budget` (see constructor).
+  static constexpr size_t kDefaultStalenessBudget = 32;
+
   /// `num_threads` parallelizes the build with the same rank-batched
   /// speculate/commit/redo scheme as `PrunedTwoHop` (speculative sweeps
   /// consult a worker-local shadow of their own rank's entries, since the
   /// serial pruning oracle sees in-sweep insertions). The labeling is
   /// bit-identical to a serial build for any thread count
   /// (docs/PARALLELISM.md). 0 = `DefaultThreads()`, 1 = serial.
+  ///
+  /// `staleness_budget` is the damage level past which `ApplyUpdate`
+  /// reports `kDeferredRebuild` (answers stay exact; the caller decides
+  /// when to pay for `RebuildFromUpdates`). 0 = never recommend.
   explicit PrunedLabeledTwoHop(size_t num_threads = 0,
-                               TwoHopStorageOptions storage = {})
-      : num_threads_(num_threads), storage_(storage) {}
+                               TwoHopStorageOptions storage = {},
+                               size_t staleness_budget =
+                                   kDefaultStalenessBudget)
+      : num_threads_(num_threads),
+        storage_(storage),
+        staleness_budget_(staleness_budget) {}
 
   void Build(const LabeledDigraph& graph) override;
   bool Query(VertexId s, VertexId t, LabelSet allowed) const override;
   size_t IndexSizeBytes() const override;
-  bool IsComplete() const override { return true; }
+  /// Complete while undamaged; damaged witnesses fall back to constrained
+  /// traversal until `RebuildFromUpdates`.
+  bool IsComplete() const override { return damage_ == 0; }
   std::string Name() const override { return "p2h"; }
   QueryProbe Probe() const override { return probe_; }
   void ResetProbe() const override { probe_.Reset(); }
 
   /// Serializes the labeling (envelope + ranks + (hop, SPLS) entries) to
   /// a binary stream; the state already reflects any incremental
-  /// insertions. Envelope format name: "p2h".
+  /// insertions. Refuses (returns false) while `Damage() > 0`: a damaged
+  /// labeling is only exact together with the live tombstone state, which
+  /// the stream does not carry — `RebuildFromUpdates()` first. Envelope
+  /// format name: "p2h".
   bool SupportsSerialization() const override { return true; }
   bool Save(std::ostream& out) const override;
 
   /// Restores a labeling saved by `Save`. A loaded index answers queries
   /// without the original graph; call `Build` (or keep the graph around)
-  /// before using `InsertEdge`/`RemoveEdgeAndRebuild` again. Returns a
-  /// typed error on malformed input, leaving the index unspecified.
+  /// before using `ApplyUpdate` again. Returns a typed error on malformed
+  /// input, leaving the index unspecified.
   LoadResult Load(std::istream& in) override;
 
-  /// Incremental insertion of the labeled edge s -l-> t.
-  void InsertEdge(VertexId s, VertexId t, Label label);
+  /// Applies a batch of labeled inserts and deletes (class comment).
+  /// Validate-first: an endpoint or label out of range rejects the whole
+  /// batch with no state change. Returns `kDeferredRebuild` once damage
+  /// exceeds the staleness budget.
+  UpdateResult ApplyUpdate(const LabeledUpdateBatch& batch);
 
-  /// Deletion via rebuild over the current edge set minus (s, t, label).
-  void RemoveEdgeAndRebuild(VertexId s, VertexId t, Label label);
+  /// Deletions are absorbed incrementally (class comment).
+  bool SupportsDeletions() const { return true; }
+
+  /// Rebuilds from the live edge set (base ∪ extras, minus tombstones),
+  /// re-minimizing the labeling and resetting damage to zero. Returns
+  /// false when no live graph is attached (after `Load`).
+  bool RebuildFromUpdates();
+
+  /// Number of damaging deletes absorbed since the last (re)build.
+  size_t Damage() const { return damage_; }
+
+  /// The rebuild-recommendation threshold (0 = never recommend).
+  size_t StalenessBudget() const { return staleness_budget_; }
+
+  /// Incremental insertion of the labeled edge s -l-> t.
+  [[deprecated("use ApplyUpdate(LabeledUpdateBatch) instead")]] void
+  InsertEdge(VertexId s, VertexId t, Label label) {
+    ApplyUpdate({LabeledEdgeUpdate::Insert(s, t, label)});
+  }
 
   /// Total number of (hop, SPLS) entries across all vertices.
   size_t TotalEntries() const;
@@ -95,9 +147,23 @@ class PrunedLabeledTwoHop : public LcrIndex {
   std::vector<Entry> OutEntries(VertexId v) const;
   // Build-time pruning oracle over the (unsealed) nested entry vectors.
   bool LabelQuery(VertexId s, VertexId t, LabelSet allowed) const;
-  // The sealed query hot path (pool slices + delta overlay) every entry
-  // point routes through.
+  // The query dispatch every entry point routes through: the sealed hot
+  // path while undamaged, the witness-trust protocol once deletes have
+  // marked ranks.
   bool AnswerQuery(VertexId s, VertexId t, LabelSet allowed) const;
+  // Exact answer for the superset graph G+ (pool slices + delta overlay,
+  // tombstones ignored) — the pre-deletion hot path, and the pruning
+  // oracle of the verification traversal (a G+ negative is final).
+  bool SupersetAnswer(VertexId s, VertexId t, LabelSet allowed) const;
+  // Witness-trust slow lane while damage_ > 0: a covered witness whose
+  // rank(s) are unmarked is exact; no witness at all is an exact
+  // negative (labels over-cover the live graph); only damaged witnesses
+  // fall through to VerifyReach.
+  bool DamagedAnswer(VertexId s, VertexId t, LabelSet allowed) const;
+  // Constrained BFS over live arcs (mask ⊆ allowed), pruned at vertices
+  // the superset labels rule out. Exact either way; unbounded on purpose
+  // (the exactness backstop).
+  bool VerifyReach(VertexId s, VertexId t, LabelSet allowed) const;
   // True iff `entries` holds (rank, mask ⊆ allowed).
   static bool HasCoveredEntry(std::span<const Entry> entries, uint32_t rank,
                               LabelSet allowed);
@@ -121,14 +187,51 @@ class PrunedLabeledTwoHop : public LcrIndex {
                                     LabelSet allowed);
   // Publishes the index.bytes / compression gauges after a (re)seal.
   void PublishStorageGauges(size_t flat_equivalent_bytes) const;
+  // Live adjacency: base ∪ extras, minus tombstoned arcs.
   template <typename ArcFn>
   void ArcsOut(VertexId v, ArcFn&& fn) const;
   template <typename ArcFn>
   void ArcsIn(VertexId v, ArcFn&& fn) const;
+  // Superset adjacency G+: base ∪ extras, tombstones ignored — what the
+  // labels describe, and what damage marking must traverse (a later
+  // delete can break the detour that justified an earlier redundant
+  // one, so marking may not forget since-deleted arcs).
+  template <typename ArcFn>
+  void ArcsOutSuperset(VertexId v, ArcFn&& fn) const;
+  template <typename ArcFn>
+  void ArcsInSuperset(VertexId v, ArcFn&& fn) const;
+
+  // Single-update applicators; return true when graph state changed.
+  bool ApplyInsert(VertexId s, VertexId t, Label label);
+  bool ApplyDelete(VertexId s, VertexId t, Label label);
+  bool IsTombstoned(VertexId s, VertexId t, Label label) const;
+  // Bounded BFS restricted to arcs labeled exactly `label`: if a live
+  // all-`label` detour u ->* v survives the delete, any query path
+  // through the arc reroutes without growing its mask — zero damage.
+  // Budget overrun counts as "not redundant" (conservative).
+  bool LocallyRedundant(VertexId u, VertexId v, Label label) const;
+  // Label-ignoring sweeps over G+: backward from u marks forward-damaged
+  // ranks (their "reaches ..." claims may route through the cut);
+  // forward from v marks backward-damaged ranks. Budget overrun damages
+  // the whole side.
+  void MarkDamage(VertexId u, VertexId v);
+  // Transitive mark sweep over the superset adjacency; false = budget
+  // overrun (caller escalates to the matching *_all_damaged_ flag).
+  bool DamageSweep(VertexId start, bool backward);
+  bool RankDamagedFwd(uint32_t r) const {
+    return fwd_all_damaged_ || damaged_fwd_[r] != 0;
+  }
+  bool RankDamagedBwd(uint32_t r) const {
+    return bwd_all_damaged_ || damaged_bwd_[r] != 0;
+  }
+  // Clears every post-build overlay: extras, tombstones, delta, damage.
+  void ResetDynamicState();
+
+  static constexpr size_t kLocalSearchBudget = 4096;
 
   size_t num_threads_ = 0;
   const LabeledDigraph* graph_ = nullptr;
-  LabeledDigraph owned_graph_;  // used after RemoveEdgeAndRebuild
+  LabeledDigraph owned_graph_;  // used after RebuildFromUpdates
   std::vector<uint32_t> rank_;
   std::vector<VertexId> by_rank_;
   // Build-side accumulators (sorted by (rank, insertion)); SealLabels()
@@ -149,7 +252,25 @@ class PrunedLabeledTwoHop : public LcrIndex {
   // (rank-ordered). Empty until the first insert.
   std::vector<std::vector<Entry>> delta_lin_;
   bool has_delta_ = false;
+  // Arcs inserted after Build. Deleted extras STAY here (tombstoned like
+  // base arcs) so the superset adjacency keeps every arc that ever
+  // existed — see ArcsOutSuperset.
   std::vector<std::vector<LabeledDigraph::Arc>> extra_out_, extra_in_;
+  size_t staleness_budget_ = kDefaultStalenessBudget;
+  // Tombstoned (deleted) arcs, filtered out by the live iterators.
+  // Sized lazily on first delete; small linear-scanned lists.
+  std::vector<std::vector<LabeledDigraph::Arc>> tomb_out_, tomb_in_;
+  // Damaging deletes since the last (re)build, and the per-rank trust
+  // marks they left (sized lazily by MarkDamage).
+  size_t damage_ = 0;
+  std::vector<uint8_t> damaged_fwd_, damaged_bwd_;
+  bool fwd_all_damaged_ = false;
+  bool bwd_all_damaged_ = false;
+  // Epoch-stamped scratch for the verification / redundancy / marking
+  // traversals (slow lanes; queries are single-threaded through Query).
+  mutable std::vector<uint32_t> visit_stamp_;
+  mutable uint32_t visit_epoch_ = 0;
+  mutable std::vector<VertexId> visit_queue_;
   mutable QueryProbe probe_;
 };
 

@@ -28,12 +28,32 @@ namespace reach {
 /// gradually (DAGGER's full relabeling machinery is what restores it —
 /// `Build` re-tightens from scratch, documented simplification).
 ///
-/// Queries: filter + guided DFS over base and inserted edges. Input may be
-/// any digraph (condensation is internal); insertions may create cycles.
+/// Deletions (`ApplyUpdate` with `kDelete`) are the mirror image and need
+/// no bound surgery at all: removing an edge only *shrinks* reachable
+/// sets, so the existing intervals stay valid over-approximations and the
+/// filter keeps its no-false-negative guarantee — this covers SCC splits
+/// too (DAGGER's hardest case: the condensation vertex merely becomes a
+/// looser bound shared by the now-separate components). The deleted edge
+/// goes into a tombstone set the guided DFS skips, so positives are exact
+/// by construction. A bounded local search classifies each delete:
+/// *locally redundant* (endpoint still reaches the other — e.g. an
+/// intra-SCC chord whose SCC did not split) costs nothing; otherwise a
+/// damage counter feeds the rebuild-threshold policy, because bounds only
+/// ever loosen relative to the live graph until `RebuildFromUpdates` /
+/// `Build` re-tightens them.
+///
+/// Queries: filter + guided DFS over base and inserted edges minus
+/// tombstones. Input may be any digraph (condensation is internal);
+/// insertions may create cycles, deletions may split SCCs.
 class Dagger : public DynamicReachabilityIndex {
  public:
-  explicit Dagger(size_t k = 3, uint64_t seed = 0x64'61'67ULL)
-      : k_(k < 1 ? 1 : k), seed_(seed) {}
+  explicit Dagger(size_t k = 3, uint64_t seed = 0x64'61'67ULL,
+                  size_t staleness_budget = kDefaultStalenessBudget)
+      : k_(k < 1 ? 1 : k), seed_(seed), staleness_budget_(staleness_budget) {}
+
+  /// Non-redundant deletes tolerated before `ApplyUpdate` starts
+  /// returning `kDeferredRebuild`. 0 = unbounded.
+  static constexpr size_t kDefaultStalenessBudget = 64;
 
   void Build(const Digraph& graph) override;
   bool Query(VertexId s, VertexId t) const override;
@@ -43,7 +63,14 @@ class Dagger : public DynamicReachabilityIndex {
     return "dagger(k=" + std::to_string(k_) + ")";
   }
 
-  void InsertEdge(VertexId s, VertexId t) override;
+  UpdateResult ApplyUpdate(const UpdateBatch& batch) override;
+  bool SupportsDeletions() const override { return true; }
+  bool RebuildFromUpdates() override;
+
+  /// Non-redundant deletes since the last (re)build — the filter's
+  /// precision decay, not a correctness measure.
+  size_t Damage() const { return damage_; }
+  size_t StalenessBudget() const { return staleness_budget_; }
 
   /// Pure filter: true = maybe reachable, false = certainly not.
   bool MaybeReachable(VertexId s, VertexId t) const;
@@ -53,14 +80,32 @@ class Dagger : public DynamicReachabilityIndex {
   void ForEachOut(VertexId v, Fn&& fn) const;
   template <typename Fn>
   void ForEachIn(VertexId v, Fn&& fn) const;
+  // Superset in-adjacency: base plus extras, tombstones IGNORED. Bound
+  // maintenance must sweep this, not the live view — see ApplyInsert.
+  template <typename Fn>
+  void ForEachInSuperset(VertexId v, Fn&& fn) const;
+  bool ApplyInsert(VertexId s, VertexId t);
+  bool ApplyDelete(VertexId s, VertexId t);
+  bool IsTombstoned(VertexId u, VertexId v) const;
+  // True iff u still reaches v within the visit budget post-delete.
+  bool LocallyRedundant(VertexId u, VertexId v) const;
+
+  static constexpr size_t kLocalSearchBudget = 4096;
 
   size_t k_;
   uint64_t seed_;
+  size_t staleness_budget_;
   const Digraph* graph_ = nullptr;
+  Digraph owned_graph_;  // used after RebuildFromUpdates
   // Bounds for traversal i of vertex v at [v * k_ + i].
   std::vector<uint32_t> low_;
   std::vector<uint32_t> high_;
   std::vector<std::vector<VertexId>> extra_out_, extra_in_;
+  // Deleted edges (sorted per vertex), base and extra alike; the guided
+  // DFS skips them. Deleted extras stay in extra_* so re-insertion is a
+  // cheap tombstone drop (their widened bounds remain valid either way).
+  std::vector<std::vector<VertexId>> tomb_out_, tomb_in_;
+  size_t damage_ = 0;
   mutable SearchWorkspace ws_;
 };
 

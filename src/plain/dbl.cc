@@ -172,16 +172,44 @@ bool Dbl::Query(VertexId s, VertexId t) const {
   return false;
 }
 
-void Dbl::InsertEdge(VertexId s, VertexId t) {
-  if (s == t) return;
-  if (graph_->HasEdge(s, t)) return;
+UpdateResult Dbl::ApplyUpdate(const UpdateBatch& batch) {
+  if (graph_ == nullptr) {
+    return UpdateResult::Rejected("no live graph: Build() first");
+  }
+  // Validate-first: DBL is insertion-only (class comment), so a batch
+  // with any delete is rejected whole — no partial application.
+  const VertexId n = static_cast<VertexId>(graph_->NumVertices());
+  for (const EdgeUpdate& update : batch) {
+    if (update.IsDelete()) {
+      return UpdateResult::Rejected("dbl is insertion-only (Table 1)");
+    }
+    if (update.source >= n || update.target >= n) {
+      return UpdateResult::Rejected("endpoint out of range");
+    }
+  }
+  size_t applied = 0;
+  size_t ignored = 0;
+  for (const EdgeUpdate& update : batch) {
+    if (ApplyInsert(update.source, update.target)) {
+      ++applied;
+    } else {
+      ++ignored;
+    }
+  }
+  return UpdateResult::Applied(applied, ignored, /*damage_now=*/0,
+                               /*budget=*/0);
+}
+
+bool Dbl::ApplyInsert(VertexId s, VertexId t) {
+  if (s == t) return false;
+  if (graph_->HasEdge(s, t)) return false;
   if (extra_out_.empty()) {
     extra_out_.resize(graph_->NumVertices());
     extra_in_.resize(graph_->NumVertices());
   }
   if (std::find(extra_out_[s].begin(), extra_out_[s].end(), t) !=
       extra_out_[s].end()) {
-    return;
+    return false;
   }
   extra_out_[s].push_back(t);
   extra_in_[t].push_back(s);
@@ -226,6 +254,7 @@ void Dbl::InsertEdge(VertexId s, VertexId t) {
       queue.push_back(w);
     });
   }
+  return true;
 }
 
 size_t Dbl::IndexSizeBytes() const {

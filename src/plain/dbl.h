@@ -25,10 +25,12 @@ namespace reach {
 ///    negative filter.
 ///
 /// Queries undecided by both filters fall back to a bidirectional BFS that
-/// re-applies the filters per visited vertex. `InsertEdge` maintains both
-/// labels by monotone propagation (labels only gain bits), exactly the
-/// insert-only design the survey credits DBL with; deletions are
-/// unsupported (Table 1: insertion-only).
+/// re-applies the filters per visited vertex. Inserts (via `ApplyUpdate`)
+/// maintain both labels by monotone propagation (labels only gain bits),
+/// exactly the insert-only design the survey credits DBL with; deletions
+/// are unsupported (Table 1: insertion-only) — `SupportsDeletions()` is
+/// false and a batch containing any `kDelete` is rejected whole, with no
+/// partial application.
 class Dbl : public DynamicReachabilityIndex {
  public:
   explicit Dbl(uint64_t seed = 0x64'62'6cULL) : seed_(seed) {}
@@ -39,13 +41,16 @@ class Dbl : public DynamicReachabilityIndex {
   bool IsComplete() const override { return false; }
   std::string Name() const override { return "dbl"; }
 
-  void InsertEdge(VertexId s, VertexId t) override;
+  UpdateResult ApplyUpdate(const UpdateBatch& batch) override;
 
   /// Pure-filter outcomes for tests/benches: +1 certain reachable (DL),
   /// -1 certain unreachable (BL), 0 undecided.
   int FilterVerdict(VertexId s, VertexId t) const;
 
  private:
+  // Single-edge insert; returns true when graph state changed.
+  bool ApplyInsert(VertexId s, VertexId t);
+
   template <typename Fn>
   void ForEachOut(VertexId v, Fn&& fn) const;
   template <typename Fn>

@@ -28,6 +28,14 @@ bool SortedInsert(std::vector<uint32_t>& v, uint32_t value) {
   return true;
 }
 
+// Removes `value` from sorted `v` if present; returns true if removed.
+bool SortedErase(std::vector<VertexId>& v, VertexId value) {
+  auto it = std::lower_bound(v.begin(), v.end(), value);
+  if (it == v.end() || *it != value) return false;
+  v.erase(it);
+  return true;
+}
+
 }  // namespace
 
 void PrunedTwoHop::ComputeOrder(const Digraph& graph) {
@@ -74,6 +82,46 @@ void PrunedTwoHop::ComputeOrder(const Digraph& graph) {
 
 template <typename Fn>
 void PrunedTwoHop::ForEachOut(VertexId v, Fn&& fn) const {
+  if (tomb_out_.empty() || tomb_out_[v].empty()) {
+    for (VertexId w : graph_->OutNeighbors(v)) fn(w);
+    if (!extra_out_.empty()) {
+      for (VertexId w : extra_out_[v]) fn(w);
+    }
+    return;
+  }
+  const std::vector<VertexId>& tomb = tomb_out_[v];
+  for (VertexId w : graph_->OutNeighbors(v)) {
+    if (!std::binary_search(tomb.begin(), tomb.end(), w)) fn(w);
+  }
+  if (!extra_out_.empty()) {
+    for (VertexId w : extra_out_[v]) {
+      if (!std::binary_search(tomb.begin(), tomb.end(), w)) fn(w);
+    }
+  }
+}
+
+template <typename Fn>
+void PrunedTwoHop::ForEachIn(VertexId v, Fn&& fn) const {
+  if (tomb_in_.empty() || tomb_in_[v].empty()) {
+    for (VertexId w : graph_->InNeighbors(v)) fn(w);
+    if (!extra_in_.empty()) {
+      for (VertexId w : extra_in_[v]) fn(w);
+    }
+    return;
+  }
+  const std::vector<VertexId>& tomb = tomb_in_[v];
+  for (VertexId w : graph_->InNeighbors(v)) {
+    if (!std::binary_search(tomb.begin(), tomb.end(), w)) fn(w);
+  }
+  if (!extra_in_.empty()) {
+    for (VertexId w : extra_in_[v]) {
+      if (!std::binary_search(tomb.begin(), tomb.end(), w)) fn(w);
+    }
+  }
+}
+
+template <typename Fn>
+void PrunedTwoHop::ForEachOutSuperset(VertexId v, Fn&& fn) const {
   for (VertexId w : graph_->OutNeighbors(v)) fn(w);
   if (!extra_out_.empty()) {
     for (VertexId w : extra_out_[v]) fn(w);
@@ -81,7 +129,7 @@ void PrunedTwoHop::ForEachOut(VertexId v, Fn&& fn) const {
 }
 
 template <typename Fn>
-void PrunedTwoHop::ForEachIn(VertexId v, Fn&& fn) const {
+void PrunedTwoHop::ForEachInSuperset(VertexId v, Fn&& fn) const {
   for (VertexId w : graph_->InNeighbors(v)) fn(w);
   if (!extra_in_.empty()) {
     for (VertexId w : extra_in_[v]) fn(w);
@@ -316,16 +364,13 @@ void PrunedTwoHop::Build(const Digraph& graph) {
   BuildStatsScope build(&build_stats_);
   probes_.Reset();
   graph_ = &graph;
-  extra_out_.clear();
-  extra_in_.clear();
+  ResetDynamicState();
   lin_pool_.Clear();
   lout_pool_.Clear();
   lin_cpool_.Clear();
   lout_cpool_.Clear();
   compressed_ = false;
   mapping_.reset();
-  delta_lin_.clear();
-  has_delta_ = false;
   {
     BuildPhaseTimer timer(&build_stats_.phases, "order");
     ComputeOrder(graph);
@@ -431,7 +476,7 @@ bool PrunedTwoHop::LabelQuery(VertexId s, VertexId t) const {
                          lin_t.size());
 }
 
-bool PrunedTwoHop::AnswerQuery(VertexId s, VertexId t) const {
+bool PrunedTwoHop::SupersetAnswer(VertexId s, VertexId t) const {
   if (s == t) return true;
   if (compressed_) {
     // Same three-case test, on the skip tables: membership decodes at
@@ -468,6 +513,101 @@ bool PrunedTwoHop::AnswerQuery(VertexId s, VertexId t) const {
                          delta_t.size());
 }
 
+bool PrunedTwoHop::AnswerQuery(VertexId s, VertexId t, size_t slot) const {
+  if (s == t) return true;
+  // Zero damage is the common case and pays nothing for decremental
+  // support: the plain label test is exact (the live graph's reachability
+  // relation equals the superset's — every delete so far was locally
+  // redundant or there were none).
+  if (damage_ == 0) return SupersetAnswer(s, t);
+  return DamagedAnswer(s, t, slot);
+}
+
+bool PrunedTwoHop::DamagedAnswer(VertexId s, VertexId t, size_t slot) const {
+  // Witness-trust protocol (class comment): the labels over-approximate,
+  // so "no witness" is an exact negative; a witness whose hub ranks are
+  // unmarked is an exact positive (its claims provably survived every
+  // damaging delete); only damaged witnesses need live verification.
+  bool damaged_witness = false;
+  const uint32_t rs = rank_[s];
+  const uint32_t rt = rank_[t];
+  // Case 1: rank(s) ∈ Lin(t) — hub s claims s -> t (forward claim).
+  {
+    const bool present =
+        compressed_
+            ? lin_cpool_.Contains(t, rs)
+            : std::binary_search(lin_pool_.Slice(t).begin(),
+                                 lin_pool_.Slice(t).end(), rs);
+    const bool in_delta =
+        !present && has_delta_ &&
+        std::binary_search(delta_lin_[t].begin(), delta_lin_[t].end(), rs);
+    if (present || in_delta) {
+      if (!RankDamagedFwd(rs)) return true;
+      damaged_witness = true;
+    }
+  }
+  // Case 2: rank(t) ∈ Lout(s) — hub t claims s -> t (backward claim).
+  {
+    const bool present =
+        compressed_
+            ? lout_cpool_.Contains(s, rt)
+            : std::binary_search(lout_pool_.Slice(s).begin(),
+                                 lout_pool_.Slice(s).end(), rt);
+    if (present) {
+      if (!RankDamagedBwd(rt)) return true;
+      damaged_witness = true;
+    }
+  }
+  // Case 3: any r ∈ Lout(s) ∩ (Lin(t) ∪ Δ(t)) — hub by_rank_[r] claims
+  // both s -> hub and hub -> t; trusted iff neither direction is marked.
+  // Materializing the merged lists allocates, but damage mode is the
+  // explicitly slow lane between budget overrun and rebuild.
+  {
+    const std::vector<uint32_t> louts = OutLabels(s);
+    const std::vector<uint32_t> lints = InLabels(t);
+    auto a = louts.begin();
+    auto b = lints.begin();
+    while (a != louts.end() && b != lints.end()) {
+      if (*a < *b) {
+        ++a;
+      } else if (*b < *a) {
+        ++b;
+      } else {
+        if (!RankDamagedBwd(*a) && !RankDamagedFwd(*a)) return true;
+        damaged_witness = true;
+        ++a;
+        ++b;
+      }
+    }
+  }
+  if (!damaged_witness) return false;  // exact: superset has no s-t path
+  return VerifyReach(s, t, slot);
+}
+
+bool PrunedTwoHop::VerifyReach(VertexId s, VertexId t, size_t slot) const {
+  // Exact reachability over the live adjacency, pruned at vertices the
+  // superset labels already rule out (w can't reach t in the superset ⇒
+  // can't in the live graph). Unbounded on purpose: this is the exactness
+  // backstop, and the label pruning keeps the frontier near the damaged
+  // region.
+  SearchWorkspace& ws =
+      slot < verify_ws_.NumSlots() ? verify_ws_.Slot(slot) : ws_;
+  ws.Prepare(graph_->NumVertices());
+  std::vector<VertexId>& queue = ws.queue();
+  queue.push_back(s);
+  ws.MarkForward(s);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    if (queue[head] == t) return true;
+    ForEachOut(queue[head], [&](VertexId w) {
+      if (ws.IsForwardMarked(w)) return;
+      if (!SupersetAnswer(w, t)) return;
+      ws.MarkForward(w);
+      queue.push_back(w);
+    });
+  }
+  return false;
+}
+
 bool PrunedTwoHop::Query(VertexId s, VertexId t) const {
   return QueryInSlot(s, t, 0);
 }
@@ -484,28 +624,88 @@ bool PrunedTwoHop::QueryInSlot(VertexId s, VertexId t, size_t slot) const {
                                : lout_pool_.Slice(s).size() +
                                      lin_pool_.Slice(t).size()) +
                       (has_delta_ ? delta_lin_[t].size() : 0));
-  const bool reachable = AnswerQuery(s, t);
+  const bool reachable = AnswerQuery(s, t, slot);
   if (reachable) {
     REACH_PROBE_INC(probe, positives);
   } else {
-    REACH_PROBE_INC(probe, label_rejections);  // complete label: no fallback
+    REACH_PROBE_INC(probe, label_rejections);  // labels ruled it out
   }
   return reachable;
 }
 
-void PrunedTwoHop::InsertEdge(VertexId s, VertexId t) {
-  if (s == t) return;
-  if (graph_->HasEdge(s, t)) return;
+UpdateResult PrunedTwoHop::ApplyUpdate(const UpdateBatch& batch) {
+  if (graph_ == nullptr) {
+    return UpdateResult::Rejected(
+        "no live graph: Build() before ApplyUpdate (Load'ed labelings are "
+        "read-only)");
+  }
+  // Validate-first: a rejected batch must leave no partial state behind.
+  const VertexId n = static_cast<VertexId>(graph_->NumVertices());
+  for (const EdgeUpdate& update : batch) {
+    if (update.source >= n || update.target >= n) {
+      return UpdateResult::Rejected("endpoint out of range");
+    }
+  }
+  size_t applied = 0;
+  size_t ignored = 0;
+  for (const EdgeUpdate& update : batch) {
+    const bool changed = update.IsInsert()
+                             ? ApplyInsert(update.source, update.target)
+                             : ApplyDelete(update.source, update.target);
+    if (changed) {
+      ++applied;
+    } else {
+      ++ignored;
+    }
+  }
+  return UpdateResult::Applied(applied, ignored, damage_, staleness_budget_);
+}
+
+bool PrunedTwoHop::IsTombstoned(VertexId u, VertexId v) const {
+  return !tomb_out_.empty() &&
+         std::binary_search(tomb_out_[u].begin(), tomb_out_[u].end(), v);
+}
+
+bool PrunedTwoHop::ApplyInsert(VertexId s, VertexId t) {
+  if (s == t) return false;
+  if (IsTombstoned(s, t)) {
+    // Resurrecting a deleted edge: the labels already cover it (it is
+    // part of the superset), so dropping the tombstone is the whole
+    // update. Damage marks stay — conservative, cleared at rebuild.
+    SortedErase(tomb_out_[s], t);
+    SortedErase(tomb_in_[t], s);
+    return true;
+  }
+  if (graph_->HasEdge(s, t)) return false;
   if (extra_out_.empty()) {
     extra_out_.resize(graph_->NumVertices());
     extra_in_.resize(graph_->NumVertices());
   }
   if (std::find(extra_out_[s].begin(), extra_out_[s].end(), t) !=
       extra_out_[s].end()) {
-    return;
+    return false;
   }
   extra_out_[s].push_back(t);
   extra_in_[t].push_back(s);
+
+  // The damage marks are transitive closures over the superset as of each
+  // damaging delete; this insert grows the superset, so re-close them. If
+  // t already reaches a damaged tombstone source, everything reaching s
+  // now does too (any simple path from t to that source cannot revisit t,
+  // so the pre-insert closure decides the check) — symmetrically for the
+  // backward marks. Without this, a vertex wired into a damaged region
+  // *after* the delete keeps unmarked claims routed through the dead edge,
+  // and the witness-trust protocol returns a stale positive.
+  if (!damaged_fwd_.empty()) {
+    if (!fwd_all_damaged_ && damaged_fwd_[rank_[t]] != 0 &&
+        damaged_fwd_[rank_[s]] == 0) {
+      if (!DamageSweep(s, /*backward=*/true)) fwd_all_damaged_ = true;
+    }
+    if (!bwd_all_damaged_ && damaged_bwd_[rank_[s]] != 0 &&
+        damaged_bwd_[rank_[t]] == 0) {
+      if (!DamageSweep(t, /*backward=*/false)) bwd_all_damaged_ = true;
+    }
+  }
 
   // Any pair newly connected by (s, t) decomposes into x -> s (old paths)
   // and t -> y (old paths); the old index answers x -> s with some hop
@@ -522,13 +722,17 @@ void PrunedTwoHop::InsertEdge(VertexId s, VertexId t) {
   hops.push_back(rank_[s]);
   // One shared sweep computes Reach(t); each hop is then inserted into the
   // Lin of every vertex on the list (equivalent to one unpruned BFS per
-  // hop, without re-traversing the edges).
+  // hop, without re-traversing the edges). The sweep runs over the
+  // SUPERSET adjacency, not the live one: the delta overlay must keep
+  // describing the superset, or a later tombstone resurrection (which adds
+  // no labels) would leave pairs routed through the tombstoned edge
+  // without a witness — turning "no witness" into a wrong exact negative.
   std::vector<VertexId> queue;
   ws_.Prepare(graph_->NumVertices());
   queue.push_back(t);
   ws_.MarkForward(t);
   for (size_t head = 0; head < queue.size(); ++head) {
-    ForEachOut(queue[head], [&](VertexId w) {
+    ForEachOutSuperset(queue[head], [&](VertexId w) {
       if (ws_.MarkForward(w)) queue.push_back(w);
     });
   }
@@ -545,19 +749,132 @@ void PrunedTwoHop::InsertEdge(VertexId s, VertexId t) {
       SortedInsert(delta_lin_[x], h);
     }
   }
+  return true;
 }
 
-void PrunedTwoHop::RemoveEdgeAndRebuild(VertexId s, VertexId t) {
+bool PrunedTwoHop::ApplyDelete(VertexId s, VertexId t) {
+  const bool in_base = graph_->HasEdge(s, t);
+  const bool in_extra =
+      !extra_out_.empty() &&
+      std::find(extra_out_[s].begin(), extra_out_[s].end(), t) !=
+          extra_out_[s].end();
+  if (!in_base && !in_extra) return false;   // never existed: no-op
+  if (IsTombstoned(s, t)) return false;      // already deleted: no-op
+  if (tomb_out_.empty()) {
+    tomb_out_.resize(graph_->NumVertices());
+    tomb_in_.resize(graph_->NumVertices());
+  }
+  // Tombstone rather than erase, even for extras: the superset adjacency
+  // (and the sealed + delta labels that describe it) must keep every edge
+  // that ever existed for damage marking to stay conservative.
+  auto it = std::lower_bound(tomb_out_[s].begin(), tomb_out_[s].end(), t);
+  tomb_out_[s].insert(it, t);
+  it = std::lower_bound(tomb_in_[t].begin(), tomb_in_[t].end(), s);
+  tomb_in_[t].insert(it, s);
+  if (s == t) return true;  // self-loop: reachability is reflexive anyway
+  if (LocallyRedundant(s, t)) {
+    // u still reaches v in the post-delete graph, so every old path
+    // through (s, t) reroutes: the reachability relation is untouched and
+    // the labels stay exact. Zero damage, zero query-time cost.
+    return true;
+  }
+  MarkDamage(s, t);
+  ++damage_;
+  return true;
+}
+
+bool PrunedTwoHop::LocallyRedundant(VertexId u, VertexId v) const {
+  // Bounded BFS from u over the live adjacency (the tombstone is already
+  // in place), pruned at vertices that cannot reach v even in the
+  // superset. Overrun counts as "not redundant" — conservative.
+  ws_.Prepare(graph_->NumVertices());
+  std::vector<VertexId>& queue = ws_.queue();
+  queue.push_back(u);
+  ws_.MarkForward(u);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    if (queue[head] == v) return true;
+    if (queue.size() > kLocalSearchBudget) return false;
+    ForEachOut(queue[head], [&](VertexId w) {
+      if (ws_.IsForwardMarked(w)) return;
+      if (!SupersetAnswer(w, v)) return;
+      ws_.MarkForward(w);
+      queue.push_back(w);
+    });
+  }
+  return false;
+}
+
+void PrunedTwoHop::MarkDamage(VertexId u, VertexId v) {
+  const size_t n = graph_->NumVertices();
+  if (damaged_fwd_.empty()) {
+    damaged_fwd_.assign(n, 0);
+    damaged_bwd_.assign(n, 0);
+  }
+  // Every hub that reaches u in the *superset* may have forward claims
+  // routed through (u, v); every hub the superset reaches from v may have
+  // backward claims through it. Marking over the superset adjacency is
+  // what keeps this conservative: claims rerouted through since-deleted
+  // edges are still traced back to their hubs.
+  if (!DamageSweep(u, /*backward=*/true)) fwd_all_damaged_ = true;
+  if (!DamageSweep(v, /*backward=*/false)) bwd_all_damaged_ = true;
+}
+
+bool PrunedTwoHop::DamageSweep(VertexId start, bool backward) {
+  ws_.Prepare(graph_->NumVertices());
+  std::vector<VertexId>& queue = ws_.queue();
+  queue.push_back(start);
+  ws_.MarkForward(start);
+  std::vector<uint8_t>& marks = backward ? damaged_fwd_ : damaged_bwd_;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    marks[rank_[queue[head]]] = 1;
+    if (queue.size() > kLocalSearchBudget) return false;
+    const auto visit = [&](VertexId w) {
+      if (ws_.MarkForward(w)) queue.push_back(w);
+    };
+    if (backward) {
+      ForEachInSuperset(queue[head], visit);
+    } else {
+      ForEachOutSuperset(queue[head], visit);
+    }
+  }
+  return true;
+}
+
+bool PrunedTwoHop::RebuildFromUpdates() {
+  if (graph_ == nullptr) return false;
+  // Materialize the live edge set (base ∪ extras, minus tombstones) and
+  // rebuild over it: folds the delta overlay in, drops the tombstones,
+  // and resets damage — the payoff step of the rebuild-threshold policy.
   std::vector<Edge> edges = graph_->Edges();
   if (!extra_out_.empty()) {
     for (VertexId v = 0; v < extra_out_.size(); ++v) {
       for (VertexId w : extra_out_[v]) edges.push_back({v, w});
     }
   }
-  std::erase(edges, Edge{s, t});
+  if (!tomb_out_.empty()) {
+    std::erase_if(edges, [&](const Edge& e) {
+      return std::binary_search(tomb_out_[e.source].begin(),
+                                tomb_out_[e.source].end(), e.target);
+    });
+  }
   owned_graph_ = Digraph::FromEdges(
       static_cast<VertexId>(graph_->NumVertices()), std::move(edges));
   Build(owned_graph_);
+  return true;
+}
+
+void PrunedTwoHop::ResetDynamicState() {
+  extra_out_.clear();
+  extra_in_.clear();
+  tomb_out_.clear();
+  tomb_in_.clear();
+  delta_lin_.clear();
+  has_delta_ = false;
+  damage_ = 0;
+  damaged_fwd_.clear();
+  damaged_bwd_.clear();
+  fwd_all_damaged_ = false;
+  bwd_all_damaged_ = false;
 }
 
 namespace {
@@ -610,6 +927,10 @@ static_assert(std::is_trivially_copyable_v<SnapshotMeta>);
 }  // namespace
 
 bool PrunedTwoHop::Save(std::ostream& out) const {
+  // A damaged labeling is only exact together with the live tombstone +
+  // graph state, which the stream does not carry: refuse rather than
+  // persist stale positives (header contract).
+  if (damage_ > 0) return false;
   // The payload layout predates the flat pool and is kept byte-identical:
   // per-vertex sorted label vectors, reconstructed by merging each pool
   // slice with its delta overlay (exactly what the nested-vector layout
@@ -686,8 +1007,7 @@ LoadResult PrunedTwoHop::Load(std::istream& in) {
     }
   }
   graph_ = nullptr;
-  extra_out_.clear();
-  extra_in_.clear();
+  ResetDynamicState();
   SealLabels();
   return LoadResult{};
 }
@@ -744,6 +1064,9 @@ std::vector<uint32_t> PrunedTwoHop::OutLabels(VertexId v) const {
 }
 
 bool PrunedTwoHop::SaveSnapshot(std::ostream& out) const {
+  // Same contract as `Save`: never persist a labeling whose exactness
+  // depends on live tombstone state.
+  if (damage_ > 0) return false;
   const size_t n = rank_.size();
   // A post-build delta overlay is folded into temporary pools so the
   // snapshot always holds one sealed, delta-free labeling. The
@@ -912,10 +1235,7 @@ LoadResult PrunedTwoHop::LoadSnapshot(std::shared_ptr<MappedFile> file) {
   rank_.assign(rank.begin(), rank.end());
   by_rank_.assign(by_rank.begin(), by_rank.end());
   graph_ = nullptr;
-  extra_out_.clear();
-  extra_in_.clear();
-  delta_lin_.clear();
-  has_delta_ = false;
+  ResetDynamicState();
   budget_exceeded_ = false;
   mapping_ = std::move(file);  // pool views point into this mapping
   const size_t flat_equivalent =

@@ -45,14 +45,27 @@ enum class VertexOrder {
 /// *general* digraphs (no DAG condensation needed — vertices of an SCC are
 /// covered by their highest-ranked member).
 ///
-/// Dynamics (the TOL row's "Yes" in Table 1):
-///  * `InsertEdge` maintains correctness incrementally: for every hop h in
+/// Dynamics (the TOL row's "Yes" in Table 1), via `ApplyUpdate`:
+///  * Inserts maintain correctness incrementally: for every hop h in
 ///    Lin(u) ∪ {u}, h is propagated through the new edge (u, v) to all
 ///    vertices reachable from v. Unlike TOL's full algorithm this may
 ///    retain redundant entries (redundancy elimination is out of scope);
 ///    `Build` can be re-run to re-minimize.
-///  * `RemoveEdgeAndRebuild` handles deletions by rebuilding, documented in
-///    DESIGN.md as a simplification of TOL's in-place deletion.
+///  * Deletes are absorbed without rebuilding (DESIGN.md "Deletions"):
+///    the sealed labels are kept as a *superset* labeling (they describe
+///    base ∪ every-edge-ever-inserted, which only over-approximates the
+///    current graph), the deleted edge goes into a tombstone set consulted
+///    by the guided traversals, and a bounded local search classifies the
+///    delete. A *locally redundant* delete (u still reaches v another way)
+///    provably changes no answer and costs nothing at query time. A
+///    *damaging* delete marks the hub ranks whose label entries may now be
+///    stale (bounded BFS over the superset adjacency); `AnswerQuery` then
+///    trusts only undamaged witnesses, and verifies damaged-witness
+///    positives by a label-pruned BFS over the live adjacency — answers
+///    stay exact at every damage level. Accumulated damage is the
+///    staleness budget of the rebuild-threshold policy: once it crosses
+///    `staleness_budget` the batch returns `kDeferredRebuild` and the
+///    caller schedules `RebuildFromUpdates()`.
 class PrunedTwoHop : public DynamicReachabilityIndex {
  public:
   /// `num_threads` parallelizes the build with rank-batched speculative
@@ -65,16 +78,24 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
   /// 1 = serial.
   explicit PrunedTwoHop(VertexOrder order = VertexOrder::kDegree,
                         uint64_t seed = 0x70'6c'6cULL, size_t num_threads = 0,
-                        TwoHopStorageOptions storage = {})
+                        TwoHopStorageOptions storage = {},
+                        size_t staleness_budget = kDefaultStalenessBudget)
       : order_(order),
         seed_(seed),
         num_threads_(num_threads),
-        storage_(storage) {}
+        storage_(storage),
+        staleness_budget_(staleness_budget) {}
+
+  /// Default `staleness_budget`: damaging deletes tolerated before
+  /// `ApplyUpdate` starts returning `kDeferredRebuild`. 0 = unbounded.
+  static constexpr size_t kDefaultStalenessBudget = 32;
 
   void Build(const Digraph& graph) override;
   bool Query(VertexId s, VertexId t) const override;
   size_t IndexSizeBytes() const override;
-  bool IsComplete() const override { return true; }
+  /// Complete while label-exact; damaging deletes flip this to false
+  /// until `RebuildFromUpdates`/`Build` re-minimizes.
+  bool IsComplete() const override { return damage_ == 0; }
   std::string Name() const override;
   QueryProbe Probe() const override { return probes_.Aggregate(); }
   void ResetProbe() const override { probes_.Reset(); }
@@ -82,27 +103,43 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
   size_t PrepareConcurrentQueries(size_t slots) const override {
     if (slots == 0) slots = 1;
     probes_.EnsureSlots(slots);
+    // Damaged-witness verification traverses; give every slot its own
+    // scratch now — growing mid-fanout would race.
+    verify_ws_.EnsureSlots(slots);
     return slots;
   }
   bool QueryInSlot(VertexId s, VertexId t, size_t slot) const override;
 
-  /// Incremental edge insertion (see class comment).
-  void InsertEdge(VertexId s, VertexId t) override;
+  /// The unified write surface (see class comment). Inserts always apply
+  /// incrementally; deletes apply incrementally with bounded local
+  /// repair. Never rebuilds internally — crossing the staleness budget
+  /// only changes the returned status to `kDeferredRebuild`.
+  UpdateResult ApplyUpdate(const UpdateBatch& batch) override;
+  bool SupportsDeletions() const override { return true; }
 
-  /// Edge deletion by rebuilding over the current edge set minus (s, t).
-  void RemoveEdgeAndRebuild(VertexId s, VertexId t);
+  /// Folds tombstones + inserted edges into a fresh build over the live
+  /// edge set, resetting damage to zero.
+  bool RebuildFromUpdates() override;
+
+  /// Deletions currently answered through the repair machinery (0 =
+  /// label-exact) and the configured budget, for tests and policy code.
+  size_t Damage() const { return damage_; }
+  size_t StalenessBudget() const { return staleness_budget_; }
 
   /// Serializes the labeling (envelope + ranks + Lin/Lout) to a binary
   /// stream — the persistence piece of the §5 "integration into GDBMSs"
   /// challenge. The label state already reflects any incremental
-  /// insertions. Envelope format name: "pll" for the whole TOL family.
+  /// insertions. Refuses (returns false) while `Damage() > 0`: a damaged
+  /// labeling is only exact together with the live tombstone/graph state,
+  /// which the stream does not carry — `RebuildFromUpdates()` first.
+  /// Envelope format name: "pll" for the whole TOL family.
   bool SupportsSerialization() const override { return true; }
   bool Save(std::ostream& out) const override;
 
   /// Restores a labeling saved by `Save`. A loaded index answers queries
   /// without the original graph; call `Build` (or keep the graph around)
-  /// before using `InsertEdge`/`RemoveEdgeAndRebuild` again. Returns a
-  /// typed error on malformed input, leaving the index unspecified.
+  /// before using `ApplyUpdate` again. Returns a typed error on malformed
+  /// input, leaving the index unspecified.
   LoadResult Load(std::istream& in) override;
 
   /// Writes an RCHX v2 *snapshot file* (docs/SNAPSHOTS.md): the sealed
@@ -152,16 +189,59 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
   void BuildLabels(const Digraph& graph);
   void BuildLabelsParallel(const Digraph& graph, size_t threads);
   void SealLabels();
+  // Live adjacency: base graph minus tombstones, plus inserted extras.
   template <typename Fn>
   void ForEachOut(VertexId v, Fn&& fn) const;
   template <typename Fn>
   void ForEachIn(VertexId v, Fn&& fn) const;
+  // Superset adjacency: base ∪ every edge ever inserted, tombstones
+  // ignored — the graph the sealed labels are exact for.
+  template <typename Fn>
+  void ForEachOutSuperset(VertexId v, Fn&& fn) const;
+  template <typename Fn>
+  void ForEachInSuperset(VertexId v, Fn&& fn) const;
   // Build-time pruning oracle over the (unsealed) nested label vectors.
   bool LabelQuery(VertexId s, VertexId t) const;
   // The three-case 2-hop test on the sealed pools + delta overlay — the
   // single query hot path every entry point (Query, QueryInSlot, and
-  // wrapper indexes calling either) routes through.
-  bool AnswerQuery(VertexId s, VertexId t) const;
+  // wrapper indexes calling either) routes through. With zero damage it
+  // is the label test verbatim; under damage it layers the witness-trust
+  // protocol (`slot` picks the verification scratch).
+  bool AnswerQuery(VertexId s, VertexId t, size_t slot = 0) const;
+  // The plain label test: exact for the superset graph, hence exact
+  // negatives (and, with zero damage, exact positives) for the live one.
+  bool SupersetAnswer(VertexId s, VertexId t) const;
+  // Damage-mode answer: trusted witness -> true; no witness -> false;
+  // only damaged witnesses -> label-pruned BFS over the live adjacency.
+  bool DamagedAnswer(VertexId s, VertexId t, size_t slot) const;
+  // Exact live-graph reachability check, pruned at vertices whose
+  // superset answer is already negative.
+  bool VerifyReach(VertexId s, VertexId t, size_t slot) const;
+
+  // ApplyUpdate helpers. Both return true when graph state changed.
+  bool ApplyInsert(VertexId s, VertexId t);
+  bool ApplyDelete(VertexId s, VertexId t);
+  // True iff u still reaches v within `kLocalSearchBudget` visits of the
+  // post-delete graph — the delete is then provably answer-preserving.
+  bool LocallyRedundant(VertexId u, VertexId v) const;
+  // Marks the hub ranks whose entries the delete (u, v) may have staled.
+  void MarkDamage(VertexId u, VertexId v);
+  // Transitive mark sweep over the superset adjacency; false = budget
+  // overrun (caller escalates to the matching *_all_damaged_ flag).
+  bool DamageSweep(VertexId start, bool backward);
+  bool IsTombstoned(VertexId u, VertexId v) const;
+  bool RankDamagedFwd(uint32_t r) const {
+    return fwd_all_damaged_ || damaged_fwd_[r] != 0;
+  }
+  bool RankDamagedBwd(uint32_t r) const {
+    return bwd_all_damaged_ || damaged_bwd_[r] != 0;
+  }
+  void ResetDynamicState();
+
+  // Visit cap for the per-delete local searches (redundancy check and
+  // damage marking); overrun degrades to all-ranks-damaged, never to a
+  // wrong answer.
+  static constexpr size_t kLocalSearchBudget = 4096;
 
   // Publishes the index.bytes / compression gauges after a (re)seal.
   void PublishStorageGauges(size_t flat_equivalent_bytes) const;
@@ -170,8 +250,9 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
   uint64_t seed_;
   size_t num_threads_;
   TwoHopStorageOptions storage_;
+  size_t staleness_budget_;
   const Digraph* graph_ = nullptr;
-  Digraph owned_graph_;  // used after RemoveEdgeAndRebuild
+  Digraph owned_graph_;  // used after RebuildFromUpdates
   std::vector<uint32_t> rank_;       // rank_[v] = order position (0 = first)
   std::vector<VertexId> by_rank_;    // inverse of rank_
   // Build-side label accumulators (sorted hop ranks); SealLabels() moves
@@ -191,14 +272,37 @@ class PrunedTwoHop : public DynamicReachabilityIndex {
   // Keeps a zero-copy snapshot mapping alive while pool views point
   // into it (docs/SNAPSHOTS.md lifetime rules).
   std::shared_ptr<MappedFile> mapping_;
-  // Unsealed delta overlay: Lin entries added by InsertEdge after sealing
+  // Unsealed delta overlay: Lin entries added by inserts after sealing
   // (sorted, disjoint from the pool slice). Empty until the first insert.
   std::vector<std::vector<uint32_t>> delta_lin_;
   bool has_delta_ = false;
   // Edges inserted after Build (delta adjacency on top of *graph_).
   std::vector<std::vector<VertexId>> extra_out_;
   std::vector<std::vector<VertexId>> extra_in_;
+  // Deleted edges (sorted per vertex), base and extra alike; the
+  // live-adjacency iterators skip them. Deleted extras stay in extra_*
+  // on purpose: the superset adjacency (which the sealed + delta labels
+  // are exact for, and which damage marking traverses) must keep every
+  // edge that ever existed — a later delete can break the alternate path
+  // that justified an earlier "locally redundant" one, and the marking
+  // BFS is only conservative if it still sees the old route. Empty until
+  // the first delete.
+  std::vector<std::vector<VertexId>> tomb_out_;
+  std::vector<std::vector<VertexId>> tomb_in_;
+  // Damaging deletes absorbed since the last (re)build, and the per-rank
+  // stale-witness marks they left: damaged_fwd_[r] = hub by_rank_[r]'s
+  // forward claims (its Lin entries at other vertices) may be stale;
+  // damaged_bwd_[r] dually for its Lout entries. The all_damaged flags
+  // are the budget-overrun fallbacks of the bounded marking search.
+  size_t damage_ = 0;
+  std::vector<uint8_t> damaged_fwd_;
+  std::vector<uint8_t> damaged_bwd_;
+  bool fwd_all_damaged_ = false;
+  bool bwd_all_damaged_ = false;
   mutable SearchWorkspace ws_;
+  // Per-slot scratch for damaged-witness verification (slot-parallel
+  // queries must not share ws_).
+  mutable WorkspacePool verify_ws_;
   mutable ProbePool probes_;
 };
 

@@ -14,9 +14,11 @@ namespace reach {
 /// A sharded, bounded cache of *verified-negative* (s, t) pairs for the
 /// serve hot path: repeated unreachable queries — the dominant mix in
 /// many serving workloads (paper §5) — short-circuit before the snapshot
-/// is even pinned. Only negatives are cached: a positive is already final
-/// under edge insertion, while a negative is exactly the answer the
-/// service spends delta-closure/BFS work re-verifying.
+/// is even pinned. Only negatives are cached: a negative is exactly the
+/// answer the service spends delta-closure/BFS work re-verifying, and a
+/// cached negative survives edge *deletions* for free (removing edges
+/// never makes an unreachable pair reachable), so only inserts ever
+/// invalidate.
 ///
 /// Layout: `num_shards` cache-line-aligned stripes, each a small
 /// open-addressing table of packed (s, t) words probed over a fixed
@@ -24,18 +26,22 @@ namespace reach {
 /// writer per stripe at a time, never blocking readers).
 ///
 /// Invalidation is by epoch, not by sweeping: `Invalidate()` (called by
-/// the service on `InsertEdge` and on snapshot swap) bumps the global
-/// epoch; each stripe carries the epoch of its contents and is lazily
-/// cleared by the next writer that reaches it. A reader samples
-/// `Epoch()` *before* pinning the service state it will verify against
-/// and passes it to both `Lookup` and `Insert`, which gives the two
-/// invariants that make stale answers impossible:
+/// the service on every insert-carrying `ApplyUpdate` batch and on
+/// snapshot swap; delete-only batches deliberately don't invalidate)
+/// bumps the global epoch; each stripe carries the epoch of its contents
+/// and is lazily cleared by the next writer that reaches it. A reader
+/// samples `Epoch()` *before* pinning the service state it will verify
+/// against and passes it to both `Lookup` and `Insert`, which gives the
+/// two invariants that make stale answers impossible:
 ///
 ///  * `Lookup(s, t, e)` only returns true when the stripe's contents
-///    were verified at epoch >= e. The edge set only ever grows, so a
-///    pair verified unreachable at a later epoch is unreachable at every
-///    earlier one — while anything verified *before* e (the stripe epoch
-///    lagging the caller) misses.
+///    were verified at epoch >= e — and epochs are monotone, so that
+///    means verified at exactly the caller's epoch. No insert has landed
+///    since the verification (it would have bumped the epoch), and the
+///    only writes an epoch admits are deletes, which never make an
+///    unreachable pair reachable — so the cached negative still holds.
+///    Anything verified *before* e (the stripe epoch lagging the caller)
+///    misses.
 ///  * `Insert(s, t, e)` refuses stale writes: a negative verified at
 ///    epoch e must not enter a stripe already cleared for a newer epoch
 ///    (edges inserted since could have made the pair reachable).

@@ -23,6 +23,59 @@ std::string ValidatedSpec(const std::string& spec) {
   return MakeIndex(spec).plain != nullptr ? spec : std::string("pll");
 }
 
+/// The pending-update list reduced to per-edge effective state: replaying
+/// the list in order, the last operation on each (source, target) pair
+/// wins. `adds` are the edges whose final op is an insert (the live graph
+/// gains them), `dels` those whose final op is a delete (base-graph arcs
+/// the live graph must mask). `has_deletes` reports whether ANY delete op
+/// was present in the raw list — the query path uses it to decide whether
+/// the insert-only monotonicity shortcut is still valid.
+struct EffectiveUpdates {
+  std::vector<Edge> adds;
+  std::vector<Edge> dels;  // sorted, for binary-search masking
+  bool has_deletes = false;
+};
+
+EffectiveUpdates EffectiveState(const PendingUpdates& updates) {
+  EffectiveUpdates eff;
+  for (const EdgeUpdate& u : updates) {
+    if (u.IsDelete()) {
+      eff.has_deletes = true;
+      break;
+    }
+  }
+  if (!eff.has_deletes) {
+    // Insert-only fast path (the common churn-free case): no reduction
+    // needed — duplicates are harmless to the closure and the BFS.
+    eff.adds.reserve(updates.size());
+    for (const EdgeUpdate& u : updates) {
+      eff.adds.push_back(Edge{u.source, u.target});
+    }
+    return eff;
+  }
+  // Last-op-wins reduction. The list is bounded by the drain threshold
+  // (plus a transient backpressure overshoot), so the quadratic scan
+  // stays tiny; a map would cost more in allocation than it saves.
+  std::vector<EdgeUpdate> last;
+  last.reserve(updates.size());
+  for (const EdgeUpdate& u : updates) {
+    bool found = false;
+    for (EdgeUpdate& l : last) {
+      if (l.source == u.source && l.target == u.target) {
+        l.kind = u.kind;
+        found = true;
+        break;
+      }
+    }
+    if (!found) last.push_back(u);
+  }
+  for (const EdgeUpdate& u : last) {
+    (u.IsInsert() ? eff.adds : eff.dels).push_back(Edge{u.source, u.target});
+  }
+  std::sort(eff.dels.begin(), eff.dels.end());
+  return eff;
+}
+
 uint64_t ElapsedNs(Clock::time_point begin, Clock::time_point end) {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
@@ -139,7 +192,7 @@ ReachService::ReachService(Digraph base, ServiceOptions options)
   snap->version = 0;
   snap->graph = std::move(base);
   snapshot_.Store(std::move(snap));
-  pending_.Store(std::make_shared<const PendingEdges>());
+  pending_.Store(std::make_shared<const PendingUpdates>());
 
   MetricsRegistry& reg = MetricsRegistry::Global();
   queries_counter_ = &reg.GetCounter("serve.queries");
@@ -150,6 +203,10 @@ ReachService::ReachService(Digraph base, ServiceOptions options)
   slot_wait_counter_ = &reg.GetCounter("serve.slot_waits");
   inexact_counter_ = &reg.GetCounter("serve.inexact_answers");
   insert_counter_ = &reg.GetCounter("serve.inserts");
+  delete_counter_ = &reg.GetCounter("serve.update.deletes");
+  update_batch_counter_ = &reg.GetCounter("serve.update.batches");
+  update_rejected_counter_ = &reg.GetCounter("serve.update.rejected");
+  delete_verify_counter_ = &reg.GetCounter("serve.update.delete_verifies");
   rebuild_counter_ = &reg.GetCounter("serve.rebuilds");
   slow_captured_counter_ = &reg.GetCounter("serve.slow.captured");
   slow_dropped_counter_ = &reg.GetCounter("serve.slow.dropped");
@@ -235,20 +292,48 @@ void ReachService::Stop() {
 }
 
 bool ReachService::InsertEdge(VertexId s, VertexId t) {
-  if (s >= num_vertices_ || t >= num_vertices_) return false;
-  if (stopped_.load(std::memory_order_relaxed)) return false;
+  return ApplyUpdate({EdgeUpdate::Insert(s, t)}).ok();
+}
+
+bool ReachService::DeleteEdge(VertexId s, VertexId t) {
+  return ApplyUpdate({EdgeUpdate::Delete(s, t)}).ok();
+}
+
+UpdateResult ReachService::ApplyUpdate(const UpdateBatch& batch) {
+  // Validate-first: a rejected batch must leave no trace in the buffer.
+  size_t num_inserts = 0;
+  size_t num_deletes = 0;
+  for (const EdgeUpdate& update : batch) {
+    if (update.source >= num_vertices_ || update.target >= num_vertices_) {
+      stats_.update_rejected.fetch_add(1, std::memory_order_relaxed);
+      update_rejected_counter_->Add();
+      return UpdateResult::Rejected("endpoint out of range");
+    }
+    update.IsInsert() ? ++num_inserts : ++num_deletes;
+  }
+  if (stopped_.load(std::memory_order_relaxed)) {
+    stats_.update_rejected.fetch_add(1, std::memory_order_relaxed);
+    update_rejected_counter_->Add();
+    return UpdateResult::Rejected("service stopped");
+  }
+  if (batch.empty()) return UpdateResult::Applied(0, 0, 0, 0);
   size_t pending_count = 0;
   bool force_schedule = false;
   {
     std::unique_lock<std::mutex> lock(write_mu_);
     const size_t cap = options_.max_pending_edges;
+    // The batch is one admission unit: it lands whole or not at all
+    // (kForceRebuild may overshoot the cap by a whole batch, same
+    // transient-overshoot contract as before).
     if (cap > 0 && pending_.Load()->size() >= cap) {
       switch (options_.backpressure) {
         case BackpressurePolicy::kReject:
           stats_.backpressure_rejected.fetch_add(1,
                                                  std::memory_order_relaxed);
           bp_rejected_counter_->Add();
-          return false;
+          stats_.update_rejected.fetch_add(1, std::memory_order_relaxed);
+          update_rejected_counter_->Add();
+          return UpdateResult::Rejected("backpressure: pending buffer full");
         case BackpressurePolicy::kForceRebuild:
           // Accept past the cap; the forced drain pulls it back under.
           stats_.backpressure_forced.fetch_add(1, std::memory_order_relaxed);
@@ -271,26 +356,36 @@ bool ReachService::InsertEdge(VertexId s, VertexId t) {
             }
             backpressure_cv_.wait(lock);
           }
-          if (stopped_.load(std::memory_order_relaxed)) return false;
+          if (stopped_.load(std::memory_order_relaxed)) {
+            stats_.update_rejected.fetch_add(1, std::memory_order_relaxed);
+            update_rejected_counter_->Add();
+            return UpdateResult::Rejected("service stopped");
+          }
           break;
         }
       }
     }
     const auto cur = pending_.Load();
-    auto next = std::make_shared<PendingEdges>();
-    next->reserve(cur->size() + 1);
+    auto next = std::make_shared<PendingUpdates>();
+    next->reserve(cur->size() + batch.size());
     *next = *cur;
-    next->push_back(Edge{s, t});
+    next->insert(next->end(), batch.begin(), batch.end());
     pending_count = next->size();
     pending_.Store(std::move(next));
   }
-  stats_.inserts.fetch_add(1, std::memory_order_relaxed);
-  insert_counter_->Add();
+  stats_.inserts.fetch_add(num_inserts, std::memory_order_relaxed);
+  insert_counter_->Add(num_inserts);
+  stats_.deletes.fetch_add(num_deletes, std::memory_order_relaxed);
+  delete_counter_->Add(num_deletes);
+  stats_.update_batches.fetch_add(1, std::memory_order_relaxed);
+  update_batch_counter_->Add();
   pending_gauge_->Set(static_cast<double>(pending_count));
-  if (negcache_ != nullptr) {
+  if (negcache_ != nullptr && num_inserts > 0) {
     // After the pending publish: a query sampling the new epoch is
-    // guaranteed to pin a pending list containing this edge, so every
-    // negative it verifies (and caches) accounts for it.
+    // guaranteed to pin a pending list containing this batch, so every
+    // negative it verifies (and caches) accounts for it. Delete-only
+    // batches skip the bump — deletions only shrink reachability, so a
+    // cached verified negative can never turn stale positive.
     negcache_->Invalidate();
     stats_.negcache_invalidations.fetch_add(1, std::memory_order_relaxed);
     negcache_invalidate_counter_->Add();
@@ -299,7 +394,11 @@ bool ReachService::InsertEdge(VertexId s, VertexId t) {
     std::lock_guard<std::mutex> lock(rebuild_mu_);
     ScheduleLocked();
   }
-  return true;
+  // Every accepted update is answered exactly from the moment it lands
+  // (delta closure / live-union verification), so the batch counts as
+  // incrementally applied with zero damage: the serve path never owes a
+  // caller-visible rebuild.
+  return UpdateResult::Applied(batch.size(), 0, 0, 0);
 }
 
 void ReachService::Flush() {
@@ -360,8 +459,22 @@ void ReachService::RebuildLoop() {
       }
       {
         REACH_TRACE_SPAN("serve.rebuild.graph");
+        // Materialize the drained updates: reduce to last-op-per-edge,
+        // drop every touched pair from the base set, then re-add the
+        // effective inserts. Replay order is already folded into the
+        // reduction, and the drop-then-add avoids duplicate edges when a
+        // pending insert races an existing base edge.
+        const EffectiveUpdates eff = EffectiveState(*drained);
         std::vector<Edge> edges = base_edges_;
-        edges.insert(edges.end(), drained->begin(), drained->end());
+        if (eff.has_deletes) {
+          std::vector<Edge> touched = eff.adds;
+          touched.insert(touched.end(), eff.dels.begin(), eff.dels.end());
+          std::sort(touched.begin(), touched.end());
+          std::erase_if(edges, [&](const Edge& e) {
+            return std::binary_search(touched.begin(), touched.end(), e);
+          });
+        }
+        edges.insert(edges.end(), eff.adds.begin(), eff.adds.end());
         snap->graph = Digraph::FromEdges(
             static_cast<VertexId>(num_vertices_), std::move(edges));
       }
@@ -398,9 +511,10 @@ void ReachService::RebuildLoop() {
       ++consecutive_failures;
       NoteRebuildFailure(error, consecutive_failures);
       if (consecutive_failures > options_.rebuild_max_retries) {
-        // Retries exhausted: abandon the drain. Pending edges stay put —
-        // queries still answer them exactly via the delta closure — and
-        // the next InsertEdge/Flush schedules a fresh loop.
+        // Retries exhausted: abandon the drain. Pending updates stay put
+        // — queries still answer them exactly via the delta closure and
+        // live-union verification — and the next ApplyUpdate/Flush
+        // schedules a fresh loop.
         SetRebuildState(RebuildState::kFailed);
         // Exit handshake. A writer parked on kBlock backpressure may
         // have no-op'd its ScheduleLocked against this (then in-flight)
@@ -467,10 +581,11 @@ void ReachService::RebuildLoop() {
     REACH_TRACE_INSTANT("serve.snapshot_swap");
     version_gauge_->Set(static_cast<double>(published_version));
     if (negcache_ != nullptr) {
-      // The swap adds no edges (it only absorbs pending ones), so this
-      // bump is defense in depth: entries verified against the previous
-      // snapshot+pending union stay unreachable, but tying cache
-      // lifetime to the generation keeps the invariant local.
+      // The swap adds no reachability (it only absorbs pending updates,
+      // and drained deletes can only shrink it), so this bump is defense
+      // in depth: entries verified against the previous snapshot+pending
+      // union stay unreachable, but tying cache lifetime to the
+      // generation keeps the invariant local.
       negcache_->Invalidate();
       stats_.negcache_invalidations.fetch_add(1, std::memory_order_relaxed);
       negcache_invalidate_counter_->Add();
@@ -479,7 +594,7 @@ void ReachService::RebuildLoop() {
     {
       std::lock_guard<std::mutex> lock(write_mu_);
       const auto cur = pending_.Load();
-      auto next = std::make_shared<PendingEdges>(
+      auto next = std::make_shared<PendingUpdates>(
           cur->begin() + static_cast<ptrdiff_t>(drained->size()), cur->end());
       left = next->size();
       pending_.Store(std::move(next));
@@ -608,7 +723,7 @@ ServeAnswer ReachService::Query(VertexId s, VertexId t) const {
   // two loads then yields a newer snapshot with an already-absorbed
   // pending prefix (redundant but correct). The opposite order could
   // pair an old snapshot with a trimmed list and lose edges.
-  std::shared_ptr<const PendingEdges> pending;
+  std::shared_ptr<const PendingUpdates> pending;
   std::shared_ptr<const ServeSnapshot> snap;
   {
     REACH_TRACE_SPAN("serve.snapshot_pin");
@@ -707,7 +822,7 @@ void ReachService::CaptureSlowQuery(SlowQueryRecord rec) const {
 }
 
 ServeAnswer ReachService::AnswerWithIndex(
-    const ServeSnapshot& snap, const PendingEdges& pending, VertexId s,
+    const ServeSnapshot& snap, const PendingUpdates& pending, VertexId s,
     VertexId t, Clock::time_point deadline, bool allow_delta, bool* waited,
     SlowQueryRecord* rec) const {
   ServeAnswer ans;
@@ -724,44 +839,61 @@ ServeAnswer ReachService::AnswerWithIndex(
     return index.QueryInSlot(from, to, slot);
   };
 
+  // The decision runs over the SUPERSET graph first: snapshot ∪ effective
+  // pending inserts, deletes ignored. The live graph is a subgraph of it,
+  // so a superset negative is an exact negative. A superset positive is
+  // final only while no deletes are pending (insert-only monotonicity);
+  // with deletes pending it is a candidate that must be re-verified
+  // against the live union graph by a bounded traversal.
+  const EffectiveUpdates eff = EffectiveState(pending);
+  bool superset_reachable = false;
   {
     StageScope stage(rec, ServeStage::kIndexProbe);
-    if (probe(s, t)) {
-      // Reachability is monotone under insertion: an index hit on this
-      // snapshot stays true no matter how many edges are pending.
-      ans.reachable = true;
-    } else if (!pending.empty()) {
-      if (allow_delta) {
-        ans.source = AnswerSource::kDelta;  // miss: must consult the delta
-      } else {
-        // Admission gate disallowed the O(k²) closure: the pending edges
-        // are unaccounted for, so this negative is only approximate.
-        ans.exact = false;
-      }
-    }
+    superset_reachable = probe(s, t);
   }
-  if (ans.source == AnswerSource::kIndex) {
+  if (superset_reachable && !eff.has_deletes) {
+    // Reachability is monotone under insertion: an index hit on this
+    // snapshot stays true no matter how many inserts are pending.
+    ans.reachable = true;
+    stats_.index_answers.fetch_add(1, std::memory_order_relaxed);
+    index_counter_->Add();
+    return ans;
+  }
+  if (!superset_reachable && eff.adds.empty()) {
+    // No path even with every ever-pending edge present: exact negative
+    // regardless of pending deletes (they only remove more paths).
+    stats_.index_answers.fetch_add(1, std::memory_order_relaxed);
+    index_counter_->Add();
+    return ans;
+  }
+  if (!allow_delta) {
+    // Admission gate disallowed the O(k²) closure and the verification
+    // traversal: the pending updates are unaccounted for, so this
+    // negative is only approximate.
+    ans.exact = false;
     stats_.index_answers.fetch_add(1, std::memory_order_relaxed);
     index_counter_->Add();
     return ans;
   }
 
-  // Index miss with pending edges: close over them. Any s-t path in
-  // graph ∪ pending decomposes into base-graph segments joined by
-  // pending edges, so a worklist of "usable" pending edges (tail
-  // base-reachable from s, possibly through other usable edges) decides
-  // the query with O(k²) index lookups, k = |pending| (bounded by the
-  // drain threshold).
+  // Superset index miss with pending inserts: close over them. Any s-t
+  // path in graph ∪ adds decomposes into base-graph segments joined by
+  // pending inserts, so a worklist of "usable" inserts (tail
+  // base-reachable from s, possibly through other usable inserts) decides
+  // the superset query with O(k²) index lookups, k = |adds| (bounded by
+  // the drain threshold).
   bool expired = false;
-  {
+  if (!superset_reachable) {
+    ans.source = AnswerSource::kDelta;
     StageScope stage(rec, ServeStage::kDeltaClosure);
-    const size_t k = pending.size();
+    const std::vector<Edge>& adds = eff.adds;
+    const size_t k = adds.size();
     std::vector<uint8_t> usable(k, 0);
     std::vector<size_t> work;
     work.reserve(k);
     const auto now_expired = [&deadline] { return Clock::now() > deadline; };
     for (size_t i = 0; i < k; ++i) {
-      if (probe(s, pending[i].source)) {
+      if (probe(s, adds[i].source)) {
         usable[i] = 1;
         work.push_back(i);
       }
@@ -769,12 +901,12 @@ ServeAnswer ReachService::AnswerWithIndex(
     while (!work.empty() && !expired) {
       const size_t i = work.back();
       work.pop_back();
-      if (probe(pending[i].target, t)) {
-        ans.reachable = true;
+      if (probe(adds[i].target, t)) {
+        superset_reachable = true;
         break;
       }
       for (size_t j = 0; j < k; ++j) {
-        if (usable[j] == 0 && probe(pending[i].target, pending[j].source)) {
+        if (usable[j] == 0 && probe(adds[i].target, adds[j].source)) {
           usable[j] = 1;
           work.push_back(j);
         }
@@ -782,21 +914,35 @@ ServeAnswer ReachService::AnswerWithIndex(
       expired = now_expired();
     }
   }
-  if (!expired || ans.reachable) {
+  if (expired && !superset_reachable) {
+    // Budget blown mid-closure: degrade to the bounded traversal.
+    stats_.deadline_degraded.fetch_add(1, std::memory_order_relaxed);
+    deadline_counter_->Add();
+    if (rec != nullptr) rec->deadline_degraded = true;
+    return DegradedAnswer(snap, pending, s, t, options_.fallback_visit_budget,
+                          rec);
+  }
+  if (!superset_reachable || !eff.has_deletes) {
+    // Exact either way: a closure-exhausted negative, or a witness
+    // segment chain with no deletes pending to invalidate it.
+    ans.reachable = superset_reachable;
+    ans.source = AnswerSource::kDelta;
     stats_.delta_answers.fetch_add(1, std::memory_order_relaxed);
     delta_counter_->Add();
-    return ans;  // exact: a witness segment chain, or closure exhausted
+    return ans;
   }
-  // Budget blown mid-closure: degrade to the bounded traversal.
-  stats_.deadline_degraded.fetch_add(1, std::memory_order_relaxed);
-  deadline_counter_->Add();
-  if (rec != nullptr) rec->deadline_degraded = true;
+  // Superset positive with deletes pending: the witness may route through
+  // a tombstoned edge, so only a traversal of the live union graph
+  // decides. It returns an exact answer unless the visit budget runs out
+  // (then an inexact negative, flagged as such).
+  stats_.delete_verifies.fetch_add(1, std::memory_order_relaxed);
+  delete_verify_counter_->Add();
   return DegradedAnswer(snap, pending, s, t, options_.fallback_visit_budget,
                         rec);
 }
 
 ServeAnswer ReachService::DegradedAnswer(const ServeSnapshot& snap,
-                                         const PendingEdges& pending,
+                                         const PendingUpdates& pending,
                                          VertexId s, VertexId t,
                                          size_t visit_budget,
                                          SlowQueryRecord* rec) const {
@@ -888,15 +1034,20 @@ ServiceHealth ReachService::Health() const {
 }
 
 BoundedBfsOutcome BoundedUnionBfs(const Digraph& graph,
-                                  const PendingEdges& extra, VertexId s,
+                                  const PendingUpdates& updates, VertexId s,
                                   VertexId t, size_t max_visits) {
   BoundedBfsOutcome out;
   if (s == t) {
     out.reachable = true;
     return out;
   }
-  std::vector<Edge> by_source(extra.begin(), extra.end());
+  // Live union graph: base arcs not masked by an effective delete, plus
+  // the effective inserts. This is the one place on the serve path that
+  // decides reachability against deletions exactly.
+  const EffectiveUpdates eff = EffectiveState(updates);
+  std::vector<Edge> by_source = eff.adds;
   std::sort(by_source.begin(), by_source.end());
+  const std::vector<Edge>& dels = eff.dels;  // already sorted
   std::vector<uint8_t> visited(graph.NumVertices(), 0);
   std::vector<VertexId> queue;
   queue.push_back(s);
@@ -916,6 +1067,10 @@ BoundedBfsOutcome BoundedUnionBfs(const Digraph& graph,
       return n == t;
     };
     for (const VertexId n : graph.OutNeighbors(v)) {
+      if (!dels.empty() &&
+          std::binary_search(dels.begin(), dels.end(), Edge{v, n})) {
+        continue;  // tombstoned base arc
+      }
       if (enqueue(n)) {
         out.reachable = true;
         return out;

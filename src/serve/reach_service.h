@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/edge_update.h"
 #include "core/serialize.h"
 #include "graph/digraph.h"
 #include "graph/rng.h"
@@ -24,17 +25,17 @@ class Counter;
 class Gauge;
 class Histogram;
 
-/// What `InsertEdge` does when the pending-edge buffer is at
+/// What `ApplyUpdate` does when the pending-update buffer is at
 /// `ServiceOptions::max_pending_edges` (docs/ROBUSTNESS.md).
 enum class BackpressurePolicy : uint8_t {
   /// Block the writer until a background drain makes room (a rebuild is
   /// force-scheduled so the wait always terminates; `Stop` unblocks with
-  /// a rejected insert).
+  /// a rejected batch).
   kBlock,
-  /// Reject the insert immediately (`InsertEdge` returns false); the
-  /// caller owns retry policy.
+  /// Reject the batch immediately (`ApplyUpdate` returns `kRejected`);
+  /// the caller owns retry policy.
   kReject,
-  /// Accept the edge past the cap and force an immediate drain — the
+  /// Accept the batch past the cap and force an immediate drain — the
   /// buffer transiently exceeds the cap but converges back under it.
   kForceRebuild,
 };
@@ -50,7 +51,8 @@ struct ServiceOptions {
   /// Concurrent-query slots requested per snapshot; the index may grant
   /// fewer (see `PrepareConcurrentQueries`). 0 = `DefaultThreads()`.
   size_t slots = 0;
-  /// Pending-insert count that triggers a background snapshot rebuild.
+  /// Pending-update count that triggers a background snapshot rebuild.
+  /// Deletes count like inserts: both are absorbed by the same drain.
   size_t drain_threshold = 64;
   /// Per-query time budget; once exceeded, the expensive answer paths
   /// (delta closure, unindexed fallback) degrade to the bounded BFS.
@@ -69,9 +71,11 @@ struct ServiceOptions {
   size_t slow_log_capacity = 64;
   /// Total entry bound of the negative-result cache (serve/neg_cache.h)
   /// consulted ahead of the index probe; repeated verified-unreachable
-  /// pairs short-circuit in O(1). Epoch-invalidated on `InsertEdge` and
-  /// on every snapshot swap, so a stale negative is never served.
-  /// 0 disables the cache.
+  /// pairs short-circuit in O(1). Epoch-invalidated on every
+  /// insert-carrying `ApplyUpdate` and on every snapshot swap, so a
+  /// stale negative is never served; delete-only batches keep the cache
+  /// warm (deletions only shrink reachability, so a verified negative
+  /// stays negative). 0 disables the cache.
   size_t negcache_capacity = 1 << 14;
   /// Lock stripes of the negative-result cache (rounded to a power of
   /// two). More stripes = less writer contention.
@@ -90,8 +94,8 @@ struct ServiceOptions {
   /// deliberately far below `fallback_visit_budget`.
   size_t degraded_visit_budget = 2048;
 
-  /// Write backpressure: cap on the pending-edge buffer; `backpressure`
-  /// picks what `InsertEdge` does at the cap. 0 = unbounded (no gate).
+  /// Write backpressure: cap on the pending-update buffer; `backpressure`
+  /// picks what `ApplyUpdate` does at the cap. 0 = unbounded (no gate).
   size_t max_pending_edges = 0;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
 
@@ -117,8 +121,9 @@ struct ServiceOptions {
 /// How a query was answered.
 enum class AnswerSource : uint8_t {
   kIndex,        // snapshot index alone
-  kDelta,        // index plus the pending-edge closure
-  kFallbackBfs,  // bounded online BFS (no index yet, or budget exceeded)
+  kDelta,        // index plus the pending-update closure
+  kFallbackBfs,  // bounded union BFS (no index yet, budget exceeded, or
+                 // verifying a positive against pending deletes)
   kNegCache,     // negative-result cache hit (verified this epoch)
   kShedded,      // admission gate full: not answered (always inexact)
 };
@@ -169,7 +174,7 @@ struct SlowQueryRecord {
   /// `QueryInSlot` calls issued (1 for a pure hit/miss; the delta closure
   /// issues O(k²) of them).
   uint64_t index_probes = 0;
-  /// Pending-edge buffer size observed by the query.
+  /// Pending-update buffer size observed by the query.
   uint64_t pending_edges = 0;
   /// Vertices expanded by the bounded BFS (0 when it did not run).
   uint64_t bfs_visits = 0;
@@ -187,6 +192,15 @@ struct ServeStats {
   std::atomic<uint64_t> slot_waits{0};
   std::atomic<uint64_t> inexact_answers{0};
   std::atomic<uint64_t> inserts{0};
+  /// Deletes accepted into the pending buffer (`serve.update.deletes`).
+  std::atomic<uint64_t> deletes{0};
+  /// `ApplyUpdate` batches accepted / rejected (validation or
+  /// backpressure-reject) — `serve.update.batches` / `.rejected`.
+  std::atomic<uint64_t> update_batches{0};
+  std::atomic<uint64_t> update_rejected{0};
+  /// Positive superset answers that had to be re-verified by traversal
+  /// because deletes were pending (`serve.update.delete_verifies`).
+  std::atomic<uint64_t> delete_verifies{0};
   std::atomic<uint64_t> rebuilds{0};
   /// Negative-result cache outcomes (misses count every cache-enabled
   /// query that had to fall through to the index pipeline).
@@ -203,7 +217,7 @@ struct ServeStats {
   std::atomic<uint64_t> shed{0};
   std::atomic<uint64_t> admission_cache_only{0};
   std::atomic<uint64_t> admission_bfs_only{0};
-  /// Backpressure outcomes of `InsertEdge` at the pending-buffer cap.
+  /// Backpressure outcomes of `ApplyUpdate` at the pending-buffer cap.
   std::atomic<uint64_t> backpressure_blocked{0};
   std::atomic<uint64_t> backpressure_rejected{0};
   std::atomic<uint64_t> backpressure_forced{0};
@@ -235,6 +249,7 @@ struct ServiceHealth {
   /// False once `Stop()` ran: queries still work, writes are rejected.
   bool accepting_writes = false;
   uint64_t snapshot_version = 0;
+  /// Pending updates (inserts + deletes) not yet absorbed.
   size_t pending_edges = 0;
   size_t max_pending_edges = 0;  // 0 = unbounded
   /// Buffer occupancy in [0,1]; 0 when unbounded.
@@ -256,33 +271,40 @@ struct ServiceHealth {
 
 /// An embeddable concurrent reachability-serving engine — the §5
 /// "integration into GDBMSs" challenge made concrete. One service owns an
-/// evolving edge set and serves exact point queries while absorbing an
-/// `InsertEdge` stream:
+/// evolving edge set and serves exact point queries while absorbing a
+/// batched `ApplyUpdate` stream of edge inserts AND deletes:
 ///
 ///  * Reads pin an immutable `ServeSnapshot` (graph + index + query
 ///    slots) behind an atomic `shared_ptr`, lease a slot, and answer via
 ///    `QueryInSlot` — many readers in parallel, zero locks on the hot
 ///    path.
-///  * Writes append to a copy-on-write pending-edge buffer; a background
-///    task on the shared thread pool (src/par/) drains the buffer into a
-///    freshly built snapshot and swaps it in. At most one rebuild is in
-///    flight; generations are strictly ordered.
-///  * Queries stay exact across the swap: reachability is monotone under
-///    insertion, so an index hit on the pinned snapshot is final, and an
-///    index miss is re-checked against the pending edges by a closure
-///    over index queries (each base-graph gap between pending edges is
-///    one `QueryInSlot`). When there is no index yet — service just
-///    started — or the per-query deadline expires mid-closure, the
-///    answer degrades to a bounded union BFS over graph + pending edges,
+///  * Writes append to a copy-on-write pending-update buffer; a
+///    background task on the shared thread pool (src/par/) drains the
+///    buffer into a freshly built snapshot and swaps it in. At most one
+///    rebuild is in flight; generations are strictly ordered. No write —
+///    insert or delete — ever rebuilds inline.
+///  * Queries stay exact across the swap. With only inserts pending,
+///    reachability is monotone: an index hit on the pinned snapshot is
+///    final, and an index miss is re-checked against the pending inserts
+///    by a closure over index queries (each base-graph gap between
+///    pending edges is one `QueryInSlot`). With deletes pending, the
+///    snapshot ∪ pending-inserts graph is a *superset* of the live
+///    graph, so a superset miss is still an exact negative; a superset
+///    hit is re-verified by a bounded traversal of the live union graph
+///    (snapshot minus effective deletes plus effective inserts). Pending
+///    deletes thus act as tombstones consulted across snapshot swaps
+///    until a drain materializes them. When there is no index yet —
+///    service just started — or the per-query deadline expires
+///    mid-closure, the answer degrades to the same bounded union BFS,
 ///    and `ServeAnswer::exact` says whether the budget sufficed.
 ///
 /// Thread-safety: `Query` may be called from any number of threads
-/// concurrently with `InsertEdge`, `Flush`, and the background rebuild.
+/// concurrently with `ApplyUpdate`, `Flush`, and the background rebuild.
 /// `Start`/`Stop` are not thread-safe with each other.
 class ReachService {
  public:
-  /// The vertex set is fixed at construction; `InsertEdge` streams edges
-  /// over it. The service answers queries from `Start()` on.
+  /// The vertex set is fixed at construction; `ApplyUpdate` streams edge
+  /// writes over it. The service answers queries from `Start()` on.
   explicit ReachService(Digraph base, ServiceOptions options = {});
   ~ReachService();
 
@@ -309,16 +331,26 @@ class ReachService {
   /// published snapshot; further inserts are rejected. Idempotent.
   void Stop();
 
-  /// Answers Qr(s, t) over the union of the base graph and every edge
-  /// accepted by `InsertEdge` so far (see class comment for exactness).
+  /// Answers Qr(s, t) over the base graph with every update accepted by
+  /// `ApplyUpdate` so far replayed in order (see class comment for
+  /// exactness).
   ServeAnswer Query(VertexId s, VertexId t) const;
 
-  /// Accepts edge s -> t into the pending buffer; a rebuild is scheduled
-  /// once `drain_threshold` edges accumulate. Returns false when an
-  /// endpoint is out of range or the service is stopped.
-  bool InsertEdge(VertexId s, VertexId t);
+  /// Accepts a batch of edge writes into the pending buffer; a rebuild
+  /// is scheduled once `drain_threshold` updates accumulate. Validate-
+  /// first: a batch with an out-of-range endpoint (or arriving after
+  /// `Stop()`, or bounced by `kReject` backpressure) is rejected whole
+  /// with no state change. An accepted batch is visible to every
+  /// subsequent query atomically — readers pin the COW buffer, so they
+  /// see all of it or none of it.
+  UpdateResult ApplyUpdate(const UpdateBatch& batch);
 
-  /// Blocks until every previously accepted insert is absorbed into a
+  /// Single-edge convenience wrappers over `ApplyUpdate`. Return false
+  /// iff the one-update batch was rejected.
+  bool InsertEdge(VertexId s, VertexId t);
+  bool DeleteEdge(VertexId s, VertexId t);
+
+  /// Blocks until every previously accepted update is absorbed into a
   /// published snapshot (forcing a rebuild if needed). No-op when
   /// stopped.
   void Flush();
@@ -326,7 +358,7 @@ class ReachService {
   size_t NumVertices() const { return num_vertices_; }
   /// Version of the currently published snapshot (0 = unindexed startup).
   uint64_t SnapshotVersion() const { return snapshot_.Load()->version; }
-  /// Inserts not yet absorbed into a snapshot.
+  /// Updates (inserts + deletes) not yet absorbed into a snapshot.
   size_t PendingEdgeCount() const { return pending_.Load()->size(); }
   /// Queries currently inside `Query` (admitted or about to be triaged).
   size_t InflightQueries() const {
@@ -366,13 +398,13 @@ class ReachService {
   void SetRebuildState(RebuildState state);
   void NoteRebuildFailure(const std::string& error, size_t consecutive);
   ServeAnswer AnswerWithIndex(const ServeSnapshot& snap,
-                              const PendingEdges& pending, VertexId s,
+                              const PendingUpdates& pending, VertexId s,
                               VertexId t,
                               std::chrono::steady_clock::time_point deadline,
                               bool allow_delta, bool* waited,
                               SlowQueryRecord* rec) const;
   ServeAnswer DegradedAnswer(const ServeSnapshot& snap,
-                             const PendingEdges& pending, VertexId s,
+                             const PendingUpdates& pending, VertexId s,
                              VertexId t, size_t visit_budget,
                              SlowQueryRecord* rec) const;
   void CaptureSlowQuery(SlowQueryRecord rec) const;
@@ -383,10 +415,12 @@ class ReachService {
   const std::string spec_;
 
   AtomicSharedPtr<const ServeSnapshot> snapshot_;
-  AtomicSharedPtr<const PendingEdges> pending_;
+  AtomicSharedPtr<const PendingUpdates> pending_;
   // Verified-unreachable pairs, consulted before the snapshot is pinned;
-  // null when `negcache_capacity == 0`. Epoch-bumped after every pending
-  // publish and snapshot swap (see Query for the sampling order).
+  // null when `negcache_capacity == 0`. Epoch-bumped after every
+  // insert-carrying pending publish and every snapshot swap — delete-only
+  // batches skip the bump because deletions only shrink reachability
+  // (see Query for the sampling order).
   const std::unique_ptr<NegativeResultCache> negcache_;
 
   // Serializes writers mutating the pending buffer (readers are
@@ -395,8 +429,9 @@ class ReachService {
   // Wakes kBlock writers when a drain trims the pending buffer (and on
   // Stop). Guarded by write_mu_.
   std::condition_variable backpressure_cv_;
-  // Every edge already absorbed into the published snapshot's graph.
-  // Touched only by the (single) in-flight rebuild task and Start().
+  // Every edge currently in the published snapshot's graph (deletes
+  // drained by a rebuild are already materialized out of it). Touched
+  // only by the (single) in-flight rebuild task and Start().
   std::vector<Edge> base_edges_;
   uint64_t next_version_ = 1;
 
@@ -433,6 +468,10 @@ class ReachService {
   Counter* slot_wait_counter_;
   Counter* inexact_counter_;
   Counter* insert_counter_;
+  Counter* delete_counter_;
+  Counter* update_batch_counter_;
+  Counter* update_rejected_counter_;
+  Counter* delete_verify_counter_;
   Counter* rebuild_counter_;
   Counter* slow_captured_counter_;
   Counter* slow_dropped_counter_;
@@ -469,11 +508,13 @@ struct BoundedBfsOutcome {
   size_t visits = 0;
 };
 
-/// Breadth-first search over `graph` plus the extra edges, giving up
-/// after `max_visits` vertex expansions — the degraded answer path of
-/// `ReachService`, exposed for tests and the differential harness.
+/// Breadth-first search over `graph` with `updates` replayed onto it
+/// (last operation per edge wins: effective inserts are added, effective
+/// deletes mask base-graph arcs), giving up after `max_visits` vertex
+/// expansions — the degraded/verification answer path of `ReachService`,
+/// exposed for tests and the differential harness.
 BoundedBfsOutcome BoundedUnionBfs(const Digraph& graph,
-                                  const PendingEdges& extra, VertexId s,
+                                  const PendingUpdates& updates, VertexId s,
                                   VertexId t, size_t max_visits);
 
 }  // namespace reach

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/edge_update.h"
 #include "core/reachability_index.h"
 #include "graph/digraph.h"
 
@@ -88,11 +89,14 @@ struct ServeSnapshot {
   mutable SlotPool slots;
 };
 
-/// Edges accepted by `InsertEdge` but not yet absorbed into a snapshot.
-/// Copy-on-write: writers replace the whole (small, bounded by the drain
-/// threshold) vector under the service's write lock; readers pin the
-/// current list lock-free alongside the snapshot.
-using PendingEdges = std::vector<Edge>;
+/// Updates accepted by `ApplyUpdate` (inserts and deletes, in arrival
+/// order) but not yet absorbed into a snapshot. Copy-on-write: writers
+/// replace the whole (small, bounded by the drain threshold) vector under
+/// the service's write lock; readers pin the current list lock-free
+/// alongside the snapshot. Order matters — the live edge set is the
+/// snapshot graph with these updates replayed in sequence, so the last
+/// operation on an edge wins.
+using PendingUpdates = std::vector<EdgeUpdate>;
 
 // TSan cannot see through libstdc++'s _Sp_atomic lock-bit protocol (the
 // pointer word is guarded by a bit spliced into the refcount word and

@@ -336,6 +336,118 @@ TEST_F(ChaosTest, WatchdogAbandonsAStalledDrainAndTheRetryLands) {
   service.Stop();
 }
 
+TEST_F(ChaosTest, TombstoneHoldsWhileRebuildsFailAndMaterializesAfter) {
+  if (!kFailpointsCompiled) GTEST_SKIP() << "REACH_FAILPOINTS is OFF";
+  const Digraph base = Chain(10);
+  ServiceOptions opts;
+  opts.drain_threshold = 1000;
+  opts.rebuild_backoff_initial = std::chrono::milliseconds(1);
+  opts.rebuild_backoff_max = std::chrono::milliseconds(8);
+  ReachService service(base, opts);
+  service.Start();
+  service.Flush();
+  ASSERT_TRUE(service.Query(0, 9).reachable);
+
+  // The next two drain attempts die; the delete's tombstone must hold
+  // through every retry — a stale positive here would be a lie served
+  // from the old snapshot.
+  std::string error;
+  ASSERT_TRUE(FailpointRegistry::Global().Arm("serve.rebuild",
+                                              "error(times=2)", &error))
+      << error;
+  ASSERT_TRUE(service.DeleteEdge(4, 5));
+  const ServeAnswer during = service.Query(0, 9);
+  EXPECT_FALSE(during.reachable);
+  EXPECT_TRUE(during.exact);
+  EXPECT_TRUE(service.Query(0, 4).reachable);
+  EXPECT_TRUE(service.Query(5, 9).reachable);
+
+  service.Flush();  // returns once a drain finally lands
+  EXPECT_EQ(service.stats().rebuild_failures.load(), 2u);
+  EXPECT_EQ(service.PendingEdgeCount(), 0u);
+  const ServeAnswer after = service.Query(0, 9);
+  EXPECT_FALSE(after.reachable);
+  EXPECT_TRUE(after.exact);
+  EXPECT_EQ(after.source, AnswerSource::kIndex);
+  service.Stop();
+}
+
+TEST_F(ChaosTest, ChurnUnderRebuildFaultsStaysExact) {
+  if (!kFailpointsCompiled) GTEST_SKIP() << "REACH_FAILPOINTS is OFF";
+  // Mixed insert/delete churn while half the drain attempts die. A single
+  // writer keeps the live edge set deterministic, so every answer can be
+  // checked against a BFS over it regardless of which snapshot/pending
+  // split the service happens to be serving from.
+  constexpr VertexId kN = 24;
+  const Digraph base = RandomDigraph(kN, 50, 0xD1CE);
+  ServiceOptions opts;
+  opts.drain_threshold = 6;
+  opts.rebuild_backoff_initial = std::chrono::milliseconds(1);
+  opts.rebuild_backoff_max = std::chrono::milliseconds(4);
+  ReachService service(base, opts);
+  service.Start();
+  service.Flush();
+
+  std::string error;
+  ASSERT_TRUE(FailpointRegistry::Global().Arm(
+      "serve.rebuild", "error(p=0.5,seed=21)", &error))
+      << error;
+
+  std::vector<Edge> live = base.Edges();
+  const auto oracle = [&](VertexId s, VertexId t) {
+    std::vector<std::vector<VertexId>> adj(kN);
+    for (const Edge& e : live) adj[e.source].push_back(e.target);
+    std::vector<uint8_t> seen(kN, 0);
+    std::vector<VertexId> queue = {s};
+    seen[s] = 1;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      if (queue[head] == t) return true;
+      for (VertexId w : adj[queue[head]]) {
+        if (!seen[w]) {
+          seen[w] = 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    return false;
+  };
+
+  Xoshiro256ss rng(0xC4A0);
+  for (int step = 0; step < 60; ++step) {
+    if (rng.NextBounded(3) != 0 || live.empty()) {
+      const auto u = static_cast<VertexId>(rng.NextBounded(kN));
+      const auto v = static_cast<VertexId>(rng.NextBounded(kN));
+      ASSERT_TRUE(service.InsertEdge(u, v));
+      live.push_back({u, v});
+    } else {
+      const Edge e = live[rng.NextBounded(live.size())];
+      ASSERT_TRUE(service.DeleteEdge(e.source, e.target));
+      // The service deletes the arc, not one copy of it — mirror that.
+      std::erase(live, e);
+    }
+    for (int q = 0; q < 8; ++q) {
+      const auto s = static_cast<VertexId>(rng.NextBounded(kN));
+      const auto t = static_cast<VertexId>(rng.NextBounded(kN));
+      const ServeAnswer ans = service.Query(s, t);
+      ASSERT_TRUE(ans.exact) << "step " << step;
+      ASSERT_EQ(ans.reachable, oracle(s, t))
+          << "step " << step << ": " << s << "->" << t;
+    }
+  }
+
+  FailpointRegistry::Global().DisarmAll();
+  service.Flush();
+  EXPECT_EQ(service.PendingEdgeCount(), 0u);
+  for (VertexId s = 0; s < kN; ++s) {
+    for (VertexId t = 0; t < kN; ++t) {
+      const ServeAnswer ans = service.Query(s, t);
+      ASSERT_EQ(ans.reachable, oracle(s, t)) << s << "->" << t;
+      ASSERT_TRUE(ans.exact);
+    }
+  }
+  service.Stop();
+}
+
 // ---------------------------------------------------------------------
 // Crash-safe snapshot writes.
 

@@ -197,8 +197,9 @@ TEST(CompressedStorageTest, PlainDifferentialAfterInsertions) {
   for (int i = 0; i < 10; ++i) {
     const VertexId s = static_cast<VertexId>(rng() % g.NumVertices());
     const VertexId t = static_cast<VertexId>(rng() % g.NumVertices());
-    flat.InsertEdge(s, t);
-    compressed.InsertEdge(s, t);
+    const UpdateBatch batch = {EdgeUpdate::Insert(s, t)};
+    ASSERT_TRUE(flat.ApplyUpdate(batch).ok());
+    ASSERT_TRUE(compressed.ApplyUpdate(batch).ok());
   }
   for (VertexId s = 0; s < g.NumVertices(); ++s) {
     for (VertexId t = 0; t < g.NumVertices(); ++t) {
@@ -241,8 +242,9 @@ TEST(CompressedStorageTest, LcrDifferentialAfterInsertions) {
     const VertexId s = static_cast<VertexId>(rng() % g.NumVertices());
     const VertexId t = static_cast<VertexId>(rng() % g.NumVertices());
     const Label l = static_cast<Label>(rng() % g.NumLabels());
-    flat.InsertEdge(s, t, l);
-    compressed.InsertEdge(s, t, l);
+    const LabeledUpdateBatch batch = {LabeledEdgeUpdate::Insert(s, t, l)};
+    ASSERT_TRUE(flat.ApplyUpdate(batch).ok());
+    ASSERT_TRUE(compressed.ApplyUpdate(batch).ok());
   }
   for (VertexId s = 0; s < g.NumVertices(); ++s) {
     for (VertexId t = 0; t < g.NumVertices(); ++t) {

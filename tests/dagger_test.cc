@@ -30,7 +30,7 @@ TEST(DaggerTest, InsertEdgeConnectsComponents) {
   Dagger index;
   index.Build(g);
   EXPECT_FALSE(index.Query(0, 5));
-  index.InsertEdge(2, 3);
+  ASSERT_TRUE(index.ApplyUpdate({EdgeUpdate::Insert(2, 3)}).ok());
   EXPECT_TRUE(index.Query(0, 5));
   EXPECT_TRUE(index.MaybeReachable(0, 5));  // filter must not reject
   EXPECT_FALSE(index.Query(5, 0));
@@ -40,7 +40,7 @@ TEST(DaggerTest, InsertCreatingCycleStaysSound) {
   const Digraph g = Chain(6);
   Dagger index;
   index.Build(g);
-  index.InsertEdge(5, 0);
+  ASSERT_TRUE(index.ApplyUpdate({EdgeUpdate::Insert(5, 0)}).ok());
   for (VertexId s = 0; s < 6; ++s) {
     for (VertexId t = 0; t < 6; ++t) {
       EXPECT_TRUE(index.MaybeReachable(s, t));  // no false negatives
@@ -64,7 +64,7 @@ TEST_P(DaggerStreamTest, StreamedInsertsStayExactAndFilterSound) {
     const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
     const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
     if (u == v) continue;
-    index.InsertEdge(u, v);
+    ASSERT_TRUE(index.ApplyUpdate({EdgeUpdate::Insert(u, v)}).ok());
     edges.push_back({u, v});
   }
   const Digraph full = Digraph::FromEdges(n, edges);
@@ -85,6 +85,56 @@ TEST_P(DaggerStreamTest, StreamedInsertsStayExactAndFilterSound) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DaggerStreamTest,
                          ::testing::Values(251, 252, 253, 254, 255));
 
+TEST(DaggerTest, DeleteEdgeIncrementally) {
+  const Digraph g = Chain(6);
+  Dagger index;
+  index.Build(g);
+  ASSERT_TRUE(index.SupportsDeletions());
+  EXPECT_TRUE(index.Query(0, 5));
+  ASSERT_TRUE(index.ApplyUpdate({EdgeUpdate::Delete(2, 3)}).ok());
+  EXPECT_FALSE(index.Query(0, 5));
+  EXPECT_FALSE(index.Query(2, 3));
+  EXPECT_TRUE(index.Query(0, 2));
+  EXPECT_TRUE(index.Query(3, 5));
+  // Re-insert resurrects, and the interval filter must not reject it.
+  ASSERT_TRUE(index.ApplyUpdate({EdgeUpdate::Insert(2, 3)}).ok());
+  EXPECT_TRUE(index.MaybeReachable(0, 5));
+  EXPECT_TRUE(index.Query(0, 5));
+}
+
+TEST(DaggerTest, SccSplitAndMergeUnderUpdates) {
+  // Deleting the back edge of a cycle splits the SCC; re-inserting merges
+  // it again. Both transitions must keep answers exact without a Build.
+  const Digraph g = Cycle(5);
+  Dagger index;
+  index.Build(g);
+  EXPECT_TRUE(index.Query(3, 1));
+  ASSERT_TRUE(index.ApplyUpdate({EdgeUpdate::Delete(4, 0)}).ok());
+  EXPECT_FALSE(index.Query(3, 1));  // the SCC is now a chain
+  EXPECT_TRUE(index.Query(1, 3));
+  ASSERT_TRUE(index.ApplyUpdate({EdgeUpdate::Insert(4, 0)}).ok());
+  EXPECT_TRUE(index.Query(3, 1));  // merged back
+  EXPECT_TRUE(index.Query(4, 4));
+}
+
+TEST(DaggerTest, StalenessBudgetRecommendsRebuild) {
+  const Digraph g = Chain(8);
+  Dagger index(2, 11, /*staleness_budget=*/1);
+  index.Build(g);
+  ASSERT_TRUE(index.ApplyUpdate({EdgeUpdate::Delete(1, 2)}).ok());
+  const UpdateResult over = index.ApplyUpdate({EdgeUpdate::Delete(5, 6)});
+  ASSERT_TRUE(over.ok());
+  EXPECT_EQ(over.status, UpdateStatus::kDeferredRebuild);
+  EXPECT_TRUE(over.rebuild_recommended);
+  // Advisory, not load-bearing: answers stay exact past the budget.
+  EXPECT_FALSE(index.Query(0, 7));
+  EXPECT_TRUE(index.Query(2, 5));
+  ASSERT_TRUE(index.RebuildFromUpdates());
+  EXPECT_EQ(index.Damage(), 0u);
+  EXPECT_FALSE(index.Query(0, 7));
+  EXPECT_TRUE(index.Query(2, 5));
+}
+
 TEST(DaggerTest, FilterPrecisionDecaysGracefully) {
   // After many inserts the filter may admit more maybes, but a rebuild
   // re-tightens it.
@@ -98,7 +148,7 @@ TEST(DaggerTest, FilterPrecisionDecaysGracefully) {
     const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
     const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
     if (u != v) {
-      index.InsertEdge(u, v);
+      ASSERT_TRUE(index.ApplyUpdate({EdgeUpdate::Insert(u, v)}).ok());
       edges.push_back({u, v});
     }
   }

@@ -63,7 +63,8 @@ TEST(DblTest, InsertEdgeUpdatesAnswers) {
   Dbl index;
   index.Build(g);
   EXPECT_FALSE(index.Query(0, 5));
-  index.InsertEdge(2, 3);
+  const UpdateResult result = index.ApplyUpdate({EdgeUpdate::Insert(2, 3)});
+  EXPECT_EQ(result.status, UpdateStatus::kApplied);
   EXPECT_TRUE(index.Query(0, 5));
   EXPECT_FALSE(index.Query(5, 0));
 }
@@ -72,7 +73,7 @@ TEST(DblTest, InsertEdgeCreatingCycleKeepsFiltersSound) {
   const Digraph g = Chain(6);
   Dbl index;
   index.Build(g);
-  index.InsertEdge(5, 0);
+  ASSERT_TRUE(index.ApplyUpdate({EdgeUpdate::Insert(5, 0)}).ok());
   TransitiveClosure oracle;
   oracle.Build(Cycle(6));
   for (VertexId s = 0; s < 6; ++s) {
@@ -99,7 +100,7 @@ TEST_P(DblStreamTest, StreamedInsertsStayExactAndSound) {
     const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
     const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
     if (u == v) continue;
-    index.InsertEdge(u, v);
+    ASSERT_TRUE(index.ApplyUpdate({EdgeUpdate::Insert(u, v)}).ok());
     edges.push_back({u, v});
   }
   const Digraph full = Digraph::FromEdges(n, edges);
@@ -122,6 +123,22 @@ TEST_P(DblStreamTest, StreamedInsertsStayExactAndSound) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DblStreamTest,
                          ::testing::Values(131, 132, 133, 134));
+
+TEST(DblTest, DeletesAreRejectedWithoutSideEffects) {
+  // DBL is insert-only (Table 1): a batch carrying any delete must be
+  // rejected atomically — including the valid insert ahead of it.
+  const Digraph g = Chain(4);
+  Dbl index;
+  index.Build(g);
+  EXPECT_FALSE(index.SupportsDeletions());
+  const UpdateResult result = index.ApplyUpdate(
+      {EdgeUpdate::Insert(3, 0), EdgeUpdate::Delete(1, 2)});
+  EXPECT_EQ(result.status, UpdateStatus::kRejected);
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.reason.empty());
+  EXPECT_FALSE(index.Query(3, 0));  // the insert left no trace
+  EXPECT_TRUE(index.Query(1, 2));
+}
 
 TEST(DblTest, IndexSizeIsFiveWordsPerVertex) {
   const Digraph g = Chain(100);

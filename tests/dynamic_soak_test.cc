@@ -1,7 +1,8 @@
 // Long randomized differential soak: interleaved edge insertions,
-// queries, serialization round-trips, and deletion-rebuilds on the
-// dynamic indexes, continuously cross-checked against a freshly built
-// oracle. Catches state-machine bugs that single-operation tests miss.
+// incremental deletions, queries, serialization round-trips, and
+// threshold-driven rebuilds on the dynamic indexes, continuously
+// cross-checked against a freshly built oracle. Catches state-machine
+// bugs that single-operation tests miss.
 
 #include <sstream>
 
@@ -25,18 +26,21 @@ TEST_P(DynamicSoakTest, InterleavedOperationsStayConsistent) {
   Xoshiro256ss rng(seed);
 
   std::vector<Edge> edges = RandomDigraph(n, 30, seed).Edges();
-  Digraph current = Digraph::FromEdges(n, edges);
+  // `current` is the build-time base of the incremental indexes (TOL,
+  // DAGGER); they keep referencing it across every ApplyUpdate, so it is
+  // never reassigned. DBL full-rebuilds on deletion, so it gets its own
+  // graph object that is swapped right before each re-Build.
+  const Digraph current = Digraph::FromEdges(n, edges);
+  Digraph dbl_graph = current;
 
   PrunedTwoHop tol;
   Dbl dbl(seed);
   Dagger dagger(2, seed);
   tol.Build(current);
-  dbl.Build(current);
+  dbl.Build(dbl_graph);
   dagger.Build(current);
 
   SearchWorkspace ws;
-  // `current` must outlive references the indexes hold; rebuilds swap in
-  // a fresh graph object and re-Build every index.
   for (int step = 0; step < 400; ++step) {
     const uint64_t op = rng.NextBounded(100);
     if (op < 30) {
@@ -45,26 +49,44 @@ TEST_P(DynamicSoakTest, InterleavedOperationsStayConsistent) {
       const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
       if (u == v) continue;
       if (std::find(edges.begin(), edges.end(), Edge{u, v}) != edges.end()) {
-        continue;  // keep `edges` duplicate-free (RemoveEdge removes all)
+        continue;  // keep `edges` duplicate-free (deletes remove all)
       }
-      tol.InsertEdge(u, v);
-      dbl.InsertEdge(u, v);
-      dagger.InsertEdge(u, v);
+      const UpdateBatch batch = {EdgeUpdate::Insert(u, v)};
+      ASSERT_TRUE(tol.ApplyUpdate(batch).ok());
+      ASSERT_TRUE(dbl.ApplyUpdate(batch).ok());
+      ASSERT_TRUE(dagger.ApplyUpdate(batch).ok());
       edges.push_back({u, v});
     } else if (op < 35 && !edges.empty()) {
-      // Remove a random edge: TOL removes in place; the others rebuild.
+      // Delete a random edge: TOL and DAGGER absorb it incrementally
+      // (folding the backlog when the staleness budget says so); DBL is
+      // insert-only (Table 1) and must reject, then rebuild.
       const size_t victim = rng.NextBounded(edges.size());
       const Edge e = edges[victim];
       edges.erase(edges.begin() + victim);
-      tol.RemoveEdgeAndRebuild(e.source, e.target);
-      current = Digraph::FromEdges(n, edges);
-      dbl.Build(current);
-      dagger.Build(current);
+      const UpdateBatch batch = {EdgeUpdate::Delete(e.source, e.target)};
+      const UpdateResult tol_result = tol.ApplyUpdate(batch);
+      ASSERT_TRUE(tol_result.ok());
+      if (tol_result.rebuild_recommended) {
+        ASSERT_TRUE(tol.RebuildFromUpdates());
+      }
+      const UpdateResult dagger_result = dagger.ApplyUpdate(batch);
+      ASSERT_TRUE(dagger_result.ok());
+      if (dagger_result.rebuild_recommended) {
+        ASSERT_TRUE(dagger.RebuildFromUpdates());
+      }
+      ASSERT_EQ(dbl.ApplyUpdate(batch).status, UpdateStatus::kRejected);
+      dbl_graph = Digraph::FromEdges(n, edges);
+      dbl.Build(dbl_graph);
     } else if (op < 40) {
       // Serialize + restore the 2-hop labeling mid-stream, then reattach
-      // the graph (Load drops it) by rebuilding from current state.
+      // the graph (Load drops it) by rebuilding from current state. Save
+      // refuses while deletion damage is outstanding — fold it first.
       std::stringstream buffer;
-      ASSERT_TRUE(tol.Save(buffer));
+      if (!tol.Save(buffer)) {
+        ASSERT_GT(tol.Damage(), 0u);
+        ASSERT_TRUE(tol.RebuildFromUpdates());
+        ASSERT_TRUE(tol.Save(buffer));
+      }
       PrunedTwoHop loaded;
       ASSERT_TRUE(loaded.Load(buffer));
       const VertexId s = static_cast<VertexId>(rng.NextBounded(n));

@@ -153,8 +153,9 @@ TEST(FastPathIndexTest, VerdictStatsAccountForEveryQuery) {
 }
 
 // ---------------------------------------------------------------------
-// Dynamic composition: InsertEdge must flow through, and cached negative
-// observations must stop firing (they are stale until the next Build).
+// Dynamic composition: ApplyUpdate must flow through, and cached
+// verdicts in the unsound direction must stop firing (inserts poison
+// negatives, deletes poison positives — until the next Build).
 
 TEST(FastPathIndexTest, InsertEdgeSuppressesStaleNegativeVerdicts) {
   auto made = MakeIndex("dagger:fastpath=1");
@@ -165,7 +166,8 @@ TEST(FastPathIndexTest, InsertEdgeSuppressesStaleNegativeVerdicts) {
   fast->Build(g);
   EXPECT_TRUE(fast->Query(0, 5));
   EXPECT_FALSE(fast->Query(5, 0));  // order filter decides this negatively
-  fast->InsertEdge(5, 0);           // now 5 -> 0 closes a cycle
+  // 5 -> 0 closes a cycle.
+  ASSERT_TRUE(fast->ApplyUpdate({EdgeUpdate::Insert(5, 0)}).ok());
   EXPECT_TRUE(fast->Query(5, 0));
   EXPECT_TRUE(fast->Query(3, 2));
   // A rebuild restores fast-path negatives over the new edge set.
@@ -173,6 +175,64 @@ TEST(FastPathIndexTest, InsertEdgeSuppressesStaleNegativeVerdicts) {
                                       {5, 0}});
   fast->Build(g2);
   EXPECT_TRUE(fast->Query(5, 0));
+}
+
+TEST(FastPathIndexTest, DeleteSuppressesStalePositiveVerdicts) {
+  // The dangerous direction: after a delete, a cached positive verdict
+  // (e.g. DFS containment on the chain) would be a wrong answer. The
+  // wrapper must demote positives to undecided and let the inner index
+  // (which processed the tombstone) answer.
+  auto made = MakeIndex("pll:fastpath=1");
+  ASSERT_TRUE(made.caps.decremental);
+  auto* fast = dynamic_cast<DynamicFastPathIndex*>(made.plain.get());
+  ASSERT_NE(fast, nullptr);
+  // The dynamic inner index references the build graph across updates, so
+  // it must outlive them.
+  const Digraph g = Chain(6);
+  fast->Build(g);
+  EXPECT_TRUE(fast->Query(0, 5));  // decided positively by the stack
+  ASSERT_TRUE(fast->SupportsDeletions());
+  const UpdateResult del = fast->ApplyUpdate({EdgeUpdate::Delete(2, 3)});
+  ASSERT_TRUE(del.ok());
+  EXPECT_FALSE(fast->Query(0, 5));  // stale positive must NOT fire
+  EXPECT_FALSE(fast->Query(2, 3));
+  EXPECT_TRUE(fast->Query(0, 2));
+  EXPECT_TRUE(fast->Query(3, 5));
+  // Negative verdicts stay armed (no insert yet): 5 -> 0 is still decided
+  // without consulting the inner index, and remains correct.
+  EXPECT_FALSE(fast->Query(5, 0));
+}
+
+TEST(FastPathIndexTest, BuildReArmsVerdictsAfterDeletes) {
+  // Both suppression flags must clear on Build — and only on Build:
+  // RebuildFromUpdates re-minimizes the inner index but cannot refresh
+  // the observation stack, so suppression persists across it.
+  auto made = MakeIndex("pll:fastpath=1");
+  auto* fast = dynamic_cast<DynamicFastPathIndex*>(made.plain.get());
+  ASSERT_NE(fast, nullptr);
+  const Digraph g = Chain(5);
+  fast->Build(g);
+  ASSERT_TRUE(fast->ApplyUpdate({EdgeUpdate::Delete(1, 2)}).ok());
+  ASSERT_TRUE(fast->ApplyUpdate({EdgeUpdate::Insert(0, 4)}).ok());
+
+  auto decided = [&](VertexId s, VertexId t) {
+    const FastPathVerdictStats before = fast->VerdictStats();
+    (void)fast->Query(s, t);
+    return fast->VerdictStats().Decided() > before.Decided();
+  };
+  // Suppressed in both directions: nothing is decided at the stack.
+  EXPECT_FALSE(decided(0, 4));
+  EXPECT_FALSE(decided(4, 0));
+  // Folding the backlog into the inner labels does NOT re-arm.
+  ASSERT_TRUE(fast->RebuildFromUpdates());
+  EXPECT_FALSE(decided(0, 4));
+  // A full Build over the updated graph re-arms both directions.
+  const Digraph g2 =
+      Digraph::FromEdges(5, {{0, 1}, {2, 3}, {3, 4}, {0, 4}});
+  fast->Build(g2);
+  EXPECT_TRUE(fast->Query(0, 4));
+  EXPECT_FALSE(fast->Query(1, 2));
+  EXPECT_TRUE(decided(0, 4) || decided(4, 0));
 }
 
 TEST(FastPathIndexTest, DynamicWrapperStaysConformantUnderInserts) {
@@ -190,7 +250,7 @@ TEST(FastPathIndexTest, DynamicWrapperStaysConformantUnderInserts) {
     const VertexId s = static_cast<VertexId>(rng.NextBounded(40));
     const VertexId t = static_cast<VertexId>(rng.NextBounded(40));
     if (s == t) continue;
-    fast->InsertEdge(s, t);
+    ASSERT_TRUE(fast->ApplyUpdate({EdgeUpdate::Insert(s, t)}).ok());
     edges.push_back({s, t});
     TransitiveClosure oracle;
     oracle.Build(Digraph::FromEdges(40, edges));
@@ -218,11 +278,14 @@ TEST(FastPathFactoryTest, CapabilityPropagation) {
   EXPECT_NE(dynamic_cast<FastPathIndex*>(static_made.plain.get()), nullptr);
   EXPECT_EQ(static_made.plain->Name().rfind("fastpath+", 0), 0u);
 
-  // pll is dynamic here (PrunedTwoHop supports InsertEdge), so the factory
-  // must pick the dynamic wrapper and keep InsertEdge reachable.
+  // pll is dynamic here (PrunedTwoHop supports ApplyUpdate), so the
+  // factory must pick the dynamic wrapper and keep the write API
+  // reachable; `decremental` must follow the inner index too.
   const auto dynamic_made = MakeIndex("pll:fastpath=1");
   ASSERT_NE(dynamic_made.plain, nullptr);
   EXPECT_TRUE(dynamic_made.caps.dynamic);
+  EXPECT_TRUE(dynamic_made.caps.decremental);
+  EXPECT_FALSE(static_made.caps.decremental);
   EXPECT_TRUE(dynamic_made.caps.complete);
   EXPECT_FALSE(dynamic_made.caps.serializable);
   EXPECT_EQ(dynamic_made.plain->Name(), "fastpath+pll");

@@ -51,7 +51,8 @@ TEST(IndexFactoryTest, PlainSpecSetsExactlyPlain) {
   EXPECT_NE(made.plain, nullptr);
   EXPECT_EQ(made.lcr, nullptr);
   EXPECT_FALSE(made.caps.labeled);
-  EXPECT_TRUE(made.caps.dynamic);       // 2-hop supports InsertEdge
+  EXPECT_TRUE(made.caps.dynamic);       // 2-hop supports ApplyUpdate
+  EXPECT_TRUE(made.caps.decremental);   // ... including kDelete batches
   EXPECT_TRUE(made.caps.complete);
   EXPECT_TRUE(made.caps.serializable);  // versioned Save/Load envelope
 }
@@ -63,6 +64,7 @@ TEST(IndexFactoryTest, LcrSpecSetsExactlyLcr) {
   EXPECT_NE(made.lcr, nullptr);
   EXPECT_TRUE(made.caps.labeled);
   EXPECT_TRUE(made.caps.dynamic);
+  EXPECT_TRUE(made.caps.decremental);
   EXPECT_TRUE(made.caps.complete);
 }
 
@@ -71,6 +73,7 @@ TEST(IndexFactoryTest, PartialIndexesReportIncomplete) {
   ASSERT_TRUE(grail);
   EXPECT_FALSE(grail.caps.complete);  // GRAIL prunes, then falls back
   EXPECT_FALSE(grail.caps.dynamic);
+  EXPECT_FALSE(grail.caps.decremental);  // never without dynamic
   EXPECT_FALSE(grail.caps.serializable);
 
   MadeIndex bfs = MakeIndex("lcr:bfs");
@@ -143,9 +146,36 @@ TEST(IndexFactoryTest, CapsMatchIndexSelfReports) {
         EXPECT_EQ(made.caps.complete, made.plain->IsComplete()) << spec;
         EXPECT_EQ(made.caps.serializable, made.plain->SupportsSerialization())
             << spec;
+        // `decremental` is exactly "dynamic and the index takes kDelete".
+        const auto* dyn =
+            dynamic_cast<const DynamicReachabilityIndex*>(made.plain.get());
+        EXPECT_EQ(made.caps.decremental,
+                  dyn != nullptr && dyn->SupportsDeletions())
+            << spec;
+        if (made.caps.decremental) EXPECT_TRUE(made.caps.dynamic) << spec;
       } else {
         EXPECT_EQ(made.caps.complete, made.lcr->IsComplete()) << spec;
       }
+    }
+  }
+}
+
+TEST(IndexFactoryTest, SpecDocCapsMatchFactoryCaps) {
+  // The --help roster's capability column is documentation of MakeIndex's
+  // IndexCaps — pin every row to the factory's actual report so the two
+  // can never drift.
+  for (IndexFamily family : {IndexFamily::kPlain, IndexFamily::kLcr}) {
+    for (const SpecDoc& doc : DescribeIndexSpecs(family)) {
+      if (doc.spec.find("<any>") != std::string::npos) {
+        EXPECT_EQ(doc.caps, "follows the wrapped spec");
+        continue;
+      }
+      MadeIndex made = MakeIndex(doc.spec);
+      ASSERT_TRUE(made) << doc.spec;
+      const char* expected = made.caps.decremental ? "dynamic (insert+delete)"
+                             : made.caps.dynamic   ? "dynamic (insert-only)"
+                                                   : "static";
+      EXPECT_EQ(doc.caps, expected) << doc.spec;
     }
   }
 }

@@ -317,7 +317,7 @@ TEST(PooledTwoHopEquivalenceTest, DeltaOverlayAfterInsertEdge) {
     const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
     const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
     if (u == v) continue;
-    index.InsertEdge(u, v);
+    ASSERT_TRUE(index.ApplyUpdate({EdgeUpdate::Insert(u, v)}).ok());
     edges.push_back({u, v});
   }
   const Digraph grown = Digraph::FromEdges(n, edges);
@@ -337,8 +337,8 @@ TEST(PooledTwoHopEquivalenceTest, LabelAccessorsStaySorted) {
   const Digraph g = RandomDigraph(48, 160, 0x57);
   PrunedTwoHop index;
   index.Build(g);
-  index.InsertEdge(0, 47);
-  index.InsertEdge(3, 41);
+  ASSERT_TRUE(index.ApplyUpdate(
+      {EdgeUpdate::Insert(0, 47), EdgeUpdate::Insert(3, 41)}).ok());
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
     const std::vector<uint32_t> lin = index.InLabels(v);
     const std::vector<uint32_t> lout = index.OutLabels(v);

@@ -43,7 +43,10 @@ TEST(PrunedLabeledTwoHopTest, InsertEdgeBridgesComponents) {
   PrunedLabeledTwoHop index;
   index.Build(g);
   EXPECT_FALSE(index.Query(0, 3, 0b11));
-  index.InsertEdge(1, 2, 0);
+  const UpdateResult result =
+      index.ApplyUpdate({LabeledEdgeUpdate::Insert(1, 2, 0)});
+  EXPECT_EQ(result.status, UpdateStatus::kApplied);
+  EXPECT_EQ(result.applied, 1u);
   EXPECT_TRUE(index.Query(0, 3, 0b11));
   EXPECT_FALSE(index.Query(0, 3, 0b01));  // still needs label 1 for 2->3
   EXPECT_TRUE(index.Query(0, 2, 0b01));
@@ -55,7 +58,8 @@ TEST(PrunedLabeledTwoHopTest, InsertParallelEdgeAddsCheaperSpls) {
   PrunedLabeledTwoHop index;
   index.Build(g);
   EXPECT_FALSE(index.Query(0, 1, 0b01));
-  index.InsertEdge(0, 1, 0);  // parallel edge, different label
+  // Parallel edge, different label.
+  ASSERT_TRUE(index.ApplyUpdate({LabeledEdgeUpdate::Insert(0, 1, 0)}).ok());
   EXPECT_TRUE(index.Query(0, 1, 0b01));
   EXPECT_TRUE(index.Query(0, 1, 0b10));
 }
@@ -66,7 +70,10 @@ TEST(PrunedLabeledTwoHopTest, InsertDuplicateEdgeIsNoop) {
   PrunedLabeledTwoHop index;
   index.Build(g);
   const size_t before = index.TotalEntries();
-  index.InsertEdge(0, 1, 0);
+  const UpdateResult result =
+      index.ApplyUpdate({LabeledEdgeUpdate::Insert(0, 1, 0)});
+  EXPECT_EQ(result.applied, 0u);
+  EXPECT_EQ(result.ignored, 1u);
   EXPECT_EQ(index.TotalEntries(), before);
 }
 
@@ -89,7 +96,8 @@ TEST_P(LabeledInsertStreamTest, IncrementalMatchesOracleAfterEveryBatch) {
     const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
     const Label l = static_cast<Label>(rng.NextBounded(num_labels));
     if (u == v) continue;
-    index.InsertEdge(u, v, l);
+    ASSERT_TRUE(
+        index.ApplyUpdate({LabeledEdgeUpdate::Insert(u, v, l)}).ok());
     edges.push_back({u, v, l});
     if (step % 6 != 5) continue;  // verify every 6th step (all-pairs scan)
     const LabeledDigraph current =
@@ -110,21 +118,54 @@ TEST_P(LabeledInsertStreamTest, IncrementalMatchesOracleAfterEveryBatch) {
 INSTANTIATE_TEST_SUITE_P(Seeds, LabeledInsertStreamTest,
                          ::testing::Values(161, 162, 163, 164));
 
-TEST(PrunedLabeledTwoHopTest, RemoveEdgeAndRebuild) {
+TEST(PrunedLabeledTwoHopTest, DeleteEdgeIncrementally) {
   const LabeledDigraph g = LabeledDigraph::FromEdges(
       3, 2, {{0, 1, 0}, {1, 2, 1}});
   PrunedLabeledTwoHop index;
   index.Build(g);
   EXPECT_TRUE(index.Query(0, 2, 0b11));
-  index.RemoveEdgeAndRebuild(1, 2, 1);
+  ASSERT_TRUE(index.ApplyUpdate({LabeledEdgeUpdate::Delete(1, 2, 1)}).ok());
   EXPECT_FALSE(index.Query(0, 2, 0b11));
   EXPECT_TRUE(index.Query(0, 1, 0b01));
-  // Inserted edges survive unrelated rebuild-deletions.
-  index.InsertEdge(1, 2, 0);
+  // Inserted edges survive unrelated deletions.
+  ASSERT_TRUE(index.ApplyUpdate({LabeledEdgeUpdate::Insert(1, 2, 0)}).ok());
   EXPECT_TRUE(index.Query(0, 2, 0b01));
-  index.RemoveEdgeAndRebuild(0, 1, 0);
+  ASSERT_TRUE(index.ApplyUpdate({LabeledEdgeUpdate::Delete(0, 1, 0)}).ok());
   EXPECT_FALSE(index.Query(0, 2, 0b01));
   EXPECT_TRUE(index.Query(1, 2, 0b01));
+}
+
+TEST(PrunedLabeledTwoHopTest, DeleteOnlySeversThatLabel) {
+  // Parallel arcs 0->1 under labels 0 and 1: deleting the label-0 arc
+  // must keep the label-1 route answering, and vice-versa queries that
+  // allowed only label 0 must now fail.
+  const LabeledDigraph g =
+      LabeledDigraph::FromEdges(2, 2, {{0, 1, 0}, {0, 1, 1}});
+  PrunedLabeledTwoHop index;
+  index.Build(g);
+  ASSERT_TRUE(index.ApplyUpdate({LabeledEdgeUpdate::Delete(0, 1, 0)}).ok());
+  EXPECT_FALSE(index.Query(0, 1, 0b01));
+  EXPECT_TRUE(index.Query(0, 1, 0b10));
+  EXPECT_TRUE(index.Query(0, 1, 0b11));
+}
+
+TEST(PrunedLabeledTwoHopTest, MixedBatchAndRebuildFromUpdates) {
+  const LabeledDigraph g = LabeledDigraph::FromEdges(
+      4, 2, {{0, 1, 0}, {1, 2, 0}, {2, 3, 1}});
+  PrunedLabeledTwoHop index;
+  index.Build(g);
+  // One batch: bypass 1 with a direct 0->2 arc, then cut 1->2. Order
+  // matters — the insert lands before the delete is evaluated.
+  const UpdateResult result = index.ApplyUpdate(
+      {LabeledEdgeUpdate::Insert(0, 2, 0), LabeledEdgeUpdate::Delete(1, 2, 0)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(index.Query(0, 3, 0b11));
+  EXPECT_FALSE(index.Query(1, 3, 0b11));
+  ASSERT_TRUE(index.RebuildFromUpdates());
+  EXPECT_EQ(index.Damage(), 0u);
+  EXPECT_TRUE(index.Query(0, 3, 0b11));
+  EXPECT_FALSE(index.Query(1, 3, 0b11));
+  EXPECT_TRUE(index.Query(0, 2, 0b01));
 }
 
 TEST(PrunedLabeledTwoHopTest, AgreesWithGtcOnSplsCoverage) {

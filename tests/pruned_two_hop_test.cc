@@ -81,7 +81,10 @@ TEST(PrunedTwoHopTest, InsertEdgeConnectsComponents) {
   PrunedTwoHop index;
   index.Build(g);
   EXPECT_FALSE(index.Query(0, 5));
-  index.InsertEdge(2, 3);
+  const UpdateResult result =
+      index.ApplyUpdate({EdgeUpdate::Insert(2, 3)});
+  EXPECT_EQ(result.status, UpdateStatus::kApplied);
+  EXPECT_EQ(result.applied, 1u);
   EXPECT_TRUE(index.Query(0, 5));
   EXPECT_TRUE(index.Query(2, 3));
   EXPECT_TRUE(index.Query(1, 4));
@@ -92,7 +95,7 @@ TEST(PrunedTwoHopTest, InsertEdgeCreatingCycle) {
   const Digraph g = Chain(5);
   PrunedTwoHop index;
   index.Build(g);
-  index.InsertEdge(4, 0);  // close the cycle
+  ASSERT_TRUE(index.ApplyUpdate({EdgeUpdate::Insert(4, 0)}).ok());
   for (VertexId s = 0; s < 5; ++s) {
     for (VertexId t = 0; t < 5; ++t) {
       EXPECT_TRUE(index.Query(s, t)) << s << "->" << t;
@@ -105,8 +108,25 @@ TEST(PrunedTwoHopTest, InsertExistingEdgeIsNoop) {
   PrunedTwoHop index;
   index.Build(g);
   const size_t before = index.TotalLabelEntries();
-  index.InsertEdge(0, 1);  // already present
+  const UpdateResult result =
+      index.ApplyUpdate({EdgeUpdate::Insert(0, 1)});  // already present
+  EXPECT_EQ(result.applied, 0u);
+  EXPECT_EQ(result.ignored, 1u);
   EXPECT_EQ(index.TotalLabelEntries(), before);
+}
+
+TEST(PrunedTwoHopTest, RejectedBatchLeavesNoTrace) {
+  const Digraph g = Chain(4);
+  PrunedTwoHop index;
+  index.Build(g);
+  // Second update is out of range: validate-first must reject the whole
+  // batch, including the in-range insert ahead of it.
+  const UpdateResult result = index.ApplyUpdate(
+      {EdgeUpdate::Insert(3, 0), EdgeUpdate::Insert(0, 99)});
+  EXPECT_EQ(result.status, UpdateStatus::kRejected);
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.reason.empty());
+  EXPECT_FALSE(index.Query(3, 0));
 }
 
 class InsertStreamTest : public ::testing::TestWithParam<uint64_t> {};
@@ -126,7 +146,7 @@ TEST_P(InsertStreamTest, IncrementalMatchesRebuiltIndex) {
     const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
     const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
     if (u == v) continue;
-    incremental.InsertEdge(u, v);
+    ASSERT_TRUE(incremental.ApplyUpdate({EdgeUpdate::Insert(u, v)}).ok());
     all_edges.push_back({u, v});
   }
   const Digraph full = Digraph::FromEdges(n, all_edges);
@@ -143,20 +163,71 @@ TEST_P(InsertStreamTest, IncrementalMatchesRebuiltIndex) {
 INSTANTIATE_TEST_SUITE_P(Seeds, InsertStreamTest,
                          ::testing::Values(111, 222, 333, 444, 555));
 
-TEST(PrunedTwoHopTest, RemoveEdgeAndRebuild) {
+TEST(PrunedTwoHopTest, DeleteEdgeIncrementally) {
   const Digraph g = Chain(5);
   PrunedTwoHop index;
   index.Build(g);
   EXPECT_TRUE(index.Query(0, 4));
-  index.RemoveEdgeAndRebuild(2, 3);
+  const UpdateResult del = index.ApplyUpdate({EdgeUpdate::Delete(2, 3)});
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del.applied, 1u);
+  EXPECT_EQ(del.damage, 1u);  // a chain has no detour: damaging delete
   EXPECT_FALSE(index.Query(0, 4));
   EXPECT_TRUE(index.Query(0, 2));
   EXPECT_TRUE(index.Query(3, 4));
-  // Removal also drops previously inserted edges correctly.
-  index.InsertEdge(2, 3);
+  // Re-inserting the tombstoned edge resurrects it (labels still cover
+  // it), and deleting again severs it once more.
+  ASSERT_TRUE(index.ApplyUpdate({EdgeUpdate::Insert(2, 3)}).ok());
   EXPECT_TRUE(index.Query(0, 4));
-  index.RemoveEdgeAndRebuild(2, 3);
+  ASSERT_TRUE(index.ApplyUpdate({EdgeUpdate::Delete(2, 3)}).ok());
   EXPECT_FALSE(index.Query(0, 4));
+}
+
+TEST(PrunedTwoHopTest, RedundantDeleteCausesNoDamage) {
+  // The arc 0->1 has a detour 0->2->1, so deleting it leaves the
+  // reachability relation untouched and the local-detour search absorbs
+  // the tombstone without marking any damage.
+  const Digraph g = Digraph::FromEdges(4, {{0, 1}, {0, 2}, {2, 1}, {1, 3}});
+  PrunedTwoHop index;
+  index.Build(g);
+  const UpdateResult del = index.ApplyUpdate({EdgeUpdate::Delete(0, 1)});
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del.damage, 0u);  // locally redundant: tombstone only
+  EXPECT_TRUE(index.Query(0, 1));  // still reachable via the detour
+  EXPECT_TRUE(index.Query(0, 3));
+  EXPECT_TRUE(index.Query(2, 3));
+}
+
+TEST(PrunedTwoHopTest, RebuildFromUpdatesClearsDamage) {
+  const Digraph g = Chain(6);
+  PrunedTwoHop index(VertexOrder::kDegree, 7, 0, {},
+                     /*staleness_budget=*/2);
+  index.Build(g);
+  ASSERT_TRUE(index.ApplyUpdate({EdgeUpdate::Delete(1, 2)}).ok());
+  const UpdateResult second =
+      index.ApplyUpdate({EdgeUpdate::Delete(3, 4)});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.damage, 2u);
+  ASSERT_TRUE(index.RebuildFromUpdates());
+  EXPECT_EQ(index.Damage(), 0u);
+  EXPECT_FALSE(index.Query(0, 5));
+  EXPECT_FALSE(index.Query(1, 2));
+  EXPECT_TRUE(index.Query(2, 3));
+  EXPECT_TRUE(index.Query(4, 5));
+}
+
+TEST(PrunedTwoHopTest, StalenessBudgetRecommendsRebuild) {
+  const Digraph g = Chain(8);
+  PrunedTwoHop index(VertexOrder::kDegree, 7, 0, {},
+                     /*staleness_budget=*/1);
+  index.Build(g);
+  ASSERT_TRUE(index.ApplyUpdate({EdgeUpdate::Delete(1, 2)}).ok());
+  const UpdateResult over = index.ApplyUpdate({EdgeUpdate::Delete(5, 6)});
+  EXPECT_EQ(over.status, UpdateStatus::kDeferredRebuild);
+  EXPECT_TRUE(over.rebuild_recommended);
+  // Answers stay exact even past the budget: the rebuild is advisory.
+  EXPECT_FALSE(index.Query(0, 7));
+  EXPECT_TRUE(index.Query(2, 5));
 }
 
 TEST(PrunedTwoHopTest, NamesReflectOrders) {

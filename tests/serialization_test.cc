@@ -37,8 +37,8 @@ TEST(SerializationTest, RoundTripAfterInsertions) {
   const Digraph g = Digraph::FromEdges(6, {{0, 1}, {2, 3}, {4, 5}});
   PrunedTwoHop index;
   index.Build(g);
-  index.InsertEdge(1, 2);
-  index.InsertEdge(3, 4);
+  ASSERT_TRUE(index.ApplyUpdate(
+      {EdgeUpdate::Insert(1, 2), EdgeUpdate::Insert(3, 4)}).ok());
 
   std::stringstream buffer;
   ASSERT_TRUE(index.Save(buffer));

@@ -235,6 +235,117 @@ TEST(ServeDeltaTest, ChainedPendingEdgesAndExactNegatives) {
   service.Stop();
 }
 
+TEST(ServeDeltaTest, PendingDeleteAnsweredExactlyAndSurvivesSwap) {
+  const Digraph g = Chain(10);
+  ServiceOptions opts;
+  opts.drain_threshold = 1000;  // no automatic drain
+  ReachService service(g, opts);
+  service.Start();
+  service.Flush();
+  ASSERT_TRUE(service.Query(0, 9).reachable);
+
+  // Cut the chain in the middle. The snapshot index still says "yes" for
+  // 0->9, so the service must re-verify against the live union graph and
+  // return the exact negative.
+  ASSERT_TRUE(service.DeleteEdge(4, 5));
+  EXPECT_EQ(service.PendingEdgeCount(), 1u);
+  const ServeAnswer cut = service.Query(0, 9);
+  EXPECT_FALSE(cut.reachable);
+  EXPECT_TRUE(cut.exact);
+  EXPECT_GE(service.stats().deletes.load(), 1u);
+  EXPECT_GE(service.stats().delete_verifies.load(), 1u);
+  // Pairs on either side of the cut are unaffected.
+  EXPECT_TRUE(service.Query(0, 4).reachable);
+  EXPECT_TRUE(service.Query(5, 9).reachable);
+
+  // The tombstone must be materialized by the snapshot swap: after the
+  // drain the new index itself knows the arc is gone.
+  service.Flush();
+  EXPECT_EQ(service.PendingEdgeCount(), 0u);
+  const ServeAnswer after = service.Query(0, 9);
+  EXPECT_FALSE(after.reachable);
+  EXPECT_TRUE(after.exact);
+  EXPECT_EQ(after.source, AnswerSource::kIndex);
+
+  // Re-inserting resurrects the path end-to-end.
+  ASSERT_TRUE(service.InsertEdge(4, 5));
+  EXPECT_TRUE(service.Query(0, 9).reachable);
+  service.Flush();
+  EXPECT_TRUE(service.Query(0, 9).reachable);
+  service.Stop();
+}
+
+TEST(ServeUpdateTest, MixedBatchIsAtomicAndValidateFirst) {
+  const Digraph g = Chain(6);
+  ServiceOptions opts;
+  opts.drain_threshold = 1000;
+  ReachService service(g, opts);
+  service.Start();
+  service.Flush();
+
+  // One batch: cut 2->3 but bridge around it with 1->4.
+  const UpdateResult result = service.ApplyUpdate(
+      {EdgeUpdate::Delete(2, 3), EdgeUpdate::Insert(1, 4)});
+  EXPECT_EQ(result.status, UpdateStatus::kApplied);
+  EXPECT_EQ(result.applied, 2u);
+  EXPECT_EQ(service.PendingEdgeCount(), 2u);
+  const ServeAnswer detour = service.Query(0, 5);
+  EXPECT_TRUE(detour.reachable);
+  EXPECT_TRUE(detour.exact);
+  const ServeAnswer severed = service.Query(2, 3);
+  EXPECT_FALSE(severed.reachable);
+  EXPECT_TRUE(severed.exact);
+
+  // An out-of-range element rejects the whole batch before any of it is
+  // buffered: the in-range delete ahead of it leaves no trace.
+  const UpdateResult bad = service.ApplyUpdate(
+      {EdgeUpdate::Delete(0, 1), EdgeUpdate::Insert(0, 99)});
+  EXPECT_EQ(bad.status, UpdateStatus::kRejected);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(bad.reason.empty());
+  EXPECT_EQ(service.PendingEdgeCount(), 2u);
+  EXPECT_GE(service.stats().update_rejected.load(), 1u);
+  EXPECT_TRUE(service.Query(0, 1).reachable);
+
+  // Both effects of the good batch survive materialization.
+  service.Flush();
+  EXPECT_TRUE(service.Query(0, 5).reachable);
+  EXPECT_FALSE(service.Query(2, 3).reachable);
+  service.Stop();
+}
+
+TEST(ServeUpdateTest, DeleteOnlyBatchKeepsNegativeCacheWarm) {
+  // Deletions only shrink reachability, so a cached exact negative stays
+  // sound — delete-only batches must not bump the negcache epoch, while
+  // insert-carrying batches must.
+  const Digraph g = Chain(6);
+  ServiceOptions opts;
+  opts.drain_threshold = 1000;
+  opts.negcache_capacity = 256;
+  ReachService service(g, opts);
+  service.Start();
+  service.Flush();
+
+  ASSERT_FALSE(service.Query(5, 0).reachable);  // miss: now cached
+  const uint64_t invalidations_before =
+      service.stats().negcache_invalidations.load();
+  ASSERT_TRUE(service.DeleteEdge(2, 3));
+  EXPECT_EQ(service.stats().negcache_invalidations.load(),
+            invalidations_before);
+  const ServeAnswer warm = service.Query(5, 0);
+  EXPECT_FALSE(warm.reachable);
+  EXPECT_EQ(warm.source, AnswerSource::kNegCache);
+
+  // An insert-carrying batch invalidates, and the repeat query misses.
+  ASSERT_TRUE(service.InsertEdge(0, 2));
+  EXPECT_GT(service.stats().negcache_invalidations.load(),
+            invalidations_before);
+  const ServeAnswer cold = service.Query(5, 0);
+  EXPECT_FALSE(cold.reachable);
+  EXPECT_NE(cold.source, AnswerSource::kNegCache);
+  service.Stop();
+}
+
 TEST(ServeDeadlineTest, ExpiredDeadlineDegradesToBoundedBfs) {
   const Digraph g = Chain(64);
   ServiceOptions opts;
@@ -309,11 +420,36 @@ TEST(BoundedUnionBfsTest, RespectsVisitBudget) {
 
 TEST(BoundedUnionBfsTest, TraversesExtraEdgesAndHandlesTrivialPairs) {
   const Digraph g = Digraph::FromEdges(3, {});
-  EXPECT_TRUE(BoundedUnionBfs(g, {{0, 1}, {1, 2}}, 0, 2, 100).reachable);
-  EXPECT_FALSE(BoundedUnionBfs(g, {{0, 1}}, 0, 2, 100).reachable);
+  EXPECT_TRUE(
+      BoundedUnionBfs(g, {EdgeUpdate::Insert(0, 1), EdgeUpdate::Insert(1, 2)},
+                      0, 2, 100)
+          .reachable);
+  EXPECT_FALSE(
+      BoundedUnionBfs(g, {EdgeUpdate::Insert(0, 1)}, 0, 2, 100).reachable);
   const BoundedBfsOutcome self = BoundedUnionBfs(g, {}, 1, 1, 100);
   EXPECT_TRUE(self.reachable);
   EXPECT_TRUE(self.complete);
+}
+
+TEST(BoundedUnionBfsTest, MasksDeletedBaseArcsWithLastOpWins) {
+  const Digraph g = Chain(4);  // 0 -> 1 -> 2 -> 3
+  EXPECT_FALSE(
+      BoundedUnionBfs(g, {EdgeUpdate::Delete(1, 2)}, 0, 3, 100).reachable);
+  // A pending insert detours around the cut.
+  EXPECT_TRUE(BoundedUnionBfs(
+                  g, {EdgeUpdate::Delete(1, 2), EdgeUpdate::Insert(0, 2)}, 0,
+                  3, 100)
+                  .reachable);
+  // Last op per edge wins: delete then re-insert restores the arc...
+  EXPECT_TRUE(BoundedUnionBfs(
+                  g, {EdgeUpdate::Delete(1, 2), EdgeUpdate::Insert(1, 2)}, 0,
+                  3, 100)
+                  .reachable);
+  // ...and insert then delete leaves it absent.
+  EXPECT_FALSE(BoundedUnionBfs(
+                   g, {EdgeUpdate::Insert(3, 0), EdgeUpdate::Delete(3, 0)}, 3,
+                   0, 100)
+                   .reachable);
 }
 
 // ---------------------------------------------------------------------

@@ -86,8 +86,8 @@ TEST(SnapshotTest, RoundTripFoldsInInsertedEdges) {
   const Digraph g = RandomDag(60, 200, 7);
   PrunedTwoHop index;
   index.Build(g);
-  index.InsertEdge(3, 57);
-  index.InsertEdge(41, 8);
+  ASSERT_TRUE(index.ApplyUpdate(
+      {EdgeUpdate::Insert(3, 57), EdgeUpdate::Insert(41, 8)}).ok());
   const std::string path = TempPath("snap_delta.rchx");
   WriteFile(path, SnapshotBytes(index));
 
